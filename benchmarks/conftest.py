@@ -1,0 +1,71 @@
+"""Benchmark fixtures: one paper-scale world, each campaign run once.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+of the paper.  The expensive parts (world construction, the four campaigns
+and the appendix run) are session-scoped fixtures; each bench then times
+the analysis step it regenerates and asserts the paper's *shape* claims
+(who wins, direction and significance of effects), never absolute values.
+
+Rendered tables and CSV figure series are written to ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import (
+    run_appendix_a,
+    run_campaign1,
+    run_campaign2,
+    run_campaign3,
+    run_campaign4,
+)
+from repro.core.world import SimulatedWorld, WorldConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Seed for the benchmark world; EXPERIMENTS.md records this run.
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def world() -> SimulatedWorld:
+    return SimulatedWorld(WorldConfig.paper(seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def campaign1(world):
+    return run_campaign1(world)
+
+
+@pytest.fixture(scope="session")
+def campaign2(world):
+    return run_campaign2(world)
+
+
+@pytest.fixture(scope="session")
+def campaign3(world):
+    return run_campaign3(world)
+
+
+@pytest.fixture(scope="session")
+def campaign4(world):
+    return run_campaign4(world)
+
+
+@pytest.fixture(scope="session")
+def appendix_a(world):
+    return run_appendix_a(world)
+
+
+def save_text(results_dir: Path, name: str, text: str) -> None:
+    """Persist one rendered table/figure under results/."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

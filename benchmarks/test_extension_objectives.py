@@ -1,0 +1,60 @@
+"""Extension — delivery skew by campaign objective.
+
+The paper runs everything with Traffic "consistent with prior work"; that
+prior work (Ali et al.) found that skew grows with optimisation depth.
+This bench runs the same paired stock design under Awareness (no
+engagement optimisation), Traffic, and Conversions (deeper funnel) and
+measures the race-delivery gap under each: the gap must be ordered
+AWARENESS < TRAFFIC < CONVERSIONS.
+"""
+
+import numpy as np
+from conftest import save_text
+
+from repro.core.campaign_runner import PairedCampaignRunner
+from repro.core.experiments import build_audiences, run_campaign1, stock_specs
+from repro.core.world import SimulatedWorld, WorldConfig
+from repro.types import Race
+
+
+def _race_gap(world, audiences, objective: str, specs) -> float:
+    runner = PairedCampaignRunner(
+        world.client(),
+        "obj-ext",
+        audiences,
+        daily_budget_cents=150,
+        objective=objective,
+    )
+    deliveries, _ = runner.run(specs, f"objective-{objective.lower()}")
+    black = np.mean(
+        [d.fraction_black for d in deliveries if d.spec.race is Race.BLACK]
+    )
+    white = np.mean(
+        [d.fraction_black for d in deliveries if d.spec.race is Race.WHITE]
+    )
+    return float(black - white)
+
+
+def test_extension_objective_depth(benchmark, results_dir):
+    world = SimulatedWorld(WorldConfig.small(seed=41))
+    audiences = build_audiences(world, "obj-ext", name_prefix="obj-ext")
+    specs = stock_specs(world, per_cell=2)
+
+    def run_all():
+        return {
+            objective: _race_gap(world, audiences, objective, specs)
+            for objective in ("AWARENESS", "TRAFFIC", "CONVERSIONS")
+        }
+
+    gaps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = (
+        "Extension: race-delivery gap by campaign objective "
+        "(optimisation depth)\n"
+        + "\n".join(f"  {obj:>11}: {gap:+.3f}" for obj, gap in gaps.items())
+    )
+    print("\n" + text)
+    save_text(results_dir, "extension_objectives.txt", text)
+
+    assert abs(gaps["AWARENESS"]) < 0.06
+    assert gaps["TRAFFIC"] > gaps["AWARENESS"] + 0.05
+    assert gaps["CONVERSIONS"] > gaps["TRAFFIC"]

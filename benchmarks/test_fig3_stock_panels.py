@@ -1,0 +1,38 @@
+"""Figure 3 — per-image delivery panels for the stock campaign."""
+
+from conftest import save_text
+
+from repro.core.figures import figure3_panels
+from repro.core.reporting import render_panel_ascii, write_panel_csv
+from repro.types import AgeBand
+
+
+def test_fig3_stock_delivery_panels(benchmark, campaign1, results_dir):
+    panels = benchmark(figure3_panels, campaign1.deliveries)
+    blocks = []
+    for panel_id in ("A", "B", "C", "D"):
+        blocks.append(render_panel_ascii(panels[panel_id]))
+        write_panel_csv(panels[panel_id], results_dir / f"figure3{panel_id}.csv")
+    text = "\n\n".join(blocks)
+    print("\n" + text)
+    save_text(results_dir, "figure3.txt", text)
+
+    # Panel A: Black-implied images sit above white-implied images in
+    # delivery-to-Black-users at EVERY age band (the clean separation the
+    # paper describes).
+    panel_a = panels["A"]
+    for band in AgeBand:
+        assert panel_a.mean(band, "Black") > panel_a.mean(band, "white"), band
+
+    # Panels B and D: older-implied faces reach older audiences — the
+    # elderly end sits above the child end for both race and gender splits.
+    for panel_id in ("B", "D"):
+        panel = panels[panel_id]
+        for series in panel.mean_lines():
+            assert panel.mean(AgeBand.ELDERLY, series) > panel.mean(AgeBand.CHILD, series)
+
+    # Panel C: child images deliver most female; teen-women images deliver
+    # much more male than child images (paper: 56.6% to men).
+    panel_c = panels["C"]
+    assert panel_c.mean(AgeBand.CHILD, "female") > panel_c.mean(AgeBand.TEEN, "female")
+    assert panel_c.mean(AgeBand.CHILD, "male") > panel_c.mean(AgeBand.TEEN, "male")

@@ -1,0 +1,36 @@
+"""Figure 4 — who aged 55+ receives images of young women / children."""
+
+from conftest import save_text
+
+from repro.core.figures import figure4_panels
+from repro.core.reporting import render_panel_ascii, write_panel_csv
+from repro.types import AgeBand
+
+
+def test_fig4_older_audience_panels(benchmark, campaign1, results_dir):
+    panels = benchmark(figure4_panels, campaign1.deliveries)
+    blocks = []
+    for panel_id in ("A", "B"):
+        blocks.append(render_panel_ascii(panels[panel_id]))
+        write_panel_csv(panels[panel_id], results_dir / f"figure4{panel_id}.csv")
+    text = "\n\n".join(blocks)
+    print("\n" + text)
+    save_text(results_dir, "figure4.txt", text)
+
+    # Panel A: older men receive many more ads depicting *young women*
+    # than ads depicting young men (the TikTok/Musical.ly effect).
+    panel_a = panels["A"]
+    assert panel_a.mean(AgeBand.TEEN, "female") > panel_a.mean(AgeBand.TEEN, "male")
+
+    # ...and the effect fades as the pictured woman's age increases:
+    # teen-women images reach more 55+ men than elderly-women images'
+    # general old-age pull would explain relative to men's images.
+    gap_teen = panel_a.mean(AgeBand.TEEN, "female") - panel_a.mean(AgeBand.TEEN, "male")
+    gap_elderly = panel_a.mean(AgeBand.ELDERLY, "female") - panel_a.mean(
+        AgeBand.ELDERLY, "male"
+    )
+    assert gap_teen > gap_elderly
+
+    # Panel B: older women see more images of children than of teens.
+    panel_b = panels["B"]
+    assert panel_b.mean(AgeBand.CHILD, "female") >= panel_b.mean(AgeBand.TEEN, "female")

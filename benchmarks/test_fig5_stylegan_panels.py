@@ -1,0 +1,40 @@
+"""Figure 5 — per-image delivery panels for the StyleGAN campaign.
+
+"Delivery statistics of ads featuring StyleGAN images, revealing similar
+trends to those with stock images in Figure 3."
+"""
+
+from conftest import save_text
+
+from repro.core.figures import figure3_panels
+from repro.core.reporting import render_panel_ascii, write_panel_csv
+from repro.types import AgeBand
+
+
+def test_fig5_stylegan_delivery_panels(benchmark, campaign3, results_dir):
+    panels = benchmark(figure3_panels, campaign3.deliveries)
+    blocks = []
+    for panel_id in ("A", "B", "C", "D"):
+        blocks.append(render_panel_ascii(panels[panel_id]))
+        write_panel_csv(panels[panel_id], results_dir / f"figure5{panel_id}.csv")
+    text = "\n\n".join(blocks)
+    print("\n" + text)
+    save_text(results_dir, "figure5.txt", text)
+
+    # Panel A: synthetic Black faces deliver significantly more to Black
+    # users at every implied age.
+    panel_a = panels["A"]
+    for band in AgeBand:
+        assert panel_a.mean(band, "Black") > panel_a.mean(band, "white"), band
+
+    # Panel B: older synthetic faces deliver to older audiences (within
+    # the capped 18-45 range the paper's Fig 5B spans ~32-36 years).
+    panel_b = panels["B"]
+    for series in panel_b.mean_lines():
+        assert panel_b.mean(AgeBand.ELDERLY, series) > panel_b.mean(AgeBand.CHILD, series)
+        assert 18.0 < panel_b.mean(AgeBand.ADULT, series) < 45.0
+
+    # Panel C: male and female synthetic faces deliver very differently
+    # by implied age; child images deliver most female for both genders.
+    panel_c = panels["C"]
+    assert panel_c.mean(AgeBand.CHILD, "female") > panel_c.mean(AgeBand.ADULT, "female")

@@ -1,0 +1,37 @@
+"""Figure 7 — congruence scatter of the real-world employment ads."""
+
+from conftest import save_text
+
+from repro.core.figures import figure7_points
+from repro.core.reporting import render_congruence_ascii, write_congruence_csv
+
+
+def test_fig7_jobad_congruence_scatter(benchmark, campaign4, results_dir):
+    panels = benchmark(figure7_points, campaign4.deliveries)
+    blocks = []
+    for panel_id in ("A", "B"):
+        blocks.append(render_congruence_ascii(panels[panel_id], label=panel_id))
+        write_congruence_csv(panels[panel_id], results_dir / f"figure7{panel_id}.csv")
+    text = "\n\n".join(blocks)
+    print("\n" + text)
+    save_text(results_dir, "figure7.txt", text)
+
+    # Panel A: "the vast majority of the employment ads delivered with a
+    # congruent race skew".
+    panel_a = panels["A"]
+    congruent = sum(1 for p in panel_a if p.is_congruent)
+    assert congruent >= 0.75 * len(panel_a)
+
+    # Industry baselines behave like Ali et al.: lumber reaches a whiter
+    # audience than janitorial, whatever face is shown.
+    lumber = [p for p in panel_a if p.job_category == "lumber"]
+    janitor = [p for p in panel_a if p.job_category == "janitor"]
+    lumber_black = sum(p.congruent_value + p.reference_value for p in lumber)
+    janitor_black = sum(p.congruent_value + p.reference_value for p in janitor)
+    assert janitor_black > lumber_black
+
+    # Panel B: no systematic gender skew — points split both sides of
+    # the diagonal.
+    panel_b = panels["B"]
+    congruent_b = sum(1 for p in panel_b if p.is_congruent)
+    assert 0.15 * len(panel_b) <= congruent_b <= 0.85 * len(panel_b)

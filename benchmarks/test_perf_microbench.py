@@ -1,0 +1,56 @@
+"""Performance microbenchmarks of the delivery hot path.
+
+Unlike the table/figure benches (which regenerate the paper and are timed
+incidentally), these measure the simulator's own hot operations — useful
+when changing the auction, the EAR featurisation, or the pacing loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.images.features import ImageFeatures
+from repro.platform.auction import run_auction
+from repro.platform.cells import N_GT_CELLS, N_OBSERVED_CELLS
+from repro.platform.pacing import PacingController
+
+
+@pytest.fixture(scope="module")
+def candidate_values():
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0.001, 0.03, size=200)
+    values[rng.random(200) < 0.1] = float("-inf")
+    return values
+
+
+def test_perf_auction(benchmark, candidate_values):
+    """One slot auction over 200 candidate ads."""
+    outcome = benchmark(run_auction, candidate_values, 0.011)
+    assert outcome.winning_value >= 0.001
+
+
+def test_perf_ear_score_vector(benchmark, world):
+    """EAR scoring of one creative over all observed cells."""
+    image = ImageFeatures(race_score=0.7, gender_score=0.3, age_years=35.0)
+    scores = benchmark(world.ear.score_vector, image, "nurse")
+    assert scores.shape == (N_OBSERVED_CELLS,)
+
+
+def test_perf_engagement_vector(benchmark, world):
+    """Ground-truth probabilities over all cells (delivery setup cost)."""
+    image = ImageFeatures(race_score=0.7, gender_score=0.3, age_years=35.0)
+    probabilities = benchmark(world.engagement.probability_vector, image, None)
+    assert probabilities.shape == (N_GT_CELLS,)
+
+
+def test_perf_pacing_control(benchmark):
+    """One pacing control sweep over 200 registered ads."""
+    pacing = PacingController()
+    for i in range(200):
+        pacing.register(f"ad{i}", 2.0)
+        pacing.record_spend(f"ad{i}", 0.5)
+
+    def sweep():
+        pacing.control_all(12.0)
+        return pacing.multiplier("ad0")
+
+    assert benchmark(sweep) > 0.0

@@ -1,0 +1,29 @@
+"""Table 1 — stratified voter sample sizes per age range."""
+
+from conftest import save_text
+
+from repro.core.experiments import build_audiences
+from repro.core.reporting import render_table1
+from repro.types import AgeBucket
+
+
+def test_table1_balanced_audiences(benchmark, world, results_dir):
+    pair = benchmark.pedantic(
+        build_audiences,
+        args=(world, "bench-table1"),
+        kwargs={"name_prefix": "bench-table1"},
+        rounds=1,
+        iterations=1,
+    )
+    rows = pair.table1_rows()
+    text = render_table1(rows)
+    print("\n" + text)
+    save_text(results_dir, "table1.txt", text)
+
+    # Shape of the paper's Table 1: every Total is 4x its Group size, and
+    # the 65+ bucket is the largest while 18-24 is the smallest.
+    groups = {age: group for age, group, _total in rows}
+    assert all(total == 4 * group for _age, group, total in rows)
+    assert groups["65+"] == max(groups.values())
+    assert groups["18-24"] == min(groups.values())
+    assert len(rows) == len(AgeBucket)

@@ -1,0 +1,32 @@
+"""Table 2 — overview of the four ad campaigns."""
+
+from conftest import save_text
+
+from repro.core.reporting import render_table2
+
+
+def test_table2_campaign_overview(
+    benchmark, campaign1, campaign2, campaign3, campaign4, results_dir
+):
+    rows = [
+        (campaign1.name, campaign1.summary),
+        (campaign2.name, campaign2.summary),
+        (campaign3.name, campaign3.summary),
+        (campaign4.name, campaign4.summary),
+    ]
+    text = benchmark(render_table2, rows)
+    print("\n" + text)
+    save_text(results_dir, "table2.txt", text)
+
+    # Paper Table 2 shape: campaigns 1-3 run 200 ads, campaign 4 runs 88;
+    # each campaign reaches tens of thousands of impressions at a spend in
+    # the hundreds of (simulated) dollars, and reach <= impressions.
+    for name, summary in rows[:3]:
+        assert summary.n_ads == 200, name
+    assert rows[3][1].n_ads == 88
+    for name, summary in rows:
+        assert summary.impressions > 5_000, name
+        assert summary.reach <= summary.impressions, name
+        assert 50.0 < summary.spend < 800.0, name
+    # Campaign 2 has the highest budget ($3.50/ad) and so the most spend.
+    assert rows[1][1].spend == max(summary.spend for _n, summary in rows)

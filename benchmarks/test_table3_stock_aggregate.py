@@ -1,0 +1,41 @@
+"""Table 3 — aggregate delivery breakdown of the stock-image campaign."""
+
+from conftest import save_text
+
+from repro.core.analysis import table3_rows
+from repro.core.reporting import render_table3
+
+
+def test_table3_aggregate_breakdowns(benchmark, campaign1, results_dir):
+    rows = benchmark(table3_rows, campaign1.deliveries)
+    text = render_table3(rows)
+    print("\n" + text)
+    save_text(results_dir, "table3.txt", text)
+
+    by_group = {row.group: row for row in rows}
+
+    # Paper row 1 vs 2: images of Black people deliver substantially more
+    # to Black users than images of white people (73.8% vs 56.3%).
+    assert by_group["Black"].fraction_black > by_group["White"].fraction_black + 0.08
+
+    # Both race rows stay above 45% Black: the balanced audience's Black
+    # users are cheaper/more active, so even white-implied images deliver
+    # heavily to them (paper: 56.3%).
+    assert by_group["White"].fraction_black > 0.45
+
+    # Images of children deliver more to women than any other age band
+    # (paper: 59.4% vs 48.2-52.4%).
+    child_female = by_group["Child"].fraction_female
+    for group in ("Teen", "Adult", "Middle-age" if "Middle-age" in by_group else "Middle-aged", "Elderly"):
+        assert child_female > by_group[group].fraction_female
+
+    # Overall delivery skews old: every row lands >65% on users 45+
+    # although they are ~58% of the target audience (paper: 70.5-80.5%).
+    for row in rows:
+        assert row.fraction_age_45plus > 0.6
+
+    # Elderly-implied images skew oldest (paper: 80.5%).
+    assert by_group["Elderly"].fraction_age_45plus == max(
+        by_group[g].fraction_age_45plus
+        for g in ("Child", "Teen", "Adult", "Middle-aged", "Elderly")
+    )

@@ -1,0 +1,44 @@
+"""Table 4a — OLS on the all-ages stock-image campaign."""
+
+from conftest import save_text
+
+from repro.core.regression import fit_identity_regressions
+from repro.core.reporting import render_identity_regressions
+
+
+def test_table4a_stock_regressions(benchmark, campaign1, results_dir):
+    table = benchmark(
+        fit_identity_regressions, campaign1.deliveries, top_age_threshold=65
+    )
+    text = render_identity_regressions(
+        table, title="Table 4a: stock images, all ages"
+    )
+    print("\n" + text)
+    save_text(results_dir, "table4a.txt", text)
+
+    black_model = table.pct_black
+    female_model = table.pct_female
+    age_model = table.pct_top_age
+
+    # % Black model: the only strong, significant treatment is Black
+    # (paper: +0.1812***; intercept 0.5697 — above one half).
+    assert black_model.is_significant("Black", alpha=0.001)
+    assert 0.05 < black_model.coefficient("Black") < 0.35
+    assert black_model.coefficient("Intercept") > 0.5
+    assert abs(black_model.coefficient("Child")) < abs(black_model.coefficient("Black"))
+
+    # % Female model: Child is significant positive (paper +0.0924***).
+    assert female_model.is_significant("Child", alpha=0.001)
+    assert female_model.coefficient("Child") > 0.04
+
+    # % Age 65+ model: Elderly is the largest positive coefficient
+    # (paper +0.1180***).
+    assert age_model.is_significant("Elderly", alpha=0.001)
+    assert age_model.coefficient("Elderly") > 0.05
+    assert age_model.coefficient("Elderly") > age_model.coefficient("Teen")
+
+    # The image demographics explain a large share of variance
+    # (paper R²: 0.62 / 0.26 / 0.46).
+    assert black_model.r_squared > 0.4
+    assert female_model.r_squared > 0.15
+    assert age_model.r_squared > 0.25

@@ -1,0 +1,42 @@
+"""Table 4b — OLS on the age-capped (≤45) stock-image campaign."""
+
+from conftest import save_text
+
+from repro.core.regression import fit_identity_regressions
+from repro.core.reporting import render_identity_regressions
+
+
+def test_table4b_agecapped_regressions(benchmark, campaign2, results_dir):
+    table = benchmark(
+        fit_identity_regressions, campaign2.deliveries, top_age_threshold=35
+    )
+    text = render_identity_regressions(
+        table, title="Table 4b: stock images, target capped at age 45"
+    )
+    print("\n" + text)
+    save_text(results_dir, "table4b.txt", text)
+
+    black_model = table.pct_black
+    female_model = table.pct_female
+    age_model = table.pct_top_age
+
+    # The race effect persists — in the paper it *strengthens*
+    # (0.2534*** vs 0.1812***).
+    assert black_model.is_significant("Black", alpha=0.001)
+    assert black_model.coefficient("Black") > 0.05
+
+    # "When we limit the maximum age of the targeted audience, women do
+    # receive more ads that feature women" (paper: Female +0.0780**).
+    assert female_model.is_significant("Female")
+    assert female_model.coefficient("Female") > 0.02
+
+    # Child images now deliver *younger* (paper: Child -> %35+ -0.0888***).
+    assert age_model.is_significant("Child")
+    assert age_model.coefficient("Child") < -0.02
+
+    # The top-age target switched with the cap.
+    assert table.top_age_label == "% Age 35+"
+
+    # Nobody above the cap was reached at all.
+    for delivery in campaign2.deliveries:
+        assert delivery.fraction_age_at_least(55) == 0.0

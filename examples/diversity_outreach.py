@@ -1,0 +1,90 @@
+"""Diversity outreach: using imagery where targeting is forbidden.
+
+The paper's discussion (§8): "employers seeking to diversify their
+workforce cannot explicitly target the under-represented demographics.
+Instead, they may choose to use imagery that suggests who their desired
+audience may be."
+
+This example plays that scenario: an employer advertises a *lumber* job —
+an industry whose delivery baseline skews heavily toward white men — and
+compares the actual audience across the four face choices, quantifying
+how far image choice alone can move the needle (and where the industry
+baseline still dominates).
+
+Run:  python examples/diversity_outreach.py [seed]
+"""
+
+import sys
+import time
+
+from repro import SimulatedWorld, WorldConfig
+from repro.core.campaign_runner import CreativeSpec, PairedCampaignRunner
+from repro.core.experiments import gan_families, build_audiences
+from repro.types import AgeBand, Gender, Race
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 17
+    started = time.time()
+
+    print(f"Building a small simulated world (seed={seed})...")
+    world = SimulatedWorld(WorldConfig.small(seed=seed))
+    world.account("diversity-ex")
+    audiences = build_audiences(world, "diversity-ex", name_prefix="diversity-ex")
+
+    print("Generating the four candidate recruitment faces...")
+    family = gan_families(world, 1, fit_samples=1000)[0]
+    specs = []
+    for race in Race:
+        for gender in (Gender.MALE, Gender.FEMALE):
+            image = family.variants[(race, gender, AgeBand.ADULT)]
+            specs.append(
+                CreativeSpec(
+                    image_id=f"lumber-{race.value}-{gender.value}",
+                    features=image.features,
+                    race=race,
+                    gender=gender,
+                    band=AgeBand.ADULT,
+                    job_category="lumber",
+                )
+            )
+
+    print("Running the four lumber-job ads against the same balanced audience...\n")
+    runner = PairedCampaignRunner(
+        world.client(),
+        "diversity-ex",
+        audiences,
+        headline="Logging crew members wanted",
+        body="Join our crew. Paid training.",
+        destination_url="https://indeed.example.com/lumber",
+        daily_budget_cents=250,
+        special_ad_categories=["EMPLOYMENT"],
+    )
+    deliveries, _summary = runner.run(specs, "diversity-lumber")
+
+    print(f"{'face in the ad':<24} {'% Black':>8} {'% female':>9} {'impressions':>12}")
+    by_id = {}
+    for d in sorted(deliveries, key=lambda d: d.spec.image_id):
+        by_id[(d.spec.race, d.spec.gender)] = d
+        print(
+            f"{d.spec.image_id:<24} {d.fraction_black:>8.1%} "
+            f"{d.fraction_female:>9.1%} {d.impressions:>12,}"
+        )
+
+    baseline = by_id[(Race.WHITE, Gender.MALE)]
+    best = max(deliveries, key=lambda d: d.fraction_black)
+    print()
+    print(
+        "The industry default (white man) reaches a "
+        f"{baseline.fraction_black:.0%}-Black audience; switching to the "
+        f"{best.spec.race.value}-{best.spec.gender.value} face lifts that to "
+        f"{best.fraction_black:.0%} — image choice partially counteracts the "
+        "industry baseline, exactly the double-edged power the paper's "
+        "discussion describes: the same mechanism that lets an employer "
+        "broaden their reach lets another narrow it."
+    )
+    print(f"Done in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

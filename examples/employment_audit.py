@@ -1,0 +1,56 @@
+"""Employment-ad audit: do job ads reach different people by face choice?
+
+The §6 scenario from the advertiser's side: a recruiter advertises the
+same eleven jobs four times — with a white man, a white woman, a Black
+man, and a Black woman composited onto the job background — targeting one
+balanced audience, and then audits who actually saw each variant.
+
+Run:  python examples/employment_audit.py [seed]
+"""
+
+import sys
+import time
+
+from repro import SimulatedWorld, WorldConfig
+from repro.core.experiments import jobad_specs, run_campaign4
+from repro.core.figures import figure7_points
+from repro.core.reporting import render_congruence_ascii, render_jobad_regressions
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 11
+    started = time.time()
+
+    print(f"Building a small simulated world (seed={seed})...")
+    world = SimulatedWorld(WorldConfig.small(seed=seed))
+
+    print("Running 44 employment ads (11 jobs x 4 implied identities) x 2 copies...")
+    result = run_campaign4(world, specs=jobad_specs(world, fit_samples=1000))
+    print(
+        f"  impressions {result.summary.impressions:,} | "
+        f"spend ${result.summary.spend:.2f}"
+    )
+
+    panels = figure7_points(result.deliveries)
+    print()
+    print(render_congruence_ascii(panels["A"], label="A (race)"))
+    print()
+    print(render_congruence_ascii(panels["B"], label="B (gender)"))
+    print()
+    print(render_jobad_regressions(result.regressions))
+
+    print()
+    overall = result.regressions.black_overall
+    coef = overall.coefficient("Implied: Black")
+    print(
+        "Takeaway for an advertiser: choosing the Black-presenting face "
+        f"moves the Black share of the actual audience by {coef:+.1%}"
+        f"{overall.stars('Implied: Black')} on top of the industry's own "
+        "baseline — an employer *cannot* target by race, but the delivery "
+        "algorithm responds to the image as if they had."
+    )
+    print(f"Done in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

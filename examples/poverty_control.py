@@ -1,0 +1,69 @@
+"""Appendix-A demo: controlling for economic confounders.
+
+Re-runs the race-skew measurement on audiences whose ZIP-level poverty
+distributions are matched across the race × gender × state cells, and
+contrasts the resulting regression with the unmatched one — including the
+opaque mass ad-review rejections the paper hit along the way.
+
+Run:  python examples/poverty_control.py [seed]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import SimulatedWorld, WorldConfig
+from repro.core.experiments import run_appendix_a, run_campaign1, stock_specs
+from repro.core.reporting import render_single_regression
+from repro.types import Race
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    started = time.time()
+
+    print(f"Building a small simulated world (seed={seed})...")
+    world = SimulatedWorld(WorldConfig.small(seed=seed))
+
+    voters = world.fl_registry.records + world.nc_registry.records
+    black = np.array([v.zip_poverty for v in voters if v.study_race is Race.BLACK])
+    white = np.array([v.zip_poverty for v in voters if v.study_race is Race.WHITE])
+    print(
+        f"  registry ZIP poverty: Black voters median {np.median(black):.0%}, "
+        f"white voters median {np.median(white):.0%} "
+        "(paper: 16% vs 12%)"
+    )
+
+    print("Running the unmatched baseline campaign...")
+    baseline = run_campaign1(world, specs=stock_specs(world, per_cell=2))
+    baseline_coef = baseline.regressions.pct_black.coefficient("Black")
+
+    print("Running the poverty-matched Appendix-A campaign...")
+    result = run_appendix_a(world, target_images=16)
+    print(
+        f"  ad review rejected {result.rejected_ads} resubmitted ads "
+        "(the paper lost 44 this way); "
+        f"{result.kept_images} balanced images analysed"
+    )
+    print()
+    print(
+        render_single_regression(
+            result.regression,
+            title="Poverty-controlled regression (cf. Table A1)",
+            column="% Black",
+        )
+    )
+    matched_coef = result.regression.coefficient("Black")
+    print()
+    print(
+        f"Race coefficient: {baseline_coef:+.3f} unmatched -> "
+        f"{matched_coef:+.3f} poverty-matched.  The effect attenuates — "
+        "part of the 'race' response was economically mediated — but "
+        "remains significant, as in the paper."
+    )
+    print(f"Done in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: run a reduced version of the paper's Campaign 1.
+
+Builds a small simulated world (synthetic FL/NC voter registries, platform
+users, a trained delivery model), uploads the paper's balanced reversed
+Custom Audiences, runs 40 stock-photo ads for one simulated day, and
+prints the delivery breakdowns and the Table-4a-style regression.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+import time
+
+from repro import SimulatedWorld, WorldConfig
+from repro.core.analysis import table3_rows
+from repro.core.experiments import run_campaign1, stock_specs
+from repro.core.reporting import render_identity_regressions, render_table3
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    started = time.time()
+
+    print(f"Building a small simulated world (seed={seed})...")
+    world = SimulatedWorld(WorldConfig.small(seed=seed))
+    print(
+        f"  {len(world.universe):,} platform users recruited from two "
+        "synthetic state voter registries"
+    )
+
+    print("Running a reduced Campaign 1 (40 stock images x 2 reversed copies)...")
+    result = run_campaign1(world, specs=stock_specs(world, per_cell=2))
+    summary = result.summary
+    print(
+        f"  {summary.n_ads} ads | reach {summary.reach:,} | "
+        f"impressions {summary.impressions:,} | spend ${summary.spend:.2f}"
+    )
+
+    print()
+    print(render_table3(table3_rows(result.deliveries)))
+    print()
+    print(
+        render_identity_regressions(
+            result.regressions, title="Regression on the actual audience (cf. Table 4a)"
+        )
+    )
+    print()
+    black_coef = result.regressions.pct_black.coefficient("Black")
+    stars = result.regressions.pct_black.stars("Black")
+    print(
+        "Headline finding: putting a Black person in the (otherwise "
+        f"identical) ad image shifts delivery toward Black users by "
+        f"{black_coef:+.1%}{stars} — the paper measured +18.1%*** on "
+        "Facebook."
+    )
+    print(f"Done in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

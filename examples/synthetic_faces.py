@@ -1,0 +1,83 @@
+"""Synthetic-face pipeline demo (§5.4): latent directions in action.
+
+Reproduces the paper's image-generation methodology end to end:
+
+1. sample random faces from the mapping network and label them with the
+   Deepface-like classifier;
+2. fit the latent directions by regression on the 9,216-value activation
+   vectors;
+3. take one base "person" and generate the 20 race × gender × age-band
+   variants, showing that the demographic attributes hit their targets
+   while nuisance channels barely move — the property that lets the paper
+   attribute delivery differences to the demographics alone.
+
+Run:  python examples/synthetic_faces.py [seed]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.images.classifier import DeepfaceLikeClassifier
+from repro.images.gan import (
+    LatentDirections,
+    MappingNetwork,
+    Synthesizer,
+    make_face_family,
+)
+from repro.types import AgeBand, Gender, Race
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    started = time.time()
+
+    print(f"Loading the generator (network seed {seed}) and classifier...")
+    mapper = MappingNetwork(network_seed=seed)
+    synthesizer = Synthesizer(mapper, network_seed=seed)
+    classifier = DeepfaceLikeClassifier(np.random.default_rng(seed))
+
+    n_samples = 3000
+    print(f"Fitting latent directions on {n_samples:,} random faces "
+          "(the paper used 50,000)...")
+    directions = LatentDirections.fit(
+        mapper, synthesizer, classifier, np.random.default_rng(seed + 1),
+        n_samples=n_samples,
+    )
+
+    print("Generating the 20 demographic variants of one synthetic person...\n")
+    base_z = mapper.sample_z(np.random.default_rng(seed + 2))[0]
+    family = make_face_family(0, base_z, synthesizer, directions)
+
+    header = f"{'cell':>28} | race | gender |  age | smile | lighting | pose"
+    print(header)
+    print("-" * len(header))
+    for race in Race:
+        for gender in (Gender.MALE, Gender.FEMALE):
+            for band in AgeBand:
+                f = family.variants[(race, gender, band)].features
+                cell = f"{race.value} {gender.value} {band.value}"
+                print(
+                    f"{cell:>28} | {f.race_score:.2f} | {f.gender_score:6.2f} "
+                    f"| {f.age_years:4.0f} | {f.smile:.3f} | {f.lighting:8.3f} "
+                    f"| {f.head_pose:+.2f}"
+                )
+
+    lightings = [img.features.lighting for img in family.images()]
+    smiles = [img.features.smile for img in family.images()]
+    print()
+    print(
+        f"Nuisance stability across all 20 variants: lighting varies by "
+        f"{np.ptp(lightings):.3f}, while the demographic scores sweep their "
+        "full range — 'the same person', different implied identity."
+    )
+    print(
+        f"Note the entanglement the paper documents: smile varies by "
+        f"{np.ptp(smiles):.3f}, dragged along by the gender direction."
+    )
+    print(f"Done in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

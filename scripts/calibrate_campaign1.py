@@ -1,0 +1,19 @@
+"""Calibration harness: run Campaign 1 and print the paper-comparable stats."""
+import sys
+import time
+
+from repro.core.analysis import table3_rows
+from repro.core.experiments import run_campaign1
+from repro.core.reporting import render_identity_regressions, render_table3
+from repro.core.world import SimulatedWorld, WorldConfig
+
+seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+t0 = time.time()
+world = SimulatedWorld(WorldConfig.paper(seed=seed))
+result = run_campaign1(world)
+s = result.summary
+print(f"[{time.time()-t0:.0f}s] ads={s.n_ads} reach={s.reach} impr={s.impressions} spend=${s.spend:.2f}")
+print(render_table3(table3_rows(result.deliveries)))
+print(render_identity_regressions(result.regressions, title="Table 4a"))
+print("paper targets: Black img 73.8/white 56.3 %Black; child 59.4%F teen 48.2%F; "
+      "45+ 70-81%; coef Black .18***, Child(F) .09***, Eld(65+) .12***, MA .05**, Fem .036**")

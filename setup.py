@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` where the `wheel` package
+is unavailable (PEP 517 editable builds require bdist_wheel)."""
+from setuptools import setup
+
+setup()

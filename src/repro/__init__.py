@@ -1,0 +1,54 @@
+"""repro — reproduction of *Measurement and Analysis of Implied Identity in
+Ad Delivery Optimization* (Kaplan, Gerzon, Mislove, Sapiezynski; IMC 2022).
+
+The paper audits how Facebook's ad delivery algorithm skews the *actual
+audience* of an ad based on the demographics implied by the person
+pictured in it.  The original study requires a live Marketing API account
+and ad spend; this library substitutes a complete simulated ad platform
+(auction, learned ranking model, pacing, reporting) plus every substrate
+the methodology touches (voter files, Custom Audiences, StyleGAN-style
+face synthesis, Deepface-style classification) and re-implements the
+paper's measurement and analysis pipeline on top.
+
+Quick start::
+
+    from repro import SimulatedWorld, WorldConfig, run_campaign1
+
+    world = SimulatedWorld(WorldConfig.small(seed=7))
+    result = run_campaign1(world)
+    print(result.regressions.pct_black.coefficient("Black"))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.experiments import (
+    run_appendix_a,
+    run_campaign1,
+    run_campaign2,
+    run_campaign3,
+    run_campaign4,
+)
+from repro.core.world import SimulatedWorld, WorldConfig
+from repro.errors import ReproError
+from repro.types import AgeBand, AgeBucket, Demographics, Gender, Race, State
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgeBand",
+    "AgeBucket",
+    "Demographics",
+    "Gender",
+    "Race",
+    "ReproError",
+    "SimulatedWorld",
+    "State",
+    "WorldConfig",
+    "__version__",
+    "run_appendix_a",
+    "run_campaign1",
+    "run_campaign2",
+    "run_campaign3",
+    "run_campaign4",
+]

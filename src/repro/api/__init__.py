@@ -1,0 +1,34 @@
+"""The Marketing API boundary.
+
+The paper's toolchain talks to Facebook exclusively through the Marketing
+API (ad creation) and the Insights API (delivery reporting), from a single
+vantage point and without parallel queries (§4.1).  To keep the audit code
+honest, this package puts the same boundary between the measurement
+methodology (:mod:`repro.core`) and the platform simulator
+(:mod:`repro.platform`):
+
+* :mod:`repro.api.protocol` — the Graph-API-style request/response
+  envelope and error payloads;
+* :mod:`repro.api.server` — the routed endpoint handlers wrapping one
+  platform instance;
+* :mod:`repro.api.client` — the typed client the audit code uses;
+* :mod:`repro.api.ratelimit` — token-bucket request limiting (the real
+  API throttles; the audit code must survive HTTP-style 4xx responses);
+* :mod:`repro.api.pagination` — cursor pagination for list endpoints.
+
+The audit code never imports :mod:`repro.platform` internals directly —
+tests enforce that everything observable flows through this API.
+"""
+
+from repro.api.client import MarketingApiClient
+from repro.api.protocol import ApiRequest, ApiResponse
+from repro.api.ratelimit import TokenBucket
+from repro.api.server import MarketingApiServer
+
+__all__ = [
+    "ApiRequest",
+    "ApiResponse",
+    "MarketingApiClient",
+    "MarketingApiServer",
+    "TokenBucket",
+]

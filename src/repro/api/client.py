@@ -1,0 +1,240 @@
+"""Typed Marketing API client.
+
+The audit methodology (:mod:`repro.core`) drives the platform exclusively
+through this client, the way the paper's harness drove Facebook through
+the Marketing API.  The client:
+
+* speaks the request/response envelope of :mod:`repro.api.protocol`;
+* retries rate-limited requests with exponential backoff (sleeping via an
+  injected callable so tests and simulations control time);
+* follows pagination cursors transparently;
+* chunks large Custom Audience uploads (the real endpoint caps batch
+  sizes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.errors import ApiError, ValidationError
+
+__all__ = ["MarketingApiClient"]
+
+#: The real customaudiences/users endpoint accepts up to 10k rows/batch.
+UPLOAD_BATCH_SIZE = 10_000
+
+
+def _no_sleep(seconds: float) -> None:
+    """Default backoff sleeper: simulated time, no real waiting."""
+
+
+class MarketingApiClient:
+    """Client over a transport callable.
+
+    Parameters
+    ----------
+    transport:
+        Callable mapping :class:`ApiRequest` to :class:`ApiResponse` — the
+        in-process server's ``handle`` or an HTTP transport.
+    access_token:
+        Bearer token attached to every request.
+    sleep:
+        Callable used for backoff waits.
+    max_retries:
+        Rate-limit retries before giving up.
+    """
+
+    def __init__(
+        self,
+        transport: Callable[[ApiRequest], ApiResponse],
+        access_token: str,
+        *,
+        sleep: Callable[[float], None] = _no_sleep,
+        max_retries: int = 5,
+    ) -> None:
+        if max_retries < 0:
+            raise ValidationError("max_retries must be non-negative")
+        self._transport = transport
+        self._token = access_token
+        self._sleep = sleep
+        self._max_retries = max_retries
+        self.requests_sent = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def call(self, method: HttpMethod, path: str, params: dict[str, Any] | None = None) -> Any:
+        """One request with rate-limit retry; returns the ``data`` payload."""
+        request = ApiRequest(
+            method=method, path=path, params=params or {}, access_token=self._token
+        )
+        backoff = 1.0
+        for attempt in range(self._max_retries + 1):
+            self.requests_sent += 1
+            response = self._transport(request)
+            if response.status == 429 and attempt < self._max_retries:
+                self._sleep(backoff)
+                backoff *= 2.0
+                continue
+            response.raise_for_status()
+            return response.data
+        raise ApiError("rate limited after retries", code=4)
+
+    def get_paged(self, path: str, params: dict[str, Any] | None = None) -> list[Any]:
+        """GET a list endpoint, following ``after`` cursors to the end."""
+        collected: list[Any] = []
+        params = dict(params or {})
+        while True:
+            request = ApiRequest(
+                method=HttpMethod.GET, path=path, params=params, access_token=self._token
+            )
+            backoff = 1.0
+            response = self._transport(request)
+            self.requests_sent += 1
+            while response.status == 429:
+                self._sleep(backoff)
+                backoff *= 2.0
+                response = self._transport(request)
+                self.requests_sent += 1
+            response.raise_for_status()
+            collected.extend(response.data)
+            cursors = (response.paging or {}).get("cursors", {})
+            after = cursors.get("after")
+            if not after:
+                return collected
+            params["after"] = after
+
+    # -- audiences ----------------------------------------------------------
+
+    def create_custom_audience(self, account_id: str, name: str) -> str:
+        """Create an (empty) Custom Audience; returns its id."""
+        data = self.call(
+            HttpMethod.POST, f"/act_{account_id}/customaudiences", {"name": name}
+        )
+        return data["id"]
+
+    def upload_audience_users(self, audience_id: str, pii_hashes: Iterable[str]) -> int:
+        """Upload hashed PII in batches; returns the number received."""
+        hashes = list(pii_hashes)
+        if not hashes:
+            raise ValidationError("refusing to upload an empty user list")
+        received = 0
+        for start in range(0, len(hashes), UPLOAD_BATCH_SIZE):
+            batch = hashes[start : start + UPLOAD_BATCH_SIZE]
+            data = self.call(
+                HttpMethod.POST,
+                f"/{audience_id}/users",
+                {"payload": {"schema": ["PII_SHA256"], "data": batch}},
+            )
+            received += int(data["num_received"])
+        return received
+
+    def get_audience(self, audience_id: str) -> dict[str, Any]:
+        """Audience metadata (uploaded count, approximate matched size)."""
+        return self.call(HttpMethod.GET, f"/{audience_id}")
+
+    def create_lookalike(
+        self, account_id: str, source_audience_id: str, *, expansion_ratio: float = 0.1
+    ) -> dict[str, Any]:
+        """Expand a source audience into a Lookalike; returns id + size."""
+        return self.call(
+            HttpMethod.POST,
+            f"/act_{account_id}/lookalike",
+            {
+                "source_audience_id": source_audience_id,
+                "expansion_ratio": expansion_ratio,
+            },
+        )
+
+    # -- creation -----------------------------------------------------------
+
+    def create_campaign(
+        self,
+        account_id: str,
+        name: str,
+        objective: str,
+        *,
+        special_ad_categories: list[str] | None = None,
+    ) -> str:
+        """Create a campaign; returns its id."""
+        data = self.call(
+            HttpMethod.POST,
+            f"/act_{account_id}/campaigns",
+            {
+                "name": name,
+                "objective": objective,
+                "special_ad_categories": special_ad_categories or [],
+            },
+        )
+        return data["id"]
+
+    def create_adset(
+        self,
+        account_id: str,
+        name: str,
+        campaign_id: str,
+        daily_budget_cents: int,
+        targeting: dict[str, Any],
+    ) -> str:
+        """Create an ad set; returns its id."""
+        data = self.call(
+            HttpMethod.POST,
+            f"/act_{account_id}/adsets",
+            {
+                "name": name,
+                "campaign_id": campaign_id,
+                "daily_budget": daily_budget_cents,
+                "targeting": targeting,
+            },
+        )
+        return data["id"]
+
+    def create_ad(
+        self, account_id: str, name: str, adset_id: str, creative: dict[str, Any]
+    ) -> str:
+        """Create an ad; returns its id (review still pending)."""
+        data = self.call(
+            HttpMethod.POST,
+            f"/act_{account_id}/ads",
+            {"name": name, "adset_id": adset_id, "creative": creative},
+        )
+        return data["id"]
+
+    # -- review ---------------------------------------------------------------
+
+    def submit_for_review(self, ad_id: str, *, resubmission: bool = False) -> dict[str, Any]:
+        """Run review for one ad; returns status and reason."""
+        return self.call(
+            HttpMethod.POST, f"/{ad_id}/review", {"resubmission": resubmission}
+        )
+
+    def appeal(self, ad_id: str) -> dict[str, Any]:
+        """Appeal a rejection."""
+        return self.call(HttpMethod.POST, f"/{ad_id}/appeal")
+
+    # -- delivery & reporting --------------------------------------------------
+
+    def deliver_day(self, account_id: str, ad_ids: list[str], *, hours: int = 24) -> dict[str, Any]:
+        """Run one delivery day for the listed ads."""
+        return self.call(
+            HttpMethod.POST,
+            f"/act_{account_id}/deliver",
+            {"ad_ids": ad_ids, "hours": hours},
+        )
+
+    def get_insights(self, ad_id: str) -> dict[str, Any]:
+        """Totals: impressions, reach, clicks, spend."""
+        return self.call(HttpMethod.GET, f"/{ad_id}/insights")
+
+    def get_insights_by_age_gender(self, ad_id: str) -> list[dict[str, Any]]:
+        """Age × gender breakdown rows."""
+        return self.get_paged(f"/{ad_id}/insights", {"breakdowns": "age,gender"})
+
+    def get_insights_by_region(self, ad_id: str) -> list[dict[str, Any]]:
+        """Region (state) breakdown rows."""
+        return self.get_paged(f"/{ad_id}/insights", {"breakdowns": "region"})
+
+    def list_ads(self, account_id: str) -> list[dict[str, Any]]:
+        """All ads under the account."""
+        return self.get_paged(f"/act_{account_id}/ads")

@@ -1,0 +1,133 @@
+"""Optional TCP/HTTP transport for the Marketing API.
+
+The in-process transport (calling ``MarketingApiServer.handle`` directly)
+is what experiments use; this module adds a real socket boundary for
+integration testing and for driving the simulator from other processes:
+
+* :class:`HttpApiServer` — a threaded HTTP server exposing the envelope
+  protocol at ``POST /graph`` (one JSON-serialised :class:`ApiRequest`
+  per call);
+* :func:`http_transport` — a client-side transport callable compatible
+  with :class:`repro.api.client.MarketingApiClient`.
+
+The wire format is the envelope's own JSON serialisation; HTTP status is
+carried both at the HTTP layer and inside the envelope so a plain curl
+call shows sensible codes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from collections.abc import Callable
+
+from repro.api.protocol import ApiRequest, ApiResponse
+from repro.errors import ApiError
+
+__all__ = ["HttpApiServer", "http_transport"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps POST /graph onto the wrapped handler."""
+
+    # set by the server factory
+    api_handler: Callable[[ApiRequest], ApiResponse]
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path != "/graph":
+            self.send_error(404, "only POST /graph is served")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length).decode("utf-8")
+            request = ApiRequest.from_json(body)
+        except (ApiError, ValueError) as exc:
+            self._respond(ApiResponse.failure(ApiError(str(exc), code=100), status=400))
+            return
+        self._respond(self.api_handler(request))
+
+    def _respond(self, response: ApiResponse) -> None:
+        payload = response.to_json().encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging."""
+
+
+class HttpApiServer:
+    """Threaded HTTP wrapper around an API handler.
+
+    Usage::
+
+        with HttpApiServer(server.handle) as http_server:
+            client = MarketingApiClient(
+                http_transport("127.0.0.1", http_server.port), token
+            )
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[ApiRequest], ApiResponse],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler_cls = type("BoundHandler", (_Handler,), {"api_handler": staticmethod(handler)})
+        self._server = ThreadingHTTPServer((host, port), handler_cls)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread."""
+        if self._thread is not None:
+            raise ApiError("server already started")
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "HttpApiServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def http_transport(host: str, port: int, *, timeout: float = 10.0) -> Callable[[ApiRequest], ApiResponse]:
+    """Build a client transport that speaks to an :class:`HttpApiServer`."""
+
+    def transport(request: ApiRequest) -> ApiResponse:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            payload = request.to_json()
+            connection.request(
+                "POST",
+                "/graph",
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            raw = connection.getresponse().read().decode("utf-8")
+            return ApiResponse.from_json(raw)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ApiError(f"transport failure: {exc}", code=2, api_type="TransientError") from exc
+        finally:
+            connection.close()
+
+    return transport

@@ -1,0 +1,60 @@
+"""Cursor pagination for list endpoints.
+
+Graph API list responses return ``paging.cursors.after`` tokens; clients
+iterate until no ``after`` cursor remains.  Cursors here are opaque
+base64-encoded offsets validated against the collection they came from.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Any
+
+from repro.errors import ApiError
+
+__all__ = ["paginate", "encode_cursor", "decode_cursor"]
+
+
+def encode_cursor(collection: str, offset: int) -> str:
+    """Encode an opaque cursor for ``collection`` at ``offset``."""
+    return base64.urlsafe_b64encode(f"{collection}:{offset}".encode()).decode()
+
+
+def decode_cursor(collection: str, cursor: str) -> int:
+    """Decode a cursor, validating it belongs to ``collection``."""
+    try:
+        decoded = base64.urlsafe_b64decode(cursor.encode()).decode()
+        name, _, offset = decoded.rpartition(":")
+    except (binascii.Error, UnicodeDecodeError) as exc:
+        raise ApiError(f"malformed cursor {cursor!r}", code=100) from exc
+    if name != collection:
+        raise ApiError(f"cursor {cursor!r} does not belong to {collection!r}", code=100)
+    try:
+        return int(offset)
+    except ValueError as exc:
+        raise ApiError(f"malformed cursor offset in {cursor!r}", code=100) from exc
+
+
+def paginate(
+    collection_name: str,
+    items: list[Any],
+    *,
+    after: str | None = None,
+    limit: int = 25,
+) -> tuple[list[Any], dict[str, Any] | None]:
+    """Slice ``items`` by cursor; returns (page, paging envelope).
+
+    The paging envelope is ``None`` once the final page is reached, else
+    ``{"cursors": {"after": ...}}``.
+    """
+    if limit < 1:
+        raise ApiError("limit must be at least 1", code=100)
+    start = decode_cursor(collection_name, after) if after else 0
+    if start < 0 or start > len(items):
+        raise ApiError(f"cursor offset {start} out of range", code=100)
+    page = items[start : start + limit]
+    next_offset = start + len(page)
+    if next_offset >= len(items):
+        return page, None
+    return page, {"cursors": {"after": encode_cursor(collection_name, next_offset)}}

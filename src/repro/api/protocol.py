@@ -1,0 +1,127 @@
+"""Request/response envelope of the simulated Graph API.
+
+Requests carry a method (GET/POST), a path like ``/act_123/campaigns``,
+query/body parameters, and an access token.  Responses mirror the Graph
+API envelope: a JSON-compatible ``data`` payload on success, or an
+``error`` object with ``message`` / ``type`` / ``code`` on failure.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ApiError, ValidationError
+
+__all__ = ["HttpMethod", "ApiRequest", "ApiResponse"]
+
+
+class HttpMethod(enum.Enum):
+    """Supported HTTP verbs."""
+
+    GET = "GET"
+    POST = "POST"
+    DELETE = "DELETE"
+
+
+@dataclass(frozen=True, slots=True)
+class ApiRequest:
+    """One API request."""
+
+    method: HttpMethod
+    path: str
+    params: dict[str, Any] = field(default_factory=dict)
+    access_token: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValidationError(f"path must start with '/': {self.path!r}")
+
+    def to_json(self) -> str:
+        """Serialise for the wire (used by the HTTP transport)."""
+        return json.dumps(
+            {
+                "method": self.method.value,
+                "path": self.path,
+                "params": self.params,
+                "access_token": self.access_token,
+            }
+        )
+
+    @staticmethod
+    def from_json(payload: str) -> "ApiRequest":
+        """Parse a serialised request."""
+        try:
+            raw = json.loads(payload)
+            return ApiRequest(
+                method=HttpMethod(raw["method"]),
+                path=raw["path"],
+                params=raw.get("params", {}),
+                access_token=raw.get("access_token"),
+            )
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise ApiError(f"malformed request: {exc}", code=100) from exc
+
+
+@dataclass(frozen=True, slots=True)
+class ApiResponse:
+    """One API response."""
+
+    status: int
+    data: Any = None
+    error: dict[str, Any] | None = None
+    paging: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx responses."""
+        return 200 <= self.status < 300
+
+    def raise_for_status(self) -> None:
+        """Raise the envelope error as an :class:`ApiError`."""
+        if self.ok:
+            return
+        error = self.error or {}
+        raise ApiError(
+            error.get("message", f"HTTP {self.status}"),
+            code=int(error.get("code", 1)),
+            api_type=error.get("type", "OAuthException"),
+        )
+
+    def to_json(self) -> str:
+        """Serialise for the wire."""
+        body: dict[str, Any] = {}
+        if self.ok:
+            body["data"] = self.data
+            if self.paging is not None:
+                body["paging"] = self.paging
+        else:
+            body["error"] = self.error
+        return json.dumps({"status": self.status, "body": body})
+
+    @staticmethod
+    def from_json(payload: str) -> "ApiResponse":
+        """Parse a serialised response."""
+        try:
+            raw = json.loads(payload)
+            body = raw.get("body", {})
+            return ApiResponse(
+                status=int(raw["status"]),
+                data=body.get("data"),
+                error=body.get("error"),
+                paging=body.get("paging"),
+            )
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise ApiError(f"malformed response: {exc}", code=100) from exc
+
+    @staticmethod
+    def success(data: Any, paging: dict[str, Any] | None = None) -> "ApiResponse":
+        """200 response."""
+        return ApiResponse(status=200, data=data, paging=paging)
+
+    @staticmethod
+    def failure(exc: ApiError, status: int = 400) -> "ApiResponse":
+        """Error response from an :class:`ApiError`."""
+        return ApiResponse(status=status, error=exc.to_payload())

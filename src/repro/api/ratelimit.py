@@ -1,0 +1,80 @@
+"""Token-bucket rate limiting.
+
+The real Marketing API throttles per app/account; the paper's harness
+deliberately queried "from a single vantage point without parallelizing
+queries" (§4.1).  The simulated server enforces the same discipline: a
+token bucket refills at a steady rate and each request consumes one token;
+an empty bucket yields the Graph API's code-4 error.
+
+Time is injected (a callable returning seconds) so tests can drive the
+clock deterministically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ValidationError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum burst size.
+    refill_per_second:
+        Sustained request rate.
+    clock:
+        Callable returning monotonically non-decreasing seconds.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        refill_per_second: float,
+        clock: Callable[[], float],
+    ) -> None:
+        if capacity < 1:
+            raise ValidationError("capacity must be at least 1")
+        if refill_per_second <= 0:
+            raise ValidationError("refill rate must be positive")
+        self._capacity = float(capacity)
+        self._rate = refill_per_second
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if now < self._last:
+            raise ValidationError("clock went backwards")
+        self._tokens = min(self._capacity, self._tokens + (now - self._last) * self._rate)
+        self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; returns success."""
+        if tokens <= 0:
+            raise ValidationError("tokens must be positive")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def seconds_until_available(self, tokens: float = 1.0) -> float:
+        """How long until ``tokens`` would be available."""
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate

@@ -1,0 +1,493 @@
+"""The simulated Marketing API server.
+
+Wraps one platform world (universe + audiences + accounts + delivery
+machinery) behind Graph-API-shaped routes::
+
+    POST /act_{id}/customaudiences          create a Custom Audience
+    POST /{audience_id}/users               upload hashed PII
+    GET  /{audience_id}                     audience metadata
+    POST /act_{id}/campaigns                create a campaign
+    POST /act_{id}/adsets                   create an ad set
+    POST /act_{id}/ads                      create an ad (enters review)
+    POST /{ad_id}/review                    run ad review
+    POST /{ad_id}/appeal                    appeal a rejection
+    GET  /act_{id}/ads                      list ads (cursor-paginated)
+    POST /act_{id}/deliver                  run a 24-hour delivery day
+    GET  /{ad_id}/insights                  totals or breakdowns
+
+``POST .../deliver`` stands in for wall-clock time passing: the real study
+launched ads and returned a day later; the simulator compresses that day
+into one call.  Everything the audit measures afterwards flows through
+``GET .../insights`` exactly as it would through the real reporting API.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.api.pagination import paginate
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.api.ratelimit import TokenBucket
+from repro.errors import (
+    ApiError,
+    AudienceError,
+    AuthError,
+    NotFoundError,
+    RateLimitError,
+    ReproError,
+)
+from repro.geo.mobility import MobilityModel
+from repro.images.composite import compose_job_ad
+from repro.images.features import ImageFeatures
+from repro.platform.audience import AudienceStore
+from repro.platform.campaign import (
+    Ad,
+    AdAccount,
+    AdCreative,
+    Objective,
+    SpecialAdCategory,
+)
+from repro.platform.competition import CompetitionModel
+from repro.platform.delivery import DeliveryEngine, DeliveryResult
+from repro.platform.ear import EarModel
+from repro.platform.engagement import EngagementModel
+from repro.platform.insights import AdInsights
+from repro.platform.review import AdReviewSystem
+from repro.platform.targeting import TargetingSpec
+from repro.population.universe import UserUniverse
+from repro.types import Gender, State
+
+__all__ = ["MarketingApiServer"]
+
+
+class MarketingApiServer:
+    """Routes API requests onto one platform world.
+
+    Parameters
+    ----------
+    universe:
+        The platform user universe.
+    ear, engagement, competition, mobility:
+        Delivery machinery shared by all delivery days.
+    rng:
+        Randomness for delivery and review.
+    access_tokens:
+        Valid bearer tokens.
+    rate_limit:
+        Optional token bucket; ``None`` disables throttling.
+    clock:
+        Seconds clock used by the rate limiter.
+    """
+
+    def __init__(
+        self,
+        universe: UserUniverse,
+        *,
+        ear: EarModel,
+        engagement: EngagementModel,
+        competition: CompetitionModel,
+        mobility: MobilityModel,
+        rng: np.random.Generator,
+        access_tokens: set[str],
+        rate_limit: TokenBucket | None = None,
+        clock: Callable[[], float] | None = None,
+        advertiser_bid: float = 0.30,
+        value_noise_sigma: float = 0.5,
+    ) -> None:
+        self._universe = universe
+        self._audiences = AudienceStore(universe)
+        self._accounts: dict[str, AdAccount] = {}
+        self._review = AdReviewSystem(rng)
+        self._ear = ear
+        self._engagement = engagement
+        self._competition = competition
+        self._mobility = mobility
+        self._rng = rng
+        self._tokens = set(access_tokens)
+        self._bucket = rate_limit
+        self._advertiser_bid = advertiser_bid
+        self._value_noise_sigma = value_noise_sigma
+        self._last_delivery: dict[str, DeliveryResult] = {}
+        self._insights_by_ad: dict[str, AdInsights] = {}
+        # staged uploads: audience id -> (name, accumulated hashes); an
+        # audience is matched ("materialized") lazily on first targeting use.
+        self._staged_uploads: dict[str, tuple[str, list[str]]] = {}
+        self._materialized: dict[str, str] = {}
+
+    # -- world management (not part of the HTTP surface) ------------------
+
+    def register_account(self, account: AdAccount) -> None:
+        """Provision an ad account (out-of-band, like business onboarding)."""
+        self._accounts[account.account_id] = account
+
+    @property
+    def audience_store(self) -> AudienceStore:
+        """The world's audience store (test/inspection hook)."""
+        return self._audiences
+
+    # -- request entry point ----------------------------------------------
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Process one request; never raises, always returns an envelope."""
+        try:
+            if request.access_token not in self._tokens:
+                raise AuthError()
+            if self._bucket is not None and not self._bucket.try_acquire():
+                raise RateLimitError()
+            return self._route(request)
+        except RateLimitError as exc:
+            return ApiResponse.failure(exc, status=429)
+        except AuthError as exc:
+            return ApiResponse.failure(exc, status=401)
+        except NotFoundError as exc:
+            return ApiResponse.failure(exc, status=404)
+        except ApiError as exc:
+            return ApiResponse.failure(exc, status=400)
+        except ReproError as exc:
+            return ApiResponse.failure(ApiError(str(exc)), status=400)
+
+    def _route(self, request: ApiRequest) -> ApiResponse:
+        parts = [p for p in request.path.split("/") if p]
+        if not parts:
+            raise NotFoundError("empty path")
+        method = request.method
+        if len(parts) == 2 and parts[0].startswith("act_"):
+            account = self._account(parts[0])
+            handlers = {
+                (HttpMethod.POST, "customaudiences"): self._create_audience,
+                (HttpMethod.POST, "lookalike"): self._create_lookalike,
+                (HttpMethod.POST, "campaigns"): self._create_campaign,
+                (HttpMethod.POST, "adsets"): self._create_adset,
+                (HttpMethod.POST, "ads"): self._create_ad,
+                (HttpMethod.POST, "deliver"): self._deliver,
+                (HttpMethod.GET, "ads"): self._list_ads,
+            }
+            handler = handlers.get((method, parts[1]))
+            if handler is None:
+                raise NotFoundError(f"no route {method.value} {request.path}")
+            return handler(account, request.params)
+        if len(parts) == 2 and parts[1] == "users" and method is HttpMethod.POST:
+            return self._upload_users(parts[0], request.params)
+        if len(parts) == 2 and parts[1] == "insights" and method is HttpMethod.GET:
+            return self._insights(parts[0], request.params)
+        if len(parts) == 2 and parts[1] == "review" and method is HttpMethod.POST:
+            return self._review_ad(parts[0], request.params)
+        if len(parts) == 2 and parts[1] == "appeal" and method is HttpMethod.POST:
+            return self._appeal_ad(parts[0])
+        if len(parts) == 1 and method is HttpMethod.GET:
+            return self._get_object(parts[0])
+        raise NotFoundError(f"no route {method.value} {request.path}")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _account(self, account_path: str) -> AdAccount:
+        account = self._accounts.get(account_path.removeprefix("act_"))
+        if account is None:
+            raise NotFoundError(f"unknown ad account {account_path}")
+        return account
+
+    def _find_ad(self, ad_id: str) -> tuple[AdAccount, Ad]:
+        for account in self._accounts.values():
+            ad = account.ads.get(ad_id)
+            if ad is not None:
+                return account, ad
+        raise NotFoundError(f"unknown ad {ad_id}")
+
+    @staticmethod
+    def _require(params: dict[str, Any], *names: str) -> list[Any]:
+        missing = [name for name in names if name not in params]
+        if missing:
+            raise ApiError(f"missing required parameters: {missing}", code=100)
+        return [params[name] for name in names]
+
+    # -- audience endpoints ---------------------------------------------
+
+    def _create_audience(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        (name,) = self._require(params, "name")
+        # An audience is created empty and populated by /users uploads; we
+        # stage it and materialise on first upload.
+        audience_id = f"staged_{len(self._staged_uploads)}"
+        self._staged_uploads[audience_id] = (name, [])
+        return ApiResponse.success({"id": audience_id, "name": name})
+
+    def _upload_users(self, audience_id: str, params: dict[str, Any]) -> ApiResponse:
+        (payload,) = self._require(params, "payload")
+        hashes = payload.get("data")
+        if not isinstance(hashes, list) or not hashes:
+            raise ApiError("payload.data must be a non-empty list of hashes", code=100)
+        staged = self._staged_uploads.get(audience_id)
+        if staged is None:
+            raise NotFoundError(f"unknown audience {audience_id}")
+        name, accumulated = staged
+        accumulated.extend(str(h) for h in hashes)
+        return ApiResponse.success(
+            {"audience_id": audience_id, "num_received": len(hashes), "num_invalid_entries": 0}
+        )
+
+    def _create_lookalike(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        """Expand a source audience into a Lookalike Audience.
+
+        The source is materialised (matched) first if needed; the result
+        is a ready-to-target audience id.
+        """
+        from repro.platform.lookalike import build_lookalike
+
+        (source_id,) = self._require(params, "source_audience_id")
+        ratio = float(params.get("expansion_ratio", 0.1))
+        matched_source = self._materialize_audience(source_id)
+        source = self._audiences.get(matched_source)
+        members = build_lookalike(
+            self._universe, set(source.member_ids), expansion_ratio=ratio
+        )
+        audience = self._audiences.create_from_members(
+            f"lookalike({source.name}, {ratio:.0%})", members
+        )
+        # Lookalikes are born materialised; register them under their own
+        # id so targeting specs can reference them directly.
+        self._staged_uploads[audience.audience_id] = (audience.name, ["platform"])
+        self._materialized[audience.audience_id] = audience.audience_id
+        return ApiResponse.success(
+            {
+                "id": audience.audience_id,
+                "approximate_count": audience.matched_count,
+                "source": source_id,
+            }
+        )
+
+    def _materialize_audience(self, audience_id: str) -> str:
+        """Turn a staged upload into a matched audience; idempotent."""
+        if audience_id in self._materialized:
+            return self._materialized[audience_id]
+        staged = self._staged_uploads.get(audience_id)
+        if staged is None:
+            raise NotFoundError(f"unknown audience {audience_id}")
+        name, hashes = staged
+        if not hashes:
+            raise AudienceError(f"audience {audience_id} has no uploaded users")
+        audience = self._audiences.create_from_hashes(name, hashes)
+        self._materialized[audience_id] = audience.audience_id
+        return audience.audience_id
+
+    def _get_object(self, object_id: str) -> ApiResponse:
+        if object_id in self._staged_uploads:
+            name, hashes = self._staged_uploads[object_id]
+            matched = self._materialized.get(object_id)
+            approximate = None
+            if matched is not None:
+                approximate = self._audiences.get(matched).matched_count
+            return ApiResponse.success(
+                {
+                    "id": object_id,
+                    "name": name,
+                    "uploaded_count": len(set(hashes)),
+                    "approximate_count": approximate,
+                }
+            )
+        for account in self._accounts.values():
+            if object_id in account.ads:
+                ad = account.ads[object_id]
+                return ApiResponse.success(
+                    {
+                        "id": ad.ad_id,
+                        "name": ad.name,
+                        "adset_id": ad.adset_id,
+                        "review_status": ad.review_status,
+                    }
+                )
+        raise NotFoundError(f"unknown object {object_id}")
+
+    # -- creation endpoints -----------------------------------------------
+
+    def _create_campaign(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        name, objective = self._require(params, "name", "objective")
+        try:
+            objective_enum = Objective[objective]
+        except KeyError as exc:
+            raise ApiError(f"unknown objective {objective!r}", code=100) from exc
+        category = SpecialAdCategory.NONE
+        categories = params.get("special_ad_categories") or []
+        if categories:
+            try:
+                category = SpecialAdCategory[categories[0]]
+            except KeyError as exc:
+                raise ApiError(f"unknown special ad category {categories[0]!r}", code=100) from exc
+        campaign = account.create_campaign(name, objective_enum, special_ad_category=category)
+        return ApiResponse.success({"id": campaign.campaign_id})
+
+    def _create_adset(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        name, campaign_id, budget, targeting = self._require(
+            params, "name", "campaign_id", "daily_budget", "targeting"
+        )
+        campaign = account.campaigns.get(campaign_id)
+        if campaign is None:
+            raise NotFoundError(f"unknown campaign {campaign_id}")
+        spec = self._parse_targeting(targeting)
+        adset = account.create_adset(campaign, name, int(budget), spec)
+        return ApiResponse.success({"id": adset.adset_id})
+
+    def _parse_targeting(self, raw: dict[str, Any]) -> TargetingSpec:
+        audience_ids = tuple(
+            self._materialize_audience(aid) for aid in raw.get("custom_audience_ids", ())
+        )
+        genders = tuple(Gender(g) for g in raw.get("genders", ()))
+        states = tuple(State(s) for s in raw.get("states", ()))
+        return TargetingSpec(
+            custom_audience_ids=audience_ids,
+            age_min=int(raw.get("age_min", 18)),
+            age_max=(int(raw["age_max"]) if raw.get("age_max") is not None else None),
+            genders=genders,
+            states=states,
+        )
+
+    def _create_ad(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        name, adset_id, creative_raw = self._require(params, "name", "adset_id", "creative")
+        adset = account.adsets.get(adset_id)
+        if adset is None:
+            raise NotFoundError(f"unknown ad set {adset_id}")
+        creative = self._parse_creative(creative_raw)
+        ad = account.create_ad(adset, name, creative)
+        return ApiResponse.success({"id": ad.ad_id, "review_status": ad.review_status})
+
+    @staticmethod
+    def _parse_creative(raw: dict[str, Any]) -> AdCreative:
+        image_raw = raw.get("image")
+        if not isinstance(image_raw, dict):
+            raise ApiError("creative.image must be a channel dict", code=100)
+        try:
+            features = ImageFeatures(**image_raw)
+        except TypeError as exc:
+            raise ApiError(f"bad image channels: {exc}", code=100) from exc
+        image: ImageFeatures | Any = features
+        job = raw.get("job_category")
+        if job is not None:
+            image = compose_job_ad(
+                job, features, face_salience=float(raw.get("face_salience", 0.55))
+            )
+        return AdCreative(
+            headline=raw.get("headline", ""),
+            body=raw.get("body", ""),
+            destination_url=raw.get("destination_url", ""),
+            image=image,
+        )
+
+    # -- review endpoints ---------------------------------------------------
+
+    def _review_ad(self, ad_id: str, params: dict[str, Any]) -> ApiResponse:
+        account, ad = self._find_ad(ad_id)
+        outcome = self._review.review(
+            account, ad, resubmission=bool(params.get("resubmission", False))
+        )
+        return ApiResponse.success(
+            {"id": ad.ad_id, "review_status": ad.review_status, "reason": outcome.reason}
+        )
+
+    def _appeal_ad(self, ad_id: str) -> ApiResponse:
+        _, ad = self._find_ad(ad_id)
+        outcome = self._review.appeal(ad)
+        return ApiResponse.success(
+            {"id": ad.ad_id, "review_status": ad.review_status, "reason": outcome.reason}
+        )
+
+    # -- listing ------------------------------------------------------------
+
+    def _list_ads(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        rows = [
+            {"id": ad.ad_id, "name": ad.name, "review_status": ad.review_status}
+            for ad in account.ads.values()
+        ]
+        page, paging = paginate(
+            f"ads:{account.account_id}",
+            rows,
+            after=params.get("after"),
+            limit=int(params.get("limit", 25)),
+        )
+        return ApiResponse.success(page, paging=paging)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:
+        (ad_ids,) = self._require(params, "ad_ids")
+        ads = []
+        for ad_id in ad_ids:
+            ad = account.ads.get(ad_id)
+            if ad is None:
+                raise NotFoundError(f"unknown ad {ad_id}")
+            ads.append(ad)
+        engine = DeliveryEngine(
+            self._universe,
+            self._audiences,
+            account,
+            ear=self._ear,
+            engagement=self._engagement,
+            competition=self._competition,
+            mobility=self._mobility,
+            rng=self._rng,
+            advertiser_bid=self._advertiser_bid,
+            hours=int(params.get("hours", 24)),
+            value_noise_sigma=self._value_noise_sigma,
+        )
+        result = engine.run(ads)
+        self._last_delivery[account.account_id] = result
+        for ad in ads:
+            self._insights_by_ad[ad.ad_id] = result.for_ad(ad.ad_id)
+        return ApiResponse.success(
+            {
+                "total_slots": result.total_slots,
+                "market_wins": result.market_wins,
+                "delivered_ads": len(ads),
+                "total_spend": round(result.total_spend, 4),
+            }
+        )
+
+    # -- insights --------------------------------------------------------------
+
+    def _insights(self, ad_id: str, params: dict[str, Any]) -> ApiResponse:
+        insights = self._insights_by_ad.get(ad_id)
+        if insights is None:
+            self._find_ad(ad_id)  # 404 if the ad does not exist at all
+            raise ApiError(f"ad {ad_id} has not delivered yet", code=100)
+        breakdowns = params.get("breakdowns", "")
+        if not breakdowns:
+            return ApiResponse.success(
+                {
+                    "impressions": insights.impressions,
+                    "reach": insights.reach,
+                    "clicks": insights.clicks,
+                    "spend": round(insights.spend, 4),
+                }
+            )
+        keys = set(str(breakdowns).split(","))
+        if keys == {"age", "gender"}:
+            rows = [
+                {"age": bucket.value, "gender": gender.value, "impressions": count}
+                for (bucket, gender), count in sorted(
+                    insights.by_age_gender.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+                )
+            ]
+        elif keys == {"region"}:
+            rows = [
+                {"region": state.value, "impressions": count}
+                for state, count in sorted(insights.by_state.items(), key=lambda kv: kv[0].value)
+            ]
+        elif keys == {"dma"}:
+            rows = [
+                {"dma": dma, "impressions": count}
+                for dma, count in sorted(insights.by_dma.items())
+            ]
+        elif keys == {"hourly"}:
+            rows = [
+                {"hour": hour, "impressions": count}
+                for hour, count in sorted(insights.by_hour.items())
+            ]
+        else:
+            raise ApiError(f"unsupported breakdowns {breakdowns!r}", code=100)
+        page, paging = paginate(
+            f"insights:{ad_id}:{breakdowns}",
+            rows,
+            after=params.get("after"),
+            limit=int(params.get("limit", 25)),
+        )
+        return ApiResponse.success(page, paging=paging)

@@ -1,0 +1,138 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro campaign1 --seed 7 --scale paper
+    python -m repro campaign4 --seed 11 --scale small
+    python -m repro appendix-a --out results/
+    python -m repro all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.analysis import table3_rows
+from repro.core.experiments import (
+    run_appendix_a,
+    run_campaign1,
+    run_campaign2,
+    run_campaign3,
+    run_campaign4,
+)
+from repro.core.figures import figure3_panels, figure4_panels, figure7_points
+from repro.core.reporting import (
+    render_congruence_ascii,
+    render_identity_regressions,
+    render_jobad_regressions,
+    render_panel_ascii,
+    render_single_regression,
+    render_table2,
+    render_table3,
+    write_congruence_csv,
+    write_panel_csv,
+)
+from repro.core.world import SimulatedWorld, WorldConfig
+
+__all__ = ["main"]
+
+_COMMANDS = ("campaign1", "campaign2", "campaign3", "campaign4", "appendix-a", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IMC'22 implied-identity ad delivery study",
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="experiment to run")
+    parser.add_argument("--seed", type=int, default=7, help="experiment seed")
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="paper",
+        help="world size preset (small is fast, paper matches the study's relative scale)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for CSV figure series"
+    )
+    parser.add_argument(
+        "--export",
+        type=Path,
+        default=None,
+        help="directory for the project-website artifact (per-ad JSON + index)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    started = time.time()
+    config = WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
+    print(f"building world (seed={args.seed}, scale={args.scale})...", flush=True)
+    world = SimulatedWorld(config)
+
+    def maybe_export(name: str, result) -> None:
+        if args.export is not None:
+            from repro.core.export import export_campaign
+
+            out = export_campaign(name, result.deliveries, result.summary, args.export)
+            print(f"exported {name} to {out}")
+
+    summaries = []
+    if args.command in ("campaign1", "all"):
+        result = run_campaign1(world)
+        summaries.append((result.name, result.summary))
+        maybe_export("campaign1", result)
+        print(render_table3(table3_rows(result.deliveries)))
+        print(render_identity_regressions(result.regressions, title="Table 4a"))
+        for panel_id, series in figure3_panels(result.deliveries).items():
+            print(render_panel_ascii(series))
+            if args.out:
+                write_panel_csv(series, args.out / f"figure3{panel_id}.csv")
+        for panel_id, series in figure4_panels(result.deliveries).items():
+            print(render_panel_ascii(series))
+            if args.out:
+                write_panel_csv(series, args.out / f"figure4{panel_id}.csv")
+    if args.command in ("campaign2", "all"):
+        result = run_campaign2(world)
+        summaries.append((result.name, result.summary))
+        maybe_export("campaign2", result)
+        print(render_identity_regressions(result.regressions, title="Table 4b"))
+    if args.command in ("campaign3", "all"):
+        result = run_campaign3(world)
+        summaries.append((result.name, result.summary))
+        maybe_export("campaign3", result)
+        print(render_identity_regressions(result.regressions, title="Table 4c"))
+        for panel_id, series in figure3_panels(result.deliveries).items():
+            print(render_panel_ascii(series))
+            if args.out:
+                write_panel_csv(series, args.out / f"figure5{panel_id}.csv")
+    if args.command in ("campaign4", "all"):
+        result = run_campaign4(world)
+        summaries.append((result.name, result.summary))
+        maybe_export("campaign4", result)
+        print(render_jobad_regressions(result.regressions))
+        panels = figure7_points(result.deliveries)
+        for panel_id, points in panels.items():
+            print(render_congruence_ascii(points, label=panel_id))
+            if args.out:
+                write_congruence_csv(points, args.out / f"figure7{panel_id}.csv")
+    if args.command in ("appendix-a", "all"):
+        result = run_appendix_a(world)
+        print(
+            f"review rejected {result.rejected_ads} ads; "
+            f"{result.kept_images} balanced images analysed"
+        )
+        print(render_single_regression(result.regression, title="Table A1", column="% Black"))
+    if summaries:
+        print(render_table2(summaries))
+    print(f"done in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

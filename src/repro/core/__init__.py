@@ -1,0 +1,51 @@
+"""The paper's measurement methodology (the primary contribution).
+
+Everything in this package is *auditor-side* code: it sees the platform
+only through the Marketing API client, exactly as the paper's harness saw
+Facebook.  Modules:
+
+* :mod:`repro.core.world` — builds a complete simulated world (registries
+  → balanced sample → universe → trained platform → API server/client);
+* :mod:`repro.core.design` — balanced-audience construction and upload
+  (§3.2, Table 1);
+* :mod:`repro.core.race_split` — the region-split race inference with
+  reversed-copy aggregation (§3.3, Figure 2);
+* :mod:`repro.core.campaign_runner` — creates, reviews, launches and
+  collects paired ad campaigns (§3.2, §5.1);
+* :mod:`repro.core.analysis` — aggregate delivery breakdowns (Table 3);
+* :mod:`repro.core.regression` — the OLS and mixed-effects models of
+  Tables 4a–c, 5 and A1 (§3.4);
+* :mod:`repro.core.figures` — the data series behind Figures 3–7;
+* :mod:`repro.core.experiments` — end-to-end definitions of Campaigns 1–4
+  and the Appendix-A poverty-controlled run (Table 2);
+* :mod:`repro.core.reporting` — text/CSV rendering of every table and
+  figure series.
+"""
+
+from repro.core.campaign_runner import (
+    AdDeliveryRecord,
+    CampaignRunSummary,
+    CreativeSpec,
+    PairedCampaignRunner,
+    PairedDelivery,
+)
+from repro.core.design import BalancedAudiencePair, build_balanced_audiences
+from repro.core.export import export_campaign, load_exported_ads
+from repro.core.race_split import RaceSplitResult, infer_race_split
+from repro.core.world import SimulatedWorld, WorldConfig
+
+__all__ = [
+    "AdDeliveryRecord",
+    "BalancedAudiencePair",
+    "CampaignRunSummary",
+    "CreativeSpec",
+    "PairedCampaignRunner",
+    "PairedDelivery",
+    "RaceSplitResult",
+    "SimulatedWorld",
+    "WorldConfig",
+    "build_balanced_audiences",
+    "export_campaign",
+    "infer_race_split",
+    "load_exported_ads",
+]

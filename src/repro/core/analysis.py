@@ -1,0 +1,83 @@
+"""Aggregate delivery analysis (Table 3).
+
+Table 3 groups the 200 stock-image ads by one implied attribute at a time
+(race, gender, age band) and reports, per group, the impression-weighted
+fraction of the actual audience that is Black / female / aged 45+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign_runner import PairedDelivery
+from repro.errors import ValidationError
+from repro.types import AgeBand, Gender, Race
+
+__all__ = ["AggregateRow", "aggregate_by_race", "aggregate_by_gender", "aggregate_by_band", "table3_rows"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateRow:
+    """One Table-3 row: an implied-identity group and its delivery mix."""
+
+    group: str
+    n_images: int
+    fraction_black: float
+    fraction_female: float
+    fraction_age_45plus: float
+
+
+def _aggregate(deliveries: list[PairedDelivery], group: str) -> AggregateRow:
+    if not deliveries:
+        raise ValidationError(f"group {group!r} has no deliveries")
+    black = white = female_n = total_ag = older = 0
+    for d in deliveries:
+        split = d.race_split()
+        black += split.black_impressions
+        white += split.white_impressions
+        merged_total = d.impressions
+        female_n += round(d.fraction_female * merged_total)
+        older += round(d.fraction_age_at_least(45) * merged_total)
+        total_ag += merged_total
+    if black + white == 0 or total_ag == 0:
+        raise ValidationError(f"group {group!r} delivered no impressions")
+    return AggregateRow(
+        group=group,
+        n_images=len(deliveries),
+        fraction_black=black / (black + white),
+        fraction_female=female_n / total_ag,
+        fraction_age_45plus=older / total_ag,
+    )
+
+
+def aggregate_by_race(deliveries: list[PairedDelivery]) -> list[AggregateRow]:
+    """Table 3's "Race" block."""
+    return [
+        _aggregate([d for d in deliveries if d.spec.race is race], race.value.capitalize())
+        for race in (Race.BLACK, Race.WHITE)
+    ]
+
+
+def aggregate_by_gender(deliveries: list[PairedDelivery]) -> list[AggregateRow]:
+    """Table 3's "Gender" block."""
+    return [
+        _aggregate([d for d in deliveries if d.spec.gender is gender], gender.value.capitalize())
+        for gender in (Gender.MALE, Gender.FEMALE)
+    ]
+
+
+def aggregate_by_band(deliveries: list[PairedDelivery]) -> list[AggregateRow]:
+    """Table 3's "Age" block."""
+    return [
+        _aggregate([d for d in deliveries if d.spec.band is band], band.value.capitalize())
+        for band in AgeBand
+    ]
+
+
+def table3_rows(deliveries: list[PairedDelivery]) -> list[AggregateRow]:
+    """All Table-3 rows in the paper's order."""
+    return (
+        aggregate_by_race(deliveries)
+        + aggregate_by_gender(deliveries)
+        + aggregate_by_band(deliveries)
+    )

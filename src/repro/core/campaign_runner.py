@@ -1,0 +1,319 @@
+"""Paired-campaign execution (§3.2 "Running ads", §5.1).
+
+Runs the paper's standard design through the Marketing API: for each test
+image, two otherwise-identical ads are created — one targeting audience A
+(white FL + Black NC) and one targeting the reversed audience B — all
+launched at the same time, from the same account, with the same budget,
+objective (Traffic) and creative text, for exactly 24 hours.  Afterwards
+the runner pulls Insights and assembles one :class:`PairedDelivery` per
+image with the race-split inference already applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.client import MarketingApiClient
+from repro.core.design import BalancedAudiencePair
+from repro.core.race_split import CopyRegionCounts, RaceSplitResult, infer_race_split
+from repro.errors import ValidationError
+from repro.images.features import ImageFeatures
+from repro.types import AgeBand, AgeBucket, Gender, Race, bucket_midpoint
+
+__all__ = ["CreativeSpec", "AdDeliveryRecord", "PairedDelivery", "PairedCampaignRunner"]
+
+
+@dataclass(frozen=True, slots=True)
+class CreativeSpec:
+    """One test image with the identity it implies (the treatment).
+
+    ``race`` / ``gender`` / ``band`` are the experimenter's labels for the
+    person in the image (manual annotation for stock photos, generation
+    targets for synthetic faces).  ``job_category`` switches the creative
+    to the §6 composited job-ad format.
+    """
+
+    image_id: str
+    features: ImageFeatures
+    race: Race
+    gender: Gender
+    band: AgeBand
+    job_category: str | None = None
+    face_salience: float = 0.55
+
+
+@dataclass(frozen=True, slots=True)
+class AdDeliveryRecord:
+    """Raw delivery of one ad copy, as read back from the Insights API."""
+
+    ad_id: str
+    spec: CreativeSpec
+    copy_label: str  # "A" or "B"
+    impressions: int
+    reach: int
+    clicks: int
+    spend: float
+    age_gender_rows: tuple[tuple[str, str, int], ...]
+    region_counts: CopyRegionCounts
+
+
+@dataclass(frozen=True, slots=True)
+class PairedDelivery:
+    """Both copies of one image's ad, merged per the paper's analysis."""
+
+    spec: CreativeSpec
+    copy_a: AdDeliveryRecord
+    copy_b: AdDeliveryRecord
+
+    @property
+    def impressions(self) -> int:
+        """Total impressions across both copies."""
+        return self.copy_a.impressions + self.copy_b.impressions
+
+    @property
+    def spend(self) -> float:
+        """Total spend across both copies."""
+        return self.copy_a.spend + self.copy_b.spend
+
+    @property
+    def reach(self) -> int:
+        """Summed per-copy reach (copies target disjoint audiences)."""
+        return self.copy_a.reach + self.copy_b.reach
+
+    @property
+    def clicks(self) -> int:
+        """Total clicks across both copies."""
+        return self.copy_a.clicks + self.copy_b.clicks
+
+    def race_split(self) -> RaceSplitResult:
+        """Aggregated reversed-copy race inference for this image."""
+        return infer_race_split([self.copy_a.region_counts, self.copy_b.region_counts])
+
+    @property
+    def fraction_black(self) -> float:
+        """Inferred fraction of the actual audience that is Black."""
+        return self.race_split().fraction_black
+
+    def _merged_age_gender(self) -> dict[tuple[AgeBucket, Gender], int]:
+        merged: dict[tuple[AgeBucket, Gender], int] = {}
+        for record in (self.copy_a, self.copy_b):
+            for age_value, gender_value, count in record.age_gender_rows:
+                key = (AgeBucket(age_value), Gender(gender_value))
+                merged[key] = merged.get(key, 0) + count
+        return merged
+
+    @property
+    def fraction_female(self) -> float:
+        """Fraction of impressions delivered to women."""
+        merged = self._merged_age_gender()
+        total = sum(merged.values())
+        if total == 0:
+            raise ValidationError(f"image {self.spec.image_id}: no impressions")
+        female = sum(c for (b, g), c in merged.items() if g is Gender.FEMALE)
+        return female / total
+
+    def fraction_age_at_least(self, min_age: int) -> float:
+        """Fraction of impressions to users aged ``min_age`` or older."""
+        merged = self._merged_age_gender()
+        total = sum(merged.values())
+        if total == 0:
+            raise ValidationError(f"image {self.spec.image_id}: no impressions")
+        older = sum(c for (b, g), c in merged.items() if b.lower >= min_age)
+        return older / total
+
+    def average_audience_age(self) -> float:
+        """Bucket-midpoint mean age of the actual audience (Fig 3B/3D)."""
+        merged = self._merged_age_gender()
+        total = sum(merged.values())
+        if total == 0:
+            raise ValidationError(f"image {self.spec.image_id}: no impressions")
+        return sum(bucket_midpoint(b) * c for (b, g), c in merged.items()) / total
+
+    def fraction_cell(self, *, gender: Gender, min_age: int) -> float:
+        """Fraction of impressions to one gender aged ``min_age``+ (Fig 4)."""
+        merged = self._merged_age_gender()
+        total = sum(merged.values())
+        if total == 0:
+            raise ValidationError(f"image {self.spec.image_id}: no impressions")
+        cell = sum(
+            c for (b, g), c in merged.items() if g is gender and b.lower >= min_age
+        )
+        return cell / total
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignRunSummary:
+    """Table-2-style roll-up of one campaign run."""
+
+    n_ads: int
+    reach: int
+    impressions: int
+    spend: float
+    rejected_ads: int
+
+
+class PairedCampaignRunner:
+    """Creates, reviews, launches and collects one paired campaign."""
+
+    def __init__(
+        self,
+        client: MarketingApiClient,
+        account_id: str,
+        audiences: BalancedAudiencePair,
+        *,
+        headline: str = "Learn more about a career in project management",
+        body: str = "Explore our professional career guide.",
+        destination_url: str = "https://example.edu/project-management-guide",
+        daily_budget_cents: int = 200,
+        age_max: int | None = None,
+        special_ad_categories: list[str] | None = None,
+        hours: int = 24,
+        objective: str = "TRAFFIC",
+    ) -> None:
+        if daily_budget_cents <= 0:
+            raise ValidationError("daily budget must be positive")
+        self._client = client
+        self._account_id = account_id
+        self._audiences = audiences
+        self._headline = headline
+        self._body = body
+        self._url = destination_url
+        self._budget = daily_budget_cents
+        self._age_max = age_max
+        self._special = special_ad_categories or []
+        self._hours = hours
+        self._objective = objective
+
+    def run(
+        self,
+        specs: list[CreativeSpec],
+        campaign_name: str,
+        *,
+        resubmission: bool = False,
+        appeal_rejections: bool = True,
+    ) -> tuple[list[PairedDelivery], CampaignRunSummary]:
+        """Execute the full paired design for ``specs``.
+
+        Returns the per-image paired deliveries (only for images whose
+        *both* copies were approved and delivered) and a Table-2-style
+        summary.  Rejected copies are counted in the summary; the
+        Appendix-A analysis uses that information.
+        """
+        if not specs:
+            raise ValidationError("no creatives supplied")
+        client = self._client
+        campaign_id = client.create_campaign(
+            self._account_id,
+            campaign_name,
+            self._objective,
+            special_ad_categories=self._special,
+        )
+        ad_ids: dict[tuple[str, str], str] = {}
+        rejected = 0
+        for copy_label, audience_id in (
+            ("A", self._audiences.audience_a_id),
+            ("B", self._audiences.audience_b_id),
+        ):
+            targeting = {
+                "custom_audience_ids": [audience_id],
+                "age_min": 18,
+                "age_max": self._age_max,
+            }
+            for spec in specs:
+                adset_id = client.create_adset(
+                    self._account_id,
+                    f"{campaign_name}/{spec.image_id}/{copy_label}",
+                    campaign_id,
+                    self._budget,
+                    targeting,
+                )
+                creative = {
+                    "headline": self._headline,
+                    "body": self._body,
+                    "destination_url": self._url,
+                    "image": _image_channels(spec.features),
+                }
+                if spec.job_category is not None:
+                    creative["job_category"] = spec.job_category
+                    creative["face_salience"] = spec.face_salience
+                ad_id = client.create_ad(
+                    self._account_id,
+                    f"{campaign_name}/{spec.image_id}/{copy_label}",
+                    adset_id,
+                    creative,
+                )
+                outcome = client.submit_for_review(ad_id, resubmission=resubmission)
+                if outcome["review_status"] == "REJECTED" and appeal_rejections:
+                    outcome = client.appeal(ad_id)
+                if outcome["review_status"] == "REJECTED":
+                    rejected += 1
+                else:
+                    ad_ids[(spec.image_id, copy_label)] = ad_id
+
+        deliverable = list(ad_ids.values())
+        if not deliverable:
+            raise ValidationError("every ad was rejected; nothing to deliver")
+        client.deliver_day(self._account_id, deliverable, hours=self._hours)
+
+        paired: list[PairedDelivery] = []
+        impressions = reach = 0
+        spend = 0.0
+        for spec in specs:
+            records = {}
+            for copy_label in ("A", "B"):
+                ad_id = ad_ids.get((spec.image_id, copy_label))
+                if ad_id is None:
+                    continue
+                records[copy_label] = self._collect(ad_id, spec, copy_label)
+            for record in records.values():
+                impressions += record.impressions
+                reach += record.reach
+                spend += record.spend
+            if set(records) == {"A", "B"}:
+                paired.append(
+                    PairedDelivery(spec=spec, copy_a=records["A"], copy_b=records["B"])
+                )
+        summary = CampaignRunSummary(
+            n_ads=len(specs) * 2,
+            reach=reach,
+            impressions=impressions,
+            spend=spend,
+            rejected_ads=rejected,
+        )
+        return paired, summary
+
+    def _collect(self, ad_id: str, spec: CreativeSpec, copy_label: str) -> AdDeliveryRecord:
+        totals = self._client.get_insights(ad_id)
+        age_gender = self._client.get_insights_by_age_gender(ad_id)
+        region = self._client.get_insights_by_region(ad_id)
+        return AdDeliveryRecord(
+            ad_id=ad_id,
+            spec=spec,
+            copy_label=copy_label,
+            impressions=int(totals["impressions"]),
+            reach=int(totals["reach"]),
+            clicks=int(totals["clicks"]),
+            spend=float(totals["spend"]),
+            age_gender_rows=tuple(
+                (row["age"], row["gender"], int(row["impressions"])) for row in age_gender
+            ),
+            region_counts=CopyRegionCounts.from_region_rows(
+                region, fl_is_white=(copy_label == "A")
+            ),
+        )
+
+
+def _image_channels(features: ImageFeatures) -> dict[str, float | bool]:
+    """Serialise image features for the creative payload."""
+    return {
+        "race_score": features.race_score,
+        "gender_score": features.gender_score,
+        "age_years": features.age_years,
+        "smile": features.smile,
+        "lighting": features.lighting,
+        "background_tone": features.background_tone,
+        "clothing_saturation": features.clothing_saturation,
+        "head_pose": features.head_pose,
+        "composition": features.composition,
+        "has_person": features.has_person,
+    }

@@ -1,0 +1,82 @@
+"""Balanced audience construction and upload (§3.2, Figure 2 left half).
+
+Builds the stratified balanced voter sample, splits it into the two
+region-reversed Custom Audiences —
+
+* audience **A**: white voters from Florida + Black voters from North
+  Carolina;
+* audience **B**: Black voters from Florida + white voters from North
+  Carolina —
+
+and uploads both through the Marketing API client (hashing PII locally,
+as the platform SDKs do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.client import MarketingApiClient
+from repro.population.matching import hash_pii
+from repro.types import AgeBucket, Race
+from repro.voters.registry import VoterRegistry
+from repro.voters.sampling import BalancedSample, stratified_balanced_sample
+
+__all__ = ["BalancedAudiencePair", "build_balanced_audiences"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalancedAudiencePair:
+    """The two uploaded, region-reversed audiences plus their source sample.
+
+    ``audience_a_id`` targets white-FL + Black-NC; ``audience_b_id`` the
+    reverse.  ``sample`` retains the voter-level ground truth the auditor
+    legitimately holds (they built the lists).
+    """
+
+    sample: BalancedSample
+    audience_a_id: str
+    audience_b_id: str
+
+    def table1_rows(self) -> list[tuple[str, int, int]]:
+        """The paper's Table 1 for this sample."""
+        return self.sample.table1_rows()
+
+
+def build_balanced_audiences(
+    client: MarketingApiClient,
+    account_id: str,
+    fl_registry: VoterRegistry,
+    nc_registry: VoterRegistry,
+    rng: np.random.Generator,
+    *,
+    sample_scale: float = 0.02,
+    group_sizes: dict[AgeBucket, int] | None = None,
+    poverty_matched: bool = False,
+    name_prefix: str = "study",
+) -> BalancedAudiencePair:
+    """Sample, split, hash and upload the paired audiences.
+
+    Returns the uploaded pair; the audiences materialise (match against
+    platform users) when first targeted.
+    """
+    sample = stratified_balanced_sample(
+        fl_registry,
+        nc_registry,
+        rng,
+        scale=sample_scale,
+        group_sizes=group_sizes,
+        poverty_matched=poverty_matched,
+    )
+    voters_a = sample.subset_states(fl_race=Race.WHITE, nc_race=Race.BLACK)
+    voters_b = sample.subset_states(fl_race=Race.BLACK, nc_race=Race.WHITE)
+
+    audience_a = client.create_custom_audience(account_id, f"{name_prefix}-FLwhite-NCBlack")
+    audience_b = client.create_custom_audience(account_id, f"{name_prefix}-FLBlack-NCwhite")
+    client.upload_audience_users(audience_a, [hash_pii(v.pii_key()) for v in voters_a])
+    client.upload_audience_users(audience_b, [hash_pii(v.pii_key()) for v in voters_b])
+    return BalancedAudiencePair(
+        sample=sample, audience_a_id=audience_a, audience_b_id=audience_b
+    )

@@ -1,0 +1,121 @@
+"""Project-website export.
+
+The paper publishes every ad it ran, with delivery statistics, on a
+project website ("all ads along with their delivery statistics can be
+found on the project website").  This module produces the equivalent
+artifact from a campaign run: a machine-readable ``ads.json`` (one record
+per image with both copies' raw counts and the derived audience
+fractions), a ``summary.json``, and a human-readable ``index.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.campaign_runner import CampaignRunSummary, PairedDelivery
+from repro.errors import ValidationError
+
+__all__ = ["export_campaign", "load_exported_ads"]
+
+
+def _delivery_record(delivery: PairedDelivery) -> dict:
+    spec = delivery.spec
+    split = delivery.race_split()
+    record = {
+        "image_id": spec.image_id,
+        "implied": {
+            "race": spec.race.value,
+            "gender": spec.gender.value,
+            "age_band": spec.band.value,
+        },
+        "job_category": spec.job_category,
+        "copies": {},
+        "actual_audience": {
+            "impressions": delivery.impressions,
+            "reach": delivery.reach,
+            "clicks": delivery.clicks,
+            "spend": round(delivery.spend, 4),
+            "fraction_black": round(delivery.fraction_black, 6),
+            "fraction_female": round(delivery.fraction_female, 6),
+            "fraction_age_45_plus": round(delivery.fraction_age_at_least(45), 6),
+            "average_age": round(delivery.average_audience_age(), 3),
+            "out_of_state_fraction": round(split.out_of_state_fraction, 6),
+        },
+    }
+    for label, copy in (("A", delivery.copy_a), ("B", delivery.copy_b)):
+        record["copies"][label] = {
+            "ad_id": copy.ad_id,
+            "impressions": copy.impressions,
+            "reach": copy.reach,
+            "clicks": copy.clicks,
+            "spend": round(copy.spend, 4),
+            "by_age_gender": [
+                {"age": age, "gender": gender, "impressions": count}
+                for age, gender, count in copy.age_gender_rows
+            ],
+            "by_region": {
+                "FL": copy.region_counts.fl_impressions,
+                "NC": copy.region_counts.nc_impressions,
+                "OTHER": copy.region_counts.other_impressions,
+            },
+        }
+    return record
+
+
+def export_campaign(
+    name: str,
+    deliveries: list[PairedDelivery],
+    summary: CampaignRunSummary,
+    out_dir: Path | str,
+) -> Path:
+    """Write the website artifact for one campaign; returns its directory."""
+    if not deliveries:
+        raise ValidationError("nothing to export")
+    out_dir = Path(out_dir) / name
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    records = [_delivery_record(d) for d in deliveries]
+    (out_dir / "ads.json").write_text(
+        json.dumps(records, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    (out_dir / "summary.json").write_text(
+        json.dumps(
+            {
+                "campaign": name,
+                "n_ads": summary.n_ads,
+                "reach": summary.reach,
+                "impressions": summary.impressions,
+                "spend": round(summary.spend, 2),
+                "rejected_ads": summary.rejected_ads,
+                "n_images": len(deliveries),
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+    lines = [
+        f"Campaign: {name}",
+        f"{summary.n_ads} ads | reach {summary.reach:,} | "
+        f"impressions {summary.impressions:,} | spend ${summary.spend:.2f}",
+        "",
+        f"{'image':<28} {'implied':<28} {'%Black':>7} {'%Female':>8} {'%45+':>6}",
+    ]
+    for d in deliveries:
+        implied = f"{d.spec.race.value} {d.spec.gender.value} {d.spec.band.value}"
+        lines.append(
+            f"{d.spec.image_id:<28} {implied:<28} "
+            f"{d.fraction_black:>7.1%} {d.fraction_female:>8.1%} "
+            f"{d.fraction_age_at_least(45):>6.1%}"
+        )
+    (out_dir / "index.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return out_dir
+
+
+def load_exported_ads(campaign_dir: Path | str) -> list[dict]:
+    """Read back an exported campaign's per-ad records."""
+    path = Path(campaign_dir) / "ads.json"
+    if not path.exists():
+        raise ValidationError(f"no export found at {path}")
+    return json.loads(path.read_text(encoding="utf-8"))

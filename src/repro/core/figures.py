@@ -1,0 +1,189 @@
+"""Data series behind the paper's figures.
+
+Each function returns plain records (per-image points plus per-group mean
+lines) that the benches dump as CSV and render as ASCII plots.  The series
+definitions follow the figure captions:
+
+* **Figure 3 / Figure 5** — four panels over implied age band: (A)
+  fraction Black by implied race; (B) average audience age by implied
+  race; (C) fraction female by implied gender; (D) average audience age by
+  implied gender.  (3 = stock images, 5 = StyleGAN images.)
+* **Figure 4** — fraction of men (A) / women (B) aged 55+ in the actual
+  audience, by implied gender and age band.
+* **Figure 7** — per-job congruence scatter: delivery share to Black
+  (female) users when the pictured person is Black (female) vs when they
+  are white (male).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign_runner import PairedDelivery
+from repro.errors import ValidationError
+from repro.types import AgeBand, Gender, Race
+
+__all__ = [
+    "PanelPoint",
+    "PanelSeries",
+    "figure3_panels",
+    "figure4_panels",
+    "CongruencePoint",
+    "figure7_points",
+]
+
+_BAND_ORDER = list(AgeBand)
+
+
+@dataclass(frozen=True, slots=True)
+class PanelPoint:
+    """One per-image tick mark in a figure panel."""
+
+    image_id: str
+    band: AgeBand
+    series: str  # e.g. "Black" / "white" or "male" / "female"
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class PanelSeries:
+    """One panel: per-image points and per-(band, series) mean lines."""
+
+    panel: str
+    ylabel: str
+    points: list[PanelPoint]
+
+    def mean(self, band: AgeBand, series: str) -> float:
+        """Mean of the points in one (band, series) group."""
+        values = [p.value for p in self.points if p.band is band and p.series == series]
+        if not values:
+            raise ValidationError(f"panel {self.panel}: no points for {band}/{series}")
+        return sum(values) / len(values)
+
+    def mean_lines(self) -> dict[str, list[float]]:
+        """series → mean per band, in canonical band order."""
+        names = sorted({p.series for p in self.points})
+        return {
+            name: [self.mean(band, name) for band in _BAND_ORDER] for name in names
+        }
+
+
+def figure3_panels(deliveries: list[PairedDelivery]) -> dict[str, PanelSeries]:
+    """Panels A–D of Figure 3 (or Figure 5 for synthetic deliveries)."""
+    if not deliveries:
+        raise ValidationError("no deliveries")
+    panel_a = PanelSeries(panel="A", ylabel="Fraction of audience self-reported as Black", points=[])
+    panel_b = PanelSeries(panel="B", ylabel="Average age of the reached audience", points=[])
+    panel_c = PanelSeries(panel="C", ylabel="Fraction of audience self-reported as female", points=[])
+    panel_d = PanelSeries(panel="D", ylabel="Average age of the reached audience", points=[])
+    for d in deliveries:
+        race = d.spec.race.value
+        gender = d.spec.gender.value
+        panel_a.points.append(
+            PanelPoint(d.spec.image_id, d.spec.band, race, d.fraction_black)
+        )
+        panel_b.points.append(
+            PanelPoint(d.spec.image_id, d.spec.band, race, d.average_audience_age())
+        )
+        panel_c.points.append(
+            PanelPoint(d.spec.image_id, d.spec.band, gender, d.fraction_female)
+        )
+        panel_d.points.append(
+            PanelPoint(d.spec.image_id, d.spec.band, gender, d.average_audience_age())
+        )
+    return {"A": panel_a, "B": panel_b, "C": panel_c, "D": panel_d}
+
+
+def figure4_panels(deliveries: list[PairedDelivery]) -> dict[str, PanelSeries]:
+    """Panels A (men 55+) and B (women 55+) of Figure 4."""
+    if not deliveries:
+        raise ValidationError("no deliveries")
+    panel_a = PanelSeries(panel="A", ylabel="Fraction of men aged 55+ in the audience", points=[])
+    panel_b = PanelSeries(panel="B", ylabel="Fraction of women aged 55+ in the audience", points=[])
+    for d in deliveries:
+        gender = d.spec.gender.value
+        panel_a.points.append(
+            PanelPoint(
+                d.spec.image_id,
+                d.spec.band,
+                gender,
+                d.fraction_cell(gender=Gender.MALE, min_age=55),
+            )
+        )
+        panel_b.points.append(
+            PanelPoint(
+                d.spec.image_id,
+                d.spec.band,
+                gender,
+                d.fraction_cell(gender=Gender.FEMALE, min_age=55),
+            )
+        )
+    return {"A": panel_a, "B": panel_b}
+
+
+@dataclass(frozen=True, slots=True)
+class CongruencePoint:
+    """One Figure-7 tick: a job's delivery under congruent vs reference identity.
+
+    For panel A: ``congruent_value`` is % Black delivery when the face is
+    Black, ``reference_value`` when the face is white, and ``series``
+    records the gender implied in both images.  Points below the ``x = y``
+    diagonal show congruent skew.
+    """
+
+    job_category: str
+    series: str
+    congruent_value: float
+    reference_value: float
+
+    @property
+    def is_congruent(self) -> bool:
+        """True if the skew points in the congruent direction."""
+        return self.congruent_value > self.reference_value
+
+
+def figure7_points(
+    deliveries: list[PairedDelivery],
+) -> dict[str, list[CongruencePoint]]:
+    """Both Figure-7 panels from the §6 job-ad deliveries.
+
+    Expects the 44-image design: 11 jobs × {white, Black} × {male, female}.
+    """
+    by_key: dict[tuple[str, Race, Gender], PairedDelivery] = {}
+    for d in deliveries:
+        job = d.spec.job_category
+        if job is None:
+            raise ValidationError(f"delivery {d.spec.image_id} is not a job ad")
+        by_key[(job, d.spec.race, d.spec.gender)] = d
+
+    panel_a: list[CongruencePoint] = []
+    panel_b: list[CongruencePoint] = []
+    jobs = sorted({key[0] for key in by_key})
+    for job in jobs:
+        for gender in (Gender.MALE, Gender.FEMALE):
+            black = by_key.get((job, Race.BLACK, gender))
+            white = by_key.get((job, Race.WHITE, gender))
+            if black is not None and white is not None:
+                panel_a.append(
+                    CongruencePoint(
+                        job_category=job,
+                        series=gender.value,
+                        congruent_value=black.fraction_black,
+                        reference_value=white.fraction_black,
+                    )
+                )
+        for race in (Race.WHITE, Race.BLACK):
+            female = by_key.get((job, race, Gender.FEMALE))
+            male = by_key.get((job, race, Gender.MALE))
+            if female is not None and male is not None:
+                panel_b.append(
+                    CongruencePoint(
+                        job_category=job,
+                        series=race.value,
+                        congruent_value=female.fraction_female,
+                        reference_value=male.fraction_female,
+                    )
+                )
+    if not panel_a or not panel_b:
+        raise ValidationError("incomplete job-ad design; cannot build Figure 7")
+    return {"A": panel_a, "B": panel_b}

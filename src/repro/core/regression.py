@@ -1,0 +1,214 @@
+"""Regression model builders (§3.4; Tables 4a–c, 5, A1).
+
+The stock/synthetic regressions are OLS with dummy-coded implied identity
+(reference: white adult male) on three targets — % Black, % Female, and a
+top-age-share target (% 65+ for all-ages runs, % 35+ for age-capped runs).
+The real-world job-ad regressions are random-intercept mixed models
+grouped by job type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.campaign_runner import PairedDelivery
+from repro.errors import ValidationError
+from repro.stats.dummy import DummyCoding
+from repro.stats.mixedlm import MixedLMResult, fit_random_intercept
+from repro.stats.ols import OLSResult, fit_ols
+from repro.types import AgeBand, Gender, Race
+
+__all__ = [
+    "IdentityRegressionTable",
+    "fit_identity_regressions",
+    "JobAdRegressionTable",
+    "fit_jobad_regressions",
+]
+
+def _identity_design(
+    deliveries: list[PairedDelivery], *, bands: list[AgeBand]
+) -> tuple[np.ndarray, list[str]]:
+    coding = DummyCoding()
+    coding.add_factor("race", ["white", "Black"], labels={"Black": "Black"})
+    coding.add_factor("gender", ["male", "female"], labels={"female": "Female"})
+    band_levels = ["adult"] + [b.value for b in bands if b is not AgeBand.ADULT]
+    coding.add_factor(
+        "band",
+        band_levels,
+        labels={
+            "child": "Child",
+            "teen": "Teen",
+            "middle-aged": "Middle-aged",
+            "elderly": "Elderly",
+        },
+    )
+    rows = [
+        {
+            "race": d.spec.race.value,
+            "gender": d.spec.gender.value,
+            "band": d.spec.band.value,
+        }
+        for d in deliveries
+    ]
+    return coding.encode(rows)
+
+
+@dataclass(frozen=True, slots=True)
+class IdentityRegressionTable:
+    """One column-triple of Table 4 (or the single-column Table A1)."""
+
+    pct_black: OLSResult
+    pct_female: OLSResult
+    pct_top_age: OLSResult
+    top_age_label: str
+
+    def models(self) -> list[tuple[str, OLSResult]]:
+        """(label, model) pairs in the paper's column order."""
+        return [
+            ("% Black", self.pct_black),
+            ("% Female", self.pct_female),
+            (self.top_age_label, self.pct_top_age),
+        ]
+
+
+def fit_identity_regressions(
+    deliveries: list[PairedDelivery],
+    *,
+    top_age_threshold: int = 65,
+) -> IdentityRegressionTable:
+    """Fit the three Table-4 models on one campaign's paired deliveries.
+
+    ``top_age_threshold`` is 65 for the all-ages campaign (Table 4a) and
+    35 for the age-capped campaigns (Tables 4b/4c), matching the paper's
+    change of target.
+    """
+    if len(deliveries) < 10:
+        raise ValidationError("too few deliveries for a meaningful regression")
+    X, names = _identity_design(deliveries, bands=list(AgeBand))
+    y_black = np.array([d.fraction_black for d in deliveries])
+    y_female = np.array([d.fraction_female for d in deliveries])
+    y_age = np.array([d.fraction_age_at_least(top_age_threshold) for d in deliveries])
+    return IdentityRegressionTable(
+        pct_black=fit_ols(y_black, X, names),
+        pct_female=fit_ols(y_female, X, names),
+        pct_top_age=fit_ols(y_age, X, names),
+        top_age_label=f"% Age {top_age_threshold}+",
+    )
+
+
+def fit_identity_regression_single(
+    deliveries: list[PairedDelivery],
+    *,
+    drop_bands: tuple[AgeBand, ...] = (),
+) -> OLSResult:
+    """Fit only the % Black model, optionally dropping age bands.
+
+    Used for Table A1, where the poverty-controlled subsample contains no
+    child images and the regression omits the Child term.
+    """
+    coding = DummyCoding()
+    coding.add_factor("race", ["white", "Black"], labels={"Black": "Black"})
+    coding.add_factor("gender", ["male", "female"], labels={"female": "Female"})
+    kept_bands = [b for b in AgeBand if b not in drop_bands]
+    band_levels = ["adult"] + [b.value for b in kept_bands if b is not AgeBand.ADULT]
+    coding.add_factor(
+        "band",
+        band_levels,
+        labels={
+            "child": "Child",
+            "teen": "Teen",
+            "middle-aged": "Middle-aged",
+            "elderly": "Elderly",
+        },
+    )
+    rows = []
+    for d in deliveries:
+        if d.spec.band in drop_bands:
+            raise ValidationError(
+                f"delivery {d.spec.image_id} has dropped band {d.spec.band}"
+            )
+        rows.append(
+            {
+                "race": d.spec.race.value,
+                "gender": d.spec.gender.value,
+                "band": d.spec.band.value,
+            }
+        )
+    X, names = coding.encode(rows)
+    # The balanced Appendix-A subsample can lose entire bands to review
+    # rejections; drop the resulting constant columns instead of fitting a
+    # singular design.
+    keep = [i for i in range(X.shape[1]) if np.ptp(X[:, i]) > 0]
+    X = X[:, keep]
+    names = [names[i] for i in keep]
+    y = np.array([d.fraction_black for d in deliveries])
+    return fit_ols(y, X, names)
+
+
+@dataclass(frozen=True, slots=True)
+class JobAdRegressionTable:
+    """The six Table-5 mixed-effects models."""
+
+    black_implied_female: MixedLMResult    # (I)
+    black_implied_male: MixedLMResult      # (II)
+    black_overall: MixedLMResult           # (III)
+    female_implied_black: MixedLMResult    # (IV)
+    female_implied_white: MixedLMResult    # (V)
+    female_overall: MixedLMResult          # (VI)
+
+    def models(self) -> list[tuple[str, MixedLMResult]]:
+        """(label, model) pairs in the paper's column order."""
+        return [
+            ("(I) Fr.Black | implied female", self.black_implied_female),
+            ("(II) Fr.Black | implied male", self.black_implied_male),
+            ("(III) Fr.Black | overall", self.black_overall),
+            ("(IV) Fr.female | implied Black", self.female_implied_black),
+            ("(V) Fr.female | implied white", self.female_implied_white),
+            ("(VI) Fr.female | overall", self.female_overall),
+        ]
+
+
+def _jobad_model(
+    deliveries: list[PairedDelivery],
+    *,
+    outcome: str,
+    treatment: str,
+) -> MixedLMResult:
+    if len(deliveries) < 6:
+        raise ValidationError("too few job-ad deliveries for the mixed model")
+    groups = np.array([d.spec.job_category or "" for d in deliveries], dtype=object)
+    if any(g == "" for g in groups):
+        raise ValidationError("job-ad regression requires job_category on every spec")
+    if outcome == "black":
+        y = np.array([d.fraction_black for d in deliveries])
+    elif outcome == "female":
+        y = np.array([d.fraction_female for d in deliveries])
+    else:
+        raise ValidationError(f"unknown outcome {outcome!r}")
+    if treatment == "black":
+        x = np.array([1.0 if d.spec.race is Race.BLACK else 0.0 for d in deliveries])
+        name = "Implied: Black"
+    elif treatment == "female":
+        x = np.array([1.0 if d.spec.gender is Gender.FEMALE else 0.0 for d in deliveries])
+        name = "Implied: female"
+    else:
+        raise ValidationError(f"unknown treatment {treatment!r}")
+    return fit_random_intercept(y, x[:, None], groups, [name])
+
+
+def fit_jobad_regressions(deliveries: list[PairedDelivery]) -> JobAdRegressionTable:
+    """Fit all six Table-5 models on the §6 job-ad deliveries."""
+    female_ads = [d for d in deliveries if d.spec.gender is Gender.FEMALE]
+    male_ads = [d for d in deliveries if d.spec.gender is Gender.MALE]
+    black_ads = [d for d in deliveries if d.spec.race is Race.BLACK]
+    white_ads = [d for d in deliveries if d.spec.race is Race.WHITE]
+    return JobAdRegressionTable(
+        black_implied_female=_jobad_model(female_ads, outcome="black", treatment="black"),
+        black_implied_male=_jobad_model(male_ads, outcome="black", treatment="black"),
+        black_overall=_jobad_model(deliveries, outcome="black", treatment="black"),
+        female_implied_black=_jobad_model(black_ads, outcome="female", treatment="female"),
+        female_implied_white=_jobad_model(white_ads, outcome="female", treatment="female"),
+        female_overall=_jobad_model(deliveries, outcome="female", treatment="female"),
+    )

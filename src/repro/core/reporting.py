@@ -1,0 +1,195 @@
+"""Rendering of reproduced tables and figure series.
+
+All benches and examples print through these helpers so terminal output is
+directly comparable with the paper, and dump machine-readable CSV next to
+it (under a caller-chosen directory, typically ``results/``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.analysis import AggregateRow
+from repro.core.campaign_runner import CampaignRunSummary
+from repro.core.figures import CongruencePoint, PanelSeries
+from repro.core.regression import IdentityRegressionTable, JobAdRegressionTable
+from repro.stats.ols import OLSResult
+from repro.stats.tables import render_table
+from repro.types import AgeBand
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_identity_regressions",
+    "render_single_regression",
+    "render_jobad_regressions",
+    "render_panel_ascii",
+    "write_panel_csv",
+    "write_congruence_csv",
+    "render_congruence_ascii",
+]
+
+_SIG_FOOTER = "*p<0.05; **p<0.01; ***p<0.001"
+
+
+def render_table1(rows: list[tuple[str, int, int]]) -> str:
+    """Table 1: audience sizes per age range."""
+    return render_table(
+        ["Age range", "Group size", "Total"],
+        [[age, f"{group:,}", f"{total:,}"] for age, group, total in rows],
+        title="Table 1: stratified voter sample per age range",
+    )
+
+
+def render_table2(rows: list[tuple[str, CampaignRunSummary]]) -> str:
+    """Table 2: campaign overview."""
+    return render_table(
+        ["Campaign", "# Ads", "Reach", "Impressions", "Spend"],
+        [
+            [
+                name,
+                str(summary.n_ads),
+                f"{summary.reach:,}",
+                f"{summary.impressions:,}",
+                f"$ {summary.spend:,.2f}",
+            ]
+            for name, summary in rows
+        ],
+        title="Table 2: overview of the ad campaigns",
+    )
+
+
+def render_table3(rows: list[AggregateRow]) -> str:
+    """Table 3: aggregate delivery by implied identity."""
+    return render_table(
+        ["Implied identity", "% Black", "% Female", "% Age 45+"],
+        [
+            [
+                row.group,
+                f"{row.fraction_black:.1%}",
+                f"{row.fraction_female:.1%}",
+                f"{row.fraction_age_45plus:.1%}",
+            ]
+            for row in rows
+        ],
+        title="Table 3: delivery breakdowns of stock image experiments",
+    )
+
+
+def _regression_rows(models: list[tuple[str, OLSResult]]) -> list[list[str]]:
+    terms = models[0][1].terms
+    rows = []
+    for term in terms:
+        row = [term]
+        for _, model in models:
+            row.append(f"{model.coefficient(term):+.4f}{model.stars(term)}")
+        rows.append(row)
+    rows.append(["R^2"] + [f"{model.r_squared:.3f}" for _, model in models])
+    return rows
+
+
+def render_identity_regressions(table: IdentityRegressionTable, *, title: str) -> str:
+    """Table 4a/4b/4c rendering."""
+    models = table.models()
+    return render_table(
+        ["Term"] + [label for label, _ in models],
+        _regression_rows(models),
+        title=title,
+        footer=_SIG_FOOTER,
+    )
+
+
+def render_single_regression(model: OLSResult, *, title: str, column: str) -> str:
+    """Table A1 rendering (single % Black column)."""
+    rows = [
+        [term, f"{model.coefficient(term):+.4f}{model.stars(term)}"]
+        for term in model.terms
+    ]
+    rows.append(["R^2", f"{model.r_squared:.3f}"])
+    return render_table(["Term", column], rows, title=title, footer=_SIG_FOOTER)
+
+
+def render_jobad_regressions(table: JobAdRegressionTable) -> str:
+    """Table 5 rendering (six mixed-effects models)."""
+    models = table.models()
+    terms: list[str] = []
+    for _, model in models:
+        for term in model.terms:
+            if term not in terms:
+                terms.append(term)
+    rows = []
+    for term in terms:
+        row = [term]
+        for _, model in models:
+            if term in model.terms:
+                row.append(f"{model.coefficient(term):+.3f}{model.stars(term)}")
+            else:
+                row.append("-")
+        rows.append(row)
+    rows.append(["Adj. R^2"] + [f"{model.adj_r_squared:.3f}" for _, model in models])
+    return render_table(
+        ["Term"] + [label for label, _ in models],
+        rows,
+        title="Table 5: mixed-effects regressions for real-world employment ads",
+        footer=_SIG_FOOTER,
+    )
+
+
+def render_panel_ascii(series: PanelSeries, *, width: int = 56) -> str:
+    """Small ASCII rendering of one figure panel's mean lines."""
+    lines = [f"Panel {series.panel}: {series.ylabel}"]
+    means = series.mean_lines()
+    all_values = [v for values in means.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    for name, values in sorted(means.items()):
+        lines.append(f"  series: {name}")
+        for band, value in zip(AgeBand, values):
+            bar = "#" * int(round((value - lo) / span * width))
+            lines.append(f"    {band.value:>12} {value:8.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def write_panel_csv(series: PanelSeries, path: Path | str) -> None:
+    """Dump one panel's per-image points as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["image_id", "band", "series", "value"])
+        for point in series.points:
+            writer.writerow([point.image_id, point.band.value, point.series, f"{point.value:.6f}"])
+
+
+def write_congruence_csv(points: list[CongruencePoint], path: Path | str) -> None:
+    """Dump Figure-7 points as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["job_category", "series", "congruent_value", "reference_value"])
+        for point in points:
+            writer.writerow(
+                [
+                    point.job_category,
+                    point.series,
+                    f"{point.congruent_value:.6f}",
+                    f"{point.reference_value:.6f}",
+                ]
+            )
+
+
+def render_congruence_ascii(points: list[CongruencePoint], *, label: str) -> str:
+    """Text rendering of one Figure-7 panel."""
+    lines = [f"Figure 7{label}: congruent vs reference delivery share"]
+    congruent = sum(1 for p in points if p.is_congruent)
+    for point in sorted(points, key=lambda p: p.job_category):
+        marker = "congruent" if point.is_congruent else "opposite "
+        lines.append(
+            f"  {point.job_category:>18} [{point.series:>6}] "
+            f"congruent={point.congruent_value:.3f} reference={point.reference_value:.3f} {marker}"
+        )
+    lines.append(f"  {congruent}/{len(points)} points skew congruently")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Exception hierarchy shared across the `repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError`` from their own code, and so on).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "VoterFileError",
+    "AudienceError",
+    "TargetingError",
+    "AdReviewError",
+    "BudgetError",
+    "DeliveryError",
+    "ApiError",
+    "RateLimitError",
+    "AuthError",
+    "NotFoundError",
+    "StatsError",
+    "ImageError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid options."""
+
+
+class ValidationError(ReproError):
+    """An input value failed validation (bad enum value, out of range...)."""
+
+
+class VoterFileError(ReproError):
+    """A voter extract file could not be parsed or written."""
+
+
+class AudienceError(ReproError):
+    """A custom audience operation failed (empty upload, unknown id...)."""
+
+
+class TargetingError(ReproError):
+    """A targeting spec is malformed or references unknown entities."""
+
+
+class AdReviewError(ReproError):
+    """An ad was rejected by the (simulated) ad review process."""
+
+
+class BudgetError(ReproError):
+    """A budget constraint was violated (non-positive budget, overspend)."""
+
+
+class DeliveryError(ReproError):
+    """The delivery engine hit an inconsistent internal state."""
+
+
+class ApiError(ReproError):
+    """A Marketing-API request failed.
+
+    Mirrors the Graph API error envelope: a numeric ``code``, a coarse
+    ``type`` string and a human-readable ``message``.
+    """
+
+    def __init__(self, message: str, *, code: int = 1, api_type: str = "OAuthException") -> None:
+        super().__init__(message)
+        self.message = message
+        self.code = code
+        self.api_type = api_type
+
+    def to_payload(self) -> dict:
+        """Render the error the way the API envelope serialises it."""
+        return {"message": self.message, "type": self.api_type, "code": self.code}
+
+
+class RateLimitError(ApiError):
+    """Too many API requests in the current window."""
+
+    def __init__(self, message: str = "Application request limit reached") -> None:
+        super().__init__(message, code=4, api_type="OAuthException")
+
+
+class AuthError(ApiError):
+    """Missing or invalid access token."""
+
+    def __init__(self, message: str = "Invalid OAuth access token") -> None:
+        super().__init__(message, code=190, api_type="OAuthException")
+
+
+class NotFoundError(ApiError):
+    """The referenced API object does not exist."""
+
+    def __init__(self, message: str = "Unsupported get request; object does not exist") -> None:
+        super().__init__(message, code=100, api_type="GraphMethodException")
+
+
+class StatsError(ReproError):
+    """A statistical routine received degenerate input (singular design...)."""
+
+
+class ImageError(ReproError):
+    """An image synthesis or classification operation failed."""

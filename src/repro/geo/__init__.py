@@ -1,0 +1,25 @@
+"""Geography substrate: ZIP codes, poverty rates, and user mobility.
+
+Three pieces of the paper's methodology depend on geography:
+
+* the **region-split race measurement** (§3.3) infers race from the state a
+  delivery lands in, and its error budget is set by cross-state travel —
+  :mod:`repro.geo.mobility` models where a user is when they browse;
+* **Appendix A** controls for ZIP-code-level poverty, requiring a poverty
+  rate per ZIP that is correlated with the racial composition of the ZIP —
+  :mod:`repro.geo.poverty`;
+* DMA- vs state-based splits are compared in an ablation —
+  :mod:`repro.geo.regions` models both granularities.
+"""
+
+from repro.geo.mobility import MobilityModel
+from repro.geo.poverty import PovertyModel
+from repro.geo.regions import DMA_BY_STATE, ZipAllocator, ZipCodeInfo
+
+__all__ = [
+    "MobilityModel",
+    "PovertyModel",
+    "ZipAllocator",
+    "ZipCodeInfo",
+    "DMA_BY_STATE",
+]

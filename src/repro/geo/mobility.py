@@ -1,0 +1,89 @@
+"""User mobility: where a user is when an impression is served.
+
+The region-split race measurement counts a delivery's *reported region*
+(the state Facebook attributes the impression to), so its error budget is
+set by users who browse from outside their registration state.  The paper
+measures this leakage at <1% of impressions for the FL/NC state split,
+versus >10% out-of-DMA leakage in prior DMA-based work — consistent with
+human-mobility findings that day-to-day travel stays within small areas.
+
+:class:`MobilityModel` reproduces both regimes: each impression is
+attributed to the user's home state with high probability, to a different
+DMA *within* the home state with moderate probability (harmless for the
+state split, fatal for a DMA split), and to another state rarely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo.regions import DMA_BY_STATE
+from repro.types import State
+
+__all__ = ["ImpressionLocation", "MobilityModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ImpressionLocation:
+    """Region attribution of one impression."""
+
+    state: State
+    dma: str
+
+
+class MobilityModel:
+    """Samples the location an impression is attributed to.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    out_of_state_rate:
+        Probability an impression lands in a state other than the user's
+        home state.  Default 0.008 reproduces the paper's <1% observation
+        (306 of 36,535 impressions ≈ 0.8% in Campaign 1).
+    out_of_dma_rate:
+        Probability an impression lands in a different DMA *within* the
+        home state, conditional on staying in-state.  Default reproduces
+        the >10% out-of-DMA leakage of DMA-based designs.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        out_of_state_rate: float = 0.008,
+        out_of_dma_rate: float = 0.11,
+    ) -> None:
+        if not 0.0 <= out_of_state_rate < 1.0:
+            raise ValidationError("out_of_state_rate must be in [0, 1)")
+        if not 0.0 <= out_of_dma_rate < 1.0:
+            raise ValidationError("out_of_dma_rate must be in [0, 1)")
+        self._rng = rng
+        self._out_of_state = out_of_state_rate
+        self._out_of_dma = out_of_dma_rate
+
+    def locate(self, home_state: State, home_dma: str) -> ImpressionLocation:
+        """Sample where one impression to a resident of ``home_state`` lands."""
+        if self._rng.random() < self._out_of_state:
+            # Travelling out of state. With two study states, a traveller
+            # from one occasionally shows up in the other; most go elsewhere.
+            if home_state in (State.FL, State.NC) and self._rng.random() < 0.12:
+                other = State.NC if home_state is State.FL else State.FL
+                dmas = DMA_BY_STATE[other]
+                return ImpressionLocation(state=other, dma=dmas[int(self._rng.integers(len(dmas)))])
+            return ImpressionLocation(state=State.OTHER, dma="Other")
+        if self._rng.random() < self._out_of_dma:
+            dmas = [d for d in DMA_BY_STATE[home_state] if d != home_dma]
+            if dmas:
+                return ImpressionLocation(
+                    state=home_state, dma=dmas[int(self._rng.integers(len(dmas)))]
+                )
+        return ImpressionLocation(state=home_state, dma=home_dma)
+
+    def locate_many(self, home_state: State, home_dma: str, n: int) -> list[ImpressionLocation]:
+        """Vector version of :meth:`locate` for ``n`` impressions."""
+        return [self.locate(home_state, home_dma) for _ in range(n)]

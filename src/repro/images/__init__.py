@@ -1,0 +1,37 @@
+"""Image substrate: stock photos, synthetic faces, and classification.
+
+Real images are unavailable offline, so an image is represented by the
+*feature vector the delivery algorithm would extract from it*:
+:class:`~repro.images.features.ImageFeatures` carries the implied
+demographic scores (race / gender / age) plus the nuisance attributes the
+paper worries about with stock photography (background, clothing, smile,
+lighting, head pose, composition).
+
+* :mod:`repro.images.stock` — a catalog of 100 "Shutterstock" images,
+  five per race × gender × age-band cell, with uncontrolled nuisance
+  variation (§3.1);
+* :mod:`repro.images.gan` — the StyleGAN-2 analogue: a fixed mapping
+  network, a synthesis readout from the 18×512 activation space, the
+  latent-direction procedure of §5.4, and single-attribute manipulation;
+* :mod:`repro.images.classifier` — the Deepface-like demographic
+  classifier used to label generated faces (with its documented biases);
+* :mod:`repro.images.composite` — job-background compositing for the
+  real-world ads of §6.
+"""
+
+from repro.images.classifier import ClassifierLabels, DeepfaceLikeClassifier
+from repro.images.composite import JOB_CATEGORIES, JobAdImage, compose_job_ad
+from repro.images.features import ImageFeatures, NUISANCE_FIELDS
+from repro.images.stock import StockCatalog, StockImage
+
+__all__ = [
+    "ClassifierLabels",
+    "DeepfaceLikeClassifier",
+    "ImageFeatures",
+    "JOB_CATEGORIES",
+    "JobAdImage",
+    "NUISANCE_FIELDS",
+    "StockCatalog",
+    "StockImage",
+    "compose_job_ad",
+]

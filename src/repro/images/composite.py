@@ -1,0 +1,92 @@
+"""Job-ad image compositing (§6, "Real-world ads").
+
+The paper obtains person-free stock backgrounds for 11 job categories
+(the Ali et al. industries) and super-imposes the StyleGAN faces on top.
+Our equivalent: a :class:`JobAdImage` pairs a job category with the face's
+feature vector, diluting the face's implied-demographic *salience* because
+the face now occupies a fraction of the frame — which is why §6's measured
+skews are "of lesser (but statistically significant) degree" than the
+portrait-only experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.images.features import ImageFeatures
+
+__all__ = ["JOB_CATEGORIES", "JobAdImage", "compose_job_ad"]
+
+#: The 11 job categories of Ali et al., reused by the paper.
+JOB_CATEGORIES: tuple[str, ...] = (
+    "ai_engineer",
+    "doctor",
+    "janitor",
+    "lawyer",
+    "lumber",
+    "nurse",
+    "preschool_teacher",
+    "restaurant_server",
+    "secretary",
+    "supermarket_clerk",
+    "taxi_driver",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class JobAdImage:
+    """A composited job ad image: background category + face features.
+
+    ``face_salience`` ∈ (0, 1] measures how much of the implied-demographic
+    signal survives compositing; the delivery model scales the face-driven
+    component of its features by it.
+    """
+
+    job_category: str
+    face: ImageFeatures
+    face_salience: float
+
+    def __post_init__(self) -> None:
+        if self.job_category not in JOB_CATEGORIES:
+            raise ValidationError(f"unknown job category {self.job_category!r}")
+        if not 0.0 < self.face_salience <= 1.0:
+            raise ValidationError("face_salience must be in (0, 1]")
+        if not self.face.has_person:
+            raise ValidationError("composited face must contain a person")
+
+    def effective_features(self) -> ImageFeatures:
+        """Face features with demographic salience diluted toward neutral.
+
+        Scores shrink toward 0.5 and apparent age toward the adult
+        midpoint by ``1 - face_salience``; nuisance channels are dominated
+        by the background and are reset to the background's neutral values.
+        """
+        s = self.face_salience
+        return ImageFeatures(
+            race_score=0.5 + s * (self.face.race_score - 0.5),
+            gender_score=0.5 + s * (self.face.gender_score - 0.5),
+            age_years=30.0 + s * (self.face.age_years - 30.0),
+            smile=self.face.smile,
+            lighting=0.5,
+            background_tone=0.5,
+            clothing_saturation=0.5,
+            head_pose=0.0,
+            composition=0.5,
+        )
+
+
+def compose_job_ad(
+    job_category: str,
+    face: ImageFeatures,
+    *,
+    face_salience: float = 0.55,
+) -> JobAdImage:
+    """Composite a face onto a job background.
+
+    The default salience reproduces the paper's observation that implied-
+    identity skews persist in real-world ads at roughly half the effect
+    size of the portrait experiments (Table 5's 0.105 overall vs Table
+    4c's 0.234 race coefficient).
+    """
+    return JobAdImage(job_category=job_category, face=face, face_salience=face_salience)

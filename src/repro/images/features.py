@@ -1,0 +1,126 @@
+"""The image feature representation.
+
+An :class:`ImageFeatures` object stands in for "what a vision model sees in
+the ad image".  Three *implied-demographic* channels are the treatment
+variables of the study; six *nuisance* channels model everything else that
+varies between real photographs (and that §5.4's synthetic pipeline is
+designed to hold constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import AGE_BAND_MIDPOINTS, AgeBand, Gender, Race
+
+__all__ = ["ImageFeatures", "NUISANCE_FIELDS", "IMPLIED_FIELDS"]
+
+#: Feature channels that encode the demographics implied by the face.
+IMPLIED_FIELDS: tuple[str, ...] = ("race_score", "gender_score", "age_years")
+
+#: Nuisance channels — vary freely across stock photos, held ~constant by
+#: the GAN manipulation pipeline.
+NUISANCE_FIELDS: tuple[str, ...] = (
+    "smile",
+    "lighting",
+    "background_tone",
+    "clothing_saturation",
+    "head_pose",
+    "composition",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ImageFeatures:
+    """Feature vector of one ad image.
+
+    ``race_score`` runs 0 (reads white) → 1 (reads Black);
+    ``gender_score`` runs 0 (reads male) → 1 (reads female);
+    ``age_years`` is the apparent age in years.  Nuisance channels are in
+    [0, 1] except ``head_pose`` in [-1, 1] (yaw).  ``has_person`` is False
+    for background-only images (the §6 job backgrounds before a face is
+    composited on).
+    """
+
+    race_score: float
+    gender_score: float
+    age_years: float
+    smile: float = 0.5
+    lighting: float = 0.5
+    background_tone: float = 0.5
+    clothing_saturation: float = 0.5
+    head_pose: float = 0.0
+    composition: float = 0.5
+    has_person: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("race_score", "gender_score", "smile", "lighting",
+                     "background_tone", "clothing_saturation", "composition"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name}={value} outside [0, 1]")
+        if not -1.0 <= self.head_pose <= 1.0:
+            raise ValidationError(f"head_pose={self.head_pose} outside [-1, 1]")
+        if not 0.0 <= self.age_years <= 100.0:
+            raise ValidationError(f"age_years={self.age_years} outside [0, 100]")
+
+    def to_vector(self) -> np.ndarray:
+        """All channels as a float vector (implied then nuisance order)."""
+        return np.array(
+            [getattr(self, name) for name in IMPLIED_FIELDS + NUISANCE_FIELDS],
+            dtype=float,
+        )
+
+    def nuisance_vector(self) -> np.ndarray:
+        """Only the nuisance channels."""
+        return np.array([getattr(self, name) for name in NUISANCE_FIELDS], dtype=float)
+
+    def with_nuisance(self, **channels: float) -> "ImageFeatures":
+        """Copy with some nuisance channels replaced."""
+        unknown = set(channels) - set(NUISANCE_FIELDS)
+        if unknown:
+            raise ValidationError(f"not nuisance channels: {sorted(unknown)}")
+        return replace(self, **channels)
+
+    @staticmethod
+    def for_demographics(
+        race: Race,
+        gender: Gender,
+        band: AgeBand,
+        *,
+        sharpness: float = 1.0,
+    ) -> "ImageFeatures":
+        """Canonical features for a clean portrait of the given demographic.
+
+        ``sharpness`` < 1 pulls the race/gender scores toward 0.5,
+        modelling ambiguous presentation.
+        """
+        if gender is Gender.UNKNOWN:
+            raise ValidationError("images imply male or female in this study")
+        race_score = 0.5 + (0.5 if race is Race.BLACK else -0.5) * sharpness
+        gender_score = 0.5 + (0.5 if gender is Gender.FEMALE else -0.5) * sharpness
+        return ImageFeatures(
+            race_score=float(np.clip(race_score, 0.0, 1.0)),
+            gender_score=float(np.clip(gender_score, 0.0, 1.0)),
+            age_years=AGE_BAND_MIDPOINTS[band],
+        )
+
+    @staticmethod
+    def field_names() -> tuple[str, ...]:
+        """Channel names in :meth:`to_vector` order."""
+        return IMPLIED_FIELDS + NUISANCE_FIELDS
+
+    @staticmethod
+    def n_channels() -> int:
+        """Number of channels in the vector representation."""
+        return len(IMPLIED_FIELDS) + len(NUISANCE_FIELDS)
+
+    def implied_band(self) -> AgeBand:
+        """Nearest implied age band for ``age_years``."""
+        return min(
+            AGE_BAND_MIDPOINTS,
+            key=lambda band: abs(AGE_BAND_MIDPOINTS[band] - self.age_years),
+        )

@@ -1,0 +1,39 @@
+"""StyleGAN-2 analogue: mapping network, synthesis, latent directions.
+
+The paper's §5.4 pipeline, reproduced end-to-end:
+
+1. sample random 512-d latent vectors ``z``;
+2. run the mapping network and keep the **activation vector** — 18 layers
+   × 512 neurons = 9,216 values (:class:`MappingNetwork`);
+3. synthesise the face and label it with the Deepface-like classifier
+   (:class:`Synthesizer`, :class:`repro.images.DeepfaceLikeClassifier`);
+4. fit one logistic regression per binary attribute (female; each race
+   with white as distractor) and a linear model for age, with the neuron
+   activations as regressors — the fitted coefficient vectors *are* the
+   latent directions (:class:`LatentDirections`);
+5. move through activation space along a direction to change exactly one
+   demographic attribute of a synthetic "person"
+   (:mod:`repro.images.gan.manipulate`).
+
+The synthesizer plants ground-truth semantic directions in activation
+space (unknown to step 4), including the gender↔smile entanglement the
+paper documents, so direction *recovery quality* is measurable: tests
+check the fitted directions' cosine similarity against the planted ones.
+"""
+
+from repro.images.gan.directions import LatentDirections
+from repro.images.gan.encoder import encode_attributes_only, encode_features
+from repro.images.gan.manipulate import FaceFamily, make_face_family, manipulate
+from repro.images.gan.mapping import MappingNetwork
+from repro.images.gan.synthesis import Synthesizer
+
+__all__ = [
+    "FaceFamily",
+    "LatentDirections",
+    "MappingNetwork",
+    "Synthesizer",
+    "encode_attributes_only",
+    "encode_features",
+    "make_face_family",
+    "manipulate",
+]

@@ -1,0 +1,181 @@
+"""Single-attribute manipulation along latent directions (§5.4–5.5).
+
+Once directions are established they "can be used to move through the
+latent space and create images which differ by the requested feature,
+while minimizing changes to the background, clothing, and face position".
+
+:func:`manipulate` takes one step along a direction;
+:func:`make_face_family` produces the paper's §5.5 design — for one base
+latent ("person"), the 20 variants spanning race × gender × age-band, each
+reached by root-finding the step size that lands the synthesized attribute
+on its target value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.images.features import ImageFeatures
+from repro.images.gan.directions import LatentDirections
+from repro.images.gan.synthesis import Synthesizer
+from repro.types import AGE_BAND_MIDPOINTS, AgeBand, Gender, Race
+
+__all__ = ["SyntheticImage", "FaceFamily", "manipulate", "make_face_family"]
+
+_STUDY_GENDERS = (Gender.MALE, Gender.FEMALE)
+
+#: Attribute targets for the demographic cells.
+_RACE_TARGET = {Race.WHITE: 0.15, Race.BLACK: 0.85}
+_GENDER_TARGET = {Gender.MALE: 0.15, Gender.FEMALE: 0.85}
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticImage:
+    """One StyleGAN-generated variant with its intended demographic cell."""
+
+    image_id: str
+    person_id: int
+    race: Race
+    gender: Gender
+    band: AgeBand
+    features: ImageFeatures
+
+    @property
+    def cell(self) -> tuple[Race, Gender, AgeBand]:
+        """The demographic cell this variant was generated for."""
+        return (self.race, self.gender, self.band)
+
+
+@dataclass(frozen=True, slots=True)
+class FaceFamily:
+    """All 20 demographic variants of one synthetic "person"."""
+
+    person_id: int
+    variants: dict[tuple[Race, Gender, AgeBand], SyntheticImage]
+
+    def images(self) -> list[SyntheticImage]:
+        """Variants in deterministic cell order."""
+        ordered = []
+        for race in Race:
+            for gender in _STUDY_GENDERS:
+                for band in AgeBand:
+                    ordered.append(self.variants[(race, gender, band)])
+        return ordered
+
+
+def manipulate(w_plus: np.ndarray, direction: np.ndarray, alpha: float) -> np.ndarray:
+    """Move activations ``alpha`` units along a unit ``direction``."""
+    w_plus = np.asarray(w_plus, dtype=np.float32)
+    direction = np.asarray(direction, dtype=np.float32)
+    if w_plus.shape != direction.shape:
+        raise ImageError(
+            f"shape mismatch: activations {w_plus.shape} vs direction {direction.shape}"
+        )
+    return w_plus + np.float32(alpha) * direction
+
+
+def _solve_step(
+    w_plus: np.ndarray,
+    direction: np.ndarray,
+    readout: Callable[[np.ndarray], float],
+    target: float,
+    *,
+    tol: float = 5e-3,
+    max_doublings: int = 24,
+) -> np.ndarray:
+    """Find the step along ``direction`` landing ``readout`` on ``target``.
+
+    Uses bracket expansion + bisection; readouts are monotone along their
+    own direction as long as the fitted direction correlates positively
+    with the planted one (checked implicitly: a non-bracketable target
+    raises :class:`ImageError`).
+    """
+    current = readout(w_plus)
+    if abs(current - target) <= tol:
+        return w_plus
+    sign = 1.0 if target > current else -1.0
+    step = 1.0
+    lo, hi = 0.0, None
+    for _ in range(max_doublings):
+        candidate = readout(manipulate(w_plus, direction, sign * step))
+        if (candidate - target) * sign >= 0:
+            hi = step
+            break
+        lo = step
+        step *= 2.0
+    if hi is None:
+        raise ImageError(
+            f"could not bracket target {target}: reached {candidate} at step {step / 2}"
+        )
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        value = readout(manipulate(w_plus, direction, sign * mid))
+        if abs(value - target) <= tol:
+            lo = hi = mid
+            break
+        if (value - target) * sign >= 0:
+            hi = mid
+        else:
+            lo = mid
+    return manipulate(w_plus, direction, sign * (lo + hi) / 2.0)
+
+
+def make_face_family(
+    person_id: int,
+    base_z: np.ndarray,
+    synthesizer: Synthesizer,
+    directions: LatentDirections,
+    *,
+    passes: int = 2,
+) -> FaceFamily:
+    """Generate the 20 race × gender × age variants of one person.
+
+    For each target cell, the three demographic attributes are adjusted
+    sequentially (``passes`` rounds, since fitted directions are only
+    near-orthogonal) by root-finding along the fitted directions.  All
+    variants share the base latent, so nuisance channels stay close to the
+    base face — the property §5.5's experiment depends on and the tests
+    assert.
+    """
+    mapper = synthesizer.mapper
+    base_w = mapper.activations(np.asarray(base_z, dtype=np.float32))
+    variants: dict[tuple[Race, Gender, AgeBand], SyntheticImage] = {}
+    for race in Race:
+        for gender in _STUDY_GENDERS:
+            for band in AgeBand:
+                w = base_w
+                for _ in range(passes):
+                    w = _solve_step(
+                        w,
+                        directions.direction("race"),
+                        lambda v: synthesizer.synthesize(v).race_score,
+                        _RACE_TARGET[race],
+                    )
+                    w = _solve_step(
+                        w,
+                        directions.direction("gender"),
+                        lambda v: synthesizer.synthesize(v).gender_score,
+                        _GENDER_TARGET[gender],
+                    )
+                    w = _solve_step(
+                        w,
+                        directions.direction("age"),
+                        lambda v: synthesizer.synthesize(v).age_years,
+                        AGE_BAND_MIDPOINTS[band],
+                        tol=0.75,
+                    )
+                features = synthesizer.synthesize(w)
+                image_id = f"gan-p{person_id}-{race.name[0]}{gender.name[0]}-{band.value}"
+                variants[(race, gender, band)] = SyntheticImage(
+                    image_id=image_id,
+                    person_id=person_id,
+                    race=race,
+                    gender=gender,
+                    band=band,
+                    features=features,
+                )
+    return FaceFamily(person_id=person_id, variants=variants)

@@ -1,0 +1,126 @@
+"""The mapping network: latent ``z`` → 18×512 activation vector.
+
+StyleGAN 2's mapping network turns an isotropic latent into the
+intermediate style space the synthesis network consumes; the paper records
+"the activation values for each neuron in each layer" — 18 layers of 512
+neurons, flattened to 9,216 values (§5.4) — and fits directions there.
+
+Our analogue is an 18-layer network with fixed random weights and a leaky
+nonlinearity.  Weights are seeded so that a given ``network_seed`` always
+defines the same network (the paper's pretrained checkpoint plays this
+role); the latent directions only make sense relative to one fixed
+network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+__all__ = ["MappingNetwork"]
+
+
+class MappingNetwork:
+    """Fixed-weight mapping network.
+
+    Parameters
+    ----------
+    network_seed:
+        Seed defining the weights (a stand-in for the pretrained model).
+    latent_dim:
+        Input latent dimension (StyleGAN: 512).
+    n_layers:
+        Number of layers whose activations are recorded (StyleGAN: 18).
+    leak:
+        Negative-slope of the leaky-ReLU nonlinearity.  The mild
+        nonlinearity keeps activation statistics realistic while leaving
+        semantic structure linearly recoverable, which is the property the
+        paper's logistic-regression direction finding relies on.
+    """
+
+    def __init__(
+        self,
+        network_seed: int = 0,
+        *,
+        latent_dim: int = 512,
+        n_layers: int = 18,
+        leak: float = 0.9,
+    ) -> None:
+        if latent_dim < 2 or n_layers < 1:
+            raise ImageError("degenerate network shape")
+        if not 0.0 < leak <= 1.0:
+            raise ImageError("leak must be in (0, 1]")
+        self.latent_dim = latent_dim
+        self.n_layers = n_layers
+        self._leak = leak
+        rng = np.random.default_rng(network_seed)
+        scale = 1.0 / np.sqrt(latent_dim)
+        self._weights = [
+            rng.normal(0.0, scale, size=(latent_dim, latent_dim)).astype(np.float32)
+            for _ in range(n_layers)
+        ]
+
+    @property
+    def activation_dim(self) -> int:
+        """Flattened activation dimension (n_layers × latent_dim)."""
+        return self.n_layers * self.latent_dim
+
+    def sample_z(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Sample ``n`` isotropic latent vectors, shape (n, latent_dim)."""
+        if n < 1:
+            raise ImageError("n must be positive")
+        return rng.standard_normal((n, self.latent_dim)).astype(np.float32)
+
+    def activations(self, z: np.ndarray) -> np.ndarray:
+        """Run the network; returns flattened activations, shape (n, 9216).
+
+        Accepts a single latent (1-d) or a batch (2-d).
+        """
+        z = np.asarray(z, dtype=np.float32)
+        squeeze = z.ndim == 1
+        if squeeze:
+            z = z[None, :]
+        if z.shape[1] != self.latent_dim:
+            raise ImageError(f"latent dim {z.shape[1]} != {self.latent_dim}")
+        h = z
+        layers = []
+        for W in self._weights:
+            h = h @ W
+            h = np.where(h >= 0, h, self._leak * h)
+            layers.append(h)
+        w_plus = np.concatenate(layers, axis=1)
+        return w_plus[0] if squeeze else w_plus
+
+    def vjp(self, z: np.ndarray, cotangent: np.ndarray) -> np.ndarray:
+        """Vector-Jacobian product: d(cotangent · activations)/dz.
+
+        The analytic reverse pass through the leaky-ReLU layers; used by
+        the latent encoder for gradient-based projection (§5.4's
+        stylegan-encoder other half).
+        """
+        z = np.asarray(z, dtype=np.float32).ravel()
+        cotangent = np.asarray(cotangent, dtype=np.float32).ravel()
+        if z.shape[0] != self.latent_dim:
+            raise ImageError(f"latent dim {z.shape[0]} != {self.latent_dim}")
+        if cotangent.shape[0] != self.activation_dim:
+            raise ImageError(
+                f"cotangent dim {cotangent.shape[0]} != {self.activation_dim}"
+            )
+        # forward pass, keeping pre-activations
+        h = z
+        pres = []
+        for W in self._weights:
+            pre = h @ W
+            pres.append(pre)
+            h = np.where(pre >= 0, pre, self._leak * pre)
+        # reverse pass: each layer's activation receives its slice of the
+        # cotangent plus the gradient flowing back from deeper layers.
+        d = self.latent_dim
+        grad_h = np.zeros(d, dtype=np.float32)
+        for layer in range(self.n_layers - 1, -1, -1):
+            grad_h = grad_h + cotangent[layer * d : (layer + 1) * d]
+            slope = np.where(pres[layer] >= 0, 1.0, self._leak).astype(np.float32)
+            grad_pre = grad_h * slope
+            grad_h = grad_pre @ self._weights[layer].T
+        return grad_h

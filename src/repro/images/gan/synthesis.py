@@ -1,0 +1,191 @@
+"""Synthesis: activation vector → image features.
+
+The real synthesis network renders a 1024×1024 headshot; ours renders the
+*feature vector a downstream vision model would extract from that
+headshot* (:class:`repro.images.ImageFeatures`).  Semantics live along
+planted unit directions in the 9,216-d activation space: projecting the
+activations onto the race direction (then squashing) yields the image's
+race score, and so on.
+
+Two deliberate imperfections mirror the paper:
+
+* **gender ↔ smile entanglement** — the smile readout receives a
+  contribution from the gender direction, so pushing a face toward
+  "female" also introduces a more pronounced smile (§5.4: "changing the
+  'gender' of a picture from male to female also tends to introduce a
+  more pronounced smile");
+* planted directions are random (hence only *near*-orthogonal in 9,216
+  dimensions), so manipulations have small but nonzero cross-talk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.images.features import ImageFeatures
+from repro.images.gan.mapping import MappingNetwork
+
+__all__ = ["Synthesizer", "SEMANTIC_ATTRIBUTES"]
+
+#: Attributes with a planted direction, in a fixed order.
+SEMANTIC_ATTRIBUTES: tuple[str, ...] = (
+    "race",
+    "gender",
+    "age",
+    "smile",
+    "lighting",
+    "background_tone",
+    "clothing_saturation",
+    "head_pose",
+    "composition",
+)
+
+
+def _sigmoid(x: float) -> float:
+    return float(1.0 / (1.0 + np.exp(-x)))
+
+
+class Synthesizer:
+    """Feature synthesis from mapping-network activations.
+
+    Parameters
+    ----------
+    mapper:
+        The fixed mapping network; planted directions are defined in its
+        activation space and calibrated against its activation statistics.
+    network_seed:
+        Seed for the planted directions (defaults to the mapper's
+        behaviour being reproducible given the same seed pair).
+    smile_gender_entanglement:
+        Weight of the gender projection inside the smile readout; 0 turns
+        the documented entanglement off (ablation).
+    """
+
+    #: Mean and slope of the age readout: age = AGE_CENTER + AGE_SPAN * proj.
+    AGE_CENTER = 35.0
+    AGE_SPAN = 17.0
+
+    def __init__(
+        self,
+        mapper: MappingNetwork,
+        *,
+        network_seed: int = 1,
+        smile_gender_entanglement: float = 0.5,
+        calibration_samples: int = 512,
+    ) -> None:
+        if calibration_samples < 32:
+            raise ImageError("need at least 32 calibration samples")
+        self._mapper = mapper
+        self._entanglement = smile_gender_entanglement
+        dim = mapper.activation_dim
+        rng = np.random.default_rng(network_seed + 7919)
+        # Orthonormal planted directions (QR of a random matrix): semantic
+        # axes of a generator do not overlap in its own representation; any
+        # cross-talk left over comes from the data manifold, as in reality.
+        raw = rng.standard_normal((dim, len(SEMANTIC_ATTRIBUTES)))
+        basis, _ = np.linalg.qr(raw)
+        self._directions: dict[str, np.ndarray] = {
+            name: basis[:, i].astype(np.float32)
+            for i, name in enumerate(SEMANTIC_ATTRIBUTES)
+        }
+        # Calibrate projection scales so each raw projection is ~unit
+        # variance over the latent prior (keeps readouts well-spread).
+        z = mapper.sample_z(np.random.default_rng(network_seed + 104729), calibration_samples)
+        acts = mapper.activations(z)
+        self._scales = {
+            name: float(np.std(acts @ self._directions[name])) or 1.0
+            for name in SEMANTIC_ATTRIBUTES
+        }
+
+    @property
+    def mapper(self) -> MappingNetwork:
+        """The mapping network this synthesizer is bound to."""
+        return self._mapper
+
+    def planted_direction(self, attribute: str) -> np.ndarray:
+        """Ground-truth unit direction for ``attribute``.
+
+        Available to tests and ablations only — the direction-finding
+        procedure of §5.4 must *recover* these without peeking.
+        """
+        try:
+            return self._directions[attribute].copy()
+        except KeyError as exc:
+            raise ImageError(f"no planted direction for {attribute!r}") from exc
+
+    def projection(self, w_plus: np.ndarray, attribute: str) -> float:
+        """Normalised projection of activations onto one attribute axis."""
+        direction = self._directions.get(attribute)
+        if direction is None:
+            raise ImageError(f"no planted direction for {attribute!r}")
+        return float(np.asarray(w_plus, dtype=np.float32) @ direction) / self._scales[attribute]
+
+    def synthesize(self, w_plus: np.ndarray) -> ImageFeatures:
+        """Render one activation vector into image features."""
+        w_plus = np.asarray(w_plus, dtype=np.float32)
+        if w_plus.ndim != 1 or w_plus.shape[0] != self._mapper.activation_dim:
+            raise ImageError(
+                f"expected activation vector of dim {self._mapper.activation_dim}"
+            )
+        proj = {name: self.projection(w_plus, name) for name in SEMANTIC_ATTRIBUTES}
+        smile_raw = proj["smile"] + self._entanglement * proj["gender"]
+        return ImageFeatures(
+            race_score=_sigmoid(1.6 * proj["race"]),
+            gender_score=_sigmoid(1.6 * proj["gender"]),
+            age_years=float(np.clip(self.AGE_CENTER + self.AGE_SPAN * proj["age"], 0.0, 100.0)),
+            smile=_sigmoid(1.2 * smile_raw),
+            lighting=_sigmoid(1.2 * proj["lighting"]),
+            background_tone=_sigmoid(1.2 * proj["background_tone"]),
+            clothing_saturation=_sigmoid(1.2 * proj["clothing_saturation"]),
+            head_pose=float(np.tanh(proj["head_pose"])),
+            composition=_sigmoid(1.2 * proj["composition"]),
+        )
+
+    def direction_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """(directions, scales): rows in SEMANTIC_ATTRIBUTES order.
+
+        ``directions @ w_plus / scales`` yields the normalised projections
+        the readouts consume — the linear core the encoder optimises over.
+        """
+        directions = np.stack([self._directions[name] for name in SEMANTIC_ATTRIBUTES])
+        scales = np.array([self._scales[name] for name in SEMANTIC_ATTRIBUTES])
+        return directions, scales
+
+    def target_projections(self, target: ImageFeatures) -> np.ndarray:
+        """Invert the readouts: projections that would render ``target``.
+
+        Scores are clipped away from {0, 1} before the logit so extreme
+        targets stay finite.  The smile axis accounts for the planted
+        gender entanglement.
+        """
+        def logit(score: float, gain: float) -> float:
+            clipped = float(np.clip(score, 0.02, 0.98))
+            return float(np.log(clipped / (1.0 - clipped)) / gain)
+
+        race = logit(target.race_score, 1.6)
+        gender = logit(target.gender_score, 1.6)
+        age = (float(np.clip(target.age_years, 2.0, 95.0)) - self.AGE_CENTER) / self.AGE_SPAN
+        smile_combined = logit(target.smile, 1.2)
+        smile = smile_combined - self._entanglement * gender
+        pose = float(np.arctanh(np.clip(target.head_pose, -0.98, 0.98)))
+        return np.array(
+            [
+                race,
+                gender,
+                age,
+                smile,
+                logit(target.lighting, 1.2),
+                logit(target.background_tone, 1.2),
+                logit(target.clothing_saturation, 1.2),
+                pose,
+                logit(target.composition, 1.2),
+            ]
+        )
+
+    def synthesize_many(self, w_plus_batch: np.ndarray) -> list[ImageFeatures]:
+        """Render a batch of activation vectors."""
+        batch = np.asarray(w_plus_batch, dtype=np.float32)
+        if batch.ndim != 2:
+            raise ImageError("expected a 2-d batch of activation vectors")
+        return [self.synthesize(row) for row in batch]

@@ -1,0 +1,128 @@
+"""The stock photo catalog (§3.1, "Stock images").
+
+The paper purchased 100 Shutterstock headshots: five distinct people for
+each of the 20 race × gender × age-band cells.  Our catalog produces the
+same design with one :class:`StockImage` per photo.  Crucially, stock
+photos carry *uncontrolled nuisance variation* — "composition, head
+positions, lighting, facial expressions, backgrounds, clothing" — which is
+what the synthetic-image experiment later removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.images.features import ImageFeatures
+from repro.types import AGE_BAND_MIDPOINTS, AgeBand, Gender, Race
+
+__all__ = ["StockImage", "StockCatalog"]
+
+_STUDY_GENDERS = (Gender.MALE, Gender.FEMALE)
+
+
+@dataclass(frozen=True, slots=True)
+class StockImage:
+    """One licensed stock photo with its manual demographic annotation."""
+
+    image_id: str
+    race: Race
+    gender: Gender
+    band: AgeBand
+    features: ImageFeatures
+
+    @property
+    def cell(self) -> tuple[Race, Gender, AgeBand]:
+        """The demographic cell this photo was selected for."""
+        return (self.race, self.gender, self.band)
+
+
+class StockCatalog:
+    """Generates the paper's balanced 100-image stock catalog.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source for the nuisance channels and the small
+        annotation noise in the implied scores (real photos do not read as
+        perfectly prototypical).
+    per_cell:
+        Photos per demographic cell (paper: 5).
+    nuisance_spread:
+        Scale of the uncontrolled nuisance variation; 0 would make stock
+        photos as controlled as synthetic ones (useful in ablations).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        per_cell: int = 5,
+        nuisance_spread: float = 1.0,
+    ) -> None:
+        if per_cell < 1:
+            raise ValidationError("per_cell must be at least 1")
+        if nuisance_spread < 0:
+            raise ValidationError("nuisance_spread must be non-negative")
+        self._images: list[StockImage] = []
+        counter = 0
+        for race in Race:
+            for gender in _STUDY_GENDERS:
+                for band in AgeBand:
+                    for _ in range(per_cell):
+                        features = self._draw_features(rng, race, gender, band, nuisance_spread)
+                        self._images.append(
+                            StockImage(
+                                image_id=f"stock-{counter:03d}",
+                                race=race,
+                                gender=gender,
+                                band=band,
+                                features=features,
+                            )
+                        )
+                        counter += 1
+
+    @staticmethod
+    def _draw_features(
+        rng: np.random.Generator,
+        race: Race,
+        gender: Gender,
+        band: AgeBand,
+        spread: float,
+    ) -> ImageFeatures:
+        race_score = 0.88 if race is Race.BLACK else 0.12
+        gender_score = 0.88 if gender is Gender.FEMALE else 0.12
+        age = AGE_BAND_MIDPOINTS[band]
+        clip01 = lambda value: float(np.clip(value, 0.0, 1.0))  # noqa: E731
+        return ImageFeatures(
+            race_score=clip01(race_score + rng.normal(0, 0.05)),
+            gender_score=clip01(gender_score + rng.normal(0, 0.05)),
+            age_years=float(np.clip(age + rng.normal(0, 2.0), 0.0, 100.0)),
+            smile=clip01(0.5 + rng.normal(0, 0.22) * spread),
+            lighting=clip01(0.5 + rng.normal(0, 0.20) * spread),
+            background_tone=clip01(rng.random()),
+            clothing_saturation=clip01(rng.random()),
+            head_pose=float(np.clip(rng.normal(0, 0.30) * spread, -1.0, 1.0)),
+            composition=clip01(0.5 + rng.normal(0, 0.18) * spread),
+        )
+
+    @property
+    def images(self) -> list[StockImage]:
+        """All catalog images (balanced design order)."""
+        return list(self._images)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def cell(self, race: Race, gender: Gender, band: AgeBand) -> list[StockImage]:
+        """All photos annotated with one demographic cell."""
+        return [img for img in self._images if img.cell == (race, gender, band)]
+
+    def is_balanced(self) -> bool:
+        """True if every cell holds the same number of photos."""
+        counts = {}
+        for img in self._images:
+            counts[img.cell] = counts.get(img.cell, 0) + 1
+        return len(set(counts.values())) == 1 and len(counts) == len(Race) * 2 * len(AgeBand)

@@ -1,0 +1,19 @@
+"""Synthetic name and postal-address generation.
+
+Voter extracts carry personally-identifying fields (name, street address,
+city, ZIP).  The platform's Custom Audience matching operates on those
+fields, so the synthetic registry needs names and addresses that are
+
+* unique enough for deterministic PII matching,
+* demographically plausible (first names correlate with gender and cohort;
+  surnames weakly with race), mirroring the structure real matching
+  pipelines exploit.
+
+Nothing here identifies a real person: pools are small synthetic lists and
+the generator enumerates combinations with numeric suffixes when the pools
+are exhausted.
+"""
+
+from repro.names.generator import FullName, NameGenerator, PostalAddress
+
+__all__ = ["FullName", "NameGenerator", "PostalAddress"]

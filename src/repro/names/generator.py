@@ -1,0 +1,169 @@
+"""Demographically-weighted synthetic name and address generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.names import pools
+from repro.types import Gender, Race
+
+__all__ = ["FullName", "PostalAddress", "NameGenerator"]
+
+
+@dataclass(frozen=True, slots=True)
+class FullName:
+    """A first / last name pair plus a disambiguating suffix number.
+
+    ``suffix`` is 0 for the first person drawn with a given name pair and
+    increments for collisions, so that ``normalized()`` is unique within a
+    single generator's lifetime — the property PII matching relies on.
+    """
+
+    first: str
+    last: str
+    suffix: int = 0
+
+    def display(self) -> str:
+        """Name as printed on a voter roll (suffix omitted when zero)."""
+        if self.suffix:
+            return f"{self.first} {self.last} {_roman(self.suffix)}"
+        return f"{self.first} {self.last}"
+
+    def normalized(self) -> str:
+        """Lower-cased, whitespace-collapsed key used for matching."""
+        return f"{self.first.lower()}|{self.last.lower()}|{self.suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class PostalAddress:
+    """A U.S.-style postal address."""
+
+    house_number: int
+    street: str
+    city: str
+    state: str
+    zip_code: str
+
+    def display(self) -> str:
+        """Single-line rendering, e.g. ``123 Oak St, Tampa, FL 33101``."""
+        return f"{self.house_number} {self.street}, {self.city}, {self.state} {self.zip_code}"
+
+    def normalized(self) -> str:
+        """Lower-cased key used for matching."""
+        return (
+            f"{self.house_number}|{self.street.lower()}|{self.city.lower()}"
+            f"|{self.state.lower()}|{self.zip_code}"
+        )
+
+
+def _roman(n: int) -> str:
+    """Small roman numeral for name suffixes (II, III, ...)."""
+    numerals = ["", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"]
+    if n < len(numerals):
+        return numerals[n]
+    return f"{n}th"
+
+
+class _WeightedPool:
+    """Pre-normalised sampling pool over ``(value, weight)`` entries."""
+
+    def __init__(self, entries: list[tuple[str, float]]) -> None:
+        if not entries:
+            raise ValidationError("weighted pool must not be empty")
+        self.values = np.array([value for value, _ in entries], dtype=object)
+        weights = np.array([weight for _, weight in entries], dtype=float)
+        if np.any(weights <= 0):
+            raise ValidationError("pool weights must be positive")
+        self.probs = weights / weights.sum()
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(self.values, size=size, p=self.probs)
+
+
+class NameGenerator:
+    """Generates unique synthetic names and addresses for one state.
+
+    The generator mixes the general surname pool with a Black-weighted pool
+    for Black voters (mixing fraction ``black_surname_mix``), which gives
+    the registry the weak surname/race correlation real files exhibit.
+
+    Parameters
+    ----------
+    state:
+        Two-letter state code; selects the city pool.
+    rng:
+        Source of randomness, owned by the caller.
+    black_surname_mix:
+        Probability that a Black voter's surname is drawn from the
+        Black-weighted pool instead of the general pool.
+    """
+
+    def __init__(
+        self,
+        state: str,
+        rng: np.random.Generator,
+        *,
+        black_surname_mix: float = 0.35,
+    ) -> None:
+        if state == "FL":
+            cities = pools.FL_CITIES
+        elif state == "NC":
+            cities = pools.NC_CITIES
+        else:
+            raise ValidationError(f"no city pool for state {state!r}")
+        if not 0.0 <= black_surname_mix <= 1.0:
+            raise ValidationError("black_surname_mix must be in [0, 1]")
+        self._state = state
+        self._rng = rng
+        self._cities = cities
+        self._black_surname_mix = black_surname_mix
+        self._female_pool = _WeightedPool(pools.FEMALE_FIRST_NAMES)
+        self._male_pool = _WeightedPool(pools.MALE_FIRST_NAMES)
+        self._surname_pool = _WeightedPool(pools.SURNAMES_GENERAL)
+        self._black_surname_pool = _WeightedPool(pools.SURNAMES_BLACK_WEIGHTED)
+        self._seen: dict[tuple[str, str], int] = {}
+        self._addresses_seen: set[tuple[int, str, str]] = set()
+
+    @property
+    def state(self) -> str:
+        """State code the generator produces addresses for."""
+        return self._state
+
+    def name_for(self, gender: Gender, race: Race) -> FullName:
+        """Draw a unique full name appropriate for ``gender`` / ``race``."""
+        first_pool = self._female_pool if gender is Gender.FEMALE else self._male_pool
+        if gender is Gender.UNKNOWN and self._rng.random() < 0.5:
+            first_pool = self._female_pool
+        first = str(first_pool.draw(self._rng, 1)[0])
+        if race is Race.BLACK and self._rng.random() < self._black_surname_mix:
+            last = str(self._black_surname_pool.draw(self._rng, 1)[0])
+        else:
+            last = str(self._surname_pool.draw(self._rng, 1)[0])
+        key = (first, last)
+        suffix = self._seen.get(key, 0)
+        self._seen[key] = suffix + 1
+        return FullName(first=first, last=last, suffix=suffix)
+
+    def address_for(self, zip_code: str) -> PostalAddress:
+        """Draw a unique address inside ``zip_code``."""
+        for _ in range(64):
+            house = int(self._rng.integers(1, 9999))
+            street = (
+                f"{self._rng.choice(pools.STREET_NAMES)} "
+                f"{self._rng.choice(pools.STREET_SUFFIXES)}"
+            )
+            key = (house, street, zip_code)
+            if key not in self._addresses_seen:
+                self._addresses_seen.add(key)
+                city = str(self._rng.choice(np.array(self._cities, dtype=object)))
+                return PostalAddress(
+                    house_number=house,
+                    street=street,
+                    city=city,
+                    state=self._state,
+                    zip_code=zip_code,
+                )
+        raise ValidationError(f"address space exhausted for zip {zip_code}")

@@ -1,0 +1,117 @@
+"""Name pools with coarse demographic weights.
+
+Each pool entry is ``(name, weight)``; weights encode plausible frequency
+differences between cohorts/groups so that downstream matching code faces
+realistic (non-uniform) name distributions.  The lists are intentionally
+synthetic-looking rather than copies of any census table.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FEMALE_FIRST_NAMES",
+    "MALE_FIRST_NAMES",
+    "SURNAMES_GENERAL",
+    "SURNAMES_BLACK_WEIGHTED",
+    "STREET_NAMES",
+    "STREET_SUFFIXES",
+    "FL_CITIES",
+    "NC_CITIES",
+]
+
+FEMALE_FIRST_NAMES: list[tuple[str, float]] = [
+    ("Mary", 3.0), ("Patricia", 2.5), ("Linda", 2.4), ("Barbara", 2.2),
+    ("Elizabeth", 2.1), ("Jennifer", 2.6), ("Maria", 1.8), ("Susan", 2.0),
+    ("Margaret", 1.7), ("Dorothy", 1.5), ("Lisa", 1.9), ("Nancy", 1.6),
+    ("Karen", 1.8), ("Betty", 1.4), ("Helen", 1.2), ("Sandra", 1.5),
+    ("Donna", 1.4), ("Carol", 1.3), ("Ruth", 1.1), ("Sharon", 1.3),
+    ("Michelle", 1.7), ("Laura", 1.4), ("Sarah", 1.8), ("Kimberly", 1.6),
+    ("Deborah", 1.3), ("Jessica", 1.9), ("Shirley", 1.0), ("Cynthia", 1.2),
+    ("Angela", 1.4), ("Melissa", 1.5), ("Brenda", 1.2), ("Amy", 1.4),
+    ("Anna", 1.3), ("Rebecca", 1.3), ("Virginia", 0.9), ("Kathleen", 1.1),
+    ("Pamela", 1.1), ("Martha", 0.9), ("Debra", 1.0), ("Amanda", 1.4),
+    ("Stephanie", 1.3), ("Carolyn", 1.0), ("Christine", 1.1), ("Janet", 1.0),
+    ("Catherine", 1.0), ("Frances", 0.8), ("Ann", 0.9), ("Joyce", 0.9),
+    ("Diane", 1.0), ("Alice", 0.8), ("Keisha", 0.7), ("Latoya", 0.7),
+    ("Tamika", 0.6), ("Ebony", 0.6), ("Jasmine", 0.9), ("Imani", 0.5),
+    ("Aaliyah", 0.6), ("Destiny", 0.6), ("Precious", 0.4), ("Shanice", 0.5),
+]
+
+MALE_FIRST_NAMES: list[tuple[str, float]] = [
+    ("James", 3.2), ("John", 3.1), ("Robert", 3.0), ("Michael", 3.3),
+    ("William", 2.6), ("David", 2.8), ("Richard", 2.2), ("Charles", 2.1),
+    ("Joseph", 2.0), ("Thomas", 2.0), ("Christopher", 2.2), ("Daniel", 2.0),
+    ("Paul", 1.6), ("Mark", 1.7), ("Donald", 1.5), ("George", 1.4),
+    ("Kenneth", 1.4), ("Steven", 1.5), ("Edward", 1.3), ("Brian", 1.5),
+    ("Ronald", 1.3), ("Anthony", 1.5), ("Kevin", 1.4), ("Jason", 1.4),
+    ("Matthew", 1.6), ("Gary", 1.2), ("Timothy", 1.3), ("Jose", 1.3),
+    ("Larry", 1.1), ("Jeffrey", 1.2), ("Frank", 1.0), ("Scott", 1.1),
+    ("Eric", 1.2), ("Stephen", 1.1), ("Andrew", 1.3), ("Raymond", 1.0),
+    ("Gregory", 1.0), ("Joshua", 1.3), ("Jerry", 0.9), ("Dennis", 0.9),
+    ("Walter", 0.8), ("Patrick", 1.0), ("Peter", 0.9), ("Harold", 0.7),
+    ("Douglas", 0.9), ("Henry", 0.8), ("Carl", 0.8), ("Arthur", 0.7),
+    ("Ryan", 1.1), ("Roger", 0.8), ("Darnell", 0.6), ("Tyrone", 0.6),
+    ("Jamal", 0.7), ("DeShawn", 0.5), ("Malik", 0.6), ("Marquis", 0.5),
+    ("Terrell", 0.5), ("Andre", 0.8), ("Reginald", 0.6), ("Cedric", 0.5),
+]
+
+SURNAMES_GENERAL: list[tuple[str, float]] = [
+    ("Smith", 3.0), ("Johnson", 2.8), ("Williams", 2.5), ("Brown", 2.3),
+    ("Jones", 2.2), ("Garcia", 1.8), ("Miller", 1.9), ("Davis", 1.9),
+    ("Rodriguez", 1.6), ("Martinez", 1.5), ("Hernandez", 1.4), ("Lopez", 1.3),
+    ("Gonzalez", 1.3), ("Wilson", 1.5), ("Anderson", 1.4), ("Thomas", 1.4),
+    ("Taylor", 1.4), ("Moore", 1.3), ("Jackson", 1.3), ("Martin", 1.2),
+    ("Lee", 1.2), ("Perez", 1.1), ("Thompson", 1.2), ("White", 1.2),
+    ("Harris", 1.1), ("Sanchez", 1.0), ("Clark", 1.0), ("Ramirez", 1.0),
+    ("Lewis", 1.0), ("Robinson", 1.0), ("Walker", 1.0), ("Young", 0.9),
+    ("Allen", 0.9), ("King", 0.9), ("Wright", 0.9), ("Scott", 0.9),
+    ("Torres", 0.8), ("Nguyen", 0.8), ("Hill", 0.9), ("Flores", 0.8),
+    ("Green", 0.9), ("Adams", 0.8), ("Nelson", 0.8), ("Baker", 0.8),
+    ("Hall", 0.8), ("Rivera", 0.7), ("Campbell", 0.8), ("Mitchell", 0.8),
+    ("Carter", 0.8), ("Roberts", 0.7), ("Gomez", 0.7), ("Phillips", 0.7),
+    ("Evans", 0.7), ("Turner", 0.7), ("Diaz", 0.7), ("Parker", 0.7),
+    ("Cruz", 0.6), ("Edwards", 0.7), ("Collins", 0.7), ("Reyes", 0.6),
+    ("Stewart", 0.6), ("Morris", 0.6), ("Morales", 0.6), ("Murphy", 0.6),
+    ("Cook", 0.6), ("Rogers", 0.6), ("Gutierrez", 0.5), ("Ortiz", 0.5),
+    ("Morgan", 0.6), ("Cooper", 0.6), ("Peterson", 0.6), ("Bailey", 0.6),
+    ("Reed", 0.6), ("Kelly", 0.6), ("Howard", 0.6), ("Ramos", 0.5),
+    ("Kim", 0.5), ("Cox", 0.5), ("Ward", 0.5), ("Richardson", 0.6),
+]
+
+#: Surnames over-weighted among Black voters in the synthetic registry; the
+#: multiset overlaps SURNAMES_GENERAL heavily (as in reality) — matching code
+#: must therefore never rely on surname alone.
+SURNAMES_BLACK_WEIGHTED: list[tuple[str, float]] = [
+    ("Washington", 2.0), ("Jefferson", 1.6), ("Jackson", 2.2), ("Williams", 2.4),
+    ("Johnson", 2.2), ("Banks", 1.2), ("Booker", 1.0), ("Gaines", 0.9),
+    ("Dorsey", 0.8), ("Mosley", 0.8), ("Broadnax", 0.5), ("Hairston", 0.6),
+    ("Smalls", 0.6), ("Pettway", 0.4), ("Bolden", 0.6), ("Stanton", 0.6),
+    ("Frazier", 0.9), ("Simmons", 1.1), ("Coleman", 1.1), ("Randle", 0.5),
+]
+
+STREET_NAMES: list[str] = [
+    "Oak", "Pine", "Maple", "Cedar", "Elm", "Magnolia", "Palmetto", "Bayview",
+    "Hickory", "Willow", "Dogwood", "Peachtree", "Cypress", "Laurel",
+    "Sunset", "Lakeview", "Riverside", "Highland", "Meadow", "Orchard",
+    "Church", "Main", "Park", "Washington", "Jefferson", "Madison",
+    "Franklin", "Lincoln", "Jackson", "Monroe", "Harbor", "Seabreeze",
+    "Gulfstream", "Sandpiper", "Pelican", "Heron", "Osprey", "Dune",
+    "Blue Ridge", "Piedmont", "Catawba", "Yadkin", "Roanoke", "Tarheel",
+]
+
+STREET_SUFFIXES: list[str] = ["St", "Ave", "Rd", "Dr", "Ln", "Ct", "Blvd", "Way", "Pl", "Ter"]
+
+FL_CITIES: list[str] = [
+    "Jacksonville", "Miami", "Tampa", "Orlando", "St. Petersburg",
+    "Hialeah", "Tallahassee", "Fort Lauderdale", "Cape Coral",
+    "Pembroke Pines", "Hollywood", "Gainesville", "Miramar", "Coral Springs",
+    "Palm Bay", "West Palm Beach", "Clearwater", "Lakeland", "Pompano Beach",
+    "Davie", "Miami Gardens", "Boca Raton", "Sunrise", "Brandon", "Ocala",
+]
+
+NC_CITIES: list[str] = [
+    "Charlotte", "Raleigh", "Greensboro", "Durham", "Winston-Salem",
+    "Fayetteville", "Cary", "Wilmington", "High Point", "Concord",
+    "Asheville", "Greenville", "Gastonia", "Jacksonville", "Chapel Hill",
+    "Rocky Mount", "Huntersville", "Burlington", "Wilson", "Kannapolis",
+]

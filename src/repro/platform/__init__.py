@@ -1,0 +1,73 @@
+"""The simulated ad-delivery platform ("Bluebook").
+
+This package is the substitute for the black box the paper audits.  It
+implements the full ad-platform pipeline described in the paper's §2.1:
+
+* **ad creation** — accounts, campaigns, ad sets, ads with creatives
+  (:mod:`repro.platform.campaign`), targeting specs and Custom Audiences
+  (:mod:`repro.platform.targeting`, :mod:`repro.platform.audience`), and
+  an ad review step with the Special Ad Categories flow
+  (:mod:`repro.platform.review`);
+* **ad delivery** — the total-value auction
+  ``Advertiser Bid × Estimated Action Rate + Ad Quality``
+  (:mod:`repro.platform.auction`), a *learned* estimated-action-rate
+  model trained on historical engagement logs (:mod:`repro.platform.ear`),
+  ad quality scoring (:mod:`repro.platform.quality`), budget pacing
+  (:mod:`repro.platform.pacing`), competing background advertisers with
+  demographically uneven prices (:mod:`repro.platform.competition`), and
+  a 24-hour event-driven delivery engine (:mod:`repro.platform.delivery`);
+* **reporting** — per-ad insights with Facebook's age/gender and region
+  breakdowns (:mod:`repro.platform.insights`).
+
+Ground truth lives in :mod:`repro.platform.engagement`: a society model of
+who actually engages with what.  The platform's EAR model never sees it —
+it only sees logged clicks — and it never sees user race, only the
+behavioural proxy cluster.  The paper's measured skews must *emerge* from
+this training loop; nothing in the delivery path hard-codes them.
+"""
+
+from repro.platform.audience import AudienceStore, CustomAudience
+from repro.platform.campaign import (
+    Ad,
+    AdAccount,
+    AdCreative,
+    AdSet,
+    Campaign,
+    Objective,
+    SpecialAdCategory,
+)
+from repro.platform.competition import CompetitionModel
+from repro.platform.delivery import DeliveryEngine, DeliveryResult
+from repro.platform.ear import EarModel, EngagementLogger
+from repro.platform.engagement import EngagementModel, EngagementParams
+from repro.platform.insights import AdInsights, InsightsStore
+from repro.platform.pacing import PacingController
+from repro.platform.quality import AdQualityModel
+from repro.platform.review import AdReviewSystem, ReviewDecision
+from repro.platform.targeting import TargetingSpec
+
+__all__ = [
+    "Ad",
+    "AdAccount",
+    "AdCreative",
+    "AdInsights",
+    "AdQualityModel",
+    "AdReviewSystem",
+    "AdSet",
+    "AudienceStore",
+    "Campaign",
+    "CompetitionModel",
+    "CustomAudience",
+    "DeliveryEngine",
+    "DeliveryResult",
+    "EarModel",
+    "EngagementLogger",
+    "EngagementModel",
+    "EngagementParams",
+    "InsightsStore",
+    "Objective",
+    "PacingController",
+    "ReviewDecision",
+    "SpecialAdCategory",
+    "TargetingSpec",
+]

@@ -1,0 +1,70 @@
+"""The total-value ad auction.
+
+Whenever a user browses, the platform holds an auction among all ads
+targeting them (§2.1).  Each ad's entry is its *total value*::
+
+    total value = (pacing multiplier × advertiser bid) × EAR + ad quality
+
+The winner is the highest total value — against the other study ads *and*
+the background market's best bid — and pays a second-price amount: the
+larger of the runner-up total value and the competing market bid, capped
+at its own total value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeliveryError
+
+__all__ = ["AuctionOutcome", "run_auction"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuctionOutcome:
+    """Result of one slot auction.
+
+    ``winner_index`` is an index into the candidate array, or ``None``
+    when the background market outbids every study ad (the slot then shows
+    somebody else's ad and nothing is recorded for the study).
+    """
+
+    winner_index: int | None
+    price: float
+    winning_value: float
+
+
+def run_auction(total_values: np.ndarray, competing_bid: float) -> AuctionOutcome:
+    """Run one slot auction.
+
+    Parameters
+    ----------
+    total_values:
+        Total value of every eligible study ad for this slot; entries of
+        ``-inf`` mark ads that cannot bid (budget exhausted).
+    competing_bid:
+        The background market's best bid for this slot.
+
+    Raises
+    ------
+    DeliveryError
+        If ``total_values`` is empty or ``competing_bid`` is negative.
+    """
+    if total_values.size == 0:
+        raise DeliveryError("auction with no candidates")
+    if competing_bid < 0:
+        raise DeliveryError("competing bid cannot be negative")
+    winner = int(np.argmax(total_values))
+    winning_value = float(total_values[winner])
+    if not np.isfinite(winning_value) or winning_value <= competing_bid:
+        return AuctionOutcome(winner_index=None, price=0.0, winning_value=winning_value)
+    if total_values.size > 1:
+        runner_up = float(np.partition(total_values, -2)[-2])
+        if not np.isfinite(runner_up):
+            runner_up = 0.0
+    else:
+        runner_up = 0.0
+    price = min(max(runner_up, competing_bid), winning_value)
+    return AuctionOutcome(winner_index=winner, price=price, winning_value=winning_value)

@@ -1,0 +1,102 @@
+"""Custom Audience storage and PII upload handling.
+
+Advertisers upload SHA-256-hashed PII; the store matches hashes against
+the user universe (via :class:`repro.population.PiiMatcher`) and records
+only matched user ids — the platform never stores the raw upload,
+mirroring how Customer List audiences work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import AudienceError
+from repro.population.universe import UserUniverse
+
+__all__ = ["CustomAudience", "AudienceStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class CustomAudience:
+    """One matched Custom Audience."""
+
+    audience_id: str
+    name: str
+    uploaded_count: int
+    member_ids: frozenset[int]
+
+    @property
+    def matched_count(self) -> int:
+        """Number of uploaded identifiers that matched a user."""
+        return len(self.member_ids)
+
+    @property
+    def match_rate(self) -> float:
+        """Matched fraction of the upload."""
+        if self.uploaded_count == 0:
+            return 0.0
+        return self.matched_count / self.uploaded_count
+
+
+@dataclass(slots=True)
+class AudienceStore:
+    """All Custom Audiences of one platform instance."""
+
+    universe: UserUniverse
+    audiences: dict[str, CustomAudience] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def create_from_hashes(self, name: str, pii_hashes: Iterable[str]) -> CustomAudience:
+        """Match an upload of PII hashes and store the resulting audience.
+
+        Raises
+        ------
+        AudienceError
+            If the upload is empty or nothing matches (the real platform
+            refuses to deliver to audiences below a minimum size).
+        """
+        hashes = list(pii_hashes)
+        if not hashes:
+            raise AudienceError("empty PII upload")
+        matched = self.universe.matcher.match(hashes)
+        if not matched:
+            raise AudienceError(f"audience {name!r}: no uploaded identifier matched")
+        audience = CustomAudience(
+            audience_id=f"aud_{next(self._counter)}",
+            name=name,
+            uploaded_count=len(set(hashes)),
+            member_ids=frozenset(user.user_id for user in matched),
+        )
+        self.audiences[audience.audience_id] = audience
+        return audience
+
+    def create_from_members(self, name: str, member_ids: frozenset[int]) -> CustomAudience:
+        """Register a platform-generated audience (e.g. a Lookalike).
+
+        Unlike :meth:`create_from_hashes` there is no upload: the platform
+        itself selected the members, so ``uploaded_count`` equals the
+        member count and the match rate is trivially 1.
+        """
+        if not member_ids:
+            raise AudienceError(f"audience {name!r} would be empty")
+        audience = CustomAudience(
+            audience_id=f"aud_{next(self._counter)}",
+            name=name,
+            uploaded_count=len(member_ids),
+            member_ids=frozenset(member_ids),
+        )
+        self.audiences[audience.audience_id] = audience
+        return audience
+
+    def get(self, audience_id: str) -> CustomAudience:
+        """Look up an audience by id."""
+        try:
+            return self.audiences[audience_id]
+        except KeyError as exc:
+            raise AudienceError(f"unknown audience {audience_id!r}") from exc
+
+    def members_map(self) -> dict[str, set[int]]:
+        """audience id → member user ids, for targeting resolution."""
+        return {aid: set(aud.member_ids) for aid, aud in self.audiences.items()}

@@ -1,0 +1,204 @@
+"""Ad objects: accounts, campaigns, ad sets, ads, creatives.
+
+Mirrors the Facebook Marketing API object hierarchy the paper's
+experiments drive: an *ad account* owns *campaigns* (which set the
+objective), campaigns own *ad sets* (which set budget and targeting), and
+ad sets own *ads* (which carry the creative).  The paper's campaigns
+always vary only the creative image within a run (§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetError, ValidationError
+from repro.images.composite import JobAdImage
+from repro.images.features import ImageFeatures
+from repro.platform.targeting import TargetingSpec
+
+__all__ = [
+    "Objective",
+    "SpecialAdCategory",
+    "AdCreative",
+    "Ad",
+    "AdSet",
+    "Campaign",
+    "AdAccount",
+]
+
+
+class Objective(enum.Enum):
+    """Campaign objectives (paper §2.1; the study always uses Traffic)."""
+
+    TRAFFIC = "LINK_CLICKS"
+    CONVERSIONS = "CONVERSIONS"
+    AWARENESS = "REACH"
+
+
+class SpecialAdCategory(enum.Enum):
+    """Facebook's Special Ad Categories (housing / employment / credit).
+
+    Ads in these categories go through a restricted flow: several
+    targeting options (age, gender limits) are disallowed (§2.2, the NFHA
+    settlement), and the paper always flags its §6 employment ads (§4.1).
+    """
+
+    NONE = "NONE"
+    HOUSING = "HOUSING"
+    EMPLOYMENT = "EMPLOYMENT"
+    CREDIT = "CREDIT"
+
+
+@dataclass(frozen=True, slots=True)
+class AdCreative:
+    """The creative: text, image, and destination link.
+
+    ``image`` is either a plain :class:`ImageFeatures` (portrait ads) or a
+    :class:`JobAdImage` (face composited on a job background, §6).
+    """
+
+    headline: str
+    body: str
+    destination_url: str
+    image: ImageFeatures | JobAdImage
+
+    def __post_init__(self) -> None:
+        if not self.headline or not self.destination_url:
+            raise ValidationError("creative needs a headline and a destination URL")
+
+    def effective_image(self) -> ImageFeatures:
+        """The feature vector the delivery models see."""
+        if isinstance(self.image, JobAdImage):
+            return self.image.effective_features()
+        return self.image
+
+    def job_category(self) -> str | None:
+        """Job background category, or None for portrait-only creatives."""
+        if isinstance(self.image, JobAdImage):
+            return self.image.job_category
+        return None
+
+
+@dataclass(slots=True)
+class Ad:
+    """One ad: creative + link to its ad set.  Mutable review status."""
+
+    ad_id: str
+    adset_id: str
+    name: str
+    creative: AdCreative
+    review_status: str = "PENDING"
+
+    def is_deliverable(self) -> bool:
+        """Only approved ads enter the auction."""
+        return self.review_status == "APPROVED"
+
+
+@dataclass(slots=True)
+class AdSet:
+    """Budget + targeting container for one or more ads."""
+
+    adset_id: str
+    campaign_id: str
+    name: str
+    daily_budget_cents: int
+    targeting: TargetingSpec
+
+    def __post_init__(self) -> None:
+        if self.daily_budget_cents <= 0:
+            raise BudgetError(f"daily budget must be positive, got {self.daily_budget_cents}")
+
+    @property
+    def daily_budget_dollars(self) -> float:
+        """Budget in dollars (the paper quotes $2.00–$3.50 per ad)."""
+        return self.daily_budget_cents / 100.0
+
+
+@dataclass(slots=True)
+class Campaign:
+    """Objective container."""
+
+    campaign_id: str
+    account_id: str
+    name: str
+    objective: Objective
+    special_ad_category: SpecialAdCategory = SpecialAdCategory.NONE
+
+
+@dataclass(slots=True)
+class AdAccount:
+    """An advertiser account; owns all objects and allocates their ids.
+
+    ``created_year`` matters to the review model: the paper ran the
+    "real-world" §6 campaign from a 2007-vintage account and everything
+    else from a 2019 account (Table 2 caption); older accounts see less
+    review friction.
+    """
+
+    account_id: str
+    created_year: int = 2019
+    campaigns: dict[str, Campaign] = field(default_factory=dict)
+    adsets: dict[str, AdSet] = field(default_factory=dict)
+    ads: dict[str, Ad] = field(default_factory=dict)
+    _id_counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def create_campaign(
+        self,
+        name: str,
+        objective: Objective,
+        *,
+        special_ad_category: SpecialAdCategory = SpecialAdCategory.NONE,
+    ) -> Campaign:
+        """Create and register a campaign."""
+        campaign = Campaign(
+            campaign_id=f"camp_{self.account_id}_{next(self._id_counter)}",
+            account_id=self.account_id,
+            name=name,
+            objective=objective,
+            special_ad_category=special_ad_category,
+        )
+        self.campaigns[campaign.campaign_id] = campaign
+        return campaign
+
+    def create_adset(
+        self,
+        campaign: Campaign,
+        name: str,
+        daily_budget_cents: int,
+        targeting: TargetingSpec,
+    ) -> AdSet:
+        """Create and register an ad set under ``campaign``."""
+        if campaign.campaign_id not in self.campaigns:
+            raise ValidationError(f"unknown campaign {campaign.campaign_id}")
+        adset = AdSet(
+            adset_id=f"as_{self.account_id}_{next(self._id_counter)}",
+            campaign_id=campaign.campaign_id,
+            name=name,
+            daily_budget_cents=daily_budget_cents,
+            targeting=targeting,
+        )
+        self.adsets[adset.adset_id] = adset
+        return adset
+
+    def create_ad(self, adset: AdSet, name: str, creative: AdCreative) -> Ad:
+        """Create and register an ad under ``adset`` (review still pending)."""
+        if adset.adset_id not in self.adsets:
+            raise ValidationError(f"unknown ad set {adset.adset_id}")
+        ad = Ad(
+            ad_id=f"ad_{self.account_id}_{next(self._id_counter)}",
+            adset_id=adset.adset_id,
+            name=name,
+            creative=creative,
+        )
+        self.ads[ad.ad_id] = ad
+        return ad
+
+    def adset_of(self, ad: Ad) -> AdSet:
+        """The ad set an ad belongs to."""
+        return self.adsets[ad.adset_id]
+
+    def campaign_of(self, ad: Ad) -> Campaign:
+        """The campaign an ad belongs to."""
+        return self.campaigns[self.adsets[ad.adset_id].campaign_id]

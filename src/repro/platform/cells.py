@@ -1,0 +1,70 @@
+"""User cell indexing shared by the engagement / EAR / delivery code.
+
+Delivery-time scoring is vectorised over *user cells* rather than
+individual users:
+
+* the **ground-truth cell** (age bucket × gender × race × ZIP-poverty
+  tier) determines the society model's engagement probability;
+* the **observed cell** (age bucket × gender × interest cluster ×
+  ZIP-poverty tier) is all the platform's learned model may condition on
+  — self-reported race never appears, but ZIP-derived poverty does (it is
+  public geographic data, and its correlation with race is exactly what
+  Appendix A controls for).
+
+Both spaces are small (48 cells with the binary study genders), so a
+per-ad score is a 48-vector and an auction slot costs an argmax.
+"""
+
+from __future__ import annotations
+
+from repro.population.user import InterestCluster, PlatformUser
+from repro.types import AgeBucket, Gender, Race
+
+__all__ = [
+    "GT_CELLS",
+    "OBSERVED_CELLS",
+    "gt_cell_index",
+    "observed_cell_index",
+    "N_GT_CELLS",
+    "N_OBSERVED_CELLS",
+]
+
+_BUCKETS = list(AgeBucket)
+_GENDERS = [Gender.MALE, Gender.FEMALE]
+_RACES = [Race.WHITE, Race.BLACK]
+_CLUSTERS = [InterestCluster.ALPHA, InterestCluster.BETA]
+_POVERTY = [False, True]
+
+#: All ground-truth cells, index order = position in this list.
+GT_CELLS: list[tuple[AgeBucket, Gender, Race, bool]] = [
+    (bucket, gender, race, poverty)
+    for bucket in _BUCKETS
+    for gender in _GENDERS
+    for race in _RACES
+    for poverty in _POVERTY
+]
+
+#: All platform-observable cells.
+OBSERVED_CELLS: list[tuple[AgeBucket, Gender, InterestCluster, bool]] = [
+    (bucket, gender, cluster, poverty)
+    for bucket in _BUCKETS
+    for gender in _GENDERS
+    for cluster in _CLUSTERS
+    for poverty in _POVERTY
+]
+
+N_GT_CELLS = len(GT_CELLS)
+N_OBSERVED_CELLS = len(OBSERVED_CELLS)
+
+_GT_INDEX = {cell: i for i, cell in enumerate(GT_CELLS)}
+_OBSERVED_INDEX = {cell: i for i, cell in enumerate(OBSERVED_CELLS)}
+
+
+def gt_cell_index(user: PlatformUser) -> int:
+    """Ground-truth cell index of a user."""
+    return _GT_INDEX[(user.age_bucket, user.gender, user.race, user.high_poverty)]
+
+
+def observed_cell_index(user: PlatformUser) -> int:
+    """Platform-observable cell index of a user."""
+    return _OBSERVED_INDEX[user.observed_cell()]

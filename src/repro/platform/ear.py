@@ -1,0 +1,339 @@
+"""The learned Estimated Action Rate (EAR) model.
+
+Facebook computes each ad's auction bid as
+``Advertiser Bid × Estimated Action Rate + Ad Quality`` where the EAR is
+"Facebook's estimated probability that this particular user will help the
+advertiser achieve their objective", computed by machine learning on
+engagement history (§2.1).  The paper's core concern is that this learned
+component absorbs societal patterns and then *steers* delivery.
+
+This module reproduces that loop honestly:
+
+* :class:`EngagementLogger` simulates the platform's history — random
+  (user, ad-image) exposures whose click outcomes are sampled from the
+  ground-truth society model;
+* :class:`EarModel` fits a logistic regression on those logs over
+  *platform-observable* features only: the user's age bucket, gender and
+  interest cluster (never race), content features extracted from the ad
+  image (implied race/gender/age scores — exactly the signals a vision
+  model yields), the job category, and their interactions.
+
+Nothing here is told what the paper's skews should be; the model learns
+whatever the logs contain.  Replacing the logger's ground truth with a
+constant kills every skew downstream (ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.images.features import ImageFeatures
+from repro.platform.cells import OBSERVED_CELLS
+from repro.platform.engagement import EngagementModel
+from repro.images.composite import JOB_CATEGORIES
+from repro.population.universe import UserUniverse
+from repro.population.user import InterestCluster
+from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.types import AgeBucket, Gender, bucket_midpoint
+
+__all__ = [
+    "ear_feature_names",
+    "ear_features",
+    "EngagementLogger",
+    "EarModel",
+    "OracleEar",
+]
+
+_BUCKETS = list(AgeBucket)
+_JOBS = list(JOB_CATEGORIES)
+
+
+def ear_feature_names() -> list[str]:
+    """Names of the EAR feature vector entries, in order."""
+    names = [f"bucket:{b.value}" for b in _BUCKETS]
+    names += ["user:female", "user:cluster_beta", "user:high_poverty"]
+    names += [
+        "img:race_score",
+        "img:gender_score",
+        "img:age_norm",
+        "img:age_norm_sq",
+        "img:smile",
+        "img:child_score",
+        "img:youngness",
+    ]
+    names += [f"job:{job}" for job in _JOBS]
+    names += ["img:portrait"]
+    names += [
+        "x:cluster_beta*race_score",
+        "x:poverty*race_score",
+        "x:female*gender_score",
+        "x:age_gap",
+        "x:male*oldman_score",
+    ]
+    names += [f"x:child*female*{b.value}" for b in _BUCKETS]
+    names += [f"x:child*male*{b.value}" for b in _BUCKETS]
+    names += [f"x:youngfem*male*{b.value}" for b in _BUCKETS]
+    names += [f"x:job_female:{job}" for job in _JOBS]
+    names += [f"x:job_beta:{job}" for job in _JOBS]
+    return names
+
+
+def _child_score(image_age: float) -> float:
+    return float(np.clip((14.0 - image_age) / 7.0, 0.0, 1.0))
+
+
+def _youngness(image_age: float) -> float:
+    rise = np.clip((image_age - 11.0) / 5.0, 0.0, 1.0)
+    fall = np.clip((38.0 - image_age) / 16.0, 0.0, 1.0)
+    return float(rise * fall)
+
+
+def ear_features(
+    bucket: AgeBucket,
+    gender: Gender,
+    cluster: InterestCluster,
+    image: ImageFeatures,
+    job_category: str | None,
+    *,
+    high_poverty: bool = False,
+) -> np.ndarray:
+    """Build the EAR feature vector for one (user cell, creative) pair.
+
+    Used identically at training and serving time, so there is no
+    train/serve skew.  Note what is absent: the user's race.  ZIP-derived
+    poverty is present — it is public geographic data.
+    """
+    female = 1.0 if gender is Gender.FEMALE else 0.0
+    male = 1.0 - female
+    beta = 1.0 if cluster is InterestCluster.BETA else 0.0
+    poverty = 1.0 if high_poverty else 0.0
+    age_norm = bucket_midpoint(bucket) / 80.0
+    img_age_norm = image.age_years / 80.0
+    child = _child_score(image.age_years)
+    young = _youngness(image.age_years)
+
+    bucket_onehot = [1.0 if bucket is b else 0.0 for b in _BUCKETS]
+    job_onehot = [1.0 if job_category == job else 0.0 for job in _JOBS]
+    portrait = 1.0 if job_category is None else 0.0
+    oldman = (1.0 - image.gender_score) * float(np.clip((image.age_years - 30.0) / 40.0, 0.0, 1.0))
+
+    parts = [
+        *bucket_onehot,
+        female,
+        beta,
+        poverty,
+        image.race_score,
+        image.gender_score,
+        img_age_norm,
+        img_age_norm**2,
+        image.smile,
+        child,
+        young,
+        *job_onehot,
+        portrait,
+        beta * image.race_score,
+        poverty * image.race_score,
+        female * image.gender_score,
+        abs(age_norm - img_age_norm),
+        male * oldman,
+        *[child * female * b for b in bucket_onehot],
+        *[child * male * b for b in bucket_onehot],
+        *[image.gender_score * young * male * b for b in bucket_onehot],
+        *[j * female for j in job_onehot],
+        *[j * beta for j in job_onehot],
+    ]
+    return np.array(parts, dtype=float)
+
+
+@dataclass(frozen=True, slots=True)
+class EngagementLog:
+    """Training data for the EAR model: features and click labels."""
+
+    features: np.ndarray
+    clicks: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        """Number of logged exposures."""
+        return int(self.clicks.shape[0])
+
+    @property
+    def click_rate(self) -> float:
+        """Overall click-through rate of the log."""
+        return float(self.clicks.mean())
+
+
+class EngagementLogger:
+    """Simulates the platform's historical exposure logs.
+
+    Each event pairs a random user (activity-weighted, as heavy browsers
+    dominate history) with a random historical creative — an image drawn
+    from a broad prior over implied demographics, half of the time with a
+    job background — and samples the click from the ground-truth model.
+    """
+
+    def __init__(
+        self,
+        universe: UserUniverse,
+        engagement: EngagementModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self._universe = universe
+        self._engagement = engagement
+        self._rng = rng
+
+    def _random_image(self) -> ImageFeatures:
+        rng = self._rng
+        return ImageFeatures(
+            race_score=float(rng.random()),
+            gender_score=float(rng.random()),
+            age_years=float(rng.uniform(4.0, 80.0)),
+            smile=float(rng.random()),
+            lighting=float(rng.random()),
+            background_tone=float(rng.random()),
+            clothing_saturation=float(rng.random()),
+            head_pose=float(rng.uniform(-1.0, 1.0)),
+            composition=float(rng.random()),
+        )
+
+    def collect(self, n_events: int) -> EngagementLog:
+        """Generate ``n_events`` logged exposures."""
+        if n_events < 100:
+            raise ValidationError("need at least 100 events for a usable log")
+        rng = self._rng
+        users = self._universe.users
+        weights = np.array([u.activity_rate for u in users])
+        weights = weights / weights.sum()
+        user_draws = rng.choice(len(users), size=n_events, p=weights)
+
+        rows: list[np.ndarray] = []
+        clicks = np.empty(n_events)
+        for i in range(n_events):
+            user = users[int(user_draws[i])]
+            image = self._random_image()
+            job = None
+            if rng.random() < 0.5:
+                job = _JOBS[int(rng.integers(len(_JOBS)))]
+            p = self._engagement.click_probability(
+                user.age_bucket,
+                user.gender,
+                user.race,
+                image,
+                job,
+                high_poverty=user.high_poverty,
+            )
+            clicks[i] = 1.0 if rng.random() < p else 0.0
+            rows.append(
+                ear_features(
+                    user.age_bucket,
+                    user.gender,
+                    user.interest_cluster,
+                    image,
+                    job,
+                    high_poverty=user.high_poverty,
+                )
+            )
+        return EngagementLog(features=np.array(rows), clicks=clicks)
+
+
+class EarModel:
+    """The platform's trained click-probability model."""
+
+    def __init__(self, model: LogisticModel) -> None:
+        self._model = model
+
+    @staticmethod
+    def train(log: EngagementLog, *, l2: float = 1.0) -> "EarModel":
+        """Fit the EAR on an engagement log."""
+        return EarModel(fit_logistic(log.features, log.clicks.astype(int), l2=l2))
+
+    @staticmethod
+    def constant(rate: float = 0.05) -> "EarModel":
+        """An EAR that predicts the same rate for everyone.
+
+        The "no optimisation" ablation: with a constant EAR the auction
+        cannot steer by content, so every delivery skew that remains is
+        due to activity/pricing imbalances alone.
+        """
+        if not 0.0 < rate < 1.0:
+            raise ValidationError("rate must be in (0, 1)")
+        n = ear_features(
+            AgeBucket.B18_24,
+            Gender.MALE,
+            InterestCluster.ALPHA,
+            ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30.0),
+            None,
+        ).shape[0]
+        intercept = float(np.log(rate / (1.0 - rate)))
+        return EarModel(
+            LogisticModel(weights=np.zeros(n), intercept=intercept, converged=True, n_iter=0)
+        )
+
+    @property
+    def model(self) -> LogisticModel:
+        """The underlying logistic model."""
+        return self._model
+
+    def score(self, user, image: ImageFeatures, job_category: str | None) -> float:
+        """Predicted click probability for one user."""
+        x = ear_features(
+            user.age_bucket,
+            user.gender,
+            user.interest_cluster,
+            image,
+            job_category,
+            high_poverty=user.high_poverty,
+        )
+        return float(self._model.predict_proba(x[None, :])[0])
+
+    def score_vector(self, image: ImageFeatures, job_category: str | None) -> np.ndarray:
+        """Predicted click probabilities over all observed cells.
+
+        Returned in ``OBSERVED_CELLS`` order; the delivery engine indexes
+        it with :func:`repro.platform.cells.observed_cell_index`.
+        """
+        X = np.array(
+            [
+                ear_features(
+                    bucket, gender, cluster, image, job_category, high_poverty=poverty
+                )
+                for bucket, gender, cluster, poverty in OBSERVED_CELLS
+            ]
+        )
+        return self._model.predict_proba(X)
+
+
+class OracleEar:
+    """An upper-bound ranking model that reads the society model directly.
+
+    The oracle treats the interest cluster as if it *were* race (a perfect
+    proxy) and otherwise evaluates the ground-truth engagement model.  It
+    bounds how much steering the platform could do with a noiseless
+    model — the "more optimisation" arm of the EAR ablation bench.
+    """
+
+    def __init__(self, engagement: EngagementModel) -> None:
+        self._engagement = engagement
+
+    def score(self, user, image: ImageFeatures, job_category: str | None) -> float:
+        """Oracle click probability for one user (cluster read as race)."""
+        from repro.platform.cells import observed_cell_index
+
+        return float(self.score_vector(image, job_category)[observed_cell_index(user)])
+
+    def score_vector(self, image: ImageFeatures, job_category: str | None) -> np.ndarray:
+        """Ground-truth probabilities over observed cells."""
+        from repro.types import Race
+
+        scores = []
+        for bucket, gender, cluster, poverty in OBSERVED_CELLS:
+            race = Race.BLACK if cluster is InterestCluster.BETA else Race.WHITE
+            scores.append(
+                self._engagement.click_probability(
+                    bucket, gender, race, image, job_category, high_poverty=poverty
+                )
+            )
+        return np.array(scores)

@@ -1,0 +1,214 @@
+"""Ground-truth engagement: the society model.
+
+This module encodes *population-level engagement regularities* — who tends
+to click on what — that the platform's learned model later absorbs from
+logged data.  Every regularity is taken from a finding the paper reports
+or cites:
+
+* congruent **race** affinity (images of Black people elicit more
+  engagement from Black users, and vice versa) — the dominant effect in
+  Tables 3/4.  It is split into a *direct* component
+  (``race_congruence``) and an *economically mediated* component
+  (``poverty_race_affinity``: residents of high-poverty ZIPs engage more
+  with Black-implied imagery and less with white-implied imagery,
+  regardless of their own race).  Appendix A's poverty-matched audiences
+  neutralise the mediated component but not the direct one, reproducing
+  the attenuated-but-significant Table-A1 coefficient;
+* mild congruent **gender** affinity — visible once the dominant
+  cross-effects are controlled (Table 4b/4c Female coefficients);
+* **age congruence** — older-presenting faces engage older users
+  (Figures 3B/3D);
+* **images of children engage women**, bimodally in age (young parents
+  and older women; Figure 4B and Table 4a/4b Child coefficients);
+* **images of young women engage men 55+** — the TikTok/Musical.ly
+  press observation the paper confirms (Figure 4A);
+* **images of older men engage men** (Figure 3C right tail);
+* **per-industry job affinities** matching workforce demographics
+  (janitorial → Black women, lumber → white men, ... ; §6 and Ali et al.);
+* a small generic smile bonus (professional-looking creatives do better)
+  — notably *not* demographic.
+
+The delivery algorithm never reads this module; it only sees clicks
+sampled from it (see :mod:`repro.platform.ear`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.images.features import ImageFeatures
+from repro.platform.cells import GT_CELLS
+from repro.types import AgeBucket, Gender, Race, bucket_midpoint
+
+__all__ = ["EngagementParams", "EngagementModel", "JOB_AFFINITIES"]
+
+#: Per-job (base, female, black) logit shifts; the female/black entries
+#: flip sign for male/white users.  Signs follow the industry skews Ali et
+#: al. measured and the paper reproduces in Figure 7 / Table 5.
+JOB_AFFINITIES: dict[str, tuple[float, float, float]] = {
+    "ai_engineer": (0.00, -0.30, -0.15),
+    "doctor": (0.05, 0.05, 0.00),
+    "janitor": (0.00, 0.15, 0.35),
+    "lawyer": (0.00, 0.00, -0.10),
+    "lumber": (-0.05, -0.45, -0.40),
+    "nurse": (0.05, 0.45, 0.10),
+    "preschool_teacher": (0.00, 0.50, 0.05),
+    "restaurant_server": (0.00, 0.20, 0.10),
+    "secretary": (0.00, 0.40, 0.00),
+    "supermarket_clerk": (0.05, 0.25, 0.20),
+    "taxi_driver": (0.00, -0.20, 0.30),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class EngagementParams:
+    """Logit-scale weights of the society model.
+
+    Defaults are calibrated so the full pipeline (engagement → logged
+    clicks → learned EAR → auction → delivery) reproduces the *shape* of
+    the paper's Tables 3–5.  Zeroing individual weights gives the
+    ablations in ``benchmarks/``.
+    """
+
+    base_rate: float = 0.045
+    user_age_slope: float = 0.2        # older users engage more overall
+    race_congruence: float = 0.24
+    poverty_race_affinity: float = 0.55
+    gender_congruence: float = 0.02
+    age_congruence: float = 0.35       # penalty per 50y of user/image age gap
+    child_to_women: float = 0.34
+    child_to_men: float = 0.08
+    young_women_to_older_men: float = 0.55
+    older_men_to_men: float = 0.12
+    smile_bonus: float = 0.08
+    job_affinity_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_rate < 1.0:
+            raise ValidationError("base_rate must be in (0, 1)")
+
+
+def _child_score(image_age: float) -> float:
+    """1 for clearly-child faces, fading to 0 by age 14."""
+    return float(np.clip((14.0 - image_age) / 7.0, 0.0, 1.0))
+
+
+def _youngness(image_age: float) -> float:
+    """Weight of the 'young adult' window (teens through ~30)."""
+    rise = np.clip((image_age - 11.0) / 5.0, 0.0, 1.0)
+    fall = np.clip((38.0 - image_age) / 16.0, 0.0, 1.0)
+    return float(rise * fall)
+
+
+def _caretaker_weight(user_age: float) -> float:
+    """Bimodal age profile of engagement with images of children.
+
+    Peaks around young parents (~28) and again for older users (~62,
+    Figure 4B: older women see the most child imagery).
+    """
+    young = 1.3 * np.exp(-0.5 * ((user_age - 28.0) / 9.0) ** 2)
+    older = 1.1 * np.exp(-0.5 * ((user_age - 62.0) / 12.0) ** 2)
+    return float(young + older)
+
+
+class EngagementModel:
+    """Computes ground-truth click probabilities per user cell."""
+
+    def __init__(self, params: EngagementParams | None = None) -> None:
+        self._params = params or EngagementParams()
+
+    @property
+    def params(self) -> EngagementParams:
+        """The society-model weights."""
+        return self._params
+
+    def click_logit(
+        self,
+        bucket: AgeBucket,
+        gender: Gender,
+        race: Race,
+        image: ImageFeatures,
+        job_category: str | None = None,
+        *,
+        high_poverty: bool = False,
+    ) -> float:
+        """Logit of the click probability for one user cell and image."""
+        p = self._params
+        user_age = bucket_midpoint(bucket)
+        sign_female = 1.0 if gender is Gender.FEMALE else -1.0
+        sign_black = 1.0 if race is Race.BLACK else -1.0
+
+        logit = float(np.log(p.base_rate / (1.0 - p.base_rate)))
+        logit += p.user_age_slope * (user_age - 18.0) / 52.0
+        logit += p.race_congruence * (2.0 * image.race_score - 1.0) * sign_black
+        if high_poverty:
+            # Economically mediated affinity: high-poverty-ZIP residents of
+            # either race engage more with Black-implied imagery (and less
+            # with white-implied).  Non-poor users are neutral on this term.
+            logit += p.poverty_race_affinity * (2.0 * image.race_score - 1.0)
+        logit += p.gender_congruence * (2.0 * image.gender_score - 1.0) * sign_female
+        effective_image_age = float(np.clip(image.age_years, 18.0, 80.0))
+        logit -= p.age_congruence * abs(user_age - effective_image_age) / 50.0
+
+        child = _child_score(image.age_years)
+        if child > 0:
+            caretaker = _caretaker_weight(user_age)
+            weight = p.child_to_women if gender is Gender.FEMALE else p.child_to_men
+            logit += weight * child * caretaker
+
+        if gender is Gender.MALE:
+            older_user = float(np.clip((user_age - 45.0) / 15.0, 0.0, 1.0))
+            logit += (
+                p.young_women_to_older_men
+                * image.gender_score
+                * _youngness(image.age_years)
+                * older_user
+            )
+            logit += (
+                p.older_men_to_men
+                * (1.0 - image.gender_score)
+                * float(np.clip((image.age_years - 30.0) / 40.0, 0.0, 1.0))
+            )
+
+        logit += p.smile_bonus * (image.smile - 0.5)
+
+        if job_category is not None:
+            try:
+                base, female_aff, black_aff = JOB_AFFINITIES[job_category]
+            except KeyError as exc:
+                raise ValidationError(f"unknown job category {job_category!r}") from exc
+            scale = p.job_affinity_scale
+            logit += scale * (base + female_aff * sign_female + black_aff * sign_black)
+        return logit
+
+    def click_probability(
+        self,
+        bucket: AgeBucket,
+        gender: Gender,
+        race: Race,
+        image: ImageFeatures,
+        job_category: str | None = None,
+        *,
+        high_poverty: bool = False,
+    ) -> float:
+        """Click probability for one user cell."""
+        logit = self.click_logit(
+            bucket, gender, race, image, job_category, high_poverty=high_poverty
+        )
+        return float(1.0 / (1.0 + np.exp(-logit)))
+
+    def probability_vector(
+        self, image: ImageFeatures, job_category: str | None = None
+    ) -> np.ndarray:
+        """Click probabilities over all ground-truth cells (GT_CELLS order)."""
+        return np.array(
+            [
+                self.click_probability(
+                    bucket, gender, race, image, job_category, high_poverty=poverty
+                )
+                for bucket, gender, race, poverty in GT_CELLS
+            ]
+        )

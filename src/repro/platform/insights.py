@@ -1,0 +1,168 @@
+"""Per-ad delivery reporting (the Insights API data model).
+
+Facebook's reporting returns impressions, reach, clicks, spend, and
+breakdowns by age bucket × gender and by region (§2.1 "Reporting", §3.3).
+Importantly it never identifies individual users — the region breakdown is
+the only channel through which the paper's race inference works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeliveryError
+from repro.population.user import PlatformUser
+from repro.types import AgeBucket, Gender, State
+
+__all__ = ["AdInsights", "InsightsStore"]
+
+
+@dataclass(slots=True)
+class AdInsights:
+    """Delivery counters for one ad."""
+
+    ad_id: str
+    impressions: int = 0
+    clicks: int = 0
+    spend: float = 0.0
+    by_age_gender: dict[tuple[AgeBucket, Gender], int] = field(default_factory=dict)
+    by_state: dict[State, int] = field(default_factory=dict)
+    by_dma: dict[str, int] = field(default_factory=dict)
+    by_hour: dict[int, int] = field(default_factory=dict)
+    _reached: set[int] = field(default_factory=set, repr=False)
+
+    @property
+    def reach(self) -> int:
+        """Unique users shown the ad."""
+        return len(self._reached)
+
+    def record(
+        self,
+        user: PlatformUser,
+        state: State,
+        dma: str,
+        price: float,
+        clicked: bool,
+        *,
+        hour: int = 0,
+    ) -> None:
+        """Record one impression."""
+        if price < 0:
+            raise DeliveryError("impression price cannot be negative")
+        if not 0 <= hour < 24:
+            raise DeliveryError(f"hour {hour} outside a delivery day")
+        self.impressions += 1
+        self.spend += price
+        if clicked:
+            self.clicks += 1
+        key = (user.age_bucket, user.gender)
+        self.by_age_gender[key] = self.by_age_gender.get(key, 0) + 1
+        self.by_state[state] = self.by_state.get(state, 0) + 1
+        self.by_dma[dma] = self.by_dma.get(dma, 0) + 1
+        self.by_hour[hour] = self.by_hour.get(hour, 0) + 1
+        self._reached.add(user.user_id)
+
+    def impressions_in(self, state: State) -> int:
+        """Impressions attributed to one state."""
+        return self.by_state.get(state, 0)
+
+    @property
+    def frequency(self) -> float:
+        """Average impressions per reached user."""
+        if self.reach == 0:
+            raise DeliveryError(f"ad {self.ad_id} reached nobody")
+        return self.impressions / self.reach
+
+    def hourly_spread(self) -> float:
+        """Fraction of the day's hours with at least one impression.
+
+        A well-paced daily budget delivers throughout the day rather than
+        exhausting in the first hour; the pacing tests assert this stays
+        high.
+        """
+        if self.impressions == 0:
+            raise DeliveryError(f"ad {self.ad_id} has no impressions")
+        return len(self.by_hour) / 24.0
+
+    def fraction_female(self) -> float:
+        """Fraction of impressions delivered to female users."""
+        if self.impressions == 0:
+            raise DeliveryError(f"ad {self.ad_id} has no impressions")
+        female = sum(
+            count for (bucket, gender), count in self.by_age_gender.items()
+            if gender is Gender.FEMALE
+        )
+        return female / self.impressions
+
+    def fraction_age_at_least(self, min_age: int) -> float:
+        """Fraction of impressions delivered to users ``min_age`` or older.
+
+        ``min_age`` must align with a bucket boundary (Facebook only
+        reports bucketed ages).
+        """
+        if self.impressions == 0:
+            raise DeliveryError(f"ad {self.ad_id} has no impressions")
+        if not any(bucket.lower == min_age for bucket in AgeBucket):
+            raise DeliveryError(f"min_age {min_age} is not a bucket boundary")
+        older = sum(
+            count for (bucket, gender), count in self.by_age_gender.items()
+            if bucket.lower >= min_age
+        )
+        return older / self.impressions
+
+    def average_audience_age(self) -> float:
+        """Bucket-midpoint-weighted mean age of the reached audience.
+
+        The statistic behind Figures 3B/3D and 5B/5D: only bucketed counts
+        are observable, so midpoints stand in for exact ages.
+        """
+        from repro.types import bucket_midpoint
+
+        if self.impressions == 0:
+            raise DeliveryError(f"ad {self.ad_id} has no impressions")
+        total = sum(
+            bucket_midpoint(bucket) * count
+            for (bucket, gender), count in self.by_age_gender.items()
+        )
+        return total / self.impressions
+
+    def fraction_cell(self, *, gender: Gender, min_age: int) -> float:
+        """Fraction of impressions to one gender at/above ``min_age``.
+
+        Behind Figure 4's "fraction of men aged 55+ in the audience".
+        """
+        if self.impressions == 0:
+            raise DeliveryError(f"ad {self.ad_id} has no impressions")
+        count = sum(
+            c for (bucket, g), c in self.by_age_gender.items()
+            if g is gender and bucket.lower >= min_age
+        )
+        return count / self.impressions
+
+
+@dataclass(slots=True)
+class InsightsStore:
+    """All per-ad insights of one delivery run."""
+
+    by_ad: dict[str, AdInsights] = field(default_factory=dict)
+
+    def for_ad(self, ad_id: str) -> AdInsights:
+        """Insights of one ad (created on first access)."""
+        if ad_id not in self.by_ad:
+            self.by_ad[ad_id] = AdInsights(ad_id=ad_id)
+        return self.by_ad[ad_id]
+
+    def total_impressions(self) -> int:
+        """Impressions across all ads."""
+        return sum(i.impressions for i in self.by_ad.values())
+
+    def total_spend(self) -> float:
+        """Spend across all ads."""
+        return sum(i.spend for i in self.by_ad.values())
+
+    def total_reach(self) -> int:
+        """Unique users reached across all ads (union)."""
+        reached: set[int] = set()
+        for insights in self.by_ad.values():
+            reached |= insights._reached
+        return len(reached)

@@ -1,0 +1,43 @@
+"""Ad quality scoring.
+
+The third term of the total-value equation: "a measure of whether the ad
+is scammy, clickbait, or contains low-quality images" (§2.1).  All of the
+paper's ads are legitimate and near-identical in quality, so this term is
+deliberately small — but it exists, is exercised, and can be inflated in
+tests to verify the auction actually adds it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.platform.campaign import AdCreative
+
+__all__ = ["AdQualityModel"]
+
+
+class AdQualityModel:
+    """Deterministic quality score for a creative.
+
+    Scores are in value units (same scale as ``bid × EAR``).  Components:
+
+    * a small base for carrying an image of a person (engagement-bait
+      detection would flag person-free clickbait collages instead);
+    * a penalty for very long headlines (low-quality signal);
+    * a penalty for extreme lighting (an over/under-exposed image).
+    """
+
+    def __init__(self, *, scale: float = 0.0005) -> None:
+        if scale < 0:
+            raise ValidationError("scale must be non-negative")
+        self._scale = scale
+
+    def score(self, creative: AdCreative) -> float:
+        """Quality score of one creative."""
+        image = creative.effective_image()
+        value = 1.0 if image.has_person else 0.5
+        if len(creative.headline) > 80:
+            value -= 0.3
+        value -= 0.4 * abs(image.lighting - 0.5)
+        return self._scale * float(np.clip(value, 0.0, 1.5))

@@ -1,0 +1,191 @@
+"""Ad review: policy checks and the Special Ad Categories flow.
+
+Every ad passes review before delivering.  Two paper-relevant behaviours:
+
+* **Special Ad Categories** (housing / employment / credit) may not use
+  age or gender targeting (the NFHA-settlement restrictions, §2.2); a
+  violating combination is rejected deterministically with a policy
+  reason.
+* **Opaque automated rejections** — in Appendix A, Facebook rejected over
+  95% of the resubmitted ads, and still rejected 44 after appeal, "despite
+  all 100 of these ads being run previously" and many of the same images
+  running concurrently in the other copy.  We model this as a stochastic
+  repeat-creative flag whose rate jumps when the same account resubmits a
+  large batch of near-duplicate creatives; an appeal pass clears most but
+  not all flags.  Accounts with long history (the 2007 account of §6)
+  see a lower flag rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.platform.campaign import Ad, AdAccount, SpecialAdCategory
+
+__all__ = ["ReviewDecision", "ReviewOutcome", "AdReviewSystem"]
+
+
+class ReviewDecision(enum.Enum):
+    """Terminal review states."""
+
+    APPROVED = "APPROVED"
+    REJECTED = "REJECTED"
+
+
+@dataclass(frozen=True, slots=True)
+class ReviewOutcome:
+    """One ad's review result with the (possibly opaque) reason.
+
+    ``policy`` marks deterministic policy violations (not appealable), as
+    opposed to the opaque stochastic flags (appealable).
+    """
+
+    ad_id: str
+    decision: ReviewDecision
+    reason: str
+    policy: bool = False
+
+
+#: Creative-text phrases that deterministically fail review in regulated
+#: categories: explicit demographic preferences are illegal in housing /
+#: employment / credit advertising (§2.2's legal background).
+PROHIBITED_PHRASES: tuple[str, ...] = (
+    "whites only",
+    "no blacks",
+    "men only",
+    "women only",
+    "young people only",
+    "christians only",
+    "no families",
+    "able-bodied only",
+)
+
+
+class AdReviewSystem:
+    """Reviews ads submitted under an account.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source for the stochastic flags.
+    base_rejection_rate:
+        Probability that a fresh, compliant ad is flagged anyway.
+    resubmission_rejection_rate:
+        Flag probability once the account has already run the same
+        creative batch before (the Appendix-A regime).
+    appeal_clear_rate:
+        Probability that an appeal clears a stochastic flag.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        base_rejection_rate: float = 0.01,
+        resubmission_rejection_rate: float = 0.95,
+        appeal_clear_rate: float = 0.77,
+    ) -> None:
+        for name, rate in (
+            ("base_rejection_rate", base_rejection_rate),
+            ("resubmission_rejection_rate", resubmission_rejection_rate),
+            ("appeal_clear_rate", appeal_clear_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1]")
+        self._rng = rng
+        self._base_rate = base_rejection_rate
+        self._resubmission_rate = resubmission_rejection_rate
+        self._appeal_clear = appeal_clear_rate
+        self._outcomes: dict[str, ReviewOutcome] = {}
+
+    def review(
+        self,
+        account: AdAccount,
+        ad: Ad,
+        *,
+        resubmission: bool = False,
+    ) -> ReviewOutcome:
+        """Review one ad and update its status in place."""
+        campaign = account.campaign_of(ad)
+        adset = account.adset_of(ad)
+        if (
+            campaign.special_ad_category is not SpecialAdCategory.NONE
+            and adset.targeting.uses_restricted_options()
+        ):
+            ad.review_status = ReviewDecision.REJECTED.value
+            outcome = ReviewOutcome(
+                ad_id=ad.ad_id,
+                decision=ReviewDecision.REJECTED,
+                reason=(
+                    "Special Ad Category ads cannot limit the audience by "
+                    "age or gender"
+                ),
+                policy=True,
+            )
+            self._outcomes[ad.ad_id] = outcome
+            return outcome
+        creative_text = f"{ad.creative.headline} {ad.creative.body}".lower()
+        for phrase in PROHIBITED_PHRASES:
+            if phrase in creative_text:
+                ad.review_status = ReviewDecision.REJECTED.value
+                outcome = ReviewOutcome(
+                    ad_id=ad.ad_id,
+                    decision=ReviewDecision.REJECTED,
+                    reason=(
+                        "Ads may not express a preference for or against "
+                        "people based on protected characteristics"
+                    ),
+                    policy=True,
+                )
+                self._outcomes[ad.ad_id] = outcome
+                return outcome
+        rate = self._resubmission_rate if resubmission else self._base_rate
+        # Seasoned accounts accumulate trust; the 2007-vintage account of
+        # §6 halves its flag probability.
+        if account.created_year <= 2010:
+            rate *= 0.5
+        if self._rng.random() < rate:
+            ad.review_status = ReviewDecision.REJECTED.value
+            outcome = ReviewOutcome(
+                ad_id=ad.ad_id,
+                decision=ReviewDecision.REJECTED,
+                reason="This ad does not comply with our Advertising Policies",
+            )
+        else:
+            ad.review_status = ReviewDecision.APPROVED.value
+            outcome = ReviewOutcome(
+                ad_id=ad.ad_id, decision=ReviewDecision.APPROVED, reason="approved"
+            )
+        self._outcomes[ad.ad_id] = outcome
+        return outcome
+
+    def appeal(self, ad: Ad) -> ReviewOutcome:
+        """Appeal a stochastic rejection; clears with ``appeal_clear_rate``.
+
+        Policy rejections (Special Ad Category violations) are always
+        upheld — fix the targeting instead.
+        """
+        if ad.review_status != ReviewDecision.REJECTED.value:
+            raise ValidationError(f"ad {ad.ad_id} is not rejected")
+        previous = self._outcomes.get(ad.ad_id)
+        if previous is not None and previous.policy:
+            return previous
+        if self._rng.random() < self._appeal_clear:
+            ad.review_status = ReviewDecision.APPROVED.value
+            outcome = ReviewOutcome(
+                ad_id=ad.ad_id,
+                decision=ReviewDecision.APPROVED,
+                reason="approved after appeal",
+            )
+        else:
+            outcome = ReviewOutcome(
+                ad_id=ad.ad_id,
+                decision=ReviewDecision.REJECTED,
+                reason="rejection upheld after review",
+            )
+        self._outcomes[ad.ad_id] = outcome
+        return outcome

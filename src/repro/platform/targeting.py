@@ -1,0 +1,102 @@
+"""Targeting specifications.
+
+The paper's designs use two targeting mechanisms (§2.1): attribute
+expressions and Custom Audiences.  Our spec supports the pieces the study
+needs — one or more Custom Audiences, an optional age cap (Campaign 2
+targets 45-or-younger), optional gender and state restriction — and
+resolves to a concrete eligible-user set against a universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TargetingError
+from repro.population.universe import UserUniverse
+from repro.types import Gender, State
+
+__all__ = ["TargetingSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class TargetingSpec:
+    """Who an ad set may deliver to.
+
+    ``custom_audience_ids`` restrict delivery to users matched into any of
+    the listed audiences (union).  ``age_min``/``age_max`` bound user age;
+    ``genders``/``states`` restrict further.  An empty spec (no audiences,
+    no bounds) is rejected — the platform requires *some* audience
+    definition, mirroring the real API.
+    """
+
+    custom_audience_ids: tuple[str, ...] = ()
+    age_min: int = 18
+    age_max: int | None = None
+    genders: tuple[Gender, ...] = ()
+    states: tuple[State, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.age_min < 18:
+            raise TargetingError("age_min below 18 is not allowed")
+        if self.age_max is not None and self.age_max < self.age_min:
+            raise TargetingError(
+                f"age_max {self.age_max} below age_min {self.age_min}"
+            )
+        if not self.custom_audience_ids and self.age_max is None and not self.genders and not self.states:
+            raise TargetingError("targeting spec selects everyone; refine it")
+
+    def uses_restricted_options(self) -> bool:
+        """True if the spec uses options banned for Special Ad Categories.
+
+        After the NFHA settlement, housing/employment/credit ads cannot
+        target by age or gender (§2.2); the review system rejects such
+        combinations.
+        """
+        return self.age_max is not None or bool(self.genders)
+
+    def accepts(self, user) -> bool:
+        """Whether ``user`` satisfies the demographic filters.
+
+        Custom Audience membership is checked by the delivery engine
+        against the audience store; this predicate covers the rest.
+        """
+        age = user.demographics.age
+        if age < self.age_min:
+            return False
+        if self.age_max is not None and age > self.age_max:
+            return False
+        if self.genders and user.gender not in self.genders:
+            return False
+        if self.states and user.home_state not in self.states:
+            return False
+        return True
+
+    def eligible_user_ids(
+        self, universe: UserUniverse, audience_members: dict[str, set[int]]
+    ) -> set[int]:
+        """Resolve the spec to concrete user ids.
+
+        Parameters
+        ----------
+        universe:
+            The platform user universe.
+        audience_members:
+            Mapping audience id → member user ids (from the audience
+            store).
+
+        Raises
+        ------
+        TargetingError
+            If the spec references an unknown audience id.
+        """
+        if self.custom_audience_ids:
+            pool: set[int] = set()
+            for audience_id in self.custom_audience_ids:
+                members = audience_members.get(audience_id)
+                if members is None:
+                    raise TargetingError(f"unknown custom audience {audience_id!r}")
+                pool |= members
+            candidates = (universe.by_id(uid) for uid in pool)
+        else:
+            candidates = iter(universe.users)
+        return {user.user_id for user in candidates if self.accepts(user)}

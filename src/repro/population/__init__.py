@@ -1,0 +1,32 @@
+"""Platform user population: adoption, activity, and PII matching.
+
+The platform (``repro.platform``) serves ads to *platform users*, not to
+voter records.  This package bridges the two worlds the way the paper's
+methodology implicitly does:
+
+* :class:`~repro.population.user.PlatformUser` — a user with demographics,
+  home location, an *activity rate* (how often they browse), and the
+  features the platform can actually observe (age, gender, and an interest
+  cluster that is only a *proxy* for race — the platform never sees race);
+* :class:`~repro.population.universe.UserUniverse` — built from the state
+  registries via a per-demographic adoption model (not every voter has an
+  account, and adoption is not uniform across demographics — one reason a
+  balanced *target* audience does not imply a balanced *actual* audience);
+* :class:`~repro.population.matching.PiiMatcher` — SHA-256-based Custom
+  Audience matching from uploaded voter PII to users.
+"""
+
+from repro.population.activity import ActivityModel
+from repro.population.matching import PiiMatcher, hash_pii
+from repro.population.universe import AdoptionModel, UserUniverse
+from repro.population.user import InterestCluster, PlatformUser
+
+__all__ = [
+    "ActivityModel",
+    "AdoptionModel",
+    "InterestCluster",
+    "PiiMatcher",
+    "PlatformUser",
+    "UserUniverse",
+    "hash_pii",
+]

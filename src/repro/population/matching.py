@@ -1,0 +1,69 @@
+"""Custom Audience PII matching.
+
+Advertisers upload lists of personally identifiable information (names and
+postal addresses in the paper's design); the platform normalises and hashes
+each entry and matches the hashes against its user base.  Real platforms
+hash with SHA-256 client-side — we do the same so the audit code never
+handles raw PII past the upload boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+from repro.errors import AudienceError
+from repro.population.user import PlatformUser
+
+__all__ = ["hash_pii", "PiiMatcher"]
+
+
+def hash_pii(normalized_pii: str) -> str:
+    """SHA-256 hash of a normalised PII string (hex digest).
+
+    Normalisation (lower-casing, field ordering) happens upstream in
+    :meth:`repro.voters.record.VoterRecord.pii_key`; this function only
+    hashes, mirroring how platform SDKs hash customer lists client-side.
+    """
+    return hashlib.sha256(normalized_pii.encode("utf-8")).hexdigest()
+
+
+class PiiMatcher:
+    """Matches uploaded PII hashes to platform users.
+
+    The matcher indexes every user that carries a ``pii_hash`` (i.e. the
+    platform linked an account to offline identity).  Match *rates* below
+    100% arise naturally: voters without accounts were never indexed.
+    """
+
+    def __init__(self, users: Iterable[PlatformUser]) -> None:
+        self._by_hash: dict[str, PlatformUser] = {}
+        for user in users:
+            if user.pii_hash is None:
+                continue
+            if user.pii_hash in self._by_hash:
+                raise AudienceError(f"duplicate PII hash for user {user.user_id}")
+            self._by_hash[user.pii_hash] = user
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def match(self, uploaded_hashes: Iterable[str]) -> list[PlatformUser]:
+        """Return users matching the uploaded hashes (order-stable, unique)."""
+        matched: list[PlatformUser] = []
+        seen: set[str] = set()
+        for pii_hash in uploaded_hashes:
+            if pii_hash in seen:
+                continue
+            seen.add(pii_hash)
+            user = self._by_hash.get(pii_hash)
+            if user is not None:
+                matched.append(user)
+        return matched
+
+    def match_rate(self, uploaded_hashes: Iterable[str]) -> float:
+        """Fraction of uploaded hashes that matched a user."""
+        hashes = list(uploaded_hashes)
+        if not hashes:
+            raise AudienceError("cannot compute match rate of an empty upload")
+        return len(self.match(hashes)) / len(set(hashes))

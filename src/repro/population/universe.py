@@ -1,0 +1,143 @@
+"""Building the platform user universe from voter registries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.population.activity import ActivityModel
+from repro.population.matching import PiiMatcher, hash_pii
+from repro.population.user import InterestCluster, PlatformUser
+from repro.types import Demographics, Gender, Race
+from repro.voters.registry import VoterRegistry
+
+__all__ = ["AdoptionModel", "UserUniverse"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdoptionModel:
+    """Probability that a voter has a (linkable) platform account.
+
+    Adoption differs by demographic — the paper notes each group "may not
+    have the same percentage of voters with Facebook accounts" — so even a
+    perfectly balanced uploaded list yields an unbalanced matched audience.
+    """
+
+    base_rate: float = 0.72
+    race_multiplier: dict[Race, float] | None = None
+    age_slope: float = -0.0025  # adoption declines slightly with age
+
+    def probability(self, race: Race, age: int) -> float:
+        """Adoption probability for one voter."""
+        multipliers = self.race_multiplier or {Race.WHITE: 1.0, Race.BLACK: 0.97}
+        p = self.base_rate * multipliers[race] * (1.0 + self.age_slope * (age - 40))
+        return float(np.clip(p, 0.05, 0.99))
+
+
+class UserUniverse:
+    """All platform users derived from one or more voter registries.
+
+    Parameters
+    ----------
+    registries:
+        State registries to recruit users from.
+    rng:
+        Randomness source.
+    adoption:
+        Adoption model; defaults to :class:`AdoptionModel` defaults.
+    activity:
+        Activity model; defaults to a fresh :class:`ActivityModel` on the
+        same rng.
+    proxy_fidelity:
+        Probability that a user's platform-observable interest cluster
+        agrees with their race (ALPHA ↔ white, BETA ↔ Black).  The
+        platform's delivery model sees only the cluster; at fidelity 0.5
+        the proxy carries no information and race skews must vanish —
+        an ablation bench checks exactly that.
+    poverty_threshold:
+        ZIP-poverty rate above which a user counts as living in a
+        high-poverty area (the Appendix-A economic tier).  Sits between
+        the paper's 12% (white median) and 16% (Black median) ZIP
+        poverty observation.
+    """
+
+    def __init__(
+        self,
+        registries: list[VoterRegistry],
+        rng: np.random.Generator,
+        *,
+        adoption: AdoptionModel | None = None,
+        activity: ActivityModel | None = None,
+        proxy_fidelity: float = 0.88,
+        poverty_threshold: float = 0.14,
+    ) -> None:
+        if not registries:
+            raise ValidationError("need at least one registry")
+        if not 0.0 <= proxy_fidelity <= 1.0:
+            raise ValidationError("proxy_fidelity must be in [0, 1]")
+        self._rng = rng
+        self._adoption = adoption or AdoptionModel()
+        self._activity = activity or ActivityModel(rng)
+        self._proxy_fidelity = proxy_fidelity
+        self._users: list[PlatformUser] = []
+        self._by_hash: dict[str, PlatformUser] = {}
+        next_id = 0
+        for registry in registries:
+            for record in registry.records:
+                race = record.study_race
+                if race is None or record.gender is Gender.UNKNOWN:
+                    # Voters outside the binary design never enter the
+                    # study audiences; skip creating accounts for them to
+                    # keep the universe lean.
+                    continue
+                if rng.random() >= self._adoption.probability(race, record.age):
+                    continue
+                congruent = rng.random() < proxy_fidelity
+                if race is Race.BLACK:
+                    cluster = InterestCluster.BETA if congruent else InterestCluster.ALPHA
+                else:
+                    cluster = InterestCluster.ALPHA if congruent else InterestCluster.BETA
+                user = PlatformUser(
+                    user_id=next_id,
+                    demographics=Demographics(race=race, gender=record.gender, age=record.age),
+                    home_state=record.state,
+                    home_dma=record.dma,
+                    zip_code=record.address.zip_code,
+                    interest_cluster=cluster,
+                    activity_rate=self._activity.rate_for(record.age_bucket, record.gender, race),
+                    high_poverty=record.zip_poverty >= poverty_threshold,
+                    pii_hash=hash_pii(record.pii_key()),
+                )
+                self._users.append(user)
+                self._by_hash[user.pii_hash] = user
+                next_id += 1
+        if not self._users:
+            raise ValidationError("adoption produced an empty universe")
+        self._matcher = PiiMatcher(self._users)
+
+    @property
+    def users(self) -> list[PlatformUser]:
+        """All platform users (do not mutate)."""
+        return self._users
+
+    @property
+    def matcher(self) -> PiiMatcher:
+        """PII matcher over this universe."""
+        return self._matcher
+
+    @property
+    def proxy_fidelity(self) -> float:
+        """Race/cluster agreement probability used at construction."""
+        return self._proxy_fidelity
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def by_id(self, user_id: int) -> PlatformUser:
+        """Look up a user by id."""
+        try:
+            return self._users[user_id]
+        except IndexError as exc:
+            raise ValidationError(f"unknown user id {user_id}") from exc

@@ -1,0 +1,74 @@
+"""The platform user model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.types import AgeBucket, Demographics, Gender, Race, State
+
+__all__ = ["InterestCluster", "PlatformUser"]
+
+
+class InterestCluster(enum.Enum):
+    """Coarse behavioural cluster the platform observes for each user.
+
+    The platform's delivery model never sees self-reported race — but it
+    does see behavioural features that *correlate* with race (pages
+    followed, content engaged with).  We compress those into a binary
+    cluster that matches the user's race with probability
+    ``UserUniverse.proxy_fidelity``; the delivery optimizer can therefore
+    discriminate by race only through this noisy proxy, exactly the
+    mechanism the paper's discussion attributes the skew to.
+    """
+
+    ALPHA = "alpha"
+    BETA = "beta"
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformUser:
+    """One platform user.
+
+    ``demographics`` is the ground truth (known to the experimenter via the
+    voter file, never to the platform's model); ``observed`` fields —
+    ``age_bucket``, ``gender`` and ``interest_cluster`` — are what the
+    platform's models may condition on.  ``activity_rate`` scales how many
+    browsing sessions the user generates per day.
+    """
+
+    user_id: int
+    demographics: Demographics
+    home_state: State
+    home_dma: str
+    zip_code: str
+    interest_cluster: InterestCluster
+    activity_rate: float
+    high_poverty: bool = False
+    pii_hash: str | None = None
+
+    @property
+    def age_bucket(self) -> AgeBucket:
+        """Reporting bucket (platform-observable)."""
+        return self.demographics.age_bucket
+
+    @property
+    def gender(self) -> Gender:
+        """Gender (platform-observable)."""
+        return self.demographics.gender
+
+    @property
+    def race(self) -> Race:
+        """Ground-truth race — available to the auditor, NOT the platform."""
+        return self.demographics.race
+
+    def observed_cell(self) -> tuple[AgeBucket, Gender, InterestCluster, bool]:
+        """The (age, gender, cluster, poverty) cell visible to the platform.
+
+        Delivery models in :mod:`repro.platform` are functions of this
+        cell; keeping it explicit makes "the platform cannot see race"
+        checkable in tests.  ``high_poverty`` is observable because it
+        derives from the user's ZIP code and public ACS-style statistics,
+        not from anything self-reported.
+        """
+        return (self.age_bucket, self.gender, self.interest_cluster, self.high_poverty)

@@ -1,0 +1,45 @@
+"""Statistical routines used by the measurement methodology.
+
+Everything the paper's analysis needs, implemented from scratch on
+numpy/scipy:
+
+* :mod:`repro.stats.ols` — ordinary least squares with t-tests, p-values
+  and R² (Tables 3, 4a-c, A1);
+* :mod:`repro.stats.logistic` — L2-regularised logistic regression via
+  L-BFGS (latent direction finding in §5.4 and the platform's learned
+  estimated-action-rate model);
+* :mod:`repro.stats.mixedlm` — random-intercept linear mixed model fitted
+  by profiled maximum likelihood (Table 5's per-job-type intercepts);
+* :mod:`repro.stats.dummy` — dummy encoding of categorical treatments
+  (§3.4 footnote 6: N-1 binary columns per N-level factor);
+* :mod:`repro.stats.tables` — significance stars and fixed-width table
+  rendering in the paper's style;
+* :mod:`repro.stats.bootstrap` — nonparametric bootstrap confidence
+  intervals for delivery fractions.
+"""
+
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.dummy import DummyCoding
+from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.stats.mixedlm import MixedLMResult, fit_random_intercept
+from repro.stats.ols import OLSResult, fit_ols
+from repro.stats.permutation import (
+    permutation_test_mean_difference,
+    permutation_test_statistic,
+)
+from repro.stats.tables import render_table, significance_stars
+
+__all__ = [
+    "DummyCoding",
+    "LogisticModel",
+    "MixedLMResult",
+    "OLSResult",
+    "bootstrap_ci",
+    "fit_logistic",
+    "fit_ols",
+    "fit_random_intercept",
+    "permutation_test_mean_difference",
+    "permutation_test_statistic",
+    "render_table",
+    "significance_stars",
+]

@@ -1,0 +1,46 @@
+"""Nonparametric bootstrap confidence intervals.
+
+Delivery fractions (e.g. "% of the actual audience that is Black") are
+ratios of noisy impression counts; the examples and some benches report
+percentile-bootstrap CIs alongside the point estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["bootstrap_ci"]
+
+
+def bootstrap_ci(
+    data: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    rng: np.random.Generator,
+    *,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap CI for ``statistic(data)``.
+
+    Returns ``(point_estimate, low, high)``.
+    """
+    data = np.asarray(data)
+    if data.size == 0:
+        raise StatsError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise StatsError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise StatsError("need at least 10 resamples")
+    point = float(statistic(data))
+    estimates = np.empty(n_resamples)
+    n = data.shape[0]
+    for i in range(n_resamples):
+        sample = data[rng.integers(0, n, size=n)]
+        estimates[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return point, float(low), float(high)

@@ -1,0 +1,135 @@
+"""Regression diagnostics.
+
+The paper's Table-4 models regress *delivery fractions* on image dummies.
+Fractions computed from finite impression counts are binomial proportions:
+their variance depends on the count and the level, so homoskedasticity is
+suspect by construction.  These diagnostics make that checkable:
+
+* :func:`breusch_pagan` — the standard LM test for heteroskedasticity;
+* :func:`cooks_distance` — per-observation influence (does one odd image
+  drive a coefficient?);
+* :func:`residual_normality` — D'Agostino-Pearson omnibus test on the
+  residuals.
+
+An extension bench runs them on the reproduced Table 4a and reports
+whether classical or HC1 inference is the appropriate default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import StatsError
+
+__all__ = ["breusch_pagan", "cooks_distance", "residual_normality", "DiagnosticsReport", "diagnose"]
+
+
+def _design(X: np.ndarray, add_intercept: bool) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise StatsError("X must be 2-d")
+    if add_intercept:
+        return np.column_stack([np.ones(X.shape[0]), X])
+    return X
+
+
+def breusch_pagan(
+    y: np.ndarray, X: np.ndarray, *, add_intercept: bool = True
+) -> tuple[float, float]:
+    """Breusch-Pagan LM test; returns ``(statistic, p_value)``.
+
+    Small p-values mean the squared residuals are predictable from the
+    regressors — heteroskedasticity — and classical OLS standard errors
+    are unreliable.
+    """
+    y = np.asarray(y, dtype=float).ravel()
+    design = _design(X, add_intercept)
+    n, k = design.shape
+    if n <= k + 1:
+        raise StatsError("too few observations for the BP test")
+    beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ beta
+    squared = resid**2
+    target = squared / squared.mean()
+    gamma, *_ = np.linalg.lstsq(design, target, rcond=None)
+    fitted = design @ gamma
+    explained = float(((fitted - target.mean()) ** 2).sum())
+    statistic = 0.5 * explained
+    df = k - 1 if add_intercept else k
+    if df < 1:
+        raise StatsError("BP test needs at least one non-constant regressor")
+    p_value = float(sps.chi2.sf(statistic, df))
+    return float(statistic), p_value
+
+
+def cooks_distance(
+    y: np.ndarray, X: np.ndarray, *, add_intercept: bool = True
+) -> np.ndarray:
+    """Cook's distance per observation."""
+    y = np.asarray(y, dtype=float).ravel()
+    design = _design(X, add_intercept)
+    n, k = design.shape
+    if n <= k:
+        raise StatsError("too few observations for influence diagnostics")
+    gram_inv = np.linalg.pinv(design.T @ design)
+    hat = np.einsum("ij,jk,ik->i", design, gram_inv, design)
+    beta = gram_inv @ design.T @ y
+    resid = y - design @ beta
+    mse = float(resid @ resid) / (n - k)
+    if mse == 0:
+        return np.zeros(n)
+    leverage_term = hat / np.clip((1.0 - hat) ** 2, 1e-12, None)
+    return (resid**2 / (k * mse)) * leverage_term
+
+
+def residual_normality(
+    y: np.ndarray, X: np.ndarray, *, add_intercept: bool = True
+) -> tuple[float, float]:
+    """D'Agostino-Pearson omnibus normality test on OLS residuals."""
+    y = np.asarray(y, dtype=float).ravel()
+    design = _design(X, add_intercept)
+    if y.shape[0] < 20:
+        raise StatsError("normality test needs at least 20 observations")
+    beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ beta
+    statistic, p_value = sps.normaltest(resid)
+    return float(statistic), float(p_value)
+
+
+@dataclass(frozen=True, slots=True)
+class DiagnosticsReport:
+    """Bundle of diagnostics for one fitted regression."""
+
+    bp_statistic: float
+    bp_p_value: float
+    max_cooks_distance: float
+    n_influential: int
+    normality_p_value: float
+
+    @property
+    def heteroskedastic(self) -> bool:
+        """Whether the BP test rejects homoskedasticity at 5%."""
+        return self.bp_p_value < 0.05
+
+    def recommends_robust_errors(self) -> bool:
+        """True when HC1 standard errors are the defensible choice."""
+        return self.heteroskedastic
+
+
+def diagnose(y: np.ndarray, X: np.ndarray, *, add_intercept: bool = True) -> DiagnosticsReport:
+    """Run all diagnostics; influence threshold is the common 4/n rule."""
+    y = np.asarray(y, dtype=float).ravel()
+    bp_stat, bp_p = breusch_pagan(y, X, add_intercept=add_intercept)
+    distances = cooks_distance(y, X, add_intercept=add_intercept)
+    _, norm_p = residual_normality(y, X, add_intercept=add_intercept)
+    threshold = 4.0 / y.shape[0]
+    return DiagnosticsReport(
+        bp_statistic=bp_stat,
+        bp_p_value=bp_p,
+        max_cooks_distance=float(distances.max()),
+        n_influential=int(np.sum(distances > threshold)),
+        normality_p_value=norm_p,
+    )

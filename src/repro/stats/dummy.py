@@ -1,0 +1,92 @@
+"""Dummy coding of categorical treatment variables.
+
+The paper (§3.4, footnote 6) encodes each N-level categorical feature as
+N-1 binary columns, with the omitted ("reference") level absorbed by the
+intercept: the stock-image regressions use white / male / adult as the
+reference, so the intercept is the predicted outcome for a white adult
+male image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["DummyCoding"]
+
+
+@dataclass(frozen=True, slots=True)
+class Factor:
+    """One categorical factor: its levels, first level is the reference."""
+
+    name: str
+    levels: tuple[str, ...]
+
+
+class DummyCoding:
+    """Builds a dummy-coded design matrix from categorical rows.
+
+    Example::
+
+        coding = DummyCoding()
+        coding.add_factor("race", ["white", "Black"])
+        coding.add_factor("age", ["adult", "child", "teen", "middle-aged", "elderly"])
+        X, names = coding.encode([{"race": "Black", "age": "teen"}, ...])
+
+    Column names are the non-reference level names (capitalised like the
+    paper's tables when ``label_overrides`` maps them).
+    """
+
+    def __init__(self) -> None:
+        self._factors: list[Factor] = []
+        self._labels: dict[str, str] = {}
+
+    def add_factor(
+        self,
+        name: str,
+        levels: list[str],
+        *,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Register a factor; ``levels[0]`` becomes the reference level."""
+        if len(levels) < 2:
+            raise StatsError(f"factor {name!r} needs at least 2 levels")
+        if len(set(levels)) != len(levels):
+            raise StatsError(f"factor {name!r} has duplicate levels")
+        self._factors.append(Factor(name=name, levels=tuple(levels)))
+        for level, label in (labels or {}).items():
+            self._labels[f"{name}={level}"] = label
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the encoded columns, in order."""
+        names: list[str] = []
+        for factor in self._factors:
+            for level in factor.levels[1:]:
+                names.append(self._labels.get(f"{factor.name}={level}", level))
+        return names
+
+    def encode(self, rows: list[dict[str, str]]) -> tuple[np.ndarray, list[str]]:
+        """Encode rows into a (n, p) 0/1 matrix plus column names."""
+        if not self._factors:
+            raise StatsError("no factors registered")
+        if not rows:
+            raise StatsError("no rows to encode")
+        columns: list[np.ndarray] = []
+        for factor in self._factors:
+            valid = set(factor.levels)
+            values = []
+            for i, row in enumerate(rows):
+                if factor.name not in row:
+                    raise StatsError(f"row {i} missing factor {factor.name!r}")
+                if row[factor.name] not in valid:
+                    raise StatsError(
+                        f"row {i}: {row[factor.name]!r} is not a level of {factor.name!r}"
+                    )
+                values.append(row[factor.name])
+            for level in factor.levels[1:]:
+                columns.append(np.array([1.0 if v == level else 0.0 for v in values]))
+        return np.column_stack(columns), self.column_names

@@ -1,0 +1,170 @@
+"""Ordinary least squares with classical inference.
+
+Implements exactly what the paper's §3.4 describes: coefficient estimates,
+two-sided t-test p-values with significance stars, and the R² "fraction of
+variance explained".  The intercept is always prepended; explanatory
+variables enter as the caller provides them (typically dummy-coded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import StatsError
+from repro.stats.tables import significance_stars
+
+__all__ = ["OLSResult", "fit_ols"]
+
+
+@dataclass(frozen=True, slots=True)
+class OLSResult:
+    """Fitted OLS model.
+
+    Attributes mirror a regression table: per-term ``coef``, ``stderr``,
+    ``t_values``, ``p_values``; model-level ``r_squared`` and
+    ``adj_r_squared``.  ``terms`` names each coefficient, starting with
+    ``"Intercept"``.
+    """
+
+    terms: tuple[str, ...]
+    coef: np.ndarray
+    stderr: np.ndarray
+    t_values: np.ndarray
+    p_values: np.ndarray
+    r_squared: float
+    adj_r_squared: float
+    n_obs: int
+    df_resid: int
+
+    def coefficient(self, term: str) -> float:
+        """Coefficient of ``term``."""
+        return float(self.coef[self._index(term)])
+
+    def p_value(self, term: str) -> float:
+        """Two-sided p-value of ``term``."""
+        return float(self.p_values[self._index(term)])
+
+    def stars(self, term: str) -> str:
+        """Significance stars for ``term`` in the paper's convention."""
+        return significance_stars(self.p_value(term))
+
+    def is_significant(self, term: str, alpha: float = 0.05) -> bool:
+        """Whether ``term``'s coefficient differs from 0 at level ``alpha``."""
+        return self.p_value(term) < alpha
+
+    def predict(self, row: dict[str, float]) -> float:
+        """Predicted outcome for one (partial) row of regressors.
+
+        Missing terms are treated as 0 — the paper's additive reading:
+        "to estimate the fraction [...] for a white elderly woman, add the
+        intercept, female and elderly coefficients".
+        """
+        value = self.coefficient("Intercept")
+        for term, x in row.items():
+            value += self.coefficient(term) * x
+        return value
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """(term, formatted coefficient with stars) rows for rendering."""
+        return [
+            (term, f"{self.coef[i]:+.4f}{significance_stars(float(self.p_values[i]))}")
+            for i, term in enumerate(self.terms)
+        ]
+
+    def _index(self, term: str) -> int:
+        try:
+            return self.terms.index(term)
+        except ValueError as exc:
+            raise StatsError(f"unknown term {term!r}; have {self.terms}") from exc
+
+
+def fit_ols(
+    y: np.ndarray,
+    X: np.ndarray,
+    term_names: list[str],
+    *,
+    add_intercept: bool = True,
+    robust: bool = False,
+) -> OLSResult:
+    """Fit ``y ~ X`` by ordinary least squares.
+
+    Parameters
+    ----------
+    y:
+        Outcome vector, shape (n,).
+    X:
+        Regressor matrix, shape (n, p), *without* intercept column.
+    term_names:
+        Names of the p columns of ``X``.
+    add_intercept:
+        Prepend an intercept column (default True).
+    robust:
+        Use HC1 heteroskedasticity-robust standard errors instead of the
+        classical homoskedastic ones.  Delivery fractions are binomial
+        proportions with impression-count-dependent variance, so the
+        robust option is the defensible default for sensitivity checks
+        (coefficients are identical either way).
+
+    Raises
+    ------
+    StatsError
+        On shape mismatch, insufficient degrees of freedom, or a singular
+        design matrix.
+    """
+    y = np.asarray(y, dtype=float).ravel()
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise StatsError(f"X must be 2-d, got shape {X.shape}")
+    n, p = X.shape
+    if y.shape[0] != n:
+        raise StatsError(f"y has {y.shape[0]} rows, X has {n}")
+    if len(term_names) != p:
+        raise StatsError(f"{len(term_names)} names for {p} columns")
+    if add_intercept:
+        X = np.column_stack([np.ones(n), X])
+        names = ("Intercept", *term_names)
+    else:
+        names = tuple(term_names)
+    k = X.shape[1]
+    df_resid = n - k
+    if df_resid <= 0:
+        raise StatsError(f"not enough observations: n={n}, k={k}")
+
+    xtx = X.T @ X
+    try:
+        xtx_inv = np.linalg.inv(xtx)
+    except np.linalg.LinAlgError as exc:
+        raise StatsError("singular design matrix (collinear regressors?)") from exc
+    beta = xtx_inv @ (X.T @ y)
+    resid = y - X @ beta
+    rss = float(resid @ resid)
+    sigma2 = rss / df_resid
+    if robust:
+        # HC1: White's sandwich estimator with the n/(n-k) small-sample
+        # correction.
+        meat = (X * (resid**2)[:, None]).T @ X
+        cov = xtx_inv @ meat @ xtx_inv * (n / df_resid)
+        stderr = np.sqrt(np.clip(np.diag(cov), 0.0, None))
+    else:
+        stderr = np.sqrt(np.clip(np.diag(xtx_inv) * sigma2, 0.0, None))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_values = np.where(stderr > 0, beta / stderr, np.inf * np.sign(beta))
+    p_values = 2.0 * sps.t.sf(np.abs(t_values), df_resid)
+
+    tss = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - rss / tss if tss > 0 else 0.0
+    adj_r2 = 1.0 - (1.0 - r2) * (n - 1) / df_resid if df_resid > 0 else r2
+    return OLSResult(
+        terms=names,
+        coef=beta,
+        stderr=stderr,
+        t_values=np.asarray(t_values, dtype=float),
+        p_values=np.asarray(p_values, dtype=float),
+        r_squared=float(r2),
+        adj_r_squared=float(adj_r2),
+        n_obs=n,
+        df_resid=df_resid,
+    )

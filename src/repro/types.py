@@ -1,0 +1,193 @@
+"""Shared demographic and geographic types used throughout the library.
+
+The paper studies three demographic axes:
+
+* **race** — restricted to white / Black in the measurement design (voter
+  files carry the full census option list, see :mod:`repro.voters`);
+* **gender** — male / female (plus unknown, which both the voter files and
+  Facebook's reporting carry);
+* **age** — two distinct notions, which this module keeps separate:
+
+  - :class:`AgeBand` is the age *implied by an ad image* (child, teen,
+    adult, middle-aged, elderly), the treatment variable of the study;
+  - :class:`AgeBucket` is the age bucket Facebook's reporting tools use for
+    the *actual audience* (18-24 ... 65+), the outcome variable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Race",
+    "CensusRace",
+    "Gender",
+    "AgeBand",
+    "AgeBucket",
+    "State",
+    "Demographics",
+    "AGE_BAND_MIDPOINTS",
+    "age_bucket_for",
+    "bucket_midpoint",
+]
+
+
+class Race(enum.Enum):
+    """Race as used by the study design (binary by construction)."""
+
+    WHITE = "white"
+    BLACK = "Black"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CensusRace(enum.Enum):
+    """Self-reported race options on FL / NC voter registration forms.
+
+    Both states limit the options to the U.S. Census list (paper §4.2).
+    """
+
+    AMERICAN_INDIAN = "American Indian or Alaskan Native"
+    ASIAN_PACIFIC = "Asian Or Pacific Islander"
+    BLACK = "Black, Not Hispanic"
+    HISPANIC = "Hispanic"
+    WHITE = "White, Not Hispanic"
+    OTHER = "Other"
+    MULTI_RACIAL = "Multi-racial"
+    UNKNOWN = "Unknown"
+
+    def to_study_race(self) -> Race | None:
+        """Map to the binary study race, or ``None`` if outside the study."""
+        if self is CensusRace.WHITE:
+            return Race.WHITE
+        if self is CensusRace.BLACK:
+            return Race.BLACK
+        return None
+
+
+class Gender(enum.Enum):
+    """Self-reported gender; both states and Facebook expose three options."""
+
+    MALE = "male"
+    FEMALE = "female"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class AgeBand(enum.Enum):
+    """Age *implied by the person in an ad image* (treatment variable)."""
+
+    CHILD = "child"
+    TEEN = "teen"
+    ADULT = "adult"
+    MIDDLE_AGED = "middle-aged"
+    ELDERLY = "elderly"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Nominal age (years) at the center of each implied band.  Used by the
+#: image synthesis pipeline and by the ground-truth engagement model.
+AGE_BAND_MIDPOINTS: dict[AgeBand, float] = {
+    AgeBand.CHILD: 8.0,
+    AgeBand.TEEN: 16.0,
+    AgeBand.ADULT: 30.0,
+    AgeBand.MIDDLE_AGED: 50.0,
+    AgeBand.ELDERLY: 72.0,
+}
+
+
+class AgeBucket(enum.Enum):
+    """Facebook's reporting age buckets (paper §3.2, footnote 3)."""
+
+    B18_24 = "18-24"
+    B25_34 = "25-34"
+    B35_44 = "35-44"
+    B45_54 = "45-54"
+    B55_64 = "55-64"
+    B65_PLUS = "65+"
+
+    @property
+    def lower(self) -> int:
+        """Inclusive lower age bound of the bucket."""
+        return int(self.value.split("-")[0].rstrip("+"))
+
+    @property
+    def upper(self) -> int:
+        """Inclusive upper age bound (an open 65+ bucket reports 100)."""
+        if self is AgeBucket.B65_PLUS:
+            return 100
+        return int(self.value.split("-")[1])
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def age_bucket_for(age: int) -> AgeBucket:
+    """Return the Facebook reporting bucket containing ``age``.
+
+    Raises :class:`ValidationError` for ages below 18 — the platform only
+    reports on (and our voter-derived audiences only contain) adults.
+    """
+    if age < 18:
+        raise ValidationError(f"age {age} is below the minimum reporting age of 18")
+    for bucket in AgeBucket:
+        if bucket.lower <= age <= bucket.upper:
+            return bucket
+    return AgeBucket.B65_PLUS
+
+
+def bucket_midpoint(bucket: AgeBucket) -> float:
+    """Nominal midpoint age of a reporting bucket.
+
+    Used to compute the "average age of the reached audience" series in
+    Figures 3B/3D/5B/5D, where only bucketed counts are observable.
+    """
+    if bucket is AgeBucket.B65_PLUS:
+        return 70.0
+    return (bucket.lower + bucket.upper) / 2.0
+
+
+class State(enum.Enum):
+    """U.S. states relevant to the measurement design.
+
+    Florida and North Carolina are the two record-source states; ``OTHER``
+    aggregates the remaining 48 states, where a small fraction of delivery
+    leaks to travelling users (paper §3.3 measures this at <1%).
+    """
+
+    FL = "FL"
+    NC = "NC"
+    OTHER = "OTHER"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Demographics:
+    """A (race, gender, age) triple for one person.
+
+    ``age`` is in years.  ``race`` uses the binary study notion; carriers of
+    the full census option list keep a :class:`CensusRace` alongside.
+    """
+
+    race: Race
+    gender: Gender
+    age: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.age <= 120:
+            raise ValidationError(f"age {self.age} outside plausible range")
+
+    @property
+    def age_bucket(self) -> AgeBucket:
+        """Facebook reporting bucket for this person's age."""
+        return age_bucket_for(self.age)

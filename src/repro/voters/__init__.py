@@ -1,0 +1,31 @@
+"""Synthetic voter registries with Florida / North Carolina file formats.
+
+The paper builds balanced Custom Audiences from FL and NC voter extracts —
+both states publish voter files with self-reported race and gender.  This
+package provides:
+
+* :class:`~repro.voters.record.VoterRecord` — the common record model;
+* :mod:`repro.voters.florida` / :mod:`repro.voters.north_carolina` —
+  writers and parsers for state-specific extract layouts (FL is a
+  tab-separated "extract disk" layout, NC a tab-separated layout with its
+  own column vocabulary), so the pipeline exercises real file parsing;
+* :class:`~repro.voters.registry.VoterRegistry` — generation of a full
+  synthetic registry for a state, with demographic marginals, ZIP
+  assignment, names and addresses;
+* :mod:`repro.voters.sampling` — the stratified balanced sampler that
+  produces the paper's Table-1 audiences (age × gender × race uncorrelated).
+"""
+
+from repro.voters.diagnostics import BalanceReport, check_balance
+from repro.voters.record import VoterRecord
+from repro.voters.registry import VoterRegistry
+from repro.voters.sampling import BalancedSample, stratified_balanced_sample
+
+__all__ = [
+    "BalanceReport",
+    "BalancedSample",
+    "VoterRecord",
+    "VoterRegistry",
+    "check_balance",
+    "stratified_balanced_sample",
+]

@@ -1,0 +1,99 @@
+"""Balance diagnostics for sampled audiences.
+
+§3.2's design claim — "age, gender, and race are not correlated" in the
+target audience — is checkable: for every pair of attributes, a chi-square
+test of independence on the sample's contingency table should find
+nothing.  These diagnostics run after sampling (and are also pointed at
+*unbalanced* samples in tests, where they must light up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import StatsError
+from repro.voters.record import VoterRecord
+
+__all__ = ["BalanceReport", "check_balance", "contingency_table"]
+
+_ATTRIBUTES = ("race", "gender", "age_bucket", "state")
+
+
+def _attribute_value(record: VoterRecord, attribute: str) -> str:
+    if attribute == "race":
+        race = record.study_race
+        if race is None:
+            raise StatsError("balance diagnostics expect study-race voters only")
+        return race.value
+    if attribute == "gender":
+        return record.gender.value
+    if attribute == "age_bucket":
+        return record.age_bucket.value
+    if attribute == "state":
+        return record.state.value
+    raise StatsError(f"unknown attribute {attribute!r}")
+
+
+def contingency_table(
+    voters: list[VoterRecord], row_attribute: str, column_attribute: str
+) -> tuple[np.ndarray, list[str], list[str]]:
+    """Cross-tabulate two attributes; returns (counts, row levels, col levels)."""
+    if not voters:
+        raise StatsError("no voters to tabulate")
+    rows = sorted({_attribute_value(v, row_attribute) for v in voters})
+    cols = sorted({_attribute_value(v, column_attribute) for v in voters})
+    table = np.zeros((len(rows), len(cols)))
+    row_ix = {level: i for i, level in enumerate(rows)}
+    col_ix = {level: i for i, level in enumerate(cols)}
+    for voter in voters:
+        table[
+            row_ix[_attribute_value(voter, row_attribute)],
+            col_ix[_attribute_value(voter, column_attribute)],
+        ] += 1
+    return table, rows, cols
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceReport:
+    """Chi-square independence results for every attribute pair."""
+
+    p_values: dict[tuple[str, str], float]
+
+    def is_balanced(self, alpha: float = 0.01) -> bool:
+        """True if no attribute pair shows significant dependence."""
+        return all(p >= alpha for p in self.p_values.values())
+
+    def worst_pair(self) -> tuple[tuple[str, str], float]:
+        """The attribute pair with the smallest p-value."""
+        pair = min(self.p_values, key=self.p_values.get)
+        return pair, self.p_values[pair]
+
+
+def check_balance(
+    voters: list[VoterRecord],
+    *,
+    attributes: tuple[str, ...] = _ATTRIBUTES,
+) -> BalanceReport:
+    """Run chi-square independence tests over all attribute pairs.
+
+    A perfectly balanced design yields p = 1.0 for every pair (the
+    contingency tables are exactly proportional); sampling accidents and
+    deliberate imbalance push p toward 0.
+    """
+    if len(voters) < 20:
+        raise StatsError("too few voters for balance diagnostics")
+    p_values: dict[tuple[str, str], float] = {}
+    for i, row_attr in enumerate(attributes):
+        for col_attr in attributes[i + 1 :]:
+            table, rows, cols = contingency_table(voters, row_attr, col_attr)
+            if len(rows) < 2 or len(cols) < 2:
+                # An attribute is constant in this sample (e.g. the
+                # age-capped design): independence is vacuous.
+                p_values[(row_attr, col_attr)] = 1.0
+                continue
+            result = sps.chi2_contingency(table)
+            p_values[(row_attr, col_attr)] = float(result.pvalue)
+    return BalanceReport(p_values=p_values)

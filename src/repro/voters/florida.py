@@ -1,0 +1,219 @@
+"""Florida voter extract format ("Voter Extract Disk File Layout").
+
+Florida publishes its registry as a tab-delimited, headerless file of 38
+columns; this module writes and parses that layout.  Column order follows
+the official layout document the paper cites; fields the measurement
+pipeline does not use (mailing address, phone, districts...) are written
+as plausible placeholders and preserved opaquely by the parser.
+
+Race is encoded numerically (the official code table)::
+
+    1  American Indian or Alaskan Native
+    2  Asian Or Pacific Islander
+    3  Black, Not Hispanic
+    4  Hispanic
+    5  White, Not Hispanic
+    6  Other
+    7  Multi-racial
+    9  Unknown
+
+Gender is ``F`` / ``M`` / ``U``; birth date is ``MM/DD/YYYY``.  The
+official extract additionally protects some fields for confidential
+voters ("*" masking); the writer emits unmasked records only, while the
+parser rejects masked rows explicitly rather than mis-reading them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import VoterFileError
+from repro.names import FullName, PostalAddress
+from repro.types import CensusRace, Gender, State
+from repro.voters.record import VoterRecord
+
+__all__ = ["FL_COLUMNS", "write_fl_extract", "parse_fl_extract", "REFERENCE_YEAR"]
+
+#: Reference year for age <-> birth-year conversion in synthetic extracts.
+REFERENCE_YEAR = 2022
+
+#: Column names, in file order, per the official extract layout.
+FL_COLUMNS: list[str] = [
+    "county_code",                  # 1
+    "voter_id",                     # 2
+    "name_last",                    # 3
+    "name_suffix",                  # 4
+    "name_first",                   # 5
+    "name_middle",                  # 6
+    "requested_public_records_exemption",  # 7
+    "residence_address_line1",      # 8
+    "residence_address_line2",      # 9
+    "residence_city",               # 10
+    "residence_state",              # 11
+    "residence_zipcode",            # 12
+    "mailing_address_line1",        # 13
+    "mailing_address_line2",        # 14
+    "mailing_address_line3",        # 15
+    "mailing_city",                 # 16
+    "mailing_state",                # 17
+    "mailing_zipcode",              # 18
+    "mailing_country",              # 19
+    "gender",                       # 20
+    "race",                         # 21
+    "birth_date",                   # 22
+    "registration_date",            # 23
+    "party_affiliation",            # 24
+    "precinct",                     # 25
+    "precinct_group",               # 26
+    "precinct_split",               # 27
+    "precinct_suffix",              # 28
+    "voter_status",                 # 29
+    "congressional_district",       # 30
+    "house_district",               # 31
+    "senate_district",              # 32
+    "county_commission_district",   # 33
+    "school_board_district",        # 34
+    "daytime_area_code",            # 35
+    "daytime_phone_number",         # 36
+    "daytime_phone_extension",      # 37
+    "email_address",                # 38
+]
+
+_RACE_TO_CODE: dict[CensusRace, str] = {
+    CensusRace.AMERICAN_INDIAN: "1",
+    CensusRace.ASIAN_PACIFIC: "2",
+    CensusRace.BLACK: "3",
+    CensusRace.HISPANIC: "4",
+    CensusRace.WHITE: "5",
+    CensusRace.OTHER: "6",
+    CensusRace.MULTI_RACIAL: "7",
+    CensusRace.UNKNOWN: "9",
+}
+_CODE_TO_RACE = {code: race for race, code in _RACE_TO_CODE.items()}
+
+_GENDER_TO_CODE = {Gender.FEMALE: "F", Gender.MALE: "M", Gender.UNKNOWN: "U"}
+_CODE_TO_GENDER = {code: gender for gender, code in _GENDER_TO_CODE.items()}
+
+#: Confidential voters appear with masked PII in the real extract.
+_MASK = "*"
+
+
+def _record_to_row(record: VoterRecord) -> list[str]:
+    birth_year = REFERENCE_YEAR - record.age
+    suffix = "" if record.name.suffix == 0 else str(record.name.suffix)
+    # A derived-but-stable precinct keeps the bookkeeping columns
+    # non-constant, as in real extracts.
+    precinct = f"{int(record.address.zip_code[-3:]) % 200:03d}"
+    values = {
+        "county_code": "DAD",
+        "voter_id": record.voter_id,
+        "name_last": record.name.last,
+        "name_suffix": suffix,
+        "name_first": record.name.first,
+        "name_middle": "",
+        "requested_public_records_exemption": "N",
+        "residence_address_line1": f"{record.address.house_number} {record.address.street}",
+        "residence_address_line2": "",
+        "residence_city": record.address.city,
+        "residence_state": "FL",
+        "residence_zipcode": record.address.zip_code,
+        "mailing_address_line1": "",
+        "mailing_address_line2": "",
+        "mailing_address_line3": "",
+        "mailing_city": "",
+        "mailing_state": "",
+        "mailing_zipcode": "",
+        "mailing_country": "",
+        "gender": _GENDER_TO_CODE[record.gender],
+        "race": _RACE_TO_CODE[record.census_race],
+        "birth_date": f"01/01/{birth_year}",
+        "registration_date": "01/01/2010",
+        "party_affiliation": "NPA",
+        "precinct": precinct,
+        "precinct_group": "0",
+        "precinct_split": f"{precinct}.0",
+        "precinct_suffix": "",
+        "voter_status": "ACT",
+        "congressional_district": str(int(precinct) % 28 + 1),
+        "house_district": str(int(precinct) % 120 + 1),
+        "senate_district": str(int(precinct) % 40 + 1),
+        "county_commission_district": str(int(precinct) % 13 + 1),
+        "school_board_district": str(int(precinct) % 9 + 1),
+        "daytime_area_code": "",
+        "daytime_phone_number": "",
+        "daytime_phone_extension": "",
+        "email_address": "",
+    }
+    return [values[column] for column in FL_COLUMNS]
+
+
+def write_fl_extract(records: Iterable[VoterRecord], path: Path | str) -> int:
+    """Write records to ``path`` in the FL extract layout; returns the count.
+
+    The official extract has no header row; neither does this writer.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        for record in records:
+            if record.state is not State.FL:
+                raise VoterFileError(
+                    f"record {record.voter_id} is for {record.state}, not FL"
+                )
+            handle.write("\t".join(_record_to_row(record)) + "\n")
+            count += 1
+    return count
+
+
+def parse_fl_extract(path: Path | str) -> Iterator[VoterRecord]:
+    """Parse an FL extract file back into :class:`VoterRecord` objects.
+
+    ``dma`` and ``zip_poverty`` are not stored in the file and come back as
+    placeholder values; callers that need them re-attach from the ZIP
+    allocator.  Confidential (masked) rows raise :class:`VoterFileError` —
+    they carry no usable PII and must be handled upstream.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != len(FL_COLUMNS):
+                raise VoterFileError(
+                    f"{path}:{line_no}: expected {len(FL_COLUMNS)} fields, got {len(fields)}"
+                )
+            row = dict(zip(FL_COLUMNS, fields))
+            if _MASK in (row["name_last"], row["residence_address_line1"]):
+                raise VoterFileError(
+                    f"{path}:{line_no}: confidential (masked) voter record"
+                )
+            try:
+                race = _CODE_TO_RACE[row["race"]]
+                gender = _CODE_TO_GENDER[row["gender"]]
+                birth_year = int(row["birth_date"].split("/")[-1])
+                house_number, _, street = row["residence_address_line1"].partition(" ")
+                yield VoterRecord(
+                    voter_id=row["voter_id"],
+                    name=FullName(
+                        first=row["name_first"],
+                        last=row["name_last"],
+                        suffix=int(row["name_suffix"] or 0),
+                    ),
+                    address=PostalAddress(
+                        house_number=int(house_number),
+                        street=street,
+                        city=row["residence_city"],
+                        state="FL",
+                        zip_code=row["residence_zipcode"],
+                    ),
+                    state=State.FL,
+                    gender=gender,
+                    census_race=race,
+                    age=REFERENCE_YEAR - birth_year,
+                    dma="",
+                )
+            except (KeyError, ValueError) as exc:
+                raise VoterFileError(f"{path}:{line_no}: malformed row: {exc}") from exc

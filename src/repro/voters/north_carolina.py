@@ -1,0 +1,155 @@
+"""North Carolina voter file format (``ncvoter`` layout).
+
+North Carolina publishes a tab-separated registry with a header row; this
+module writes and parses a faithful subset.  Race is a single letter code
+with a separate ethnicity column (we fold Hispanic ethnicity into the
+census race the way the paper's binary design requires)::
+
+    A  Asian                     I  American Indian
+    B  Black or African American M  Two or More Races
+    O  Other                     U  Undesignated
+    W  White
+
+Gender is ``M`` / ``F`` / ``U``; age is published directly (``birth_age``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import VoterFileError
+from repro.names import FullName, PostalAddress
+from repro.types import CensusRace, Gender, State
+from repro.voters.record import VoterRecord
+
+__all__ = ["NC_COLUMNS", "write_nc_extract", "parse_nc_extract"]
+
+#: Column names (header row), in file order, of the subset layout.
+NC_COLUMNS: list[str] = [
+    "county_desc",
+    "voter_reg_num",
+    "last_name",
+    "first_name",
+    "name_suffix_lbl",
+    "res_street_address",
+    "res_city_desc",
+    "state_cd",
+    "zip_code",
+    "race_code",
+    "ethnic_code",
+    "gender_code",
+    "birth_age",
+    "registr_dt",
+    "voter_status_desc",
+]
+
+_RACE_TO_CODE: dict[CensusRace, tuple[str, str]] = {
+    CensusRace.AMERICAN_INDIAN: ("I", "NL"),
+    CensusRace.ASIAN_PACIFIC: ("A", "NL"),
+    CensusRace.BLACK: ("B", "NL"),
+    CensusRace.HISPANIC: ("O", "HL"),
+    CensusRace.WHITE: ("W", "NL"),
+    CensusRace.OTHER: ("O", "NL"),
+    CensusRace.MULTI_RACIAL: ("M", "NL"),
+    CensusRace.UNKNOWN: ("U", "UN"),
+}
+
+_GENDER_TO_CODE = {Gender.FEMALE: "F", Gender.MALE: "M", Gender.UNKNOWN: "U"}
+_CODE_TO_GENDER = {code: gender for gender, code in _GENDER_TO_CODE.items()}
+
+
+def _decode_race(race_code: str, ethnic_code: str) -> CensusRace:
+    if ethnic_code == "HL":
+        return CensusRace.HISPANIC
+    mapping = {
+        "I": CensusRace.AMERICAN_INDIAN,
+        "A": CensusRace.ASIAN_PACIFIC,
+        "B": CensusRace.BLACK,
+        "W": CensusRace.WHITE,
+        "O": CensusRace.OTHER,
+        "M": CensusRace.MULTI_RACIAL,
+        "U": CensusRace.UNKNOWN,
+    }
+    try:
+        return mapping[race_code]
+    except KeyError as exc:
+        raise VoterFileError(f"unknown NC race code {race_code!r}") from exc
+
+
+def write_nc_extract(records: Iterable[VoterRecord], path: Path | str) -> int:
+    """Write records in the NC layout (with header); returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        handle.write("\t".join(NC_COLUMNS) + "\n")
+        for record in records:
+            if record.state is not State.NC:
+                raise VoterFileError(
+                    f"record {record.voter_id} is for {record.state}, not NC"
+                )
+            race_code, ethnic_code = _RACE_TO_CODE[record.census_race]
+            suffix = "" if record.name.suffix == 0 else str(record.name.suffix)
+            row = [
+                "WAKE",
+                record.voter_id,
+                record.name.last,
+                record.name.first,
+                suffix,
+                f"{record.address.house_number} {record.address.street}",
+                record.address.city,
+                "NC",
+                record.address.zip_code,
+                race_code,
+                ethnic_code,
+                _GENDER_TO_CODE[record.gender],
+                str(record.age),
+                "01/01/2010",
+                "ACTIVE",
+            ]
+            handle.write("\t".join(row) + "\n")
+            count += 1
+    return count
+
+
+def parse_nc_extract(path: Path | str) -> Iterator[VoterRecord]:
+    """Parse an NC voter file back into :class:`VoterRecord` objects."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n").split("\t")
+        if header != NC_COLUMNS:
+            raise VoterFileError(f"{path}: unexpected header {header[:3]}...")
+        for line_no, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != len(NC_COLUMNS):
+                raise VoterFileError(
+                    f"{path}:{line_no}: expected {len(NC_COLUMNS)} fields, got {len(fields)}"
+                )
+            row = dict(zip(NC_COLUMNS, fields))
+            try:
+                house_number, _, street = row["res_street_address"].partition(" ")
+                yield VoterRecord(
+                    voter_id=row["voter_reg_num"],
+                    name=FullName(
+                        first=row["first_name"],
+                        last=row["last_name"],
+                        suffix=int(row["name_suffix_lbl"] or 0),
+                    ),
+                    address=PostalAddress(
+                        house_number=int(house_number),
+                        street=street,
+                        city=row["res_city_desc"],
+                        state="NC",
+                        zip_code=row["zip_code"],
+                    ),
+                    state=State.NC,
+                    gender=_CODE_TO_GENDER[row["gender_code"]],
+                    census_race=_decode_race(row["race_code"], row["ethnic_code"]),
+                    age=int(row["birth_age"]),
+                    dma="",
+                )
+            except (KeyError, ValueError) as exc:
+                raise VoterFileError(f"{path}:{line_no}: malformed row: {exc}") from exc

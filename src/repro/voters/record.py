@@ -1,0 +1,54 @@
+"""The common voter record model shared by both state formats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.names import FullName, PostalAddress
+from repro.types import AgeBucket, CensusRace, Gender, Race, State, age_bucket_for
+
+__all__ = ["VoterRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class VoterRecord:
+    """One row of a (synthetic) state voter file.
+
+    ``census_race`` is what the file actually stores; ``study_race`` is the
+    binary study notion, present only for white / Black voters.  ``age`` is
+    in years as of the registry's reference date.  ``zip_poverty`` carries
+    the ZIP-level poverty rate used by the Appendix-A analysis (a real file
+    does not store this; we attach it at generation time for convenience
+    and it is *not* serialised by the state writers).
+    """
+
+    voter_id: str
+    name: FullName
+    address: PostalAddress
+    state: State
+    gender: Gender
+    census_race: CensusRace
+    age: int
+    dma: str
+    zip_poverty: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.age < 18:
+            raise ValidationError("registered voters must be 18 or older")
+        if self.state not in (State.FL, State.NC):
+            raise ValidationError(f"voter files exist only for FL and NC, got {self.state}")
+
+    @property
+    def study_race(self) -> Race | None:
+        """Binary study race, or ``None`` for races outside the design."""
+        return self.census_race.to_study_race()
+
+    @property
+    def age_bucket(self) -> AgeBucket:
+        """Facebook reporting bucket containing this voter's age."""
+        return age_bucket_for(self.age)
+
+    def pii_key(self) -> str:
+        """Normalised PII string used for Custom Audience matching."""
+        return f"{self.name.normalized()}#{self.address.normalized()}"

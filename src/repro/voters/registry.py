@@ -1,0 +1,197 @@
+"""Synthetic voter registry generation for one state.
+
+A registry is the in-memory equivalent of a full state voter extract: a
+list of :class:`VoterRecord` with realistic demographic marginals, ZIP
+codes (segregated, with poverty rates attached), names and addresses.  The
+balanced sampler (:mod:`repro.voters.sampling`) then draws the paper's
+audiences out of it, so the registry must contain comfortably more voters
+in every race × gender × age cell than any audience needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo import PovertyModel, ZipAllocator
+from repro.names import NameGenerator
+from repro.types import AgeBucket, CensusRace, Gender, Race, State
+from repro.voters.record import VoterRecord
+
+__all__ = ["RegistryConfig", "VoterRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryConfig:
+    """Demographic marginals for a state registry.
+
+    ``race_shares`` maps census race to its share of the electorate;
+    defaults approximate the two study states (NC has a larger Black
+    electorate than FL).  ``age_weights`` gives relative mass per Facebook
+    reporting bucket — registries skew older than the adult population,
+    like real voter rolls.
+    """
+
+    race_shares: dict[CensusRace, float]
+    female_share: float = 0.53
+    unknown_gender_share: float = 0.02
+    age_weights: dict[AgeBucket, float] | None = None
+    segregation: float = 0.75
+
+    def __post_init__(self) -> None:
+        total = sum(self.race_shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValidationError(f"race shares sum to {total}, expected 1.0")
+        if not 0.0 < self.female_share < 1.0:
+            raise ValidationError("female_share must be in (0, 1)")
+
+    @staticmethod
+    def for_state(state: State) -> "RegistryConfig":
+        """Default marginals for FL / NC."""
+        if state is State.FL:
+            shares = {
+                CensusRace.WHITE: 0.61,
+                CensusRace.BLACK: 0.13,
+                CensusRace.HISPANIC: 0.17,
+                CensusRace.ASIAN_PACIFIC: 0.02,
+                CensusRace.AMERICAN_INDIAN: 0.005,
+                CensusRace.MULTI_RACIAL: 0.01,
+                CensusRace.OTHER: 0.035,
+                CensusRace.UNKNOWN: 0.02,
+            }
+        elif state is State.NC:
+            shares = {
+                CensusRace.WHITE: 0.64,
+                CensusRace.BLACK: 0.21,
+                CensusRace.HISPANIC: 0.03,
+                CensusRace.ASIAN_PACIFIC: 0.015,
+                CensusRace.AMERICAN_INDIAN: 0.01,
+                CensusRace.MULTI_RACIAL: 0.01,
+                CensusRace.OTHER: 0.04,
+                CensusRace.UNKNOWN: 0.045,
+            }
+        else:
+            raise ValidationError(f"no registry defaults for {state}")
+        return RegistryConfig(race_shares=shares)
+
+
+#: Default relative bucket mass; voter rolls skew old relative to adults.
+_DEFAULT_AGE_WEIGHTS: dict[AgeBucket, float] = {
+    AgeBucket.B18_24: 0.10,
+    AgeBucket.B25_34: 0.15,
+    AgeBucket.B35_44: 0.15,
+    AgeBucket.B45_54: 0.17,
+    AgeBucket.B55_64: 0.19,
+    AgeBucket.B65_PLUS: 0.24,
+}
+
+
+class VoterRegistry:
+    """A full synthetic voter registry for one state.
+
+    Parameters
+    ----------
+    state:
+        FL or NC.
+    size:
+        Number of voters to synthesise.
+    rng:
+        Randomness source (owned by the caller).
+    config:
+        Demographic marginals; defaults to :meth:`RegistryConfig.for_state`.
+    """
+
+    def __init__(
+        self,
+        state: State,
+        size: int,
+        rng: np.random.Generator,
+        *,
+        config: RegistryConfig | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValidationError("registry size must be positive")
+        self._state = state
+        self._config = config or RegistryConfig.for_state(state)
+        self._rng = rng
+        self._zip_allocator = ZipAllocator(
+            state, rng, segregation=self._config.segregation
+        )
+        self._poverty = PovertyModel(rng)
+        self._records = self._generate(size)
+        self._by_cell: dict[tuple[CensusRace, Gender, AgeBucket], list[int]] = {}
+        for idx, record in enumerate(self._records):
+            key = (record.census_race, record.gender, record.age_bucket)
+            self._by_cell.setdefault(key, []).append(idx)
+
+    @property
+    def state(self) -> State:
+        """The state this registry covers."""
+        return self._state
+
+    @property
+    def records(self) -> list[VoterRecord]:
+        """All voter records (do not mutate)."""
+        return self._records
+
+    @property
+    def poverty_model(self) -> PovertyModel:
+        """The poverty model used when attaching ZIP poverty rates."""
+        return self._poverty
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def cell(
+        self, race: CensusRace, gender: Gender, bucket: AgeBucket
+    ) -> list[VoterRecord]:
+        """All voters in one race × gender × age-bucket cell."""
+        return [self._records[i] for i in self._by_cell.get((race, gender, bucket), [])]
+
+    def _generate(self, size: int) -> list[VoterRecord]:
+        cfg = self._config
+        rng = self._rng
+        races = list(cfg.race_shares)
+        race_probs = np.array([cfg.race_shares[r] for r in races])
+        age_weights = cfg.age_weights or _DEFAULT_AGE_WEIGHTS
+        buckets = list(age_weights)
+        bucket_probs = np.array([age_weights[b] for b in buckets])
+        bucket_probs = bucket_probs / bucket_probs.sum()
+        namegen = NameGenerator(self._state.value, rng)
+        records: list[VoterRecord] = []
+        race_draws = rng.choice(len(races), size=size, p=race_probs)
+        bucket_draws = rng.choice(len(buckets), size=size, p=bucket_probs)
+        gender_draws = rng.random(size)
+        prefix = "1" if self._state is State.FL else "9"
+        for i in range(size):
+            census_race = races[int(race_draws[i])]
+            if gender_draws[i] < cfg.unknown_gender_share:
+                gender = Gender.UNKNOWN
+            elif gender_draws[i] < cfg.unknown_gender_share + cfg.female_share:
+                gender = Gender.FEMALE
+            else:
+                gender = Gender.MALE
+            bucket = buckets[int(bucket_draws[i])]
+            age = int(rng.integers(bucket.lower, min(bucket.upper, 92) + 1))
+            is_black = census_race is CensusRace.BLACK
+            zip_info = self._zip_allocator.zip_for_race(is_black)
+            record = VoterRecord(
+                voter_id=f"{prefix}{i:08d}",
+                name=namegen.name_for(gender, race=_study_or_white(census_race)),
+                address=namegen.address_for(zip_info.zip_code),
+                state=self._state,
+                gender=gender,
+                census_race=census_race,
+                age=age,
+                dma=zip_info.dma,
+                zip_poverty=self._poverty.poverty_rate(zip_info),
+            )
+            records.append(record)
+        return records
+
+
+def _study_or_white(census_race: CensusRace) -> Race:
+    """Map census race to the binary race used by the name generator."""
+    return Race.BLACK if census_race is CensusRace.BLACK else Race.WHITE

@@ -1,0 +1,213 @@
+"""Stratified balanced sampling of voters (paper §3.2, Table 1).
+
+The paper samples voter records "in a stratified way such that age, gender,
+and race are not correlated": within each Facebook age bucket, equal numbers
+of men and women, of Black and white voters, and of every race × gender
+intersection, repeated independently per state.  This module implements that
+sampler and the Table-1 summary.
+
+Only voters whose census race maps to the binary study race (white / Black)
+and whose gender is male / female participate; the remaining electorate
+stays in the registry but outside the audiences, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import AgeBucket, CensusRace, Gender, Race, State
+from repro.voters.record import VoterRecord
+from repro.voters.registry import VoterRegistry
+
+__all__ = ["BalancedSample", "stratified_balanced_sample", "PAPER_TABLE1_GROUP_SIZES"]
+
+#: Group sizes from the paper's Table 1: voters per race × gender cell,
+#: per age range (summed across the two states).  Used to derive the
+#: relative per-bucket quotas when scaling the design down.
+PAPER_TABLE1_GROUP_SIZES: dict[AgeBucket, int] = {
+    AgeBucket.B18_24: 44_968,
+    AgeBucket.B25_34: 53_586,
+    AgeBucket.B35_44: 51_469,
+    AgeBucket.B45_54: 61_893,
+    AgeBucket.B55_64: 68_211,
+    AgeBucket.B65_PLUS: 78_719,
+}
+
+_STUDY_CELLS: list[tuple[Race, Gender]] = [
+    (Race.WHITE, Gender.MALE),
+    (Race.WHITE, Gender.FEMALE),
+    (Race.BLACK, Gender.MALE),
+    (Race.BLACK, Gender.FEMALE),
+]
+
+_CENSUS_OF_STUDY = {Race.WHITE: CensusRace.WHITE, Race.BLACK: CensusRace.BLACK}
+
+
+@dataclass(slots=True)
+class BalancedSample:
+    """The output of stratified balanced sampling.
+
+    ``members`` maps ``(state, race, gender, age_bucket)`` to the selected
+    voters; every ``(race, gender, age_bucket)`` cell has the same size in
+    both states, so the overall sample is balanced by construction.
+    """
+
+    members: dict[tuple[State, Race, Gender, AgeBucket], list[VoterRecord]] = field(
+        default_factory=dict
+    )
+
+    def voters(self) -> list[VoterRecord]:
+        """All sampled voters, flattened."""
+        return [record for cell in self.members.values() for record in cell]
+
+    def cell(
+        self, state: State, race: Race, gender: Gender, bucket: AgeBucket
+    ) -> list[VoterRecord]:
+        """Voters in one fully-specified cell."""
+        return list(self.members.get((state, race, gender, bucket), []))
+
+    def group_size(self, bucket: AgeBucket) -> int:
+        """Table-1 "Group size": voters per race × gender cell in ``bucket``.
+
+        Summed over the two states (each state contributes half).
+        """
+        sizes = {
+            (race, gender): sum(
+                len(self.members.get((state, race, gender, bucket), []))
+                for state in (State.FL, State.NC)
+            )
+            for race, gender in _STUDY_CELLS
+        }
+        distinct = set(sizes.values())
+        if len(distinct) != 1:
+            raise ValidationError(f"unbalanced sample in bucket {bucket}: {sizes}")
+        return distinct.pop()
+
+    def total_size(self, bucket: AgeBucket) -> int:
+        """Table-1 "Total": all sampled voters in ``bucket``."""
+        return self.group_size(bucket) * len(_STUDY_CELLS)
+
+    def table1_rows(self) -> list[tuple[str, int, int]]:
+        """Rows of the paper's Table 1: (age range, group size, total)."""
+        return [
+            (bucket.value, self.group_size(bucket), self.total_size(bucket))
+            for bucket in AgeBucket
+        ]
+
+    def subset_states(
+        self, *, fl_race: Race, nc_race: Race
+    ) -> list[VoterRecord]:
+        """Voters of ``fl_race`` in FL plus ``nc_race`` in NC, equal counts.
+
+        This is the region-split audience construction of §3.3 / Figure 2:
+        e.g. white voters from Florida and Black voters from North
+        Carolina.  Balance within the sample guarantees equal counts per
+        state without further trimming.
+        """
+        selected: list[VoterRecord] = []
+        for (state, race, _gender, _bucket), cell in self.members.items():
+            if (state is State.FL and race is fl_race) or (
+                state is State.NC and race is nc_race
+            ):
+                selected.extend(cell)
+        return selected
+
+
+def stratified_balanced_sample(
+    fl_registry: VoterRegistry,
+    nc_registry: VoterRegistry,
+    rng: np.random.Generator,
+    *,
+    scale: float = 1.0,
+    group_sizes: dict[AgeBucket, int] | None = None,
+    max_age: int | None = None,
+    poverty_matched: bool = False,
+    poverty_bins: int = 12,
+) -> BalancedSample:
+    """Draw a balanced audience sample from two state registries.
+
+    Parameters
+    ----------
+    fl_registry, nc_registry:
+        The state registries to draw from.
+    rng:
+        Randomness source.
+    scale:
+        Multiplier applied to the paper's Table-1 group sizes (use small
+        values; the full-size design needs millions of voters).  Ignored if
+        ``group_sizes`` is given.
+    group_sizes:
+        Explicit per-bucket group sizes (voters per race × gender cell,
+        across both states; must be even so states split equally).
+    max_age:
+        If set, only buckets entirely at or below this age participate —
+        the paper's Campaign 2 limits targeting to 45-or-younger users.
+    poverty_matched:
+        If True, first subsample every race × gender × state cell so that
+        ZIP-poverty distributions coincide (Appendix A), then apply quotas.
+    poverty_bins:
+        Histogram resolution for poverty matching.
+
+    Raises
+    ------
+    ValidationError
+        If a registry cell cannot satisfy its quota.
+    """
+    if group_sizes is None:
+        group_sizes = {
+            bucket: max(4, int(round(size * scale)))
+            for bucket, size in PAPER_TABLE1_GROUP_SIZES.items()
+        }
+    buckets = list(group_sizes)
+    if max_age is not None:
+        buckets = [b for b in buckets if b.upper <= max_age]
+        if not buckets:
+            raise ValidationError(f"no full age bucket fits below {max_age}")
+
+    sample = BalancedSample()
+    for bucket in buckets:
+        group = group_sizes[bucket]
+        per_state = group // 2
+        if per_state == 0:
+            raise ValidationError(f"group size {group} too small to split by state")
+        for registry, state in ((fl_registry, State.FL), (nc_registry, State.NC)):
+            pools: dict[tuple[Race, Gender], list[VoterRecord]] = {}
+            for race, gender in _STUDY_CELLS:
+                pool = registry.cell(_CENSUS_OF_STUDY[race], gender, bucket)
+                pools[(race, gender)] = pool
+            if poverty_matched:
+                pools = _match_pools_on_poverty(pools, rng, n_bins=poverty_bins)
+            for (race, gender), pool in pools.items():
+                if len(pool) < per_state:
+                    raise ValidationError(
+                        f"registry {state.value} has only {len(pool)} "
+                        f"{race.value}/{gender.value}/{bucket.value} voters, "
+                        f"need {per_state}"
+                    )
+                chosen = rng.choice(len(pool), size=per_state, replace=False)
+                sample.members[(state, race, gender, bucket)] = [pool[i] for i in chosen]
+    return sample
+
+
+def _match_pools_on_poverty(
+    pools: dict[tuple[Race, Gender], list[VoterRecord]],
+    rng: np.random.Generator,
+    *,
+    n_bins: int,
+) -> dict[tuple[Race, Gender], list[VoterRecord]]:
+    """Poverty-match the four race × gender pools (Appendix A step)."""
+    from repro.geo.poverty import match_poverty_distributions
+
+    poverty = {
+        f"{race.value}|{gender.value}": np.array([v.zip_poverty for v in pool])
+        for (race, gender), pool in pools.items()
+    }
+    kept = match_poverty_distributions(poverty, rng, n_bins=n_bins)
+    matched: dict[tuple[Race, Gender], list[VoterRecord]] = {}
+    for (race, gender), pool in pools.items():
+        indices = kept[f"{race.value}|{gender.value}"]
+        matched[(race, gender)] = [pool[i] for i in indices]
+    return matched

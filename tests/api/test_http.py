@@ -1,0 +1,79 @@
+"""Tests for the real TCP/HTTP transport."""
+
+import pytest
+
+from repro.api import MarketingApiClient
+from repro.api.http import HttpApiServer, http_transport
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.errors import ApiError
+
+
+def _echo_handler(request: ApiRequest) -> ApiResponse:
+    if request.access_token != "tok":
+        return ApiResponse(status=401, error={"message": "bad token", "type": "OAuthException", "code": 190})
+    return ApiResponse.success({"echo": request.path, "params": request.params})
+
+
+class TestHttpTransport:
+    def test_round_trip_over_real_socket(self):
+        with HttpApiServer(_echo_handler) as server:
+            transport = http_transport("127.0.0.1", server.port)
+            client = MarketingApiClient(transport, "tok")
+            data = client.call(HttpMethod.GET, "/whatever", {"a": 1})
+            assert data == {"echo": "/whatever", "params": {"a": 1}}
+
+    def test_error_statuses_survive_the_wire(self):
+        with HttpApiServer(_echo_handler) as server:
+            transport = http_transport("127.0.0.1", server.port)
+            client = MarketingApiClient(transport, "bad")
+            with pytest.raises(ApiError) as excinfo:
+                client.call(HttpMethod.GET, "/whatever")
+            assert excinfo.value.code == 190
+
+    def test_non_graph_path_404s(self):
+        import http.client
+
+        with HttpApiServer(_echo_handler) as server:
+            connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5)
+            connection.request("POST", "/elsewhere", body="{}")
+            assert connection.getresponse().status == 404
+            connection.close()
+
+    def test_malformed_body_is_400(self):
+        import http.client
+
+        with HttpApiServer(_echo_handler) as server:
+            connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5)
+            connection.request("POST", "/graph", body="not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            connection.close()
+
+    def test_concurrent_requests(self):
+        """The threaded server handles parallel clients."""
+        import concurrent.futures
+
+        with HttpApiServer(_echo_handler) as server:
+            transport = http_transport("127.0.0.1", server.port)
+
+            def one_call(i):
+                client = MarketingApiClient(transport, "tok")
+                return client.call(HttpMethod.GET, f"/p{i}")["echo"]
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(one_call, range(24)))
+            assert sorted(results) == sorted(f"/p{i}" for i in range(24))
+
+    def test_dead_server_raises_transport_error(self):
+        transport = http_transport("127.0.0.1", 1)  # nothing listens on port 1
+        with pytest.raises(ApiError, match="transport"):
+            transport(ApiRequest(method=HttpMethod.GET, path="/x", access_token="tok"))
+
+    def test_double_start_rejected(self):
+        server = HttpApiServer(_echo_handler)
+        server.start()
+        try:
+            with pytest.raises(ApiError):
+                server.start()
+        finally:
+            server.stop()

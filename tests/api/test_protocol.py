@@ -1,0 +1,54 @@
+"""Tests for the API envelope protocol."""
+
+import pytest
+
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.errors import ApiError, ValidationError
+
+
+class TestApiRequest:
+    def test_round_trip_json(self):
+        request = ApiRequest(
+            method=HttpMethod.POST,
+            path="/act_1/campaigns",
+            params={"name": "c", "nested": {"a": [1, 2]}},
+            access_token="tok",
+        )
+        restored = ApiRequest.from_json(request.to_json())
+        assert restored == request
+
+    def test_path_must_be_rooted(self):
+        with pytest.raises(ValidationError):
+            ApiRequest(method=HttpMethod.GET, path="act_1/ads")
+
+    def test_malformed_json_raises_api_error(self):
+        with pytest.raises(ApiError):
+            ApiRequest.from_json("{not json")
+
+    def test_missing_fields_raise_api_error(self):
+        with pytest.raises(ApiError):
+            ApiRequest.from_json('{"method": "GET"}')
+
+
+class TestApiResponse:
+    def test_success_round_trip(self):
+        response = ApiResponse.success({"id": "x"}, paging={"cursors": {"after": "abc"}})
+        restored = ApiResponse.from_json(response.to_json())
+        assert restored.ok
+        assert restored.data == {"id": "x"}
+        assert restored.paging == {"cursors": {"after": "abc"}}
+
+    def test_failure_round_trip_raises_typed_error(self):
+        response = ApiResponse.failure(ApiError("no", code=100), status=400)
+        restored = ApiResponse.from_json(response.to_json())
+        assert not restored.ok
+        with pytest.raises(ApiError) as excinfo:
+            restored.raise_for_status()
+        assert excinfo.value.code == 100
+
+    def test_ok_range(self):
+        assert ApiResponse(status=204).ok
+        assert not ApiResponse(status=429).ok
+
+    def test_raise_for_status_noop_on_success(self):
+        ApiResponse.success({}).raise_for_status()

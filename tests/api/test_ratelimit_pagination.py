@@ -1,0 +1,112 @@
+"""Tests for the token bucket and cursor pagination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import TokenBucket
+from repro.api.pagination import decode_cursor, encode_cursor, paginate
+from repro.errors import ApiError, ValidationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(5, 1.0, clock)
+        assert all(bucket.try_acquire() for _ in range(5))
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 1.0, clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.now = 1.5
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 10.0, clock)
+        clock.now = 100.0
+        assert bucket.available == pytest.approx(3.0)
+
+    def test_seconds_until_available(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 2.0, clock)
+        bucket.try_acquire()
+        assert bucket.seconds_until_available() == pytest.approx(0.5)
+
+    def test_backwards_clock_rejected(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 1.0, clock)
+        clock.now = -1.0
+        with pytest.raises(ValidationError):
+            bucket.try_acquire()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(0, 1.0, FakeClock())
+        with pytest.raises(ValidationError):
+            TokenBucket(1, 0.0, FakeClock())
+
+
+class TestPagination:
+    def test_single_page_when_items_fit(self):
+        page, paging = paginate("ads", [1, 2, 3], limit=10)
+        assert page == [1, 2, 3]
+        assert paging is None
+
+    def test_cursor_walks_all_pages(self):
+        items = list(range(57))
+        collected = []
+        after = None
+        while True:
+            page, paging = paginate("ads", items, after=after, limit=10)
+            collected.extend(page)
+            if paging is None:
+                break
+            after = paging["cursors"]["after"]
+        assert collected == items
+
+    def test_cursor_is_opaque_but_validated(self):
+        cursor = encode_cursor("ads", 10)
+        assert decode_cursor("ads", cursor) == 10
+        with pytest.raises(ApiError):
+            decode_cursor("campaigns", cursor)
+
+    def test_garbage_cursor_rejected(self):
+        with pytest.raises(ApiError):
+            paginate("ads", [1], after="!!!not-base64!!!")
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ApiError):
+            paginate("ads", [1], limit=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_items=st.integers(min_value=0, max_value=200),
+        limit=st.integers(min_value=1, max_value=50),
+    )
+    def test_pagination_partitions_exactly(self, n_items, limit):
+        items = list(range(n_items))
+        collected = []
+        after = None
+        pages = 0
+        while True:
+            page, paging = paginate("x", items, after=after, limit=limit)
+            collected.extend(page)
+            pages += 1
+            if paging is None:
+                break
+            after = paging["cursors"]["after"]
+        assert collected == items
+        assert pages == max(1, -(-n_items // limit))

@@ -1,0 +1,269 @@
+"""Tests for the Marketing API server + client against the small world."""
+
+import numpy as np
+import pytest
+
+from repro.api import MarketingApiClient, TokenBucket
+from repro.api.protocol import ApiRequest, HttpMethod
+from repro.api.server import MarketingApiServer
+from repro.errors import ApiError
+from repro.geo import MobilityModel
+from repro.platform import CompetitionModel, EarModel, EngagementModel
+from repro.platform.campaign import AdAccount
+
+
+@pytest.fixture(scope="module")
+def world_client(small_world):
+    """The session world's API surface plus a registered account."""
+    small_world.account("api-test")
+    return small_world.client()
+
+
+def _image_payload(race_score=0.5):
+    return {
+        "race_score": race_score,
+        "gender_score": 0.5,
+        "age_years": 30.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def audience_id(world_client, small_world):
+    aud = world_client.create_custom_audience("api-test", "aud")
+    users = small_world.universe.users[:800]
+    world_client.upload_audience_users(aud, [u.pii_hash for u in users])
+    return aud
+
+
+class TestAudienceEndpoints:
+    def test_upload_reports_received_counts(self, world_client, small_world):
+        aud = world_client.create_custom_audience("api-test", "upload-test")
+        hashes = [u.pii_hash for u in small_world.universe.users[:100]]
+        assert world_client.upload_audience_users(aud, hashes) == 100
+
+    def test_audience_metadata(self, world_client, audience_id):
+        meta = world_client.get_audience(audience_id)
+        assert meta["uploaded_count"] == 800
+
+    def test_empty_upload_rejected_client_side(self, world_client, audience_id):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            world_client.upload_audience_users(audience_id, [])
+
+
+class TestCreationFlow:
+    def test_full_create_review_deliver_insights_cycle(
+        self, world_client, audience_id
+    ):
+        client = world_client
+        campaign = client.create_campaign("api-test", "c1", "TRAFFIC")
+        adset = client.create_adset(
+            "api-test",
+            "as1",
+            campaign,
+            150,
+            {"custom_audience_ids": [audience_id]},
+        )
+        ad = client.create_ad(
+            "api-test",
+            "ad1",
+            adset,
+            {
+                "headline": "h",
+                "body": "b",
+                "destination_url": "https://x.org",
+                "image": _image_payload(),
+            },
+        )
+        review = client.submit_for_review(ad)
+        assert review["review_status"] in ("APPROVED", "REJECTED")
+        if review["review_status"] == "REJECTED":
+            review = client.appeal(ad)
+        assert review["review_status"] == "APPROVED"
+
+        delivery = client.deliver_day("api-test", [ad])
+        assert delivery["delivered_ads"] == 1
+        assert delivery["total_slots"] > 0
+
+        totals = client.get_insights(ad)
+        assert totals["impressions"] > 0
+        assert totals["reach"] <= totals["impressions"]
+
+        by_age = client.get_insights_by_age_gender(ad)
+        assert sum(r["impressions"] for r in by_age) == totals["impressions"]
+
+        by_region = client.get_insights_by_region(ad)
+        assert sum(r["impressions"] for r in by_region) == totals["impressions"]
+        assert {r["region"] for r in by_region} <= {"FL", "NC", "OTHER"}
+
+    def test_job_creative_composition(self, world_client, audience_id):
+        campaign = world_client.create_campaign(
+            "api-test", "jobs", "TRAFFIC", special_ad_categories=["EMPLOYMENT"]
+        )
+        adset = world_client.create_adset(
+            "api-test", "as-j", campaign, 150, {"custom_audience_ids": [audience_id]}
+        )
+        ad = world_client.create_ad(
+            "api-test",
+            "ad-j",
+            adset,
+            {
+                "headline": "h",
+                "body": "b",
+                "destination_url": "https://x.org",
+                "image": _image_payload(0.9),
+                "job_category": "nurse",
+                "face_salience": 0.5,
+            },
+        )
+        assert ad.startswith("ad_")
+
+    def test_unknown_objective_rejected(self, world_client):
+        with pytest.raises(ApiError):
+            world_client.create_campaign("api-test", "bad", "SELL_EVERYTHING")
+
+    def test_unknown_campaign_rejected(self, world_client, audience_id):
+        with pytest.raises(ApiError):
+            world_client.create_adset(
+                "api-test", "as", "camp_missing", 100, {"custom_audience_ids": [audience_id]}
+            )
+
+    def test_insights_before_delivery_rejected(self, world_client, audience_id):
+        campaign = world_client.create_campaign("api-test", "c2", "TRAFFIC")
+        adset = world_client.create_adset(
+            "api-test", "as2", campaign, 100, {"custom_audience_ids": [audience_id]}
+        )
+        ad = world_client.create_ad(
+            "api-test",
+            "ad-noodeliver",
+            adset,
+            {
+                "headline": "h",
+                "body": "b",
+                "destination_url": "https://x.org",
+                "image": _image_payload(),
+            },
+        )
+        with pytest.raises(ApiError, match="not delivered"):
+            world_client.get_insights(ad)
+
+    def test_list_ads_pagination(self, world_client):
+        ads = world_client.list_ads("api-test")
+        assert len(ads) >= 2
+        assert all("review_status" in row for row in ads)
+
+
+class TestAuthAndLimits:
+    def test_bad_token_gets_401(self, small_world):
+        bad_client = MarketingApiClient(small_world.server.handle, "wrong-token")
+        with pytest.raises(ApiError) as excinfo:
+            bad_client.list_ads("api-test")
+        assert excinfo.value.code == 190
+
+    def test_unknown_account_is_404(self, world_client):
+        with pytest.raises(ApiError):
+            world_client.create_campaign("ghost-account", "c", "TRAFFIC")
+
+    def test_unknown_route_is_404(self, small_world, world_client):
+        response = small_world.server.handle(
+            ApiRequest(
+                method=HttpMethod.DELETE,
+                path="/act_api-test/campaigns",
+                access_token=small_world.config.access_token,
+            )
+        )
+        assert response.status == 404
+
+    def test_rate_limited_client_retries_and_succeeds(self, small_world):
+        """A throttled server returns 429s; the client backs off and retries."""
+        clock_value = [0.0]
+        sleeps = []
+
+        def clock():
+            return clock_value[0]
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock_value[0] += seconds
+
+        server = MarketingApiServer(
+            small_world.universe,
+            ear=EarModel.constant(0.05),
+            engagement=EngagementModel(),
+            competition=CompetitionModel(np.random.default_rng(0)),
+            mobility=MobilityModel(np.random.default_rng(1)),
+            rng=np.random.default_rng(2),
+            access_tokens={"tok"},
+            rate_limit=TokenBucket(2, 1.0, clock),
+            clock=clock,
+        )
+        server.register_account(AdAccount(account_id="rl"))
+        client = MarketingApiClient(server.handle, "tok", sleep=sleep)
+        for _ in range(6):
+            client.create_campaign("rl", "c", "TRAFFIC")
+        assert sleeps, "client should have had to back off"
+
+
+class TestUploadBatching:
+    def test_large_uploads_are_chunked(self, small_world):
+        """Uploads above the 10k batch cap split into multiple requests."""
+        from repro.api.client import UPLOAD_BATCH_SIZE, MarketingApiClient
+
+        client = MarketingApiClient(
+            small_world.server.handle, small_world.config.access_token
+        )
+        aud = client.create_custom_audience("api-test", "bulk")
+        before = client.requests_sent
+        hashes = [f"{'0' * 40}{i:024d}" for i in range(UPLOAD_BATCH_SIZE + 500)]
+        received = client.upload_audience_users(aud, hashes)
+        assert received == UPLOAD_BATCH_SIZE + 500
+        assert client.requests_sent - before == 2  # two /users POSTs
+
+    def test_paged_listing_under_rate_limit(self, small_world):
+        """Cursor pagination keeps working while 429s interleave."""
+        import numpy as np
+
+        from repro.api import MarketingApiClient, TokenBucket
+        from repro.api.server import MarketingApiServer
+        from repro.geo import MobilityModel
+        from repro.platform import CompetitionModel, EarModel, EngagementModel
+        from repro.platform.campaign import AdAccount, AdCreative, Objective, TargetingSpec
+        from repro.images import ImageFeatures
+
+        clock_value = [0.0]
+
+        def clock():
+            return clock_value[0]
+
+        def sleep(seconds):
+            clock_value[0] += seconds
+
+        server = MarketingApiServer(
+            small_world.universe,
+            ear=EarModel.constant(0.05),
+            engagement=EngagementModel(),
+            competition=CompetitionModel(np.random.default_rng(0)),
+            mobility=MobilityModel(np.random.default_rng(1)),
+            rng=np.random.default_rng(2),
+            access_tokens={"tok"},
+            rate_limit=TokenBucket(3, 2.0, clock),
+            clock=clock,
+        )
+        account = AdAccount(account_id="paged")
+        server.register_account(account)
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(
+            campaign, "as", 100, TargetingSpec(custom_audience_ids=("x",))
+        )
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30),
+        )
+        for i in range(60):
+            account.create_ad(adset, f"ad{i}", creative)
+        client = MarketingApiClient(server.handle, "tok", sleep=sleep)
+        ads = client.list_ads("paged")
+        assert len(ads) == 60

@@ -1,0 +1,176 @@
+"""Edge-case tests for the API server's routing and validation."""
+
+import pytest
+
+from repro.api.protocol import ApiRequest, HttpMethod
+from repro.errors import ApiError
+
+
+@pytest.fixture(scope="module")
+def server(small_world):
+    small_world.account("edge")
+    return small_world.server
+
+
+def _request(server, method, path, params=None, token="EAAB-test-token"):
+    return server.handle(
+        ApiRequest(method=method, path=path, params=params or {}, access_token=token)
+    )
+
+
+class TestRouting:
+    def test_empty_path_is_404(self, server):
+        assert _request(server, HttpMethod.GET, "/").status == 404
+
+    def test_unknown_object_is_404(self, server):
+        assert _request(server, HttpMethod.GET, "/definitely_missing").status == 404
+
+    def test_unknown_collection_is_404(self, server):
+        response = _request(server, HttpMethod.POST, "/act_edge/frobnicate")
+        assert response.status == 404
+
+    def test_auth_checked_before_routing(self, server):
+        response = _request(server, HttpMethod.GET, "/whatever", token="bad")
+        assert response.status == 401
+        assert response.error["code"] == 190
+
+    def test_envelope_never_raises(self, server):
+        """handle() converts every library error into an error envelope."""
+        response = _request(
+            server, HttpMethod.POST, "/act_edge/adsets", {"name": "incomplete"}
+        )
+        assert response.status == 400
+        assert "missing required parameters" in response.error["message"]
+
+
+class TestCreativeValidation:
+    @pytest.fixture(scope="class")
+    def adset(self, server, small_world):
+        client = small_world.client()
+        audience = client.create_custom_audience("edge", "edge-aud")
+        users = small_world.universe.users[:50]
+        client.upload_audience_users(audience, [u.pii_hash for u in users])
+        campaign = client.create_campaign("edge", "c", "TRAFFIC")
+        return client.create_adset(
+            "edge", "as", campaign, 100, {"custom_audience_ids": [audience]}
+        )
+
+    def test_non_dict_image_rejected(self, server, adset):
+        response = _request(
+            server,
+            HttpMethod.POST,
+            "/act_edge/ads",
+            {
+                "name": "bad",
+                "adset_id": adset,
+                "creative": {"headline": "h", "image": "not-a-dict"},
+            },
+        )
+        assert response.status == 400
+        assert "channel dict" in response.error["message"]
+
+    def test_unknown_image_channel_rejected(self, server, adset):
+        response = _request(
+            server,
+            HttpMethod.POST,
+            "/act_edge/ads",
+            {
+                "name": "bad",
+                "adset_id": adset,
+                "creative": {
+                    "headline": "h",
+                    "destination_url": "https://x.org",
+                    "image": {"race_score": 0.5, "gender_score": 0.5,
+                              "age_years": 30, "hat_style": 1.0},
+                },
+            },
+        )
+        assert response.status == 400
+
+    def test_out_of_range_channel_rejected(self, server, adset):
+        response = _request(
+            server,
+            HttpMethod.POST,
+            "/act_edge/ads",
+            {
+                "name": "bad",
+                "adset_id": adset,
+                "creative": {
+                    "headline": "h",
+                    "destination_url": "https://x.org",
+                    "image": {"race_score": 2.0, "gender_score": 0.5, "age_years": 30},
+                },
+            },
+        )
+        assert response.status == 400
+
+    def test_unknown_job_category_rejected(self, server, adset):
+        response = _request(
+            server,
+            HttpMethod.POST,
+            "/act_edge/ads",
+            {
+                "name": "bad",
+                "adset_id": adset,
+                "creative": {
+                    "headline": "h",
+                    "destination_url": "https://x.org",
+                    "image": {"race_score": 0.5, "gender_score": 0.5, "age_years": 30},
+                    "job_category": "astronaut",
+                },
+            },
+        )
+        assert response.status == 400
+
+
+class TestInsightsValidation:
+    def test_unsupported_breakdown_rejected(self, server, small_world):
+        client = small_world.client()
+        audience = client.create_custom_audience("edge", "ins-aud")
+        users = small_world.universe.users[:300]
+        client.upload_audience_users(audience, [u.pii_hash for u in users])
+        campaign = client.create_campaign("edge", "ins-c", "TRAFFIC")
+        adset = client.create_adset(
+            "edge", "ins-as", campaign, 100, {"custom_audience_ids": [audience]}
+        )
+        ad = client.create_ad(
+            "edge",
+            "ins-ad",
+            adset,
+            {
+                "headline": "h",
+                "body": "b",
+                "destination_url": "https://x.org",
+                "image": {"race_score": 0.5, "gender_score": 0.5, "age_years": 30},
+            },
+        )
+        outcome = client.submit_for_review(ad)
+        if outcome["review_status"] == "REJECTED":
+            client.appeal(ad)
+        client.deliver_day("edge", [ad])
+        with pytest.raises(ApiError, match="unsupported breakdowns"):
+            client.get_paged(f"/{ad}/insights", {"breakdowns": "zodiac"})
+
+    def test_insights_of_missing_ad_is_404(self, server, small_world):
+        client = small_world.client()
+        with pytest.raises(ApiError):
+            client.get_insights("ad_ghost_99")
+
+
+class TestTargetingValidation:
+    def test_unknown_staged_audience_in_targeting(self, server, small_world):
+        client = small_world.client()
+        campaign = client.create_campaign("edge", "c2", "TRAFFIC")
+        with pytest.raises(ApiError):
+            client.create_adset(
+                "edge", "as2", campaign, 100, {"custom_audience_ids": ["ghost"]}
+            )
+
+    def test_audience_with_no_uploads_cannot_be_targeted(self, server, small_world):
+        client = small_world.client()
+        empty = client.create_custom_audience("edge", "never-uploaded")
+        campaign = client.create_campaign("edge", "c3", "TRAFFIC")
+        with pytest.raises(ApiError, match="no uploaded users"):
+            client.create_adset(
+                "edge", "as3", campaign, 100, {"custom_audience_ids": [empty]}
+            )

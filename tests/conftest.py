@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Expensive objects (the small simulated world, the GAN stack with fitted
+directions, a mini campaign run) are session-scoped: they are built once
+and shared read-only across test modules.  Tests that mutate state build
+their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_campaign1, stock_specs
+from repro.core.world import SimulatedWorld, WorldConfig
+from repro.images.classifier import DeepfaceLikeClassifier
+from repro.images.gan import LatentDirections, MappingNetwork, Synthesizer
+from repro.rng import SeedSequenceFactory
+from repro.types import State
+from repro.voters.registry import VoterRegistry
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A generic generator for tests that just need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def fresh_rng() -> np.random.Generator:
+    """Per-test generator for tests that consume entropy statefully."""
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def rngs() -> SeedSequenceFactory:
+    """A seed-sequence factory."""
+    return SeedSequenceFactory(seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SimulatedWorld:
+    """One small simulated world shared by the whole session (read-only)."""
+    return SimulatedWorld(WorldConfig.small(seed=7))
+
+
+@pytest.fixture(scope="session")
+def fl_registry(rngs: SeedSequenceFactory) -> VoterRegistry:
+    """A realistic-marginals Florida registry."""
+    return VoterRegistry(State.FL, 4000, rngs.get("tests.fl"))
+
+
+@pytest.fixture(scope="session")
+def nc_registry(rngs: SeedSequenceFactory) -> VoterRegistry:
+    """A realistic-marginals North Carolina registry."""
+    return VoterRegistry(State.NC, 4000, rngs.get("tests.nc"))
+
+
+@pytest.fixture(scope="session")
+def gan_stack() -> tuple[MappingNetwork, Synthesizer, DeepfaceLikeClassifier, LatentDirections]:
+    """Mapping network + synthesizer + classifier + fitted directions."""
+    mapper = MappingNetwork(network_seed=5)
+    synthesizer = Synthesizer(mapper, network_seed=5)
+    classifier = DeepfaceLikeClassifier(np.random.default_rng(55))
+    directions = LatentDirections.fit(
+        mapper, synthesizer, classifier, np.random.default_rng(56), n_samples=1200
+    )
+    return mapper, synthesizer, classifier, directions
+
+
+@pytest.fixture(scope="session")
+def mini_campaign(small_world: SimulatedWorld):
+    """A reduced Campaign-1 run (40 stock images) on the small world."""
+    specs = stock_specs(small_world, per_cell=2)
+    return run_campaign1(small_world, specs=specs)

@@ -1,0 +1,123 @@
+"""Tests for the paired campaign runner and the aggregate analysis.
+
+All of these run against the shared ``mini_campaign`` fixture (a reduced
+Campaign 1 on the small world) so the heavy work happens once.
+"""
+
+import pytest
+
+from repro.core.analysis import (
+    aggregate_by_band,
+    aggregate_by_gender,
+    aggregate_by_race,
+    table3_rows,
+)
+from repro.core.figures import figure3_panels, figure4_panels
+from repro.errors import ValidationError
+from repro.types import AgeBand, Gender, Race
+
+
+class TestPairedDeliveries:
+    def test_all_images_delivered_in_both_copies(self, mini_campaign):
+        # 2 per cell x 20 cells, minus the occasional post-appeal rejection.
+        assert 38 <= len(mini_campaign.deliveries) <= 40
+
+    def test_copies_target_reversed_audiences(self, mini_campaign):
+        for delivery in mini_campaign.deliveries:
+            assert delivery.copy_a.region_counts.fl_is_white
+            assert not delivery.copy_b.region_counts.fl_is_white
+
+    def test_merged_fractions_are_probabilities(self, mini_campaign):
+        for d in mini_campaign.deliveries:
+            assert 0.0 <= d.fraction_black <= 1.0
+            assert 0.0 <= d.fraction_female <= 1.0
+            assert 0.0 <= d.fraction_age_at_least(45) <= 1.0
+            assert 18.0 <= d.average_audience_age() <= 80.0
+
+    def test_summary_accounting(self, mini_campaign):
+        summary = mini_campaign.summary
+        assert summary.n_ads == 80
+        assert summary.impressions > 0
+        assert summary.reach <= summary.impressions
+        # 80 ads x $2: spend approaches but never exceeds the budgets.
+        assert summary.spend <= 80 * 2.0 + 1e-6
+        assert summary.spend > 40.0
+
+    def test_age_monotonicity_of_cell_fractions(self, mini_campaign):
+        for d in mini_campaign.deliveries[:5]:
+            men_55 = d.fraction_cell(gender=Gender.MALE, min_age=55)
+            men_18 = d.fraction_cell(gender=Gender.MALE, min_age=18)
+            assert men_55 <= men_18
+
+
+class TestHeadlineEffects:
+    """The paper's main findings, at mini-campaign scale."""
+
+    def test_black_images_deliver_more_to_black_users(self, mini_campaign):
+        rows = aggregate_by_race(mini_campaign.deliveries)
+        black_row = next(r for r in rows if r.group == "Black")
+        white_row = next(r for r in rows if r.group == "White")
+        assert black_row.fraction_black > white_row.fraction_black + 0.05
+
+    def test_child_images_deliver_more_to_women(self, mini_campaign):
+        rows = aggregate_by_band(mini_campaign.deliveries)
+        child_row = next(r for r in rows if r.group == "Child")
+        adult_row = next(r for r in rows if r.group == "Adult")
+        assert child_row.fraction_female > adult_row.fraction_female
+
+    def test_delivery_skews_old_despite_balanced_targeting(self, mini_campaign):
+        """>70% of delivery goes to 45+ (paper Table 3)."""
+        rows = table3_rows(mini_campaign.deliveries)
+        for row in rows:
+            assert row.fraction_age_45plus > 0.55
+
+    def test_regression_recovers_race_effect(self, mini_campaign):
+        model = mini_campaign.regressions.pct_black
+        assert model.coefficient("Black") > 0.05
+        assert model.is_significant("Black")
+
+
+class TestAggregateApi:
+    def test_table3_has_nine_rows(self, mini_campaign):
+        rows = table3_rows(mini_campaign.deliveries)
+        assert [r.group for r in rows] == [
+            "Black", "White", "Male", "Female",
+            "Child", "Teen", "Adult", "Middle-aged", "Elderly",
+        ]
+
+    def test_gender_rows_cover_all_images(self, mini_campaign):
+        rows = aggregate_by_gender(mini_campaign.deliveries)
+        assert sum(r.n_images for r in rows) == len(mini_campaign.deliveries)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_by_race([])
+
+
+class TestFigureSeries:
+    def test_figure3_panels_cover_every_image(self, mini_campaign):
+        panels = figure3_panels(mini_campaign.deliveries)
+        assert set(panels) == {"A", "B", "C", "D"}
+        for series in panels.values():
+            assert len(series.points) == len(mini_campaign.deliveries)
+
+    def test_figure3_panel_a_separates_races(self, mini_campaign):
+        panel = figure3_panels(mini_campaign.deliveries)["A"]
+        for band in AgeBand:
+            assert panel.mean(band, "Black") > panel.mean(band, "white")
+
+    def test_figure4_panel_values_are_fractions(self, mini_campaign):
+        panels = figure4_panels(mini_campaign.deliveries)
+        for series in panels.values():
+            for point in series.points:
+                assert 0.0 <= point.value <= 1.0
+
+    def test_mean_lines_ordered_by_band(self, mini_campaign):
+        panel = figure3_panels(mini_campaign.deliveries)["B"]
+        lines = panel.mean_lines()
+        assert set(lines) == {"Black", "white"}
+        assert all(len(v) == len(AgeBand) for v in lines.values())
+
+    def test_empty_deliveries_rejected(self):
+        with pytest.raises(ValidationError):
+            figure3_panels([])

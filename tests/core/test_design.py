@@ -1,0 +1,38 @@
+"""Tests for balanced audience construction and upload."""
+
+import pytest
+
+from repro.core.design import build_balanced_audiences
+from repro.types import AgeBucket
+
+
+@pytest.fixture(scope="module")
+def audience_pair(small_world):
+    small_world.account("design-test")
+    return build_balanced_audiences(
+        small_world.client(),
+        "design-test",
+        small_world.fl_registry,
+        small_world.nc_registry,
+        small_world.rngs.get("tests.design"),
+        sample_scale=0.004,
+        name_prefix="design-test",
+    )
+
+
+class TestBuildBalancedAudiences:
+    def test_both_audiences_uploaded(self, audience_pair, small_world):
+        client = small_world.client()
+        meta_a = client.get_audience(audience_pair.audience_a_id)
+        meta_b = client.get_audience(audience_pair.audience_b_id)
+        assert meta_a["uploaded_count"] > 0
+        assert meta_a["uploaded_count"] == meta_b["uploaded_count"]
+
+    def test_table1_rows_available(self, audience_pair):
+        rows = audience_pair.table1_rows()
+        assert len(rows) == len(AgeBucket)
+        for _age, group, total in rows:
+            assert total == 4 * group
+
+    def test_sample_is_retained_for_ground_truth(self, audience_pair):
+        assert len(audience_pair.sample.voters()) > 0

@@ -1,0 +1,61 @@
+"""Tests for the project-website export."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.export import export_campaign, load_exported_ads
+from repro.errors import ValidationError
+
+
+class TestExport:
+    def test_artifact_files_written(self, mini_campaign, tmp_path: Path):
+        out = export_campaign(
+            "campaign1-mini", mini_campaign.deliveries, mini_campaign.summary, tmp_path
+        )
+        assert (out / "ads.json").exists()
+        assert (out / "summary.json").exists()
+        assert (out / "index.txt").exists()
+
+    def test_ads_json_round_trip(self, mini_campaign, tmp_path: Path):
+        out = export_campaign(
+            "campaign1-mini", mini_campaign.deliveries, mini_campaign.summary, tmp_path
+        )
+        records = load_exported_ads(out)
+        assert len(records) == len(mini_campaign.deliveries)
+        by_id = {r["image_id"]: r for r in records}
+        for delivery in mini_campaign.deliveries:
+            record = by_id[delivery.spec.image_id]
+            assert record["actual_audience"]["impressions"] == delivery.impressions
+            assert record["actual_audience"]["fraction_black"] == pytest.approx(
+                delivery.fraction_black, abs=1e-6
+            )
+            assert set(record["copies"]) == {"A", "B"}
+            for copy in record["copies"].values():
+                total = sum(row["impressions"] for row in copy["by_age_gender"])
+                assert total == copy["impressions"]
+
+    def test_summary_json_contents(self, mini_campaign, tmp_path: Path):
+        out = export_campaign(
+            "c", mini_campaign.deliveries, mini_campaign.summary, tmp_path
+        )
+        summary = json.loads((out / "summary.json").read_text())
+        assert summary["n_ads"] == mini_campaign.summary.n_ads
+        assert summary["impressions"] == mini_campaign.summary.impressions
+
+    def test_index_lists_every_image(self, mini_campaign, tmp_path: Path):
+        out = export_campaign(
+            "c", mini_campaign.deliveries, mini_campaign.summary, tmp_path
+        )
+        index = (out / "index.txt").read_text()
+        for delivery in mini_campaign.deliveries:
+            assert delivery.spec.image_id in index
+
+    def test_empty_export_rejected(self, mini_campaign, tmp_path: Path):
+        with pytest.raises(ValidationError):
+            export_campaign("c", [], mini_campaign.summary, tmp_path)
+
+    def test_load_missing_export_rejected(self, tmp_path: Path):
+        with pytest.raises(ValidationError):
+            load_exported_ads(tmp_path)

@@ -1,0 +1,48 @@
+"""Tests for the Figure-7 congruence scatter builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.figures import figure7_points
+from repro.errors import ValidationError
+from repro.images import JOB_CATEGORIES
+from repro.types import AgeBand, Gender, Race
+
+from tests.core.test_regression_builders import _spec, _synthetic_delivery
+
+
+@pytest.fixture(scope="module")
+def jobad_deliveries():
+    rng = np.random.default_rng(5)
+    deliveries = []
+    for job in JOB_CATEGORIES:
+        for race in Race:
+            for gender in (Gender.MALE, Gender.FEMALE):
+                spec = _spec(f"{job}-{race.value}-{gender.value}", race, gender,
+                             AgeBand.ADULT, job=job)
+                black_frac = 0.5 + (0.12 if race is Race.BLACK else 0.0)
+                deliveries.append(_synthetic_delivery(spec, rng, black_frac=black_frac))
+    return deliveries
+
+
+class TestFigure7:
+    def test_panel_a_pairs_each_job_and_gender(self, jobad_deliveries):
+        panels = figure7_points(jobad_deliveries)
+        assert len(panels["A"]) == len(JOB_CATEGORIES) * 2
+        assert len(panels["B"]) == len(JOB_CATEGORIES) * 2
+
+    def test_congruent_race_skew_detected(self, jobad_deliveries):
+        panels = figure7_points(jobad_deliveries)
+        congruent = sum(1 for p in panels["A"] if p.is_congruent)
+        assert congruent >= 0.8 * len(panels["A"])
+
+    def test_values_are_fractions(self, jobad_deliveries):
+        panels = figure7_points(jobad_deliveries)
+        for points in panels.values():
+            for p in points:
+                assert 0.0 <= p.congruent_value <= 1.0
+                assert 0.0 <= p.reference_value <= 1.0
+
+    def test_portrait_deliveries_rejected(self, mini_campaign):
+        with pytest.raises(ValidationError):
+            figure7_points(mini_campaign.deliveries)

@@ -1,0 +1,93 @@
+"""Tests for the region-split race inference (§3.3, Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.race_split import CopyRegionCounts, infer_race_split
+from repro.errors import ValidationError
+
+counts = st.integers(min_value=0, max_value=10_000)
+
+
+class TestCopyCounts:
+    def test_audience_a_maps_fl_to_white(self):
+        copy = CopyRegionCounts(
+            fl_impressions=100, nc_impressions=50, other_impressions=2, fl_is_white=True
+        )
+        assert copy.white_impressions == 100
+        assert copy.black_impressions == 50
+
+    def test_reversed_audience_flips_mapping(self):
+        copy = CopyRegionCounts(
+            fl_impressions=100, nc_impressions=50, other_impressions=2, fl_is_white=False
+        )
+        assert copy.white_impressions == 50
+        assert copy.black_impressions == 100
+
+    def test_from_region_rows(self):
+        rows = [
+            {"region": "FL", "impressions": 70},
+            {"region": "NC", "impressions": 30},
+            {"region": "OTHER", "impressions": 1},
+        ]
+        copy = CopyRegionCounts.from_region_rows(rows, fl_is_white=True)
+        assert copy.fl_impressions == 70
+        assert copy.other_impressions == 1
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            CopyRegionCounts(-1, 0, 0, fl_is_white=True)
+
+
+class TestInference:
+    def test_two_copy_aggregation(self):
+        copy_a = CopyRegionCounts(60, 40, 1, fl_is_white=True)   # 60 white, 40 Black
+        copy_b = CopyRegionCounts(55, 45, 0, fl_is_white=False)  # 45 white, 55 Black
+        result = infer_race_split([copy_a, copy_b])
+        assert result.white_impressions == 105
+        assert result.black_impressions == 95
+        assert result.fraction_black == pytest.approx(95 / 200)
+        assert result.disregarded_impressions == 1
+
+    def test_reversed_copies_cancel_location_effects(self):
+        """If one state simply delivers more (regardless of race), the
+        aggregate over reversed copies stays unbiased at 50%."""
+        # FL is twice as active as NC; no race effect at all.
+        copy_a = CopyRegionCounts(200, 100, 0, fl_is_white=True)
+        copy_b = CopyRegionCounts(200, 100, 0, fl_is_white=False)
+        result = infer_race_split([copy_a, copy_b])
+        assert result.fraction_black == pytest.approx(0.5)
+
+    def test_single_copy_is_biased_by_location(self):
+        """The same scenario with one copy reads 33% Black — the bias the
+        reversed-copy design removes."""
+        copy_a = CopyRegionCounts(200, 100, 0, fl_is_white=True)
+        result = infer_race_split([copy_a])
+        assert result.fraction_black == pytest.approx(1 / 3)
+
+    def test_out_of_state_fraction(self):
+        copy = CopyRegionCounts(95, 95, 10, fl_is_white=True)
+        result = infer_race_split([copy])
+        assert result.out_of_state_fraction == pytest.approx(0.05)
+
+    def test_no_copies_rejected(self):
+        with pytest.raises(ValidationError):
+            infer_race_split([])
+
+    def test_no_impressions_rejected(self):
+        result = infer_race_split([CopyRegionCounts(0, 0, 0, fl_is_white=True)])
+        with pytest.raises(ValidationError):
+            result.fraction_black
+
+    @settings(max_examples=50, deadline=None)
+    @given(fl_a=counts, nc_a=counts, fl_b=counts, nc_b=counts, other=counts)
+    def test_fractions_sum_to_one(self, fl_a, nc_a, fl_b, nc_b, other):
+        copies = [
+            CopyRegionCounts(fl_a, nc_a, other, fl_is_white=True),
+            CopyRegionCounts(fl_b, nc_b, other, fl_is_white=False),
+        ]
+        result = infer_race_split(copies)
+        if result.total_inferred > 0:
+            assert result.fraction_black + result.fraction_white == pytest.approx(1.0)
+            assert result.total_inferred == fl_a + nc_a + fl_b + nc_b

@@ -1,0 +1,177 @@
+"""Tests for the Table-4/5/A1 regression builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign_runner import AdDeliveryRecord, CreativeSpec, PairedDelivery
+from repro.core.race_split import CopyRegionCounts
+from repro.core.regression import (
+    fit_identity_regression_single,
+    fit_identity_regressions,
+    fit_jobad_regressions,
+)
+from repro.errors import ValidationError
+from repro.images import JOB_CATEGORIES, ImageFeatures
+from repro.types import AgeBand, Gender, Race
+
+
+def _synthetic_delivery(
+    spec: CreativeSpec,
+    rng: np.random.Generator,
+    *,
+    black_frac: float,
+    female_frac: float = 0.5,
+    old_frac: float = 0.5,
+    n: int = 400,
+) -> PairedDelivery:
+    """A paired delivery with controlled composition (bypasses the engine)."""
+
+    def copy(label: str) -> AdDeliveryRecord:
+        black = int(round(n * black_frac)) + int(rng.integers(-6, 7))
+        black = int(np.clip(black, 0, n))
+        white = n - black
+        female = int(round(n * female_frac))
+        old = int(round(n * old_frac))
+        old_female = int(round(old * female / n)) if n else 0
+        old_male = old - old_female
+        rows = (
+            ("25-34", "female", female - old_female),
+            ("65+", "female", old_female),
+            ("25-34", "male", n - female - old_male),
+            ("65+", "male", old_male),
+        )
+        return AdDeliveryRecord(
+            ad_id=f"{spec.image_id}-{label}",
+            spec=spec,
+            copy_label=label,
+            impressions=n,
+            reach=n,
+            clicks=10,
+            spend=2.0,
+            age_gender_rows=rows,
+            region_counts=CopyRegionCounts(
+                fl_impressions=white if label == "A" else black,
+                nc_impressions=black if label == "A" else white,
+                other_impressions=0,
+                fl_is_white=(label == "A"),
+            ),
+        )
+
+    return PairedDelivery(spec=spec, copy_a=copy("A"), copy_b=copy("B"))
+
+
+def _spec(image_id, race, gender, band, job=None):
+    return CreativeSpec(
+        image_id=image_id,
+        features=ImageFeatures.for_demographics(race, gender, band),
+        race=race,
+        gender=gender,
+        band=band,
+        job_category=job,
+    )
+
+
+@pytest.fixture(scope="module")
+def controlled_deliveries():
+    """A full 2x2x5 design where Black images get +15pp Black delivery."""
+    rng = np.random.default_rng(0)
+    deliveries = []
+    i = 0
+    for race in Race:
+        for gender in (Gender.MALE, Gender.FEMALE):
+            for band in AgeBand:
+                for copy in range(3):
+                    spec = _spec(f"img{i}", race, gender, band)
+                    black_frac = 0.55 + (0.15 if race is Race.BLACK else 0.0)
+                    female_frac = 0.5 + (0.1 if band is AgeBand.CHILD else 0.0)
+                    deliveries.append(
+                        _synthetic_delivery(
+                            spec, rng, black_frac=black_frac, female_frac=female_frac
+                        )
+                    )
+                    i += 1
+    return deliveries
+
+
+class TestIdentityRegressions:
+    def test_recovers_planted_race_effect(self, controlled_deliveries):
+        table = fit_identity_regressions(controlled_deliveries, top_age_threshold=65)
+        model = table.pct_black
+        assert model.coefficient("Black") == pytest.approx(0.15, abs=0.03)
+        assert model.is_significant("Black")
+        assert not model.is_significant("Female")
+
+    def test_recovers_planted_child_effect(self, controlled_deliveries):
+        table = fit_identity_regressions(controlled_deliveries, top_age_threshold=65)
+        model = table.pct_female
+        assert model.coefficient("Child") == pytest.approx(0.10, abs=0.02)
+        assert model.is_significant("Child")
+
+    def test_top_age_label_follows_threshold(self, controlled_deliveries):
+        table = fit_identity_regressions(controlled_deliveries, top_age_threshold=35)
+        assert table.top_age_label == "% Age 35+"
+        assert len(table.models()) == 3
+
+    def test_too_few_rows_rejected(self, controlled_deliveries):
+        with pytest.raises(ValidationError):
+            fit_identity_regressions(controlled_deliveries[:5])
+
+
+class TestSingleRegression:
+    def test_dropped_band_excluded_from_terms(self, controlled_deliveries):
+        no_child = [d for d in controlled_deliveries if d.spec.band is not AgeBand.CHILD]
+        model = fit_identity_regression_single(no_child, drop_bands=(AgeBand.CHILD,))
+        assert "Child" not in model.terms
+        assert model.coefficient("Black") == pytest.approx(0.15, abs=0.03)
+
+    def test_leftover_dropped_band_rejected(self, controlled_deliveries):
+        with pytest.raises(ValidationError):
+            fit_identity_regression_single(
+                controlled_deliveries, drop_bands=(AgeBand.CHILD,)
+            )
+
+    def test_constant_columns_are_dropped_not_fatal(self, controlled_deliveries):
+        only_adults = [
+            d for d in controlled_deliveries if d.spec.band is AgeBand.ADULT
+        ]
+        model = fit_identity_regression_single(only_adults)
+        assert "Elderly" not in model.terms
+        assert "Black" in model.terms
+
+
+class TestJobAdRegressions:
+    @pytest.fixture(scope="class")
+    def jobad_deliveries(self):
+        rng = np.random.default_rng(1)
+        deliveries = []
+        for j, job in enumerate(JOB_CATEGORIES):
+            job_base = 0.45 + 0.02 * (j % 5)  # per-job intercepts
+            for race in Race:
+                for gender in (Gender.MALE, Gender.FEMALE):
+                    spec = _spec(f"{job}-{race.value}-{gender.value}", race, gender,
+                                 AgeBand.ADULT, job=job)
+                    black_frac = job_base + (0.10 if race is Race.BLACK else 0.0)
+                    deliveries.append(
+                        _synthetic_delivery(spec, rng, black_frac=black_frac)
+                    )
+        return deliveries
+
+    def test_recovers_congruent_race_skew(self, jobad_deliveries):
+        table = fit_jobad_regressions(jobad_deliveries)
+        assert table.black_overall.coefficient("Implied: Black") == pytest.approx(
+            0.10, abs=0.03
+        )
+        assert table.black_overall.is_significant("Implied: Black")
+        assert table.black_implied_female.is_significant("Implied: Black")
+        assert table.black_implied_male.is_significant("Implied: Black")
+
+    def test_no_gender_effect_detected(self, jobad_deliveries):
+        table = fit_jobad_regressions(jobad_deliveries)
+        assert not table.female_overall.is_significant("Implied: female")
+
+    def test_six_models_reported(self, jobad_deliveries):
+        assert len(fit_jobad_regressions(jobad_deliveries).models()) == 6
+
+    def test_missing_job_category_rejected(self, controlled_deliveries):
+        with pytest.raises(ValidationError):
+            fit_jobad_regressions(controlled_deliveries)

@@ -1,0 +1,51 @@
+"""Tests for table/figure rendering and CSV output."""
+
+from pathlib import Path
+
+from repro.core.analysis import table3_rows
+from repro.core.figures import figure3_panels
+from repro.core.reporting import (
+    render_identity_regressions,
+    render_panel_ascii,
+    render_table1,
+    render_table2,
+    render_table3,
+    write_panel_csv,
+)
+
+
+class TestRenderers:
+    def test_table1_renders_sizes(self, mini_campaign, small_world):
+        rows = [("18-24", 100, 400), ("65+", 200, 800)]
+        text = render_table1(rows)
+        assert "18-24" in text and "800" in text
+
+    def test_table2_includes_spend(self, mini_campaign):
+        text = render_table2([("Campaign X", mini_campaign.summary)])
+        assert "Campaign X" in text
+        assert "$" in text
+
+    def test_table3_renders_percentages(self, mini_campaign):
+        text = render_table3(table3_rows(mini_campaign.deliveries))
+        assert "% Black" in text
+        assert "%" in text.splitlines()[3]
+
+    def test_regression_table_shows_stars_and_r2(self, mini_campaign):
+        text = render_identity_regressions(mini_campaign.regressions, title="T")
+        assert "Intercept" in text
+        assert "R^2" in text
+        assert "***" in text  # the race effect is unmissable
+
+    def test_panel_ascii_contains_all_bands(self, mini_campaign):
+        panel = figure3_panels(mini_campaign.deliveries)["A"]
+        text = render_panel_ascii(panel)
+        for band in ("child", "teen", "adult", "middle-aged", "elderly"):
+            assert band in text
+
+    def test_panel_csv_round_trips(self, mini_campaign, tmp_path: Path):
+        panel = figure3_panels(mini_campaign.deliveries)["A"]
+        path = tmp_path / "sub" / "panel.csv"
+        write_panel_csv(panel, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "image_id,band,series,value"
+        assert len(lines) == len(panel.points) + 1

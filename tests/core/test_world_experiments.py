@@ -1,0 +1,88 @@
+"""Integration tests: world construction and the full experiment roster.
+
+Campaigns 2-4 and Appendix A run here at reduced scale; Campaign 1 is
+covered by the shared ``mini_campaign`` fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import (
+    jobad_specs,
+    run_appendix_a,
+    run_campaign2,
+    run_campaign3,
+    run_campaign4,
+    stock_specs,
+    synthetic_specs,
+)
+from repro.core.world import SimulatedWorld, WorldConfig
+from repro.errors import ConfigurationError
+from repro.types import Gender, Race
+
+
+class TestWorldConfig:
+    def test_small_preset_is_smaller(self):
+        small = WorldConfig.small()
+        paper = WorldConfig.paper()
+        assert small.registry_size < paper.registry_size
+        assert small.ear_events < paper.ear_events
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(sample_scale=0.0)
+
+    def test_world_is_reproducible(self):
+        a = SimulatedWorld(WorldConfig.small(seed=123))
+        b = SimulatedWorld(WorldConfig.small(seed=123))
+        assert len(a.universe) == len(b.universe)
+        assert np.allclose(a.ear.model.weights, b.ear.model.weights)
+
+
+class TestCampaign2:
+    def test_age_capped_run(self, small_world):
+        specs = stock_specs(small_world, per_cell=1)  # 20 images
+        result = run_campaign2(small_world, specs=specs)
+        # Review stochastically rejects ~0.2% of ads even after appeal, so
+        # a delivered pair can occasionally drop out.
+        assert 18 <= len(result.deliveries) <= 20
+        assert result.regressions.top_age_label == "% Age 35+"
+        for d in result.deliveries:
+            assert d.fraction_age_at_least(55) == 0.0
+
+
+class TestCampaign3:
+    def test_synthetic_faces_run(self, small_world):
+        specs = synthetic_specs(small_world, n_people=1, fit_samples=800)
+        assert len(specs) == 20
+        result = run_campaign3(small_world, specs=specs, fit_samples=800)
+        assert 18 <= len(result.deliveries) <= 20
+        # The synthetic experiment must reproduce the race steering.
+        black = [d.fraction_black for d in result.deliveries if d.spec.race is Race.BLACK]
+        white = [d.fraction_black for d in result.deliveries if d.spec.race is Race.WHITE]
+        assert np.mean(black) > np.mean(white)
+
+
+class TestCampaign4:
+    def test_jobads_run_from_vintage_account(self, small_world):
+        specs = jobad_specs(small_world, fit_samples=800)
+        assert len(specs) == 44
+        result = run_campaign4(small_world, specs=specs)
+        assert 41 <= len(result.deliveries) <= 44
+        table = result.regressions
+        assert table.black_overall.coefficient("Implied: Black") > 0
+        assert table.black_overall.n_groups >= 10
+
+    def test_jobad_specs_cover_all_identities(self, small_world):
+        specs = jobad_specs(small_world, fit_samples=800)
+        identities = {(s.job_category, s.race, s.gender) for s in specs}
+        assert len(identities) == 44
+
+
+class TestAppendixA:
+    def test_poverty_controlled_run(self, small_world):
+        result = run_appendix_a(small_world, target_images=16)
+        assert result.rejected_ads > 10  # mass review rejections happened
+        assert result.kept_images <= 16
+        assert "Child" not in result.regression.terms
+        assert "Black" in result.regression.terms

@@ -1,0 +1,58 @@
+"""Tests for the mobility model (the race-split error budget)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import MobilityModel
+from repro.geo.regions import DMA_BY_STATE
+from repro.types import State
+
+
+class TestMobilityModel:
+    def test_out_of_state_rate_matches_paper_scale(self):
+        """<1% of impressions leak out of state (paper §3.3 / §5.2)."""
+        model = MobilityModel(np.random.default_rng(0))
+        locations = model.locate_many(State.FL, "Orlando", 20_000)
+        out = sum(1 for loc in locations if loc.state is not State.FL)
+        assert out / len(locations) < 0.02
+
+    def test_out_of_dma_rate_is_an_order_of_magnitude_higher(self):
+        """>10% out-of-DMA leakage, matching prior DMA-based designs."""
+        model = MobilityModel(np.random.default_rng(1))
+        locations = model.locate_many(State.FL, "Orlando", 20_000)
+        in_state = [loc for loc in locations if loc.state is State.FL]
+        out_of_dma = sum(1 for loc in in_state if loc.dma != "Orlando")
+        assert out_of_dma / len(in_state) > 0.08
+
+    def test_cross_study_state_travel_is_rare(self):
+        model = MobilityModel(np.random.default_rng(2))
+        locations = model.locate_many(State.NC, "Charlotte", 50_000)
+        to_fl = sum(1 for loc in locations if loc.state is State.FL)
+        assert to_fl / len(locations) < 0.005
+
+    def test_home_attribution_dominates(self):
+        model = MobilityModel(np.random.default_rng(3))
+        locations = model.locate_many(State.NC, "Raleigh-Durham", 5000)
+        at_home = sum(
+            1 for loc in locations
+            if loc.state is State.NC and loc.dma == "Raleigh-Durham"
+        )
+        assert at_home / len(locations) > 0.8
+
+    def test_zero_rates_pin_users_home(self):
+        model = MobilityModel(
+            np.random.default_rng(4), out_of_state_rate=0.0, out_of_dma_rate=0.0
+        )
+        for loc in model.locate_many(State.FL, "Miami-Ft. Lauderdale", 200):
+            assert loc.state is State.FL
+            assert loc.dma == "Miami-Ft. Lauderdale"
+
+    def test_returned_dmas_are_valid_for_their_state(self):
+        model = MobilityModel(np.random.default_rng(5), out_of_state_rate=0.3)
+        for loc in model.locate_many(State.FL, "Orlando", 2000):
+            assert loc.dma in DMA_BY_STATE[loc.state]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            MobilityModel(np.random.default_rng(0), out_of_state_rate=1.0)

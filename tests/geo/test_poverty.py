@@ -1,0 +1,90 @@
+"""Tests for the ZIP poverty model and the Appendix-A matching step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.geo import PovertyModel, ZipAllocator
+from repro.geo.poverty import match_poverty_distributions
+from repro.types import State
+
+
+class TestPovertyModel:
+    def test_rate_is_stable_per_zip(self):
+        allocator = ZipAllocator(State.FL, np.random.default_rng(0))
+        model = PovertyModel(np.random.default_rng(1))
+        info = allocator.zips[0]
+        assert model.poverty_rate(info) == model.poverty_rate(info)
+
+    def test_blacker_zips_are_poorer_on_average(self):
+        allocator = ZipAllocator(State.FL, np.random.default_rng(2), segregation=0.8)
+        model = PovertyModel(np.random.default_rng(3))
+        rates_black = []
+        rates_white = []
+        for info in allocator.zips:
+            rate = model.poverty_rate(info)
+            (rates_black if info.black_share > 0.5 else rates_white).append(rate)
+        assert np.mean(rates_black) > np.mean(rates_white)
+
+    def test_rates_are_clipped_to_plausible_range(self):
+        allocator = ZipAllocator(State.NC, np.random.default_rng(4))
+        model = PovertyModel(np.random.default_rng(5), noise_sd=0.5)
+        for info in allocator.zips:
+            assert 0.02 <= model.poverty_rate(info) <= 0.60
+
+    def test_invalid_base_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            PovertyModel(np.random.default_rng(0), base_rate=1.5)
+
+
+class TestMatchPovertyDistributions:
+    def test_matched_groups_have_equal_sizes(self):
+        rng = np.random.default_rng(0)
+        groups = {
+            "white": rng.beta(2, 12, size=500),
+            "black": rng.beta(2.5, 10, size=500),
+        }
+        kept = match_poverty_distributions(groups, np.random.default_rng(1))
+        assert len(kept["white"]) == len(kept["black"])
+        assert len(kept["white"]) > 0
+
+    def test_matched_distributions_align(self):
+        rng = np.random.default_rng(2)
+        groups = {
+            "poorer": np.clip(rng.normal(0.18, 0.05, size=2000), 0, 1),
+            "richer": np.clip(rng.normal(0.11, 0.05, size=2000), 0, 1),
+        }
+        kept = match_poverty_distributions(groups, np.random.default_rng(3), n_bins=25)
+        matched_poor = groups["poorer"][kept["poorer"]]
+        matched_rich = groups["richer"][kept["richer"]]
+        assert abs(matched_poor.mean() - matched_rich.mean()) < 0.01
+
+    def test_indices_point_into_the_original_arrays(self):
+        rng = np.random.default_rng(4)
+        groups = {"a": rng.random(100), "b": rng.random(120)}
+        kept = match_poverty_distributions(groups, np.random.default_rng(5))
+        assert kept["a"].max(initial=-1) < 100
+        assert kept["b"].max(initial=-1) < 120
+        assert len(np.unique(kept["a"])) == len(kept["a"])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            match_poverty_distributions({}, np.random.default_rng(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shift=st.floats(min_value=0.0, max_value=0.1),
+        n=st.integers(min_value=50, max_value=300),
+    )
+    def test_matching_never_exceeds_smaller_group(self, shift, n):
+        rng = np.random.default_rng(6)
+        groups = {
+            "a": np.clip(rng.normal(0.12, 0.04, size=n), 0, 1),
+            "b": np.clip(rng.normal(0.12 + shift, 0.04, size=n // 2), 0, 1),
+        }
+        kept = match_poverty_distributions(groups, np.random.default_rng(7))
+        assert len(kept["a"]) <= n
+        assert len(kept["b"]) <= n // 2
+        assert len(kept["a"]) == len(kept["b"])

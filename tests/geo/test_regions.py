@@ -1,0 +1,61 @@
+"""Tests for ZIP allocation and region structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import DMA_BY_STATE, ZipAllocator
+from repro.types import State
+
+
+@pytest.fixture()
+def allocator():
+    return ZipAllocator(State.FL, np.random.default_rng(0), n_zips=80)
+
+
+class TestZipAllocator:
+    def test_zip_codes_use_state_prefixes(self, allocator):
+        for info in allocator.zips:
+            assert info.zip_code[:2] in ("32", "33", "34")
+
+    def test_nc_prefixes(self):
+        allocator = ZipAllocator(State.NC, np.random.default_rng(1))
+        for info in allocator.zips:
+            assert info.zip_code[:2] in ("27", "28")
+
+    def test_zip_codes_are_unique(self, allocator):
+        codes = [z.zip_code for z in allocator.zips]
+        assert len(set(codes)) == len(codes)
+
+    def test_dmas_come_from_the_state_pool(self, allocator):
+        for info in allocator.zips:
+            assert info.dma in DMA_BY_STATE[State.FL]
+
+    def test_segregation_assigns_black_voters_to_blacker_zips(self):
+        allocator = ZipAllocator(State.FL, np.random.default_rng(2), segregation=0.8)
+        black_shares = [allocator.zip_for_race(True).black_share for _ in range(400)]
+        white_shares = [allocator.zip_for_race(False).black_share for _ in range(400)]
+        assert np.mean(black_shares) > np.mean(white_shares) + 0.15
+
+    def test_zero_segregation_still_separates_via_composition(self):
+        # Even at segregation 0 the assignment follows composition; the
+        # gap shrinks but the allocator stays functional.
+        allocator = ZipAllocator(State.FL, np.random.default_rng(3), segregation=0.0)
+        info = allocator.zip_for_race(True)
+        assert 0.0 <= info.black_share <= 1.0
+
+    def test_lookup_roundtrip(self, allocator):
+        first = allocator.zips[0]
+        assert allocator.lookup(first.zip_code) == first
+
+    def test_lookup_unknown_raises(self, allocator):
+        with pytest.raises(ValidationError):
+            allocator.lookup("99999")
+
+    def test_other_state_rejected(self):
+        with pytest.raises(ValidationError):
+            ZipAllocator(State.OTHER, np.random.default_rng(0))
+
+    def test_bad_segregation_rejected(self):
+        with pytest.raises(ValidationError):
+            ZipAllocator(State.FL, np.random.default_rng(0), segregation=1.0)

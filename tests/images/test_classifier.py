@@ -1,0 +1,70 @@
+"""Tests for the Deepface-like classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import DeepfaceLikeClassifier, ImageFeatures
+
+
+def _portrait(race_score=0.5, gender_score=0.5, age=30.0, smile=0.5):
+    return ImageFeatures(
+        race_score=race_score, gender_score=gender_score, age_years=age, smile=smile
+    )
+
+
+class TestClassifier:
+    def test_clear_faces_classify_correctly(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(0), label_noise=0.02)
+        labels = clf.classify(_portrait(race_score=0.95, gender_score=0.95, age=40))
+        assert labels.is_female
+        assert labels.race_label == "Black"
+        assert abs(labels.age_estimate - 40) < 12
+
+    def test_age_estimates_track_truth(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(1))
+        estimates = [clf.classify(_portrait(age=60.0)).age_estimate for _ in range(200)]
+        assert abs(np.mean(estimates) - 60.0) < 1.5
+
+    def test_smile_bias_shifts_gender_labels(self):
+        """The documented Deepface-style entanglement: smiling reads female."""
+        clf = DeepfaceLikeClassifier(np.random.default_rng(2), smile_female_bias=0.6)
+        smiling = sum(
+            clf.classify(_portrait(gender_score=0.5, smile=0.95)).is_female
+            for _ in range(500)
+        )
+        neutral = sum(
+            clf.classify(_portrait(gender_score=0.5, smile=0.05)).is_female
+            for _ in range(500)
+        )
+        assert smiling > neutral + 50
+
+    def test_bias_can_be_disabled(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(3), smile_female_bias=0.0)
+        smiling = sum(
+            clf.classify(_portrait(gender_score=0.5, smile=0.95)).is_female
+            for _ in range(500)
+        )
+        assert abs(smiling - 250) < 60
+
+    def test_ambiguous_race_spreads_over_other_labels(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(4), label_noise=0.01)
+        labels = {clf.classify(_portrait(race_score=0.47)).race_label for _ in range(300)}
+        assert labels - {"white", "Black"}
+
+    def test_black_probability_is_monotone_in_score(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(5), label_noise=0.0)
+        probs = [
+            clf.classify(_portrait(race_score=s)).race_black_prob
+            for s in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert probs == sorted(probs)
+
+    def test_classify_many_matches_length(self):
+        clf = DeepfaceLikeClassifier(np.random.default_rng(6))
+        batch = [_portrait() for _ in range(7)]
+        assert len(clf.classify_many(batch)) == 7
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            DeepfaceLikeClassifier(np.random.default_rng(0), label_noise=-1.0)

@@ -1,0 +1,55 @@
+"""Tests for job-ad compositing (§6 creatives)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import JOB_CATEGORIES, ImageFeatures, compose_job_ad
+
+
+def _face():
+    return ImageFeatures(race_score=0.9, gender_score=0.1, age_years=30, smile=0.7)
+
+
+class TestComposeJobAd:
+    def test_eleven_ali_et_al_categories(self):
+        assert len(JOB_CATEGORIES) == 11
+        assert "lumber" in JOB_CATEGORIES
+        assert "janitor" in JOB_CATEGORIES
+
+    def test_salience_dilutes_implied_scores_toward_neutral(self):
+        ad = compose_job_ad("doctor", _face(), face_salience=0.5)
+        effective = ad.effective_features()
+        assert 0.5 < effective.race_score < 0.9
+        assert 0.1 < effective.gender_score < 0.5
+
+    def test_full_salience_preserves_scores(self):
+        ad = compose_job_ad("doctor", _face(), face_salience=1.0)
+        effective = ad.effective_features()
+        assert effective.race_score == pytest.approx(0.9)
+        assert effective.gender_score == pytest.approx(0.1)
+
+    def test_background_resets_nuisance(self):
+        ad = compose_job_ad("lumber", _face())
+        effective = ad.effective_features()
+        assert effective.lighting == 0.5
+        assert effective.head_pose == 0.0
+
+    def test_smile_survives_compositing(self):
+        # The face region keeps its expression.
+        ad = compose_job_ad("nurse", _face())
+        assert ad.effective_features().smile == 0.7
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_job_ad("astronaut", _face())
+
+    def test_zero_salience_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_job_ad("doctor", _face(), face_salience=0.0)
+
+    def test_person_free_face_rejected(self):
+        background_only = ImageFeatures(
+            race_score=0.5, gender_score=0.5, age_years=30, has_person=False
+        )
+        with pytest.raises(ValidationError):
+            compose_job_ad("doctor", background_only)

@@ -1,0 +1,100 @@
+"""Tests for latent encoding (projection)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.images.features import ImageFeatures
+from repro.images.gan import MappingNetwork, Synthesizer, encode_attributes_only, encode_features
+
+
+@pytest.fixture(scope="module")
+def stack():
+    mapper = MappingNetwork(network_seed=13)
+    return mapper, Synthesizer(mapper, network_seed=13)
+
+
+class TestVjp:
+    def test_matches_finite_differences(self, stack):
+        mapper, _ = stack
+        rng = np.random.default_rng(0)
+        z = rng.standard_normal(512).astype(np.float32)
+        cotangent = rng.standard_normal(mapper.activation_dim).astype(np.float32)
+        grad = mapper.vjp(z, cotangent)
+        eps = 1e-3
+        for index in (3, 250, 511):
+            z_plus, z_minus = z.copy(), z.copy()
+            z_plus[index] += eps
+            z_minus[index] -= eps
+            fd = (
+                float(cotangent @ mapper.activations(z_plus))
+                - float(cotangent @ mapper.activations(z_minus))
+            ) / (2 * eps)
+            assert grad[index] == pytest.approx(fd, rel=0.02, abs=0.02)
+
+    def test_shape_validation(self, stack):
+        mapper, _ = stack
+        with pytest.raises(ImageError):
+            mapper.vjp(np.zeros(10, dtype=np.float32), np.zeros(mapper.activation_dim))
+        with pytest.raises(ImageError):
+            mapper.vjp(np.zeros(512, dtype=np.float32), np.zeros(7))
+
+
+class TestEncodeFeatures:
+    def test_projection_hits_the_target(self, stack):
+        _, synthesizer = stack
+        target = ImageFeatures(
+            race_score=0.85, gender_score=0.15, age_years=50.0,
+            smile=0.7, lighting=0.3,
+        )
+        z, rendered, loss = encode_features(
+            target, synthesizer, np.random.default_rng(1)
+        )
+        assert loss < 0.05
+        assert rendered.race_score == pytest.approx(0.85, abs=0.03)
+        assert rendered.gender_score == pytest.approx(0.15, abs=0.03)
+        assert rendered.age_years == pytest.approx(50.0, abs=2.0)
+        assert rendered.smile == pytest.approx(0.7, abs=0.05)
+
+    def test_round_trip_of_a_generated_face(self, stack):
+        """Encoding the features of a generated face recovers them."""
+        mapper, synthesizer = stack
+        z_true = mapper.sample_z(np.random.default_rng(2))[0]
+        original = synthesizer.synthesize(mapper.activations(z_true))
+        _, rendered, loss = encode_features(
+            original, synthesizer, np.random.default_rng(3)
+        )
+        assert loss < 0.05
+        assert rendered.race_score == pytest.approx(original.race_score, abs=0.05)
+        assert rendered.age_years == pytest.approx(original.age_years, abs=3.0)
+
+    def test_extreme_targets_stay_finite(self, stack):
+        _, synthesizer = stack
+        target = ImageFeatures(race_score=1.0, gender_score=0.0, age_years=95.0)
+        _, rendered, loss = encode_features(
+            target, synthesizer, np.random.default_rng(4)
+        )
+        # Targets are clipped to the invertible range, so the render lands
+        # near the achievable extreme.
+        assert rendered.race_score > 0.9
+        assert rendered.gender_score < 0.1
+
+    def test_attributes_only_ignores_nuisance(self, stack):
+        _, synthesizer = stack
+        stocky = ImageFeatures(
+            race_score=0.1, gender_score=0.9, age_years=30.0,
+            smile=0.99, lighting=0.01, background_tone=0.99,
+        )
+        _, rendered, loss = encode_attributes_only(
+            stocky, synthesizer, np.random.default_rng(5)
+        )
+        assert loss < 0.05
+        assert rendered.race_score == pytest.approx(0.1, abs=0.05)
+        # nuisance was retargeted to neutral, not to the stock extremes
+        assert 0.2 < rendered.smile < 0.8
+
+    def test_zero_restarts_rejected(self, stack):
+        _, synthesizer = stack
+        target = ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30.0)
+        with pytest.raises(ImageError):
+            encode_features(target, synthesizer, np.random.default_rng(6), n_restarts=0)

@@ -1,0 +1,81 @@
+"""Tests for the image feature representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.images import ImageFeatures, NUISANCE_FIELDS
+from repro.types import AgeBand, Gender, Race
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestValidation:
+    def test_scores_outside_unit_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            ImageFeatures(race_score=1.5, gender_score=0.5, age_years=30)
+
+    def test_head_pose_range(self):
+        with pytest.raises(ValidationError):
+            ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30, head_pose=2.0)
+
+    def test_age_range(self):
+        with pytest.raises(ValidationError):
+            ImageFeatures(race_score=0.5, gender_score=0.5, age_years=200)
+
+
+class TestVectorisation:
+    @given(race=unit, gender=unit, smile=unit)
+    def test_vector_round_trip(self, race, gender, smile):
+        features = ImageFeatures(
+            race_score=race, gender_score=gender, age_years=30.0, smile=smile
+        )
+        vec = features.to_vector()
+        assert vec.shape == (ImageFeatures.n_channels(),)
+        names = ImageFeatures.field_names()
+        assert vec[names.index("race_score")] == race
+        assert vec[names.index("smile")] == smile
+
+    def test_nuisance_vector_covers_nuisance_fields(self):
+        features = ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30)
+        assert features.nuisance_vector().shape == (len(NUISANCE_FIELDS),)
+
+
+class TestHelpers:
+    def test_for_demographics_hits_extremes(self):
+        features = ImageFeatures.for_demographics(Race.BLACK, Gender.FEMALE, AgeBand.ADULT)
+        assert features.race_score > 0.9
+        assert features.gender_score > 0.9
+        assert features.age_years == 30.0
+
+    def test_for_demographics_sharpness(self):
+        soft = ImageFeatures.for_demographics(
+            Race.BLACK, Gender.MALE, AgeBand.TEEN, sharpness=0.4
+        )
+        assert 0.5 < soft.race_score < 0.8
+
+    def test_unknown_gender_rejected(self):
+        with pytest.raises(ValidationError):
+            ImageFeatures.for_demographics(Race.WHITE, Gender.UNKNOWN, AgeBand.ADULT)
+
+    def test_with_nuisance_replaces_only_nuisance(self):
+        features = ImageFeatures(race_score=0.2, gender_score=0.8, age_years=50)
+        updated = features.with_nuisance(smile=0.9)
+        assert updated.smile == 0.9
+        assert updated.race_score == 0.2
+
+    def test_with_nuisance_rejects_implied_channels(self):
+        features = ImageFeatures(race_score=0.2, gender_score=0.8, age_years=50)
+        with pytest.raises(ValidationError):
+            features.with_nuisance(race_score=0.9)
+
+    @pytest.mark.parametrize(
+        ("age", "band"),
+        [(5, AgeBand.CHILD), (17, AgeBand.TEEN), (29, AgeBand.ADULT),
+         (52, AgeBand.MIDDLE_AGED), (80, AgeBand.ELDERLY)],
+    )
+    def test_implied_band(self, age, band):
+        features = ImageFeatures(race_score=0.5, gender_score=0.5, age_years=age)
+        assert features.implied_band() is band

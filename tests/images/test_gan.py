@@ -1,0 +1,182 @@
+"""Tests for the StyleGAN-analogue pipeline (§5.4–5.5).
+
+The key guarantees:
+
+* the mapping network is deterministic per ``network_seed`` and produces
+  the 18 × 512 activation layout;
+* the direction-finding procedure recovers *functional* control: moving
+  along a fitted direction changes its own attribute strongly and
+  monotonically while leaving the others nearly untouched (except the
+  planted gender→smile entanglement);
+* face families hit their demographic targets while keeping nuisance
+  channels close to the base face.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.images.gan import (
+    MappingNetwork,
+    Synthesizer,
+    make_face_family,
+    manipulate,
+)
+from repro.types import AGE_BAND_MIDPOINTS, AgeBand, Gender, Race
+
+
+class TestMappingNetwork:
+    def test_activation_layout(self):
+        mapper = MappingNetwork(0)
+        assert mapper.activation_dim == 18 * 512
+        z = mapper.sample_z(np.random.default_rng(0), 3)
+        acts = mapper.activations(z)
+        assert acts.shape == (3, 9216)
+
+    def test_single_latent_convenience(self):
+        mapper = MappingNetwork(0)
+        z = mapper.sample_z(np.random.default_rng(0))[0]
+        assert mapper.activations(z).shape == (9216,)
+
+    def test_deterministic_per_seed(self):
+        z = np.ones(512, dtype=np.float32)
+        a = MappingNetwork(3).activations(z)
+        b = MappingNetwork(3).activations(z)
+        c = MappingNetwork(4).activations(z)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_wrong_latent_dim_rejected(self):
+        mapper = MappingNetwork(0)
+        with pytest.raises(ImageError):
+            mapper.activations(np.zeros((2, 100), dtype=np.float32))
+
+
+class TestSynthesizer:
+    def test_features_are_valid(self, gan_stack):
+        mapper, synthesizer, _, _ = gan_stack
+        z = mapper.sample_z(np.random.default_rng(1), 50)
+        for features in synthesizer.synthesize_many(mapper.activations(z)):
+            assert 0.0 <= features.race_score <= 1.0
+            assert 0.0 <= features.gender_score <= 1.0
+            assert 0.0 <= features.age_years <= 100.0
+
+    def test_random_faces_span_demographics(self, gan_stack):
+        mapper, synthesizer, _, _ = gan_stack
+        z = mapper.sample_z(np.random.default_rng(2), 400)
+        features = synthesizer.synthesize_many(mapper.activations(z))
+        race_scores = [f.race_score for f in features]
+        ages = [f.age_years for f in features]
+        assert min(race_scores) < 0.2 and max(race_scores) > 0.8
+        assert min(ages) < 20 and max(ages) > 55
+
+    def test_planted_direction_moves_its_attribute(self, gan_stack):
+        mapper, synthesizer, _, _ = gan_stack
+        w = mapper.activations(mapper.sample_z(np.random.default_rng(3))[0])
+        base = synthesizer.synthesize(w)
+        moved = synthesizer.synthesize(
+            manipulate(w, synthesizer.planted_direction("race"), 40.0)
+        )
+        assert moved.race_score > base.race_score
+
+    def test_gender_smile_entanglement_is_planted(self):
+        mapper = MappingNetwork(9)
+        synthesizer = Synthesizer(mapper, network_seed=9, smile_gender_entanglement=0.8)
+        w = mapper.activations(mapper.sample_z(np.random.default_rng(4))[0])
+        base = synthesizer.synthesize(w)
+        toward_female = synthesizer.synthesize(
+            manipulate(w, synthesizer.planted_direction("gender"), 60.0)
+        )
+        assert toward_female.gender_score > base.gender_score
+        assert toward_female.smile > base.smile
+
+    def test_unknown_attribute_rejected(self, gan_stack):
+        _, synthesizer, _, _ = gan_stack
+        with pytest.raises(ImageError):
+            synthesizer.planted_direction("hairstyle")
+
+
+class TestLatentDirections:
+    def test_fitted_directions_functionally_control_attributes(self, gan_stack):
+        mapper, synthesizer, _, directions = gan_stack
+        rng = np.random.default_rng(5)
+        w = mapper.activations(mapper.sample_z(rng)[0])
+        base = synthesizer.synthesize(w)
+
+        plus_race = synthesizer.synthesize(manipulate(w, directions.direction("race"), 80.0))
+        minus_race = synthesizer.synthesize(manipulate(w, directions.direction("race"), -80.0))
+        assert plus_race.race_score > base.race_score > minus_race.race_score
+
+        plus_age = synthesizer.synthesize(manipulate(w, directions.direction("age"), 80.0))
+        assert plus_age.age_years > base.age_years
+
+    def test_cross_talk_is_limited(self, gan_stack):
+        """Moving along the race direction barely moves gender/nuisance."""
+        mapper, synthesizer, _, directions = gan_stack
+        w = mapper.activations(mapper.sample_z(np.random.default_rng(6))[0])
+        base = synthesizer.synthesize(w)
+        moved = synthesizer.synthesize(manipulate(w, directions.direction("race"), 60.0))
+        race_shift = abs(moved.race_score - base.race_score)
+        gender_shift = abs(moved.gender_score - base.gender_score)
+        lighting_shift = abs(moved.lighting - base.lighting)
+        assert race_shift > 3 * gender_shift
+        assert race_shift > 3 * lighting_shift
+
+    def test_positive_alignment_with_planted_truth(self, gan_stack):
+        """Cosine is bounded by the data manifold but must be positive."""
+        _, synthesizer, _, directions = gan_stack
+        for attribute in ("race", "gender", "age"):
+            cos = directions.cosine_to(attribute, synthesizer.planted_direction(attribute))
+            assert cos > 0.08, attribute
+
+    def test_unknown_attribute_rejected(self, gan_stack):
+        _, _, _, directions = gan_stack
+        with pytest.raises(ImageError):
+            directions.direction("shoes")
+
+
+class TestFaceFamilies:
+    @pytest.fixture(scope="class")
+    def family(self, gan_stack):
+        mapper, synthesizer, _, directions = gan_stack
+        z = mapper.sample_z(np.random.default_rng(7))[0]
+        return make_face_family(0, z, synthesizer, directions)
+
+    def test_twenty_variants(self, family):
+        assert len(family.variants) == 20
+        assert len(family.images()) == 20
+
+    def test_variants_hit_demographic_targets(self, family):
+        for (race, gender, band), image in family.variants.items():
+            features = image.features
+            if race is Race.BLACK:
+                assert features.race_score > 0.7
+            else:
+                assert features.race_score < 0.3
+            if gender is Gender.FEMALE:
+                assert features.gender_score > 0.7
+            else:
+                assert features.gender_score < 0.3
+            assert abs(features.age_years - AGE_BAND_MIDPOINTS[band]) < 4.0
+
+    def test_nuisance_stays_close_to_shared_base(self, family):
+        """All 20 variants are 'the same person': nuisance barely moves."""
+        lightings = [img.features.lighting for img in family.images()]
+        poses = [img.features.head_pose for img in family.images()]
+        assert np.ptp(lightings) < 0.25
+        assert np.ptp(poses) < 0.4
+
+    def test_image_ids_encode_cell(self, family):
+        image = family.variants[(Race.WHITE, Gender.MALE, AgeBand.TEEN)]
+        assert "WM" in image.image_id
+        assert "teen" in image.image_id
+
+
+class TestManipulate:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ImageError):
+            manipulate(np.zeros(10, dtype=np.float32), np.zeros(9, dtype=np.float32), 1.0)
+
+    def test_zero_step_is_identity(self):
+        w = np.arange(6, dtype=np.float32)
+        assert np.array_equal(manipulate(w, np.ones(6, dtype=np.float32), 0.0), w)

@@ -1,0 +1,65 @@
+"""Tests for the stock photo catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import StockCatalog
+from repro.types import AgeBand, Gender, Race
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return StockCatalog(np.random.default_rng(0))
+
+
+class TestCatalogDesign:
+    def test_hundred_images(self, catalog):
+        assert len(catalog) == 100
+
+    def test_balanced_across_cells(self, catalog):
+        assert catalog.is_balanced()
+        for race in Race:
+            for gender in (Gender.MALE, Gender.FEMALE):
+                for band in AgeBand:
+                    assert len(catalog.cell(race, gender, band)) == 5
+
+    def test_image_ids_unique(self, catalog):
+        ids = [img.image_id for img in catalog.images]
+        assert len(set(ids)) == len(ids)
+
+    def test_implied_scores_match_annotation(self, catalog):
+        for img in catalog.images:
+            if img.race is Race.BLACK:
+                assert img.features.race_score > 0.6
+            else:
+                assert img.features.race_score < 0.4
+            if img.gender is Gender.FEMALE:
+                assert img.features.gender_score > 0.6
+            else:
+                assert img.features.gender_score < 0.4
+
+    def test_age_years_near_band_midpoint(self, catalog):
+        from repro.types import AGE_BAND_MIDPOINTS
+
+        for img in catalog.images:
+            assert abs(img.features.age_years - AGE_BAND_MIDPOINTS[img.band]) < 8
+
+    def test_nuisance_varies_across_catalog(self, catalog):
+        smiles = [img.features.smile for img in catalog.images]
+        assert np.std(smiles) > 0.1
+
+    def test_nuisance_spread_zero_controls_variation(self):
+        controlled = StockCatalog(np.random.default_rng(1), nuisance_spread=0.0)
+        smiles = [img.features.smile for img in controlled.images]
+        assert np.std(smiles) < 0.01
+
+    def test_nuisance_uncorrelated_with_race(self, catalog):
+        """Stock nuisance must not secretly encode the treatment."""
+        race = np.array([1.0 if img.race is Race.BLACK else 0.0 for img in catalog.images])
+        smiles = np.array([img.features.smile for img in catalog.images])
+        assert abs(np.corrcoef(race, smiles)[0, 1]) < 0.35
+
+    def test_invalid_per_cell_rejected(self):
+        with pytest.raises(ValidationError):
+            StockCatalog(np.random.default_rng(0), per_cell=0)

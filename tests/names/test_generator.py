@@ -1,0 +1,72 @@
+"""Tests for synthetic name and address generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.names import FullName, NameGenerator, PostalAddress
+from repro.types import Gender, Race
+
+
+@pytest.fixture()
+def generator():
+    return NameGenerator("FL", np.random.default_rng(1))
+
+
+class TestFullName:
+    def test_display_without_suffix(self):
+        assert FullName("Mary", "Smith").display() == "Mary Smith"
+
+    def test_display_with_suffix_uses_roman_numerals(self):
+        assert FullName("Mary", "Smith", suffix=2).display() == "Mary Smith III"
+
+    def test_normalized_is_lowercase_and_unique_per_suffix(self):
+        a = FullName("Mary", "Smith", suffix=0)
+        b = FullName("Mary", "Smith", suffix=1)
+        assert a.normalized() != b.normalized()
+        assert a.normalized() == a.normalized().lower()
+
+
+class TestNameGenerator:
+    def test_names_are_unique_within_generator(self, generator):
+        names = [
+            generator.name_for(Gender.FEMALE, Race.WHITE).normalized()
+            for _ in range(2000)
+        ]
+        assert len(set(names)) == len(names)
+
+    def test_gendered_first_name_pools(self):
+        gen = NameGenerator("NC", np.random.default_rng(2))
+        female_firsts = {gen.name_for(Gender.FEMALE, Race.WHITE).first for _ in range(200)}
+        male_firsts = {gen.name_for(Gender.MALE, Race.WHITE).first for _ in range(200)}
+        # The pools are disjoint by construction.
+        assert not (female_firsts & male_firsts)
+
+    def test_black_surname_mix_shifts_distribution(self):
+        gen = NameGenerator("FL", np.random.default_rng(3), black_surname_mix=1.0)
+        surnames = {gen.name_for(Gender.MALE, Race.BLACK).last for _ in range(300)}
+        assert "Washington" in surnames or "Jackson" in surnames
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValidationError):
+            NameGenerator("TX", np.random.default_rng(0))
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValidationError):
+            NameGenerator("FL", np.random.default_rng(0), black_surname_mix=1.5)
+
+
+class TestAddresses:
+    def test_addresses_are_unique(self, generator):
+        addresses = {generator.address_for("33101").normalized() for _ in range(1000)}
+        assert len(addresses) == 1000
+
+    def test_address_carries_state_and_zip(self, generator):
+        address = generator.address_for("33199")
+        assert address.state == "FL"
+        assert address.zip_code == "33199"
+        assert str(address.house_number) in address.display()
+
+    def test_display_format(self):
+        address = PostalAddress(12, "Oak St", "Tampa", "FL", "33101")
+        assert address.display() == "12 Oak St, Tampa, FL 33101"

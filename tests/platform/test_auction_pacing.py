@@ -1,0 +1,219 @@
+"""Tests for the auction, pacing controller, quality and competition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetError, DeliveryError, ValidationError
+from repro.images import ImageFeatures
+from repro.platform import AdCreative, AdQualityModel, CompetitionModel, PacingController
+from repro.platform.auction import run_auction
+from repro.platform.cells import OBSERVED_CELLS
+from repro.types import AgeBucket
+
+
+class TestAuction:
+    def test_highest_value_wins_and_pays_second_price(self):
+        outcome = run_auction(np.array([0.01, 0.03, 0.02]), competing_bid=0.005)
+        assert outcome.winner_index == 1
+        assert outcome.price == pytest.approx(0.02)
+
+    def test_market_bid_sets_floor(self):
+        outcome = run_auction(np.array([0.03, 0.001]), competing_bid=0.02)
+        assert outcome.winner_index == 0
+        assert outcome.price == pytest.approx(0.02)
+
+    def test_market_wins_when_outbidding_everyone(self):
+        outcome = run_auction(np.array([0.01, 0.02]), competing_bid=0.05)
+        assert outcome.winner_index is None
+        assert outcome.price == 0.0
+
+    def test_exhausted_ads_marked_neg_inf_never_win(self):
+        values = np.array([float("-inf"), 0.02])
+        assert run_auction(values, 0.01).winner_index == 1
+
+    def test_all_exhausted_means_market_wins(self):
+        values = np.array([float("-inf"), float("-inf")])
+        assert run_auction(values, 0.01).winner_index is None
+
+    def test_single_candidate_pays_market_bid(self):
+        outcome = run_auction(np.array([0.05]), competing_bid=0.01)
+        assert outcome.price == pytest.approx(0.01)
+
+    def test_price_never_exceeds_own_value(self):
+        outcome = run_auction(np.array([0.02, 0.019]), competing_bid=0.05)
+        assert outcome.winner_index is None or outcome.price <= outcome.winning_value
+
+    def test_empty_auction_rejected(self):
+        with pytest.raises(DeliveryError):
+            run_auction(np.array([]), 0.01)
+
+    def test_negative_market_bid_rejected(self):
+        with pytest.raises(DeliveryError):
+            run_auction(np.array([0.01]), -1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        market=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_second_price_invariants(self, values, market):
+        outcome = run_auction(np.array(values), market)
+        if outcome.winner_index is not None:
+            assert outcome.winning_value == max(values)
+            assert market <= outcome.price <= outcome.winning_value
+
+
+class TestPacing:
+    def test_spend_is_capped_at_budget(self):
+        pacing = PacingController()
+        pacing.register("ad", 2.0)
+        pacing.record_spend("ad", 1.5)
+        assert pacing.can_bid("ad")
+        pacing.record_spend("ad", 0.6)
+        assert not pacing.can_bid("ad")
+
+    def test_behind_plan_raises_multiplier(self):
+        pacing = PacingController()
+        pacing.register("ad", 2.4)
+        before = pacing.multiplier("ad")
+        pacing.control_step("ad", elapsed_hours=12.0)  # spent nothing at noon
+        assert pacing.multiplier("ad") > before
+
+    def test_ahead_of_plan_lowers_multiplier(self):
+        pacing = PacingController()
+        pacing.register("ad", 2.4)
+        pacing.record_spend("ad", 2.0)
+        before = pacing.multiplier("ad")
+        pacing.control_step("ad", elapsed_hours=6.0)
+        assert pacing.multiplier("ad") < before
+
+    def test_multiplier_is_clamped(self):
+        pacing = PacingController(min_multiplier=0.1, max_multiplier=2.0)
+        pacing.register("ad", 10.0)
+        for _ in range(50):
+            pacing.control_step("ad", elapsed_hours=23.0)
+        assert pacing.multiplier("ad") <= 2.0
+
+    def test_double_registration_rejected(self):
+        pacing = PacingController()
+        pacing.register("ad", 1.0)
+        with pytest.raises(BudgetError):
+            pacing.register("ad", 1.0)
+
+    def test_unknown_ad_rejected(self):
+        with pytest.raises(BudgetError):
+            PacingController().multiplier("ghost")
+
+    def test_negative_spend_rejected(self):
+        pacing = PacingController()
+        pacing.register("ad", 1.0)
+        with pytest.raises(BudgetError):
+            pacing.record_spend("ad", -0.1)
+
+    def test_total_spend_aggregates(self):
+        pacing = PacingController()
+        pacing.register("a", 1.0)
+        pacing.register("b", 1.0)
+        pacing.record_spend("a", 0.4)
+        pacing.record_spend("b", 0.5)
+        assert pacing.total_spend() == pytest.approx(0.9)
+
+
+class TestQuality:
+    def _creative(self, headline="ok", lighting=0.5):
+        return AdCreative(
+            headline=headline,
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=0.5, gender_score=0.5, age_years=30, lighting=lighting
+            ),
+        )
+
+    def test_quality_is_small_relative_to_bids(self):
+        model = AdQualityModel()
+        assert 0 <= model.score(self._creative()) < 0.001
+
+    def test_long_headlines_penalised(self):
+        model = AdQualityModel()
+        long = self._creative(headline="x" * 100)
+        assert model.score(long) < model.score(self._creative())
+
+    def test_extreme_lighting_penalised(self):
+        model = AdQualityModel()
+        assert model.score(self._creative(lighting=0.99)) < model.score(self._creative())
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            AdQualityModel(scale=-1.0)
+
+
+class TestCompetition:
+    def test_younger_users_cost_more(self):
+        model = CompetitionModel(np.random.default_rng(0))
+        young = [
+            model.expected_price(i)
+            for i, (b, g, c, p) in enumerate(OBSERVED_CELLS)
+            if b is AgeBucket.B18_24
+        ]
+        old = [
+            model.expected_price(i)
+            for i, (b, g, c, p) in enumerate(OBSERVED_CELLS)
+            if b is AgeBucket.B65_PLUS
+        ]
+        assert min(young) > max(old)
+
+    def test_sample_many_matches_cell_expectations(self):
+        model = CompetitionModel(np.random.default_rng(1), sigma=0.0)
+        cells = np.zeros(100, dtype=int)
+        bids = model.sample_many(cells)
+        assert np.allclose(bids, model.expected_price(0))
+
+    def test_invalid_base_price_rejected(self):
+        with pytest.raises(ValidationError):
+            CompetitionModel(np.random.default_rng(0), base_price=0.0)
+
+
+class TestTrafficAwarePacing:
+    def test_plan_follows_traffic_curve(self):
+        """With a front-loaded curve, most of the plan lands early."""
+        pacing = PacingController(plan_weights=[3.0, 1.0, 1.0, 1.0])
+        assert pacing._planned_fraction(6.0) == pytest.approx(0.5)
+        assert pacing._planned_fraction(24.0) == pytest.approx(1.0)
+        assert pacing._planned_fraction(0.0) == pytest.approx(0.0)
+
+    def test_uniform_plan_is_default(self):
+        pacing = PacingController()
+        assert pacing._planned_fraction(12.0) == pytest.approx(0.5)
+
+    def test_diurnal_plan_tolerates_the_overnight_trough(self):
+        """Under a diurnal plan, an ad that spends nothing overnight is
+        barely behind plan, so the controller does not panic-raise bids."""
+        from repro.population.activity import DIURNAL_WEIGHTS
+
+        uniform = PacingController()
+        diurnal = PacingController(plan_weights=list(DIURNAL_WEIGHTS))
+        uniform.register("ad", 2.4)
+        diurnal.register("ad", 2.4)
+        # After 5 quiet overnight hours with only $0.10 spent, the uniform
+        # plan sees a large deficit; the diurnal plan knows the trough
+        # carries almost no opportunity and stays calm.
+        uniform.record_spend("ad", 0.10)
+        diurnal.record_spend("ad", 0.10)
+        uniform.control_step("ad", elapsed_hours=5.0)
+        diurnal.control_step("ad", elapsed_hours=5.0)
+        assert diurnal.multiplier("ad") < uniform.multiplier("ad")
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(BudgetError):
+            PacingController(plan_weights=[1.0])
+        with pytest.raises(BudgetError):
+            PacingController(plan_weights=[1.0, -0.5])
+        with pytest.raises(BudgetError):
+            PacingController(plan_weights=[0.0, 0.0])

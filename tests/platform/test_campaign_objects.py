@@ -1,0 +1,101 @@
+"""Tests for ad account / campaign / ad set / ad objects."""
+
+import pytest
+
+from repro.errors import BudgetError, ValidationError
+from repro.images import ImageFeatures, compose_job_ad
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    Objective,
+    SpecialAdCategory,
+    TargetingSpec,
+)
+
+
+@pytest.fixture()
+def account():
+    return AdAccount(account_id="act1")
+
+
+@pytest.fixture()
+def creative():
+    return AdCreative(
+        headline="Learn more",
+        body="body",
+        destination_url="https://example.org",
+        image=ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30),
+    )
+
+
+def _targeting():
+    return TargetingSpec(custom_audience_ids=("aud_0",))
+
+
+class TestHierarchy:
+    def test_ids_are_unique_and_prefixed(self, account, creative):
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(campaign, "as", 200, _targeting())
+        ad_one = account.create_ad(adset, "a1", creative)
+        ad_two = account.create_ad(adset, "a2", creative)
+        assert campaign.campaign_id.startswith("camp_")
+        assert adset.adset_id.startswith("as_")
+        assert ad_one.ad_id != ad_two.ad_id
+
+    def test_navigation_helpers(self, account, creative):
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(campaign, "as", 200, _targeting())
+        ad = account.create_ad(adset, "a", creative)
+        assert account.adset_of(ad) is adset
+        assert account.campaign_of(ad) is campaign
+
+    def test_ads_start_in_pending_review(self, account, creative):
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(campaign, "as", 200, _targeting())
+        ad = account.create_ad(adset, "a", creative)
+        assert ad.review_status == "PENDING"
+        assert not ad.is_deliverable()
+
+    def test_orphan_adset_rejected(self, account, creative):
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(campaign, "as", 200, _targeting())
+        other = AdAccount(account_id="act2")
+        with pytest.raises(ValidationError):
+            other.create_ad(adset, "a", creative)
+
+    def test_non_positive_budget_rejected(self, account):
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        with pytest.raises(BudgetError):
+            account.create_adset(campaign, "as", 0, _targeting())
+
+    def test_special_ad_category_recorded(self, account):
+        campaign = account.create_campaign(
+            "jobs", Objective.TRAFFIC, special_ad_category=SpecialAdCategory.EMPLOYMENT
+        )
+        assert campaign.special_ad_category is SpecialAdCategory.EMPLOYMENT
+
+
+class TestCreative:
+    def test_portrait_effective_image_is_identity(self, creative):
+        assert creative.effective_image() is creative.image
+        assert creative.job_category() is None
+
+    def test_jobad_effective_image_is_diluted(self):
+        face = ImageFeatures(race_score=0.9, gender_score=0.1, age_years=30)
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://example.org",
+            image=compose_job_ad("nurse", face, face_salience=0.5),
+        )
+        assert creative.job_category() == "nurse"
+        assert creative.effective_image().race_score < 0.9
+
+    def test_headline_required(self):
+        with pytest.raises(ValidationError):
+            AdCreative(
+                headline="",
+                body="b",
+                destination_url="https://example.org",
+                image=ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30),
+            )

@@ -1,0 +1,120 @@
+"""Tests for the learned EAR model and the engagement logger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import ImageFeatures
+from repro.platform import EarModel, EngagementLogger, EngagementModel
+from repro.platform.cells import N_OBSERVED_CELLS, OBSERVED_CELLS
+from repro.platform.ear import ear_feature_names, ear_features
+from repro.population import UserUniverse
+from repro.population.user import InterestCluster
+from repro.types import AgeBucket, Gender
+
+
+@pytest.fixture(scope="module")
+def universe(fl_registry, nc_registry):
+    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def trained(universe):
+    engagement = EngagementModel()
+    log = EngagementLogger(universe, engagement, np.random.default_rng(12)).collect(30_000)
+    return EarModel.train(log, l2=0.3), log, engagement
+
+
+def _image(race=0.5, gender=0.5, age=30.0):
+    return ImageFeatures(race_score=race, gender_score=gender, age_years=age)
+
+
+class TestFeatures:
+    def test_names_match_vector_length(self):
+        vec = ear_features(
+            AgeBucket.B25_34, Gender.FEMALE, InterestCluster.BETA, _image(), "doctor"
+        )
+        assert vec.shape == (len(ear_feature_names()),)
+
+    def test_race_never_appears_in_features(self):
+        assert not any("race" in n and "user" in n for n in ear_feature_names())
+        assert "user:cluster_beta" in ear_feature_names()
+
+    def test_portrait_flag(self):
+        names = ear_feature_names()
+        portrait_ix = names.index("img:portrait")
+        with_job = ear_features(
+            AgeBucket.B25_34, Gender.MALE, InterestCluster.ALPHA, _image(), "doctor"
+        )
+        without_job = ear_features(
+            AgeBucket.B25_34, Gender.MALE, InterestCluster.ALPHA, _image(), None
+        )
+        assert with_job[portrait_ix] == 0.0
+        assert without_job[portrait_ix] == 1.0
+
+
+class TestLogger:
+    def test_log_shape_and_rate(self, trained):
+        _, log, _ = trained
+        assert log.n_events == 30_000
+        assert log.features.shape == (30_000, len(ear_feature_names()))
+        assert 0.01 < log.click_rate < 0.25
+
+    def test_too_small_log_rejected(self, universe):
+        logger = EngagementLogger(universe, EngagementModel(), np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            logger.collect(10)
+
+
+class TestTrainedEar:
+    def test_score_vector_shape(self, trained):
+        ear, _, _ = trained
+        vec = ear.score_vector(_image(), None)
+        assert vec.shape == (N_OBSERVED_CELLS,)
+        assert np.all((vec > 0) & (vec < 1))
+
+    def test_learned_race_steering_via_cluster_proxy(self, trained):
+        """The EAR never saw race, yet routes Black-implied images to the
+        BETA cluster — discrimination by proxy, the paper's mechanism."""
+        ear, _, _ = trained
+        black_img = ear.score_vector(_image(race=0.92), None)
+        white_img = ear.score_vector(_image(race=0.08), None)
+        beta_gain = []
+        alpha_gain = []
+        for i, (bucket, gender, cluster, poverty) in enumerate(OBSERVED_CELLS):
+            gain = black_img[i] / white_img[i]
+            (beta_gain if cluster is InterestCluster.BETA else alpha_gain).append(gain)
+        assert np.mean(beta_gain) > np.mean(alpha_gain)
+
+    def test_learned_ear_tracks_ground_truth_ordering(self, trained):
+        ear, _, engagement = trained
+        image = _image(age=70.0)
+        scores = ear.score_vector(image, None)
+        old_cells = [
+            i for i, (b, g, c, p) in enumerate(OBSERVED_CELLS) if b is AgeBucket.B65_PLUS
+        ]
+        young_cells = [
+            i for i, (b, g, c, p) in enumerate(OBSERVED_CELLS) if b is AgeBucket.B18_24
+        ]
+        assert scores[old_cells].mean() > scores[young_cells].mean()
+
+    def test_score_matches_score_vector(self, trained, universe):
+        ear, _, _ = trained
+        user = universe.users[3]
+        image = _image(race=0.7)
+        from repro.platform.cells import observed_cell_index
+
+        assert ear.score(user, image, None) == pytest.approx(
+            ear.score_vector(image, None)[observed_cell_index(user)]
+        )
+
+
+class TestConstantEar:
+    def test_scores_are_flat(self):
+        ear = EarModel.constant(0.05)
+        vec = ear.score_vector(_image(race=0.9), "janitor")
+        assert np.allclose(vec, 0.05, atol=1e-9)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            EarModel.constant(0.0)

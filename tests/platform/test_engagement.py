@@ -1,0 +1,150 @@
+"""Tests for the ground-truth society model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import ImageFeatures
+from repro.platform import EngagementModel, EngagementParams
+from repro.platform.cells import GT_CELLS, N_GT_CELLS
+from repro.types import AgeBucket, Gender, Race
+
+
+def _image(race=0.5, gender=0.5, age=30.0, smile=0.5):
+    return ImageFeatures(race_score=race, gender_score=gender, age_years=age, smile=smile)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EngagementModel()
+
+
+class TestStructuralEffects:
+    def test_race_congruence(self, model):
+        black_image = _image(race=0.9)
+        white_image = _image(race=0.1)
+        black_user = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.BLACK, black_image
+        )
+        black_user_white_img = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.BLACK, white_image
+        )
+        assert black_user > black_user_white_img
+
+    def test_poverty_mediated_race_affinity(self, model):
+        """High-poverty users engage more with Black-implied imagery
+        regardless of their own race — the Appendix-A mechanism."""
+        black_image = _image(race=0.9)
+        poor_white = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.WHITE, black_image, high_poverty=True
+        )
+        rich_white = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.WHITE, black_image, high_poverty=False
+        )
+        assert poor_white > rich_white
+
+    def test_children_images_engage_women_more(self, model):
+        child = _image(age=8.0)
+        woman = model.click_probability(AgeBucket.B25_34, Gender.FEMALE, Race.WHITE, child)
+        man = model.click_probability(AgeBucket.B25_34, Gender.MALE, Race.WHITE, child)
+        assert woman > man
+
+    def test_older_women_engage_most_with_child_images(self, model):
+        """Figure 4B: the caretaker profile has an older peak."""
+        child = _image(age=8.0)
+        older = model.click_probability(AgeBucket.B55_64, Gender.FEMALE, Race.WHITE, child)
+        middle = model.click_probability(AgeBucket.B45_54, Gender.FEMALE, Race.WHITE, child)
+        assert older > middle
+
+    def test_young_women_images_engage_older_men(self, model):
+        teen_woman = _image(gender=0.9, age=16.0)
+        old_man = model.click_logit(AgeBucket.B55_64, Gender.MALE, Race.WHITE, teen_woman)
+        old_man_neutral = model.click_logit(
+            AgeBucket.B55_64, Gender.MALE, Race.WHITE, _image(gender=0.9, age=50.0)
+        )
+        assert old_man > old_man_neutral
+
+    def test_young_women_effect_absent_for_young_men_users(self, model):
+        teen_woman = _image(gender=0.9, age=16.0)
+        teen_man_img = _image(gender=0.1, age=16.0)
+        young_user_f = model.click_logit(AgeBucket.B18_24, Gender.MALE, Race.WHITE, teen_woman)
+        young_user_m = model.click_logit(AgeBucket.B18_24, Gender.MALE, Race.WHITE, teen_man_img)
+        # For an 18-24 male user the two teen images differ only by the tiny
+        # gender-congruence term (negative toward female images).
+        assert young_user_m >= young_user_f
+
+    def test_age_congruence(self, model):
+        elderly_image = _image(age=72.0)
+        adult_image = _image(age=30.0)
+        old_user_old_img = model.click_probability(
+            AgeBucket.B65_PLUS, Gender.FEMALE, Race.WHITE, elderly_image
+        )
+        old_user_adult_img = model.click_probability(
+            AgeBucket.B65_PLUS, Gender.FEMALE, Race.WHITE, adult_image
+        )
+        assert old_user_old_img > old_user_adult_img
+
+    def test_older_users_engage_more_overall(self, model):
+        image = _image()
+        young = model.click_probability(AgeBucket.B18_24, Gender.MALE, Race.WHITE, image)
+        old = model.click_probability(AgeBucket.B65_PLUS, Gender.MALE, Race.WHITE, image)
+        assert old > young
+
+    def test_job_affinities_follow_workforce(self, model):
+        face = _image()
+        lumber_white_man = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.WHITE, face, "lumber"
+        )
+        lumber_black_woman = model.click_probability(
+            AgeBucket.B35_44, Gender.FEMALE, Race.BLACK, face, "lumber"
+        )
+        janitor_black_woman = model.click_probability(
+            AgeBucket.B35_44, Gender.FEMALE, Race.BLACK, face, "janitor"
+        )
+        janitor_white_man = model.click_probability(
+            AgeBucket.B35_44, Gender.MALE, Race.WHITE, face, "janitor"
+        )
+        assert lumber_white_man > lumber_black_woman
+        assert janitor_black_woman > janitor_white_man
+
+    def test_unknown_job_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.click_probability(
+                AgeBucket.B35_44, Gender.MALE, Race.WHITE, _image(), "astronaut"
+            )
+
+
+class TestVectorisation:
+    def test_vector_covers_all_cells(self, model):
+        vec = model.probability_vector(_image())
+        assert vec.shape == (N_GT_CELLS,)
+        assert np.all((vec > 0) & (vec < 1))
+
+    def test_vector_matches_scalar_calls(self, model):
+        image = _image(race=0.8, gender=0.2, age=45.0)
+        vec = model.probability_vector(image, "doctor")
+        for i, (bucket, gender, race, poverty) in enumerate(GT_CELLS):
+            scalar = model.click_probability(
+                bucket, gender, race, image, "doctor", high_poverty=poverty
+            )
+            assert vec[i] == pytest.approx(scalar)
+
+
+class TestParams:
+    def test_zeroed_race_terms_remove_race_effect(self):
+        params = EngagementParams(race_congruence=0.0, poverty_race_affinity=0.0)
+        model = EngagementModel(params)
+        black_img = _image(race=0.9)
+        white_img = _image(race=0.1)
+        for poverty in (False, True):
+            a = model.click_probability(
+                AgeBucket.B35_44, Gender.MALE, Race.BLACK, black_img, high_poverty=poverty
+            )
+            b = model.click_probability(
+                AgeBucket.B35_44, Gender.MALE, Race.BLACK, white_img, high_poverty=poverty
+            )
+            assert a == pytest.approx(b)
+
+    def test_invalid_base_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            EngagementParams(base_rate=0.0)

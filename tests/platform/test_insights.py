@@ -1,0 +1,89 @@
+"""Tests for the insights data model."""
+
+import pytest
+
+from repro.errors import DeliveryError
+from repro.platform import AdInsights, InsightsStore
+from repro.population import PlatformUser
+from repro.population.user import InterestCluster
+from repro.types import Demographics, Gender, Race, State
+
+
+def _user(user_id, age=30, gender=Gender.MALE):
+    return PlatformUser(
+        user_id=user_id,
+        demographics=Demographics(race=Race.WHITE, gender=gender, age=age),
+        home_state=State.FL,
+        home_dma="Orlando",
+        zip_code="33101",
+        interest_cluster=InterestCluster.ALPHA,
+        activity_rate=1.0,
+    )
+
+
+@pytest.fixture()
+def insights():
+    record = AdInsights(ad_id="ad1")
+    record.record(_user(0, age=30, gender=Gender.MALE), State.FL, "Orlando", 0.01, False)
+    record.record(_user(1, age=70, gender=Gender.FEMALE), State.NC, "Charlotte", 0.02, True)
+    record.record(_user(1, age=70, gender=Gender.FEMALE), State.FL, "Orlando", 0.01, False)
+    return record
+
+
+class TestCounters:
+    def test_impressions_clicks_spend(self, insights):
+        assert insights.impressions == 3
+        assert insights.clicks == 1
+        assert insights.spend == pytest.approx(0.04)
+
+    def test_reach_counts_unique_users(self, insights):
+        assert insights.reach == 2
+
+    def test_region_breakdown(self, insights):
+        assert insights.impressions_in(State.FL) == 2
+        assert insights.impressions_in(State.NC) == 1
+        assert insights.impressions_in(State.OTHER) == 0
+
+    def test_fraction_female(self, insights):
+        assert insights.fraction_female() == pytest.approx(2 / 3)
+
+    def test_fraction_age_at_least(self, insights):
+        assert insights.fraction_age_at_least(45) == pytest.approx(2 / 3)
+        assert insights.fraction_age_at_least(18) == pytest.approx(1.0)
+
+    def test_fraction_age_requires_bucket_boundary(self, insights):
+        with pytest.raises(DeliveryError):
+            insights.fraction_age_at_least(40)
+
+    def test_average_age_uses_bucket_midpoints(self, insights):
+        # 30 -> 29.5 midpoint, 70 -> 70.0 midpoint (twice)
+        assert insights.average_audience_age() == pytest.approx((29.5 + 70 + 70) / 3)
+
+    def test_fraction_cell(self, insights):
+        assert insights.fraction_cell(gender=Gender.FEMALE, min_age=55) == pytest.approx(2 / 3)
+        assert insights.fraction_cell(gender=Gender.MALE, min_age=55) == 0.0
+
+    def test_empty_insights_raise(self):
+        empty = AdInsights(ad_id="none")
+        with pytest.raises(DeliveryError):
+            empty.fraction_female()
+
+    def test_negative_price_rejected(self):
+        record = AdInsights(ad_id="x")
+        with pytest.raises(DeliveryError):
+            record.record(_user(0), State.FL, "Orlando", -0.01, False)
+
+
+class TestStore:
+    def test_for_ad_creates_on_demand(self):
+        store = InsightsStore()
+        assert store.for_ad("new").impressions == 0
+
+    def test_totals_aggregate(self, insights):
+        store = InsightsStore()
+        store.by_ad["ad1"] = insights
+        other = store.for_ad("ad2")
+        other.record(_user(5), State.NC, "Charlotte", 0.03, False)
+        assert store.total_impressions() == 4
+        assert store.total_spend() == pytest.approx(0.07)
+        assert store.total_reach() == 3

@@ -1,0 +1,50 @@
+"""Tests for objective-dependent ranking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.platform import Objective
+from repro.platform.objectives import objective_scores
+
+
+@pytest.fixture()
+def scores():
+    return np.array([0.02, 0.05, 0.08, 0.11])
+
+
+class TestObjectiveScores:
+    def test_traffic_is_identity(self, scores):
+        assert np.array_equal(objective_scores(scores, Objective.TRAFFIC), scores)
+
+    def test_awareness_is_flat(self, scores):
+        flat = objective_scores(scores, Objective.AWARENESS)
+        assert np.allclose(flat, scores.mean())
+
+    def test_conversions_sharpen_but_preserve_mean(self, scores):
+        sharp = objective_scores(scores, Objective.CONVERSIONS)
+        assert sharp.mean() == pytest.approx(scores.mean())
+        # relative spread grows
+        assert sharp.max() / sharp.min() > scores.max() / scores.min()
+
+    def test_conversions_preserve_ranking(self, scores):
+        sharp = objective_scores(scores, Objective.CONVERSIONS)
+        assert np.array_equal(np.argsort(sharp), np.argsort(scores))
+
+    def test_skew_ordering_awareness_traffic_conversions(self, scores):
+        """The extension's core claim at the score level."""
+        def spread(v):
+            return v.max() - v.min()
+
+        awareness = objective_scores(scores, Objective.AWARENESS)
+        traffic = objective_scores(scores, Objective.TRAFFIC)
+        conversions = objective_scores(scores, Objective.CONVERSIONS)
+        assert spread(awareness) < spread(traffic) < spread(conversions)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            objective_scores(np.array([]), Objective.TRAFFIC)
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            objective_scores(np.array([-0.1, 0.2]), Objective.TRAFFIC)

@@ -1,0 +1,158 @@
+"""Tests for ad review and the Special Ad Categories flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images import ImageFeatures
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AdReviewSystem,
+    Objective,
+    ReviewDecision,
+    SpecialAdCategory,
+    TargetingSpec,
+)
+
+
+def _setup(special=SpecialAdCategory.NONE, age_max=None, created_year=2019):
+    account = AdAccount(account_id="r1", created_year=created_year)
+    campaign = account.create_campaign("c", Objective.TRAFFIC, special_ad_category=special)
+    targeting = TargetingSpec(custom_audience_ids=("aud",), age_max=age_max)
+    adset = account.create_adset(campaign, "as", 200, targeting)
+    creative = AdCreative(
+        headline="h",
+        body="b",
+        destination_url="https://x.org",
+        image=ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30),
+    )
+    ad = account.create_ad(adset, "a", creative)
+    return account, ad
+
+
+class TestPolicyRules:
+    def test_employment_ads_cannot_cap_age(self):
+        account, ad = _setup(special=SpecialAdCategory.EMPLOYMENT, age_max=45)
+        review = AdReviewSystem(np.random.default_rng(0))
+        outcome = review.review(account, ad)
+        assert outcome.decision is ReviewDecision.REJECTED
+        assert outcome.policy
+        assert "Special Ad Category" in outcome.reason
+
+    def test_policy_rejections_survive_appeal(self):
+        account, ad = _setup(special=SpecialAdCategory.HOUSING, age_max=45)
+        review = AdReviewSystem(np.random.default_rng(1), appeal_clear_rate=1.0)
+        review.review(account, ad)
+        outcome = review.appeal(ad)
+        assert outcome.decision is ReviewDecision.REJECTED
+
+    def test_employment_without_restricted_targeting_is_fine(self):
+        account, ad = _setup(special=SpecialAdCategory.EMPLOYMENT)
+        review = AdReviewSystem(np.random.default_rng(2), base_rejection_rate=0.0)
+        outcome = review.review(account, ad)
+        assert outcome.decision is ReviewDecision.APPROVED
+        assert ad.is_deliverable()
+
+
+class TestOpaqueFlags:
+    def test_fresh_ads_mostly_approved(self):
+        review = AdReviewSystem(np.random.default_rng(3))
+        approved = 0
+        for _ in range(200):
+            account, ad = _setup()
+            if review.review(account, ad).decision is ReviewDecision.APPROVED:
+                approved += 1
+        assert approved > 185
+
+    def test_resubmission_regime_rejects_most(self):
+        """Appendix A: >95% of resubmitted ads were rejected."""
+        review = AdReviewSystem(np.random.default_rng(4))
+        rejected = 0
+        for _ in range(200):
+            account, ad = _setup()
+            if review.review(account, ad, resubmission=True).decision is ReviewDecision.REJECTED:
+                rejected += 1
+        assert rejected > 180
+
+    def test_appeals_clear_most_flags(self):
+        """Appendix A again: 44 of ~190 rejections survived appeal."""
+        review = AdReviewSystem(np.random.default_rng(5))
+        still_rejected = 0
+        for _ in range(200):
+            account, ad = _setup()
+            outcome = review.review(account, ad, resubmission=True)
+            if outcome.decision is ReviewDecision.REJECTED:
+                outcome = review.appeal(ad)
+            if outcome.decision is ReviewDecision.REJECTED:
+                still_rejected += 1
+        assert 20 <= still_rejected <= 75
+
+    def test_old_accounts_see_less_friction(self):
+        review_old = AdReviewSystem(np.random.default_rng(6))
+        review_new = AdReviewSystem(np.random.default_rng(6))
+        old_rejections = 0
+        for _ in range(150):
+            account, ad = _setup(created_year=2007)
+            outcome = review_old.review(account, ad, resubmission=True)
+            old_rejections += outcome.decision is ReviewDecision.REJECTED
+        new_rejections = 0
+        for _ in range(150):
+            account, ad = _setup(created_year=2019)
+            outcome = review_new.review(account, ad, resubmission=True)
+            new_rejections += outcome.decision is ReviewDecision.REJECTED
+        assert old_rejections < new_rejections
+
+    def test_appeal_of_approved_ad_rejected(self):
+        review = AdReviewSystem(np.random.default_rng(7), base_rejection_rate=0.0)
+        account, ad = _setup()
+        review.review(account, ad)
+        with pytest.raises(ValidationError):
+            review.appeal(ad)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            AdReviewSystem(np.random.default_rng(0), base_rejection_rate=1.5)
+
+
+class TestProhibitedText:
+    def _ad_with_text(self, headline):
+        from repro.images import ImageFeatures
+
+        account = AdAccount(account_id="txt")
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        adset = account.create_adset(
+            campaign, "as", 200, TargetingSpec(custom_audience_ids=("aud",))
+        )
+        creative = AdCreative(
+            headline=headline,
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(race_score=0.5, gender_score=0.5, age_years=30),
+        )
+        return account, account.create_ad(adset, "a", creative)
+
+    def test_discriminatory_text_rejected_deterministically(self):
+        review = AdReviewSystem(np.random.default_rng(8), base_rejection_rate=0.0)
+        account, ad = self._ad_with_text("Apartment for rent - whites only")
+        outcome = review.review(account, ad)
+        assert outcome.decision is ReviewDecision.REJECTED
+        assert outcome.policy
+        assert "protected characteristics" in outcome.reason
+
+    def test_text_policy_rejections_cannot_be_appealed(self):
+        review = AdReviewSystem(np.random.default_rng(9), appeal_clear_rate=1.0)
+        account, ad = self._ad_with_text("Hiring: men only crew")
+        review.review(account, ad)
+        outcome = review.appeal(ad)
+        assert outcome.decision is ReviewDecision.REJECTED
+
+    def test_case_insensitive_matching(self):
+        review = AdReviewSystem(np.random.default_rng(10), base_rejection_rate=0.0)
+        account, ad = self._ad_with_text("WOMEN ONLY gym membership")
+        assert review.review(account, ad).decision is ReviewDecision.REJECTED
+
+    def test_clean_text_unaffected(self):
+        review = AdReviewSystem(np.random.default_rng(11), base_rejection_rate=0.0)
+        account, ad = self._ad_with_text("We welcome all applicants")
+        assert review.review(account, ad).decision is ReviewDecision.APPROVED

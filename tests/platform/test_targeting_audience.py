@@ -1,0 +1,102 @@
+"""Tests for targeting specs and the audience store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AudienceError, TargetingError
+from repro.platform import AudienceStore, TargetingSpec
+from repro.population import UserUniverse
+from repro.population.matching import hash_pii
+from repro.types import Gender, State
+
+
+@pytest.fixture(scope="module")
+def universe(fl_registry, nc_registry):
+    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(7))
+
+
+@pytest.fixture()
+def store(universe):
+    return AudienceStore(universe)
+
+
+class TestTargetingSpec:
+    def test_empty_spec_rejected(self):
+        with pytest.raises(TargetingError):
+            TargetingSpec()
+
+    def test_age_min_floor(self):
+        with pytest.raises(TargetingError):
+            TargetingSpec(age_min=16, custom_audience_ids=("a",))
+
+    def test_inverted_age_range_rejected(self):
+        with pytest.raises(TargetingError):
+            TargetingSpec(custom_audience_ids=("a",), age_min=30, age_max=25)
+
+    def test_restricted_options_detection(self):
+        plain = TargetingSpec(custom_audience_ids=("a",))
+        capped = TargetingSpec(custom_audience_ids=("a",), age_max=45)
+        gendered = TargetingSpec(custom_audience_ids=("a",), genders=(Gender.FEMALE,))
+        assert not plain.uses_restricted_options()
+        assert capped.uses_restricted_options()
+        assert gendered.uses_restricted_options()
+
+    def test_accepts_filters_age_and_state(self, universe):
+        spec = TargetingSpec(
+            custom_audience_ids=("a",), age_max=45, states=(State.FL,)
+        )
+        for user in universe.users[:300]:
+            expected = user.demographics.age <= 45 and user.home_state is State.FL
+            assert spec.accepts(user) == expected
+
+    def test_eligible_user_ids_respects_audience(self, universe, store):
+        voters = [u for u in universe.users[:50]]
+        audience = store.create_from_hashes("test", [u.pii_hash for u in voters])
+        spec = TargetingSpec(custom_audience_ids=(audience.audience_id,))
+        eligible = spec.eligible_user_ids(universe, store.members_map())
+        assert eligible == set(audience.member_ids)
+
+    def test_unknown_audience_raises(self, universe, store):
+        spec = TargetingSpec(custom_audience_ids=("missing",))
+        with pytest.raises(TargetingError):
+            spec.eligible_user_ids(universe, store.members_map())
+
+    def test_age_cap_composes_with_audience(self, universe, store):
+        voters = universe.users[:200]
+        audience = store.create_from_hashes("test2", [u.pii_hash for u in voters])
+        spec = TargetingSpec(custom_audience_ids=(audience.audience_id,), age_max=45)
+        eligible = spec.eligible_user_ids(universe, store.members_map())
+        assert all(universe.by_id(uid).demographics.age <= 45 for uid in eligible)
+
+
+class TestAudienceStore:
+    def test_create_from_voter_hashes(self, store, universe, fl_registry):
+        hashes = [hash_pii(r.pii_key()) for r in fl_registry.records[:400]]
+        audience = store.create_from_hashes("fl400", hashes)
+        assert 0 < audience.matched_count <= 400
+        assert 0 < audience.match_rate <= 1.0
+
+    def test_match_rate_reflects_adoption(self, store, universe, fl_registry):
+        """Not every voter has an account, so match rate < 1."""
+        hashes = [hash_pii(r.pii_key()) for r in fl_registry.records[:1000]]
+        audience = store.create_from_hashes("fl1000", hashes)
+        assert audience.match_rate < 0.95
+
+    def test_empty_upload_rejected(self, store):
+        with pytest.raises(AudienceError):
+            store.create_from_hashes("empty", [])
+
+    def test_no_matches_rejected(self, store):
+        with pytest.raises(AudienceError):
+            store.create_from_hashes("strangers", [hash_pii("nobody")])
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(AudienceError):
+            store.get("aud_999")
+
+    def test_members_map_covers_all_audiences(self, store, universe):
+        audience = store.create_from_hashes(
+            "m", [universe.users[0].pii_hash, universe.users[1].pii_hash]
+        )
+        members = store.members_map()
+        assert members[audience.audience_id] == set(audience.member_ids)

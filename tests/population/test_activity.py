@@ -1,0 +1,71 @@
+"""Tests for the activity model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.population import ActivityModel
+from repro.types import AgeBucket, Gender, Race
+
+
+class TestActivityModel:
+    def test_expected_rate_increases_with_age(self):
+        rates = [
+            ActivityModel.expected_rate(bucket, Gender.MALE, Race.WHITE)
+            for bucket in AgeBucket
+        ]
+        assert rates == sorted(rates)
+
+    def test_black_users_more_active(self):
+        white = ActivityModel.expected_rate(AgeBucket.B35_44, Gender.MALE, Race.WHITE)
+        black = ActivityModel.expected_rate(AgeBucket.B35_44, Gender.MALE, Race.BLACK)
+        assert black > white
+
+    def test_sampled_rates_center_on_expectation(self):
+        model = ActivityModel(np.random.default_rng(0), heterogeneity=0.2)
+        rates = [
+            model.rate_for(AgeBucket.B45_54, Gender.FEMALE, Race.WHITE)
+            for _ in range(3000)
+        ]
+        expected = ActivityModel.expected_rate(AgeBucket.B45_54, Gender.FEMALE, Race.WHITE)
+        assert abs(np.mean(rates) - expected) < 0.05 * expected
+
+    def test_zero_heterogeneity_is_deterministic(self):
+        model = ActivityModel(np.random.default_rng(1), heterogeneity=0.0)
+        a = model.rate_for(AgeBucket.B18_24, Gender.MALE, Race.WHITE)
+        b = model.rate_for(AgeBucket.B18_24, Gender.MALE, Race.WHITE)
+        assert a == b
+
+    def test_sessions_scale_with_window(self):
+        model = ActivityModel(np.random.default_rng(2))
+        full = np.mean([model.sessions_today(2.0, hours=24.0) for _ in range(2000)])
+        half = np.mean([model.sessions_today(2.0, hours=12.0) for _ in range(2000)])
+        assert abs(full - 2.0) < 0.15
+        assert abs(half - 1.0) < 0.15
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValidationError):
+            ActivityModel(np.random.default_rng(0), base_sessions=0.0)
+
+    def test_invalid_hours_rejected(self):
+        model = ActivityModel(np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            model.sessions_today(1.0, hours=0.0)
+
+
+class TestDiurnalCurve:
+    def test_mean_weight_is_one(self):
+        from repro.population.activity import DIURNAL_WEIGHTS
+
+        assert abs(np.mean(DIURNAL_WEIGHTS) - 1.0) < 0.01
+
+    def test_evening_peaks_over_night_trough(self):
+        from repro.population.activity import diurnal_weight
+
+        assert diurnal_weight(20) > 4 * diurnal_weight(3)
+
+    def test_out_of_day_hour_rejected(self):
+        from repro.population.activity import diurnal_weight
+
+        with pytest.raises(ValidationError):
+            diurnal_weight(24)

@@ -1,0 +1,65 @@
+"""Tests for PII hashing and Custom Audience matching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AudienceError
+from repro.population import PiiMatcher, PlatformUser, hash_pii
+from repro.population.user import InterestCluster
+from repro.types import Demographics, Gender, Race, State
+
+
+def _user(user_id: int, pii: str | None) -> PlatformUser:
+    return PlatformUser(
+        user_id=user_id,
+        demographics=Demographics(race=Race.WHITE, gender=Gender.MALE, age=30),
+        home_state=State.FL,
+        home_dma="Orlando",
+        zip_code="33101",
+        interest_cluster=InterestCluster.ALPHA,
+        activity_rate=1.0,
+        pii_hash=hash_pii(pii) if pii else None,
+    )
+
+
+class TestHashPii:
+    def test_deterministic(self):
+        assert hash_pii("mary|smith|0#1|oak st|tampa|fl|33101") == hash_pii(
+            "mary|smith|0#1|oak st|tampa|fl|33101"
+        )
+
+    def test_sha256_hex(self):
+        digest = hash_pii("anything")
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_distinct_inputs_distinct_hashes(self):
+        assert hash_pii("a") != hash_pii("b")
+
+
+class TestPiiMatcher:
+    def test_matches_only_indexed_users(self):
+        users = [_user(0, "alice"), _user(1, "bob"), _user(2, None)]
+        matcher = PiiMatcher(users)
+        assert len(matcher) == 2
+        matched = matcher.match([hash_pii("alice"), hash_pii("carol")])
+        assert [u.user_id for u in matched] == [0]
+
+    def test_duplicate_uploads_are_deduplicated(self):
+        matcher = PiiMatcher([_user(0, "alice")])
+        matched = matcher.match([hash_pii("alice")] * 5)
+        assert len(matched) == 1
+
+    def test_duplicate_index_hash_rejected(self):
+        with pytest.raises(AudienceError):
+            PiiMatcher([_user(0, "same"), _user(1, "same")])
+
+    def test_match_rate(self):
+        matcher = PiiMatcher([_user(0, "alice"), _user(1, "bob")])
+        rate = matcher.match_rate([hash_pii("alice"), hash_pii("nope")])
+        assert rate == 0.5
+
+    def test_match_rate_empty_upload_rejected(self):
+        matcher = PiiMatcher([_user(0, "alice")])
+        with pytest.raises(AudienceError):
+            matcher.match_rate([])

@@ -1,0 +1,96 @@
+"""Tests for universe construction from registries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.population import AdoptionModel, InterestCluster, UserUniverse
+from repro.types import Gender, Race, State
+
+
+@pytest.fixture(scope="module")
+def universe(fl_registry, nc_registry):
+    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(0))
+
+
+class TestAdoptionModel:
+    def test_probability_in_unit_interval(self):
+        model = AdoptionModel()
+        for race in Race:
+            for age in (18, 40, 90):
+                assert 0.0 < model.probability(race, age) < 1.0
+
+    def test_adoption_declines_with_age(self):
+        model = AdoptionModel()
+        assert model.probability(Race.WHITE, 25) > model.probability(Race.WHITE, 80)
+
+
+class TestUserUniverse:
+    def test_only_study_demographics_recruited(self, universe):
+        for user in universe.users:
+            assert user.race in (Race.WHITE, Race.BLACK)
+            assert user.gender in (Gender.MALE, Gender.FEMALE)
+
+    def test_adoption_is_partial(self, universe, fl_registry, nc_registry):
+        eligible = sum(
+            1
+            for registry in (fl_registry, nc_registry)
+            for r in registry.records
+            if r.study_race is not None and r.gender is not Gender.UNKNOWN
+        )
+        assert 0 < len(universe) < eligible
+
+    def test_user_ids_are_dense(self, universe):
+        assert [u.user_id for u in universe.users] == list(range(len(universe)))
+
+    def test_by_id_roundtrip(self, universe):
+        user = universe.users[5]
+        assert universe.by_id(5) is user
+
+    def test_by_id_unknown_raises(self, universe):
+        with pytest.raises(ValidationError):
+            universe.by_id(10_000_000)
+
+    def test_pii_hashes_match_back_to_voters(self, universe, fl_registry):
+        from repro.population.matching import hash_pii
+
+        hashes = [hash_pii(r.pii_key()) for r in fl_registry.records[:500]]
+        matched = universe.matcher.match(hashes)
+        assert matched
+        for user in matched:
+            assert user.home_state is State.FL
+
+    def test_cluster_is_a_noisy_race_proxy(self, universe):
+        agree = sum(
+            1
+            for u in universe.users
+            if (u.race is Race.BLACK) == (u.interest_cluster is InterestCluster.BETA)
+        )
+        fidelity = agree / len(universe)
+        assert 0.82 < fidelity < 0.94  # default proxy_fidelity 0.88
+
+    def test_fidelity_half_destroys_the_proxy(self, fl_registry, nc_registry):
+        universe = UserUniverse(
+            [fl_registry, nc_registry], np.random.default_rng(1), proxy_fidelity=0.5
+        )
+        black_beta = sum(
+            1
+            for u in universe.users
+            if u.race is Race.BLACK and u.interest_cluster is InterestCluster.BETA
+        )
+        black_total = sum(1 for u in universe.users if u.race is Race.BLACK)
+        assert abs(black_beta / black_total - 0.5) < 0.05
+
+    def test_high_poverty_flag_correlates_with_race(self, universe):
+        black_poor = np.mean([u.high_poverty for u in universe.users if u.race is Race.BLACK])
+        white_poor = np.mean([u.high_poverty for u in universe.users if u.race is Race.WHITE])
+        assert black_poor > white_poor
+
+    def test_empty_registry_list_rejected(self):
+        with pytest.raises(ValidationError):
+            UserUniverse([], np.random.default_rng(0))
+
+    def test_observed_cell_excludes_race(self, universe):
+        cell = universe.users[0].observed_cell()
+        assert len(cell) == 4
+        assert not any(isinstance(part, Race) for part in cell)

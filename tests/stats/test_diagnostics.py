@@ -1,0 +1,102 @@
+"""Tests for regression diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.diagnostics import (
+    breusch_pagan,
+    cooks_distance,
+    diagnose,
+    residual_normality,
+)
+
+
+def _homoskedastic(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = 1.0 + X @ np.array([0.5, -0.3]) + rng.normal(0, 0.2, size=n)
+    return y, X
+
+
+def _heteroskedastic(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 1))
+    y = 1.0 + 0.5 * X[:, 0] + rng.normal(size=n) * (0.05 + np.abs(X[:, 0]))
+    return y, X
+
+
+class TestBreuschPagan:
+    def test_clean_data_passes(self):
+        y, X = _homoskedastic()
+        _, p = breusch_pagan(y, X)
+        assert p > 0.05
+
+    def test_heteroskedastic_data_fails(self):
+        y, X = _heteroskedastic()
+        _, p = breusch_pagan(y, X)
+        assert p < 0.001
+
+    def test_false_positive_rate_controlled(self):
+        rejections = 0
+        for seed in range(40):
+            y, X = _homoskedastic(n=150, seed=seed)
+            _, p = breusch_pagan(y, X)
+            rejections += p < 0.05
+        assert rejections <= 7
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(StatsError):
+            breusch_pagan(np.zeros(3), np.zeros((3, 2)))
+
+
+class TestCooksDistance:
+    def test_planted_outlier_dominates(self):
+        y, X = _homoskedastic(n=120, seed=2)
+        y = y.copy()
+        y[7] += 8.0  # gross outlier
+        distances = cooks_distance(y, X)
+        assert int(np.argmax(distances)) == 7
+        assert distances[7] > 5 * np.median(distances)
+
+    def test_clean_data_has_no_extreme_influence(self):
+        y, X = _homoskedastic(n=300, seed=3)
+        distances = cooks_distance(y, X)
+        assert distances.max() < 0.2
+
+    def test_non_negative(self):
+        y, X = _heteroskedastic(seed=4)
+        assert np.all(cooks_distance(y, X) >= 0)
+
+
+class TestNormality:
+    def test_gaussian_residuals_pass(self):
+        y, X = _homoskedastic(seed=5)
+        _, p = residual_normality(y, X)
+        assert p > 0.01
+
+    def test_heavy_tails_fail(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(400, 1))
+        y = 0.3 * X[:, 0] + rng.standard_cauchy(400) * 0.2
+        _, p = residual_normality(y, X)
+        assert p < 0.001
+
+    def test_minimum_sample_enforced(self):
+        with pytest.raises(StatsError):
+            residual_normality(np.zeros(10), np.zeros((10, 1)))
+
+
+class TestDiagnose:
+    def test_bundles_everything(self):
+        y, X = _heteroskedastic(seed=7)
+        report = diagnose(y, X)
+        assert report.heteroskedastic
+        assert report.recommends_robust_errors()
+        assert report.max_cooks_distance > 0
+        assert report.n_influential >= 0
+
+    def test_clean_data_recommends_classical(self):
+        y, X = _homoskedastic(seed=8)
+        report = diagnose(y, X)
+        assert not report.recommends_robust_errors()

@@ -1,0 +1,171 @@
+"""Tests for dummy coding, table rendering and bootstrap CIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatsError
+from repro.stats import DummyCoding, bootstrap_ci, render_table, significance_stars
+
+
+class TestDummyCoding:
+    @pytest.fixture()
+    def coding(self):
+        coding = DummyCoding()
+        coding.add_factor("race", ["white", "Black"], labels={"Black": "Black"})
+        coding.add_factor("band", ["adult", "child", "elderly"])
+        return coding
+
+    def test_n_minus_one_columns_per_factor(self, coding):
+        assert coding.column_names == ["Black", "child", "elderly"]
+
+    def test_reference_level_encodes_as_zeros(self, coding):
+        X, names = coding.encode([{"race": "white", "band": "adult"}])
+        assert np.array_equal(X, np.zeros((1, 3)))
+
+    def test_encoding_matches_paper_interpretation(self, coding):
+        """Intercept row = all dummies zero = white adult (§3.4)."""
+        X, names = coding.encode(
+            [
+                {"race": "Black", "band": "elderly"},
+                {"race": "white", "band": "child"},
+            ]
+        )
+        assert X.tolist() == [[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]
+
+    def test_unknown_level_rejected(self, coding):
+        with pytest.raises(StatsError):
+            coding.encode([{"race": "green", "band": "adult"}])
+
+    def test_missing_factor_rejected(self, coding):
+        with pytest.raises(StatsError):
+            coding.encode([{"race": "white"}])
+
+    def test_single_level_factor_rejected(self):
+        coding = DummyCoding()
+        with pytest.raises(StatsError):
+            coding.add_factor("constant", ["only"])
+
+    def test_duplicate_levels_rejected(self):
+        coding = DummyCoding()
+        with pytest.raises(StatsError):
+            coding.add_factor("race", ["white", "white"])
+
+
+class TestSignificanceStars:
+    @pytest.mark.parametrize(
+        ("p", "stars"),
+        [(0.0005, "***"), (0.005, "**"), (0.03, "*"), (0.2, ""), (0.05, "")],
+    )
+    def test_paper_convention(self, p, stars):
+        assert significance_stars(p) == stars
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(StatsError):
+            significance_stars(1.5)
+
+
+class TestRenderTable:
+    def test_renders_header_rows_and_footer(self):
+        text = render_table(
+            ["Term", "Value"],
+            [["Black", "+0.18***"]],
+            title="Table X",
+            footer="*p<0.05",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "Term" in lines[1]
+        assert "+0.18***" in text
+        assert text.endswith("*p<0.05")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(StatsError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_columns_align(self):
+        text = render_table(["A", "B"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+
+class TestBootstrap:
+    def test_point_estimate_matches_statistic(self):
+        data = np.arange(100, dtype=float)
+        point, low, high = bootstrap_ci(
+            data, np.mean, np.random.default_rng(0), n_resamples=200
+        )
+        assert point == pytest.approx(49.5)
+        assert low <= point <= high
+
+    def test_interval_narrows_with_n(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(size=50)
+        large = rng.normal(size=5000)
+        _, lo_s, hi_s = bootstrap_ci(small, np.mean, np.random.default_rng(2))
+        _, lo_l, hi_l = bootstrap_ci(large, np.mean, np.random.default_rng(3))
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    @settings(max_examples=20, deadline=None)
+    @given(confidence=st.floats(min_value=0.5, max_value=0.99))
+    def test_interval_contains_point_for_the_mean(self, confidence):
+        data = np.random.default_rng(4).normal(size=200)
+        point, low, high = bootstrap_ci(
+            data, np.mean, np.random.default_rng(5), confidence=confidence, n_resamples=200
+        )
+        assert low <= point <= high
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(StatsError):
+            bootstrap_ci(np.array([]), np.mean, np.random.default_rng(0))
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(StatsError):
+            bootstrap_ci(np.ones(5), np.mean, np.random.default_rng(0), confidence=1.5)
+
+
+class TestHolmBonferroni:
+    def test_clear_effects_survive(self):
+        from repro.stats.tables import holm_bonferroni
+
+        flags = holm_bonferroni([1e-6, 0.5, 0.7, 1e-5])
+        assert flags == [True, False, False, True]
+
+    def test_step_down_stops_at_first_failure(self):
+        from repro.stats.tables import holm_bonferroni
+
+        # second-smallest fails its threshold (0.04 > 0.05/2), so the
+        # third (even if below nominal alpha) must also fail.
+        flags = holm_bonferroni([0.001, 0.04, 0.045])
+        assert flags == [True, False, False]
+
+    def test_single_p_value_is_plain_alpha(self):
+        from repro.stats.tables import holm_bonferroni
+
+        assert holm_bonferroni([0.04]) == [True]
+        assert holm_bonferroni([0.06]) == [False]
+
+    def test_controls_familywise_error(self):
+        import numpy as np
+
+        from repro.stats.tables import holm_bonferroni
+
+        rng = np.random.default_rng(0)
+        false_hits = 0
+        for _ in range(300):
+            p_values = list(rng.random(10))  # all nulls
+            if any(holm_bonferroni(p_values)):
+                false_hits += 1
+        assert false_hits / 300 < 0.09  # ~5% familywise target
+
+    def test_invalid_inputs_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import StatsError
+        from repro.stats.tables import holm_bonferroni
+
+        with _pytest.raises(StatsError):
+            holm_bonferroni([])
+        with _pytest.raises(StatsError):
+            holm_bonferroni([1.2])

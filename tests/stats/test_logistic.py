@@ -1,0 +1,84 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import fit_logistic
+from repro.stats.logistic import sigmoid
+
+
+def _simulate(n=2000, w=(1.5, -2.0), b=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, len(w)))
+    p = sigmoid(X @ np.array(w) + b)
+    y = (rng.random(n) < p).astype(int)
+    return X, y
+
+
+class TestSigmoid:
+    def test_extremes_are_stable(self):
+        values = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 33)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+
+class TestFit:
+    def test_recovers_direction_of_weights(self):
+        X, y = _simulate()
+        model = fit_logistic(X, y, l2=0.1)
+        assert model.converged
+        assert model.weights[0] > 0.8
+        assert model.weights[1] < -1.0
+        assert model.intercept == pytest.approx(0.3, abs=0.2)
+
+    def test_predictions_beat_chance(self):
+        X, y = _simulate(seed=1)
+        model = fit_logistic(X, y, l2=0.1)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.8
+
+    def test_probabilities_are_calibrated_in_aggregate(self):
+        X, y = _simulate(seed=2)
+        model = fit_logistic(X, y, l2=0.1)
+        assert model.predict_proba(X).mean() == pytest.approx(y.mean(), abs=0.02)
+
+    def test_ridge_shrinks_weights(self):
+        X, y = _simulate(seed=3)
+        loose = fit_logistic(X, y, l2=0.01)
+        tight = fit_logistic(X, y, l2=100.0)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_float32_input_supported(self):
+        X, y = _simulate(seed=4)
+        model = fit_logistic(X.astype(np.float32), y, l2=1.0)
+        assert model.converged
+
+    def test_direction_is_unit_norm(self):
+        X, y = _simulate(seed=5)
+        model = fit_logistic(X, y)
+        assert np.linalg.norm(model.direction()) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(StatsError):
+            fit_logistic(np.zeros((10, 2)), np.arange(10))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(StatsError):
+            fit_logistic(np.random.default_rng(0).normal(size=(10, 2)), np.ones(10))
+
+    def test_negative_penalty_rejected(self):
+        X, y = _simulate(n=100)
+        with pytest.raises(StatsError):
+            fit_logistic(X, y, l2=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(StatsError):
+            fit_logistic(np.zeros((10, 2)), np.zeros(9))

@@ -1,0 +1,91 @@
+"""Tests for the random-intercept mixed model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import fit_ols, fit_random_intercept
+
+
+def _grouped_data(n_groups=11, per_group=4, beta=0.1, group_sd=0.1, noise=0.02, seed=0):
+    """Mimics the Table-5 structure: jobs with distinct intercepts."""
+    rng = np.random.default_rng(seed)
+    intercepts = rng.normal(0.5, group_sd, size=n_groups)
+    rows_x, rows_y, groups = [], [], []
+    for g in range(n_groups):
+        for i in range(per_group):
+            x = float(i % 2)
+            rows_x.append(x)
+            rows_y.append(intercepts[g] + beta * x + rng.normal(0, noise))
+            groups.append(f"job{g}")
+    return np.array(rows_y), np.array(rows_x)[:, None], np.array(groups, dtype=object)
+
+
+class TestEstimation:
+    def test_recovers_treatment_effect(self):
+        y, X, groups = _grouped_data(beta=0.12)
+        model = fit_random_intercept(y, X, groups, ["treated"])
+        assert model.coefficient("treated") == pytest.approx(0.12, abs=0.02)
+        assert model.is_significant("treated")
+
+    def test_group_variance_detected(self):
+        y, X, groups = _grouped_data(group_sd=0.15, noise=0.02)
+        model = fit_random_intercept(y, X, groups, ["treated"])
+        assert model.sigma2_group > model.sigma2
+
+    def test_no_group_variance_collapses_to_ols(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(120, 1))
+        y = 0.4 + 0.2 * X[:, 0] + rng.normal(0, 0.05, size=120)
+        groups = np.repeat(np.arange(10), 12)
+        mixed = fit_random_intercept(y, X, groups, ["x"])
+        ols = fit_ols(y, X, ["x"])
+        assert mixed.coefficient("x") == pytest.approx(ols.coefficient("x"), abs=0.01)
+
+    def test_mixed_model_beats_ols_under_group_confounding(self):
+        """Strong group intercepts would drown the effect in pooled OLS."""
+        y, X, groups = _grouped_data(beta=0.05, group_sd=0.3, noise=0.01, seed=2)
+        mixed = fit_random_intercept(y, X, groups, ["treated"])
+        assert mixed.coefficient("treated") == pytest.approx(0.05, abs=0.01)
+        assert mixed.is_significant("treated")
+
+    def test_null_effect_not_significant(self):
+        hits = 0
+        for seed in range(25):
+            y, X, groups = _grouped_data(beta=0.0, seed=seed)
+            model = fit_random_intercept(y, X, groups, ["treated"])
+            hits += model.is_significant("treated", alpha=0.05)
+        assert hits <= 4
+
+
+class TestAdjustedR2:
+    def test_strong_effect_gives_high_value(self):
+        y, X, groups = _grouped_data(beta=0.2, noise=0.01)
+        model = fit_random_intercept(y, X, groups, ["treated"])
+        assert model.adj_r_squared > 0.8
+
+    def test_null_effect_can_go_negative(self):
+        """Matches the paper's negative Adj. R² for models IV-VI."""
+        values = []
+        for seed in range(10):
+            y, X, groups = _grouped_data(beta=0.0, noise=0.05, seed=seed)
+            model = fit_random_intercept(y, X, groups, ["treated"])
+            values.append(model.adj_r_squared)
+        assert min(values) < 0.0
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(StatsError):
+            fit_random_intercept(np.zeros(5), np.zeros((5, 1)), np.zeros(4), ["x"])
+
+    def test_unknown_term(self):
+        y, X, groups = _grouped_data()
+        model = fit_random_intercept(y, X, groups, ["treated"])
+        with pytest.raises(StatsError):
+            model.coefficient("nope")
+
+    def test_reports_group_count(self):
+        y, X, groups = _grouped_data(n_groups=11)
+        model = fit_random_intercept(y, X, groups, ["treated"])
+        assert model.n_groups == 11

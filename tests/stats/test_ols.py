@@ -1,0 +1,185 @@
+"""Tests for the OLS implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatsError
+from repro.stats import fit_ols
+
+
+def _simulate(n=200, beta=(1.0, 2.0, -0.5), sigma=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, len(beta) - 1))
+    y = beta[0] + X @ np.array(beta[1:]) + rng.normal(0, sigma, size=n)
+    return X, y
+
+
+class TestEstimation:
+    def test_recovers_known_coefficients(self):
+        X, y = _simulate()
+        model = fit_ols(y, X, ["x1", "x2"])
+        assert model.coefficient("Intercept") == pytest.approx(1.0, abs=0.05)
+        assert model.coefficient("x1") == pytest.approx(2.0, abs=0.05)
+        assert model.coefficient("x2") == pytest.approx(-0.5, abs=0.05)
+
+    def test_perfect_fit_r_squared_one(self):
+        X = np.arange(20, dtype=float)[:, None]
+        y = 3.0 + 2.0 * X[:, 0]
+        model = fit_ols(y, X, ["x"])
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_pure_noise_r_squared_near_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 1))
+        y = rng.normal(size=500)
+        model = fit_ols(y, X, ["x"])
+        assert model.r_squared < 0.05
+
+    def test_matches_numpy_lstsq(self):
+        X, y = _simulate(seed=3)
+        model = fit_ols(y, X, ["a", "b"])
+        design = np.column_stack([np.ones(len(y)), X])
+        expected, *_ = np.linalg.lstsq(design, y, rcond=None)
+        assert np.allclose(model.coef, expected)
+
+
+class TestInference:
+    def test_true_effect_is_significant(self):
+        X, y = _simulate(sigma=0.5)
+        model = fit_ols(y, X, ["x1", "x2"])
+        assert model.is_significant("x1")
+        assert model.stars("x1") == "***"
+
+    def test_null_effect_is_usually_insignificant(self):
+        rng = np.random.default_rng(2)
+        hits = 0
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            X = rng.normal(size=(100, 1))
+            y = rng.normal(size=100)
+            if fit_ols(y, X, ["x"]).is_significant("x", alpha=0.05):
+                hits += 1
+        assert hits <= 7  # ~5% false positive rate
+
+    def test_p_values_in_unit_interval(self):
+        X, y = _simulate()
+        model = fit_ols(y, X, ["x1", "x2"])
+        assert np.all(model.p_values >= 0) and np.all(model.p_values <= 1)
+
+    def test_stderr_shrinks_with_n(self):
+        Xs, ys = _simulate(n=50, seed=5)
+        Xl, yl = _simulate(n=5000, seed=5)
+        small = fit_ols(ys, Xs, ["x1", "x2"])
+        large = fit_ols(yl, Xl, ["x1", "x2"])
+        assert large.stderr[1] < small.stderr[1]
+
+
+class TestPrediction:
+    def test_predict_is_additive(self):
+        """§3.4: estimates add — intercept + female + elderly."""
+        X, y = _simulate()
+        model = fit_ols(y, X, ["x1", "x2"])
+        combined = model.predict({"x1": 1.0, "x2": 1.0})
+        assert combined == pytest.approx(
+            model.coefficient("Intercept")
+            + model.coefficient("x1")
+            + model.coefficient("x2")
+        )
+
+    def test_missing_terms_are_zero(self):
+        X, y = _simulate()
+        model = fit_ols(y, X, ["x1", "x2"])
+        assert model.predict({}) == model.coefficient("Intercept")
+
+
+class TestValidation:
+    def test_collinear_design_raises(self):
+        X = np.ones((30, 2))
+        y = np.arange(30, dtype=float)
+        with pytest.raises(StatsError, match="singular"):
+            fit_ols(y, X, ["a", "b"])
+
+    def test_too_few_observations(self):
+        with pytest.raises(StatsError):
+            fit_ols(np.array([1.0, 2.0]), np.ones((2, 2)), ["a", "b"])
+
+    def test_mismatched_names(self):
+        with pytest.raises(StatsError):
+            fit_ols(np.zeros(10), np.zeros((10, 2)), ["only-one"])
+
+    def test_unknown_term_lookup(self):
+        X, y = _simulate()
+        model = fit_ols(y, X, ["x1", "x2"])
+        with pytest.raises(StatsError):
+            model.coefficient("nope")
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=30, max_value=200),
+    )
+    def test_residuals_orthogonal_to_design(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        y = rng.normal(size=n)
+        model = fit_ols(y, X, ["a", "b"])
+        design = np.column_stack([np.ones(n), X])
+        residuals = y - design @ model.coef
+        assert np.allclose(design.T @ residuals, 0.0, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_r_squared_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50) + X[:, 0]
+        model = fit_ols(y, X, ["a", "b"])
+        assert -1e-9 <= model.r_squared <= 1.0 + 1e-9
+
+
+class TestRobustStandardErrors:
+    def test_coefficients_identical_to_classical(self):
+        X, y = _simulate()
+        classical = fit_ols(y, X, ["x1", "x2"])
+        robust = fit_ols(y, X, ["x1", "x2"], robust=True)
+        assert np.allclose(classical.coef, robust.coef)
+
+    def test_homoskedastic_data_gives_similar_errors(self):
+        X, y = _simulate(n=5000, sigma=0.3, seed=11)
+        classical = fit_ols(y, X, ["x1", "x2"])
+        robust = fit_ols(y, X, ["x1", "x2"], robust=True)
+        assert np.allclose(classical.stderr, robust.stderr, rtol=0.1)
+
+    def test_heteroskedastic_data_widens_robust_errors(self):
+        """Variance growing with |x| deflates classical SEs; HC1 corrects."""
+        rng = np.random.default_rng(12)
+        n = 4000
+        X = rng.normal(size=(n, 1))
+        y = 1.0 + 2.0 * X[:, 0] + rng.normal(size=n) * (0.1 + 2.0 * np.abs(X[:, 0]))
+        classical = fit_ols(y, X, ["x"])
+        robust = fit_ols(y, X, ["x"], robust=True)
+        assert robust.stderr[1] > 1.2 * classical.stderr[1]
+
+    def test_robust_errors_are_consistent(self):
+        """HC1 coverage: across simulations, the true beta lands inside
+        the robust 95% interval about 95% of the time even under
+        heteroskedasticity."""
+        from scipy import stats as sps
+
+        covered = 0
+        n_sims = 60
+        for seed in range(n_sims):
+            rng = np.random.default_rng(seed)
+            n = 500
+            X = rng.normal(size=(n, 1))
+            y = 0.5 + 1.0 * X[:, 0] + rng.normal(size=n) * (0.2 + np.abs(X[:, 0]))
+            model = fit_ols(y, X, ["x"], robust=True)
+            z = sps.t.ppf(0.975, model.df_resid)
+            low = model.coefficient("x") - z * model.stderr[1]
+            high = model.coefficient("x") + z * model.stderr[1]
+            covered += low <= 1.0 <= high
+        assert covered >= int(0.85 * n_sims)

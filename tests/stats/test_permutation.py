@@ -1,0 +1,91 @@
+"""Tests for permutation inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.permutation import (
+    permutation_test_mean_difference,
+    permutation_test_statistic,
+)
+
+
+class TestMeanDifference:
+    def test_detects_a_real_effect(self):
+        rng = np.random.default_rng(0)
+        treated = np.repeat([True, False], 50)
+        outcomes = np.where(treated, 0.7, 0.5) + rng.normal(0, 0.05, size=100)
+        diff, p = permutation_test_mean_difference(
+            outcomes, treated, np.random.default_rng(1)
+        )
+        assert diff == pytest.approx(0.2, abs=0.03)
+        assert p < 0.01
+
+    def test_null_effect_gives_uniformish_p(self):
+        """Under the null the p-value should rarely be small."""
+        small = 0
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            treated = np.repeat([True, False], 30)
+            outcomes = rng.normal(size=60)
+            _, p = permutation_test_mean_difference(
+                outcomes, treated, np.random.default_rng(seed + 1000),
+                n_permutations=400,
+            )
+            small += p < 0.05
+        assert small <= 5
+
+    def test_p_value_never_zero(self):
+        treated = np.repeat([True, False], 20)
+        outcomes = np.where(treated, 10.0, 0.0)
+        _, p = permutation_test_mean_difference(
+            outcomes, treated, np.random.default_rng(2), n_permutations=500
+        )
+        assert 0.0 < p < 0.01
+
+    def test_requires_both_groups(self):
+        with pytest.raises(StatsError):
+            permutation_test_mean_difference(
+                np.ones(10), np.ones(10, dtype=bool), np.random.default_rng(0)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(StatsError):
+            permutation_test_mean_difference(
+                np.ones(10), np.ones(9, dtype=bool), np.random.default_rng(0)
+            )
+
+
+class TestGenericStatistic:
+    def test_custom_statistic(self):
+        rng = np.random.default_rng(3)
+        treated = np.repeat([True, False], 40)
+        outcomes = np.where(treated, 1.0, 0.0) + rng.normal(0, 0.2, size=80)
+
+        def median_gap(labels):
+            return float(np.median(outcomes[labels]) - np.median(outcomes[~labels]))
+
+        p = permutation_test_statistic(median_gap, treated, np.random.default_rng(4))
+        assert p < 0.01
+
+    def test_too_few_permutations_rejected(self):
+        with pytest.raises(StatsError):
+            permutation_test_statistic(
+                lambda labels: 0.0,
+                np.repeat([True, False], 5),
+                np.random.default_rng(0),
+                n_permutations=10,
+            )
+
+    def test_agrees_with_ols_on_clean_data(self):
+        """Permutation and OLS inference should agree on a clear effect."""
+        from repro.stats import fit_ols
+
+        rng = np.random.default_rng(5)
+        treated = np.repeat([True, False], 50)
+        outcomes = np.where(treated, 0.6, 0.5) + rng.normal(0, 0.08, size=100)
+        _, p_perm = permutation_test_mean_difference(
+            outcomes, treated, np.random.default_rng(6)
+        )
+        model = fit_ols(outcomes, treated.astype(float)[:, None], ["treated"])
+        assert (p_perm < 0.05) == model.is_significant("treated")

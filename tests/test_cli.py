@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_campaign1_small_scale(self, capsys, tmp_path: Path):
+        code = main(
+            [
+                "campaign1",
+                "--seed",
+                "19",
+                "--scale",
+                "small",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 4a" in out
+        assert (tmp_path / "figure3A.csv").exists()
+        assert (tmp_path / "figure4A.csv").exists()
+
+    def test_appendix_small_scale(self, capsys):
+        code = main(["appendix-a", "--seed", "19", "--scale", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table A1" in out
+        assert "review rejected" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign99"])
+
+
+class TestCliExport:
+    def test_export_writes_website_artifact(self, capsys, tmp_path: Path):
+        code = main(
+            [
+                "campaign1",
+                "--seed",
+                "19",
+                "--scale",
+                "small",
+                "--export",
+                str(tmp_path / "site"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "site" / "campaign1" / "ads.json").exists()
+        assert (tmp_path / "site" / "campaign1" / "index.txt").exists()

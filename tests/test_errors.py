@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_name",
+        [name for name in errors.__all__ if name != "ReproError"],
+    )
+    def test_everything_derives_from_repro_error(self, exc_name):
+        exc_cls = getattr(errors, exc_name)
+        assert issubclass(exc_cls, errors.ReproError)
+
+    def test_api_error_payload(self):
+        exc = errors.ApiError("nope", code=100, api_type="GraphMethodException")
+        assert exc.to_payload() == {
+            "message": "nope",
+            "type": "GraphMethodException",
+            "code": 100,
+        }
+
+    def test_rate_limit_error_uses_code_4(self):
+        assert errors.RateLimitError().code == 4
+
+    def test_auth_error_uses_code_190(self):
+        assert errors.AuthError().code == 190
+
+    def test_not_found_is_graph_method_exception(self):
+        assert errors.NotFoundError().api_type == "GraphMethodException"

@@ -1,0 +1,90 @@
+"""Tests for the shared demographic types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.types import (
+    AGE_BAND_MIDPOINTS,
+    AgeBand,
+    AgeBucket,
+    CensusRace,
+    Demographics,
+    Gender,
+    Race,
+    State,
+    age_bucket_for,
+    bucket_midpoint,
+)
+
+
+class TestAgeBucket:
+    def test_bounds_match_facebook_buckets(self):
+        assert AgeBucket.B18_24.lower == 18
+        assert AgeBucket.B18_24.upper == 24
+        assert AgeBucket.B65_PLUS.lower == 65
+        assert AgeBucket.B65_PLUS.upper == 100
+
+    def test_buckets_are_contiguous(self):
+        buckets = list(AgeBucket)
+        for earlier, later in zip(buckets, buckets[1:]):
+            assert later.lower == earlier.upper + 1
+
+    @given(st.integers(min_value=18, max_value=100))
+    def test_every_adult_age_maps_to_exactly_one_bucket(self, age):
+        bucket = age_bucket_for(age)
+        assert bucket.lower <= age <= bucket.upper
+        matches = [b for b in AgeBucket if b.lower <= age <= b.upper]
+        assert matches == [bucket]
+
+    def test_minors_are_rejected(self):
+        with pytest.raises(ValidationError):
+            age_bucket_for(17)
+
+    def test_midpoints_are_inside_their_buckets(self):
+        for bucket in AgeBucket:
+            midpoint = bucket_midpoint(bucket)
+            assert bucket.lower <= midpoint <= bucket.upper
+
+
+class TestCensusRace:
+    def test_study_race_mapping(self):
+        assert CensusRace.WHITE.to_study_race() is Race.WHITE
+        assert CensusRace.BLACK.to_study_race() is Race.BLACK
+
+    @pytest.mark.parametrize(
+        "census",
+        [c for c in CensusRace if c not in (CensusRace.WHITE, CensusRace.BLACK)],
+    )
+    def test_other_races_map_to_none(self, census):
+        assert census.to_study_race() is None
+
+
+class TestAgeBand:
+    def test_all_five_bands_have_midpoints(self):
+        assert set(AGE_BAND_MIDPOINTS) == set(AgeBand)
+
+    def test_midpoints_are_ordered(self):
+        values = [AGE_BAND_MIDPOINTS[b] for b in AgeBand]
+        assert values == sorted(values)
+
+
+class TestDemographics:
+    def test_age_bucket_property(self):
+        person = Demographics(race=Race.WHITE, gender=Gender.FEMALE, age=33)
+        assert person.age_bucket is AgeBucket.B25_34
+
+    def test_implausible_age_rejected(self):
+        with pytest.raises(ValidationError):
+            Demographics(race=Race.BLACK, gender=Gender.MALE, age=150)
+
+    def test_frozen(self):
+        person = Demographics(race=Race.WHITE, gender=Gender.MALE, age=40)
+        with pytest.raises(AttributeError):
+            person.age = 41
+
+
+class TestState:
+    def test_study_states_plus_other(self):
+        assert {s.value for s in State} == {"FL", "NC", "OTHER"}

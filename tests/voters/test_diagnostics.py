@@ -1,0 +1,76 @@
+"""Tests for audience balance diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.voters.diagnostics import check_balance, contingency_table
+from repro.voters.sampling import stratified_balanced_sample
+from repro.types import Race
+
+
+@pytest.fixture(scope="module")
+def balanced_voters(fl_registry, nc_registry):
+    sample = stratified_balanced_sample(
+        fl_registry, nc_registry, np.random.default_rng(0), scale=0.0005
+    )
+    return sample.voters()
+
+
+class TestContingency:
+    def test_table_sums_to_n(self, balanced_voters):
+        table, rows, cols = contingency_table(balanced_voters, "race", "gender")
+        assert table.sum() == len(balanced_voters)
+        assert rows == ["Black", "white"]
+
+    def test_balanced_table_is_uniform(self, balanced_voters):
+        table, _, _ = contingency_table(balanced_voters, "race", "gender")
+        assert np.all(table == table[0, 0])
+
+    def test_unknown_attribute_rejected(self, balanced_voters):
+        with pytest.raises(StatsError):
+            contingency_table(balanced_voters, "race", "height")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StatsError):
+            contingency_table([], "race", "gender")
+
+
+class TestCheckBalance:
+    def test_balanced_sample_passes(self, balanced_voters):
+        report = check_balance(balanced_voters)
+        assert report.is_balanced()
+        # The stratified design is exactly proportional -> p ~ 1.
+        for p in report.p_values.values():
+            assert p > 0.9
+
+    def test_covers_all_attribute_pairs(self, balanced_voters):
+        report = check_balance(balanced_voters)
+        assert len(report.p_values) == 6  # C(4, 2)
+
+    def test_deliberately_unbalanced_sample_fails(self, balanced_voters):
+        # Drop most Black women: race and gender become dependent.
+        skewed = [
+            v
+            for i, v in enumerate(balanced_voters)
+            if not (v.study_race is Race.BLACK and v.gender.value == "female" and i % 4)
+        ]
+        report = check_balance(skewed)
+        assert not report.is_balanced()
+        pair, p = report.worst_pair()
+        assert "race" in pair and "gender" in pair
+        assert p < 0.001
+
+    def test_raw_registry_is_not_balanced(self, fl_registry, nc_registry):
+        """The electorate itself is imbalanced; only the sample is."""
+        voters = [
+            v
+            for v in fl_registry.records + nc_registry.records
+            if v.study_race is not None and v.gender.value != "unknown"
+        ]
+        report = check_balance(voters[:4000])
+        assert not report.is_balanced(alpha=0.05)
+
+    def test_too_small_sample_rejected(self, balanced_voters):
+        with pytest.raises(StatsError):
+            check_balance(balanced_voters[:5])

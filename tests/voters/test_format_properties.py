@@ -1,0 +1,97 @@
+"""Property-based round-trip tests for the voter file formats.
+
+Hypothesis builds arbitrary (pool-constrained) voter records and checks
+that writing + parsing either state's extract preserves every
+measurement-relevant field, for any combination the generators can emit.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.names import FullName, PostalAddress
+from repro.names.pools import FL_CITIES, NC_CITIES, STREET_NAMES, STREET_SUFFIXES
+from repro.types import CensusRace, Gender, State
+from repro.voters.florida import parse_fl_extract, write_fl_extract
+from repro.voters.north_carolina import parse_nc_extract, write_nc_extract
+from repro.voters.record import VoterRecord
+
+_names = st.builds(
+    FullName,
+    first=st.sampled_from(["Mary", "James", "Keisha", "DeShawn", "Ann"]),
+    last=st.sampled_from(["Smith", "Washington", "O'Neil" .replace("'", ""), "Lee"]),
+    suffix=st.integers(min_value=0, max_value=9),
+)
+
+
+def _addresses(state: str):
+    cities = FL_CITIES if state == "FL" else NC_CITIES
+    prefix = "33" if state == "FL" else "27"
+    return st.builds(
+        PostalAddress,
+        house_number=st.integers(min_value=1, max_value=9999),
+        street=st.builds(
+            lambda name, suffix: f"{name} {suffix}",
+            st.sampled_from(STREET_NAMES),
+            st.sampled_from(STREET_SUFFIXES),
+        ),
+        city=st.sampled_from(cities),
+        state=st.just(state),
+        zip_code=st.builds(lambda n: f"{prefix}{n:03d}", st.integers(0, 999)),
+    )
+
+
+def _records(state: State):
+    return st.builds(
+        VoterRecord,
+        voter_id=st.from_regex(r"[0-9]{6,9}", fullmatch=True),
+        name=_names,
+        address=_addresses(state.value),
+        state=st.just(state),
+        gender=st.sampled_from(list(Gender)),
+        census_race=st.sampled_from(list(CensusRace)),
+        age=st.integers(min_value=18, max_value=105),
+        dma=st.just(""),
+        zip_poverty=st.floats(min_value=0.0, max_value=0.6),
+    )
+
+
+class TestFormatProperties:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(records=st.lists(_records(State.FL), min_size=1, max_size=8))
+    def test_florida_round_trip(self, records, tmp_path: Path):
+        path = tmp_path / "fl.txt"
+        write_fl_extract(records, path)
+        parsed = list(parse_fl_extract(path))
+        assert len(parsed) == len(records)
+        for original, restored in zip(records, parsed):
+            assert restored.voter_id == original.voter_id
+            assert restored.name.normalized() == original.name.normalized()
+            assert restored.address.normalized() == original.address.normalized()
+            assert restored.gender is original.gender
+            assert restored.census_race is original.census_race
+            assert restored.age == original.age
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(records=st.lists(_records(State.NC), min_size=1, max_size=8))
+    def test_north_carolina_round_trip(self, records, tmp_path: Path):
+        path = tmp_path / "nc.txt"
+        write_nc_extract(records, path)
+        parsed = list(parse_nc_extract(path))
+        assert len(parsed) == len(records)
+        for original, restored in zip(records, parsed):
+            assert restored.voter_id == original.voter_id
+            assert restored.gender is original.gender
+            assert restored.census_race is original.census_race
+            assert restored.age == original.age
+            assert restored.pii_key() == original.pii_key()

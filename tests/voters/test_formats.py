@@ -1,0 +1,126 @@
+"""Round-trip tests for the FL and NC voter file formats."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import VoterFileError
+from repro.voters.florida import FL_COLUMNS, parse_fl_extract, write_fl_extract
+from repro.voters.north_carolina import NC_COLUMNS, parse_nc_extract, write_nc_extract
+from repro.types import State
+
+
+@pytest.fixture(scope="module")
+def fl_sample(fl_registry):
+    return fl_registry.records[:200]
+
+
+@pytest.fixture(scope="module")
+def nc_sample(nc_registry):
+    return nc_registry.records[:200]
+
+
+class TestFloridaFormat:
+    def test_round_trip_preserves_measurement_fields(self, fl_sample, tmp_path: Path):
+        path = tmp_path / "fl.txt"
+        count = write_fl_extract(fl_sample, path)
+        assert count == len(fl_sample)
+        parsed = list(parse_fl_extract(path))
+        assert len(parsed) == len(fl_sample)
+        for original, restored in zip(fl_sample, parsed):
+            assert restored.voter_id == original.voter_id
+            assert restored.name.normalized() == original.name.normalized()
+            assert restored.address.normalized() == original.address.normalized()
+            assert restored.gender is original.gender
+            assert restored.census_race is original.census_race
+            assert restored.age == original.age
+
+    def test_file_has_no_header_and_fixed_field_count(self, fl_sample, tmp_path: Path):
+        path = tmp_path / "fl.txt"
+        write_fl_extract(fl_sample[:5], path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            assert len(line.split("\t")) == len(FL_COLUMNS)
+
+    def test_wrong_state_record_rejected(self, nc_sample, tmp_path: Path):
+        with pytest.raises(VoterFileError):
+            write_fl_extract(nc_sample[:1], tmp_path / "bad.txt")
+
+    def test_malformed_row_raises_with_location(self, tmp_path: Path):
+        path = tmp_path / "corrupt.txt"
+        path.write_text("only\tthree\tfields\n")
+        with pytest.raises(VoterFileError, match=":1:"):
+            list(parse_fl_extract(path))
+
+    def test_bad_race_code_raises(self, fl_sample, tmp_path: Path):
+        path = tmp_path / "fl.txt"
+        write_fl_extract(fl_sample[:1], path)
+        corrupted = path.read_text().split("\t")
+        corrupted[FL_COLUMNS.index("race")] = "X"
+        path.write_text("\t".join(corrupted))
+        with pytest.raises(VoterFileError):
+            list(parse_fl_extract(path))
+
+
+class TestNorthCarolinaFormat:
+    def test_round_trip_preserves_measurement_fields(self, nc_sample, tmp_path: Path):
+        path = tmp_path / "nc.txt"
+        count = write_nc_extract(nc_sample, path)
+        assert count == len(nc_sample)
+        parsed = list(parse_nc_extract(path))
+        assert len(parsed) == len(nc_sample)
+        for original, restored in zip(nc_sample, parsed):
+            assert restored.voter_id == original.voter_id
+            assert restored.gender is original.gender
+            assert restored.census_race is original.census_race
+            assert restored.age == original.age
+            assert restored.state is State.NC
+
+    def test_file_has_header(self, nc_sample, tmp_path: Path):
+        path = tmp_path / "nc.txt"
+        write_nc_extract(nc_sample[:3], path)
+        lines = path.read_text().splitlines()
+        assert lines[0].split("\t") == NC_COLUMNS
+        assert len(lines) == 4
+
+    def test_unexpected_header_rejected(self, tmp_path: Path):
+        path = tmp_path / "nc.txt"
+        path.write_text("wrong\theader\n")
+        with pytest.raises(VoterFileError, match="header"):
+            list(parse_nc_extract(path))
+
+    def test_hispanic_ethnicity_round_trips_via_ethnic_code(self, nc_registry, tmp_path: Path):
+        from repro.types import CensusRace
+
+        hispanic = [r for r in nc_registry.records if r.census_race is CensusRace.HISPANIC]
+        assert hispanic, "registry should contain Hispanic voters"
+        path = tmp_path / "nc.txt"
+        write_nc_extract(hispanic[:10], path)
+        for record in parse_nc_extract(path):
+            assert record.census_race is CensusRace.HISPANIC
+
+    def test_wrong_state_record_rejected(self, fl_registry, tmp_path: Path):
+        with pytest.raises(VoterFileError):
+            write_nc_extract(fl_registry.records[:1], tmp_path / "bad.txt")
+
+
+class TestFloridaConfidentialRows:
+    def test_masked_rows_are_rejected_not_misread(self, fl_sample, tmp_path: Path):
+        """Confidential voters appear masked in real extracts; the parser
+        must refuse them instead of producing a bogus record."""
+        from repro.voters.florida import FL_COLUMNS
+
+        path = tmp_path / "fl.txt"
+        write_fl_extract(fl_sample[:1], path)
+        fields = path.read_text().rstrip("\n").split("\t")
+        fields[FL_COLUMNS.index("name_last")] = "*"
+        fields[FL_COLUMNS.index("residence_address_line1")] = "*"
+        path.write_text("\t".join(fields) + "\n")
+        with pytest.raises(VoterFileError, match="confidential"):
+            list(parse_fl_extract(path))
+
+    def test_full_official_column_count(self):
+        from repro.voters.florida import FL_COLUMNS
+
+        assert len(FL_COLUMNS) == 38

@@ -1,0 +1,75 @@
+"""Tests for synthetic registry generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.types import AgeBucket, CensusRace, Gender, State
+from repro.voters.registry import RegistryConfig, VoterRegistry
+
+
+class TestRegistryConfig:
+    def test_defaults_exist_for_both_states(self):
+        for state in (State.FL, State.NC):
+            config = RegistryConfig.for_state(state)
+            assert abs(sum(config.race_shares.values()) - 1.0) < 1e-9
+
+    def test_other_state_rejected(self):
+        with pytest.raises(ValidationError):
+            RegistryConfig.for_state(State.OTHER)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            RegistryConfig(race_shares={CensusRace.WHITE: 0.5})
+
+
+class TestVoterRegistry:
+    def test_size(self, fl_registry):
+        assert len(fl_registry) == 4000
+
+    def test_voter_ids_unique(self, fl_registry):
+        ids = [r.voter_id for r in fl_registry.records]
+        assert len(set(ids)) == len(ids)
+
+    def test_pii_keys_unique(self, fl_registry):
+        keys = {r.pii_key() for r in fl_registry.records}
+        assert len(keys) == len(fl_registry)
+
+    def test_race_marginals_approximate_config(self, fl_registry):
+        white = sum(1 for r in fl_registry.records if r.census_race is CensusRace.WHITE)
+        assert abs(white / len(fl_registry) - 0.61) < 0.04
+
+    def test_all_voters_are_adults(self, fl_registry):
+        assert all(r.age >= 18 for r in fl_registry.records)
+
+    def test_gender_marginals(self, nc_registry):
+        female = sum(1 for r in nc_registry.records if r.gender is Gender.FEMALE)
+        assert abs(female / len(nc_registry) - 0.53) < 0.04
+
+    def test_cell_lookup_matches_scan(self, nc_registry):
+        cell = nc_registry.cell(CensusRace.BLACK, Gender.FEMALE, AgeBucket.B35_44)
+        scanned = [
+            r
+            for r in nc_registry.records
+            if r.census_race is CensusRace.BLACK
+            and r.gender is Gender.FEMALE
+            and r.age_bucket is AgeBucket.B35_44
+        ]
+        assert {r.voter_id for r in cell} == {r.voter_id for r in scanned}
+
+    def test_zip_poverty_attached(self, fl_registry):
+        assert all(0.0 < r.zip_poverty <= 0.6 for r in fl_registry.records)
+
+    def test_black_voters_live_in_poorer_zips(self, fl_registry):
+        black = [r.zip_poverty for r in fl_registry.records if r.census_race is CensusRace.BLACK]
+        white = [r.zip_poverty for r in fl_registry.records if r.census_race is CensusRace.WHITE]
+        assert np.mean(black) > np.mean(white)
+
+    def test_reproducible_given_same_stream(self):
+        a = VoterRegistry(State.FL, 300, np.random.default_rng(42))
+        b = VoterRegistry(State.FL, 300, np.random.default_rng(42))
+        assert [r.pii_key() for r in a.records] == [r.pii_key() for r in b.records]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValidationError):
+            VoterRegistry(State.FL, 0, np.random.default_rng(0))

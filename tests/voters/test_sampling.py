@@ -1,0 +1,130 @@
+"""Tests for the stratified balanced sampler (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.types import AgeBucket, Gender, Race, State
+from repro.voters.sampling import (
+    PAPER_TABLE1_GROUP_SIZES,
+    stratified_balanced_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def sample(fl_registry, nc_registry):
+    return stratified_balanced_sample(
+        fl_registry, nc_registry, np.random.default_rng(0), scale=0.0005
+    )
+
+
+class TestBalance:
+    def test_every_race_gender_cell_is_equal_within_bucket(self, sample):
+        for bucket in AgeBucket:
+            sizes = set()
+            for race in Race:
+                for gender in (Gender.MALE, Gender.FEMALE):
+                    total = len(sample.cell(State.FL, race, gender, bucket)) + len(
+                        sample.cell(State.NC, race, gender, bucket)
+                    )
+                    sizes.add(total)
+            assert len(sizes) == 1
+
+    def test_states_contribute_equally(self, sample):
+        for bucket in AgeBucket:
+            fl = sum(
+                len(sample.cell(State.FL, race, gender, bucket))
+                for race in Race
+                for gender in (Gender.MALE, Gender.FEMALE)
+            )
+            nc = sum(
+                len(sample.cell(State.NC, race, gender, bucket))
+                for race in Race
+                for gender in (Gender.MALE, Gender.FEMALE)
+            )
+            assert fl == nc
+
+    def test_age_race_gender_uncorrelated(self, sample):
+        """The design's entire point: attributes are orthogonal."""
+        voters = sample.voters()
+        black = [v for v in voters if v.study_race is Race.BLACK]
+        white = [v for v in voters if v.study_race is Race.WHITE]
+        assert len(black) == len(white)
+        # Same age composition for both races.
+        for bucket in AgeBucket:
+            n_black = sum(1 for v in black if v.age_bucket is bucket)
+            n_white = sum(1 for v in white if v.age_bucket is bucket)
+            assert n_black == n_white
+
+    def test_table1_totals_are_four_times_group(self, sample):
+        for _age, group, total in sample.table1_rows():
+            assert total == 4 * group
+
+    def test_table1_relative_shape_follows_paper(self, sample):
+        rows = sample.table1_rows()
+        groups = [group for _age, group, _total in rows]
+        paper = [PAPER_TABLE1_GROUP_SIZES[b] for b in AgeBucket]
+        # Older buckets are bigger, same ordering as the paper's Table 1.
+        assert groups == sorted(groups) or np.corrcoef(groups, paper)[0, 1] > 0.9
+
+
+class TestRegionSplitSubsets:
+    def test_subset_states_selects_expected_mix(self, sample):
+        audience = sample.subset_states(fl_race=Race.WHITE, nc_race=Race.BLACK)
+        for voter in audience:
+            if voter.state is State.FL:
+                assert voter.study_race is Race.WHITE
+            else:
+                assert voter.study_race is Race.BLACK
+
+    def test_reversed_subsets_partition_the_sample(self, sample):
+        a = sample.subset_states(fl_race=Race.WHITE, nc_race=Race.BLACK)
+        b = sample.subset_states(fl_race=Race.BLACK, nc_race=Race.WHITE)
+        assert len(a) == len(b)
+        ids_a = {v.voter_id for v in a}
+        ids_b = {v.voter_id for v in b}
+        assert not (ids_a & ids_b)
+        assert len(ids_a | ids_b) == len(sample.voters())
+
+
+class TestOptions:
+    def test_max_age_drops_older_buckets(self, fl_registry, nc_registry):
+        sample = stratified_balanced_sample(
+            fl_registry, nc_registry, np.random.default_rng(1), scale=0.0005, max_age=45
+        )
+        buckets = {key[3] for key in sample.members}
+        assert buckets == {AgeBucket.B18_24, AgeBucket.B25_34, AgeBucket.B35_44}
+
+    def test_poverty_matched_equalises_distributions(self, fl_registry, nc_registry):
+        sample = stratified_balanced_sample(
+            fl_registry,
+            nc_registry,
+            np.random.default_rng(2),
+            scale=0.0005,
+            poverty_matched=True,
+        )
+        voters = sample.voters()
+        black = np.array([v.zip_poverty for v in voters if v.study_race is Race.BLACK])
+        white = np.array([v.zip_poverty for v in voters if v.study_race is Race.WHITE])
+        assert abs(black.mean() - white.mean()) < 0.02
+
+    def test_unmatched_sample_has_poverty_gap(self, sample):
+        voters = sample.voters()
+        black = np.array([v.zip_poverty for v in voters if v.study_race is Race.BLACK])
+        white = np.array([v.zip_poverty for v in voters if v.study_race is Race.WHITE])
+        assert black.mean() > white.mean()
+
+    def test_oversized_quota_raises(self, fl_registry, nc_registry):
+        with pytest.raises(ValidationError, match="voters"):
+            stratified_balanced_sample(
+                fl_registry, nc_registry, np.random.default_rng(3), scale=1.0
+            )
+
+    def test_odd_group_size_requires_state_split(self, fl_registry, nc_registry):
+        with pytest.raises(ValidationError):
+            stratified_balanced_sample(
+                fl_registry,
+                nc_registry,
+                np.random.default_rng(4),
+                group_sizes={bucket: 1 for bucket in AgeBucket},
+            )
