@@ -8,8 +8,18 @@ when changing the auction, the EAR featurisation, or the pacing loop.
 import numpy as np
 import pytest
 
+from repro.geo import MobilityModel
 from repro.images.features import ImageFeatures
-from repro.platform.auction import run_auction
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AudienceStore,
+    CompetitionModel,
+    DeliveryEngine,
+    Objective,
+    TargetingSpec,
+)
+from repro.platform.auction import run_auction, run_auctions_batch
 from repro.platform.cells import N_GT_CELLS, N_OBSERVED_CELLS
 from repro.platform.pacing import PacingController
 
@@ -28,6 +38,17 @@ def test_perf_auction(benchmark, candidate_values):
     assert outcome.winning_value >= 0.001
 
 
+def test_perf_auction_batch(benchmark):
+    """One chunk of 4096 slot auctions over 20 candidate ads."""
+    rng = np.random.default_rng(1)
+    values = rng.uniform(0.001, 0.03, size=(20, 4096))
+    values[rng.random(values.shape) < 0.2] = float("-inf")
+    bids = rng.uniform(0.005, 0.02, size=4096)
+    batch = benchmark(run_auctions_batch, values, bids)
+    assert batch.n_slots == 4096
+    assert (batch.prices >= 0).all()
+
+
 def test_perf_ear_score_vector(benchmark, world):
     """EAR scoring of one creative over all observed cells."""
     image = ImageFeatures(race_score=0.7, gender_score=0.3, age_years=35.0)
@@ -40,6 +61,69 @@ def test_perf_engagement_vector(benchmark, world):
     image = ImageFeatures(race_score=0.7, gender_score=0.3, age_years=35.0)
     probabilities = benchmark(world.engagement.probability_vector, image, None)
     assert probabilities.shape == (N_GT_CELLS,)
+
+
+@pytest.fixture(scope="module")
+def delivery_day(world):
+    """An engine factory for one full paper-scale delivery day.
+
+    Eight paired ads (four Black-implied, four white-implied portraits)
+    over a broad custom audience — the shape of one Campaign-1 batch.
+    """
+    store = AudienceStore(world.universe)
+    users = world.universe.users[: min(20_000, len(world.universe.users))]
+    audience = store.create_from_hashes("bench-all", [u.pii_hash for u in users])
+    account = AdAccount(account_id="bench-delivery")
+    campaign = account.create_campaign("c", Objective.TRAFFIC)
+    ads = []
+    for i in range(8):
+        targeting = TargetingSpec(custom_audience_ids=(audience.audience_id,))
+        adset = account.create_adset(campaign, f"as{i}", 300, targeting)
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=0.9 if i % 2 else 0.1, gender_score=0.5, age_years=30.0
+            ),
+        )
+        ad = account.create_ad(adset, f"ad{i}", creative)
+        ad.review_status = "APPROVED"
+        ads.append(ad)
+
+    def make_engine(mode: str) -> DeliveryEngine:
+        return DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(51)),
+            mobility=MobilityModel(np.random.default_rng(52)),
+            rng=np.random.default_rng(53),
+            mode=mode,
+        )
+
+    return ads, make_engine
+
+
+def test_perf_delivery_day_vectorized(benchmark, delivery_day):
+    """One full 24-hour delivery day, chunked batch engine."""
+    ads, make_engine = delivery_day
+    engine = make_engine("vectorized")
+    result = benchmark.pedantic(engine.run, args=(ads,), rounds=3, iterations=1)
+    assert result.insights.total_impressions() > 0
+    assert result.total_slots > 0
+
+
+def test_perf_delivery_day_reference(benchmark, delivery_day):
+    """The same delivery day on the per-slot reference loop (the baseline
+    the vectorized engine is measured against; see scripts/bench_delivery.py)."""
+    ads, make_engine = delivery_day
+    engine = make_engine("reference")
+    result = benchmark.pedantic(engine.run, args=(ads,), rounds=1, iterations=1)
+    assert result.insights.total_impressions() > 0
+    assert result.total_slots > 0
 
 
 def test_perf_pacing_control(benchmark):

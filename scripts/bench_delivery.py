@@ -1,0 +1,167 @@
+"""Benchmark the delivery engine: vectorized vs reference, seed-world scale.
+
+Runs one full 24-hour delivery day (eight paired ads over a broad custom
+audience, the shape of one Campaign-1 batch) in both engine modes on the
+paper-scale world, and appends one JSON record per mode to
+``BENCH_delivery.json`` at the repo root, so speedups are tracked across
+commits:
+
+    PYTHONPATH=src python scripts/bench_delivery.py
+
+Each record carries the median wall time over ``--rounds`` runs, the slot
+throughput, and the world scale.  The vectorized engine is expected to be
+at least 10x faster than the reference loop (asserted unless
+``--no-check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.world import SimulatedWorld, WorldConfig
+from repro.geo import MobilityModel
+from repro.images import ImageFeatures
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AudienceStore,
+    CompetitionModel,
+    DeliveryEngine,
+    Objective,
+    TargetingSpec,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_delivery.json"
+BENCH_SEED = 7
+
+
+def build_day(world: SimulatedWorld):
+    """The benchmark workload: 8 paired ads over a 20k-user audience."""
+    store = AudienceStore(world.universe)
+    users = world.universe.users[: min(20_000, len(world.universe.users))]
+    audience = store.create_from_hashes("bench-all", [u.pii_hash for u in users])
+    account = AdAccount(account_id="bench-delivery")
+    campaign = account.create_campaign("c", Objective.TRAFFIC)
+    ads = []
+    for i in range(8):
+        targeting = TargetingSpec(custom_audience_ids=(audience.audience_id,))
+        adset = account.create_adset(campaign, f"as{i}", 300, targeting)
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=0.9 if i % 2 else 0.1, gender_score=0.5, age_years=30.0
+            ),
+        )
+        ad = account.create_ad(adset, f"ad{i}", creative)
+        ad.review_status = "APPROVED"
+        ads.append(ad)
+
+    def make_engine(mode: str) -> DeliveryEngine:
+        return DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(51)),
+            mobility=MobilityModel(np.random.default_rng(52)),
+            rng=np.random.default_rng(53),
+            mode=mode,
+        )
+
+    return ads, make_engine
+
+
+def bench_mode(mode: str, ads, make_engine, rounds: int) -> dict:
+    """Median wall time of one delivery day in ``mode`` over ``rounds``."""
+    times = []
+    slots = 0
+    impressions = 0
+    for _ in range(rounds):
+        engine = make_engine(mode)
+        start = time.perf_counter()
+        result = engine.run(ads)
+        times.append(time.perf_counter() - start)
+        slots = result.total_slots
+        impressions = result.insights.total_impressions()
+    median_s = statistics.median(times)
+    return {
+        "mode": mode,
+        "median_ms": round(median_s * 1000.0, 2),
+        "slots": slots,
+        "slots_per_sec": round(slots / median_s, 1),
+        "impressions": impressions,
+        "rounds": rounds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--rounds", type=int, default=3, help="runs per mode (median)")
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument(
+        "--small", action="store_true", help="use the small test world (quick check)"
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="skip the >=10x speedup assertion"
+    )
+    args = parser.parse_args(argv)
+
+    config = WorldConfig.small(args.seed) if args.small else WorldConfig.paper(args.seed)
+    print(f"building world (registry {config.registry_size}) ...", flush=True)
+    world = SimulatedWorld(config)
+    ads, make_engine = build_day(world)
+
+    records = []
+    for mode in ("reference", "vectorized"):
+        # Reference is the slow baseline: one round is plenty.
+        rounds = 1 if mode == "reference" else args.rounds
+        record = bench_mode(mode, ads, make_engine, rounds)
+        record.update(
+            {
+                "world": "small" if args.small else "paper",
+                "seed": args.seed,
+                "n_users": len(world.universe.users),
+                "n_ads": len(ads),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            }
+        )
+        records.append(record)
+        print(
+            f"{mode:>10}: {record['median_ms']:.1f} ms "
+            f"({record['slots_per_sec']:.0f} slots/s, "
+            f"{record['impressions']} impressions)",
+            flush=True,
+        )
+
+    reference_ms = records[0]["median_ms"]
+    vectorized_ms = records[1]["median_ms"]
+    speedup = reference_ms / vectorized_ms
+    print(f"speedup: {speedup:.1f}x")
+    for record in records:
+        record["speedup_vs_reference"] = round(reference_ms / record["median_ms"], 2)
+
+    existing = []
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    existing.extend(records)
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    print(f"appended {len(records)} records to {OUT_PATH}")
+
+    if not args.no_check and speedup < 10.0:
+        print("FAIL: vectorized engine is less than 10x the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

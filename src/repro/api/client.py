@@ -215,13 +215,23 @@ class MarketingApiClient:
 
     # -- delivery & reporting --------------------------------------------------
 
-    def deliver_day(self, account_id: str, ad_ids: list[str], *, hours: int = 24) -> dict[str, Any]:
-        """Run one delivery day for the listed ads."""
-        return self.call(
-            HttpMethod.POST,
-            f"/act_{account_id}/deliver",
-            {"ad_ids": ad_ids, "hours": hours},
-        )
+    def deliver_day(
+        self,
+        account_id: str,
+        ad_ids: list[str],
+        *,
+        hours: int = 24,
+        mode: str | None = None,
+    ) -> dict[str, Any]:
+        """Run one delivery day for the listed ads.
+
+        ``mode`` overrides the server's default delivery engine mode
+        ("vectorized" or "reference") for this request only.
+        """
+        params: dict[str, Any] = {"ad_ids": ad_ids, "hours": hours}
+        if mode is not None:
+            params["mode"] = mode
+        return self.call(HttpMethod.POST, f"/act_{account_id}/deliver", params)
 
     def get_insights(self, ad_id: str) -> dict[str, Any]:
         """Totals: impressions, reach, clicks, spend."""

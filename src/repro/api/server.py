@@ -80,6 +80,10 @@ class MarketingApiServer:
         Optional token bucket; ``None`` disables throttling.
     clock:
         Seconds clock used by the rate limiter.
+    delivery_mode:
+        Default :class:`~repro.platform.delivery.DeliveryEngine` mode for
+        delivery requests ("vectorized" or "reference"); a request may
+        override it with a ``mode`` parameter.
     """
 
     def __init__(
@@ -96,6 +100,7 @@ class MarketingApiServer:
         clock: Callable[[], float] | None = None,
         advertiser_bid: float = 0.30,
         value_noise_sigma: float = 0.5,
+        delivery_mode: str = "vectorized",
     ) -> None:
         self._universe = universe
         self._audiences = AudienceStore(universe)
@@ -110,6 +115,7 @@ class MarketingApiServer:
         self._bucket = rate_limit
         self._advertiser_bid = advertiser_bid
         self._value_noise_sigma = value_noise_sigma
+        self._delivery_mode = delivery_mode
         self._last_delivery: dict[str, DeliveryResult] = {}
         self._insights_by_ad: dict[str, AdInsights] = {}
         # staged uploads: audience id -> (name, accumulated hashes); an
@@ -428,6 +434,7 @@ class MarketingApiServer:
             advertiser_bid=self._advertiser_bid,
             hours=int(params.get("hours", 24)),
             value_noise_sigma=self._value_noise_sigma,
+            mode=str(params.get("mode", self._delivery_mode)),
         )
         result = engine.run(ads)
         self._last_delivery[account.account_id] = result

@@ -61,6 +61,9 @@ class WorldConfig:
     advertiser_bid: float = 0.30
     sessions_per_day: float = 3.0
     value_noise_sigma: float = 0.9
+    #: Delivery inner loop: "vectorized" (chunked batch auctions, the
+    #: default) or "reference" (the original per-slot scalar loop).
+    delivery_mode: str = "vectorized"
     engagement_params: EngagementParams = field(default_factory=EngagementParams)
     competition_base_price: float = 0.011
     access_token: str = "EAAB-test-token"
@@ -72,12 +75,20 @@ class WorldConfig:
             raise ConfigurationError("sample_scale must be in (0, 1]")
         if self.ear_mode not in ("learned", "constant", "oracle"):
             raise ConfigurationError(f"unknown ear_mode {self.ear_mode!r}")
+        if self.delivery_mode not in ("vectorized", "reference"):
+            raise ConfigurationError(f"unknown delivery_mode {self.delivery_mode!r}")
 
     @staticmethod
     def small(seed: int = 7) -> "WorldConfig":
-        """A fast world for unit tests (seconds, not minutes)."""
+        """A fast world for unit tests (seconds, not minutes).
+
+        30k training events keep the learned EAR's weaker interaction
+        effects (e.g. child-image × female) reliably above its own
+        estimation noise across seeds; the batched log collector makes
+        this no slower than the old 8k-event scalar build.
+        """
         return WorldConfig(
-            seed=seed, registry_size=6_000, sample_scale=0.004, ear_events=8_000
+            seed=seed, registry_size=6_000, sample_scale=0.004, ear_events=30_000
         )
 
     @staticmethod
@@ -131,6 +142,7 @@ class SimulatedWorld:
             access_tokens={config.access_token},
             advertiser_bid=config.advertiser_bid,
             value_noise_sigma=config.value_noise_sigma,
+            delivery_mode=config.delivery_mode,
         )
         self._accounts: dict[str, AdAccount] = {}
 

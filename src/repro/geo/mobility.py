@@ -20,10 +20,34 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.geo.regions import DMA_BY_STATE
+from repro.geo.regions import ALL_DMAS, DMA_BY_STATE, DMA_CODES
 from repro.types import State
 
 __all__ = ["ImpressionLocation", "MobilityModel"]
+
+#: Per-DMA-code tables backing the batched attribution path.
+_STATE_ORDER = [State.FL, State.NC, State.OTHER]
+_STATE_POS = {state: i for i, state in enumerate(_STATE_ORDER)}
+_STATE_OF_DMA = np.array([_STATE_POS[state] for state, _ in ALL_DMAS], dtype=np.intp)
+_OTHER_STATE_CODE = _STATE_POS[State.OTHER]
+_OTHER_DMA_CODE = DMA_CODES[(State.OTHER, "Other")]
+
+#: Codes of each state's DMAs, padded to rectangular for fancy indexing.
+_N_STATE_DMAS = np.array([len(DMA_BY_STATE[s]) for s in _STATE_ORDER], dtype=np.intp)
+_STATE_DMA_TABLE = np.zeros((len(_STATE_ORDER), int(_N_STATE_DMAS.max())), dtype=np.intp)
+for _s, _state in enumerate(_STATE_ORDER):
+    for _d, _dma in enumerate(DMA_BY_STATE[_state]):
+        _STATE_DMA_TABLE[_s, _d] = DMA_CODES[(_state, _dma)]
+
+#: For each home DMA code, the codes of the *other* DMAs in its state.
+_N_ALT_DMAS = np.array(
+    [len(DMA_BY_STATE[state]) - 1 for state, _ in ALL_DMAS], dtype=np.intp
+)
+_ALT_DMA_TABLE = np.zeros((len(ALL_DMAS), max(int(_N_ALT_DMAS.max()), 1)), dtype=np.intp)
+for _code, (_state, _dma) in enumerate(ALL_DMAS):
+    _alts = [DMA_CODES[(_state, d)] for d in DMA_BY_STATE[_state] if d != _dma]
+    for _a, _alt in enumerate(_alts):
+        _ALT_DMA_TABLE[_code, _a] = _alt
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +108,48 @@ class MobilityModel:
                 )
         return ImpressionLocation(state=home_state, dma=home_dma)
 
+    def locate_batch(self, home_dma_codes: np.ndarray) -> np.ndarray:
+        """Attribute a batch of impressions, one home DMA code per row.
+
+        Codes index :data:`repro.geo.regions.ALL_DMAS` (a DMA code pins
+        down its state, so one integer is the whole attribution).  The
+        same three-regime distribution as :meth:`locate`, resolved with
+        array draws; the returned array holds the attributed DMA codes.
+        """
+        codes = np.asarray(home_dma_codes, dtype=np.intp)
+        n = codes.shape[0]
+        if n == 0:
+            return codes.copy()
+        u = self._rng.random((4, n))
+        home_state = _STATE_OF_DMA[codes]
+        out_of_state = u[0] < self._out_of_state
+        study_home = home_state != _OTHER_STATE_CODE
+        cross_study = out_of_state & study_home & (u[1] < 0.12)
+        elsewhere = out_of_state & ~cross_study
+        dma_swap = ~out_of_state & (u[2] < self._out_of_dma) & (_N_ALT_DMAS[codes] > 0)
+
+        result = codes.copy()
+        result[elsewhere] = _OTHER_DMA_CODE
+        if cross_study.any():
+            other_state = 1 - home_state[cross_study]  # FL <-> NC
+            pick = np.minimum(
+                (u[3][cross_study] * _N_STATE_DMAS[other_state]).astype(np.intp),
+                _N_STATE_DMAS[other_state] - 1,
+            )
+            result[cross_study] = _STATE_DMA_TABLE[other_state, pick]
+        if dma_swap.any():
+            home = codes[dma_swap]
+            pick = np.minimum(
+                (u[3][dma_swap] * _N_ALT_DMAS[home]).astype(np.intp),
+                _N_ALT_DMAS[home] - 1,
+            )
+            result[dma_swap] = _ALT_DMA_TABLE[home, pick]
+        return result
+
     def locate_many(self, home_state: State, home_dma: str, n: int) -> list[ImpressionLocation]:
         """Vector version of :meth:`locate` for ``n`` impressions."""
-        return [self.locate(home_state, home_dma) for _ in range(n)]
+        homes = np.full(n, DMA_CODES[(home_state, home_dma)], dtype=np.intp)
+        return [
+            ImpressionLocation(state=ALL_DMAS[code][0], dma=ALL_DMAS[code][1])
+            for code in self.locate_batch(homes)
+        ]

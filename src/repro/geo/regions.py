@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.types import State
 
-__all__ = ["ZipCodeInfo", "ZipAllocator", "DMA_BY_STATE"]
+__all__ = ["ZipCodeInfo", "ZipAllocator", "ALL_DMAS", "DMA_BY_STATE", "DMA_CODES"]
 
 #: Designated Market Areas per state.  Prior work (Ali et al.) targeted by
 #: DMA and saw >10% of impressions leak outside the DMA; the paper's
@@ -27,6 +27,18 @@ DMA_BY_STATE: dict[State, list[str]] = {
     State.NC: ["Charlotte", "Raleigh-Durham", "Greensboro", "Greenville-Spartanburg"],
     State.OTHER: ["Other"],
 }
+
+#: Flat (state, dma) code space shared by the batched mobility / insights
+#: paths: an impression's region is one small integer, decoded back to
+#: enums only when aggregate counters are materialised.
+ALL_DMAS: list[tuple[State, str]] = [
+    (state, dma)
+    for state in (State.FL, State.NC, State.OTHER)
+    for dma in DMA_BY_STATE[state]
+]
+
+#: Inverse of :data:`ALL_DMAS`.
+DMA_CODES: dict[tuple[State, str], int] = {pair: i for i, pair in enumerate(ALL_DMAS)}
 
 
 @dataclass(frozen=True, slots=True)

@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.types import AGE_BAND_MIDPOINTS, AgeBand, Gender, Race
 
-__all__ = ["ImageFeatures", "NUISANCE_FIELDS", "IMPLIED_FIELDS"]
+__all__ = ["ImageBatch", "ImageFeatures", "NUISANCE_FIELDS", "IMPLIED_FIELDS"]
 
 #: Feature channels that encode the demographics implied by the face.
 IMPLIED_FIELDS: tuple[str, ...] = ("race_score", "gender_score", "age_years")
@@ -123,4 +123,50 @@ class ImageFeatures:
         return min(
             AGE_BAND_MIDPOINTS,
             key=lambda band: abs(AGE_BAND_MIDPOINTS[band] - self.age_years),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ImageBatch:
+    """Column-wise view of many images' *scoring* channels.
+
+    The engagement and EAR models only read four channels (race score,
+    gender score, apparent age, smile); batching them as parallel arrays
+    lets those models score thousands of (user, image) pairs without
+    building one :class:`ImageFeatures` object per pair.  Rows of the
+    arrays correspond to events, not unique images.
+    """
+
+    race_score: np.ndarray
+    gender_score: np.ndarray
+    age_years: np.ndarray
+    smile: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.race_score.shape[0]
+        for name in ("gender_score", "age_years", "smile"):
+            if getattr(self, name).shape != (n,):
+                raise ValidationError(f"{name} misaligned with race_score")
+
+    def __len__(self) -> int:
+        return int(self.race_score.shape[0])
+
+    @staticmethod
+    def from_images(images: "list[ImageFeatures] | tuple[ImageFeatures, ...]") -> "ImageBatch":
+        """Gather the scoring channels of a sequence of images."""
+        return ImageBatch(
+            race_score=np.array([im.race_score for im in images], dtype=float),
+            gender_score=np.array([im.gender_score for im in images], dtype=float),
+            age_years=np.array([im.age_years for im in images], dtype=float),
+            smile=np.array([im.smile for im in images], dtype=float),
+        )
+
+    @staticmethod
+    def broadcast(image: "ImageFeatures", n: int) -> "ImageBatch":
+        """One image repeated across ``n`` rows."""
+        return ImageBatch(
+            race_score=np.full(n, image.race_score),
+            gender_score=np.full(n, image.gender_score),
+            age_years=np.full(n, image.age_years),
+            smile=np.full(n, image.smile),
         )

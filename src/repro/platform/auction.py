@@ -9,6 +9,15 @@ The winner is the highest total value — against the other study ads *and*
 the background market's best bid — and pays a second-price amount: the
 larger of the runner-up total value and the competing market bid, capped
 at its own total value.
+
+Two entry points share one resolution code path:
+
+* :func:`run_auctions_batch` resolves a whole *chunk* of slots at once
+  from an ``(n_ads, n_slots)`` value matrix — the vectorized delivery
+  engine's hot path;
+* :func:`run_auction` resolves a single slot; it is a thin wrapper that
+  feeds a one-column matrix through the batch resolver, so the two can
+  never drift apart.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ import numpy as np
 
 from repro.errors import DeliveryError
 
-__all__ = ["AuctionOutcome", "run_auction"]
+__all__ = ["AuctionOutcome", "BatchAuctionOutcome", "run_auction", "run_auctions_batch"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,6 +43,86 @@ class AuctionOutcome:
     winner_index: int | None
     price: float
     winning_value: float
+
+
+@dataclass(frozen=True, slots=True)
+class BatchAuctionOutcome:
+    """Results of a chunk of slot auctions.
+
+    ``winner_indices`` holds, per slot, the winning ad's row index into
+    the value matrix, or ``-1`` when the background market won the slot.
+    ``prices`` is zero wherever the market won.  ``winning_values`` is the
+    best study-ad total value per slot regardless of who won (``-inf``
+    when every study ad was ineligible).
+    """
+
+    winner_indices: np.ndarray
+    prices: np.ndarray
+    winning_values: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots resolved."""
+        return int(self.winner_indices.shape[0])
+
+
+def run_auctions_batch(
+    total_values: np.ndarray, competing_bids: np.ndarray
+) -> BatchAuctionOutcome:
+    """Resolve a chunk of slot auctions from a value matrix.
+
+    Parameters
+    ----------
+    total_values:
+        ``(n_ads, n_slots)`` total value of every study ad for every slot;
+        entries of ``-inf`` mark (ad, slot) pairs that cannot bid (budget
+        exhausted or ineligible targeting).
+    competing_bids:
+        ``(n_slots,)`` best background-market bid per slot.
+
+    Each column is an independent second-price auction: the study ad with
+    the highest finite value wins if it beats the market bid, and pays
+    ``min(max(runner_up, market), winning_value)``.  A non-finite
+    runner-up (fewer than two biddable ads) contributes ``0.0``, matching
+    the single-candidate convention of the scalar auction.
+
+    Raises
+    ------
+    DeliveryError
+        If the matrix has no ads, or any competing bid is negative.
+    """
+    values = np.asarray(total_values, dtype=float)
+    if values.ndim != 2 or values.shape[0] == 0:
+        raise DeliveryError("auction with no candidates")
+    bids = np.asarray(competing_bids, dtype=float)
+    if bids.shape != (values.shape[1],):
+        raise DeliveryError(
+            f"competing bids shape {bids.shape} does not match {values.shape[1]} slots"
+        )
+    if values.shape[1] == 0:
+        empty = np.empty(0)
+        return BatchAuctionOutcome(
+            winner_indices=np.empty(0, dtype=np.intp), prices=empty, winning_values=empty
+        )
+    if np.any(bids < 0):
+        raise DeliveryError("competing bid cannot be negative")
+
+    n_ads, n_slots = values.shape
+    winners = np.argmax(values, axis=0)
+    cols = np.arange(n_slots)
+    winning = values[winners, cols]
+    if n_ads > 1:
+        runner_up = np.partition(values, n_ads - 2, axis=0)[n_ads - 2]
+        runner_up = np.where(np.isfinite(runner_up), runner_up, 0.0)
+    else:
+        runner_up = np.zeros(n_slots)
+    won = np.isfinite(winning) & (winning > bids)
+    prices = np.where(won, np.minimum(np.maximum(runner_up, bids), winning), 0.0)
+    return BatchAuctionOutcome(
+        winner_indices=np.where(won, winners, -1).astype(np.intp),
+        prices=prices,
+        winning_values=winning,
+    )
 
 
 def run_auction(total_values: np.ndarray, competing_bid: float) -> AuctionOutcome:
@@ -52,19 +141,13 @@ def run_auction(total_values: np.ndarray, competing_bid: float) -> AuctionOutcom
     DeliveryError
         If ``total_values`` is empty or ``competing_bid`` is negative.
     """
-    if total_values.size == 0:
+    values = np.asarray(total_values, dtype=float)
+    if values.size == 0:
         raise DeliveryError("auction with no candidates")
-    if competing_bid < 0:
-        raise DeliveryError("competing bid cannot be negative")
-    winner = int(np.argmax(total_values))
-    winning_value = float(total_values[winner])
-    if not np.isfinite(winning_value) or winning_value <= competing_bid:
-        return AuctionOutcome(winner_index=None, price=0.0, winning_value=winning_value)
-    if total_values.size > 1:
-        runner_up = float(np.partition(total_values, -2)[-2])
-        if not np.isfinite(runner_up):
-            runner_up = 0.0
-    else:
-        runner_up = 0.0
-    price = min(max(runner_up, competing_bid), winning_value)
-    return AuctionOutcome(winner_index=winner, price=price, winning_value=winning_value)
+    batch = run_auctions_batch(values.reshape(-1, 1), np.array([competing_bid]))
+    winner = int(batch.winner_indices[0])
+    return AuctionOutcome(
+        winner_index=None if winner < 0 else winner,
+        price=float(batch.prices[0]),
+        winning_value=float(batch.winning_values[0]),
+    )

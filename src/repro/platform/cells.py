@@ -21,6 +21,8 @@ from repro.population.user import InterestCluster, PlatformUser
 from repro.types import AgeBucket, Gender, Race
 
 __all__ = [
+    "AGE_GENDER_PAIRS",
+    "CELLS_PER_AGE_GENDER",
     "GT_CELLS",
     "OBSERVED_CELLS",
     "gt_cell_index",
@@ -55,6 +57,15 @@ OBSERVED_CELLS: list[tuple[AgeBucket, Gender, InterestCluster, bool]] = [
 
 N_GT_CELLS = len(GT_CELLS)
 N_OBSERVED_CELLS = len(OBSERVED_CELLS)
+
+#: The reporting breakdown cells (age bucket × gender), in the order the
+#: observed-cell index enumerates them: because OBSERVED_CELLS iterates
+#: bucket, then gender, then cluster, then poverty, an observed cell's
+#: age-gender pair is simply ``observed_cell // CELLS_PER_AGE_GENDER``.
+AGE_GENDER_PAIRS: list[tuple[AgeBucket, Gender]] = [
+    (bucket, gender) for bucket in _BUCKETS for gender in _GENDERS
+]
+CELLS_PER_AGE_GENDER = len(_CLUSTERS) * len(_POVERTY)
 
 _GT_INDEX = {cell: i for i, cell in enumerate(GT_CELLS)}
 _OBSERVED_INDEX = {cell: i for i, cell in enumerate(OBSERVED_CELLS)}

@@ -13,6 +13,29 @@ model, matching how the audited platform behaves within one campaign).
 Scoring is vectorised over user cells: an ad's total value depends on the
 user only through the observed cell, so each control interval rebuilds a
 small (n_ads × 24) value matrix.
+
+Two engine modes share all setup and differ only in the inner loop:
+
+* ``mode="vectorized"`` (default) resolves slots in *chunks*: per chunk
+  it gathers an ``(n_ads, n_slots_in_chunk)`` total-value matrix by fancy
+  indexing the per-cell values, applies value noise as one matrix draw
+  and the repeat-affinity boost from a dense seen matrix, and settles
+  every auction with :func:`repro.platform.auction.run_auctions_batch`.
+  Budget exhaustion is the only cross-slot dependency, so chunks are
+  sized adaptively from each ad's remaining budget ÷ its current maximum
+  price; if noise pushes an ad over budget mid-chunk anyway, the chunk is
+  truncated at the first over-budget win and the tail is reprocessed with
+  the updated alive mask — an ad can therefore exhaust at most once per
+  committed chunk, and spend never exceeds budget.
+* ``mode="reference"`` keeps the original one-Python-auction-per-slot
+  loop and its exact RNG stream, as a behavioural oracle for equivalence
+  tests.
+
+The two modes draw different random-number *streams* (a chunk consumes
+one matrix-shaped draw where the reference loop consumes one vector per
+slot), so individual runs differ slot-by-slot; aggregate delivery
+statistics agree within sampling error (asserted by
+``tests/platform/test_delivery_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -23,15 +46,11 @@ import numpy as np
 
 from repro.errors import DeliveryError
 from repro.geo.mobility import MobilityModel
+from repro.geo.regions import DMA_CODES
 from repro.platform.audience import AudienceStore
-from repro.platform.auction import run_auction
+from repro.platform.auction import run_auction, run_auctions_batch
 from repro.platform.campaign import Ad, AdAccount
-from repro.platform.cells import (
-    N_GT_CELLS,
-    N_OBSERVED_CELLS,
-    gt_cell_index,
-    observed_cell_index,
-)
+from repro.platform.cells import CELLS_PER_AGE_GENDER
 from repro.platform.competition import CompetitionModel
 from repro.platform.ear import EarModel
 from repro.platform.engagement import EngagementModel
@@ -43,6 +62,12 @@ from repro.population.activity import DIURNAL_WEIGHTS, diurnal_weight
 from repro.population.universe import UserUniverse
 
 __all__ = ["DeliveryEngine", "DeliveryResult"]
+
+#: Chunk-size clamp for the vectorized engine.  The lower bound keeps the
+#: per-chunk numpy overhead amortised even when an ad is near exhaustion;
+#: the upper bound caps transient memory at (n_ads × 4096) doubles.
+_MIN_CHUNK = 256
+_MAX_CHUNK = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +121,11 @@ class DeliveryEngine:
         have a revealed-interest signal), which is why reported reach is
         well below impressions — the paper's Campaign 1 averaged ~1.5
         impressions per reached user.  Set to 1.0 to disable.
+    mode:
+        ``"vectorized"`` (default) settles slots in batched chunks;
+        ``"reference"`` runs the original per-slot Python loop.  The two
+        agree statistically but consume different RNG streams (see the
+        module docstring).
     """
 
     def __init__(
@@ -114,6 +144,7 @@ class DeliveryEngine:
         hours: int = 24,
         value_noise_sigma: float = 0.5,
         repeat_affinity: float = 2.5,
+        mode: str = "vectorized",
     ) -> None:
         if advertiser_bid <= 0:
             raise DeliveryError("advertiser_bid must be positive")
@@ -123,6 +154,8 @@ class DeliveryEngine:
             raise DeliveryError("value_noise_sigma must be non-negative")
         if repeat_affinity < 1.0:
             raise DeliveryError("repeat_affinity must be at least 1.0")
+        if mode not in ("vectorized", "reference"):
+            raise DeliveryError(f"unknown delivery mode {mode!r}")
         self._universe = universe
         self._audiences = audience_store
         self._account = account
@@ -136,41 +169,41 @@ class DeliveryEngine:
         self._hours = hours
         self._noise_sigma = value_noise_sigma
         self._repeat_affinity = repeat_affinity
+        self._mode = mode
 
-    def run(self, ads: list[Ad]) -> DeliveryResult:
-        """Deliver ``ads`` for one day and return the insights.
+    @property
+    def mode(self) -> str:
+        """Which inner loop this engine runs ("vectorized" or "reference")."""
+        return self._mode
 
-        Raises
-        ------
-        DeliveryError
-            If no ad is approved for delivery.
-        """
+    # -- shared setup -----------------------------------------------------
+
+    def _setup(self, ads: list[Ad]):
+        """Static per-ad structures shared by both engine modes."""
         deliverable = [ad for ad in ads if ad.is_deliverable()]
         if not deliverable:
             raise DeliveryError("no approved ads to deliver")
         n_ads = len(deliverable)
-        users = self._universe.users
-        n_users = len(users)
+        n_users = len(self._universe.users)
 
-        # --- static per-ad structures -----------------------------------
         # The pacing plan follows the diurnal traffic curve over a full
         # day; shorter test horizons keep the uniform plan.
         plan = list(DIURNAL_WEIGHTS) if self._hours == 24 else None
         pacing = PacingController(horizon_hours=float(self._hours), plan_weights=plan)
-        ear_matrix = np.empty((n_ads, N_OBSERVED_CELLS))
-        gt_matrix = np.empty((n_ads, N_GT_CELLS))
         quality_vec = np.empty(n_ads)
         members_map = self._audiences.members_map()
         eligibility = np.zeros((n_ads, n_users), dtype=bool)
+        ear_rows = []
+        gt_rows = []
         for i, ad in enumerate(deliverable):
             adset = self._account.adset_of(ad)
             image = ad.creative.effective_image()
             job = ad.creative.job_category()
             objective = self._account.campaign_of(ad).objective
-            ear_matrix[i] = objective_scores(
-                self._ear.score_vector(image, job), objective
+            ear_rows.append(
+                objective_scores(self._ear.score_vector(image, job), objective)
             )
-            gt_matrix[i] = self._engagement.probability_vector(image, job)
+            gt_rows.append(self._engagement.probability_vector(image, job))
             quality_vec[i] = self._quality.score(ad.creative)
             # Start below equilibrium so early hours do not burn the budget
             # at inflated self-competition prices; the controller raises the
@@ -180,23 +213,54 @@ class DeliveryEngine:
             if not eligible:
                 raise DeliveryError(f"ad {ad.ad_id} targets an empty audience")
             eligibility[i, list(eligible)] = True
+        ear_matrix = np.array(ear_rows)
+        gt_matrix = np.array(gt_rows)
+        ad_ids = [ad.ad_id for ad in deliverable]
+        return deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
 
-        obs_cell = np.array([observed_cell_index(u) for u in users])
-        gt_cell = np.array([gt_cell_index(u) for u in users])
-        rates = np.array([u.activity_rate for u in users])
+    def run(self, ads: list[Ad]) -> DeliveryResult:
+        """Deliver ``ads`` for one day and return the insights.
+
+        Raises
+        ------
+        DeliveryError
+            If no ad is approved for delivery.
+        """
+        setup = self._setup(ads)
+        if self._mode == "reference":
+            result = self._run_reference(*setup)
+        else:
+            result = self._run_vectorized(*setup)
+        # Ads that never won still get an (empty) insights row, as the real
+        # reporting API would show zeros rather than a missing ad.
+        for ad in setup[0]:
+            result.insights.for_ad(ad.ad_id)
+        return result
+
+    # -- reference mode: one Python auction per slot ----------------------
+
+    def _run_reference(
+        self, deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
+    ) -> DeliveryResult:
+        users = self._universe.users
+        n_ads = len(deliverable)
+        obs_cell = self._universe.obs_cell_array
+        gt_cell = self._universe.gt_cell_array
+        rates = self._universe.activity_rates
 
         insights = InsightsStore()
         total_slots = 0
         market_wins = 0
-        alive = np.ones(n_ads, dtype=bool)
         neg_inf = float("-inf")
         # ads already shown per user (revealed-interest re-exposure boost)
         shown_to: dict[int, list[int]] = {}
 
         for hour in range(self._hours):
             pacing.control_all(float(hour))
-            multipliers = np.array([pacing.multiplier(ad.ad_id) for ad in deliverable])
-            alive = np.array([pacing.can_bid(ad.ad_id) for ad in deliverable])
+            multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
+            # Liveness is owned by the pacing controller; the loop below
+            # refreshes a winner's entry right after it is charged.
+            alive = pacing.alive_mask(ad_ids)
             if not alive.any():
                 break
             # total value per (ad, observed cell) at this hour's pacing
@@ -205,7 +269,7 @@ class DeliveryEngine:
             session_counts = self._rng.poisson(
                 rates * (diurnal_weight(hour % 24) / 24.0)
             )
-            slot_users = np.repeat(np.arange(n_users), session_counts)
+            slot_users = np.repeat(np.arange(len(users)), session_counts)
             self._rng.shuffle(slot_users)
             if slot_users.size == 0:
                 continue
@@ -236,8 +300,7 @@ class DeliveryEngine:
                 # the platform bills at most the remaining balance.
                 price = min(outcome.price, pacing.state(ad.ad_id).remaining)
                 pacing.record_spend(ad.ad_id, price)
-                if not pacing.can_bid(ad.ad_id):
-                    alive[winner] = False
+                alive[winner] = pacing.can_bid(ad.ad_id)
                 user = users[uid]
                 location = self._mobility.locate(user.home_state, user.home_dma)
                 clicked = self._rng.random() < gt_matrix[winner, gt_cell[uid]]
@@ -246,10 +309,167 @@ class DeliveryEngine:
                 )
                 shown_to.setdefault(uid, []).append(winner)
 
-        # Ads that never won still get an (empty) insights row, as the real
-        # reporting API would show zeros rather than a missing ad.
-        for ad in deliverable:
-            insights.for_ad(ad.ad_id)
+        return DeliveryResult(
+            insights=insights,
+            total_slots=total_slots,
+            market_wins=market_wins,
+            total_spend=insights.total_spend(),
+        )
+
+    # -- vectorized mode: chunked batch auctions --------------------------
+
+    def _chunk_limit(self, pacing, ad_ids, alive, values) -> int:
+        """Adaptive chunk size: no alive ad should exhaust more than once.
+
+        Sized from each alive ad's remaining budget ÷ its maximum possible
+        noise-free price, so a chunk rarely straddles an exhaustion; value
+        noise can still push an ad over early, which the truncate-and-
+        reprocess path in :meth:`_run_vectorized` handles exactly.
+        """
+        limit = _MAX_CHUNK
+        for i in np.flatnonzero(alive):
+            max_price = float(values[i].max()) * self._repeat_affinity
+            if max_price <= 0:
+                continue
+            remaining = pacing.state(ad_ids[i]).remaining
+            limit = min(limit, int(remaining / max_price) + 1)
+        return max(limit, _MIN_CHUNK)
+
+    def _run_vectorized(
+        self, deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
+    ) -> DeliveryResult:
+        users = self._universe.users
+        n_users = len(users)
+        obs_cell = self._universe.obs_cell_array
+        gt_cell = self._universe.gt_cell_array
+        rates = self._universe.activity_rates
+        home_dma_codes = np.array(
+            [DMA_CODES[(u.home_state, u.home_dma)] for u in users], dtype=np.intp
+        )
+        age_gender_codes = obs_cell // CELLS_PER_AGE_GENDER
+        n_ads = len(deliverable)
+
+        insights = InsightsStore()
+        total_slots = 0
+        market_wins = 0
+        neg_inf = float("-inf")
+        # Dense (ad, user) re-exposure matrix: the boost is binary (an ad
+        # seen once or thrice boosts the same), so bools suffice.
+        seen = np.zeros((n_ads, n_users), dtype=bool)
+
+        for hour in range(self._hours):
+            pacing.control_all(float(hour))
+            alive = pacing.alive_mask(ad_ids)
+            if not alive.any():
+                break
+            multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
+            values = (multipliers[:, None] * self._bid) * ear_matrix + quality_vec[:, None]
+
+            session_counts = self._rng.poisson(
+                rates * (diurnal_weight(hour % 24) / 24.0)
+            )
+            slot_users = np.repeat(np.arange(n_users), session_counts)
+            self._rng.shuffle(slot_users)
+            n_slots = int(slot_users.size)
+            if n_slots == 0:
+                continue
+            competing = self._competition.sample_many(obs_cell[slot_users])
+            total_slots += n_slots
+
+            # Committed wins of this hour, batched through clicks, mobility
+            # and insights once the hour is settled.
+            hour_uids: list[np.ndarray] = []
+            hour_ads: list[np.ndarray] = []
+            hour_prices: list[np.ndarray] = []
+
+            pos = 0
+            while pos < n_slots:
+                if not alive.any():
+                    # Every study ad is exhausted: the market takes the
+                    # rest of the hour's slots.
+                    market_wins += n_slots - pos
+                    break
+                end = min(pos + self._chunk_limit(pacing, ad_ids, alive, values), n_slots)
+                uids = slot_users[pos:end]
+                cand = values[:, obs_cell[uids]]
+                if self._noise_sigma > 0:
+                    cand = cand * np.exp(
+                        self._noise_sigma * self._rng.standard_normal(cand.shape)
+                    )
+                if self._repeat_affinity > 1.0:
+                    cand = np.where(seen[:, uids], cand * self._repeat_affinity, cand)
+                cand = np.where(
+                    eligibility[:, uids] & alive[:, None], cand, neg_inf
+                )
+                batch = run_auctions_batch(cand, competing[pos:end])
+
+                win_slots = np.flatnonzero(batch.winner_indices >= 0)
+                win_ads = batch.winner_indices[win_slots]
+                win_prices = batch.prices[win_slots]
+
+                # Find the earliest over-budget win, if any: spend is the
+                # only cross-slot dependency, so everything before it is
+                # exactly what the sequential engine would have committed.
+                cutoff = None  # (relative slot, ad index, capped price)
+                for a in np.unique(win_ads):
+                    of_ad = win_ads == a
+                    cum = np.cumsum(win_prices[of_ad])
+                    remaining = pacing.state(ad_ids[a]).remaining
+                    over = np.flatnonzero(cum >= remaining)
+                    if over.size:
+                        rel = int(win_slots[of_ad][over[0]])
+                        if cutoff is None or rel < cutoff[0]:
+                            spent_before = float(cum[over[0]]) - float(
+                                win_prices[of_ad][over[0]]
+                            )
+                            cutoff = (rel, int(a), remaining - spent_before)
+
+                if cutoff is None:
+                    committed = slice(None)
+                    next_pos = end
+                else:
+                    committed = win_slots <= cutoff[0]
+                    next_pos = pos + cutoff[0] + 1
+                c_slots = win_slots[committed]
+                c_ads = win_ads[committed]
+                c_prices = win_prices[committed].copy()
+                if cutoff is not None and c_slots.size:
+                    # The exhausting impression bills at most the balance.
+                    c_prices[-1] = min(c_prices[-1], cutoff[2])
+                c_uids = uids[c_slots]
+
+                for a in np.unique(c_ads):
+                    pacing.record_spend(ad_ids[a], float(c_prices[c_ads == a].sum()))
+                seen[c_ads, c_uids] = True
+                market_wins += int(next_pos - pos) - int(c_slots.size)
+                hour_uids.append(c_uids)
+                hour_ads.append(c_ads)
+                hour_prices.append(c_prices)
+                if cutoff is not None:
+                    alive = pacing.alive_mask(ad_ids)
+                pos = next_pos
+
+            if not hour_uids:
+                continue
+            w_uids = np.concatenate(hour_uids)
+            if w_uids.size == 0:
+                continue
+            w_ads = np.concatenate(hour_ads)
+            w_prices = np.concatenate(hour_prices)
+            clicked = self._rng.random(w_uids.size) < gt_matrix[w_ads, gt_cell[w_uids]]
+            dma_codes = self._mobility.locate_batch(home_dma_codes[w_uids])
+            for a in np.unique(w_ads):
+                of_ad = w_ads == a
+                insights.record_batch(
+                    ad_ids[a],
+                    w_uids[of_ad],
+                    age_gender_codes[w_uids[of_ad]],
+                    dma_codes[of_ad],
+                    w_prices[of_ad],
+                    clicked[of_ad],
+                    hour=hour,
+                )
+
         return DeliveryResult(
             insights=insights,
             total_slots=total_slots,

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.images.features import ImageFeatures
+from repro.images.features import ImageBatch, ImageFeatures
 from repro.platform.cells import OBSERVED_CELLS
 from repro.platform.engagement import EngagementModel
 from repro.images.composite import JOB_CATEGORIES
@@ -42,6 +42,7 @@ from repro.types import AgeBucket, Gender, bucket_midpoint
 __all__ = [
     "ear_feature_names",
     "ear_features",
+    "ear_features_matrix",
     "EngagementLogger",
     "EarModel",
     "OracleEar",
@@ -49,6 +50,16 @@ __all__ = [
 
 _BUCKETS = list(AgeBucket)
 _JOBS = list(JOB_CATEGORIES)
+_BUCKET_POS = {bucket: i for i, bucket in enumerate(_BUCKETS)}
+_JOB_POS = {job: i for i, job in enumerate(_JOBS)}
+_BUCKET_MIDPOINTS = np.array([bucket_midpoint(b) for b in _BUCKETS])
+
+#: OBSERVED_CELLS unpacked into parallel per-field sequences, so scoring a
+#: creative over every cell is one matrix build instead of 48 row builds.
+_OBS_BUCKETS = [cell[0] for cell in OBSERVED_CELLS]
+_OBS_GENDERS = [cell[1] for cell in OBSERVED_CELLS]
+_OBS_CLUSTERS = [cell[2] for cell in OBSERVED_CELLS]
+_OBS_POVERTY = np.array([cell[3] for cell in OBSERVED_CELLS])
 
 
 def ear_feature_names() -> list[str]:
@@ -148,6 +159,112 @@ def ear_features(
     return np.array(parts, dtype=float)
 
 
+def ear_features_matrix(
+    buckets,
+    genders,
+    clusters,
+    images: ImageBatch | ImageFeatures,
+    job_categories=None,
+    *,
+    high_poverty=False,
+) -> np.ndarray:
+    """Build the EAR design matrix for a batch of (user cell, creative) rows.
+
+    The batch counterpart of :func:`ear_features`: row ``i`` equals
+    ``ear_features(buckets[i], genders[i], clusters[i], ...)`` exactly
+    (pinned by a regression test), but the whole ``(n_rows, n_features)``
+    matrix is assembled with array ops instead of one Python list per row.
+    ``images`` may be a single creative (broadcast over the batch, the
+    serving-time shape) or an :class:`ImageBatch` (the training-log
+    shape); ``job_categories`` and ``high_poverty`` broadcast likewise.
+    """
+    if isinstance(buckets, AgeBucket):
+        raise ValidationError("buckets must be a sequence; use ear_features for one row")
+    n = len(buckets)
+    if isinstance(images, ImageFeatures):
+        images = ImageBatch.broadcast(images, n)
+    elif len(images) != n:
+        raise ValidationError("images misaligned with the batch")
+    if job_categories is None or isinstance(job_categories, str):
+        job_categories = [job_categories] * n
+    elif len(job_categories) != n:
+        raise ValidationError("job_categories misaligned with the batch")
+
+    rows = np.arange(n)
+    bucket_idx = np.array([_BUCKET_POS[b] for b in buckets], dtype=np.intp)
+    female = np.array([1.0 if g is Gender.FEMALE else 0.0 for g in genders])
+    if female.shape != (n,):
+        raise ValidationError("genders misaligned with the batch")
+    male = 1.0 - female
+    beta = np.array(
+        [1.0 if c is InterestCluster.BETA else 0.0 for c in clusters]
+    )
+    if beta.shape != (n,):
+        raise ValidationError("clusters misaligned with the batch")
+    poverty = np.broadcast_to(np.asarray(high_poverty, dtype=float), (n,))
+
+    age_norm = _BUCKET_MIDPOINTS[bucket_idx] / 80.0
+    img_age_norm = images.age_years / 80.0
+    child = np.clip((14.0 - images.age_years) / 7.0, 0.0, 1.0)
+    young = np.clip((images.age_years - 11.0) / 5.0, 0.0, 1.0)
+    young = young * np.clip((38.0 - images.age_years) / 16.0, 0.0, 1.0)
+    oldman = (1.0 - images.gender_score) * np.clip(
+        (images.age_years - 30.0) / 40.0, 0.0, 1.0
+    )
+
+    bucket_onehot = np.zeros((n, len(_BUCKETS)))
+    bucket_onehot[rows, bucket_idx] = 1.0
+    job_idx = np.array(
+        [-1 if job is None else _JOB_POS.get(job, -2) for job in job_categories],
+        dtype=np.intp,
+    )
+    if np.any(job_idx == -2):
+        bad = next(j for j in job_categories if j is not None and j not in _JOB_POS)
+        raise ValidationError(f"unknown job category {bad!r}")
+    job_onehot = np.zeros((n, len(_JOBS)))
+    with_job = job_idx >= 0
+    job_onehot[rows[with_job], job_idx[with_job]] = 1.0
+    portrait = 1.0 - with_job.astype(float)
+
+    n_buckets, n_jobs = len(_BUCKETS), len(_JOBS)
+    X = np.empty((n, 4 * n_buckets + 3 * n_jobs + 16))
+    col = 0
+    X[:, col : col + n_buckets] = bucket_onehot
+    col += n_buckets
+    X[:, col] = female
+    X[:, col + 1] = beta
+    X[:, col + 2] = poverty
+    X[:, col + 3] = images.race_score
+    X[:, col + 4] = images.gender_score
+    X[:, col + 5] = img_age_norm
+    X[:, col + 6] = img_age_norm**2
+    X[:, col + 7] = images.smile
+    X[:, col + 8] = child
+    X[:, col + 9] = young
+    col += 10
+    X[:, col : col + n_jobs] = job_onehot
+    col += n_jobs
+    X[:, col] = portrait
+    X[:, col + 1] = beta * images.race_score
+    X[:, col + 2] = poverty * images.race_score
+    X[:, col + 3] = female * images.gender_score
+    X[:, col + 4] = np.abs(age_norm - img_age_norm)
+    X[:, col + 5] = male * oldman
+    col += 6
+    X[:, col : col + n_buckets] = (child * female)[:, None] * bucket_onehot
+    col += n_buckets
+    X[:, col : col + n_buckets] = (child * male)[:, None] * bucket_onehot
+    col += n_buckets
+    X[:, col : col + n_buckets] = (
+        images.gender_score * young * male
+    )[:, None] * bucket_onehot
+    col += n_buckets
+    X[:, col : col + n_jobs] = female[:, None] * job_onehot
+    col += n_jobs
+    X[:, col : col + n_jobs] = beta[:, None] * job_onehot
+    return X
+
+
 @dataclass(frozen=True, slots=True)
 class EngagementLog:
     """Training data for the EAR model: features and click labels."""
@@ -200,43 +317,49 @@ class EngagementLogger:
         )
 
     def collect(self, n_events: int) -> EngagementLog:
-        """Generate ``n_events`` logged exposures."""
+        """Generate ``n_events`` logged exposures.
+
+        Fully vectorised: the users, creatives and jobs of every event are
+        drawn as arrays, the click probabilities come from the batched
+        ground-truth model and the design matrix from
+        :func:`ear_features_matrix` — no per-event Python row builds.
+        """
         if n_events < 100:
             raise ValidationError("need at least 100 events for a usable log")
         rng = self._rng
         users = self._universe.users
-        weights = np.array([u.activity_rate for u in users])
+        weights = self._universe.activity_rates
         weights = weights / weights.sum()
         user_draws = rng.choice(len(users), size=n_events, p=weights)
+        drawn = [users[i] for i in user_draws]
+        buckets = [u.age_bucket for u in drawn]
+        genders = [u.gender for u in drawn]
+        races = [u.race for u in drawn]
+        clusters = [u.interest_cluster for u in drawn]
+        poverty = np.array([u.high_poverty for u in drawn])
 
-        rows: list[np.ndarray] = []
-        clicks = np.empty(n_events)
-        for i in range(n_events):
-            user = users[int(user_draws[i])]
-            image = self._random_image()
-            job = None
-            if rng.random() < 0.5:
-                job = _JOBS[int(rng.integers(len(_JOBS)))]
-            p = self._engagement.click_probability(
-                user.age_bucket,
-                user.gender,
-                user.race,
-                image,
-                job,
-                high_poverty=user.high_poverty,
-            )
-            clicks[i] = 1.0 if rng.random() < p else 0.0
-            rows.append(
-                ear_features(
-                    user.age_bucket,
-                    user.gender,
-                    user.interest_cluster,
-                    image,
-                    job,
-                    high_poverty=user.high_poverty,
-                )
-            )
-        return EngagementLog(features=np.array(rows), clicks=clicks)
+        # The historical-creative prior of _random_image, drawn columnwise
+        # (only the four scoring channels feed the models downstream).
+        images = ImageBatch(
+            race_score=rng.random(n_events),
+            gender_score=rng.random(n_events),
+            age_years=rng.uniform(4.0, 80.0, n_events),
+            smile=rng.random(n_events),
+        )
+        with_job = rng.random(n_events) < 0.5
+        job_draws = rng.integers(len(_JOBS), size=n_events)
+        jobs = [
+            _JOBS[int(job_draws[i])] if with_job[i] else None for i in range(n_events)
+        ]
+
+        p = self._engagement.click_probability_batch(
+            buckets, genders, races, images, jobs, high_poverty=poverty
+        )
+        clicks = (rng.random(n_events) < p).astype(float)
+        features = ear_features_matrix(
+            buckets, genders, clusters, images, jobs, high_poverty=poverty
+        )
+        return EngagementLog(features=features, clicks=clicks)
 
 
 class EarModel:
@@ -295,13 +418,13 @@ class EarModel:
         Returned in ``OBSERVED_CELLS`` order; the delivery engine indexes
         it with :func:`repro.platform.cells.observed_cell_index`.
         """
-        X = np.array(
-            [
-                ear_features(
-                    bucket, gender, cluster, image, job_category, high_poverty=poverty
-                )
-                for bucket, gender, cluster, poverty in OBSERVED_CELLS
-            ]
+        X = ear_features_matrix(
+            _OBS_BUCKETS,
+            _OBS_GENDERS,
+            _OBS_CLUSTERS,
+            image,
+            job_category,
+            high_poverty=_OBS_POVERTY,
         )
         return self._model.predict_proba(X)
 
@@ -328,12 +451,15 @@ class OracleEar:
         """Ground-truth probabilities over observed cells."""
         from repro.types import Race
 
-        scores = []
-        for bucket, gender, cluster, poverty in OBSERVED_CELLS:
-            race = Race.BLACK if cluster is InterestCluster.BETA else Race.WHITE
-            scores.append(
-                self._engagement.click_probability(
-                    bucket, gender, race, image, job_category, high_poverty=poverty
-                )
-            )
-        return np.array(scores)
+        races = [
+            Race.BLACK if cluster is InterestCluster.BETA else Race.WHITE
+            for cluster in _OBS_CLUSTERS
+        ]
+        return self._engagement.click_probability_batch(
+            _OBS_BUCKETS,
+            _OBS_GENDERS,
+            races,
+            ImageBatch.broadcast(image, len(OBSERVED_CELLS)),
+            job_category,
+            high_poverty=_OBS_POVERTY,
+        )

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.images.features import ImageFeatures
+from repro.images.features import ImageBatch, ImageFeatures
 from repro.platform.cells import GT_CELLS
 from repro.types import AgeBucket, Gender, Race, bucket_midpoint
 
@@ -61,6 +61,43 @@ JOB_AFFINITIES: dict[str, tuple[float, float, float]] = {
     "supermarket_clerk": (0.05, 0.25, 0.20),
     "taxi_driver": (0.00, -0.20, 0.30),
 }
+
+#: Job-affinity lookup arrays for the batch scoring path; index -1 (no
+#: job) maps to the zero row appended at the end.
+_JOB_INDEX: dict[str, int] = {job: i for i, job in enumerate(JOB_AFFINITIES)}
+_JOB_BASE = np.array([aff[0] for aff in JOB_AFFINITIES.values()] + [0.0])
+_JOB_FEMALE = np.array([aff[1] for aff in JOB_AFFINITIES.values()] + [0.0])
+_JOB_BLACK = np.array([aff[2] for aff in JOB_AFFINITIES.values()] + [0.0])
+
+_BUCKET_MIDPOINTS: dict[AgeBucket, float] = {b: bucket_midpoint(b) for b in AgeBucket}
+
+#: GT_CELLS unpacked into parallel per-field sequences for batch scoring.
+_GT_BUCKETS = [cell[0] for cell in GT_CELLS]
+_GT_GENDERS = [cell[1] for cell in GT_CELLS]
+_GT_RACES = [cell[2] for cell in GT_CELLS]
+_GT_POVERTY = np.array([cell[3] for cell in GT_CELLS])
+
+
+def _job_index_array(job_categories, n: int) -> np.ndarray:
+    """Map per-row job categories to indices into the affinity arrays.
+
+    Accepts a single category (or ``None``) broadcast over ``n`` rows, or
+    a sequence of per-row categories; ``-1`` marks portrait (no job) rows.
+    """
+    if job_categories is None or isinstance(job_categories, str):
+        job_categories = [job_categories] * n
+    elif len(job_categories) != n:
+        raise ValidationError("job_categories misaligned with the batch")
+    indices = np.empty(n, dtype=np.intp)
+    for i, job in enumerate(job_categories):
+        if job is None:
+            indices[i] = -1
+        else:
+            try:
+                indices[i] = _JOB_INDEX[job]
+            except KeyError as exc:
+                raise ValidationError(f"unknown job category {job!r}") from exc
+    return indices
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,15 +237,95 @@ class EngagementModel:
         )
         return float(1.0 / (1.0 + np.exp(-logit)))
 
+    def click_logit_batch(
+        self,
+        buckets,
+        genders,
+        races,
+        images: ImageBatch,
+        job_categories=None,
+        *,
+        high_poverty=False,
+    ) -> np.ndarray:
+        """Vectorised :meth:`click_logit` over parallel event arrays.
+
+        ``buckets`` / ``genders`` / ``races`` are per-event sequences,
+        ``images`` the matching :class:`ImageBatch`; ``job_categories``
+        and ``high_poverty`` may be scalars (broadcast) or per-event.
+        Row ``i`` equals the scalar ``click_logit`` of event ``i``.
+        """
+        p = self._params
+        n = len(images)
+        user_age = np.array([_BUCKET_MIDPOINTS[b] for b in buckets])
+        if user_age.shape != (n,):
+            raise ValidationError("buckets misaligned with the batch")
+        sign_female = np.where([g is Gender.FEMALE for g in genders], 1.0, -1.0)
+        sign_black = np.where([r is Race.BLACK for r in races], 1.0, -1.0)
+        poverty = np.broadcast_to(np.asarray(high_poverty, dtype=bool), (n,))
+
+        logit = np.full(n, np.log(p.base_rate / (1.0 - p.base_rate)))
+        logit += p.user_age_slope * (user_age - 18.0) / 52.0
+        race_lean = 2.0 * images.race_score - 1.0
+        logit += p.race_congruence * race_lean * sign_black
+        logit += np.where(poverty, p.poverty_race_affinity * race_lean, 0.0)
+        logit += p.gender_congruence * (2.0 * images.gender_score - 1.0) * sign_female
+        effective_image_age = np.clip(images.age_years, 18.0, 80.0)
+        logit -= p.age_congruence * np.abs(user_age - effective_image_age) / 50.0
+
+        child = np.clip((14.0 - images.age_years) / 7.0, 0.0, 1.0)
+        caretaker = 1.3 * np.exp(-0.5 * ((user_age - 28.0) / 9.0) ** 2)
+        caretaker += 1.1 * np.exp(-0.5 * ((user_age - 62.0) / 12.0) ** 2)
+        child_weight = np.where(sign_female > 0, p.child_to_women, p.child_to_men)
+        logit += child_weight * child * caretaker
+
+        male = np.array([g is Gender.MALE for g in genders])
+        young = np.clip((images.age_years - 11.0) / 5.0, 0.0, 1.0)
+        young *= np.clip((38.0 - images.age_years) / 16.0, 0.0, 1.0)
+        older_user = np.clip((user_age - 45.0) / 15.0, 0.0, 1.0)
+        logit += np.where(
+            male,
+            p.young_women_to_older_men * images.gender_score * young * older_user
+            + p.older_men_to_men
+            * (1.0 - images.gender_score)
+            * np.clip((images.age_years - 30.0) / 40.0, 0.0, 1.0),
+            0.0,
+        )
+
+        logit += p.smile_bonus * (images.smile - 0.5)
+
+        job_idx = _job_index_array(job_categories, n)
+        logit += p.job_affinity_scale * (
+            _JOB_BASE[job_idx]
+            + _JOB_FEMALE[job_idx] * sign_female
+            + _JOB_BLACK[job_idx] * sign_black
+        )
+        return logit
+
+    def click_probability_batch(
+        self,
+        buckets,
+        genders,
+        races,
+        images: ImageBatch,
+        job_categories=None,
+        *,
+        high_poverty=False,
+    ) -> np.ndarray:
+        """Vectorised :meth:`click_probability` over parallel event arrays."""
+        logit = self.click_logit_batch(
+            buckets, genders, races, images, job_categories, high_poverty=high_poverty
+        )
+        return 1.0 / (1.0 + np.exp(-logit))
+
     def probability_vector(
         self, image: ImageFeatures, job_category: str | None = None
     ) -> np.ndarray:
         """Click probabilities over all ground-truth cells (GT_CELLS order)."""
-        return np.array(
-            [
-                self.click_probability(
-                    bucket, gender, race, image, job_category, high_poverty=poverty
-                )
-                for bucket, gender, race, poverty in GT_CELLS
-            ]
+        return self.click_probability_batch(
+            _GT_BUCKETS,
+            _GT_GENDERS,
+            _GT_RACES,
+            ImageBatch.broadcast(image, len(GT_CELLS)),
+            job_category,
+            high_poverty=_GT_POVERTY,
         )

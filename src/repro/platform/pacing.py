@@ -109,6 +109,16 @@ class PacingController:
         """Whether the ad still has budget to participate in auctions."""
         return not self.state(ad_id).exhausted
 
+    def alive_mask(self, ad_ids: list[str]) -> np.ndarray:
+        """Boolean can-bid mask over ``ad_ids``, in their given order.
+
+        The controller is the single owner of liveness: the delivery
+        engine queries this mask (per hour, or per chunk in the batched
+        engine) instead of keeping its own copy that could drift from the
+        spend ledger.
+        """
+        return np.array([not self.state(ad_id).exhausted for ad_id in ad_ids])
+
     def multiplier(self, ad_id: str) -> float:
         """Current bid multiplier of the ad."""
         return self.state(ad_id).multiplier

@@ -116,11 +116,48 @@ class UserUniverse:
         if not self._users:
             raise ValidationError("adoption produced an empty universe")
         self._matcher = PiiMatcher(self._users)
+        # Lazily-built per-user arrays (users are immutable after
+        # construction, so each is computed once and shared by every
+        # delivery run instead of being rebuilt per run).
+        self._obs_cells: np.ndarray | None = None
+        self._gt_cells: np.ndarray | None = None
+        self._activity_rates: np.ndarray | None = None
 
     @property
     def users(self) -> list[PlatformUser]:
         """All platform users (do not mutate)."""
         return self._users
+
+    @property
+    def obs_cell_array(self) -> np.ndarray:
+        """Per-user platform-observable cell indices (cached)."""
+        if self._obs_cells is None:
+            from repro.platform.cells import observed_cell_index
+
+            self._obs_cells = np.array(
+                [observed_cell_index(u) for u in self._users], dtype=np.intp
+            )
+        return self._obs_cells
+
+    @property
+    def gt_cell_array(self) -> np.ndarray:
+        """Per-user ground-truth cell indices (cached)."""
+        if self._gt_cells is None:
+            from repro.platform.cells import gt_cell_index
+
+            self._gt_cells = np.array(
+                [gt_cell_index(u) for u in self._users], dtype=np.intp
+            )
+        return self._gt_cells
+
+    @property
+    def activity_rates(self) -> np.ndarray:
+        """Per-user daily browsing-session rates (cached)."""
+        if self._activity_rates is None:
+            self._activity_rates = np.array(
+                [u.activity_rate for u in self._users]
+            )
+        return self._activity_rates
 
     @property
     def matcher(self) -> PiiMatcher:

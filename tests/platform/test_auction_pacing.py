@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.errors import BudgetError, DeliveryError, ValidationError
 from repro.images import ImageFeatures
 from repro.platform import AdCreative, AdQualityModel, CompetitionModel, PacingController
-from repro.platform.auction import run_auction
+from repro.platform.auction import run_auction, run_auctions_batch
 from repro.platform.cells import OBSERVED_CELLS
 from repro.types import AgeBucket
 
@@ -67,6 +67,69 @@ class TestAuction:
         if outcome.winner_index is not None:
             assert outcome.winning_value == max(values)
             assert market <= outcome.price <= outcome.winning_value
+
+    def test_runner_up_conventions_pinned(self):
+        """Regression pin: a 1-candidate auction and a 2-candidate auction
+        whose runner-up is ``-inf`` must both treat the runner-up as 0.0,
+        so the price floor is the market bid alone in both shapes."""
+        lone = run_auction(np.array([0.05]), competing_bid=0.0)
+        with_dead = run_auction(np.array([0.05, float("-inf")]), competing_bid=0.0)
+        assert lone.price == pytest.approx(0.0)
+        assert with_dead.price == pytest.approx(0.0)
+        assert lone.price == with_dead.price
+        # And with a positive market bid the floor is that bid, not -inf.
+        lone = run_auction(np.array([0.05]), competing_bid=0.01)
+        with_dead = run_auction(np.array([0.05, float("-inf")]), competing_bid=0.01)
+        assert lone.price == pytest.approx(0.01)
+        assert with_dead.price == pytest.approx(0.01)
+
+
+class TestBatchAuction:
+    def test_batch_matches_scalar_slot_by_slot(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 0.05, size=(5, 400))
+        values[rng.random(values.shape) < 0.2] = float("-inf")
+        bids = rng.uniform(0.0, 0.04, size=400)
+        batch = run_auctions_batch(values, bids)
+        for j in range(values.shape[1]):
+            scalar = run_auction(values[:, j], float(bids[j]))
+            expected = -1 if scalar.winner_index is None else scalar.winner_index
+            assert batch.winner_indices[j] == expected
+            assert batch.prices[j] == pytest.approx(scalar.price)
+            assert batch.winning_values[j] == scalar.winning_value
+
+    def test_batch_runner_up_matches_scalar_conventions(self):
+        """The pinned -inf→0.0 runner-up convention holds column-wise."""
+        values = np.array([[0.05, 0.05], [float("-inf"), float("-inf")]])
+        single = np.array([[0.05, 0.05]])
+        bids = np.array([0.0, 0.02])
+        two_rows = run_auctions_batch(values, bids)
+        one_row = run_auctions_batch(single, bids)
+        assert np.allclose(two_rows.prices, one_row.prices)
+        assert np.allclose(two_rows.prices, [0.0, 0.02])
+
+    def test_market_wins_are_minus_one_with_zero_price(self):
+        values = np.array([[0.01], [0.02]])
+        batch = run_auctions_batch(values, np.array([0.05]))
+        assert batch.winner_indices[0] == -1
+        assert batch.prices[0] == 0.0
+        assert batch.winning_values[0] == pytest.approx(0.02)
+
+    def test_empty_chunk_is_allowed(self):
+        batch = run_auctions_batch(np.empty((3, 0)), np.empty(0))
+        assert batch.n_slots == 0
+
+    def test_no_ads_rejected(self):
+        with pytest.raises(DeliveryError):
+            run_auctions_batch(np.empty((0, 4)), np.zeros(4))
+
+    def test_mismatched_bids_rejected(self):
+        with pytest.raises(DeliveryError):
+            run_auctions_batch(np.zeros((2, 3)), np.zeros(4))
+
+    def test_negative_bid_rejected(self):
+        with pytest.raises(DeliveryError):
+            run_auctions_batch(np.zeros((2, 3)), np.array([0.0, -0.1, 0.0]))
 
 
 class TestPacing:

@@ -1,0 +1,185 @@
+"""Statistical equivalence of the vectorized and reference delivery engines.
+
+The chunked engine reorders the RNG stream (one matrix draw per chunk vs
+one vector per slot), so individual runs differ; what must hold is that
+every *statistic the paper measures* — delivery volume, spend, reach, and
+above all the demographic composition that the skew measurements are
+built on — is drawn from the same distribution.  Each check pools three
+seeded paired-ad runs per mode and applies a two-proportion z-test at
+α=0.01 (|z| < 2.576) for compositions, and a relative tolerance for
+totals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo import MobilityModel
+from repro.images import ImageFeatures
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AudienceStore,
+    CompetitionModel,
+    DeliveryEngine,
+    Objective,
+    TargetingSpec,
+)
+from repro.types import Gender, Race
+
+SEEDS = (101, 202, 303)
+Z_CRITICAL = 2.576  # two-sided α = 0.01
+
+pytestmark = pytest.mark.integration
+
+
+def _two_proportion_z(k1: int, n1: int, k2: int, n2: int) -> float:
+    """Pooled two-proportion z statistic."""
+    pooled = (k1 + k2) / (n1 + n2)
+    se = np.sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2))
+    if se == 0:
+        return 0.0
+    return float((k1 / n1 - k2 / n2) / se)
+
+
+@pytest.fixture(scope="module")
+def mode_stats(small_world):
+    """Pooled delivery statistics per mode over the paired-ad experiment.
+
+    Runs the canonical two-ad design (a Black-implied and a white-implied
+    portrait, identical budgets and targeting) across ``SEEDS`` in both
+    engine modes, everything else held fixed, and pools the counts the
+    tests compare.
+    """
+    world = small_world
+    store = AudienceStore(world.universe)
+    users = world.universe.users[:3000]
+    audience = store.create_from_hashes(
+        "equiv-all", [u.pii_hash for u in users]
+    )
+    race_of = {u.user_id: u.race for u in world.universe.users}
+
+    def run_once(seed: int, mode: str):
+        account = AdAccount(account_id=f"equiv-{seed}-{mode}")
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        ads = []
+        for i, race_score in enumerate([0.9, 0.1]):
+            targeting = TargetingSpec(custom_audience_ids=(audience.audience_id,))
+            adset = account.create_adset(campaign, f"as{i}", 200, targeting)
+            creative = AdCreative(
+                headline="h",
+                body="b",
+                destination_url="https://x.org",
+                image=ImageFeatures(
+                    race_score=race_score, gender_score=0.5, age_years=30
+                ),
+            )
+            ad = account.create_ad(adset, f"ad{i}", creative)
+            ad.review_status = "APPROVED"
+            ads.append(ad)
+        engine = DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(seed)),
+            mobility=MobilityModel(np.random.default_rng(seed + 1)),
+            rng=np.random.default_rng(seed + 2),
+            mode=mode,
+        )
+        return engine.run(ads), ads
+
+    stats = {}
+    for mode in ("reference", "vectorized"):
+        pooled = {
+            "impressions": 0,
+            "spend": 0.0,
+            "reach": 0,
+            # per ad index: (female impressions, impressions)
+            "female": {0: [0, 0], 1: [0, 0]},
+            # per ad index: (Black reached users, reached users)
+            "black": {0: [0, 0], 1: [0, 0]},
+        }
+        for seed in SEEDS:
+            result, ads = run_once(seed, mode)
+            pooled["impressions"] += result.insights.total_impressions()
+            pooled["spend"] += result.insights.total_spend()
+            pooled["reach"] += result.insights.total_reach()
+            for i, ad in enumerate(ads):
+                insights = result.for_ad(ad.ad_id)
+                female = sum(
+                    count
+                    for (bucket, gender), count in insights.by_age_gender.items()
+                    if gender is Gender.FEMALE
+                )
+                pooled["female"][i][0] += female
+                pooled["female"][i][1] += insights.impressions
+                reached = insights._reached
+                pooled["black"][i][0] += sum(
+                    1 for uid in reached if race_of[uid] is Race.BLACK
+                )
+                pooled["black"][i][1] += len(reached)
+        stats[mode] = pooled
+    return stats
+
+
+class TestTotalsAgree:
+    def test_total_impressions_within_tolerance(self, mode_stats):
+        ref = mode_stats["reference"]["impressions"]
+        vec = mode_stats["vectorized"]["impressions"]
+        assert ref > 0 and vec > 0
+        assert abs(ref - vec) / ref < 0.10
+
+    def test_total_spend_within_tolerance(self, mode_stats):
+        ref = mode_stats["reference"]["spend"]
+        vec = mode_stats["vectorized"]["spend"]
+        assert ref > 0 and vec > 0
+        assert abs(ref - vec) / ref < 0.10
+
+    def test_total_reach_within_tolerance(self, mode_stats):
+        ref = mode_stats["reference"]["reach"]
+        vec = mode_stats["vectorized"]["reach"]
+        assert ref > 0 and vec > 0
+        assert abs(ref - vec) / ref < 0.15
+
+
+class TestCompositionsAgree:
+    """The measurements the paper is built on must not shift with the engine."""
+
+    @pytest.mark.parametrize("ad_index", [0, 1])
+    def test_fraction_female_matches(self, mode_stats, ad_index):
+        k1, n1 = mode_stats["reference"]["female"][ad_index]
+        k2, n2 = mode_stats["vectorized"]["female"][ad_index]
+        assert n1 > 100 and n2 > 100
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"ad {ad_index}: fraction_female {k1/n1:.3f} (reference) vs "
+            f"{k2/n2:.3f} (vectorized), z={z:.2f}"
+        )
+
+    @pytest.mark.parametrize("ad_index", [0, 1])
+    def test_fraction_black_matches(self, mode_stats, ad_index):
+        """Ground-truth racial composition of the reached audience.
+
+        Race never appears in insights; the simulator knows it, and this
+        is precisely the quantity the region-split methodology estimates —
+        an engine swap must leave it untouched.
+        """
+        k1, n1 = mode_stats["reference"]["black"][ad_index]
+        k2, n2 = mode_stats["vectorized"]["black"][ad_index]
+        assert n1 > 100 and n2 > 100
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"ad {ad_index}: fraction_black {k1/n1:.3f} (reference) vs "
+            f"{k2/n2:.3f} (vectorized), z={z:.2f}"
+        )
+
+    def test_steering_direction_preserved(self, mode_stats):
+        """The Black-implied ad reaches a Blacker audience in both modes."""
+        for mode in ("reference", "vectorized"):
+            black = mode_stats[mode]["black"]
+            frac = [black[i][0] / black[i][1] for i in (0, 1)]
+            assert frac[0] > frac[1], (
+                f"{mode}: Black-implied ad reached fraction_black {frac[0]:.3f} "
+                f"<= white-implied ad's {frac[1]:.3f}"
+            )
