@@ -11,6 +11,7 @@ Rendered tables and CSV figure series are written to ``results/``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -28,6 +29,47 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: Seed for the benchmark world; EXPERIMENTS.md records this run.
 BENCH_SEED = 7
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for scheduler-driven benches (1 = in-process)",
+        )
+        parser.addoption(
+            "--persistent-cache",
+            action="store_true",
+            help="use the real artifact cache ($REPRO_CACHE_DIR) instead of a tmp dir",
+        )
+    except ValueError:  # options already registered (tests/ + benchmarks/ together)
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(request, tmp_path_factory):
+    """Point the artifact cache at a per-session tmp dir by default.
+
+    Benches stay hermetic — no reads from or writes to the user's real
+    ``~/.cache/repro-worlds`` — unless ``--persistent-cache`` opts in.
+    """
+    if request.config.getoption("--persistent-cache"):
+        yield
+        return
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    return request.config.getoption("--jobs")
 
 
 @pytest.fixture(scope="session")

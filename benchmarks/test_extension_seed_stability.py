@@ -5,36 +5,25 @@ bench rebuilds the whole world (registries, users, trained EAR, delivery)
 under five different seeds, runs the reduced Campaign-1 design in each,
 and checks that the headline effects keep their sign and significance in
 every replicate.
+
+The replicates go through :func:`repro.core.scheduler.run_seed_sweep`:
+``pytest benchmarks/ --jobs 4`` fans the five worlds out across worker
+processes, and the scheduler's determinism contract (pinned by
+``tests/core/test_scheduler.py``) guarantees the rows are identical to a
+serial run.
 """
 
 import numpy as np
 from conftest import save_text
 
-from repro.core.experiments import run_campaign1, stock_specs
-from repro.core.world import SimulatedWorld, WorldConfig
+from repro.core.scheduler import run_seed_sweep
 
 SEEDS = (101, 202, 303, 404, 505)
 
 
-def test_extension_seed_stability(benchmark, results_dir):
+def test_extension_seed_stability(benchmark, results_dir, jobs):
     def run_all():
-        rows = []
-        for seed in SEEDS:
-            world = SimulatedWorld(WorldConfig.small(seed=seed))
-            result = run_campaign1(world, specs=stock_specs(world, per_cell=3))
-            table = result.regressions
-            rows.append(
-                {
-                    "seed": seed,
-                    "black": table.pct_black.coefficient("Black"),
-                    "black_p": table.pct_black.p_value("Black"),
-                    "child": table.pct_female.coefficient("Child"),
-                    "child_p": table.pct_female.p_value("Child"),
-                    "elderly": table.pct_top_age.coefficient("Elderly"),
-                    "elderly_p": table.pct_top_age.p_value("Elderly"),
-                }
-            )
-        return rows
+        return run_seed_sweep(SEEDS, campaign="stability", scale="small", jobs=jobs)
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     lines = ["Extension: headline coefficients across 5 world seeds",

@@ -1,0 +1,169 @@
+"""Benchmark the experiment pipeline: artifact cache + parallel scheduler.
+
+Two measurements, appended as JSON records to ``BENCH_pipeline.json`` at
+the repo root (same convention as ``BENCH_delivery.json``):
+
+* **world_build** — one paper-scale ``SimulatedWorld`` built cold (empty
+  cache) and again warm (all stages restored from the on-disk artifact
+  store).  The warm rebuild is expected to be at least 10x faster
+  (asserted unless ``--no-check``).
+* **seed_sweep** — the 5-seed stability replication, first serially
+  against the empty cache (the old workflow: every world built cold),
+  then with ``--jobs 4`` workers against the now-warm cache (the rerun
+  workflow).  Expected at least 2.5x faster (asserted unless
+  ``--no-check``).  On a single-core host the cache provides most of that
+  win; on multicore hosts the process pool adds to it.  Both timings and
+  the CPU count are recorded so the numbers stay interpretable.
+
+Runs against a private temporary cache directory by default so results
+never depend on (or pollute) the user's real ``~/.cache/repro-worlds``:
+
+    PYTHONPATH=src python scripts/bench_pipeline.py
+    PYTHONPATH=src python scripts/bench_pipeline.py --small   # quick check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cache import ArtifactCache
+from repro.core.scheduler import run_seed_sweep
+from repro.core.world import SimulatedWorld, WorldConfig
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+BENCH_SEED = 7
+SWEEP_SEEDS = (101, 202, 303, 404, 505)
+
+
+def bench_world_build(config: WorldConfig, cache: ArtifactCache) -> dict:
+    """Cold-vs-warm wall time of one full world build."""
+    start = time.perf_counter()
+    cold_world = SimulatedWorld(config, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_world = SimulatedWorld(config, cache=cache)
+    warm_s = time.perf_counter() - start
+
+    sources = {name: t.source for name, t in warm_world.build_report.items()}
+    return {
+        "bench": "world_build",
+        "seed": config.seed,
+        "n_users": len(cold_world.universe.users),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 2),
+        "warm_sources": sources,
+    }
+
+
+def bench_seed_sweep(scale: str, jobs: int, cache: ArtifactCache) -> dict:
+    """Serial-cold vs parallel-warm wall time of the stability sweep."""
+    start = time.perf_counter()
+    serial_rows = run_seed_sweep(
+        SWEEP_SEEDS, campaign="stability", scale=scale, jobs=1, cache=cache
+    )
+    serial_cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_rows = run_seed_sweep(
+        SWEEP_SEEDS, campaign="stability", scale=scale, jobs=jobs, cache=cache
+    )
+    parallel_warm_s = time.perf_counter() - start
+
+    drop = ("world_build_s", "world_build")
+    strip = lambda row: {k: v for k, v in row.items() if k not in drop}  # noqa: E731
+    return {
+        "bench": "seed_sweep",
+        "scale": scale,
+        "seeds": list(SWEEP_SEEDS),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "effective_workers": min(jobs, os.cpu_count() or jobs, len(SWEEP_SEEDS)),
+        "serial_cold_s": round(serial_cold_s, 3),
+        "parallel_warm_s": round(parallel_warm_s, 3),
+        "speedup": round(serial_cold_s / parallel_warm_s, 2),
+        "rows_identical": [strip(r) for r in serial_rows]
+        == [strip(r) for r in parallel_rows],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--jobs", type=int, default=4, help="sweep worker processes")
+    parser.add_argument(
+        "--small", action="store_true", help="use the small test world (quick check)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache directory (default: a fresh temporary one)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="skip the speedup assertions"
+    )
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        cache = ArtifactCache(args.cache_dir)
+    else:
+        cache = ArtifactCache(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    scale = "small" if args.small else "paper"
+    config = (
+        WorldConfig.small(args.seed) if args.small else WorldConfig.paper(args.seed)
+    )
+
+    print(f"world build ({scale}, registry {config.registry_size}) ...", flush=True)
+    build = bench_world_build(config, cache)
+    print(
+        f"  cold {build['cold_s']:.2f}s -> warm {build['warm_s']:.2f}s "
+        f"({build['speedup']:.1f}x)",
+        flush=True,
+    )
+
+    print(f"5-seed stability sweep (small worlds, jobs={args.jobs}) ...", flush=True)
+    sweep = bench_seed_sweep("small", args.jobs, cache)
+    print(
+        f"  serial cold {sweep['serial_cold_s']:.2f}s -> "
+        f"jobs={args.jobs} warm {sweep['parallel_warm_s']:.2f}s "
+        f"({sweep['speedup']:.1f}x, rows identical: {sweep['rows_identical']})",
+        flush=True,
+    )
+
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    build["scale"] = scale
+    records = [build, sweep]
+    for record in records:
+        record["timestamp"] = timestamp
+
+    existing = []
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    existing.extend(records)
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    print(f"appended {len(records)} records to {OUT_PATH}")
+
+    failed = False
+    if not args.no_check:
+        if not args.small and build["speedup"] < 10.0:
+            print("FAIL: warm world build is less than 10x the cold build", file=sys.stderr)
+            failed = True
+        if sweep["speedup"] < 2.5:
+            print("FAIL: warm parallel sweep is less than 2.5x the serial cold sweep", file=sys.stderr)
+            failed = True
+        if not sweep["rows_identical"]:
+            print("FAIL: parallel sweep rows differ from serial rows", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,21 @@
-"""Run all campaigns once and print every paper-comparable table."""
-import sys
+"""Run all campaigns once and print every paper-comparable table.
+
+Serial (``--jobs 1``, default) keeps the original behaviour: one shared
+world, campaigns run back-to-back in order.  With ``--jobs N`` the
+selected campaigns are dispatched through the experiment scheduler
+instead — each campaign gets its own (cache-warm) world instance and the
+rendered tables print in the canonical order once all rows are in.
+"""
+import argparse
 import time
 
 from repro.core.analysis import table3_rows
 from repro.core.experiments import (
-    build_audiences,
     run_campaign1,
     run_campaign2,
     run_campaign3,
     run_campaign4,
     run_appendix_a,
-    stock_specs,
 )
 from repro.core.reporting import (
     render_identity_regressions,
@@ -18,34 +23,95 @@ from repro.core.reporting import (
     render_single_regression,
     render_table3,
 )
+from repro.core.scheduler import ExperimentJob, ExperimentScheduler
 from repro.core.world import SimulatedWorld, WorldConfig
 
-seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
-which = sys.argv[2] if len(sys.argv) > 2 else "1234a"
-t0 = time.time()
-world = SimulatedWorld(WorldConfig.paper(seed=seed))
-print(f"world: {time.time()-t0:.0f}s")
+PAPER_NOTES = {
+    "campaign1": "Table 4a (paper: Black .1812***, Child->F .0924***, Eld->65+ .1180***, MA .0508**, Fem .0359**)",
+    "campaign2": "Table 4b (paper: Black .2534***, Fem->F .0780**, Child->F .1328***, Child->35+ -.0888***, Fem->35+ .0362**, Black->35+ .0343**)",
+    "campaign3": "Table 4c (paper: Black .2344***, Fem->F .1377***, Child->F .1643***, Child->35+ -.0917***, Teen->35+ -.0644**)",
+    "campaign4": "paper T5: I .141***, II .070*, III .105***; IV .023ns V -.020ns VI .002ns",
+    "appendix_a": "Table A1 (paper: Black .0849**, others ns, R2 .392)",
+}
 
-if "1" in which:
-    r1 = run_campaign1(world)
-    print(f"C1: reach={r1.summary.reach} impr={r1.summary.impressions} spend=${r1.summary.spend:.0f}")
-    print(render_table3(table3_rows(r1.deliveries)))
-    print(render_identity_regressions(r1.regressions, title="Table 4a (paper: Black .1812***, Child->F .0924***, Eld->65+ .1180***, MA .0508**, Fem .0359**)"))
-if "2" in which:
-    r2 = run_campaign2(world)
-    print(f"C2: reach={r2.summary.reach} impr={r2.summary.impressions} spend=${r2.summary.spend:.0f}")
-    print(render_identity_regressions(r2.regressions, title="Table 4b (paper: Black .2534***, Fem->F .0780**, Child->F .1328***, Child->35+ -.0888***, Fem->35+ .0362**, Black->35+ .0343**)"))
-if "3" in which:
-    r3 = run_campaign3(world)
-    print(f"C3: reach={r3.summary.reach} impr={r3.summary.impressions} spend=${r3.summary.spend:.0f}")
-    print(render_identity_regressions(r3.regressions, title="Table 4c (paper: Black .2344***, Fem->F .1377***, Child->F .1643***, Child->35+ -.0917***, Teen->35+ -.0644**)"))
-if "4" in which:
-    r4 = run_campaign4(world)
-    print(f"C4: reach={r4.summary.reach} impr={r4.summary.impressions} spend=${r4.summary.spend:.0f}")
-    print(render_jobad_regressions(r4.regressions))
-    print("paper T5: I .141***, II .070*, III .105***; IV .023ns V -.020ns VI .002ns")
-if "a" in which:
-    ra = run_appendix_a(world)
-    print(f"AppA: kept={ra.kept_images} rejected={ra.rejected_ads}")
-    print(render_single_regression(ra.regression, title="Table A1 (paper: Black .0849**, others ns, R2 .392)", column="% Black"))
-print(f"total: {time.time()-t0:.0f}s")
+WHICH_TO_CAMPAIGN = {
+    "1": "campaign1",
+    "2": "campaign2",
+    "3": "campaign3",
+    "4": "campaign4",
+    "a": "appendix_a",
+}
+
+
+def run_serial(seed: int, which: str) -> None:
+    t0 = time.time()
+    world = SimulatedWorld(WorldConfig.paper(seed=seed))
+    print(f"world: {time.time()-t0:.0f}s")
+
+    if "1" in which:
+        r1 = run_campaign1(world)
+        print(f"C1: reach={r1.summary.reach} impr={r1.summary.impressions} spend=${r1.summary.spend:.0f}")
+        print(render_table3(table3_rows(r1.deliveries)))
+        print(render_identity_regressions(r1.regressions, title=PAPER_NOTES["campaign1"]))
+    if "2" in which:
+        r2 = run_campaign2(world)
+        print(f"C2: reach={r2.summary.reach} impr={r2.summary.impressions} spend=${r2.summary.spend:.0f}")
+        print(render_identity_regressions(r2.regressions, title=PAPER_NOTES["campaign2"]))
+    if "3" in which:
+        r3 = run_campaign3(world)
+        print(f"C3: reach={r3.summary.reach} impr={r3.summary.impressions} spend=${r3.summary.spend:.0f}")
+        print(render_identity_regressions(r3.regressions, title=PAPER_NOTES["campaign3"]))
+    if "4" in which:
+        r4 = run_campaign4(world)
+        print(f"C4: reach={r4.summary.reach} impr={r4.summary.impressions} spend=${r4.summary.spend:.0f}")
+        print(render_jobad_regressions(r4.regressions))
+        print(PAPER_NOTES["campaign4"])
+    if "a" in which:
+        ra = run_appendix_a(world)
+        print(f"AppA: kept={ra.kept_images} rejected={ra.rejected_ads}")
+        print(render_single_regression(ra.regression, title=PAPER_NOTES["appendix_a"], column="% Black"))
+    print(f"total: {time.time()-t0:.0f}s")
+
+
+def run_scheduled(seed: int, which: str, jobs: int) -> None:
+    t0 = time.time()
+    config = WorldConfig.paper(seed=seed)
+    campaigns = [WHICH_TO_CAMPAIGN[c] for c in which if c in WHICH_TO_CAMPAIGN]
+    job_list = [
+        ExperimentJob.make(config, campaign, {"render": True}) for campaign in campaigns
+    ]
+    rows = ExperimentScheduler(jobs=jobs).run(job_list)
+    for campaign, row in zip(campaigns, rows):
+        stats = {
+            k: v for k, v in row.items() if k not in ("rendered", "world_build")
+        }
+        print(f"{campaign}: " + " ".join(f"{k}={v}" for k, v in stats.items()))
+        if "rendered" in row:
+            print(row["rendered"])
+        note = PAPER_NOTES.get(campaign)
+        if note and campaign == "campaign4":
+            print(note)
+    print(f"total ({jobs} jobs): {time.time()-t0:.0f}s")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--which", default="1234a", help="campaign subset, e.g. 13a (1/2/3/4/a)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 dispatches campaigns through the scheduler",
+    )
+    args = parser.parse_args()
+    if args.jobs > 1:
+        run_scheduled(args.seed, args.which, args.jobs)
+    else:
+        run_serial(args.seed, args.which)
+
+
+if __name__ == "__main__":
+    main()

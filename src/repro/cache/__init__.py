@@ -1,0 +1,50 @@
+"""Content-addressed caching of expensive world-build artifacts.
+
+Building a :class:`~repro.core.world.SimulatedWorld` is the pipeline's
+dominant fixed cost: synthesising two voter registries, growing the user
+universe, training the EAR on 150k logged events and fitting StyleGAN
+latent directions takes tens of seconds at paper scale — and every
+multi-seed sweep, bench module and CLI invocation used to pay it again.
+
+This package makes world construction *warm-startable*:
+
+* :mod:`repro.cache.fingerprint` — stable content fingerprints of
+  :class:`~repro.core.world.WorldConfig`, whole-world and per-stage;
+* :mod:`repro.cache.store` — the on-disk ``.npz`` store
+  (:class:`ArtifactCache`), the in-process :class:`WorldMemo`, and the
+  ``cached_build`` memo→disk→cold resolution helper.
+
+The cache directory defaults to ``~/.cache/repro-worlds`` and is
+overridable with the ``REPRO_CACHE_DIR`` environment variable; the test
+suites pin it to a per-session temporary directory so runs stay hermetic.
+"""
+
+from repro.cache.fingerprint import (
+    CODE_SALT,
+    STAGE_FIELDS,
+    config_payload,
+    stage_fingerprint,
+    world_fingerprint,
+)
+from repro.cache.store import (
+    ArtifactCache,
+    CacheEntry,
+    CacheInfo,
+    WorldMemo,
+    cached_build,
+    resolve_cache,
+)
+
+__all__ = [
+    "CODE_SALT",
+    "STAGE_FIELDS",
+    "ArtifactCache",
+    "CacheEntry",
+    "CacheInfo",
+    "WorldMemo",
+    "cached_build",
+    "config_payload",
+    "resolve_cache",
+    "stage_fingerprint",
+    "world_fingerprint",
+]

@@ -1,0 +1,124 @@
+"""Stable fingerprints of world configurations.
+
+The artifact cache (:mod:`repro.cache.store`) is content-addressed: every
+expensive build stage of a :class:`~repro.core.world.SimulatedWorld` is
+stored under a key derived from the *configuration content* that
+determines the stage's output.  Two fingerprint granularities exist:
+
+* :func:`world_fingerprint` hashes **every** ``WorldConfig`` field — the
+  key for "this exact world".  The experiment scheduler uses it to group
+  jobs that can share one in-memory world.
+* :func:`stage_fingerprint` hashes only the fields a given build stage
+  actually consumes (``STAGE_FIELDS``), so e.g. changing
+  ``advertiser_bid`` — a pure serving-time knob — does not invalidate
+  cached voter registries.
+
+Both incorporate ``CODE_SALT``: bump it whenever the serialized layout or
+the generation code of any cached stage changes, and every old entry is
+transparently orphaned (never loaded again) instead of deserialized
+wrongly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CODE_SALT",
+    "STAGE_FIELDS",
+    "config_payload",
+    "stage_fingerprint",
+    "world_fingerprint",
+]
+
+#: Version salt of the cached formats; bump on layout/generation changes.
+CODE_SALT = "repro-artifacts-v1"
+
+#: Per-stage subsets of ``WorldConfig`` fields that determine the stage's
+#: output.  Registries depend only on the seed and their size; the
+#: universe adds the proxy and activity knobs; the EAR adds the training
+#: configuration; latent-direction fits depend only on the seed (the
+#: mapping network, synthesizer and classifier streams all derive from
+#: it) plus the per-call sample count, passed via ``extra``.
+STAGE_FIELDS: dict[str, tuple[str, ...]] = {
+    "registry": ("seed", "registry_size"),
+    "universe": ("seed", "registry_size", "proxy_fidelity", "sessions_per_day"),
+    "ear": (
+        "seed",
+        "registry_size",
+        "proxy_fidelity",
+        "sessions_per_day",
+        "ear_events",
+        "ear_l2",
+        "ear_mode",
+        "engagement_params",
+    ),
+    "directions": ("seed",),
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a config value to a canonical JSON-serialisable form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return str(value.value)
+    raise ConfigurationError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def config_payload(config: Any, *, field_names: tuple[str, ...] | None = None) -> dict:
+    """The canonical dict a fingerprint hashes (useful for debugging)."""
+    all_fields = [f.name for f in dataclasses.fields(config)]
+    names = list(field_names) if field_names is not None else all_fields
+    unknown = set(names) - set(all_fields)
+    if unknown:
+        raise ConfigurationError(f"unknown config fields {sorted(unknown)}")
+    return {name: _jsonable(getattr(config, name)) for name in sorted(names)}
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+def world_fingerprint(config: Any) -> str:
+    """Fingerprint over every field of ``config`` (plus the code salt)."""
+    payload = config_payload(config)
+    payload["__salt__"] = CODE_SALT
+    return _digest(payload)
+
+
+def stage_fingerprint(
+    config: Any, stage: str, *, extra: Mapping[str, Any] | None = None
+) -> str:
+    """Fingerprint over the fields that determine one build stage.
+
+    ``extra`` carries stage inputs living outside ``WorldConfig`` (e.g.
+    the registry's state, or a latent-direction fit's sample count).
+    """
+    try:
+        field_names = STAGE_FIELDS[stage]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown cache stage {stage!r}; have {sorted(STAGE_FIELDS)}"
+        ) from exc
+    payload = config_payload(config, field_names=field_names)
+    payload["__salt__"] = CODE_SALT
+    payload["__stage__"] = stage
+    if extra:
+        payload["__extra__"] = {str(k): _jsonable(v) for k, v in sorted(extra.items())}
+    return _digest(payload)

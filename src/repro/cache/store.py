@@ -1,0 +1,296 @@
+"""Content-addressed artifact store for expensive world-build stages.
+
+Layout: one ``.npz`` file per artifact under ``<root>/<stage>/<key>.npz``,
+where ``key`` is a :mod:`repro.cache.fingerprint` digest of everything
+that determines the artifact's content.  Because keys are content
+addresses, entries never need invalidation — a config or code change
+simply produces a different key and the old file is ignored (``repro
+cache clear`` reclaims the space).
+
+The root directory resolves, in order, to the ``REPRO_CACHE_DIR``
+environment variable or ``~/.cache/repro-worlds``.  Writes go through a
+temp file plus :func:`os.replace`, so concurrent scheduler workers racing
+on the same key at worst do redundant work — never observe a torn file.
+
+:class:`WorldMemo` is the in-memory layer above the store: a small
+per-process map from ``(stage, key)`` to the *live deserialized object*,
+letting scheduler workers that process several jobs against the same
+world configuration skip even the npz load.  Only immutable build
+artifacts (registries, universes, EAR models, latent directions) belong
+in a memo — never the stateful API server.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ArtifactCache",
+    "CacheEntry",
+    "CacheInfo",
+    "WorldMemo",
+    "cached_build",
+    "resolve_cache",
+]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One stored artifact."""
+
+    stage: str
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInfo:
+    """Human-readable roll-up of a cache directory."""
+
+    root: Path
+    n_entries: int
+    total_bytes: int
+    by_stage: dict[str, tuple[int, int]]  # stage -> (entries, bytes)
+
+    def render(self) -> str:
+        """Multi-line summary for the ``repro cache info`` subcommand."""
+        lines = [
+            f"cache root: {self.root}",
+            f"entries:    {self.n_entries}",
+            f"total size: {_human_bytes(self.total_bytes)}",
+        ]
+        for stage in sorted(self.by_stage):
+            count, size = self.by_stage[stage]
+            lines.append(f"  {stage:<12} {count:>4} entries  {_human_bytes(size):>10}")
+        return "\n".join(lines)
+
+
+def _human_bytes(n: int) -> str:
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable
+
+
+class ArtifactCache:
+    """A content-addressed ``.npz`` store rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        """The cache directory (created lazily on first write)."""
+        return self._root
+
+    @staticmethod
+    def default_root() -> Path:
+        """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-worlds``."""
+        env = os.environ.get(CACHE_DIR_ENV)
+        if env:
+            return Path(env)
+        return Path.home() / ".cache" / "repro-worlds"
+
+    @classmethod
+    def default(cls) -> "ArtifactCache":
+        """A cache at the default root (env-overridable)."""
+        return cls(cls.default_root())
+
+    def path(self, stage: str, key: str) -> Path:
+        """Where an artifact for ``(stage, key)`` lives."""
+        if not stage or "/" in stage or "/" in key:
+            raise ConfigurationError(f"bad cache address ({stage!r}, {key!r})")
+        return self._root / stage / f"{key}.npz"
+
+    def has(self, stage: str, key: str) -> bool:
+        """Whether an artifact is present."""
+        return self.path(stage, key).is_file()
+
+    def save_arrays(self, stage: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
+        """Atomically store a dict of arrays (scalars allowed) as npz."""
+        target = self.path(stage, key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=f".{key}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return target
+
+    def load_arrays(self, stage: str, key: str) -> dict[str, np.ndarray] | None:
+        """Load an artifact, or ``None`` when absent/unreadable.
+
+        A corrupt file (e.g. a crashed writer on a non-atomic filesystem)
+        is treated as a miss and removed: the cache must never be able to
+        fail a build that would succeed cold.
+        """
+        target = self.path(stage, key)
+        if not target.is_file():
+            return None
+        try:
+            with np.load(target, allow_pickle=False) as payload:
+                return {name: payload[name] for name in payload.files}
+        except (OSError, ValueError, KeyError):
+            try:
+                target.unlink()
+            except OSError:
+                pass
+            return None
+
+    def entries(self) -> list[CacheEntry]:
+        """All stored artifacts, sorted by (stage, key)."""
+        found: list[CacheEntry] = []
+        if not self._root.is_dir():
+            return found
+        for stage_dir in sorted(p for p in self._root.iterdir() if p.is_dir()):
+            for file in sorted(stage_dir.glob("*.npz")):
+                stat = file.stat()
+                found.append(
+                    CacheEntry(
+                        stage=stage_dir.name,
+                        key=file.stem,
+                        path=file,
+                        size_bytes=stat.st_size,
+                        mtime=stat.st_mtime,
+                    )
+                )
+        return found
+
+    def info(self) -> CacheInfo:
+        """Entry/size roll-up for the CLI."""
+        by_stage: dict[str, tuple[int, int]] = {}
+        total = 0
+        entries = self.entries()
+        for entry in entries:
+            count, size = by_stage.get(entry.stage, (0, 0))
+            by_stage[entry.stage] = (count + 1, size + entry.size_bytes)
+            total += entry.size_bytes
+        return CacheInfo(
+            root=self._root,
+            n_entries=len(entries),
+            total_bytes=total,
+            by_stage=by_stage,
+        )
+
+    def clear(self) -> int:
+        """Remove every stored artifact; returns the number removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self._root.is_dir():
+            for stage_dir in self._root.iterdir():
+                if stage_dir.is_dir():
+                    try:
+                        stage_dir.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+
+def resolve_cache(spec: "ArtifactCache | str | Path | bool | None") -> ArtifactCache | None:
+    """Normalise a user-facing cache argument.
+
+    ``None`` or ``True`` → the default cache; ``False`` → caching off;
+    a path → a cache rooted there; an :class:`ArtifactCache` → itself.
+    """
+    if spec is None or spec is True:
+        return ArtifactCache.default()
+    if spec is False:
+        return None
+    if isinstance(spec, ArtifactCache):
+        return spec
+    if isinstance(spec, (str, Path)):
+        return ArtifactCache(spec)
+    raise ConfigurationError(f"cannot interpret cache spec {spec!r}")
+
+
+class WorldMemo:
+    """Per-process reuse of deserialized immutable build artifacts.
+
+    A bounded FIFO map from ``(stage, key)`` to live objects.  Safe to
+    share between :class:`~repro.core.world.SimulatedWorld` instances
+    because every memoised stage is immutable after construction; the
+    mutable parts of a world (API server, accounts, delivery RNG) are
+    always built fresh.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("memo needs at least one slot")
+        self._max = max_entries
+        self._entries: dict[tuple[str, str], Any] = {}
+
+    def get(self, stage: str, key: str) -> Any | None:
+        """The memoised object, or ``None``."""
+        return self._entries.get((stage, key))
+
+    def put(self, stage: str, key: str, value: Any) -> None:
+        """Memoise ``value``, evicting the oldest entry when full."""
+        entries = self._entries
+        if (stage, key) not in entries and len(entries) >= self._max:
+            entries.pop(next(iter(entries)))
+        entries[(stage, key)] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def cached_build(
+    *,
+    stage: str,
+    key: str,
+    build: Callable[[], Any],
+    dump: Callable[[Any], dict[str, np.ndarray]],
+    load: Callable[[dict[str, np.ndarray]], Any],
+    cache: ArtifactCache | None,
+    memo: WorldMemo | None = None,
+) -> tuple[Any, str, float]:
+    """Memo → disk → cold-build resolution for one artifact.
+
+    Returns ``(object, source, seconds)`` where ``source`` is one of
+    ``"memo"``, ``"warm"`` (disk hit) or ``"cold"`` (built, then stored).
+    """
+    start = time.perf_counter()
+    if memo is not None:
+        hit = memo.get(stage, key)
+        if hit is not None:
+            return hit, "memo", time.perf_counter() - start
+    if cache is not None:
+        arrays = cache.load_arrays(stage, key)
+        if arrays is not None:
+            obj = load(arrays)
+            if memo is not None:
+                memo.put(stage, key, obj)
+            return obj, "warm", time.perf_counter() - start
+    obj = build()
+    if cache is not None:
+        cache.save_arrays(stage, key, dump(obj))
+    if memo is not None:
+        memo.put(stage, key, obj)
+    return obj, "cold", time.perf_counter() - start

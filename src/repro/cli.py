@@ -6,15 +6,19 @@ Examples::
     python -m repro campaign4 --seed 11 --scale small
     python -m repro appendix-a --out results/
     python -m repro all --out results/
+    python -m repro sweep --seeds 101,202,303 --jobs 4
+    python -m repro cache info
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro.cache import ArtifactCache
 from repro.core.analysis import table3_rows
 from repro.core.experiments import (
     run_appendix_a,
@@ -35,11 +39,19 @@ from repro.core.reporting import (
     write_congruence_csv,
     write_panel_csv,
 )
+from repro.core.scheduler import CAMPAIGN_RUNNERS, render_rows, run_seed_sweep
 from repro.core.world import SimulatedWorld, WorldConfig
 
 __all__ = ["main"]
 
-_COMMANDS = ("campaign1", "campaign2", "campaign3", "campaign4", "appendix-a", "all")
+_EXPERIMENT_COMMANDS = (
+    "campaign1",
+    "campaign2",
+    "campaign3",
+    "campaign4",
+    "appendix-a",
+    "all",
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,33 +59,128 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the IMC'22 implied-identity ad delivery study",
     )
-    parser.add_argument("command", choices=_COMMANDS, help="experiment to run")
-    parser.add_argument("--seed", type=int, default=7, help="experiment seed")
-    parser.add_argument(
+    commands = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    experiment_options = argparse.ArgumentParser(add_help=False)
+    experiment_options.add_argument("--seed", type=int, default=7, help="experiment seed")
+    experiment_options.add_argument(
         "--scale",
         choices=("small", "paper"),
         default="paper",
         help="world size preset (small is fast, paper matches the study's relative scale)",
     )
-    parser.add_argument(
-        "--out", type=Path, default=None, help="directory for CSV figure series"
+    for name in _EXPERIMENT_COMMANDS:
+        sub = commands.add_parser(
+            name, parents=[experiment_options], help=f"run {name.replace('-', ' ')}"
+        )
+        sub.add_argument(
+            "--out", type=Path, default=None, help="directory for CSV figure series"
+        )
+        sub.add_argument(
+            "--export",
+            type=Path,
+            default=None,
+            help="directory for the project-website artifact (per-ad JSON + index)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="build the world cold, bypassing the artifact cache",
+        )
+
+    sweep = commands.add_parser(
+        "sweep",
+        parents=[experiment_options],
+        help="replicate one campaign across many seeds, optionally in parallel",
     )
-    parser.add_argument(
-        "--export",
+    sweep.set_defaults(scale="small")
+    sweep.add_argument(
+        "--seeds",
+        type=_seed_list,
+        default=(101, 202, 303, 404, 505),
+        help="comma-separated seed list (default 101,202,303,404,505)",
+    )
+    sweep.add_argument(
+        "--campaign",
+        choices=sorted(CAMPAIGN_RUNNERS),
+        default="stability",
+        help="campaign runner to replicate per seed",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    sweep.add_argument(
+        "--out", type=Path, default=None, help="write the sweep rows as JSON here"
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build every world cold, bypassing the artifact cache",
+    )
+
+    cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument("action", choices=("info", "clear"), help="what to do")
+    cache.add_argument(
+        "--dir",
         type=Path,
         default=None,
-        help="directory for the project-website artifact (per-ad JSON + index)",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-worlds)",
     )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+def _seed_list(text: str) -> tuple[int, ...]:
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from exc
+    if not seeds:
+        raise argparse.ArgumentTypeError("seed list is empty")
+    return seeds
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.dir) if args.dir else ArtifactCache.default()
+    if args.action == "info":
+        print(cache.info().render())
+    else:
+        info = cache.info()
+        removed = cache.clear()
+        print(f"removed {removed} entries ({info.total_bytes} bytes) from {cache.root}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
     started = time.time()
-    config = WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
+    rows = run_seed_sweep(
+        args.seeds,
+        campaign=args.campaign,
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+    )
+    print(render_rows(rows))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(rows)} rows to {args.out}")
+    print(
+        f"{len(rows)} replicates ({args.campaign}, jobs={args.jobs}) "
+        f"in {time.time() - started:.0f}s"
+    )
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    started = time.time()
+    config = (
+        WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
+    )
     print(f"building world (seed={args.seed}, scale={args.scale})...", flush=True)
-    world = SimulatedWorld(config)
+    world = SimulatedWorld(config, cache=False if args.no_cache else None)
+    sources = {timing.source for timing in world.build_report.values()}
+    if sources == {"warm"}:
+        print(f"world restored from cache in {world.build_seconds():.2f}s", flush=True)
 
     def maybe_export(name: str, result) -> None:
         if args.export is not None:
@@ -132,6 +239,16 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table2(summaries))
     print(f"done in {time.time() - started:.0f}s")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _run_cache(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

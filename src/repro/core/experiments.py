@@ -128,13 +128,27 @@ def stock_specs(world: SimulatedWorld, *, per_cell: int = 5) -> list[CreativeSpe
 def gan_families(world: SimulatedWorld, n_people: int, *, fit_samples: int) -> list[FaceFamily]:
     mapper = MappingNetwork(network_seed=world.config.seed)
     synthesizer = Synthesizer(mapper, network_seed=world.config.seed)
-    classifier = DeepfaceLikeClassifier(world.rngs.get("images.classifier"))
-    directions = LatentDirections.fit(
-        mapper,
-        synthesizer,
-        classifier,
-        world.rngs.get("images.directions"),
-        n_samples=fit_samples,
+
+    def fit_directions() -> LatentDirections:
+        classifier = DeepfaceLikeClassifier(world.rngs.get("images.classifier"))
+        return LatentDirections.fit(
+            mapper,
+            synthesizer,
+            classifier,
+            world.rngs.get("images.directions"),
+            n_samples=fit_samples,
+        )
+
+    # The directions depend only on the world seed (every GAN/classifier
+    # stream derives from it) and the sample count, so fits are cached
+    # like any other world-build stage.
+    directions = world.cached_artifact(
+        f"directions.{fit_samples}",
+        stage="directions",
+        extra={"fit_samples": fit_samples},
+        build=fit_directions,
+        dump=LatentDirections.to_arrays,
+        load=LatentDirections.from_arrays,
     )
     z = mapper.sample_z(world.rngs.get("images.people"), n_people)
     return [

@@ -22,6 +22,14 @@ from dataclasses import dataclass, field
 
 from repro.api.client import MarketingApiClient
 from repro.api.server import MarketingApiServer
+from repro.cache import (
+    ArtifactCache,
+    WorldMemo,
+    cached_build,
+    resolve_cache,
+    stage_fingerprint,
+    world_fingerprint,
+)
 from repro.errors import ConfigurationError
 from repro.geo.mobility import MobilityModel
 from repro.platform.campaign import AdAccount
@@ -34,7 +42,7 @@ from repro.rng import SeedSequenceFactory
 from repro.types import CensusRace, State
 from repro.voters.registry import RegistryConfig, VoterRegistry
 
-__all__ = ["WorldConfig", "SimulatedWorld"]
+__all__ = ["WorldConfig", "SimulatedWorld", "StageTiming"]
 
 #: Study-enriched registry shares (see module docstring).
 _ENRICHED_SHARES: dict[CensusRace, float] = {
@@ -97,28 +105,87 @@ class WorldConfig:
         return WorldConfig(seed=seed)
 
 
-class SimulatedWorld:
-    """A fully-built world, ready for experiments."""
+@dataclass(frozen=True, slots=True)
+class StageTiming:
+    """How one build stage was satisfied: from memo, disk, or cold."""
 
-    def __init__(self, config: WorldConfig) -> None:
+    source: str  # "memo" | "warm" | "cold"
+    seconds: float
+
+
+class SimulatedWorld:
+    """A fully-built world, ready for experiments.
+
+    Construction is *staged*: the expensive artifacts (voter registries,
+    user universe, trained EAR, latent-direction fits consumed later by
+    :func:`repro.core.experiments.gan_families`) each consult ``memo``
+    (in-process object reuse) and ``cache`` (the on-disk artifact store)
+    before building cold, and record how they were satisfied in
+    :attr:`build_report`.  Every random stream is named and independent
+    (:class:`~repro.rng.SeedSequenceFactory`), so loading one stage warm
+    cannot perturb any other stage — a warm world is bit-identical to a
+    cold one, which ``tests/cache`` pins end-to-end.
+
+    ``cache`` accepts an :class:`~repro.cache.ArtifactCache`, a path,
+    ``True``/``None`` (the default cache, honouring ``REPRO_CACHE_DIR``)
+    or ``False`` (fully cold build, the pre-cache behaviour).
+    """
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        *,
+        cache: ArtifactCache | str | bool | None = None,
+        memo: WorldMemo | None = None,
+    ) -> None:
         self.config = config
+        self.cache = resolve_cache(cache)
+        self.memo = memo
+        self.fingerprint = world_fingerprint(config)
+        self.build_report: dict[str, StageTiming] = {}
         rngs = SeedSequenceFactory(config.seed)
         self.rngs = rngs
         registry_config = RegistryConfig(race_shares=dict(_ENRICHED_SHARES))
-        self.fl_registry = VoterRegistry(
-            State.FL, config.registry_size, rngs.get("registry.fl"), config=registry_config
+
+        def build_registry(state: State, stream: str) -> VoterRegistry:
+            return VoterRegistry(
+                state, config.registry_size, rngs.get(stream), config=registry_config
+            )
+
+        self.fl_registry = self._stage(
+            "registry.fl",
+            stage="registry",
+            extra={"state": State.FL.value},
+            build=lambda: build_registry(State.FL, "registry.fl"),
+            dump=VoterRegistry.to_arrays,
+            load=VoterRegistry.from_arrays,
         )
-        self.nc_registry = VoterRegistry(
-            State.NC, config.registry_size, rngs.get("registry.nc"), config=registry_config
+        self.nc_registry = self._stage(
+            "registry.nc",
+            stage="registry",
+            extra={"state": State.NC.value},
+            build=lambda: build_registry(State.NC, "registry.nc"),
+            dump=VoterRegistry.to_arrays,
+            load=VoterRegistry.from_arrays,
         )
-        self.universe = UserUniverse(
-            [self.fl_registry, self.nc_registry],
-            rngs.get("universe"),
-            adoption=AdoptionModel(),
-            activity=ActivityModel(
-                rngs.get("activity"), base_sessions=config.sessions_per_day
-            ),
-            proxy_fidelity=config.proxy_fidelity,
+
+        def build_universe() -> UserUniverse:
+            return UserUniverse(
+                [self.fl_registry, self.nc_registry],
+                rngs.get("universe"),
+                adoption=AdoptionModel(),
+                activity=ActivityModel(
+                    rngs.get("activity"), base_sessions=config.sessions_per_day
+                ),
+                proxy_fidelity=config.proxy_fidelity,
+            )
+
+        self.universe = self._stage(
+            "universe",
+            stage="universe",
+            build=build_universe,
+            dump=UserUniverse.to_arrays,
+            load=UserUniverse.from_arrays,
         )
         self.engagement = EngagementModel(config.engagement_params)
         if config.ear_mode == "constant":
@@ -126,10 +193,20 @@ class SimulatedWorld:
         elif config.ear_mode == "oracle":
             self.ear = OracleEar(self.engagement)
         else:
-            log = EngagementLogger(
-                self.universe, self.engagement, rngs.get("ear.log")
-            ).collect(config.ear_events)
-            self.ear = EarModel.train(log, l2=config.ear_l2)
+
+            def train_ear() -> EarModel:
+                log = EngagementLogger(
+                    self.universe, self.engagement, rngs.get("ear.log")
+                ).collect(config.ear_events)
+                return EarModel.train(log, l2=config.ear_l2)
+
+            self.ear = self._stage(
+                "ear",
+                stage="ear",
+                build=train_ear,
+                dump=EarModel.to_arrays,
+                load=EarModel.from_arrays,
+            )
         self.server = MarketingApiServer(
             self.universe,
             ear=self.ear,
@@ -145,6 +222,36 @@ class SimulatedWorld:
             delivery_mode=config.delivery_mode,
         )
         self._accounts: dict[str, AdAccount] = {}
+
+    def _stage(self, name, *, stage, build, dump, load, extra=None):
+        """Resolve one named build stage via memo → disk cache → cold."""
+        key = stage_fingerprint(self.config, stage, extra=extra)
+        obj, source, seconds = cached_build(
+            stage=stage,
+            key=key,
+            build=build,
+            dump=dump,
+            load=load,
+            cache=self.cache,
+            memo=self.memo,
+        )
+        self.build_report[name] = StageTiming(source=source, seconds=seconds)
+        return obj
+
+    def cached_artifact(self, name, *, stage, build, dump, load, extra=None):
+        """Build-or-load a world-derived artifact through this world's cache.
+
+        The hook :func:`repro.core.experiments.gan_families` uses to store
+        latent-direction fits; the artifact joins :attr:`build_report`
+        under ``name`` like the constructor's own stages.
+        """
+        return self._stage(
+            name, stage=stage, build=build, dump=dump, load=load, extra=extra
+        )
+
+    def build_seconds(self) -> float:
+        """Total seconds spent across recorded build stages."""
+        return sum(timing.seconds for timing in self.build_report.values())
 
     def account(self, account_id: str, *, created_year: int = 2019) -> AdAccount:
         """Provision (or fetch) an ad account registered with the server."""

@@ -74,6 +74,36 @@ class LatentDirections:
             raise ImageError("zero-norm direction")
         return float(fitted @ reference) / denom
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The fitted directions as plain arrays (inverse of :meth:`from_arrays`)."""
+        arrays: dict[str, np.ndarray] = {
+            "n_samples": np.array(self.n_samples),
+            "attributes": np.array(sorted(self.directions)),
+        }
+        for attribute, vector in self.directions.items():
+            arrays[f"direction_{attribute}"] = np.asarray(vector, dtype=np.float64)
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "LatentDirections":
+        """Rebuild fitted directions from a :meth:`to_arrays` snapshot."""
+        directions = {
+            str(attribute): np.asarray(arrays[f"direction_{attribute}"], dtype=np.float64)
+            for attribute in arrays["attributes"].tolist()
+        }
+        return cls(directions=directions, n_samples=int(arrays["n_samples"]))
+
+    def save(self, path) -> None:
+        """Persist the fitted directions to an ``.npz`` file."""
+        with open(path, "wb") as handle:
+            np.savez(handle, **self.to_arrays())
+
+    @classmethod
+    def load(cls, path) -> "LatentDirections":
+        """Load directions previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as payload:
+            return cls.from_arrays({name: payload[name] for name in payload.files})
+
     @staticmethod
     def fit(
         mapper: MappingNetwork,

@@ -395,6 +395,39 @@ class EarModel:
             LogisticModel(weights=np.zeros(n), intercept=intercept, converged=True, n_iter=0)
         )
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The fitted weights as plain arrays (inverse of :meth:`from_arrays`)."""
+        model = self._model
+        return {
+            "weights": np.asarray(model.weights, dtype=np.float64),
+            "intercept": np.array(model.intercept),
+            "converged": np.array(model.converged),
+            "n_iter": np.array(model.n_iter),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "EarModel":
+        """Rebuild a trained EAR from a :meth:`to_arrays` snapshot."""
+        return cls(
+            LogisticModel(
+                weights=np.asarray(arrays["weights"], dtype=np.float64),
+                intercept=float(arrays["intercept"]),
+                converged=bool(arrays["converged"]),
+                n_iter=int(arrays["n_iter"]),
+            )
+        )
+
+    def save(self, path) -> None:
+        """Persist the trained model to an ``.npz`` file."""
+        with open(path, "wb") as handle:
+            np.savez(handle, **self.to_arrays())
+
+    @classmethod
+    def load(cls, path) -> "EarModel":
+        """Load a model previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as payload:
+            return cls.from_arrays({name: payload[name] for name in payload.files})
+
     @property
     def model(self) -> LogisticModel:
         """The underlying logistic model."""

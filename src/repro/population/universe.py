@@ -10,7 +10,7 @@ from repro.errors import ValidationError
 from repro.population.activity import ActivityModel
 from repro.population.matching import PiiMatcher, hash_pii
 from repro.population.user import InterestCluster, PlatformUser
-from repro.types import Demographics, Gender, Race
+from repro.types import Demographics, Gender, Race, State
 from repro.voters.registry import VoterRegistry
 
 __all__ = ["AdoptionModel", "UserUniverse"]
@@ -158,6 +158,97 @@ class UserUniverse:
                 [u.activity_rate for u in self._users]
             )
         return self._activity_rates
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar snapshot of every user, ready for ``np.savez``.
+
+        The inverse of :meth:`from_arrays`; the artifact cache persists a
+        grown universe this way so warm world builds skip both registry
+        iteration and the adoption/proxy sampling passes.
+        """
+        users = self._users
+        return {
+            "proxy_fidelity": np.array(self._proxy_fidelity),
+            "race": np.array([u.demographics.race.value for u in users]),
+            "gender": np.array([u.demographics.gender.value for u in users]),
+            "age": np.array([u.demographics.age for u in users], dtype=np.int32),
+            "home_state": np.array([u.home_state.value for u in users]),
+            "home_dma": np.array([u.home_dma for u in users]),
+            "zip_code": np.array([u.zip_code for u in users]),
+            "interest_cluster": np.array([u.interest_cluster.value for u in users]),
+            "activity_rate": np.array([u.activity_rate for u in users], dtype=np.float64),
+            "high_poverty": np.array([u.high_poverty for u in users], dtype=bool),
+            "pii_hash": np.array([u.pii_hash or "" for u in users]),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "UserUniverse":
+        """Rebuild a universe from a :meth:`to_arrays` snapshot.
+
+        User ids are positional, so the restored user list is
+        element-for-element identical to the original's.  Construction
+        machinery (rng, adoption and activity models) is not revived —
+        it is only consulted while growing a universe from registries.
+        """
+        # Warm-load fast path (this runs on every cached world build):
+        # enum members come from value maps instead of Enum calls and the
+        # dataclasses take positional arguments.
+        race_map = {r.value: r for r in Race}
+        gender_map = {g.value: g for g in Gender}
+        state_map = {s.value: s for s in State}
+        cluster_map = {c.value: c for c in InterestCluster}
+        users = [
+            PlatformUser(
+                i,
+                Demographics(race_map[race], gender_map[gender], age),
+                state_map[state],
+                dma,
+                zip_code,
+                cluster_map[cluster],
+                rate,
+                poor,
+                pii_hash or None,
+            )
+            for i, (
+                race,
+                gender,
+                age,
+                state,
+                dma,
+                zip_code,
+                cluster,
+                rate,
+                poor,
+                pii_hash,
+            ) in enumerate(
+                zip(
+                    arrays["race"].tolist(),
+                    arrays["gender"].tolist(),
+                    arrays["age"].tolist(),
+                    arrays["home_state"].tolist(),
+                    arrays["home_dma"].tolist(),
+                    arrays["zip_code"].tolist(),
+                    arrays["interest_cluster"].tolist(),
+                    arrays["activity_rate"].tolist(),
+                    arrays["high_poverty"].tolist(),
+                    arrays["pii_hash"].tolist(),
+                )
+            )
+        ]
+        if not users:
+            raise ValidationError("cannot restore an empty universe")
+        universe = cls.__new__(cls)
+        universe._rng = None
+        universe._adoption = None
+        universe._activity = None
+        universe._proxy_fidelity = float(arrays["proxy_fidelity"])
+        universe._users = users
+        universe._by_hash = {u.pii_hash: u for u in users if u.pii_hash is not None}
+        universe._matcher = PiiMatcher(users)
+        universe._obs_cells = None
+        universe._gt_cells = None
+        universe._activity_rates = None
+        return universe
 
     @property
     def matcher(self) -> PiiMatcher:

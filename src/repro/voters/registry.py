@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.geo import PovertyModel, ZipAllocator
-from repro.names import NameGenerator
+from repro.names import FullName, NameGenerator, PostalAddress
 from repro.types import AgeBucket, CensusRace, Gender, Race, State
 from repro.voters.record import VoterRecord
 
@@ -87,6 +87,13 @@ _DEFAULT_AGE_WEIGHTS: dict[AgeBucket, float] = {
     AgeBucket.B65_PLUS: 0.24,
 }
 
+#: Value→member maps and digitize edges for the warm-load fast path in
+#: :meth:`VoterRegistry.from_arrays`.
+_GENDER_BY_VALUE = {g.value: g for g in Gender}
+_CENSUS_RACE_BY_VALUE = {r.value: r for r in CensusRace}
+_AGE_BUCKETS = list(AgeBucket)
+_AGE_BUCKET_EDGES = [b.lower for b in _AGE_BUCKETS[1:]]
+
 
 class VoterRegistry:
     """A full synthetic voter registry for one state.
@@ -137,8 +144,13 @@ class VoterRegistry:
         return self._records
 
     @property
-    def poverty_model(self) -> PovertyModel:
-        """The poverty model used when attaching ZIP poverty rates."""
+    def poverty_model(self) -> PovertyModel | None:
+        """The poverty model used when attaching ZIP poverty rates.
+
+        ``None`` on a cache-restored registry (see :meth:`from_arrays`):
+        the model only participates in generation, and poverty rates are
+        already baked into every record.
+        """
         return self._poverty
 
     def __len__(self) -> int:
@@ -149,6 +161,110 @@ class VoterRegistry:
     ) -> list[VoterRecord]:
         """All voters in one race × gender × age-bucket cell."""
         return [self._records[i] for i in self._by_cell.get((race, gender, bucket), [])]
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar snapshot of every record, ready for ``np.savez``.
+
+        The inverse of :meth:`from_arrays`; used by the artifact cache to
+        persist a generated registry, which is far cheaper to reload than
+        to resynthesise (names, ZIP allocation, poverty rates).
+        """
+        records = self._records
+        return {
+            "state": np.array(self._state.value),
+            "voter_id": np.array([r.voter_id for r in records]),
+            "name_first": np.array([r.name.first for r in records]),
+            "name_last": np.array([r.name.last for r in records]),
+            "name_suffix": np.array([r.name.suffix for r in records], dtype=np.int32),
+            "house_number": np.array(
+                [r.address.house_number for r in records], dtype=np.int64
+            ),
+            "street": np.array([r.address.street for r in records]),
+            "city": np.array([r.address.city for r in records]),
+            "addr_state": np.array([r.address.state for r in records]),
+            "zip_code": np.array([r.address.zip_code for r in records]),
+            "gender": np.array([r.gender.value for r in records]),
+            "census_race": np.array([r.census_race.value for r in records]),
+            "age": np.array([r.age for r in records], dtype=np.int32),
+            "dma": np.array([r.dma for r in records]),
+            "zip_poverty": np.array([r.zip_poverty for r in records], dtype=np.float64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "VoterRegistry":
+        """Rebuild a registry from a :meth:`to_arrays` snapshot.
+
+        The restored registry serves records and cell lookups identically
+        to the original.  Generation-time machinery (rng, ZIP allocator,
+        poverty model) is not revived: :attr:`poverty_model` is ``None``
+        on a restored instance, matching its post-generation role.
+        """
+        state = State(str(arrays["state"]))
+        # This runs on every warm world build, for tens of thousands of
+        # records: enum members come from value maps instead of Enum
+        # calls, dataclasses take positional arguments, and age buckets
+        # are digitized in one vectorized pass.
+        genders = [_GENDER_BY_VALUE[g] for g in arrays["gender"].tolist()]
+        races = [_CENSUS_RACE_BY_VALUE[r] for r in arrays["census_race"].tolist()]
+        buckets = [
+            _AGE_BUCKETS[i]
+            for i in np.digitize(arrays["age"], _AGE_BUCKET_EDGES).tolist()
+        ]
+        records = [
+            VoterRecord(
+                voter_id,
+                FullName(first, last, suffix),
+                PostalAddress(house, street, city, addr_state, zip_code),
+                state,
+                gender,
+                census_race,
+                age,
+                dma,
+                zip_poverty,
+            )
+            for (
+                voter_id,
+                first,
+                last,
+                suffix,
+                house,
+                street,
+                city,
+                addr_state,
+                zip_code,
+                gender,
+                census_race,
+                age,
+                dma,
+                zip_poverty,
+            ) in zip(
+                arrays["voter_id"].tolist(),
+                arrays["name_first"].tolist(),
+                arrays["name_last"].tolist(),
+                arrays["name_suffix"].tolist(),
+                arrays["house_number"].tolist(),
+                arrays["street"].tolist(),
+                arrays["city"].tolist(),
+                arrays["addr_state"].tolist(),
+                arrays["zip_code"].tolist(),
+                genders,
+                races,
+                arrays["age"].tolist(),
+                arrays["dma"].tolist(),
+                arrays["zip_poverty"].tolist(),
+            )
+        ]
+        registry = cls.__new__(cls)
+        registry._state = state
+        registry._config = None
+        registry._rng = None
+        registry._zip_allocator = None
+        registry._poverty = None
+        registry._records = records
+        registry._by_cell = {}
+        for idx, key in enumerate(zip(races, genders, buckets)):
+            registry._by_cell.setdefault(key, []).append(idx)
+        return registry
 
     def _generate(self, size: int) -> list[VoterRecord]:
         cfg = self._config

@@ -1,0 +1,1 @@
+"""Tests for the content-addressed artifact cache."""

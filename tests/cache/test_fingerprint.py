@@ -1,0 +1,112 @@
+"""Tests for configuration fingerprints.
+
+The cache is only sound if fingerprints are (a) stable — the same config
+always maps to the same key — and (b) sensitive — *every* field change
+produces a new key, so no stale artifact can ever be served for a
+different world.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import (
+    CODE_SALT,
+    STAGE_FIELDS,
+    config_payload,
+    stage_fingerprint,
+    world_fingerprint,
+)
+from repro.core.world import WorldConfig
+from repro.errors import ConfigurationError
+from repro.platform.engagement import EngagementParams
+
+#: One type-appropriate perturbation per WorldConfig field.
+FIELD_PERTURBATIONS = {
+    "seed": 8,
+    "registry_size": 27_000,
+    "sample_scale": 0.021,
+    "ear_events": 149_999,
+    "ear_l2": 0.31,
+    "ear_mode": "constant",
+    "proxy_fidelity": 0.87,
+    "advertiser_bid": 0.31,
+    "sessions_per_day": 3.5,
+    "value_noise_sigma": 0.91,
+    "delivery_mode": "reference",
+    "engagement_params": EngagementParams(base_rate=0.046),
+    "competition_base_price": 0.012,
+    "access_token": "EAAB-other-token",
+}
+
+
+class TestWorldFingerprint:
+    def test_stable_across_instances(self):
+        assert world_fingerprint(WorldConfig.small(seed=7)) == world_fingerprint(
+            WorldConfig.small(seed=7)
+        )
+
+    def test_every_field_perturbs_the_fingerprint(self):
+        base = WorldConfig()
+        assert set(FIELD_PERTURBATIONS) == {
+            f.name for f in dataclasses.fields(WorldConfig)
+        }
+        fingerprints = {world_fingerprint(base)}
+        for name, value in FIELD_PERTURBATIONS.items():
+            changed = dataclasses.replace(base, **{name: value})
+            fingerprints.add(world_fingerprint(changed))
+        # Base plus one distinct fingerprint per perturbed field.
+        assert len(fingerprints) == len(FIELD_PERTURBATIONS) + 1
+
+    def test_format_is_short_hex(self):
+        fp = world_fingerprint(WorldConfig())
+        assert len(fp) == 20
+        int(fp, 16)  # hex digest
+
+
+class TestStageFingerprint:
+    def test_ignores_unrelated_fields(self):
+        base = WorldConfig()
+        serving_change = dataclasses.replace(base, advertiser_bid=0.9)
+        assert stage_fingerprint(base, "registry") == stage_fingerprint(
+            serving_change, "registry"
+        )
+
+    def test_tracks_consumed_fields(self):
+        base = WorldConfig()
+        bigger = dataclasses.replace(base, registry_size=30_000)
+        assert stage_fingerprint(base, "registry") != stage_fingerprint(
+            bigger, "registry"
+        )
+
+    def test_stages_do_not_collide(self):
+        config = WorldConfig()
+        keys = {stage_fingerprint(config, stage) for stage in STAGE_FIELDS}
+        assert len(keys) == len(STAGE_FIELDS)
+
+    def test_extra_distinguishes_artifacts(self):
+        config = WorldConfig()
+        fl = stage_fingerprint(config, "registry", extra={"state": "FL"})
+        nc = stage_fingerprint(config, "registry", extra={"state": "NC"})
+        assert fl != nc
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stage_fingerprint(WorldConfig(), "nonsense")
+
+
+class TestConfigPayload:
+    def test_contains_salt_free_plain_values(self):
+        payload = config_payload(WorldConfig(seed=3))
+        assert payload["seed"] == 3
+        assert isinstance(payload["engagement_params"], dict)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_payload(WorldConfig(), field_names=("no_such_field",))
+
+    def test_salt_versioning_changes_keys(self, monkeypatch):
+        before = world_fingerprint(WorldConfig())
+        monkeypatch.setattr("repro.cache.fingerprint.CODE_SALT", "other-salt")
+        assert world_fingerprint(WorldConfig()) != before
+        assert CODE_SALT == "repro-artifacts-v1"

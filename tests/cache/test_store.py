@@ -1,0 +1,147 @@
+"""Tests for the on-disk artifact store, memo and build resolution."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, WorldMemo, cached_build, resolve_cache
+from repro.cache.store import CACHE_DIR_ENV
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "store")
+
+
+SAMPLE = {
+    "scalar": np.array(3.5),
+    "ints": np.arange(5, dtype=np.int64),
+    "strings": np.array(["a", "bb", "ccc"]),
+}
+
+
+class TestArtifactCache:
+    def test_round_trip(self, cache):
+        cache.save_arrays("stage", "k1", SAMPLE)
+        loaded = cache.load_arrays("stage", "k1")
+        assert set(loaded) == set(SAMPLE)
+        for name in SAMPLE:
+            np.testing.assert_array_equal(loaded[name], SAMPLE[name])
+
+    def test_missing_is_none(self, cache):
+        assert cache.load_arrays("stage", "absent") is None
+        assert not cache.has("stage", "absent")
+
+    def test_corrupt_file_is_a_miss_and_removed(self, cache):
+        path = cache.save_arrays("stage", "bad", SAMPLE)
+        path.write_bytes(b"not an npz")
+        assert cache.load_arrays("stage", "bad") is None
+        assert not path.exists()
+
+    def test_bad_addresses_rejected(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.path("", "key")
+        with pytest.raises(ConfigurationError):
+            cache.path("stage/../escape", "key")
+        with pytest.raises(ConfigurationError):
+            cache.path("stage", "../escape")
+
+    def test_info_and_clear(self, cache):
+        cache.save_arrays("registry", "a", SAMPLE)
+        cache.save_arrays("registry", "b", SAMPLE)
+        cache.save_arrays("ear", "c", SAMPLE)
+        info = cache.info()
+        assert info.n_entries == 3
+        assert info.by_stage["registry"][0] == 2
+        assert info.total_bytes > 0
+        rendered = info.render()
+        assert str(cache.root) in rendered and "registry" in rendered
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.info().n_entries == 0
+
+    def test_default_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+        assert ArtifactCache.default_root() == tmp_path / "env-cache"
+
+
+class TestResolveCache:
+    def test_false_disables(self):
+        assert resolve_cache(False) is None
+
+    def test_none_and_true_use_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert resolve_cache(None).root == tmp_path
+        assert resolve_cache(True).root == tmp_path
+
+    def test_path_and_instance_pass_through(self, tmp_path):
+        assert resolve_cache(tmp_path).root == tmp_path
+        cache = ArtifactCache(tmp_path)
+        assert resolve_cache(cache) is cache
+
+    def test_junk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_cache(3.14)
+
+
+class TestWorldMemo:
+    def test_get_put(self):
+        memo = WorldMemo()
+        assert memo.get("s", "k") is None
+        memo.put("s", "k", "value")
+        assert memo.get("s", "k") == "value"
+
+    def test_fifo_eviction(self):
+        memo = WorldMemo(max_entries=2)
+        memo.put("s", "k1", 1)
+        memo.put("s", "k2", 2)
+        memo.put("s", "k3", 3)
+        assert len(memo) == 2
+        assert memo.get("s", "k1") is None
+        assert memo.get("s", "k2") == 2 and memo.get("s", "k3") == 3
+
+    def test_needs_a_slot(self):
+        with pytest.raises(ConfigurationError):
+            WorldMemo(max_entries=0)
+
+
+class TestCachedBuild:
+    @staticmethod
+    def _calls(cache, memo):
+        built = []
+
+        def build():
+            built.append(1)
+            return {"n": len(built)}
+
+        def run():
+            return cached_build(
+                stage="s",
+                key="k",
+                build=build,
+                dump=lambda obj: {"n": np.array(obj["n"])},
+                load=lambda arrays: {"n": int(arrays["n"])},
+                cache=cache,
+                memo=memo,
+            )
+
+        return built, run
+
+    def test_cold_then_warm_then_memo(self, cache):
+        memo = WorldMemo()
+        built, run = self._calls(cache, memo)
+        obj, source, seconds = run()
+        assert (obj, source) == ({"n": 1}, "cold") and seconds >= 0
+        # Memo hit: no rebuild, no disk read.
+        assert run()[1] == "memo"
+        # Fresh memo: served warm from disk, still no rebuild.
+        _, run2 = self._calls(cache, WorldMemo())
+        obj, source, _ = run2()
+        assert (obj, source) == ({"n": 1}, "warm")
+        assert built == [1]
+
+    def test_no_cache_always_builds(self):
+        built, run = self._calls(None, None)
+        assert run()[1] == "cold"
+        assert run()[1] == "cold"
+        assert built == [1, 1]

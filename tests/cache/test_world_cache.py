@@ -1,0 +1,103 @@
+"""End-to-end guarantee: a cache-warm world is bit-identical to cold.
+
+These tests build their own cold world against a private cache directory
+and rebuild the same configuration warm.  (The shared session
+``small_world`` is deliberately not used for the campaign comparison:
+its server state advances as other test modules run campaigns against
+it, so only worlds that are both fresh are comparable run-for-run.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, world_fingerprint
+from repro.core.experiments import run_campaign1, stock_specs
+from repro.core.world import SimulatedWorld, StageTiming, WorldConfig
+from repro.images.gan import LatentDirections
+from repro.platform.ear import EarModel
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory) -> ArtifactCache:
+    return ArtifactCache(tmp_path_factory.mktemp("world-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_world(cache) -> SimulatedWorld:
+    return SimulatedWorld(WorldConfig.small(seed=7), cache=cache)
+
+
+@pytest.fixture(scope="module")
+def warm_world(cold_world, cache) -> SimulatedWorld:
+    return SimulatedWorld(cold_world.config, cache=cache)
+
+
+class TestWarmWorld:
+    def test_stage_sources(self, cold_world, warm_world):
+        expected = {"registry.fl", "registry.nc", "universe", "ear"}
+        assert set(cold_world.build_report) == expected
+        assert set(warm_world.build_report) == expected
+        for name, timing in cold_world.build_report.items():
+            assert isinstance(timing, StageTiming)
+            assert timing.source == "cold", name
+        for name, timing in warm_world.build_report.items():
+            assert timing.source == "warm", name
+
+    def test_fingerprint_matches(self, cold_world, warm_world):
+        assert warm_world.fingerprint == cold_world.fingerprint
+        assert warm_world.fingerprint != world_fingerprint(WorldConfig.small(seed=8))
+
+    def test_artifacts_identical(self, cold_world, warm_world):
+        assert warm_world.fl_registry.records == cold_world.fl_registry.records
+        assert warm_world.nc_registry.records == cold_world.nc_registry.records
+        assert warm_world.universe.users == cold_world.universe.users
+        np.testing.assert_array_equal(
+            warm_world.ear.model.weights, cold_world.ear.model.weights
+        )
+
+    def test_campaign_results_identical(self, cold_world, warm_world):
+        cold = run_campaign1(cold_world, specs=stock_specs(cold_world, per_cell=2))
+        warm = run_campaign1(warm_world, specs=stock_specs(warm_world, per_cell=2))
+        assert warm.summary.reach == cold.summary.reach
+        assert warm.summary.impressions == cold.summary.impressions
+        assert warm.summary.spend == cold.summary.spend
+        for table in ("pct_black", "pct_female", "pct_top_age"):
+            warm_reg = getattr(warm.regressions, table)
+            cold_reg = getattr(cold.regressions, table)
+            np.testing.assert_array_equal(warm_reg.coef, cold_reg.coef)
+            np.testing.assert_array_equal(warm_reg.p_values, cold_reg.p_values)
+
+    def test_disabled_cache_builds_cold(self, cache, warm_world):
+        world = SimulatedWorld(warm_world.config, cache=False)
+        assert all(t.source == "cold" for t in world.build_report.values())
+        assert world.universe.users == warm_world.universe.users
+
+
+class TestModelRoundTrips:
+    def test_ear_save_load(self, cold_world, tmp_path):
+        path = tmp_path / "ear.npz"
+        cold_world.ear.save(path)
+        restored = EarModel.load(path)
+        np.testing.assert_array_equal(
+            restored.model.weights, cold_world.ear.model.weights
+        )
+        assert restored.model.intercept == cold_world.ear.model.intercept
+        user = cold_world.universe.users[0]
+        from repro.images import ImageFeatures
+
+        image = ImageFeatures(race_score=0.8, gender_score=0.4, age_years=33.0)
+        assert restored.score(user, image, None) == cold_world.ear.score(
+            user, image, None
+        )
+
+    def test_latent_directions_save_load(self, gan_stack, tmp_path):
+        _, _, _, directions = gan_stack
+        path = tmp_path / "directions.npz"
+        directions.save(path)
+        restored = LatentDirections.load(path)
+        assert set(restored.directions) == set(directions.directions)
+        assert restored.n_samples == directions.n_samples
+        for attribute in directions.directions:
+            np.testing.assert_array_equal(
+                restored.direction(attribute), directions.direction(attribute)
+            )

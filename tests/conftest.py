@@ -8,6 +8,8 @@ their own instances.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,9 +17,42 @@ from repro.core.experiments import run_campaign1, stock_specs
 from repro.core.world import SimulatedWorld, WorldConfig
 from repro.images.classifier import DeepfaceLikeClassifier
 from repro.images.gan import LatentDirections, MappingNetwork, Synthesizer
+from repro.population import UserUniverse
 from repro.rng import SeedSequenceFactory
 from repro.types import State
 from repro.voters.registry import VoterRegistry
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--persistent-cache",
+            action="store_true",
+            help="use the real artifact cache ($REPRO_CACHE_DIR) instead of a tmp dir",
+        )
+    except ValueError:  # already registered (tests/ + benchmarks/ collected together)
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(request, tmp_path_factory):
+    """Point the artifact cache at a per-session tmp dir by default.
+
+    Keeps the suite hermetic — no reads from or writes to the user's real
+    ``~/.cache/repro-worlds`` — while still exercising the full cache
+    code path (worlds built twice in one session hit the tmp cache).
+    ``--persistent-cache`` opts back into the real directory.
+    """
+    if request.config.getoption("--persistent-cache"):
+        yield
+        return
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")
@@ -54,6 +89,12 @@ def fl_registry(rngs: SeedSequenceFactory) -> VoterRegistry:
 def nc_registry(rngs: SeedSequenceFactory) -> VoterRegistry:
     """A realistic-marginals North Carolina registry."""
     return VoterRegistry(State.NC, 4000, rngs.get("tests.nc"))
+
+
+@pytest.fixture(scope="session")
+def universe(fl_registry: VoterRegistry, nc_registry: VoterRegistry) -> UserUniverse:
+    """One FL+NC user universe shared read-only across test modules."""
+    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(0))
 
 
 @pytest.fixture(scope="session")

@@ -8,14 +8,10 @@ from repro.images import ImageFeatures
 from repro.platform import EarModel, EngagementLogger, EngagementModel
 from repro.platform.cells import N_OBSERVED_CELLS, OBSERVED_CELLS
 from repro.platform.ear import ear_feature_names, ear_features
-from repro.population import UserUniverse
 from repro.population.user import InterestCluster
 from repro.types import AgeBucket, Gender
 
-
-@pytest.fixture(scope="module")
-def universe(fl_registry, nc_registry):
-    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(11))
+# ``universe`` is the shared session-scoped fixture from tests/conftest.py.
 
 
 @pytest.fixture(scope="module")

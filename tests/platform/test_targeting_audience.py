@@ -1,18 +1,14 @@
 """Tests for targeting specs and the audience store."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AudienceError, TargetingError
 from repro.platform import AudienceStore, TargetingSpec
-from repro.population import UserUniverse
 from repro.population.matching import hash_pii
 from repro.types import Gender, State
 
-
-@pytest.fixture(scope="module")
-def universe(fl_registry, nc_registry):
-    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(7))
+# The session-scoped ``universe`` fixture (tests/conftest.py) provides the
+# shared FL+NC universe; only the mutable audience store is per-test.
 
 
 @pytest.fixture()

@@ -7,10 +7,8 @@ from repro.errors import ValidationError
 from repro.population import AdoptionModel, InterestCluster, UserUniverse
 from repro.types import Gender, Race, State
 
-
-@pytest.fixture(scope="module")
-def universe(fl_registry, nc_registry):
-    return UserUniverse([fl_registry, nc_registry], np.random.default_rng(0))
+# ``universe`` is the shared session-scoped fixture from tests/conftest.py
+# (same registries and rng seed this module always used).
 
 
 class TestAdoptionModel:

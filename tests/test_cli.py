@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.cache import ArtifactCache
 from repro.cli import main
 
 
@@ -37,6 +40,44 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign99"])
+
+
+class TestCliSweep:
+    def test_sweep_writes_rows_in_seed_order(self, capsys, tmp_path: Path):
+        out_file = tmp_path / "rows.json"
+        code = main(
+            [
+                "sweep",
+                "--seeds",
+                "101,202",
+                "--jobs",
+                "2",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2 replicates (stability, jobs=2)" in printed
+        rows = json.loads(out_file.read_text(encoding="utf-8"))
+        assert [row["seed"] for row in rows] == [101, 202]
+        assert all(row["black"] > 0 for row in rows)
+
+    def test_bad_seed_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--seeds", "one,two"])
+
+
+class TestCliCache:
+    def test_info_and_clear(self, capsys, tmp_path: Path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.save_arrays("registry", "abc", {"x": np.arange(3)})
+        assert main(["cache", "info", "--dir", str(cache.root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out and "registry" in out
+        assert main(["cache", "clear", "--dir", str(cache.root)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert cache.entries() == []
 
 
 class TestCliExport:
