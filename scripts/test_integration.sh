@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Run the integration tier: HTTP-socket transport tests and the chaos
+# (fault-injection) campaign runs.  Tier-1 (`pytest -x -q`) excludes
+# these via the default `-m 'not integration'` addopts; the explicit
+# marker expression here overrides it (pytest honors the last -m).
+set -eu
+cd "$(dirname "$0")/.."
+exec python -m pytest -m integration -q "$@"

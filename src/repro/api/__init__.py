@@ -14,6 +14,12 @@ methodology (:mod:`repro.core`) and the platform simulator
 * :mod:`repro.api.client` — the typed client the audit code uses;
 * :mod:`repro.api.ratelimit` — token-bucket request limiting (the real
   API throttles; the audit code must survive HTTP-style 4xx responses);
+* :mod:`repro.api.retry` — the bounded, deterministic retry policy
+  every client request routes through;
+* :mod:`repro.api.faults` — seeded chaos middleware injecting 429s,
+  5xxs, connection resets and slow responses into any transport;
+* :mod:`repro.api.metrics` — per-endpoint request/retry/latency
+  observability exposed on the client;
 * :mod:`repro.api.pagination` — cursor pagination for list endpoints.
 
 The audit code never imports :mod:`repro.platform` internals directly —
@@ -21,14 +27,21 @@ tests enforce that everything observable flows through this API.
 """
 
 from repro.api.client import MarketingApiClient
+from repro.api.faults import FaultInjectingTransport, FaultKind
+from repro.api.metrics import ClientMetrics
 from repro.api.protocol import ApiRequest, ApiResponse
 from repro.api.ratelimit import TokenBucket
+from repro.api.retry import RetryPolicy
 from repro.api.server import MarketingApiServer
 
 __all__ = [
     "ApiRequest",
     "ApiResponse",
+    "ClientMetrics",
+    "FaultInjectingTransport",
+    "FaultKind",
     "MarketingApiClient",
     "MarketingApiServer",
+    "RetryPolicy",
     "TokenBucket",
 ]

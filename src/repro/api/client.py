@@ -5,8 +5,13 @@ through this client, the way the paper's harness drove Facebook through
 the Marketing API.  The client:
 
 * speaks the request/response envelope of :mod:`repro.api.protocol`;
-* retries rate-limited requests with exponential backoff (sleeping via an
-  injected callable so tests and simulations control time);
+* routes every request — single calls *and* paged reads — through one
+  bounded :class:`~repro.api.retry.RetryPolicy` (429s, 5xx responses
+  and transient transport faults are retried with deterministic
+  jittered backoff, honoring server ``retry_after`` hints, then
+  surfaced as errors rather than spinning forever);
+* records per-endpoint request/retry/latency metrics on
+  :attr:`MarketingApiClient.metrics`;
 * follows pagination cursors transparently;
 * chunks large Custom Audience uploads (the real endpoint caps batch
   sizes).
@@ -14,13 +19,19 @@ the Marketing API.  The client:
 
 from __future__ import annotations
 
+import logging
+import time
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from repro.api.metrics import ClientMetrics, endpoint_key
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.api.retry import RetryPolicy, send_with_retry
 from repro.errors import ApiError, ValidationError
 
 __all__ = ["MarketingApiClient"]
+
+logger = logging.getLogger(__name__)
 
 #: The real customaudiences/users endpoint accepts up to 10k rows/batch.
 UPLOAD_BATCH_SIZE = 10_000
@@ -43,7 +54,15 @@ class MarketingApiClient:
     sleep:
         Callable used for backoff waits.
     max_retries:
-        Rate-limit retries before giving up.
+        Back-compat shorthand for ``retry``: rate-limit retries before
+        giving up (``max_retries=5`` ≡ ``RetryPolicy(max_attempts=6)``).
+    retry:
+        Full retry policy (attempt cap, backoff, jitter, predicates).
+        Mutually exclusive with ``max_retries``.
+    clock:
+        Seconds clock used for per-attempt latency metrics.
+    metrics:
+        Metrics sink; a fresh :class:`ClientMetrics` by default.
     """
 
     def __init__(
@@ -52,52 +71,100 @@ class MarketingApiClient:
         access_token: str,
         *,
         sleep: Callable[[float], None] = _no_sleep,
-        max_retries: int = 5,
+        max_retries: int | None = None,
+        retry: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics: ClientMetrics | None = None,
     ) -> None:
-        if max_retries < 0:
-            raise ValidationError("max_retries must be non-negative")
+        if retry is not None and max_retries is not None:
+            raise ValidationError("pass either retry or max_retries, not both")
+        if retry is None:
+            attempts = 5 if max_retries is None else max_retries
+            if attempts < 0:
+                raise ValidationError("max_retries must be non-negative")
+            retry = RetryPolicy(max_attempts=attempts + 1)
         self._transport = transport
         self._token = access_token
         self._sleep = sleep
-        self._max_retries = max_retries
+        self._retry = retry
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else ClientMetrics()
         self.requests_sent = 0
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The policy every request routes through."""
+        return self._retry
 
     # -- low-level ---------------------------------------------------------
 
+    def _request(self, request: ApiRequest) -> ApiResponse:
+        """Send one request through the retry policy; raise on failure."""
+        key = endpoint_key(request.method, request.path)
+
+        def send() -> ApiResponse:
+            self.requests_sent += 1
+            started = self._clock()
+            try:
+                return self._transport(request)
+            finally:
+                self.metrics.record_attempt(key, self._clock() - started)
+
+        def on_retry(attempt: int, delay: float, reason: str) -> None:
+            self.metrics.record_retry(key, delay)
+
+        try:
+            response = send_with_retry(
+                self._retry, send, sleep=self._sleep, on_retry=on_retry
+            )
+        except ApiError as exc:
+            self.metrics.record_error(key)
+            if self._retry.retryable_exception(exc):
+                self.metrics.record_giveup(key)
+                logger.warning(
+                    "giving up on %s after %d attempts: %s",
+                    key,
+                    self._retry.max_attempts,
+                    exc,
+                )
+            raise
+        if not response.ok:
+            self.metrics.record_error(key)
+            if self._retry.retryable_status(response.status):
+                # The loop exhausted the policy on a retryable status.
+                self.metrics.record_giveup(key)
+                logger.warning(
+                    "giving up on %s after %d attempts (HTTP %d)",
+                    key,
+                    self._retry.max_attempts,
+                    response.status,
+                )
+            if response.status == 429:
+                raise ApiError("rate limited after retries", code=4)
+            response.raise_for_status()
+        return response
+
     def call(self, method: HttpMethod, path: str, params: dict[str, Any] | None = None) -> Any:
-        """One request with rate-limit retry; returns the ``data`` payload."""
+        """One request under the retry policy; returns the ``data`` payload."""
         request = ApiRequest(
             method=method, path=path, params=params or {}, access_token=self._token
         )
-        backoff = 1.0
-        for attempt in range(self._max_retries + 1):
-            self.requests_sent += 1
-            response = self._transport(request)
-            if response.status == 429 and attempt < self._max_retries:
-                self._sleep(backoff)
-                backoff *= 2.0
-                continue
-            response.raise_for_status()
-            return response.data
-        raise ApiError("rate limited after retries", code=4)
+        return self._request(request).data
 
     def get_paged(self, path: str, params: dict[str, Any] | None = None) -> list[Any]:
-        """GET a list endpoint, following ``after`` cursors to the end."""
+        """GET a list endpoint, following ``after`` cursors to the end.
+
+        Each page fetch is bounded by the retry policy like any other
+        call — a persistently throttled page raises :class:`ApiError`
+        (code 4) instead of spinning.
+        """
         collected: list[Any] = []
         params = dict(params or {})
         while True:
             request = ApiRequest(
                 method=HttpMethod.GET, path=path, params=params, access_token=self._token
             )
-            backoff = 1.0
-            response = self._transport(request)
-            self.requests_sent += 1
-            while response.status == 429:
-                self._sleep(backoff)
-                backoff *= 2.0
-                response = self._transport(request)
-                self.requests_sent += 1
-            response.raise_for_status()
+            response = self._request(request)
             collected.extend(response.data)
             cursors = (response.paging or {}).get("cursors", {})
             after = cursors.get("after")

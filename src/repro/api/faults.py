@@ -1,0 +1,143 @@
+"""Deterministic fault injection for the Marketing API transport.
+
+Chaos middleware: wraps any transport callable (the in-process
+``server.handle`` or an HTTP transport) and injects the failure modes a
+real Marketing API harness sees over a multi-week run — throttling,
+server errors, dropped connections, slow responses — from a seeded
+stream, so a "10% faults" run is exactly reproducible.
+
+The injector is how the test suite proves the resilience story end to
+end: a full :class:`~repro.core.campaign_runner.PairedCampaignRunner`
+day through ``FaultInjectingTransport(handle, error_rate=0.1, seed=...)``
+must produce *bit-identical* results to the fault-free run, because
+
+* rate-limit (429) and server-error (500) faults are answered from the
+  middleware without touching the wrapped transport;
+* connection resets are raised before the request is forwarded (by
+  default), so the server never sees the aborted attempt;
+* slow responses forward the request exactly once, after an injected
+  (simulated-time) delay.
+
+``reset_after_send=True`` flips connection resets to the nastier real
+shape — the server processes the request but the response is lost —
+which is what makes `/users` upload idempotency matter
+(:meth:`MarketingApiServer._upload_users
+<repro.api.server.MarketingApiServer>` dedupes replayed hashes).
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import random
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+from repro.api.protocol import ApiRequest, ApiResponse
+from repro.errors import ApiError, RateLimitError, ValidationError
+
+__all__ = ["FaultKind", "FaultInjectingTransport"]
+
+logger = logging.getLogger(__name__)
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector can produce."""
+
+    RATE_LIMIT = "rate_limit"  #: a 429 envelope with a ``retry_after`` hint
+    SERVER_ERROR = "server_error"  #: a 500 envelope (transient server fault)
+    CONNECTION_RESET = "connection_reset"  #: a code-2 ``TransientError`` raise
+    SLOW_RESPONSE = "slow_response"  #: extra latency, then a normal forward
+
+
+class FaultInjectingTransport:
+    """Seeded chaos wrapper around a transport callable.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped transport (``ApiRequest -> ApiResponse``).
+    error_rate:
+        Probability a call draws a fault (i.i.d. per attempt; retried
+        attempts roll again).
+    seed:
+        Seed for the private fault stream; same seed + same call order
+        → same faults.
+    kinds:
+        Fault kinds to draw from (uniformly).
+    sleep:
+        Callable charged with slow-response latency (simulated time by
+        default, like the client's backoff sleeper).
+    retry_after:
+        ``retry_after`` hint attached to injected 429s.
+    slow_seconds:
+        Injected latency for slow responses.
+    reset_after_send:
+        If True, connection resets forward the request first and then
+        raise — the server has applied the request but the client never
+        learns.  Default False (reset before send), which preserves
+        run-for-run equivalence with a fault-free transport.
+    """
+
+    def __init__(
+        self,
+        inner: Callable[[ApiRequest], ApiResponse],
+        *,
+        error_rate: float = 0.1,
+        seed: int = 0,
+        kinds: Sequence[FaultKind] = tuple(FaultKind),
+        sleep: Callable[[float], None] | None = None,
+        retry_after: float = 0.5,
+        slow_seconds: float = 2.0,
+        reset_after_send: bool = False,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValidationError("error_rate must be in [0, 1)")
+        if not kinds:
+            raise ValidationError("at least one fault kind is required")
+        self._inner = inner
+        self._rate = error_rate
+        self._kinds = tuple(kinds)
+        self._rng = random.Random(seed)
+        self._sleep = sleep or (lambda seconds: None)
+        self._retry_after = retry_after
+        self._slow_seconds = slow_seconds
+        self._reset_after_send = reset_after_send
+        #: Count of injected faults by kind (inspection/assertions).
+        self.injected: Counter[FaultKind] = Counter()
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far."""
+        return sum(self.injected.values())
+
+    def __call__(self, request: ApiRequest) -> ApiResponse:
+        if self._rng.random() >= self._rate:
+            return self._inner(request)
+        kind = self._kinds[self._rng.randrange(len(self._kinds))]
+        self.injected[kind] += 1
+        logger.debug("injecting fault kind=%s path=%s", kind.value, request.path)
+        if kind is FaultKind.RATE_LIMIT:
+            return ApiResponse(
+                status=429,
+                error=RateLimitError("injected rate limit").to_payload(),
+                retry_after=self._retry_after,
+            )
+        if kind is FaultKind.SERVER_ERROR:
+            return ApiResponse(
+                status=500,
+                error={
+                    "message": "injected internal server error",
+                    "type": "TransientError",
+                    "code": 2,
+                },
+            )
+        if kind is FaultKind.CONNECTION_RESET:
+            if self._reset_after_send:
+                self._inner(request)  # the server applies it; the reply is lost
+            raise ApiError(
+                "injected connection reset", code=2, api_type="TransientError"
+            )
+        # SLOW_RESPONSE: latency, then one normal forward.
+        self._sleep(self._slow_seconds)
+        return self._inner(request)

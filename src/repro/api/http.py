@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from collections.abc import Callable
@@ -27,6 +28,8 @@ from repro.api.protocol import ApiRequest, ApiResponse
 from repro.errors import ApiError
 
 __all__ = ["HttpApiServer", "http_transport"]
+
+logger = logging.getLogger(__name__)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,7 +60,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Silence per-request stderr logging."""
+        """Route per-request logs to :mod:`logging` instead of stderr."""
+        logger.debug("%s - %s", self.address_string(), format % args)
 
 
 class HttpApiServer:
@@ -125,7 +129,11 @@ def http_transport(host: str, port: int, *, timeout: float = 10.0) -> Callable[[
             )
             raw = connection.getresponse().read().decode("utf-8")
             return ApiResponse.from_json(raw)
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, http.client.HTTPException, json.JSONDecodeError) as exc:
+            # Surfaced as a retryable TransientError: the client's
+            # RetryPolicy resends a bounded number of times before the
+            # fault aborts the run.
+            logger.debug("transport failure for %s: %s", request.path, exc)
             raise ApiError(f"transport failure: {exc}", code=2, api_type="TransientError") from exc
         finally:
             connection.close()

@@ -1,0 +1,166 @@
+"""Request-level observability for the Marketing API client.
+
+Week-long audit runs need to answer, cheaply and after the fact: how
+many requests did each endpoint see, how often were they throttled or
+retried, how much (simulated) time went to backoff, and did anything
+give up?  :class:`ClientMetrics` accumulates exactly that, per
+normalised endpoint, on every :class:`~repro.api.client.MarketingApiClient`.
+
+Endpoint keys are templates, not raw paths — ``POST act_{id}/adsets``
+rather than ``POST /act_20190001/adsets`` — so a 200-ad campaign rolls
+up into a dozen rows instead of hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.protocol import HttpMethod
+
+__all__ = ["EndpointStats", "ClientMetrics", "endpoint_key"]
+
+
+def endpoint_key(method: HttpMethod, path: str) -> str:
+    """Normalise a request to a per-endpoint template key.
+
+    Object ids are collapsed (``act_123`` → ``act_{id}``, other leading
+    ids → ``{object}``) while the route suffix is kept verbatim::
+
+        POST /act_20190001/adsets  ->  POST act_{id}/adsets
+        GET  /ad_7/insights        ->  GET {object}/insights
+        GET  /aud_3                ->  GET {object}
+    """
+    parts = [p for p in path.split("/") if p]
+    if not parts:
+        return f"{method.value} /"
+    head = "act_{id}" if parts[0].startswith("act_") else "{object}"
+    return " ".join([method.value, "/".join([head, *parts[1:]])])
+
+
+@dataclass
+class EndpointStats:
+    """Counters and aggregates for one endpoint template."""
+
+    requests: int = 0  #: attempts actually sent over the transport
+    retries: int = 0  #: backoff-then-resend events
+    giveups: int = 0  #: requests abandoned after exhausting the policy
+    errors: int = 0  #: requests whose final outcome was an API error
+    latency_seconds: float = 0.0  #: summed per-attempt transport latency
+    backoff_seconds: float = 0.0  #: summed (simulated) backoff waits
+
+    def merge(self, other: "EndpointStats") -> None:
+        """Accumulate ``other`` into this row (used for totals)."""
+        self.requests += other.requests
+        self.retries += other.retries
+        self.giveups += other.giveups
+        self.errors += other.errors
+        self.latency_seconds += other.latency_seconds
+        self.backoff_seconds += other.backoff_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able row."""
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "errors": self.errors,
+            "latency_seconds": round(self.latency_seconds, 6),
+            "backoff_seconds": round(self.backoff_seconds, 6),
+        }
+
+
+@dataclass
+class ClientMetrics:
+    """Per-endpoint request metrics, exposed as ``client.metrics``."""
+
+    _stats: dict[str, EndpointStats] = field(default_factory=dict)
+
+    def _row(self, key: str) -> EndpointStats:
+        row = self._stats.get(key)
+        if row is None:
+            row = self._stats[key] = EndpointStats()
+        return row
+
+    # -- recording hooks (called by the client) -----------------------------
+
+    def record_attempt(self, key: str, latency_seconds: float) -> None:
+        """One attempt hit the transport."""
+        row = self._row(key)
+        row.requests += 1
+        row.latency_seconds += latency_seconds
+
+    def record_retry(self, key: str, delay_seconds: float) -> None:
+        """One backoff-and-resend happened."""
+        row = self._row(key)
+        row.retries += 1
+        row.backoff_seconds += delay_seconds
+
+    def record_giveup(self, key: str) -> None:
+        """The retry policy was exhausted for one request."""
+        self._row(key).giveups += 1
+
+    def record_error(self, key: str) -> None:
+        """A request's final outcome was an API error."""
+        self._row(key).errors += 1
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def endpoints(self) -> dict[str, EndpointStats]:
+        """Live per-endpoint rows (sorted copy)."""
+        return dict(sorted(self._stats.items()))
+
+    def totals(self) -> EndpointStats:
+        """All endpoints merged into one row."""
+        total = EndpointStats()
+        for row in self._stats.values():
+            total.merge(row)
+        return total
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump: per-endpoint rows plus a ``totals`` row."""
+        return {
+            "endpoints": {key: row.as_dict() for key, row in self.endpoints.items()},
+            "totals": self.totals().as_dict(),
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated rows."""
+        self._stats.clear()
+
+    def render(self) -> str:
+        """Fixed-width table for CLI display (``repro api-stats``)."""
+        headers = ["endpoint", "requests", "retries", "giveups", "errors", "backoff_s"]
+        rows = [
+            [
+                key,
+                str(row.requests),
+                str(row.retries),
+                str(row.giveups),
+                str(row.errors),
+                f"{row.backoff_seconds:.2f}",
+            ]
+            for key, row in self.endpoints.items()
+        ]
+        total = self.totals()
+        rows.append(
+            [
+                "TOTAL",
+                str(total.requests),
+                str(total.retries),
+                str(total.giveups),
+                str(total.errors),
+                f"{total.backoff_seconds:.2f}",
+            ]
+        )
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)) for row in rows)
+        return "\n".join(lines)

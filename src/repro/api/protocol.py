@@ -67,12 +67,18 @@ class ApiRequest:
 
 @dataclass(frozen=True, slots=True)
 class ApiResponse:
-    """One API response."""
+    """One API response.
+
+    ``retry_after`` is the throttling hint attached to 429 responses:
+    how many (simulated) seconds until the server's token bucket could
+    next grant a request.  Retry backoff honors it as a lower bound.
+    """
 
     status: int
     data: Any = None
     error: dict[str, Any] | None = None
     paging: dict[str, Any] | None = None
+    retry_after: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -99,6 +105,8 @@ class ApiResponse:
                 body["paging"] = self.paging
         else:
             body["error"] = self.error
+            if self.retry_after is not None:
+                body["retry_after"] = self.retry_after
         return json.dumps({"status": self.status, "body": body})
 
     @staticmethod
@@ -107,11 +115,13 @@ class ApiResponse:
         try:
             raw = json.loads(payload)
             body = raw.get("body", {})
+            retry_after = body.get("retry_after")
             return ApiResponse(
                 status=int(raw["status"]),
                 data=body.get("data"),
                 error=body.get("error"),
                 paging=body.get("paging"),
+                retry_after=(None if retry_after is None else float(retry_after)),
             )
         except (json.JSONDecodeError, KeyError, ValueError) as exc:
             raise ApiError(f"malformed response: {exc}", code=100) from exc
@@ -122,6 +132,8 @@ class ApiResponse:
         return ApiResponse(status=200, data=data, paging=paging)
 
     @staticmethod
-    def failure(exc: ApiError, status: int = 400) -> "ApiResponse":
+    def failure(
+        exc: ApiError, status: int = 400, *, retry_after: float | None = None
+    ) -> "ApiResponse":
         """Error response from an :class:`ApiError`."""
-        return ApiResponse(status=status, error=exc.to_payload())
+        return ApiResponse(status=status, error=exc.to_payload(), retry_after=retry_after)

@@ -29,7 +29,9 @@ class TokenBucket:
     refill_per_second:
         Sustained request rate.
     clock:
-        Callable returning monotonically non-decreasing seconds.
+        Callable returning seconds.  Backwards steps (an NTP correction
+        under a wall clock) are tolerated: refill clamps to the last
+        observed time instead of failing.
     """
 
     def __init__(
@@ -55,9 +57,10 @@ class TokenBucket:
         return self._tokens
 
     def _refill(self) -> None:
-        now = self._clock()
-        if now < self._last:
-            raise ValidationError("clock went backwards")
+        # Wall clocks step backwards under NTP corrections; treating that
+        # as fatal would 500 the server permanently.  Clamp instead: no
+        # refill is earned while the clock is behind the high-water mark.
+        now = max(self._clock(), self._last)
         self._tokens = min(self._capacity, self._tokens + (now - self._last) * self._rate)
         self._last = now
 

@@ -1,0 +1,174 @@
+"""Bounded, deterministic retry for Marketing API requests.
+
+The paper's harness ran paired campaigns for weeks against a throttled,
+occasionally flaky production API (§3.2, §4.1); the driver layer only
+gets week-long measurements because every request path survives 429s,
+5xx responses and transport flakes — and gives up after a *bounded*
+number of attempts instead of spinning forever.
+
+This module centralises that behaviour:
+
+* :class:`RetryPolicy` — a frozen description of the retry schedule:
+  attempt cap, exponential backoff with a delay cap, deterministic
+  seeded jitter, and the predicate deciding which failures are
+  retryable (429, any 5xx, and ``TransientError`` code-2 transport
+  faults);
+* :func:`send_with_retry` — the one attempt loop both
+  :meth:`MarketingApiClient.call <repro.api.client.MarketingApiClient.call>`
+  and ``get_paged`` route through.
+
+Jitter is derived from ``(seed, attempt)`` with a private
+``random.Random`` — never from wall-clock entropy — so a schedule is
+reproducible across runs and simulations stay bit-identical.  When a
+429 response carries a ``retry_after`` hint (the simulated server
+computes it from :meth:`TokenBucket.seconds_until_available
+<repro.api.ratelimit.TokenBucket.seconds_until_available>`), the wait
+honors the hint: the client never knocks again before the bucket can
+possibly have a token.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.api.protocol import ApiResponse
+from repro.errors import ApiError, ValidationError
+
+__all__ = ["RetryPolicy", "send_with_retry"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to try a request, and how long to wait in between.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts, including the first (``1`` disables retries).
+    base_delay:
+        Backoff before the first retry, in (simulated) seconds.
+    backoff_factor:
+        Multiplier applied per retry (exponential backoff).
+    max_delay:
+        Ceiling on a single backoff wait.
+    jitter:
+        Fraction of the delay randomised away (``0.1`` → each wait is
+        shrunk by up to 10%).  Deterministic given ``seed``.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 1.0
+    backoff_factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be at least 1")
+        if self.base_delay <= 0:
+            raise ValidationError("base_delay must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValidationError("backoff_factor must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValidationError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValidationError("jitter must be in [0, 1)")
+
+    # -- predicates ---------------------------------------------------------
+
+    def retryable_status(self, status: int) -> bool:
+        """True for responses worth another attempt (429 and any 5xx)."""
+        return status == 429 or 500 <= status < 600
+
+    def retryable_exception(self, exc: BaseException) -> bool:
+        """True for transient transport faults (code-2 ``TransientError``)."""
+        return isinstance(exc, ApiError) and (
+            exc.api_type == "TransientError" or exc.code == 2
+        )
+
+    # -- schedule -----------------------------------------------------------
+
+    def backoff_delay(self, attempt: int, *, retry_after: float | None = None) -> float:
+        """Seconds to wait after a failed ``attempt`` (0-based).
+
+        The exponential delay is capped at :attr:`max_delay`, jittered
+        deterministically from ``(seed, attempt)``, and raised to any
+        server-provided ``retry_after`` hint.
+        """
+        if attempt < 0:
+            raise ValidationError("attempt must be non-negative")
+        raw = min(self.max_delay, self.base_delay * self.backoff_factor**attempt)
+        frac = random.Random((self.seed + 1) * 1_000_003 + attempt).random()
+        delay = raw * (1.0 - self.jitter * frac)
+        if retry_after is not None and retry_after > delay:
+            delay = float(retry_after)
+        return delay
+
+    def schedule(self) -> list[float]:
+        """The full backoff schedule (one wait per retry), for inspection."""
+        return [self.backoff_delay(i) for i in range(self.max_attempts - 1)]
+
+
+def send_with_retry(
+    policy: RetryPolicy,
+    send: Callable[[], ApiResponse],
+    *,
+    sleep: Callable[[float], None],
+    on_retry: Callable[[int, float, str], None] | None = None,
+) -> ApiResponse:
+    """Run ``send`` under ``policy``; the shared attempt loop.
+
+    Returns the first non-retryable response, or — after
+    ``policy.max_attempts`` attempts — the last retryable response
+    (callers decide how to surface exhaustion).  Transient transport
+    faults (per :meth:`RetryPolicy.retryable_exception`) are retried the
+    same way and re-raised once attempts run out; non-retryable
+    exceptions propagate immediately.
+
+    ``on_retry(attempt, delay, reason)`` fires before each backoff wait
+    so callers can count retries and backoff time.
+    """
+    last_response: ApiResponse | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            response = send()
+        except ApiError as exc:
+            if not policy.retryable_exception(exc) or attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.backoff_delay(attempt)
+            logger.debug(
+                "retrying after transient fault attempt=%d delay=%.3f error=%s",
+                attempt,
+                delay,
+                exc,
+            )
+            if on_retry is not None:
+                on_retry(attempt, delay, f"transient: {exc}")
+            sleep(delay)
+            continue
+        last_response = response
+        if not policy.retryable_status(response.status):
+            return response
+        if attempt + 1 >= policy.max_attempts:
+            break
+        delay = policy.backoff_delay(attempt, retry_after=response.retry_after)
+        logger.debug(
+            "retrying after status=%d attempt=%d delay=%.3f retry_after=%s",
+            response.status,
+            attempt,
+            delay,
+            response.retry_after,
+        )
+        if on_retry is not None:
+            on_retry(attempt, delay, f"status {response.status}")
+        sleep(delay)
+    assert last_response is not None  # loop ran at least once without raising
+    return last_response

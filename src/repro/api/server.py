@@ -121,6 +121,10 @@ class MarketingApiServer:
         # staged uploads: audience id -> (name, accumulated hashes); an
         # audience is matched ("materialized") lazily on first targeting use.
         self._staged_uploads: dict[str, tuple[str, list[str]]] = {}
+        # per-audience dedup index: a transport fault can make a client
+        # replay a /users batch the server already applied, so membership
+        # and num_received must count each hash at most once.
+        self._staged_seen: dict[str, set[str]] = {}
         self._materialized: dict[str, str] = {}
 
     # -- world management (not part of the HTTP surface) ------------------
@@ -142,7 +146,14 @@ class MarketingApiServer:
             if request.access_token not in self._tokens:
                 raise AuthError()
             if self._bucket is not None and not self._bucket.try_acquire():
-                raise RateLimitError()
+                # Tell the client when a token could next be granted so
+                # its retry backoff can honor the hint instead of
+                # guessing (RetryPolicy treats it as a lower bound).
+                return ApiResponse.failure(
+                    RateLimitError(),
+                    status=429,
+                    retry_after=self._bucket.seconds_until_available(),
+                )
             return self._route(request)
         except RateLimitError as exc:
             return ApiResponse.failure(exc, status=429)
@@ -228,9 +239,21 @@ class MarketingApiServer:
         if staged is None:
             raise NotFoundError(f"unknown audience {audience_id}")
         name, accumulated = staged
-        accumulated.extend(str(h) for h in hashes)
+        seen = self._staged_seen.setdefault(audience_id, set(accumulated))
+        fresh = []
+        for raw in hashes:
+            value = str(raw)
+            if value not in seen:
+                seen.add(value)
+                fresh.append(value)
+        accumulated.extend(fresh)
         return ApiResponse.success(
-            {"audience_id": audience_id, "num_received": len(hashes), "num_invalid_entries": 0}
+            {
+                "audience_id": audience_id,
+                "num_received": len(fresh),
+                "num_duplicates": len(hashes) - len(fresh),
+                "num_invalid_entries": 0,
+            }
         )
 
     def _create_lookalike(self, account: AdAccount, params: dict[str, Any]) -> ApiResponse:

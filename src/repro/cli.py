@@ -7,6 +7,7 @@ Examples::
     python -m repro appendix-a --out results/
     python -m repro all --out results/
     python -m repro sweep --seeds 101,202,303 --jobs 4
+    python -m repro api-stats --fault-rate 0.1 --log-level INFO
     python -m repro cache info
 """
 
@@ -14,18 +15,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 from pathlib import Path
 
+from repro.api import FaultInjectingTransport, MarketingApiClient
 from repro.cache import ArtifactCache
 from repro.core.analysis import table3_rows
+from repro.core.campaign_runner import PairedCampaignRunner
+from repro.core.design import build_balanced_audiences
 from repro.core.experiments import (
     run_appendix_a,
     run_campaign1,
     run_campaign2,
     run_campaign3,
     run_campaign4,
+    stock_specs,
 )
 from repro.core.figures import figure3_panels, figure4_panels, figure7_points
 from repro.core.reporting import (
@@ -118,6 +124,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="build every world cold, bypassing the artifact cache",
     )
 
+    api_stats = commands.add_parser(
+        "api-stats",
+        help="run a reduced paired campaign and report per-endpoint client metrics",
+    )
+    api_stats.add_argument("--seed", type=int, default=7, help="experiment seed")
+    api_stats.add_argument(
+        "--scale", choices=("small", "paper"), default="small", help="world size preset"
+    )
+    api_stats.add_argument(
+        "--per-cell",
+        type=int,
+        default=1,
+        help="stock images per demographic cell (20 cells; 1 => 40 ads)",
+    )
+    api_stats.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject transport faults (429/500/reset/slow) at this rate",
+    )
+    api_stats.add_argument(
+        "--fault-seed", type=int, default=13, help="seed for the fault stream"
+    )
+    api_stats.add_argument(
+        "--log-level",
+        default=None,
+        help="enable request logging at this level (e.g. DEBUG)",
+    )
+    api_stats.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build the world cold, bypassing the artifact cache",
+    )
+
     cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument("action", choices=("info", "clear"), help="what to do")
     cache.add_argument(
@@ -147,6 +187,55 @@ def _run_cache(args: argparse.Namespace) -> int:
         info = cache.info()
         removed = cache.clear()
         print(f"removed {removed} entries ({info.total_bytes} bytes) from {cache.root}")
+    return 0
+
+
+def _run_api_stats(args: argparse.Namespace) -> int:
+    """Drive one reduced paired campaign and print client observability."""
+    if args.log_level:
+        logging.basicConfig(
+            level=args.log_level.upper(),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    started = time.time()
+    config = (
+        WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
+    )
+    world = SimulatedWorld(config, cache=False if args.no_cache else None)
+    account_id = "apistats"
+    world.account(account_id)
+    transport = world.server.handle
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjectingTransport(
+            transport, error_rate=args.fault_rate, seed=args.fault_seed
+        )
+        transport = injector
+    client = MarketingApiClient(transport, world.config.access_token)
+    audiences = build_balanced_audiences(
+        client,
+        account_id,
+        world.fl_registry,
+        world.nc_registry,
+        world.rngs.get("sample.apistats"),
+        sample_scale=world.config.sample_scale,
+        name_prefix="apistats",
+    )
+    specs = stock_specs(world, per_cell=args.per_cell)
+    runner = PairedCampaignRunner(client, account_id, audiences)
+    deliveries, summary = runner.run(specs, "api-stats-probe")
+    print(client.metrics.render())
+    if injector is not None:
+        injected = ", ".join(
+            f"{kind.value}={count}" for kind, count in sorted(
+                injector.injected.items(), key=lambda kv: kv[0].value
+            )
+        )
+        print(f"injected faults ({injector.total_injected} total): {injected or 'none'}")
+    print(
+        f"{len(deliveries)} paired deliveries, {summary.impressions:,} impressions, "
+        f"{client.requests_sent} requests in {time.time() - started:.0f}s"
+    )
     return 0
 
 
@@ -248,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cache(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "api-stats":
+        return _run_api_stats(args)
     return _run_experiments(args)
 
 

@@ -12,6 +12,7 @@ image with the race-split inference already applied.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.api.client import MarketingApiClient
 from repro.core.design import BalancedAudiencePair
@@ -143,13 +144,20 @@ class PairedDelivery:
 
 @dataclass(frozen=True, slots=True)
 class CampaignRunSummary:
-    """Table-2-style roll-up of one campaign run."""
+    """Table-2-style roll-up of one campaign run.
+
+    ``api_stats`` carries the driving client's request observability
+    totals (requests/retries/giveups/backoff, per
+    :meth:`repro.api.metrics.ClientMetrics.totals`) so multi-day runs
+    can report how much throttling and flakiness they survived.
+    """
 
     n_ads: int
     reach: int
     impressions: int
     spend: float
     rejected_ads: int
+    api_stats: dict[str, Any] | None = None
 
 
 class PairedCampaignRunner:
@@ -279,6 +287,7 @@ class PairedCampaignRunner:
             impressions=impressions,
             spend=spend,
             rejected_ads=rejected,
+            api_stats=client.metrics.totals().as_dict(),
         )
         return paired, summary
 

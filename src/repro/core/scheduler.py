@@ -50,12 +50,23 @@ __all__ = [
 # campaign runners — top-level functions (picklable), flat JSON-able rows
 # --------------------------------------------------------------------------
 
+def _api_columns(summary) -> dict:
+    """Request-observability columns shared by every row shape."""
+    api = summary.api_stats or {}
+    return {
+        "api_requests": int(api.get("requests", 0)),
+        "api_retries": int(api.get("retries", 0)),
+        "api_giveups": int(api.get("giveups", 0)),
+    }
+
+
 def _identity_row(result, *, render_title: str | None, params: Mapping[str, Any]) -> dict:
     table = result.regressions
     row = {
         "reach": result.summary.reach,
         "impressions": result.summary.impressions,
         "spend": round(result.summary.spend, 2),
+        **_api_columns(result.summary),
         "black": table.pct_black.coefficient("Black"),
         "black_p": table.pct_black.p_value("Black"),
         "child": table.pct_female.coefficient("Child"),
@@ -116,6 +127,7 @@ def _run_campaign4(world: SimulatedWorld, params: Mapping[str, Any]) -> dict:
         "reach": result.summary.reach,
         "impressions": result.summary.impressions,
         "spend": round(result.summary.spend, 2),
+        **_api_columns(result.summary),
         "black_overall": table.black_overall.coefficient("Implied: Black"),
         "n_groups": table.black_overall.n_groups,
     }
@@ -133,6 +145,7 @@ def _run_appendix_a(world: SimulatedWorld, params: Mapping[str, Any]) -> dict:
     row = {
         "kept_images": result.kept_images,
         "rejected_ads": result.rejected_ads,
+        **_api_columns(result.summary),
         "black": result.regression.coefficient("Black"),
         "black_p": result.regression.p_value("Black"),
     }

@@ -1,0 +1,144 @@
+"""Tests for the deterministic fault-injection transport."""
+
+import pytest
+
+from repro.api import FaultInjectingTransport, FaultKind, MarketingApiClient
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.errors import ApiError, ValidationError
+
+
+class RecordingInner:
+    """An echo transport that records every request it actually sees."""
+
+    def __init__(self):
+        self.paths = []
+
+    def __call__(self, request: ApiRequest) -> ApiResponse:
+        self.paths.append(request.path)
+        return ApiResponse.success({"echo": request.path})
+
+
+def _request(i=0):
+    return ApiRequest(method=HttpMethod.GET, path=f"/act_1/p{i}", access_token="tok")
+
+
+def _drive(transport, n=200):
+    """Call ``n`` times, recording the outcome kind per call."""
+    outcomes = []
+    for i in range(n):
+        try:
+            response = transport(_request(i))
+        except ApiError:
+            outcomes.append("raise")
+        else:
+            outcomes.append(response.status)
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        a = _drive(FaultInjectingTransport(RecordingInner(), error_rate=0.3, seed=5))
+        b = _drive(FaultInjectingTransport(RecordingInner(), error_rate=0.3, seed=5))
+        assert a == b
+
+    def test_different_seed_different_sequence(self):
+        a = _drive(FaultInjectingTransport(RecordingInner(), error_rate=0.3, seed=5))
+        b = _drive(FaultInjectingTransport(RecordingInner(), error_rate=0.3, seed=6))
+        assert a != b
+
+    def test_rate_roughly_respected_and_counted(self):
+        transport = FaultInjectingTransport(RecordingInner(), error_rate=0.2, seed=1)
+        _drive(transport, 500)
+        assert 50 <= transport.total_injected <= 150
+        assert transport.total_injected == sum(transport.injected.values())
+
+    def test_zero_rate_is_passthrough(self):
+        inner = RecordingInner()
+        transport = FaultInjectingTransport(inner, error_rate=0.0, seed=1)
+        assert all(status == 200 for status in _drive(transport, 50))
+        assert transport.total_injected == 0
+        assert len(inner.paths) == 50
+
+
+class TestFaultKinds:
+    def test_rate_limit_faults_carry_retry_after(self):
+        inner = RecordingInner()
+        transport = FaultInjectingTransport(
+            inner, error_rate=0.99, seed=2, kinds=(FaultKind.RATE_LIMIT,), retry_after=0.25
+        )
+        response = transport(_request())
+        assert response.status == 429
+        assert response.retry_after == 0.25
+        assert inner.paths == []  # never reached the server
+
+    def test_server_error_faults_are_500(self):
+        transport = FaultInjectingTransport(
+            RecordingInner(), error_rate=0.99, seed=2, kinds=(FaultKind.SERVER_ERROR,)
+        )
+        response = transport(_request())
+        assert response.status == 500
+        assert response.error["type"] == "TransientError"
+
+    def test_connection_reset_raises_before_send_by_default(self):
+        inner = RecordingInner()
+        transport = FaultInjectingTransport(
+            inner, error_rate=0.99, seed=2, kinds=(FaultKind.CONNECTION_RESET,)
+        )
+        with pytest.raises(ApiError) as excinfo:
+            transport(_request())
+        assert excinfo.value.api_type == "TransientError"
+        assert inner.paths == []
+
+    def test_connection_reset_after_send_applies_then_raises(self):
+        inner = RecordingInner()
+        transport = FaultInjectingTransport(
+            inner,
+            error_rate=0.99,
+            seed=2,
+            kinds=(FaultKind.CONNECTION_RESET,),
+            reset_after_send=True,
+        )
+        with pytest.raises(ApiError):
+            transport(_request())
+        assert len(inner.paths) == 1  # the server applied the request
+
+    def test_slow_response_sleeps_then_forwards(self):
+        inner = RecordingInner()
+        sleeps = []
+        transport = FaultInjectingTransport(
+            inner,
+            error_rate=0.99,
+            seed=2,
+            kinds=(FaultKind.SLOW_RESPONSE,),
+            sleep=sleeps.append,
+            slow_seconds=3.5,
+        )
+        response = transport(_request())
+        assert response.ok
+        assert sleeps == [3.5]
+        assert len(inner.paths) == 1
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultInjectingTransport(RecordingInner(), error_rate=1.0)
+        with pytest.raises(ValidationError):
+            FaultInjectingTransport(RecordingInner(), kinds=())
+
+
+class TestClientOverChaosTransport:
+    def test_client_completes_despite_faults(self):
+        """Bounded retries absorb a 30% fault rate without data loss."""
+        inner = RecordingInner()
+        transport = FaultInjectingTransport(inner, error_rate=0.3, seed=7)
+        client = MarketingApiClient(transport, "tok")
+        for i in range(40):
+            data = client.call(HttpMethod.GET, f"/act_1/p{i}")
+            assert data == {"echo": f"/act_1/p{i}"}
+        assert transport.total_injected > 0
+        totals = client.metrics.totals()
+        assert totals.retries >= transport.total_injected - transport.injected.get(
+            FaultKind.SLOW_RESPONSE, 0
+        )
+        assert totals.giveups == 0
+        # the server saw each request exactly once per successful forward
+        assert inner.paths.count("/act_1/p0") >= 1

@@ -7,6 +7,10 @@ from repro.api.http import HttpApiServer, http_transport
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
 from repro.errors import ApiError
 
+# Real-socket tests: part of the integration tier (`pytest -m integration`),
+# excluded from tier-1 by the default addopts.
+pytestmark = pytest.mark.integration
+
 
 def _echo_handler(request: ApiRequest) -> ApiResponse:
     if request.access_token != "tok":

@@ -1,0 +1,69 @@
+"""Tests for per-endpoint client metrics."""
+
+from repro.api import ClientMetrics, MarketingApiClient
+from repro.api.metrics import endpoint_key
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+
+
+class TestEndpointKey:
+    def test_account_routes_are_templated(self):
+        assert endpoint_key(HttpMethod.POST, "/act_20190001/adsets") == "POST act_{id}/adsets"
+        assert endpoint_key(HttpMethod.GET, "/act_7/ads") == "GET act_{id}/ads"
+
+    def test_object_routes_are_templated(self):
+        assert endpoint_key(HttpMethod.GET, "/ad_12/insights") == "GET {object}/insights"
+        assert endpoint_key(HttpMethod.POST, "/aud_3/users") == "POST {object}/users"
+        assert endpoint_key(HttpMethod.GET, "/aud_3") == "GET {object}"
+
+    def test_distinct_ids_share_one_key(self):
+        keys = {
+            endpoint_key(HttpMethod.GET, f"/ad_{i}/insights") for i in range(50)
+        }
+        assert keys == {"GET {object}/insights"}
+
+
+class TestClientMetrics:
+    def test_counters_accumulate_and_snapshot(self):
+        metrics = ClientMetrics()
+        metrics.record_attempt("GET a", 0.1)
+        metrics.record_attempt("GET a", 0.2)
+        metrics.record_retry("GET a", 1.5)
+        metrics.record_attempt("POST b", 0.3)
+        metrics.record_giveup("POST b")
+        metrics.record_error("POST b")
+        snap = metrics.snapshot()
+        assert snap["endpoints"]["GET a"]["requests"] == 2
+        assert snap["endpoints"]["GET a"]["retries"] == 1
+        assert snap["endpoints"]["GET a"]["backoff_seconds"] == 1.5
+        assert snap["endpoints"]["POST b"]["giveups"] == 1
+        assert snap["totals"]["requests"] == 3
+        assert snap["totals"]["errors"] == 1
+
+    def test_render_lists_endpoints_and_total(self):
+        metrics = ClientMetrics()
+        metrics.record_attempt("GET act_{id}/ads", 0.0)
+        text = metrics.render()
+        assert "endpoint" in text
+        assert "GET act_{id}/ads" in text
+        assert "TOTAL" in text
+
+    def test_reset_clears_rows(self):
+        metrics = ClientMetrics()
+        metrics.record_attempt("GET a", 0.1)
+        metrics.reset()
+        assert metrics.snapshot()["endpoints"] == {}
+
+    def test_client_records_latency_with_injected_clock(self):
+        ticks = iter(range(100))
+
+        def clock():
+            return float(next(ticks))
+
+        def transport(request: ApiRequest) -> ApiResponse:
+            return ApiResponse.success({"ok": True})
+
+        client = MarketingApiClient(transport, "tok", clock=clock)
+        client.call(HttpMethod.GET, "/act_1/ads")
+        totals = client.metrics.totals()
+        assert totals.requests == 1
+        assert totals.latency_seconds == 1.0  # one clock tick per attempt

@@ -45,12 +45,16 @@ class TestTokenBucket:
         bucket.try_acquire()
         assert bucket.seconds_until_available() == pytest.approx(0.5)
 
-    def test_backwards_clock_rejected(self):
+    def test_backwards_clock_clamped(self):
+        """An NTP-style backwards step must not poison the bucket."""
         clock = FakeClock()
-        bucket = TokenBucket(1, 1.0, clock)
-        clock.now = -1.0
-        with pytest.raises(ValidationError):
-            bucket.try_acquire()
+        bucket = TokenBucket(2, 1.0, clock)
+        assert bucket.try_acquire()
+        clock.now = -5.0  # wall clock steps backwards
+        assert bucket.try_acquire()  # no crash; no refill earned either
+        assert not bucket.try_acquire()  # empty while the clock lags
+        clock.now = 1.0  # clock recovers past the high-water mark
+        assert bucket.try_acquire()
 
     def test_invalid_construction(self):
         with pytest.raises(ValidationError):

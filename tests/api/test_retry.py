@@ -1,0 +1,232 @@
+"""Tests for the unified RetryPolicy and the client's bounded retry paths."""
+
+import pytest
+
+from repro.api import MarketingApiClient, RetryPolicy
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.api.retry import send_with_retry
+from repro.errors import ApiError, ValidationError
+
+
+def _ok(data=None, paging=None):
+    return ApiResponse.success(data if data is not None else {"id": "x"}, paging)
+
+
+def _throttled(retry_after=None):
+    return ApiResponse(
+        status=429,
+        error={"message": "rate limited", "type": "OAuthException", "code": 4},
+        retry_after=retry_after,
+    )
+
+
+class ScriptedTransport:
+    """Replays a list of responses / exceptions, then repeats the last."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def __call__(self, request: ApiRequest) -> ApiResponse:
+        index = min(self.calls, len(self.script) - 1)
+        self.calls += 1
+        item = self.script[index]
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=11).schedule()
+        b = RetryPolicy(seed=11).schedule()
+        c = RetryPolicy(seed=12).schedule()
+        assert a == b
+        assert a != c
+
+    def test_backoff_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, backoff_factor=2.0, max_delay=100.0, jitter=0.1
+        )
+        for attempt in range(5):
+            raw = 2.0**attempt
+            delay = policy.backoff_delay(attempt)
+            assert raw * 0.9 <= delay <= raw
+
+    def test_delay_cap_applies(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, max_delay=5.0, jitter=0.0)
+        assert policy.backoff_delay(9) == 5.0
+
+    def test_retry_after_hint_is_a_lower_bound(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+        assert policy.backoff_delay(0, retry_after=7.5) == 7.5
+        # a stale hint smaller than the backoff does not shrink the wait
+        assert policy.backoff_delay(3, retry_after=0.01) == 8.0
+
+    def test_retryable_predicates(self):
+        policy = RetryPolicy()
+        assert policy.retryable_status(429)
+        assert policy.retryable_status(500)
+        assert policy.retryable_status(503)
+        assert not policy.retryable_status(400)
+        assert not policy.retryable_status(401)
+        assert not policy.retryable_status(200)
+        assert policy.retryable_exception(
+            ApiError("boom", code=2, api_type="TransientError")
+        )
+        assert not policy.retryable_exception(ApiError("denied", code=190))
+        assert not policy.retryable_exception(ValueError("not an api error"))
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_delay=0.1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestSendWithRetry:
+    def test_retries_until_success(self):
+        transport = ScriptedTransport([_throttled(), _throttled(), _ok()])
+        retries = []
+        response = send_with_retry(
+            RetryPolicy(max_attempts=6),
+            lambda: transport(None),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, delay, reason: retries.append((attempt, delay)),
+        )
+        assert response.ok
+        assert transport.calls == 3
+        assert len(retries) == 2
+
+    def test_exhaustion_returns_last_retryable_response(self):
+        transport = ScriptedTransport([_throttled()])
+        response = send_with_retry(
+            RetryPolicy(max_attempts=4), lambda: transport(None), sleep=lambda s: None
+        )
+        assert response.status == 429
+        assert transport.calls == 4
+
+    def test_transient_exception_retried_then_reraised(self):
+        fault = ApiError("reset", code=2, api_type="TransientError")
+        transport = ScriptedTransport([fault])
+        with pytest.raises(ApiError, match="reset"):
+            send_with_retry(
+                RetryPolicy(max_attempts=3), lambda: transport(None), sleep=lambda s: None
+            )
+        assert transport.calls == 3
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        transport = ScriptedTransport([ApiError("denied", code=190)])
+        with pytest.raises(ApiError, match="denied"):
+            send_with_retry(
+                RetryPolicy(max_attempts=5), lambda: transport(None), sleep=lambda s: None
+            )
+        assert transport.calls == 1
+
+
+class TestClientBoundedRetries:
+    def test_call_gives_up_with_code_4_after_max_attempts(self):
+        transport = ScriptedTransport([_throttled()])
+        client = MarketingApiClient(transport, "tok", retry=RetryPolicy(max_attempts=4))
+        with pytest.raises(ApiError) as excinfo:
+            client.call(HttpMethod.GET, "/act_1/ads")
+        assert excinfo.value.code == 4
+        assert transport.calls == 4
+        assert client.requests_sent == 4
+        totals = client.metrics.totals()
+        assert totals.retries == 3
+        assert totals.giveups == 1
+
+    def test_get_paged_is_bounded_against_persistent_429(self):
+        """The headline bugfix: no unbounded spin on a throttled page."""
+        transport = ScriptedTransport([_throttled()])
+        client = MarketingApiClient(transport, "tok", retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(ApiError) as excinfo:
+            client.get_paged("/act_1/ads")
+        assert excinfo.value.code == 4
+        assert transport.calls == 5  # exactly max_attempts, then give up
+
+    def test_get_paged_survives_throttled_middle_page(self):
+        page1 = ApiResponse.success([1, 2], paging={"cursors": {"after": "c1"}})
+        page2 = ApiResponse.success([3, 4])
+        transport = ScriptedTransport([page1, _throttled(), _throttled(), page2])
+        client = MarketingApiClient(transport, "tok")
+        assert client.get_paged("/act_1/ads") == [1, 2, 3, 4]
+        assert client.metrics.totals().retries == 2
+
+    def test_transient_transport_faults_are_survivable(self):
+        fault = ApiError("socket blip", code=2, api_type="TransientError")
+        transport = ScriptedTransport([fault, fault, _ok({"id": "camp_1"})])
+        client = MarketingApiClient(transport, "tok")
+        assert client.call(HttpMethod.POST, "/act_1/campaigns") == {"id": "camp_1"}
+        totals = client.metrics.totals()
+        assert totals.requests == 3
+        assert totals.retries == 2
+        assert totals.giveups == 0
+
+    def test_exhausted_transient_faults_reraise_and_count_giveup(self):
+        fault = ApiError("socket blip", code=2, api_type="TransientError")
+        transport = ScriptedTransport([fault])
+        client = MarketingApiClient(transport, "tok", retry=RetryPolicy(max_attempts=3))
+        with pytest.raises(ApiError, match="socket blip"):
+            client.call(HttpMethod.GET, "/act_1/ads")
+        assert client.metrics.totals().giveups == 1
+
+    def test_retry_after_hint_honored_in_sleeps(self):
+        transport = ScriptedTransport([_throttled(retry_after=7.5), _ok()])
+        sleeps = []
+        client = MarketingApiClient(transport, "tok", sleep=sleeps.append)
+        client.call(HttpMethod.GET, "/act_1/ads")
+        assert sleeps and sleeps[0] >= 7.5
+
+    def test_backoff_schedule_matches_policy(self):
+        """Client sleeps exactly the policy's deterministic schedule."""
+        policy = RetryPolicy(max_attempts=4, seed=21)
+        transport = ScriptedTransport([_throttled()])
+        sleeps = []
+        client = MarketingApiClient(transport, "tok", sleep=sleeps.append, retry=policy)
+        with pytest.raises(ApiError):
+            client.call(HttpMethod.GET, "/act_1/ads")
+        assert sleeps == policy.schedule()
+
+    def test_max_retries_shorthand_still_works(self):
+        transport = ScriptedTransport([_throttled()])
+        client = MarketingApiClient(transport, "tok", max_retries=2)
+        with pytest.raises(ApiError):
+            client.call(HttpMethod.GET, "/act_1/ads")
+        assert transport.calls == 3  # max_retries retries + the first attempt
+        with pytest.raises(ValidationError):
+            MarketingApiClient(transport, "tok", max_retries=-1)
+
+    def test_retry_and_max_retries_mutually_exclusive(self):
+        with pytest.raises(ValidationError):
+            MarketingApiClient(
+                ScriptedTransport([_ok()]), "tok", max_retries=2, retry=RetryPolicy()
+            )
+
+    def test_server_error_responses_are_retried(self):
+        err_500 = ApiResponse(
+            status=500,
+            error={"message": "boom", "type": "TransientError", "code": 2},
+        )
+        transport = ScriptedTransport([err_500, _ok({"id": "a"})])
+        client = MarketingApiClient(transport, "tok")
+        assert client.call(HttpMethod.GET, "/act_1/ads") == {"id": "a"}
+        assert client.metrics.totals().retries == 1
+
+    def test_exhausted_server_errors_raise_envelope_error(self):
+        err_500 = ApiResponse(
+            status=500,
+            error={"message": "persistent boom", "type": "TransientError", "code": 2},
+        )
+        transport = ScriptedTransport([err_500])
+        client = MarketingApiClient(transport, "tok", retry=RetryPolicy(max_attempts=2))
+        with pytest.raises(ApiError, match="persistent boom"):
+            client.call(HttpMethod.GET, "/act_1/ads")
+        assert client.metrics.totals().giveups == 1

@@ -267,3 +267,70 @@ class TestUploadBatching:
         client = MarketingApiClient(server.handle, "tok", sleep=sleep)
         ads = client.list_ads("paged")
         assert len(ads) == 60
+
+
+class TestUploadIdempotency:
+    """A replayed /users batch must not inflate audience membership."""
+
+    def test_duplicate_batch_not_double_counted(self, small_world):
+        small_world.account("idem-test")
+        client = MarketingApiClient(
+            small_world.server.handle, small_world.config.access_token
+        )
+        aud = client.create_custom_audience("idem-test", "idem")
+        hashes = [u.pii_hash for u in small_world.universe.users[1000:1100]]
+        assert client.upload_audience_users(aud, hashes) == 100
+        # exact replay (what a retry after a lost response does)
+        assert client.upload_audience_users(aud, hashes) == 0
+        meta = client.get_audience(aud)
+        assert meta["uploaded_count"] == 100
+
+    def test_fault_then_retry_does_not_inflate_matched_audience(self, small_world):
+        """Mid-stream fault: the server applies the POST but the client
+        never sees the response; the transparent retry must not grow the
+        matched audience."""
+        small_world.account("idem-fault")
+
+        class LossyUsersTransport:
+            def __init__(self, inner):
+                self._inner = inner
+                self.dropped = 0
+
+            def __call__(self, request):
+                response = self._inner(request)
+                if request.path.endswith("/users") and self.dropped == 0:
+                    self.dropped += 1
+                    raise ApiError(
+                        "connection reset mid-response",
+                        code=2,
+                        api_type="TransientError",
+                    )
+                return response
+
+        token = small_world.config.access_token
+        hashes = [u.pii_hash for u in small_world.universe.users[1200:1300]]
+
+        lossy = LossyUsersTransport(small_world.server.handle)
+        faulted_client = MarketingApiClient(lossy, token)
+        aud_faulted = faulted_client.create_custom_audience("idem-fault", "faulted")
+        # The only response the client sees is the replay's, and the
+        # server had already applied the lost-response attempt — so the
+        # visible num_received is 0.  Membership (below) is what counts.
+        assert faulted_client.upload_audience_users(aud_faulted, hashes) == 0
+        assert lossy.dropped == 1  # the fault really happened
+
+        clean_client = MarketingApiClient(small_world.server.handle, token)
+        aud_clean = clean_client.create_custom_audience("idem-fault", "clean")
+        clean_client.upload_audience_users(aud_clean, hashes)
+
+        # materialise both (first targeting use) and compare matched sizes
+        campaign = clean_client.create_campaign("idem-fault", "c", "TRAFFIC")
+        for aud in (aud_faulted, aud_clean):
+            clean_client.create_adset(
+                "idem-fault", f"as-{aud}", campaign, 100,
+                {"custom_audience_ids": [aud]},
+            )
+        faulted_meta = clean_client.get_audience(aud_faulted)
+        clean_meta = clean_client.get_audience(aud_clean)
+        assert faulted_meta["uploaded_count"] == clean_meta["uploaded_count"] == 100
+        assert faulted_meta["approximate_count"] == clean_meta["approximate_count"]

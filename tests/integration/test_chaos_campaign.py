@@ -1,0 +1,94 @@
+"""Chaos run: a paired campaign day under injected faults is bit-identical.
+
+The resilience contract end to end: driving one full
+:class:`~repro.core.campaign_runner.PairedCampaignRunner` day through a
+seeded ~10%-fault transport must yield exactly the rows of the
+fault-free run — the bounded retry layer absorbs every injected 429,
+500, connection reset and slow response without perturbing the
+simulated platform — while the client's metrics prove the faults
+actually happened and were retried.
+"""
+
+import pytest
+
+from repro.api import FaultInjectingTransport, MarketingApiClient
+from repro.core.campaign_runner import PairedCampaignRunner
+from repro.core.design import build_balanced_audiences
+from repro.core.experiments import stock_specs
+from repro.core.world import SimulatedWorld, WorldConfig
+
+pytestmark = pytest.mark.integration
+
+FAULT_RATE = 0.1
+FAULT_SEED = 31
+
+
+def _run_one_day(world: SimulatedWorld, *, faults: bool):
+    world.account("chaos")
+    transport = world.server.handle
+    injector = None
+    if faults:
+        injector = FaultInjectingTransport(
+            transport, error_rate=FAULT_RATE, seed=FAULT_SEED
+        )
+        transport = injector
+    client = MarketingApiClient(transport, world.config.access_token)
+    audiences = build_balanced_audiences(
+        client,
+        "chaos",
+        world.fl_registry,
+        world.nc_registry,
+        world.rngs.get("sample.chaos"),
+        sample_scale=0.003,
+        name_prefix="chaos",
+    )
+    specs = stock_specs(world, per_cell=1)  # 20 images, 40 ads
+    runner = PairedCampaignRunner(client, "chaos", audiences, daily_budget_cents=120)
+    deliveries, summary = runner.run(specs, "chaos-day")
+    return deliveries, summary, client, injector
+
+
+def _rows(deliveries):
+    """Every delivery observable, flattened for exact comparison."""
+    return [
+        (
+            d.spec.image_id,
+            record.copy_label,
+            record.impressions,
+            record.reach,
+            record.clicks,
+            record.spend,
+            record.age_gender_rows,
+            record.region_counts,
+        )
+        for d in deliveries
+        for record in (d.copy_a, d.copy_b)
+    ]
+
+
+def test_chaos_run_is_bit_identical_to_fault_free_run():
+    clean_world = SimulatedWorld(WorldConfig.small(seed=7))
+    chaos_world = SimulatedWorld(WorldConfig.small(seed=7))
+
+    clean_rows, clean_summary, clean_client, _ = _run_one_day(clean_world, faults=False)
+    chaos_rows, chaos_summary, chaos_client, injector = _run_one_day(
+        chaos_world, faults=True
+    )
+
+    # the chaos actually happened...
+    assert injector.total_injected > 0
+    chaos_totals = chaos_client.metrics.totals()
+    assert chaos_totals.retries > 0
+    assert chaos_totals.giveups == 0
+    assert chaos_client.requests_sent > clean_client.requests_sent
+
+    # ...and the measurement did not move by one bit.
+    assert _rows(chaos_rows) == _rows(clean_rows)
+    assert chaos_summary.impressions == clean_summary.impressions
+    assert chaos_summary.reach == clean_summary.reach
+    assert chaos_summary.spend == clean_summary.spend
+    assert chaos_summary.rejected_ads == clean_summary.rejected_ads
+
+    # observability surfaced through the run summary
+    assert chaos_summary.api_stats["retries"] == chaos_totals.retries
+    assert chaos_summary.api_stats["requests"] == chaos_client.requests_sent

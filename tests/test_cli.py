@@ -96,3 +96,33 @@ class TestCliExport:
         assert code == 0
         assert (tmp_path / "site" / "campaign1" / "ads.json").exists()
         assert (tmp_path / "site" / "campaign1" / "index.txt").exists()
+
+
+class TestCliApiStats:
+    def test_api_stats_smoke_with_faults(self, capsys):
+        code = main(
+            [
+                "api-stats",
+                "--seed",
+                "19",
+                "--per-cell",
+                "1",
+                "--fault-rate",
+                "0.1",
+                "--fault-seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "endpoint" in out and "TOTAL" in out
+        assert "act_{id}/deliver" in out
+        assert "injected faults" in out
+        assert "paired deliveries" in out
+
+    def test_api_stats_clean_run(self, capsys):
+        code = main(["api-stats", "--seed", "19", "--per-cell", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "injected faults" not in out
