@@ -12,12 +12,18 @@ Each record carries the median wall time over ``--rounds`` runs, the slot
 throughput, and the world scale.  The vectorized engine is expected to be
 at least 10x faster than the reference loop (asserted unless
 ``--no-check``).
+
+A third record times the vectorized engine with tracing enabled
+(``mode="vectorized+traced"``) and carries ``trace_overhead_pct`` — the
+observability layer's wall-time cost, targeted below 3%.  Pass
+``--trace-out DIR`` to keep the traced run's journal + Chrome trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -25,7 +31,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cache import CODE_SALT
 from repro.core.world import SimulatedWorld, WorldConfig
+from repro.obs.tracer import tracing
 from repro.geo import MobilityModel
 from repro.images import ImageFeatures
 from repro.platform import (
@@ -114,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-check", action="store_true", help="skip the >=10x speedup assertion"
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write the traced run's journal.jsonl + trace.json here",
+    )
     args = parser.parse_args(argv)
 
     config = WorldConfig.small(args.seed) if args.small else WorldConfig.paper(args.seed)
@@ -149,6 +163,65 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup: {speedup:.1f}x")
     for record in records:
         record["speedup_vs_reference"] = round(reference_ms / record["median_ms"], 2)
+
+    # Tracing overhead: the same vectorized day with the tracer on.
+    # Rounds are interleaved (off, on, off, on, ...) so cache/allocator
+    # drift between phases cancels instead of biasing the comparison.
+    off_times, on_times = [], []
+    n_spans_per_run = 0
+    for _ in range(max(args.rounds, 3)):
+        engine = make_engine("vectorized")
+        start = time.perf_counter()
+        engine.run(ads)
+        off_times.append(time.perf_counter() - start)
+        engine = make_engine("vectorized")
+        with tracing() as tracer:
+            start = time.perf_counter()
+            engine.run(ads)
+            on_times.append(time.perf_counter() - start)
+            n_spans_per_run = len(tracer.drain())
+    off_ms = statistics.median(off_times) * 1000.0
+    on_ms = statistics.median(on_times) * 1000.0
+    overhead_pct = (on_ms - off_ms) / off_ms * 100.0
+    traced = {
+        "mode": "vectorized+traced",
+        "median_ms": round(on_ms, 2),
+        "untraced_median_ms": round(off_ms, 2),
+        "trace_overhead_pct": round(overhead_pct, 2),
+        "spans_per_run": n_spans_per_run,
+        "rounds": max(args.rounds, 3),
+        "world": records[1]["world"],
+        "seed": args.seed,
+        "n_users": records[1]["n_users"],
+        "n_ads": len(ads),
+        "timestamp": records[1]["timestamp"],
+        "speedup_vs_reference": round(reference_ms / on_ms, 2),
+    }
+    records.append(traced)
+    print(
+        f"{'traced':>10}: {on_ms:.1f} ms vs {off_ms:.1f} ms untraced "
+        f"({n_spans_per_run} spans, overhead {overhead_pct:+.1f}%, target < 3%)"
+    )
+
+    if args.trace_out is not None:
+        from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
+
+        with tracing() as tracer:
+            make_engine("vectorized").run(ads)
+            spans = tracer.drain()
+        out = Path(args.trace_out)
+        with RunJournal(out / "journal.jsonl") as journal:
+            journal.event("run", command="bench_delivery", n_ads=len(ads))
+            n_spans = journal.spans(spans, pid=os.getpid(), job=0)
+        manifest = RunManifest(
+            command="bench_delivery --trace-out",
+            code_salt=CODE_SALT,
+            seeds=(args.seed,),
+            world_fingerprints=(world.fingerprint,),
+            n_spans=n_spans,
+        )
+        paths = write_run_artifacts(out, manifest=manifest, journal_path=out / "journal.jsonl")
+        print(f"wrote traced-run artifacts to {paths['trace'].parent}")
 
     existing = []
     if OUT_PATH.exists():

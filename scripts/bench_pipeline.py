@@ -63,7 +63,9 @@ def bench_world_build(config: WorldConfig, cache: ArtifactCache) -> dict:
     }
 
 
-def bench_seed_sweep(scale: str, jobs: int, cache: ArtifactCache) -> dict:
+def bench_seed_sweep(
+    scale: str, jobs: int, cache: ArtifactCache, trace_out: Path | None = None
+) -> dict:
     """Serial-cold vs parallel-warm wall time of the stability sweep."""
     start = time.perf_counter()
     serial_rows = run_seed_sweep(
@@ -73,7 +75,12 @@ def bench_seed_sweep(scale: str, jobs: int, cache: ArtifactCache) -> dict:
 
     start = time.perf_counter()
     parallel_rows = run_seed_sweep(
-        SWEEP_SEEDS, campaign="stability", scale=scale, jobs=jobs, cache=cache
+        SWEEP_SEEDS,
+        campaign="stability",
+        scale=scale,
+        jobs=jobs,
+        cache=cache,
+        trace_out=trace_out,
     )
     parallel_warm_s = time.perf_counter() - start
 
@@ -110,6 +117,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-check", action="store_true", help="skip the speedup assertions"
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="trace the parallel warm sweep; writes journal/manifest/trace here",
+    )
     args = parser.parse_args(argv)
 
     if args.cache_dir is not None:
@@ -130,7 +143,9 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(f"5-seed stability sweep (small worlds, jobs={args.jobs}) ...", flush=True)
-    sweep = bench_seed_sweep("small", args.jobs, cache)
+    sweep = bench_seed_sweep("small", args.jobs, cache, trace_out=args.trace_out)
+    if args.trace_out is not None:
+        print(f"  traced warm sweep artifacts in {args.trace_out}", flush=True)
     print(
         f"  serial cold {sweep['serial_cold_s']:.2f}s -> "
         f"jobs={args.jobs} warm {sweep['parallel_warm_s']:.2f}s "

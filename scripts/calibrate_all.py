@@ -7,7 +7,9 @@ instead — each campaign gets its own (cache-warm) world instance and the
 rendered tables print in the canonical order once all rows are in.
 """
 import argparse
+import os
 import time
+from pathlib import Path
 
 from repro.core.analysis import table3_rows
 from repro.core.experiments import (
@@ -23,8 +25,13 @@ from repro.core.reporting import (
     render_single_regression,
     render_table3,
 )
-from repro.core.scheduler import ExperimentJob, ExperimentScheduler
+from repro.core.scheduler import (
+    ExperimentJob,
+    ExperimentScheduler,
+    write_sweep_observability,
+)
 from repro.core.world import SimulatedWorld, WorldConfig
+from repro.obs.tracer import tracing
 
 PAPER_NOTES = {
     "campaign1": "Table 4a (paper: Black .1812***, Child->F .0924***, Eld->65+ .1180***, MA .0508**, Fem .0359**)",
@@ -43,8 +50,36 @@ WHICH_TO_CAMPAIGN = {
 }
 
 
-def run_serial(seed: int, which: str) -> None:
+def run_serial(seed: int, which: str, trace_out: Path | None = None) -> None:
     t0 = time.time()
+    with tracing(trace_out is not None) as tracer:
+        _run_serial_inner(seed, which, t0)
+        if trace_out is not None:
+            _write_serial_trace(trace_out, tracer, seed, time.time() - t0)
+
+
+def _write_serial_trace(out: Path, tracer, seed: int, wall_seconds: float) -> None:
+    from repro.cache import CODE_SALT
+    from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
+    from repro.obs.metrics import get_registry
+
+    with RunJournal(out / "journal.jsonl") as journal:
+        journal.event("run", command="calibrate_all", seed=seed)
+        n_spans = journal.spans(tracer.drain(), pid=os.getpid(), job=0)
+        journal.metrics(get_registry().snapshot(), pid=os.getpid(), job=0)
+    manifest = RunManifest(
+        command="calibrate_all --trace-out",
+        code_salt=CODE_SALT,
+        seeds=(seed,),
+        metrics=get_registry().snapshot(),
+        n_spans=n_spans,
+        wall_seconds=wall_seconds,
+    )
+    write_run_artifacts(out, manifest=manifest, journal_path=out / "journal.jsonl")
+    print(f"wrote trace artifacts to {out}")
+
+
+def _run_serial_inner(seed: int, which: str, t0: float) -> None:
     world = SimulatedWorld(WorldConfig.paper(seed=seed))
     print(f"world: {time.time()-t0:.0f}s")
 
@@ -73,14 +108,27 @@ def run_serial(seed: int, which: str) -> None:
     print(f"total: {time.time()-t0:.0f}s")
 
 
-def run_scheduled(seed: int, which: str, jobs: int) -> None:
+def run_scheduled(
+    seed: int, which: str, jobs: int, trace_out: Path | None = None
+) -> None:
     t0 = time.time()
     config = WorldConfig.paper(seed=seed)
     campaigns = [WHICH_TO_CAMPAIGN[c] for c in which if c in WHICH_TO_CAMPAIGN]
     job_list = [
         ExperimentJob.make(config, campaign, {"render": True}) for campaign in campaigns
     ]
-    rows = ExperimentScheduler(jobs=jobs).run(job_list)
+    scheduler = ExperimentScheduler(jobs=jobs, trace=trace_out is not None)
+    with tracing(trace_out is not None):
+        rows = scheduler.run(job_list)
+    if trace_out is not None:
+        write_sweep_observability(
+            trace_out,
+            rows=rows,
+            scheduler=scheduler,
+            command=f"calibrate_all --jobs {jobs} --which {which}",
+            wall_seconds=time.time() - t0,
+        )
+        print(f"wrote trace artifacts to {trace_out}")
     for campaign, row in zip(campaigns, rows):
         stats = {
             k: v for k, v in row.items() if k not in ("rendered", "world_build")
@@ -106,11 +154,17 @@ def main() -> None:
         default=1,
         help="worker processes; >1 dispatches campaigns through the scheduler",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="enable tracing; write journal/manifest/trace artifacts here",
+    )
     args = parser.parse_args()
     if args.jobs > 1:
-        run_scheduled(args.seed, args.which, args.jobs)
+        run_scheduled(args.seed, args.which, args.jobs, trace_out=args.trace_out)
     else:
-        run_serial(args.seed, args.which)
+        run_serial(args.seed, args.which, trace_out=args.trace_out)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,21 @@ retried, how much (simulated) time went to backoff, and did anything
 give up?  :class:`ClientMetrics` accumulates exactly that, per
 normalised endpoint, on every :class:`~repro.api.client.MarketingApiClient`.
 
+Since the unified observability layer (:mod:`repro.obs`) landed,
+``ClientMetrics`` is a *thin adapter* over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every recording hook
+writes ``api_client_*`` series into a registry (a private one by
+default), and the historical :class:`EndpointStats` rows — the schema
+``api_stats`` consumers and the ``repro api-stats`` CLI rely on — are
+reconstructed as a view over those series.
+
+**Reset semantics.**  Metrics belong to the client instance (each CLI
+invocation builds a fresh client, so ``repro api-stats`` never mixes
+runs); a long-lived embedder that reuses one client across phases calls
+:meth:`ClientMetrics.reset` between them, which drops every series of
+the backing registry.  Pass a shared registry only when you *want*
+several clients rolled up together — then ``reset()`` clears all of it.
+
 Endpoint keys are templates, not raw paths — ``POST act_{id}/adsets``
 rather than ``POST /act_20190001/adsets`` — so a 200-ad campaign rolls
 up into a dozen rows instead of hundreds.
@@ -13,10 +28,11 @@ up into a dozen rows instead of hundreds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.api.protocol import HttpMethod
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["EndpointStats", "ClientMetrics", "endpoint_key"]
 
@@ -70,51 +86,73 @@ class EndpointStats:
         }
 
 
-@dataclass
+#: ``(registry counter name, EndpointStats field)`` pairs of the adapter.
+_COUNTER_FIELDS: tuple[tuple[str, str], ...] = (
+    ("api_client_requests", "requests"),
+    ("api_client_retries", "retries"),
+    ("api_client_giveups", "giveups"),
+    ("api_client_errors", "errors"),
+    ("api_client_backoff_seconds", "backoff_seconds"),
+)
+
+#: Histogram holding per-attempt transport latency, per endpoint.
+_LATENCY_HISTOGRAM = "api_client_latency_seconds"
+
+
 class ClientMetrics:
-    """Per-endpoint request metrics, exposed as ``client.metrics``."""
+    """Per-endpoint request metrics, exposed as ``client.metrics``.
 
-    _stats: dict[str, EndpointStats] = field(default_factory=dict)
+    A view over ``api_client_*`` series in :attr:`registry`; see the
+    module docstring for ownership and reset semantics.
+    """
 
-    def _row(self, key: str) -> EndpointStats:
-        row = self._stats.get(key)
-        if row is None:
-            row = self._stats[key] = EndpointStats()
-        return row
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: The backing registry (private unless one was injected).
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # -- recording hooks (called by the client) -----------------------------
 
     def record_attempt(self, key: str, latency_seconds: float) -> None:
         """One attempt hit the transport."""
-        row = self._row(key)
-        row.requests += 1
-        row.latency_seconds += latency_seconds
+        self.registry.inc("api_client_requests", 1, endpoint=key)
+        self.registry.observe(_LATENCY_HISTOGRAM, latency_seconds, endpoint=key)
 
     def record_retry(self, key: str, delay_seconds: float) -> None:
         """One backoff-and-resend happened."""
-        row = self._row(key)
-        row.retries += 1
-        row.backoff_seconds += delay_seconds
+        self.registry.inc("api_client_retries", 1, endpoint=key)
+        self.registry.inc("api_client_backoff_seconds", delay_seconds, endpoint=key)
 
     def record_giveup(self, key: str) -> None:
         """The retry policy was exhausted for one request."""
-        self._row(key).giveups += 1
+        self.registry.inc("api_client_giveups", 1, endpoint=key)
 
     def record_error(self, key: str) -> None:
         """A request's final outcome was an API error."""
-        self._row(key).errors += 1
+        self.registry.inc("api_client_errors", 1, endpoint=key)
 
     # -- views ---------------------------------------------------------------
 
     @property
     def endpoints(self) -> dict[str, EndpointStats]:
-        """Live per-endpoint rows (sorted copy)."""
-        return dict(sorted(self._stats.items()))
+        """Per-endpoint rows reconstructed from the registry (sorted)."""
+        rows: dict[str, EndpointStats] = {}
+        for name, field_name in _COUNTER_FIELDS:
+            for labels, value in self.registry.series(name):
+                endpoint = labels.get("endpoint", "")
+                row = rows.setdefault(endpoint, EndpointStats())
+                if field_name == "backoff_seconds":
+                    row.backoff_seconds = value
+                else:
+                    setattr(row, field_name, int(value))
+        for labels, state in self.registry.histogram_series(_LATENCY_HISTOGRAM):
+            endpoint = labels.get("endpoint", "")
+            rows.setdefault(endpoint, EndpointStats()).latency_seconds = state.total
+        return dict(sorted(rows.items()))
 
     def totals(self) -> EndpointStats:
         """All endpoints merged into one row."""
         total = EndpointStats()
-        for row in self._stats.values():
+        for row in self.endpoints.values():
             total.merge(row)
         return total
 
@@ -126,8 +164,8 @@ class ClientMetrics:
         }
 
     def reset(self) -> None:
-        """Drop all accumulated rows."""
-        self._stats.clear()
+        """Drop all accumulated rows (clears the backing registry)."""
+        self.registry.reset()
 
     def render(self) -> str:
         """Fixed-width table for CLI display (``repro api-stats``)."""

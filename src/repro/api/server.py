@@ -28,6 +28,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.api.metrics import endpoint_key
 from repro.api.pagination import paginate
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
 from repro.api.ratelimit import TokenBucket
@@ -41,6 +42,8 @@ from repro.errors import (
 )
 from repro.geo.mobility import MobilityModel
 from repro.images.composite import compose_job_ad
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.images.features import ImageFeatures
 from repro.platform.audience import AudienceStore
 from repro.platform.campaign import (
@@ -141,7 +144,23 @@ class MarketingApiServer:
     # -- request entry point ----------------------------------------------
 
     def handle(self, request: ApiRequest) -> ApiResponse:
-        """Process one request; never raises, always returns an envelope."""
+        """Process one request; never raises, always returns an envelope.
+
+        Every request is wrapped in an ``api.request`` span (endpoint
+        template + final status) and counted into the process-local
+        registry as ``api_server_requests{endpoint, status}`` — the
+        server-side mirror of the client's per-endpoint metrics.
+        """
+        key = endpoint_key(request.method, request.path)
+        with get_tracer().span("api.request", {"endpoint": key}) as span:
+            response = self._handle_inner(request)
+            span.set("status", response.status)
+        get_registry().inc(
+            "api_server_requests", 1, endpoint=key, status=str(response.status)
+        )
+        return response
+
+    def _handle_inner(self, request: ApiRequest) -> ApiResponse:
         try:
             if request.access_token not in self._tokens:
                 raise AuthError()

@@ -32,6 +32,8 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "ArtifactCache",
@@ -275,7 +277,34 @@ def cached_build(
 
     Returns ``(object, source, seconds)`` where ``source`` is one of
     ``"memo"``, ``"warm"`` (disk hit) or ``"cold"`` (built, then stored).
+    Every resolution also feeds the process-local observability
+    substrate: a ``cache.<stage>`` span on the global tracer and a
+    ``cache_hits{stage, tier}`` counter plus ``cache_seconds`` latency
+    histogram on the global registry (the timing no longer exists only
+    inside :attr:`~repro.core.world.SimulatedWorld.build_report`).
     """
+    with get_tracer().span(f"cache.{stage}") as span:
+        obj, source, seconds = _resolve(
+            stage=stage, key=key, build=build, dump=dump, load=load, cache=cache, memo=memo
+        )
+        span.set("tier", source)
+        span.set("key", key)
+    registry = get_registry()
+    registry.inc("cache_hits", 1, stage=stage, tier=source)
+    registry.observe("cache_seconds", seconds, stage=stage, tier=source)
+    return obj, source, seconds
+
+
+def _resolve(
+    *,
+    stage: str,
+    key: str,
+    build: Callable[[], Any],
+    dump: Callable[[Any], dict[str, np.ndarray]],
+    load: Callable[[dict[str, np.ndarray]], Any],
+    cache: ArtifactCache | None,
+    memo: WorldMemo | None,
+) -> tuple[Any, str, float]:
     start = time.perf_counter()
     if memo is not None:
         hit = memo.get(stage, key)

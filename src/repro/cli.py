@@ -7,7 +7,11 @@ Examples::
     python -m repro appendix-a --out results/
     python -m repro all --out results/
     python -m repro sweep --seeds 101,202,303 --jobs 4
+    python -m repro sweep --seeds 101,202 --trace-out results/trace/
     python -m repro api-stats --fault-rate 0.1 --log-level INFO
+    python -m repro api-stats --json
+    python -m repro trace results/trace/journal.jsonl --top 10
+    python -m repro metrics results/trace/journal.jsonl
     python -m repro cache info
 """
 
@@ -123,10 +127,28 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build every world cold, bypassing the artifact cache",
     )
+    sweep.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="enable tracing and write journal.jsonl + manifest.json + trace.json here",
+    )
 
     api_stats = commands.add_parser(
         "api-stats",
         help="run a reduced paired campaign and report per-endpoint client metrics",
+        description=(
+            "Run a reduced paired campaign and report per-endpoint client metrics. "
+            "Metrics belong to the client instance: every invocation builds a fresh "
+            "client, so counters always start from zero — there is no cross-run "
+            "state to reset.  Embedders reusing one client between phases call "
+            "client.metrics.reset(), which drops every series of its registry."
+        ),
+    )
+    api_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON document (endpoints, totals, faults, deliveries) instead of tables",
     )
     api_stats.add_argument("--seed", type=int, default=7, help="experiment seed")
     api_stats.add_argument(
@@ -166,6 +188,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-worlds)",
     )
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect a run journal: span tree, top spans, Chrome-trace/CSV export",
+    )
+    trace.add_argument("journal", type=Path, help="path to a journal.jsonl")
+    trace.add_argument(
+        "--top", type=int, default=15, help="how many span names in the totals table"
+    )
+    trace.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        help="also write a Chrome-trace JSON here (load in Perfetto)",
+    )
+    trace.add_argument(
+        "--csv", type=Path, default=None, help="also write a flat per-span CSV here"
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="render a run journal's metrics, merged across workers",
+    )
+    metrics.add_argument("journal", type=Path, help="path to a journal.jsonl")
     return parser
 
 
@@ -224,18 +270,74 @@ def _run_api_stats(args: argparse.Namespace) -> int:
     specs = stock_specs(world, per_cell=args.per_cell)
     runner = PairedCampaignRunner(client, account_id, audiences)
     deliveries, summary = runner.run(specs, "api-stats-probe")
+    injected = (
+        {kind.value: count for kind, count in sorted(
+            injector.injected.items(), key=lambda kv: kv[0].value
+        )}
+        if injector is not None
+        else None
+    )
+    if args.json:
+        document = {
+            **client.metrics.snapshot(),
+            "injected_faults": injected,
+            "paired_deliveries": len(deliveries),
+            "impressions": summary.impressions,
+            "requests_sent": client.requests_sent,
+            "seconds": round(time.time() - started, 3),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(client.metrics.render())
-    if injector is not None:
-        injected = ", ".join(
-            f"{kind.value}={count}" for kind, count in sorted(
-                injector.injected.items(), key=lambda kv: kv[0].value
-            )
+    if injected is not None:
+        injected_text = ", ".join(f"{kind}={count}" for kind, count in injected.items())
+        print(
+            f"injected faults ({injector.total_injected} total): "
+            f"{injected_text or 'none'}"
         )
-        print(f"injected faults ({injector.total_injected} total): {injected or 'none'}")
     print(
         f"{len(deliveries)} paired deliveries, {summary.impressions:,} impressions, "
         f"{client.requests_sent} requests in {time.time() - started:.0f}s"
     )
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """Render (and optionally export) the spans of one run journal."""
+    from repro.obs.export import (
+        render_span_tree,
+        render_top_spans,
+        write_chrome_trace,
+        write_spans_csv,
+    )
+    from repro.obs.journal import read_journal
+
+    entries = read_journal(args.journal)
+    print(render_span_tree(entries))
+    print()
+    print(render_top_spans(entries, top=args.top))
+    if args.chrome is not None:
+        print(f"wrote Chrome trace to {write_chrome_trace(entries, args.chrome)}")
+    if args.csv is not None:
+        print(f"wrote span CSV to {write_spans_csv(entries, args.csv)}")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Merge and render a journal's metrics snapshots across workers."""
+    from repro.obs.journal import read_journal
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    merged = 0
+    for entry in read_journal(args.journal):
+        if entry.get("kind") != "metrics":
+            continue
+        labels = {"worker": entry["pid"]} if entry.get("pid") is not None else None
+        registry.merge(entry.get("snapshot") or {}, extra_labels=labels)
+        merged += 1
+    print(registry.render())
+    print(f"\n({merged} worker snapshots merged from {args.journal})")
     return 0
 
 
@@ -247,8 +349,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         jobs=args.jobs,
         cache=False if args.no_cache else None,
+        trace_out=args.trace_out,
     )
     print(render_rows(rows))
+    if args.trace_out is not None:
+        print(
+            f"wrote run observability (journal.jsonl, manifest.json, trace.json) "
+            f"to {args.trace_out}"
+        )
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
@@ -339,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "api-stats":
         return _run_api_stats(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     return _run_experiments(args)
 
 

@@ -19,6 +19,7 @@ from repro.core.design import BalancedAudiencePair
 from repro.core.race_split import CopyRegionCounts, RaceSplitResult, infer_race_split
 from repro.errors import ValidationError
 from repro.images.features import ImageFeatures
+from repro.obs.tracer import get_tracer
 from repro.types import AgeBand, AgeBucket, Gender, Race, bucket_midpoint
 
 __all__ = ["CreativeSpec", "AdDeliveryRecord", "PairedDelivery", "PairedCampaignRunner"]
@@ -210,77 +211,91 @@ class PairedCampaignRunner:
         if not specs:
             raise ValidationError("no creatives supplied")
         client = self._client
-        campaign_id = client.create_campaign(
-            self._account_id,
-            campaign_name,
-            self._objective,
-            special_ad_categories=self._special,
-        )
-        ad_ids: dict[tuple[str, str], str] = {}
-        rejected = 0
-        for copy_label, audience_id in (
-            ("A", self._audiences.audience_a_id),
-            ("B", self._audiences.audience_b_id),
-        ):
-            targeting = {
-                "custom_audience_ids": [audience_id],
-                "age_min": 18,
-                "age_max": self._age_max,
-            }
-            for spec in specs:
-                adset_id = client.create_adset(
+        tracer = get_tracer()
+        with tracer.span(
+            "campaign.run", {"name": campaign_name, "n_specs": len(specs)}
+        ) as run_span:
+            with tracer.span("campaign.create") as create_span:
+                campaign_id = client.create_campaign(
                     self._account_id,
-                    f"{campaign_name}/{spec.image_id}/{copy_label}",
-                    campaign_id,
-                    self._budget,
-                    targeting,
+                    campaign_name,
+                    self._objective,
+                    special_ad_categories=self._special,
                 )
-                creative = {
-                    "headline": self._headline,
-                    "body": self._body,
-                    "destination_url": self._url,
-                    "image": _image_channels(spec.features),
-                }
-                if spec.job_category is not None:
-                    creative["job_category"] = spec.job_category
-                    creative["face_salience"] = spec.face_salience
-                ad_id = client.create_ad(
-                    self._account_id,
-                    f"{campaign_name}/{spec.image_id}/{copy_label}",
-                    adset_id,
-                    creative,
-                )
-                outcome = client.submit_for_review(ad_id, resubmission=resubmission)
-                if outcome["review_status"] == "REJECTED" and appeal_rejections:
-                    outcome = client.appeal(ad_id)
-                if outcome["review_status"] == "REJECTED":
-                    rejected += 1
-                else:
-                    ad_ids[(spec.image_id, copy_label)] = ad_id
+                ad_ids: dict[tuple[str, str], str] = {}
+                rejected = 0
+                for copy_label, audience_id in (
+                    ("A", self._audiences.audience_a_id),
+                    ("B", self._audiences.audience_b_id),
+                ):
+                    targeting = {
+                        "custom_audience_ids": [audience_id],
+                        "age_min": 18,
+                        "age_max": self._age_max,
+                    }
+                    for spec in specs:
+                        adset_id = client.create_adset(
+                            self._account_id,
+                            f"{campaign_name}/{spec.image_id}/{copy_label}",
+                            campaign_id,
+                            self._budget,
+                            targeting,
+                        )
+                        creative = {
+                            "headline": self._headline,
+                            "body": self._body,
+                            "destination_url": self._url,
+                            "image": _image_channels(spec.features),
+                        }
+                        if spec.job_category is not None:
+                            creative["job_category"] = spec.job_category
+                            creative["face_salience"] = spec.face_salience
+                        ad_id = client.create_ad(
+                            self._account_id,
+                            f"{campaign_name}/{spec.image_id}/{copy_label}",
+                            adset_id,
+                            creative,
+                        )
+                        outcome = client.submit_for_review(
+                            ad_id, resubmission=resubmission
+                        )
+                        if outcome["review_status"] == "REJECTED" and appeal_rejections:
+                            outcome = client.appeal(ad_id)
+                        if outcome["review_status"] == "REJECTED":
+                            rejected += 1
+                        else:
+                            ad_ids[(spec.image_id, copy_label)] = ad_id
+                create_span.set("rejected", rejected)
 
-        deliverable = list(ad_ids.values())
-        if not deliverable:
-            raise ValidationError("every ad was rejected; nothing to deliver")
-        client.deliver_day(self._account_id, deliverable, hours=self._hours)
+            deliverable = list(ad_ids.values())
+            if not deliverable:
+                raise ValidationError("every ad was rejected; nothing to deliver")
+            with tracer.span("campaign.deliver", {"n_ads": len(deliverable)}):
+                client.deliver_day(self._account_id, deliverable, hours=self._hours)
 
-        paired: list[PairedDelivery] = []
-        impressions = reach = 0
-        spend = 0.0
-        for spec in specs:
-            records = {}
-            for copy_label in ("A", "B"):
-                ad_id = ad_ids.get((spec.image_id, copy_label))
-                if ad_id is None:
-                    continue
-                records[copy_label] = self._collect(ad_id, spec, copy_label)
-            for record in records.values():
-                impressions += record.impressions
-                reach += record.reach
-                spend += record.spend
-            if set(records) == {"A", "B"}:
-                paired.append(
-                    PairedDelivery(spec=spec, copy_a=records["A"], copy_b=records["B"])
-                )
+            paired: list[PairedDelivery] = []
+            impressions = reach = 0
+            spend = 0.0
+            with tracer.span("campaign.collect"):
+                for spec in specs:
+                    records = {}
+                    for copy_label in ("A", "B"):
+                        ad_id = ad_ids.get((spec.image_id, copy_label))
+                        if ad_id is None:
+                            continue
+                        records[copy_label] = self._collect(ad_id, spec, copy_label)
+                    for record in records.values():
+                        impressions += record.impressions
+                        reach += record.reach
+                        spend += record.spend
+                    if set(records) == {"A", "B"}:
+                        paired.append(
+                            PairedDelivery(
+                                spec=spec, copy_a=records["A"], copy_b=records["B"]
+                            )
+                        )
+            run_span.set("impressions", impressions)
+            run_span.set("spend", round(spend, 2))
         summary = CampaignRunSummary(
             n_ads=len(specs) * 2,
             reach=reach,

@@ -28,14 +28,17 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.cache import ArtifactCache, WorldMemo, resolve_cache, world_fingerprint
+from repro.cache import CODE_SALT, ArtifactCache, WorldMemo, resolve_cache, world_fingerprint
 from repro.core.world import SimulatedWorld, WorldConfig
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "CAMPAIGN_RUNNERS",
@@ -43,6 +46,7 @@ __all__ = [
     "ExperimentScheduler",
     "run_seed_sweep",
     "render_rows",
+    "write_sweep_observability",
 ]
 
 
@@ -210,24 +214,43 @@ class ExperimentJob:
 _WORKER_MEMO: WorldMemo | None = None
 _WORKER_CACHE: ArtifactCache | None = None
 _WORKER_CACHE_ROOT: str | None = "<uninitialised>"
+_WORKER_TRACE: bool = False
 
 
-def _init_worker(cache_root: str | None) -> None:
+def _init_worker(cache_root: str | None, trace: bool = False) -> None:
     """Process-pool initializer: pin the worker's cache root and memo."""
-    global _WORKER_MEMO, _WORKER_CACHE, _WORKER_CACHE_ROOT
+    global _WORKER_MEMO, _WORKER_CACHE, _WORKER_CACHE_ROOT, _WORKER_TRACE
     _WORKER_CACHE_ROOT = cache_root
     _WORKER_CACHE = ArtifactCache(cache_root) if cache_root else None
     _WORKER_MEMO = WorldMemo()
+    _WORKER_TRACE = trace
+    if trace:
+        get_tracer().enable()
+        get_registry().reset()
 
 
-def _execute_job(indexed_job: tuple[int, ExperimentJob]) -> tuple[int, dict]:
-    """Run one job inside a worker; returns (submission index, row)."""
+def _execute_job(
+    indexed_job: tuple[int, ExperimentJob],
+) -> tuple[int, dict, dict | None]:
+    """Run one job inside a worker.
+
+    Returns ``(submission index, row, observations)``.  Observations —
+    the worker's finished spans, registry snapshot and per-stage build
+    report — travel *out of band*: the row is byte-identical with and
+    without tracing (the determinism contract pins parallel == serial
+    row-for-row, so observability must never leak into rows).
+    """
     index, job = indexed_job
-    world = SimulatedWorld(
-        job.config, cache=_WORKER_CACHE if _WORKER_CACHE else False, memo=_WORKER_MEMO
-    )
-    runner = CAMPAIGN_RUNNERS[job.campaign]
-    row = runner(world, job.param_dict())
+    with get_tracer().span(
+        "scheduler.job", {"seed": job.config.seed, "campaign": job.campaign}
+    ):
+        world = SimulatedWorld(
+            job.config,
+            cache=_WORKER_CACHE if _WORKER_CACHE else False,
+            memo=_WORKER_MEMO,
+        )
+        runner = CAMPAIGN_RUNNERS[job.campaign]
+        row = runner(world, job.param_dict())
     meta = {
         "seed": job.config.seed,
         "campaign": job.campaign,
@@ -238,7 +261,22 @@ def _execute_job(indexed_job: tuple[int, ExperimentJob]) -> tuple[int, dict]:
         },
     }
     meta.update(row)
-    return index, meta
+    obs: dict | None = None
+    if _WORKER_TRACE:
+        # drain() only milks *finished* spans, so in serial mode any
+        # still-open caller span (e.g. the sweep root) survives intact.
+        registry = get_registry()
+        obs = {
+            "pid": os.getpid(),
+            "spans": [span.as_dict() for span in get_tracer().drain()],
+            "metrics": registry.snapshot(),
+            "build_report": {
+                name: {"source": timing.source, "seconds": round(timing.seconds, 6)}
+                for name, timing in world.build_report.items()
+            },
+        }
+        registry.reset()
+    return index, meta, obs
 
 
 class ExperimentScheduler:
@@ -253,6 +291,11 @@ class ExperimentScheduler:
     cache:
         Cache spec per :func:`repro.cache.resolve_cache`; the resolved
         root is handed to every worker.  ``False`` disables caching.
+    trace:
+        Enable per-worker tracing and metrics collection.  After
+        :meth:`run`, :attr:`observations` holds one payload per job (in
+        submission order) with the worker's spans, a metrics snapshot
+        and the per-stage build report.  Rows are unaffected either way.
     """
 
     def __init__(
@@ -260,11 +303,16 @@ class ExperimentScheduler:
         *,
         jobs: int = 1,
         cache: ArtifactCache | str | Path | bool | None = None,
+        trace: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         self._jobs = jobs
         self._cache = resolve_cache(cache)
+        self._trace = trace
+        #: Per-job observability payloads from the last :meth:`run`
+        #: (empty unless ``trace=True``).
+        self.observations: list[dict | None] = []
 
     @property
     def jobs(self) -> int:
@@ -274,15 +322,33 @@ class ExperimentScheduler:
     def run(self, jobs: Sequence[ExperimentJob]) -> list[dict]:
         """Execute ``jobs``; rows come back in submission order."""
         jobs = list(jobs)
+        self.observations = []
         if not jobs:
             return []
         if self._jobs == 1 or len(jobs) == 1:
             return self._run_serial(jobs)
         return self._run_parallel(jobs)
 
+    def merged_metrics(self) -> MetricsRegistry:
+        """Cross-process metrics roll-up over the last run's workers.
+
+        Each worker snapshot is folded in under a ``worker=<pid>``
+        label, so per-worker and per-series views coexist.
+        """
+        registry = MetricsRegistry()
+        for obs in self.observations:
+            if obs:
+                registry.merge(obs["metrics"], extra_labels={"worker": obs["pid"]})
+        return registry
+
     def _run_serial(self, jobs: list[ExperimentJob]) -> list[dict]:
-        _init_worker(str(self._cache.root) if self._cache else None)
-        return [_execute_job((i, job))[1] for i, job in enumerate(jobs)]
+        _init_worker(str(self._cache.root) if self._cache else None, self._trace)
+        rows: list[dict] = []
+        for i, job in enumerate(jobs):
+            _, row, obs = _execute_job((i, job))
+            rows.append(row)
+            self.observations.append(obs)
+        return rows
 
     def _run_parallel(self, jobs: list[ExperimentJob]) -> list[dict]:
         cache_root = str(self._cache.root) if self._cache else None
@@ -293,11 +359,16 @@ class ExperimentScheduler:
         # result independent of worker count.
         workers = min(self._jobs, len(jobs), os.cpu_count() or self._jobs)
         rows: list[dict | None] = [None] * len(jobs)
+        obs_by_index: list[dict | None] = [None] * len(jobs)
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(cache_root,)
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(cache_root, self._trace),
         ) as pool:
-            for index, row in pool.map(_execute_job, enumerate(jobs)):
+            for index, row, obs in pool.map(_execute_job, enumerate(jobs)):
                 rows[index] = row
+                obs_by_index[index] = obs
+        self.observations = obs_by_index
         return rows  # type: ignore[return-value]
 
 
@@ -309,12 +380,18 @@ def run_seed_sweep(
     jobs: int = 1,
     cache: ArtifactCache | str | Path | bool | None = None,
     params: Mapping[str, Any] | None = None,
+    trace_out: str | Path | None = None,
 ) -> list[dict]:
     """Run one campaign across many seeds; one row per seed, seed order.
 
     The standard replication harness: the 5-seed stability bench, the
     ``repro sweep`` CLI subcommand and ad-hoc audit scripts all call
     this.  ``scale`` selects the ``WorldConfig`` preset.
+
+    With ``trace_out`` set, per-worker tracing is enabled for the sweep
+    (restored afterwards) and the standard run layout — ``journal.jsonl``,
+    ``manifest.json``, ``trace.json`` — is written into that directory.
+    Rows are identical with and without tracing.
     """
     if scale == "small":
         make_config = WorldConfig.small
@@ -326,7 +403,91 @@ def run_seed_sweep(
         ExperimentJob.make(make_config(seed=int(seed)), campaign, params)
         for seed in seeds
     ]
-    return ExperimentScheduler(jobs=jobs, cache=cache).run(job_list)
+    scheduler = ExperimentScheduler(jobs=jobs, cache=cache, trace=trace_out is not None)
+    if trace_out is None:
+        return scheduler.run(job_list)
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    start = time.perf_counter()
+    try:
+        with tracer.span(
+            "sweep",
+            {"campaign": campaign, "scale": scale, "n_seeds": len(job_list)},
+        ):
+            rows = scheduler.run(job_list)
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    write_sweep_observability(
+        trace_out,
+        rows=rows,
+        scheduler=scheduler,
+        command=f"sweep --campaign {campaign} --scale {scale} --jobs {jobs}",
+        config=asdict(job_list[0].config) if job_list else {},
+        wall_seconds=time.perf_counter() - start,
+    )
+    return rows
+
+
+def write_sweep_observability(
+    out_dir: str | Path,
+    *,
+    rows: Sequence[Mapping[str, Any]],
+    scheduler: ExperimentScheduler,
+    command: str,
+    config: Mapping[str, Any] | None = None,
+    wall_seconds: float = 0.0,
+) -> dict[str, Path]:
+    """Write the standard run layout for one traced scheduler run.
+
+    The journal gets each worker's spans and metrics snapshot (labelled
+    ``pid``/``job``) followed by the coordinating process's own spans
+    (``job=-1``); the manifest aggregates seeds, world fingerprints,
+    per-stage build tiers/durations, API client totals and the merged
+    cross-worker metrics.  Returns the artifact paths keyed
+    ``journal`` / ``manifest`` / ``trace``.
+    """
+    from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    n_spans = 0
+    with RunJournal(out / "journal.jsonl") as journal:
+        journal.event("run", command=command, n_jobs=len(rows))
+        for job_index, obs in enumerate(scheduler.observations):
+            if not obs:
+                continue
+            n_spans += journal.spans(obs["spans"], pid=obs["pid"], job=job_index)
+            journal.metrics(obs["metrics"], pid=obs["pid"], job=job_index)
+        # the coordinator's own spans (the sweep root, any warm-up work)
+        n_spans += journal.spans(get_tracer().drain(), pid=os.getpid(), job=-1)
+
+    stages: dict[str, Any] = {}
+    for job_index, obs in enumerate(scheduler.observations):
+        if obs and obs.get("build_report"):
+            stages[f"job{job_index}"] = obs["build_report"]
+    api_stats = {
+        "requests": sum(int(row.get("api_requests", 0)) for row in rows),
+        "retries": sum(int(row.get("api_retries", 0)) for row in rows),
+        "giveups": sum(int(row.get("api_giveups", 0)) for row in rows),
+    }
+    manifest = RunManifest(
+        command=command,
+        code_salt=CODE_SALT,
+        seeds=tuple(int(row["seed"]) for row in rows if "seed" in row),
+        world_fingerprints=tuple(
+            str(row["world_fingerprint"]) for row in rows if "world_fingerprint" in row
+        ),
+        config=dict(config or {}),
+        stages=stages,
+        api_stats=api_stats,
+        metrics=scheduler.merged_metrics().snapshot(),
+        n_spans=n_spans,
+        wall_seconds=wall_seconds,
+    )
+    return write_run_artifacts(out, manifest=manifest, journal_path=out / "journal.jsonl")
 
 
 def render_rows(rows: Sequence[Mapping[str, Any]]) -> str:

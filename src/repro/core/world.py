@@ -32,6 +32,7 @@ from repro.cache import (
 )
 from repro.errors import ConfigurationError
 from repro.geo.mobility import MobilityModel
+from repro.obs.tracer import get_tracer
 from repro.platform.campaign import AdAccount
 from repro.platform.competition import CompetitionModel
 from repro.platform.ear import EarModel, EngagementLogger, OracleEar
@@ -107,7 +108,14 @@ class WorldConfig:
 
 @dataclass(frozen=True, slots=True)
 class StageTiming:
-    """How one build stage was satisfied: from memo, disk, or cold."""
+    """How one build stage was satisfied: from memo, disk, or cold.
+
+    A *view* over the measurements the observability substrate records:
+    the same resolution emits a ``cache.<stage>`` span on the global
+    tracer and ``cache_hits{stage, tier}`` / ``cache_seconds`` series
+    on the global registry (:mod:`repro.obs`).  ``build_report`` keeps
+    this per-world summary for callers that don't run with tracing on.
+    """
 
     source: str  # "memo" | "warm" | "cold"
     seconds: float
@@ -152,89 +160,94 @@ class SimulatedWorld:
                 state, config.registry_size, rngs.get(stream), config=registry_config
             )
 
-        self.fl_registry = self._stage(
-            "registry.fl",
-            stage="registry",
-            extra={"state": State.FL.value},
-            build=lambda: build_registry(State.FL, "registry.fl"),
-            dump=VoterRegistry.to_arrays,
-            load=VoterRegistry.from_arrays,
-        )
-        self.nc_registry = self._stage(
-            "registry.nc",
-            stage="registry",
-            extra={"state": State.NC.value},
-            build=lambda: build_registry(State.NC, "registry.nc"),
-            dump=VoterRegistry.to_arrays,
-            load=VoterRegistry.from_arrays,
-        )
+        with get_tracer().span(
+            "world.build", {"seed": config.seed, "fingerprint": self.fingerprint}
+        ):
+            self.fl_registry = self._stage(
+                "registry.fl",
+                stage="registry",
+                extra={"state": State.FL.value},
+                build=lambda: build_registry(State.FL, "registry.fl"),
+                dump=VoterRegistry.to_arrays,
+                load=VoterRegistry.from_arrays,
+            )
+            self.nc_registry = self._stage(
+                "registry.nc",
+                stage="registry",
+                extra={"state": State.NC.value},
+                build=lambda: build_registry(State.NC, "registry.nc"),
+                dump=VoterRegistry.to_arrays,
+                load=VoterRegistry.from_arrays,
+            )
 
-        def build_universe() -> UserUniverse:
-            return UserUniverse(
-                [self.fl_registry, self.nc_registry],
-                rngs.get("universe"),
-                adoption=AdoptionModel(),
-                activity=ActivityModel(
-                    rngs.get("activity"), base_sessions=config.sessions_per_day
+            def build_universe() -> UserUniverse:
+                return UserUniverse(
+                    [self.fl_registry, self.nc_registry],
+                    rngs.get("universe"),
+                    adoption=AdoptionModel(),
+                    activity=ActivityModel(
+                        rngs.get("activity"), base_sessions=config.sessions_per_day
+                    ),
+                    proxy_fidelity=config.proxy_fidelity,
+                )
+
+            self.universe = self._stage(
+                "universe",
+                stage="universe",
+                build=build_universe,
+                dump=UserUniverse.to_arrays,
+                load=UserUniverse.from_arrays,
+            )
+            self.engagement = EngagementModel(config.engagement_params)
+            if config.ear_mode == "constant":
+                self.ear = EarModel.constant(config.engagement_params.base_rate)
+            elif config.ear_mode == "oracle":
+                self.ear = OracleEar(self.engagement)
+            else:
+
+                def train_ear() -> EarModel:
+                    log = EngagementLogger(
+                        self.universe, self.engagement, rngs.get("ear.log")
+                    ).collect(config.ear_events)
+                    return EarModel.train(log, l2=config.ear_l2)
+
+                self.ear = self._stage(
+                    "ear",
+                    stage="ear",
+                    build=train_ear,
+                    dump=EarModel.to_arrays,
+                    load=EarModel.from_arrays,
+                )
+            self.server = MarketingApiServer(
+                self.universe,
+                ear=self.ear,
+                engagement=self.engagement,
+                competition=CompetitionModel(
+                    rngs.get("competition"), base_price=config.competition_base_price
                 ),
-                proxy_fidelity=config.proxy_fidelity,
+                mobility=MobilityModel(rngs.get("mobility")),
+                rng=rngs.get("delivery"),
+                access_tokens={config.access_token},
+                advertiser_bid=config.advertiser_bid,
+                value_noise_sigma=config.value_noise_sigma,
+                delivery_mode=config.delivery_mode,
             )
-
-        self.universe = self._stage(
-            "universe",
-            stage="universe",
-            build=build_universe,
-            dump=UserUniverse.to_arrays,
-            load=UserUniverse.from_arrays,
-        )
-        self.engagement = EngagementModel(config.engagement_params)
-        if config.ear_mode == "constant":
-            self.ear = EarModel.constant(config.engagement_params.base_rate)
-        elif config.ear_mode == "oracle":
-            self.ear = OracleEar(self.engagement)
-        else:
-
-            def train_ear() -> EarModel:
-                log = EngagementLogger(
-                    self.universe, self.engagement, rngs.get("ear.log")
-                ).collect(config.ear_events)
-                return EarModel.train(log, l2=config.ear_l2)
-
-            self.ear = self._stage(
-                "ear",
-                stage="ear",
-                build=train_ear,
-                dump=EarModel.to_arrays,
-                load=EarModel.from_arrays,
-            )
-        self.server = MarketingApiServer(
-            self.universe,
-            ear=self.ear,
-            engagement=self.engagement,
-            competition=CompetitionModel(
-                rngs.get("competition"), base_price=config.competition_base_price
-            ),
-            mobility=MobilityModel(rngs.get("mobility")),
-            rng=rngs.get("delivery"),
-            access_tokens={config.access_token},
-            advertiser_bid=config.advertiser_bid,
-            value_noise_sigma=config.value_noise_sigma,
-            delivery_mode=config.delivery_mode,
-        )
         self._accounts: dict[str, AdAccount] = {}
 
     def _stage(self, name, *, stage, build, dump, load, extra=None):
         """Resolve one named build stage via memo → disk cache → cold."""
         key = stage_fingerprint(self.config, stage, extra=extra)
-        obj, source, seconds = cached_build(
-            stage=stage,
-            key=key,
-            build=build,
-            dump=dump,
-            load=load,
-            cache=self.cache,
-            memo=self.memo,
-        )
+        with get_tracer().span(f"world.stage.{name}") as span:
+            obj, source, seconds = cached_build(
+                stage=stage,
+                key=key,
+                build=build,
+                dump=dump,
+                load=load,
+                cache=self.cache,
+                memo=self.memo,
+            )
+            span.set("source", source)
         self.build_report[name] = StageTiming(source=source, seconds=seconds)
         return obj
 

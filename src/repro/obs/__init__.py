@@ -1,0 +1,49 @@
+"""Unified observability substrate: tracing, metrics, journals, exports.
+
+The pipeline's previously disjoint micro-instrumentations —
+``StageTiming`` in the world build, per-endpoint ``ClientMetrics`` on
+the API client, ad-hoc ``perf_counter`` tiers in the cache — all feed
+this package now:
+
+* :mod:`repro.obs.tracer` — hierarchical spans behind a
+  context-manager API; a true no-op when disabled;
+* :mod:`repro.obs.metrics` — labelled counters / gauges / histograms
+  in a mergeable process-local registry;
+* :mod:`repro.obs.journal` — structured JSONL run journals plus the
+  atomic :class:`~repro.obs.journal.RunManifest`;
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto) and flat-CSV
+  exporters plus the ``repro trace`` terminal views.
+
+The package depends only on the standard library (no numpy, no other
+``repro`` subpackage), so every layer — cache, platform, api, core,
+cli — may import it without cycles.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_span_tree,
+    render_top_spans,
+    write_chrome_trace,
+    write_spans_csv,
+)
+from repro.obs.journal import RunJournal, RunManifest, read_journal, write_run_artifacts
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import Span, Tracer, get_tracer, tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "RunJournal",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "get_registry",
+    "get_tracer",
+    "read_journal",
+    "render_span_tree",
+    "render_top_spans",
+    "tracing",
+    "write_chrome_trace",
+    "write_run_artifacts",
+    "write_spans_csv",
+]

@@ -1,0 +1,222 @@
+"""Exporters and CLI views over recorded spans.
+
+Two file formats and two terminal views:
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format (``chrome://tracing`` and
+  https://ui.perfetto.dev both load it directly).  Complete spans map
+  to ``ph="X"`` events; the worker pid becomes the trace ``pid`` and
+  the scheduler job index the ``tid``, so a parallel sweep renders as
+  one lane per job grouped under its worker process.
+* :func:`write_spans_csv` — a flat CSV (one row per span) for pandas /
+  spreadsheet analysis.
+* :func:`render_span_tree` / :func:`render_top_spans` — what ``repro
+  trace`` prints: the per-job span hierarchy with durations, and the
+  top-N span names by total time.
+
+All functions accept either :class:`~repro.obs.tracer.Span` objects or
+journal span lines (plain dicts), so they work equally on a live tracer
+and on a ``journal.jsonl`` read back from disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "render_span_tree",
+    "render_top_spans",
+    "span_records",
+    "write_chrome_trace",
+    "write_spans_csv",
+]
+
+
+def span_records(entries: Iterable[Span | Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Normalise spans / journal lines to plain span dicts.
+
+    Non-span journal lines (``metrics``, ``event``, the header) are
+    filtered out; missing ``pid`` / ``job`` attribution defaults to 0.
+    """
+    records: list[dict[str, Any]] = []
+    for entry in entries:
+        if isinstance(entry, Span):
+            payload = entry.as_dict()
+        else:
+            if entry.get("kind") not in (None, "span"):
+                continue
+            if "name" not in entry or "duration" not in entry:
+                continue
+            payload = dict(entry)
+        payload.setdefault("pid", 0)
+        payload.setdefault("job", 0)
+        records.append(payload)
+    return records
+
+
+# -- Chrome trace ----------------------------------------------------------
+
+
+def chrome_trace_events(entries: Iterable[Span | Mapping[str, Any]]) -> dict[str, Any]:
+    """The Chrome trace-event document for ``entries``.
+
+    Timestamps and durations are microseconds, as the format requires;
+    span attributes ride along in ``args``.
+    """
+    events = []
+    for record in span_records(entries):
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round(float(record["start"]) * 1e6, 3),
+                "dur": round(float(record["duration"]) * 1e6, 3),
+                "pid": int(record["pid"]),
+                "tid": int(record["job"]),
+                "args": dict(record.get("attrs") or {}),
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    entries: Iterable[Span | Mapping[str, Any]], path: str | Path
+) -> Path:
+    """Write the Chrome-trace JSON for ``entries`` to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace_events(entries)) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+# -- CSV -------------------------------------------------------------------
+
+_CSV_COLUMNS = ("pid", "job", "span_id", "parent_id", "name", "start", "duration", "attrs")
+
+
+def write_spans_csv(entries: Iterable[Span | Mapping[str, Any]], path: str | Path) -> Path:
+    """Write one flat CSV row per span (attrs JSON-encoded)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_COLUMNS)
+        for record in span_records(entries):
+            writer.writerow(
+                [
+                    record["pid"],
+                    record["job"],
+                    record.get("span_id", ""),
+                    record.get("parent_id", ""),
+                    record["name"],
+                    f"{float(record['start']):.9f}",
+                    f"{float(record['duration']):.9f}",
+                    json.dumps(record.get("attrs") or {}, sort_keys=True),
+                ]
+            )
+    return target
+
+
+# -- terminal views --------------------------------------------------------
+
+
+def render_top_spans(
+    entries: Iterable[Span | Mapping[str, Any]], *, top: int = 15
+) -> str:
+    """Top-N span names by total duration, with counts and means."""
+    totals: dict[str, tuple[int, float]] = {}
+    for record in span_records(entries):
+        count, seconds = totals.get(record["name"], (0, 0.0))
+        totals[record["name"]] = (count + 1, seconds + float(record["duration"]))
+    if not totals:
+        return "(no spans recorded)"
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][1], reverse=True)[:top]
+    rows = [
+        [name, str(count), _ms(seconds), _ms(seconds / count)]
+        for name, (count, seconds) in ranked
+    ]
+    headers = ["span", "count", "total", "mean"]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    )
+    return "\n".join(lines)
+
+
+def render_span_tree(
+    entries: Iterable[Span | Mapping[str, Any]],
+    *,
+    max_children: int = 30,
+) -> str:
+    """The span hierarchy, one block per (pid, job) group.
+
+    Children print in start order under their parent; groups with more
+    than ``max_children`` siblings at one level are truncated with an
+    ellipsis row (a paper-scale day has thousands of chunk spans).
+    """
+    groups: dict[tuple[int, int], list[dict[str, Any]]] = {}
+    for record in span_records(entries):
+        groups.setdefault((int(record["pid"]), int(record["job"])), []).append(record)
+    if not groups:
+        return "(no spans recorded)"
+
+    blocks: list[str] = []
+    for (pid, job), records in sorted(groups.items()):
+        by_parent: dict[Any, list[dict[str, Any]]] = {}
+        ids = {record.get("span_id") for record in records}
+        for record in records:
+            parent = record.get("parent_id")
+            # A parent outside this batch (e.g. an enclosing still-open
+            # span drained later) makes the span a root.
+            key = parent if parent in ids else None
+            by_parent.setdefault(key, []).append(record)
+        for siblings in by_parent.values():
+            siblings.sort(key=lambda r: float(r["start"]))
+
+        lines = [f"worker pid={pid} job={job}"]
+
+        def walk(parent_key: Any, depth: int) -> None:
+            siblings = by_parent.get(parent_key, [])
+            shown = siblings[:max_children]
+            for record in shown:
+                attrs = record.get("attrs") or {}
+                attr_text = (
+                    " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+                    if attrs
+                    else ""
+                )
+                lines.append(
+                    f"{'  ' * depth}- {record['name']}  "
+                    f"{_ms(float(record['duration']))}{attr_text}"
+                )
+                walk(record.get("span_id"), depth + 1)
+            if len(siblings) > max_children:
+                lines.append(
+                    f"{'  ' * depth}… {len(siblings) - max_children} more siblings"
+                )
+
+        walk(None, 1)
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _ms(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.2f}ms"

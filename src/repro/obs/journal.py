@@ -1,0 +1,269 @@
+"""Structured JSONL run journals and atomic run manifests.
+
+A *journal* is the append-only record of one run: one JSON object per
+line, each carrying a ``kind`` (``span``, ``metrics``, ``event``) plus
+kind-specific fields and optional attribution labels (``pid`` for the
+worker process, ``job`` for the scheduler job index).  Journals are what
+``repro trace`` and ``repro metrics`` read, and what
+:mod:`repro.obs.export` turns into Chrome-trace / CSV files.
+
+A :class:`RunManifest` is the run's identity card, written *atomically*
+(temp file + ``os.replace``) next to the results it describes: config
+fingerprints and the cache code salt, seeds, per-stage build durations
+and cache hit tiers, API client stats and the merged metrics snapshot.
+A manifest plus the artifact cache is enough to reproduce or audit the
+run — the same discipline the paper's black-box harness applied by
+logging every probe.
+
+:func:`write_run_artifacts` bundles the standard layout::
+
+    <dir>/journal.jsonl     the event stream
+    <dir>/manifest.json     the RunManifest
+    <dir>/trace.json        Chrome-trace export (load in Perfetto)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, IO, Iterable, Mapping
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "RunJournal",
+    "RunManifest",
+    "read_journal",
+    "write_run_artifacts",
+]
+
+#: Bump when journal line or manifest layouts change shape.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+class RunJournal:
+    """Append-only JSONL writer for one run's observability stream.
+
+    Usable as a context manager; lines are flushed as written so a
+    crashed run still leaves a readable prefix.  The first line is
+    always a ``journal`` header carrying the schema version.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.entries_written = 0
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write_line(
+                {
+                    "kind": "journal",
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "created": _utc_stamp(),
+                }
+            )
+        return self._handle
+
+    def _write_line(self, payload: dict[str, Any]) -> None:
+        handle = self._handle if self._handle is not None else self._file()
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        self.entries_written += 1
+
+    # -- typed writers -----------------------------------------------------
+
+    def event(self, name: str, **fields: Any) -> None:
+        """One free-form marker line (``kind="event"``)."""
+        self._file()
+        self._write_line({"kind": "event", "name": name, **fields})
+
+    def spans(
+        self,
+        spans: Iterable[Span | Mapping[str, Any]],
+        *,
+        pid: int | None = None,
+        job: int | None = None,
+    ) -> int:
+        """Append span lines; returns how many were written."""
+        self._file()
+        written = 0
+        for span in spans:
+            payload = span.as_dict() if isinstance(span, Span) else dict(span)
+            payload["kind"] = "span"
+            if pid is not None:
+                payload["pid"] = pid
+            if job is not None:
+                payload["job"] = job
+            self._write_line(payload)
+            written += 1
+        return written
+
+    def metrics(
+        self,
+        snapshot: Mapping[str, Any],
+        *,
+        pid: int | None = None,
+        job: int | None = None,
+    ) -> None:
+        """Append one metrics-snapshot line."""
+        self._file()
+        payload: dict[str, Any] = {"kind": "metrics", "snapshot": dict(snapshot)}
+        if pid is not None:
+            payload["pid"] = pid
+        if job is not None:
+            payload["job"] = job
+        self._write_line(payload)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL journal; skips blank/corrupt trailing lines.
+
+    A journal written by a crashed run may end mid-line; everything
+    parseable before that point is returned rather than failing the
+    read (mirroring the cache's never-worse-than-cold rule).
+    """
+    entries: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+    return entries
+
+
+def _utc_stamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass(frozen=True, slots=True)
+class RunManifest:
+    """The identity card of one observed run (written atomically).
+
+    ``stages`` maps stage names to ``{"source": tier, "seconds": s}``
+    dicts (the world's :attr:`~repro.core.world.SimulatedWorld.build_report`
+    view); ``metrics`` is a merged :meth:`MetricsRegistry.snapshot`
+    document; everything else is flat JSON-able context.
+    """
+
+    command: str
+    code_salt: str
+    seeds: tuple[int, ...] = ()
+    world_fingerprints: tuple[str, ...] = ()
+    config: dict[str, Any] = field(default_factory=dict)
+    stages: dict[str, Any] = field(default_factory=dict)
+    api_stats: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    n_spans: int = 0
+    wall_seconds: float = 0.0
+    created: str = ""
+    schema_version: int = JOURNAL_SCHEMA_VERSION
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able document."""
+        return {
+            "schema_version": self.schema_version,
+            "created": self.created or _utc_stamp(),
+            "command": self.command,
+            "code_salt": self.code_salt,
+            "seeds": list(self.seeds),
+            "world_fingerprints": list(self.world_fingerprints),
+            "config": self.config,
+            "stages": self.stages,
+            "api_stats": self.api_stats,
+            "metrics": self.metrics,
+            "n_spans": self.n_spans,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the manifest as pretty JSON."""
+        target = Path(path)
+        _atomic_write_text(target, json.dumps(self.as_dict(), indent=2) + "\n")
+        return target
+
+    @staticmethod
+    def load(path: str | Path) -> "RunManifest":
+        """Read a manifest written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return RunManifest(
+            command=payload.get("command", ""),
+            code_salt=payload.get("code_salt", ""),
+            seeds=tuple(int(s) for s in payload.get("seeds", [])),
+            world_fingerprints=tuple(payload.get("world_fingerprints", [])),
+            config=payload.get("config", {}),
+            stages=payload.get("stages", {}),
+            api_stats=payload.get("api_stats", {}),
+            metrics=payload.get("metrics", {}),
+            n_spans=int(payload.get("n_spans", 0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            created=payload.get("created", ""),
+            schema_version=int(payload.get("schema_version", 0)),
+        )
+
+
+def write_run_artifacts(
+    out_dir: str | Path,
+    *,
+    manifest: RunManifest,
+    journal_path: str | Path,
+) -> dict[str, Path]:
+    """Finalize the standard run layout next to an already-written journal.
+
+    Writes ``manifest.json`` (atomic) and ``trace.json`` (Chrome trace
+    derived from the journal's span lines) into ``out_dir`` and returns
+    the three paths keyed ``journal`` / ``manifest`` / ``trace``.
+    """
+    from repro.obs.export import write_chrome_trace
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest_path = manifest.save(out / "manifest.json")
+    trace_path = write_chrome_trace(read_journal(journal_path), out / "trace.json")
+    return {
+        "journal": Path(journal_path),
+        "manifest": manifest_path,
+        "trace": trace_path,
+    }

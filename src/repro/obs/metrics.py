@@ -1,0 +1,295 @@
+"""Labelled counters, gauges and histograms in one process-local registry.
+
+:class:`MetricsRegistry` is the numeric side of the observability
+substrate (spans time *where*; metrics count *how much*).  It is
+dependency-free and deliberately tiny — three instrument kinds, string
+labels, JSON-able snapshots — but follows the production conventions
+that make cross-process roll-ups possible:
+
+* an instrument is identified by ``(name, frozen sorted label set)``,
+  so ``cache_hits{stage=ear, tier=warm}`` and
+  ``cache_hits{stage=ear, tier=cold}`` are distinct series;
+* :meth:`snapshot` emits a stable JSON document, and :meth:`merge`
+  folds any snapshot back in — optionally rewriting it with extra
+  labels (the experiment scheduler merges per-worker registries under
+  ``worker=<pid>`` labels);
+* histograms use fixed log-spaced seconds buckets, so merged
+  histograms stay exact (bucket-wise addition).
+
+The process-local default registry (:func:`get_registry`) is what the
+instrumented hot paths write to; :class:`~repro.api.metrics.ClientMetrics`
+is a thin per-client adapter over a private registry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramState",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Log-spaced upper bounds (seconds) shared by every histogram, chosen to
+#: resolve everything from a memoised cache hit (~1e-5 s) to a cold
+#: paper-scale world build (~1e3 s).  A shared, fixed layout keeps
+#: cross-process merges exact.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+    600.0,
+)
+
+#: Internal series key: (name, ((label, value), ...)).
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> _Key:
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class HistogramState:
+    """Count/sum/min/max plus fixed-bucket counts for one series."""
+
+    __slots__ = ("count", "total", "min", "max", "bucket_counts")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        # one slot per DEFAULT_BUCKETS bound plus the +inf overflow
+        self.bucket_counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.bucket_counts[bisect_left(DEFAULT_BUCKETS, value)] += 1
+
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able state."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min, 9) if self.count else None,
+            "max": round(self.max, 9) if self.count else None,
+            "buckets": list(self.bucket_counts),
+        }
+
+    def merge_dict(self, payload: Mapping[str, Any]) -> None:
+        """Fold a snapshot of another histogram into this one."""
+        count = int(payload.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(payload.get("sum", 0.0))
+        if payload.get("min") is not None:
+            self.min = min(self.min, float(payload["min"]))
+        if payload.get("max") is not None:
+            self.max = max(self.max, float(payload["max"]))
+        buckets = payload.get("buckets") or []
+        for i, bucket_count in enumerate(buckets[: len(self.bucket_counts)]):
+            self.bucket_counts[i] += int(bucket_count)
+
+
+class MetricsRegistry:
+    """A process-local set of labelled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[_Key, float] = {}
+        self._gauges: dict[_Key, float] = {}
+        self._histograms: dict[_Key, HistogramState] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` to a counter series (creating it at 0)."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge series to ``value`` (last write wins)."""
+        self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one histogram observation."""
+        key = _key(name, labels)
+        state = self._histograms.get(key)
+        if state is None:
+            state = self._histograms[key] = HistogramState()
+        state.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0.0 when absent)."""
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels: Any) -> float | None:
+        """Current value of one gauge series (``None`` when absent)."""
+        return self._gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels: Any) -> HistogramState | None:
+        """Live histogram state of one series (``None`` when absent)."""
+        return self._histograms.get(_key(name, labels))
+
+    def series(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """Every counter series under ``name`` as (labels, value) pairs."""
+        return [
+            (dict(label_items), value)
+            for (series_name, label_items), value in sorted(self._counters.items())
+            if series_name == name
+        ]
+
+    def histogram_series(self, name: str) -> list[tuple[dict[str, str], HistogramState]]:
+        """Every histogram series under ``name`` as (labels, state) pairs."""
+        return [
+            (dict(label_items), state)
+            for (series_name, label_items), state in sorted(self._histograms.items())
+            if series_name == name
+        ]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A stable JSON document of every series."""
+        return {
+            "counters": [
+                {"name": name, "labels": dict(label_items), "value": value}
+                for (name, label_items), value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(label_items), "value": value}
+                for (name, label_items), value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(label_items), **state.as_dict()}
+                for (name, label_items), state in sorted(self._histograms.items())
+            ],
+        }
+
+    def merge(
+        self, snapshot: Mapping[str, Any], extra_labels: Mapping[str, Any] | None = None
+    ) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        ``extra_labels`` are added to every merged series — the
+        scheduler roll-up labels each worker's series ``worker=<pid>``
+        so per-worker and cross-worker views coexist in one registry.
+        """
+        extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for row in snapshot.get("counters", []):
+            self.inc(row["name"], float(row["value"]), **{**row["labels"], **extra})
+        for row in snapshot.get("gauges", []):
+            self.set_gauge(row["name"], float(row["value"]), **{**row["labels"], **extra})
+        for row in snapshot.get("histograms", []):
+            key = _key(row["name"], {**row["labels"], **extra})
+            state = self._histograms.get(key)
+            if state is None:
+                state = self._histograms[key] = HistogramState()
+            state.merge_dict(row)
+
+    def reset(self) -> None:
+        """Drop every series."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- display ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Fixed-width tables for CLI display (``repro metrics``)."""
+        lines: list[str] = []
+        if self._counters:
+            lines.append(_table(
+                ["counter", "value"],
+                [
+                    [_series_label(name, labels), _num(value)]
+                    for (name, labels), value in sorted(self._counters.items())
+                ],
+            ))
+        if self._gauges:
+            if lines:
+                lines.append("")
+            lines.append(_table(
+                ["gauge", "value"],
+                [
+                    [_series_label(name, labels), _num(value)]
+                    for (name, labels), value in sorted(self._gauges.items())
+                ],
+            ))
+        if self._histograms:
+            if lines:
+                lines.append("")
+            lines.append(_table(
+                ["histogram", "count", "mean", "min", "max", "sum"],
+                [
+                    [
+                        _series_label(name, labels),
+                        str(state.count),
+                        _num(state.mean()),
+                        _num(state.min if state.count else 0.0),
+                        _num(state.max if state.count else 0.0),
+                        _num(state.total),
+                    ]
+                    for (name, labels), state in sorted(self._histograms.items())
+                ],
+            ))
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _series_label(name: str, label_items: Iterable[tuple[str, str]]) -> str:
+    labels = ", ".join(f"{k}={v}" for k, v in label_items)
+    return f"{name}{{{labels}}}" if labels else name
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    )
+    return "\n".join(lines)
+
+
+#: The process-local registry the instrumented hot paths write to.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local :class:`MetricsRegistry` singleton."""
+    return _GLOBAL_REGISTRY

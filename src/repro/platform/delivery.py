@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.errors import DeliveryError
 from repro.geo.mobility import MobilityModel
+from repro.obs.tracer import get_tracer
 from repro.geo.regions import DMA_CODES
 from repro.platform.audience import AudienceStore
 from repro.platform.auction import run_auction, run_auctions_batch
@@ -170,6 +171,10 @@ class DeliveryEngine:
         self._noise_sigma = value_noise_sigma
         self._repeat_affinity = repeat_affinity
         self._mode = mode
+        # The process-local tracer; a no-op unless tracing is enabled.
+        # Spans never touch self._rng, so traced and untraced runs are
+        # bit-identical (tests/obs/test_overhead.py).
+        self._tracer = get_tracer()
 
     @property
     def mode(self) -> str:
@@ -180,6 +185,12 @@ class DeliveryEngine:
 
     def _setup(self, ads: list[Ad]):
         """Static per-ad structures shared by both engine modes."""
+        with self._tracer.span("delivery.targeting") as span:
+            setup = self._setup_inner(ads)
+            span.set("n_ads", len(setup[0]))
+        return setup
+
+    def _setup_inner(self, ads: list[Ad]):
         deliverable = [ad for ad in ads if ad.is_deliverable()]
         if not deliverable:
             raise DeliveryError("no approved ads to deliver")
@@ -226,11 +237,17 @@ class DeliveryEngine:
         DeliveryError
             If no ad is approved for delivery.
         """
-        setup = self._setup(ads)
-        if self._mode == "reference":
-            result = self._run_reference(*setup)
-        else:
-            result = self._run_vectorized(*setup)
+        with self._tracer.span(
+            "delivery.day", {"mode": self._mode, "hours": self._hours}
+        ) as span:
+            setup = self._setup(ads)
+            span.set("n_ads", len(setup[0]))
+            if self._mode == "reference":
+                result = self._run_reference(*setup)
+            else:
+                result = self._run_vectorized(*setup)
+            span.set("slots", result.total_slots)
+            span.set("impressions", result.insights.total_impressions())
         # Ads that never won still get an (empty) insights row, as the real
         # reporting API would show zeros rather than a missing ad.
         for ad in setup[0]:
@@ -256,11 +273,12 @@ class DeliveryEngine:
         shown_to: dict[int, list[int]] = {}
 
         for hour in range(self._hours):
-            pacing.control_all(float(hour))
-            multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
-            # Liveness is owned by the pacing controller; the loop below
-            # refreshes a winner's entry right after it is charged.
-            alive = pacing.alive_mask(ad_ids)
+            with self._tracer.span("delivery.pacing", {"hour": hour}):
+                pacing.control_all(float(hour))
+                multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
+                # Liveness is owned by the pacing controller; the loop below
+                # refreshes a winner's entry right after it is charged.
+                alive = pacing.alive_mask(ad_ids)
             if not alive.any():
                 break
             # total value per (ad, observed cell) at this hour's pacing
@@ -276,38 +294,41 @@ class DeliveryEngine:
             competing = self._competition.sample_many(obs_cell[slot_users])
             total_slots += int(slot_users.size)
 
-            for slot_idx in range(slot_users.size):
-                uid = int(slot_users[slot_idx])
-                cell = int(obs_cell[uid])
-                candidate = np.where(
-                    eligibility[:, uid] & alive, values[:, cell], neg_inf
-                )
-                if self._noise_sigma > 0:
-                    candidate = candidate * np.exp(
-                        self._noise_sigma * self._rng.standard_normal(n_ads)
+            with self._tracer.span(
+                "delivery.auctions", {"hour": hour, "slots": int(slot_users.size)}
+            ):
+                for slot_idx in range(slot_users.size):
+                    uid = int(slot_users[slot_idx])
+                    cell = int(obs_cell[uid])
+                    candidate = np.where(
+                        eligibility[:, uid] & alive, values[:, cell], neg_inf
                     )
-                if self._repeat_affinity > 1.0:
-                    seen = shown_to.get(uid)
-                    if seen:
-                        candidate[seen] *= self._repeat_affinity
-                outcome = run_auction(candidate, float(competing[slot_idx]))
-                if outcome.winner_index is None:
-                    market_wins += 1
-                    continue
-                winner = outcome.winner_index
-                ad = deliverable[winner]
-                # The last impression cannot push spend past the budget:
-                # the platform bills at most the remaining balance.
-                price = min(outcome.price, pacing.state(ad.ad_id).remaining)
-                pacing.record_spend(ad.ad_id, price)
-                alive[winner] = pacing.can_bid(ad.ad_id)
-                user = users[uid]
-                location = self._mobility.locate(user.home_state, user.home_dma)
-                clicked = self._rng.random() < gt_matrix[winner, gt_cell[uid]]
-                insights.for_ad(ad.ad_id).record(
-                    user, location.state, location.dma, price, clicked, hour=hour
-                )
-                shown_to.setdefault(uid, []).append(winner)
+                    if self._noise_sigma > 0:
+                        candidate = candidate * np.exp(
+                            self._noise_sigma * self._rng.standard_normal(n_ads)
+                        )
+                    if self._repeat_affinity > 1.0:
+                        seen = shown_to.get(uid)
+                        if seen:
+                            candidate[seen] *= self._repeat_affinity
+                    outcome = run_auction(candidate, float(competing[slot_idx]))
+                    if outcome.winner_index is None:
+                        market_wins += 1
+                        continue
+                    winner = outcome.winner_index
+                    ad = deliverable[winner]
+                    # The last impression cannot push spend past the budget:
+                    # the platform bills at most the remaining balance.
+                    price = min(outcome.price, pacing.state(ad.ad_id).remaining)
+                    pacing.record_spend(ad.ad_id, price)
+                    alive[winner] = pacing.can_bid(ad.ad_id)
+                    user = users[uid]
+                    location = self._mobility.locate(user.home_state, user.home_dma)
+                    clicked = self._rng.random() < gt_matrix[winner, gt_cell[uid]]
+                    insights.for_ad(ad.ad_id).record(
+                        user, location.state, location.dma, price, clicked, hour=hour
+                    )
+                    shown_to.setdefault(uid, []).append(winner)
 
         return DeliveryResult(
             insights=insights,
@@ -358,8 +379,9 @@ class DeliveryEngine:
         seen = np.zeros((n_ads, n_users), dtype=bool)
 
         for hour in range(self._hours):
-            pacing.control_all(float(hour))
-            alive = pacing.alive_mask(ad_ids)
+            with self._tracer.span("delivery.pacing", {"hour": hour}):
+                pacing.control_all(float(hour))
+                alive = pacing.alive_mask(ad_ids)
             if not alive.any():
                 break
             multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
@@ -390,64 +412,68 @@ class DeliveryEngine:
                     market_wins += n_slots - pos
                     break
                 end = min(pos + self._chunk_limit(pacing, ad_ids, alive, values), n_slots)
-                uids = slot_users[pos:end]
-                cand = values[:, obs_cell[uids]]
-                if self._noise_sigma > 0:
-                    cand = cand * np.exp(
-                        self._noise_sigma * self._rng.standard_normal(cand.shape)
+                with self._tracer.span(
+                    "delivery.auction_chunk", {"hour": hour, "slots": int(end - pos)}
+                ) as chunk_span:
+                    uids = slot_users[pos:end]
+                    cand = values[:, obs_cell[uids]]
+                    if self._noise_sigma > 0:
+                        cand = cand * np.exp(
+                            self._noise_sigma * self._rng.standard_normal(cand.shape)
+                        )
+                    if self._repeat_affinity > 1.0:
+                        cand = np.where(seen[:, uids], cand * self._repeat_affinity, cand)
+                    cand = np.where(
+                        eligibility[:, uids] & alive[:, None], cand, neg_inf
                     )
-                if self._repeat_affinity > 1.0:
-                    cand = np.where(seen[:, uids], cand * self._repeat_affinity, cand)
-                cand = np.where(
-                    eligibility[:, uids] & alive[:, None], cand, neg_inf
-                )
-                batch = run_auctions_batch(cand, competing[pos:end])
+                    batch = run_auctions_batch(cand, competing[pos:end])
 
-                win_slots = np.flatnonzero(batch.winner_indices >= 0)
-                win_ads = batch.winner_indices[win_slots]
-                win_prices = batch.prices[win_slots]
+                    win_slots = np.flatnonzero(batch.winner_indices >= 0)
+                    win_ads = batch.winner_indices[win_slots]
+                    win_prices = batch.prices[win_slots]
 
-                # Find the earliest over-budget win, if any: spend is the
-                # only cross-slot dependency, so everything before it is
-                # exactly what the sequential engine would have committed.
-                cutoff = None  # (relative slot, ad index, capped price)
-                for a in np.unique(win_ads):
-                    of_ad = win_ads == a
-                    cum = np.cumsum(win_prices[of_ad])
-                    remaining = pacing.state(ad_ids[a]).remaining
-                    over = np.flatnonzero(cum >= remaining)
-                    if over.size:
-                        rel = int(win_slots[of_ad][over[0]])
-                        if cutoff is None or rel < cutoff[0]:
-                            spent_before = float(cum[over[0]]) - float(
-                                win_prices[of_ad][over[0]]
-                            )
-                            cutoff = (rel, int(a), remaining - spent_before)
+                    # Find the earliest over-budget win, if any: spend is the
+                    # only cross-slot dependency, so everything before it is
+                    # exactly what the sequential engine would have committed.
+                    cutoff = None  # (relative slot, ad index, capped price)
+                    for a in np.unique(win_ads):
+                        of_ad = win_ads == a
+                        cum = np.cumsum(win_prices[of_ad])
+                        remaining = pacing.state(ad_ids[a]).remaining
+                        over = np.flatnonzero(cum >= remaining)
+                        if over.size:
+                            rel = int(win_slots[of_ad][over[0]])
+                            if cutoff is None or rel < cutoff[0]:
+                                spent_before = float(cum[over[0]]) - float(
+                                    win_prices[of_ad][over[0]]
+                                )
+                                cutoff = (rel, int(a), remaining - spent_before)
 
-                if cutoff is None:
-                    committed = slice(None)
-                    next_pos = end
-                else:
-                    committed = win_slots <= cutoff[0]
-                    next_pos = pos + cutoff[0] + 1
-                c_slots = win_slots[committed]
-                c_ads = win_ads[committed]
-                c_prices = win_prices[committed].copy()
-                if cutoff is not None and c_slots.size:
-                    # The exhausting impression bills at most the balance.
-                    c_prices[-1] = min(c_prices[-1], cutoff[2])
-                c_uids = uids[c_slots]
+                    if cutoff is None:
+                        committed = slice(None)
+                        next_pos = end
+                    else:
+                        committed = win_slots <= cutoff[0]
+                        next_pos = pos + cutoff[0] + 1
+                    c_slots = win_slots[committed]
+                    c_ads = win_ads[committed]
+                    c_prices = win_prices[committed].copy()
+                    if cutoff is not None and c_slots.size:
+                        # The exhausting impression bills at most the balance.
+                        c_prices[-1] = min(c_prices[-1], cutoff[2])
+                    c_uids = uids[c_slots]
 
-                for a in np.unique(c_ads):
-                    pacing.record_spend(ad_ids[a], float(c_prices[c_ads == a].sum()))
-                seen[c_ads, c_uids] = True
-                market_wins += int(next_pos - pos) - int(c_slots.size)
-                hour_uids.append(c_uids)
-                hour_ads.append(c_ads)
-                hour_prices.append(c_prices)
-                if cutoff is not None:
-                    alive = pacing.alive_mask(ad_ids)
-                pos = next_pos
+                    for a in np.unique(c_ads):
+                        pacing.record_spend(ad_ids[a], float(c_prices[c_ads == a].sum()))
+                    seen[c_ads, c_uids] = True
+                    market_wins += int(next_pos - pos) - int(c_slots.size)
+                    hour_uids.append(c_uids)
+                    hour_ads.append(c_ads)
+                    hour_prices.append(c_prices)
+                    if cutoff is not None:
+                        alive = pacing.alive_mask(ad_ids)
+                    chunk_span.set("wins", int(c_slots.size))
+                    pos = next_pos
 
             if not hour_uids:
                 continue
@@ -456,19 +482,25 @@ class DeliveryEngine:
                 continue
             w_ads = np.concatenate(hour_ads)
             w_prices = np.concatenate(hour_prices)
-            clicked = self._rng.random(w_uids.size) < gt_matrix[w_ads, gt_cell[w_uids]]
-            dma_codes = self._mobility.locate_batch(home_dma_codes[w_uids])
-            for a in np.unique(w_ads):
-                of_ad = w_ads == a
-                insights.record_batch(
-                    ad_ids[a],
-                    w_uids[of_ad],
-                    age_gender_codes[w_uids[of_ad]],
-                    dma_codes[of_ad],
-                    w_prices[of_ad],
-                    clicked[of_ad],
-                    hour=hour,
+            with self._tracer.span(
+                "delivery.engagement", {"hour": hour, "wins": int(w_uids.size)}
+            ):
+                clicked = (
+                    self._rng.random(w_uids.size) < gt_matrix[w_ads, gt_cell[w_uids]]
                 )
+                dma_codes = self._mobility.locate_batch(home_dma_codes[w_uids])
+            with self._tracer.span("delivery.insights", {"hour": hour}):
+                for a in np.unique(w_ads):
+                    of_ad = w_ads == a
+                    insights.record_batch(
+                        ad_ids[a],
+                        w_uids[of_ad],
+                        age_gender_codes[w_uids[of_ad]],
+                        dma_codes[of_ad],
+                        w_prices[of_ad],
+                        clicked[of_ad],
+                        hour=hour,
+                    )
 
         return DeliveryResult(
             insights=insights,

@@ -1,0 +1,24 @@
+"""Observability test fixtures: keep global tracer/registry state clean."""
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Reset the process-local tracer and registry around every test.
+
+    The obs tests flip the global switch and record into the global
+    registry; without this the suite's other tests would observe spans
+    and series they never created.
+    """
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    yield
+    tracer.disable()
+    tracer.reset()
+    get_registry().reset()
+    if was_enabled:  # pragma: no cover - the suite runs with tracing off
+        tracer.enable()

@@ -1,0 +1,205 @@
+"""Run journals, manifests and the exporters built on top of them."""
+
+import csv
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_span_tree,
+    render_top_spans,
+    span_records,
+    write_chrome_trace,
+    write_spans_csv,
+)
+from repro.obs.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    RunManifest,
+    read_journal,
+    write_run_artifacts,
+)
+from repro.obs.tracer import Tracer
+
+
+def _sample_spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("world.build", {"seed": 7}):
+        with tracer.span("world.stage.ear", {"source": "cold"}):
+            pass
+    return tracer.spans
+
+
+class TestJournal:
+    def test_header_line_carries_schema_version(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("run", command="test")
+        entries = read_journal(path)
+        assert entries[0]["kind"] == "journal"
+        assert entries[0]["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert entries[1] == {"kind": "event", "name": "run", "command": "test"}
+
+    def test_span_lines_carry_attribution(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            written = journal.spans(_sample_spans(), pid=123, job=4)
+        assert written == 2
+        span_lines = [e for e in read_journal(path) if e["kind"] == "span"]
+        assert {line["pid"] for line in span_lines} == {123}
+        assert {line["job"] for line in span_lines} == {4}
+        assert {line["name"] for line in span_lines} == {
+            "world.build",
+            "world.stage.ear",
+        }
+
+    def test_accepts_spans_and_plain_dicts(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        spans = _sample_spans()
+        with RunJournal(path) as journal:
+            journal.spans([spans[0], spans[1].as_dict()])
+        assert len([e for e in read_journal(path) if e["kind"] == "span"]) == 2
+
+    def test_metrics_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        snapshot = {"counters": [], "gauges": [], "histograms": []}
+        with RunJournal(path) as journal:
+            journal.metrics(snapshot, pid=9, job=0)
+        (line,) = [e for e in read_journal(path) if e["kind"] == "metrics"]
+        assert line["snapshot"] == snapshot and line["pid"] == 9
+
+    def test_read_skips_corrupt_trailing_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("ok")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "span", "truncat')  # crashed mid-write
+        entries = read_journal(path)
+        assert [e["kind"] for e in entries] == ["journal", "event"]
+
+
+class TestManifest:
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = RunManifest(
+            command="sweep --seeds 1,2",
+            code_salt="repro-artifacts-v1",
+            seeds=(1, 2),
+            world_fingerprints=("aaa", "bbb"),
+            config={"registry_size": 6000},
+            stages={"job0": {"ear": {"source": "cold", "seconds": 1.25}}},
+            api_stats={"requests": 10},
+            metrics={"counters": [], "gauges": [], "histograms": []},
+            n_spans=42,
+            wall_seconds=3.5,
+        )
+        path = manifest.save(tmp_path / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded.command == manifest.command
+        assert loaded.seeds == (1, 2)
+        assert loaded.world_fingerprints == ("aaa", "bbb")
+        assert loaded.stages == manifest.stages
+        assert loaded.n_spans == 42
+        assert loaded.schema_version == JOURNAL_SCHEMA_VERSION
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        manifest = RunManifest(command="x", code_salt="s")
+        manifest.save(tmp_path / "manifest.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+
+class TestChromeTrace:
+    def test_events_have_the_required_fields(self):
+        document = chrome_trace_events(_sample_spans())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        by_name = {event["name"]: event for event in events}
+        assert by_name["world.build"]["cat"] == "world"
+        assert by_name["world.build"]["args"] == {"seed": 7}
+
+    def test_microsecond_conversion(self):
+        records = [
+            {"name": "s", "start": 0.5, "duration": 0.25, "pid": 1, "job": 2}
+        ]
+        (event,) = chrome_trace_events(records)["traceEvents"]
+        assert event["ts"] == 500000.0
+        assert event["dur"] == 250000.0
+        assert event["tid"] == 2
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(_sample_spans(), tmp_path / "trace.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert {e["name"] for e in document["traceEvents"]} == {
+            "world.build",
+            "world.stage.ear",
+        }
+
+
+class TestCsvAndViews:
+    def test_csv_columns_and_rows(self, tmp_path):
+        path = write_spans_csv(_sample_spans(), tmp_path / "spans.csv")
+        with path.open(encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == [
+            "pid", "job", "span_id", "parent_id", "name", "start", "duration", "attrs",
+        ]
+        assert len(rows) == 3
+        assert json.loads(rows[1][7]) == {"source": "cold"}  # finish order: child first
+
+    def test_span_records_filters_non_span_lines(self):
+        entries = [
+            {"kind": "journal", "schema_version": 1},
+            {"kind": "metrics", "snapshot": {}},
+            {"kind": "span", "name": "s", "start": 0.0, "duration": 1.0},
+        ]
+        records = span_records(entries)
+        assert len(records) == 1
+        assert records[0]["pid"] == 0 and records[0]["job"] == 0
+
+    def test_render_top_spans_ranks_by_total(self):
+        records = [
+            {"name": "slow", "start": 0.0, "duration": 2.0},
+            {"name": "fast", "start": 0.0, "duration": 0.1},
+            {"name": "fast", "start": 0.2, "duration": 0.1},
+        ]
+        text = render_top_spans(records, top=5)
+        lines = text.splitlines()
+        assert lines[2].startswith("slow")
+        assert "2" in lines[3]  # fast has count 2
+
+    def test_render_span_tree_nests_and_groups(self):
+        spans = _sample_spans()
+        text = render_span_tree([{**s.as_dict(), "pid": 7, "job": 1} for s in spans])
+        assert "worker pid=7 job=1" in text
+        lines = text.splitlines()
+        build_line = next(l for l in lines if "world.build" in l)
+        stage_line = next(l for l in lines if "world.stage.ear" in l)
+        indent = lambda l: len(l) - len(l.lstrip())  # noqa: E731
+        assert indent(stage_line) > indent(build_line)
+
+    def test_render_span_tree_truncates_wide_levels(self):
+        records = [
+            {"name": f"chunk{i}", "start": float(i), "duration": 0.1, "span_id": i + 1}
+            for i in range(40)
+        ]
+        text = render_span_tree(records, max_children=10)
+        assert "… 30 more siblings" in text
+
+
+class TestRunArtifacts:
+    def test_standard_layout_written(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        with RunJournal(journal_path) as journal:
+            n = journal.spans(_sample_spans(), pid=1, job=0)
+        manifest = RunManifest(command="test", code_salt="salt", n_spans=n)
+        paths = write_run_artifacts(
+            tmp_path, manifest=manifest, journal_path=journal_path
+        )
+        assert set(paths) == {"journal", "manifest", "trace"}
+        assert all(path.exists() for path in paths.values())
+        trace = json.loads(paths["trace"].read_text(encoding="utf-8"))
+        assert len(trace["traceEvents"]) == 2
+        assert RunManifest.load(paths["manifest"]).n_spans == 2

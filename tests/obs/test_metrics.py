@@ -1,0 +1,147 @@
+"""MetricsRegistry: label series, histograms, snapshot/merge, render."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramState,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounters:
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("cache_hits", 1, stage="ear", tier="warm")
+        registry.inc("cache_hits", 1, stage="ear", tier="cold")
+        registry.inc("cache_hits", 2, stage="ear", tier="warm")
+        assert registry.counter_value("cache_hits", stage="ear", tier="warm") == 3
+        assert registry.counter_value("cache_hits", stage="ear", tier="cold") == 1
+        assert registry.counter_value("cache_hits", stage="ear", tier="memo") == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 1, a="1", b="2")
+        registry.inc("x", 1, b="2", a="1")
+        assert registry.counter_value("x", b="2", a="1") == 2
+
+    def test_series_lists_every_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 1, tier="warm")
+        registry.inc("hits", 5, tier="cold")
+        series = registry.series("hits")
+        assert ({"tier": "cold"}, 5.0) in series
+        assert ({"tier": "warm"}, 1.0) in series
+        assert len(series) == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("alive_ads", 8, hour=3)
+        registry.set_gauge("alive_ads", 5, hour=3)
+        assert registry.gauge_value("alive_ads", hour=3) == 5.0
+        assert registry.gauge_value("alive_ads", hour=4) is None
+
+
+class TestHistograms:
+    def test_observe_tracks_count_sum_min_max(self):
+        registry = MetricsRegistry()
+        for value in (0.05, 0.2, 1.5):
+            registry.observe("latency", value, endpoint="e")
+        state = registry.histogram("latency", endpoint="e")
+        assert state.count == 3
+        assert state.total == 0.05 + 0.2 + 1.5
+        assert state.min == 0.05 and state.max == 1.5
+        assert state.mean() == state.total / 3
+
+    def test_bucket_assignment_uses_upper_bounds(self):
+        state = HistogramState()
+        state.observe(DEFAULT_BUCKETS[0])  # exactly the first bound
+        state.observe(DEFAULT_BUCKETS[0] * 10)
+        state.observe(1e9)  # beyond the last bound -> overflow slot
+        assert state.bucket_counts[0] == 1
+        assert state.bucket_counts[-1] == 1
+        assert sum(state.bucket_counts) == 3
+
+    def test_merge_is_exact_bucketwise_addition(self):
+        left, right = HistogramState(), HistogramState()
+        for value in (0.002, 0.4):
+            left.observe(value)
+        for value in (0.002, 700.0):
+            right.observe(value)
+        merged = HistogramState()
+        merged.merge_dict(left.as_dict())
+        merged.merge_dict(right.as_dict())
+        direct = HistogramState()
+        for value in (0.002, 0.4, 0.002, 700.0):
+            direct.observe(value)
+        assert merged.bucket_counts == direct.bucket_counts
+        assert merged.count == direct.count
+        assert merged.min == direct.min and merged.max == direct.max
+
+
+class TestSnapshotMerge:
+    def test_roundtrip_through_snapshot(self):
+        source = MetricsRegistry()
+        source.inc("c", 2, k="v")
+        source.set_gauge("g", 7)
+        source.observe("h", 0.3)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_extra_labels_separate_workers(self):
+        """The scheduler roll-up: same series from two workers stays
+        distinguishable under worker labels, totals still add up."""
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        worker_a.inc("cache_hits", 3, tier="warm")
+        worker_b.inc("cache_hits", 4, tier="warm")
+        rollup = MetricsRegistry()
+        rollup.merge(worker_a.snapshot(), extra_labels={"worker": 111})
+        rollup.merge(worker_b.snapshot(), extra_labels={"worker": 222})
+        assert rollup.counter_value("cache_hits", tier="warm", worker=111) == 3
+        assert rollup.counter_value("cache_hits", tier="warm", worker=222) == 4
+        total = sum(value for _, value in rollup.series("cache_hits"))
+        assert total == 7
+
+    def test_merge_same_labels_accumulates(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.inc("n", 1)
+        first.observe("h", 0.1)
+        second.inc("n", 2)
+        second.observe("h", 0.2)
+        rollup = MetricsRegistry()
+        rollup.merge(first.snapshot())
+        rollup.merge(second.snapshot())
+        assert rollup.counter_value("n") == 3
+        state = rollup.histogram("h")
+        assert state.count == 2 and abs(state.total - 0.3) < 1e-9
+
+    def test_reset_and_len(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 1)
+        assert len(registry) == 3
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestRender:
+    def test_render_shows_series_and_values(self):
+        registry = MetricsRegistry()
+        registry.inc("cache_hits", 3, tier="warm")
+        registry.observe("cache_seconds", 0.25, tier="warm")
+        text = registry.render()
+        assert "cache_hits{tier=warm}" in text
+        assert "cache_seconds{tier=warm}" in text
+        assert "3" in text
+
+    def test_render_empty_registry(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+class TestGlobalRegistry:
+    def test_singleton(self):
+        assert get_registry() is get_registry()

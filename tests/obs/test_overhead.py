@@ -1,0 +1,138 @@
+"""The observability guard: tracing must never change results.
+
+Two contracts from the tracer's design:
+
+* **Bit-identical delivery.**  Spans read the wall clock and touch no
+  random stream, so an identically-seeded delivery day produces the
+  exact same insights — impressions, spend, clicks, per-cell
+  demographics, reached-user sets — with tracing on or off.
+* **Silent when disabled.**  With the tracer off (the default), the
+  instrumented paths record no spans and journals stay empty.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo import MobilityModel
+from repro.images import ImageFeatures
+from repro.obs.tracer import get_tracer, tracing
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AudienceStore,
+    CompetitionModel,
+    DeliveryEngine,
+    Objective,
+    TargetingSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def delivery_setup(small_world):
+    """A small two-ad day over a fixed audience; engines built per run."""
+    world = small_world
+    store = AudienceStore(world.universe)
+    users = world.universe.users[:2000]
+    audience = store.create_from_hashes("guard-all", [u.pii_hash for u in users])
+
+    def build(mode: str):
+        account = AdAccount(account_id=f"guard-{mode}")
+        campaign = account.create_campaign("c", Objective.TRAFFIC)
+        ads = []
+        for i, race_score in enumerate([0.9, 0.1]):
+            targeting = TargetingSpec(custom_audience_ids=(audience.audience_id,))
+            adset = account.create_adset(campaign, f"as{i}", 200, targeting)
+            creative = AdCreative(
+                headline="h",
+                body="b",
+                destination_url="https://x.org",
+                image=ImageFeatures(
+                    race_score=race_score, gender_score=0.5, age_years=30
+                ),
+            )
+            ad = account.create_ad(adset, f"ad{i}", creative)
+            ad.review_status = "APPROVED"
+            ads.append(ad)
+        engine = DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(31)),
+            mobility=MobilityModel(np.random.default_rng(32)),
+            rng=np.random.default_rng(33),
+            mode=mode,
+        )
+        return engine, ads
+
+    return build
+
+
+def _insight_fingerprint(result, ads):
+    """Everything delivery produced, in comparable form."""
+    rows = []
+    for ad in ads:
+        insights = result.for_ad(ad.ad_id)
+        rows.append(
+            {
+                "impressions": insights.impressions,
+                "spend": insights.spend,
+                "clicks": insights.clicks,
+                "by_age_gender": dict(insights.by_age_gender),
+                "reached": frozenset(insights._reached),
+            }
+        )
+    return {"total_slots": result.total_slots, "ads": rows}
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("mode", ["vectorized", "reference"])
+    def test_delivery_identical_with_tracing_on_and_off(self, delivery_setup, mode):
+        engine_off, ads_off = delivery_setup(mode)
+        assert not get_tracer().enabled
+        result_off = engine_off.run(ads_off)
+
+        engine_on, ads_on = delivery_setup(mode)
+        with tracing() as tracer:
+            result_on = engine_on.run(ads_on)
+            spans = tracer.drain()
+
+        assert spans, "enabled tracing recorded no spans"
+        assert _insight_fingerprint(result_off, ads_off) == _insight_fingerprint(
+            result_on, ads_on
+        )
+
+    def test_traced_day_covers_the_span_taxonomy(self, delivery_setup):
+        engine, ads = delivery_setup("vectorized")
+        with tracing() as tracer:
+            engine.run(ads)
+            names = {span.name for span in tracer.drain()}
+        assert "delivery.day" in names
+        assert "delivery.targeting" in names
+        assert "delivery.pacing" in names
+        assert "delivery.auction_chunk" in names
+        assert "delivery.engagement" in names
+        assert "delivery.insights" in names
+
+
+class TestDisabledIsSilent:
+    def test_disabled_delivery_records_no_spans(self, delivery_setup):
+        engine, ads = delivery_setup("vectorized")
+        tracer = get_tracer()
+        tracer.reset()
+        assert not tracer.enabled
+        engine.run(ads)
+        assert tracer.spans == []
+
+    def test_disabled_sweep_writes_no_journal(self, tmp_path):
+        """Without trace_out the scheduler produces no observability
+        files and collects no per-job payloads."""
+        from repro.core.scheduler import run_seed_sweep
+
+        rows = run_seed_sweep(
+            [19], campaign="stability", scale="small", cache=tmp_path / "cache"
+        )
+        assert len(rows) == 1
+        assert not (tmp_path / "journal.jsonl").exists()
+        assert get_tracer().spans == []

@@ -1,0 +1,171 @@
+"""Tracer semantics: hierarchy, the disabled no-op path, drain, restore."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, tracing
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_handle(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", {"k": 1}) is NULL_SPAN
+
+    def test_null_span_accepts_the_full_protocol(self):
+        with NULL_SPAN as span:
+            span.set("ignored", 42)
+        assert NULL_SPAN.set("still", "ignored") is None
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        """The guard for instrumented hot loops: tracing off costs zero
+        allocations, so delivery chunks can carry spans unconditionally."""
+        tracer = Tracer()
+        iterations = range(5000)
+
+        def hot_loop():
+            for _ in iterations:
+                with tracer.span("delivery.auction_chunk"):
+                    pass
+
+        hot_loop()  # warm up caches (method binding, bytecode specialization)
+        tracemalloc.start()
+        try:
+            tracemalloc.clear_traces()
+            before, _ = tracemalloc.get_traced_memory()
+            hot_loop()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.spans == []
+        assert tracer.drain() == []
+
+
+class TestHierarchy:
+    def test_nested_spans_link_to_their_parents(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+
+    def test_parent_id_assigned_while_parent_still_open(self):
+        """Children finish before their parent; links must already hold."""
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+            child = tracer.spans[0]
+        parent = tracer.spans[-1]
+        assert parent.name == "parent"
+        assert child.parent_id == parent.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("day"):
+            for hour in range(3):
+                with tracer.span("hour", {"hour": hour}):
+                    pass
+        day = tracer.spans[-1]
+        hours = [span for span in tracer.spans if span.name == "hour"]
+        assert len(hours) == 3
+        assert all(span.parent_id == day.span_id for span in hours)
+        assert [span.attrs["hour"] for span in hours] == [0, 1, 2]
+
+    def test_attrs_and_set(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", {"static": 1}) as span:
+            span.set("dynamic", "late")
+            span.set("static", 2)  # overwrite
+        (recorded,) = tracer.spans
+        assert recorded.attrs == {"static": 2, "dynamic": "late"}
+
+    def test_span_recorded_when_body_raises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert [span.name for span in tracer.spans] == ["failing"]
+
+    def test_durations_are_positive_and_nested_inside_parent(self):
+        ticks = iter(float(i) for i in range(100))
+        tracer = Tracer(enabled=True, clock=lambda: next(ticks))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.duration > 0 and outer.duration > 0
+        assert outer.start <= inner.start
+        assert inner.start + inner.duration <= outer.start + outer.duration
+
+
+class TestDrainAndRoundtrip:
+    def test_drain_removes_finished_keeps_open(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("job0"):
+                pass
+            drained = tracer.drain()
+            assert [span.name for span in drained] == ["job0"]
+            assert tracer.spans == []
+        assert [span.name for span in tracer.spans] == ["outer"]
+
+    def test_span_dict_roundtrip(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", {"k": "v"}):
+            pass
+        (span,) = tracer.spans
+        restored = Span.from_dict(span.as_dict())
+        assert (restored.span_id, restored.parent_id, restored.name) == (
+            span.span_id,
+            span.parent_id,
+            span.name,
+        )
+        assert restored.attrs == {"k": "v"}
+        # times are rounded to nanoseconds in the JSON form
+        assert restored.start == pytest.approx(span.start, abs=1e-9)
+        assert restored.duration == pytest.approx(span.duration, abs=1e-9)
+        # a second round-trip is exact (rounding is idempotent)
+        assert Span.from_dict(restored.as_dict()) == restored
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("t"):
+            pass
+        assert tracer.spans[0].span_id == 1
+
+
+class TestGlobalSwitch:
+    def test_tracing_context_restores_disabled(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with tracing() as inner:
+            assert inner is tracer
+            assert tracer.enabled
+        assert not tracer.enabled
+
+    def test_tracing_context_restores_enabled(self):
+        tracer = get_tracer()
+        tracer.enable()
+        with tracing(False):
+            assert not tracer.enabled
+        assert tracer.enabled
+
+    def test_get_tracer_is_a_singleton(self):
+        assert get_tracer() is get_tracer()

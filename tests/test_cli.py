@@ -67,6 +67,61 @@ class TestCliSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--seeds", "one,two"])
 
+    def test_sweep_trace_out_writes_run_artifacts(self, capsys, tmp_path: Path):
+        trace_dir = tmp_path / "trace"
+        code = main(
+            ["sweep", "--seeds", "101", "--trace-out", str(trace_dir)]
+        )
+        assert code == 0
+        assert (trace_dir / "journal.jsonl").exists()
+        assert (trace_dir / "manifest.json").exists()
+        assert (trace_dir / "trace.json").exists()
+        manifest = json.loads((trace_dir / "manifest.json").read_text())
+        assert manifest["seeds"] == [101]
+        assert manifest["code_salt"]
+        assert manifest["n_spans"] > 0
+        assert "job0" in manifest["stages"]
+        trace = json.loads((trace_dir / "trace.json").read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"sweep", "scheduler.job", "world.build", "delivery.day"} <= names
+        # tracing is an opt-in side channel: restored off afterwards
+        from repro.obs.tracer import get_tracer
+
+        assert not get_tracer().enabled
+
+
+class TestCliTraceViews:
+    @pytest.fixture(scope="class")
+    def journal_path(self, tmp_path_factory) -> Path:
+        trace_dir = tmp_path_factory.mktemp("cli-trace")
+        assert main(["sweep", "--seeds", "101", "--trace-out", str(trace_dir)]) == 0
+        return trace_dir / "journal.jsonl"
+
+    def test_trace_renders_tree_and_totals(self, capsys, journal_path: Path):
+        assert main(["trace", str(journal_path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "worker pid=" in out
+        assert "scheduler.job" in out
+        assert "span" in out and "total" in out  # the top-spans table header
+
+    def test_trace_exports_chrome_and_csv(self, capsys, journal_path: Path, tmp_path: Path):
+        chrome = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            ["trace", str(journal_path), "--chrome", str(chrome), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert json.loads(chrome.read_text())["traceEvents"]
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("pid,job,span_id")
+
+    def test_metrics_merges_worker_snapshots(self, capsys, journal_path: Path):
+        assert main(["metrics", str(journal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits" in out
+        assert "worker=" in out
+        assert "snapshots merged" in out
+
 
 class TestCliCache:
     def test_info_and_clear(self, capsys, tmp_path: Path):
@@ -126,3 +181,41 @@ class TestCliApiStats:
         out = capsys.readouterr().out
         assert "TOTAL" in out
         assert "injected faults" not in out
+
+    def test_api_stats_json_output(self, capsys):
+        code = main(
+            [
+                "api-stats",
+                "--seed",
+                "19",
+                "--per-cell",
+                "1",
+                "--json",
+                "--fault-rate",
+                "0.05",
+                "--fault-seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) >= {
+            "endpoints",
+            "totals",
+            "injected_faults",
+            "paired_deliveries",
+            "impressions",
+            "requests_sent",
+        }
+        assert document["totals"]["requests"] > 0
+        assert document["totals"]["requests"] == sum(
+            row["requests"] for row in document["endpoints"].values()
+        )
+        assert "POST act_{id}/deliver" in document["endpoints"]
+
+    def test_api_stats_json_clean_run_has_null_faults(self, capsys):
+        code = main(["api-stats", "--seed", "19", "--per-cell", "1", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["injected_faults"] is None
+        assert document["totals"]["retries"] == 0
