@@ -1,0 +1,345 @@
+"""Benchmark the population core: columnar vs reference universe builds.
+
+Times cold universe construction in both modes over freshly generated
+registries, the warm ``from_arrays`` snapshot load, and PII match
+throughput, and appends one JSON record per measurement to
+``BENCH_universe.json`` at the repo root:
+
+    PYTHONPATH=src python scripts/bench_universe.py           # paper scale
+    PYTHONPATH=src python scripts/bench_universe.py --quick   # small scale (CI)
+    PYTHONPATH=src python scripts/bench_universe.py --xl      # million-user run
+
+Cold construction excludes registry generation (a scalar pass both modes
+share, timed separately as ``registry_build_ms``).  The columnar build is
+expected to be at least 10x the reference loop at paper scale (asserted
+unless ``--no-check`` or ``--quick`` — at small scale constant overheads
+dominate and the ratio is noisy).
+
+``--xl`` additionally builds the ≈1M-user universe (columnar only — the
+reference loop would take minutes) and serves one full vectorized
+delivery day over it, recording peak RSS as the memory-exhaustion guard.
+Pass ``--trace-out DIR`` to keep a traced columnar build's journal +
+Chrome trace (``universe.build`` spans from :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache import CODE_SALT
+from repro.core.world import WorldConfig, _ENRICHED_SHARES
+from repro.geo import MobilityModel
+from repro.images import ImageFeatures
+from repro.obs.tracer import tracing
+from repro.platform import (
+    AdAccount,
+    AdCreative,
+    AudienceStore,
+    CompetitionModel,
+    DeliveryEngine,
+    EarModel,
+    EngagementModel,
+    EngagementParams,
+    Objective,
+    TargetingSpec,
+)
+from repro.population import UserUniverse
+from repro.population.activity import ActivityModel
+from repro.rng import SeedSequenceFactory
+from repro.types import State
+from repro.voters.registry import RegistryConfig, VoterRegistry
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_universe.json"
+BENCH_SEED = 7
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (Linux: ru_maxrss KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def build_registries(config: WorldConfig) -> tuple[list[VoterRegistry], float]:
+    """The two state registries a world is grown from, plus build seconds."""
+    rngs = SeedSequenceFactory(config.seed)
+    registry_config = RegistryConfig(race_shares=dict(_ENRICHED_SHARES))
+    start = time.perf_counter()
+    registries = [
+        VoterRegistry(
+            state, config.registry_size, rngs.get(f"registry.{state.value.lower()}"),
+            config=registry_config,
+        )
+        for state in (State.FL, State.NC)
+    ]
+    return registries, time.perf_counter() - start
+
+
+def build_universe(registries, config: WorldConfig, mode: str) -> UserUniverse:
+    rngs = SeedSequenceFactory(config.seed)
+    return UserUniverse(
+        registries,
+        rngs.get("universe"),
+        activity=ActivityModel(rngs.get("activity"), base_sessions=config.sessions_per_day),
+        proxy_fidelity=config.proxy_fidelity,
+        mode=mode,
+    )
+
+
+def bench_cold(registries, config: WorldConfig, mode: str, rounds: int) -> dict:
+    """Median cold-construction wall time of one universe in ``mode``."""
+    times = []
+    universe = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        universe = build_universe(registries, config, mode)
+        times.append(time.perf_counter() - start)
+    median_s = statistics.median(times)
+    return {
+        "mode": mode,
+        "median_ms": round(median_s * 1000.0, 2),
+        "users_per_sec": round(len(universe) / median_s, 1),
+        "n_users": len(universe),
+        "columns_bytes_per_user": round(universe.columns.nbytes / len(universe), 2),
+        "rounds": rounds,
+    }
+
+
+def bench_warm(universe: UserUniverse, rounds: int) -> dict:
+    """Median snapshot round-trip load time (the warm cache path)."""
+    arrays = universe.to_arrays()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        restored = UserUniverse.from_arrays(arrays)
+        times.append(time.perf_counter() - start)
+    median_s = statistics.median(times)
+    assert len(restored) == len(universe)
+    return {
+        "mode": "warm_load",
+        "median_ms": round(median_s * 1000.0, 2),
+        "users_per_sec": round(len(universe) / median_s, 1),
+        "n_users": len(universe),
+        "rounds": rounds,
+    }
+
+
+def bench_matching(universe: UserUniverse, rounds: int) -> dict:
+    """Custom-audience match throughput over every indexed hash."""
+    columns = universe.columns
+    indexed = columns.pii_hash[columns.pii_hash != b""]
+    uploads = np.char.decode(indexed, "ascii").tolist()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        matched = universe.matcher.match_indices(uploads)
+        times.append(time.perf_counter() - start)
+    median_s = statistics.median(times)
+    assert len(matched) == len(uploads)
+    return {
+        "mode": "match_indices",
+        "median_ms": round(median_s * 1000.0, 2),
+        "hashes_per_sec": round(len(uploads) / median_s, 1),
+        "n_hashes": len(uploads),
+        "rounds": rounds,
+    }
+
+
+def run_delivery_day(universe: UserUniverse, seed: int, n_ads: int = 4) -> dict:
+    """One broad-targeting vectorized delivery day (the xl serving guard)."""
+    store = AudienceStore(universe)
+    account = AdAccount(account_id="bench-universe")
+    campaign = account.create_campaign("c", Objective.TRAFFIC)
+    ads = []
+    # An empty spec is rejected ("selects everyone"); the wide age bound
+    # keeps the day effectively broad while satisfying the platform.
+    targeting = TargetingSpec(age_min=18, age_max=120)
+    for i in range(n_ads):
+        adset = account.create_adset(campaign, f"as{i}", 300, targeting)
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=0.9 if i % 2 else 0.1, gender_score=0.5, age_years=30.0
+            ),
+        )
+        ad = account.create_ad(adset, f"ad{i}", creative)
+        ad.review_status = "APPROVED"
+        ads.append(ad)
+    params = EngagementParams()
+    engine = DeliveryEngine(
+        universe,
+        store,
+        account,
+        ear=EarModel.constant(params.base_rate),
+        engagement=EngagementModel(params),
+        competition=CompetitionModel(np.random.default_rng(seed + 1)),
+        mobility=MobilityModel(np.random.default_rng(seed + 2)),
+        rng=np.random.default_rng(seed + 3),
+        mode="vectorized",
+    )
+    start = time.perf_counter()
+    result = engine.run(ads)
+    seconds = time.perf_counter() - start
+    return {
+        "mode": "xl_delivery_day",
+        "median_ms": round(seconds * 1000.0, 2),
+        "slots": result.total_slots,
+        "slots_per_sec": round(result.total_slots / seconds, 1),
+        "impressions": result.insights.total_impressions(),
+        "n_ads": n_ads,
+        "rounds": 1,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--rounds", type=int, default=3, help="runs per mode (median)")
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick", action="store_true", help="small test scale, no speedup assertion (CI)"
+    )
+    scale.add_argument(
+        "--xl", action="store_true",
+        help="also build the ~1M-user universe and serve one delivery day",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="skip the >=10x speedup assertion"
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a traced columnar build's journal.jsonl + trace.json here",
+    )
+    args = parser.parse_args(argv)
+
+    config = WorldConfig.small(args.seed) if args.quick else WorldConfig.paper(args.seed)
+    scale_name = "small" if args.quick else "paper"
+    print(f"generating registries ({config.registry_size} records each) ...", flush=True)
+    registries, registry_s = build_registries(config)
+    print(f"registries in {registry_s:.1f}s", flush=True)
+
+    records = []
+    common = {
+        "world": scale_name,
+        "seed": args.seed,
+        "registry_build_ms": round(registry_s * 1000.0, 2),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    for mode in ("reference", "columnar"):
+        rounds = 1 if mode == "reference" else args.rounds
+        record = bench_cold(registries, config, mode, rounds)
+        record.update(common)
+        records.append(record)
+        print(
+            f"{mode:>13}: {record['median_ms']:.1f} ms "
+            f"({record['users_per_sec']:.0f} users/s, "
+            f"{record['columns_bytes_per_user']:.1f} B/user)",
+            flush=True,
+        )
+    reference_ms = records[0]["median_ms"]
+    columnar_ms = records[1]["median_ms"]
+    speedup = reference_ms / columnar_ms
+    for record in records:
+        record["speedup_vs_reference"] = round(reference_ms / record["median_ms"], 2)
+    print(f"cold speedup: {speedup:.1f}x")
+
+    universe = build_universe(registries, config, "columnar")
+    for bench in (bench_warm(universe, args.rounds), bench_matching(universe, args.rounds)):
+        bench.update(common)
+        records.append(bench)
+        per_sec = bench.get("users_per_sec", bench.get("hashes_per_sec"))
+        print(f"{bench['mode']:>13}: {bench['median_ms']:.1f} ms ({per_sec:.0f}/s)", flush=True)
+
+    if args.xl:
+        xl_config = WorldConfig.xl(args.seed)
+        print(
+            f"xl: generating registries ({xl_config.registry_size} records each) ...",
+            flush=True,
+        )
+        xl_registries, xl_registry_s = build_registries(xl_config)
+        start = time.perf_counter()
+        xl_universe = build_universe(xl_registries, xl_config, "columnar")
+        build_s = time.perf_counter() - start
+        del xl_registries
+        xl_common = {
+            "world": "xl",
+            "seed": args.seed,
+            "registry_build_ms": round(xl_registry_s * 1000.0, 2),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        xl_build = {
+            "mode": "columnar",
+            "median_ms": round(build_s * 1000.0, 2),
+            "users_per_sec": round(len(xl_universe) / build_s, 1),
+            "n_users": len(xl_universe),
+            "columns_bytes_per_user": round(
+                xl_universe.columns.nbytes / len(xl_universe), 2
+            ),
+            "rounds": 1,
+            **xl_common,
+        }
+        records.append(xl_build)
+        print(
+            f"xl universe: {len(xl_universe)} users in {build_s:.1f}s "
+            f"({xl_universe.columns.nbytes / 2**20:.0f} MiB of columns)",
+            flush=True,
+        )
+        day = run_delivery_day(xl_universe, args.seed)
+        day.update(xl_common)
+        day["peak_rss_mb"] = round(peak_rss_mb(), 1)
+        records.append(day)
+        print(
+            f"xl delivery day: {day['median_ms'] / 1000.0:.1f}s "
+            f"({day['slots']} slots, peak RSS {day['peak_rss_mb']:.0f} MiB)",
+            flush=True,
+        )
+        del xl_universe
+
+    if args.trace_out is not None:
+        from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
+
+        with tracing() as tracer:
+            build_universe(registries, config, "columnar")
+            spans = tracer.drain()
+        out = Path(args.trace_out)
+        with RunJournal(out / "journal.jsonl") as journal:
+            journal.event("run", command="bench_universe", world=scale_name)
+            n_spans = journal.spans(spans, pid=os.getpid(), job=0)
+        manifest = RunManifest(
+            command="bench_universe --trace-out",
+            code_salt=CODE_SALT,
+            seeds=(args.seed,),
+            world_fingerprints=(),
+            n_spans=n_spans,
+        )
+        paths = write_run_artifacts(out, manifest=manifest, journal_path=out / "journal.jsonl")
+        print(f"wrote traced-build artifacts to {paths['trace'].parent}")
+
+    for record in records:
+        record["peak_rss_mb"] = record.get("peak_rss_mb", round(peak_rss_mb(), 1))
+    existing = []
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    existing.extend(records)
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    print(f"appended {len(records)} records to {OUT_PATH}")
+
+    if not args.no_check and not args.quick and speedup < 10.0:
+        print("FAIL: columnar build is less than 10x the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

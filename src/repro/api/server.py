@@ -259,12 +259,13 @@ class MarketingApiServer:
             raise NotFoundError(f"unknown audience {audience_id}")
         name, accumulated = staged
         seen = self._staged_seen.setdefault(audience_id, set(accumulated))
-        fresh = []
-        for raw in hashes:
-            value = str(raw)
-            if value not in seen:
-                seen.add(value)
-                fresh.append(value)
+        # Dedupe with set ops instead of a per-hash membership loop:
+        # dict.fromkeys drops within-batch repeats (keeping first-seen
+        # order), one set difference drops cross-batch repeats.
+        batch = dict.fromkeys(str(raw) for raw in hashes)
+        stale = seen.intersection(batch)
+        fresh = [value for value in batch if value not in stale] if stale else list(batch)
+        seen.update(fresh)
         accumulated.extend(fresh)
         return ApiResponse.success(
             {

@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: Version salt of the cached formats; bump on layout/generation changes.
-CODE_SALT = "repro-artifacts-v1"
+#: v2: columnar universe snapshots (struct-of-arrays layout, compact
+#: dtypes) and vectorized default construction.
+CODE_SALT = "repro-artifacts-v2"
 
 #: Per-stage subsets of ``WorldConfig`` fields that determine the stage's
 #: output.  Registries depend only on the seed and their size; the
@@ -47,12 +49,19 @@ CODE_SALT = "repro-artifacts-v1"
 #: it) plus the per-call sample count, passed via ``extra``.
 STAGE_FIELDS: dict[str, tuple[str, ...]] = {
     "registry": ("seed", "registry_size"),
-    "universe": ("seed", "registry_size", "proxy_fidelity", "sessions_per_day"),
+    "universe": (
+        "seed",
+        "registry_size",
+        "proxy_fidelity",
+        "sessions_per_day",
+        "universe_mode",
+    ),
     "ear": (
         "seed",
         "registry_size",
         "proxy_fidelity",
         "sessions_per_day",
+        "universe_mode",
         "ear_events",
         "ear_l2",
         "ear_mode",

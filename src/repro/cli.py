@@ -52,6 +52,13 @@ from repro.core.reporting import (
 from repro.core.scheduler import CAMPAIGN_RUNNERS, render_rows, run_seed_sweep
 from repro.core.world import SimulatedWorld, WorldConfig
 
+#: --scale choice → WorldConfig preset.
+_SCALE_PRESETS = {
+    "small": WorldConfig.small,
+    "paper": WorldConfig.paper,
+    "xl": WorldConfig.xl,
+}
+
 __all__ = ["main"]
 
 _EXPERIMENT_COMMANDS = (
@@ -75,9 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_options.add_argument("--seed", type=int, default=7, help="experiment seed")
     experiment_options.add_argument(
         "--scale",
-        choices=("small", "paper"),
+        choices=("small", "paper", "xl"),
         default="paper",
-        help="world size preset (small is fast, paper matches the study's relative scale)",
+        help=(
+            "world size preset (small is fast, paper matches the study's "
+            "relative scale, xl is the million-user stress preset)"
+        ),
     )
     for name in _EXPERIMENT_COMMANDS:
         sub = commands.add_parser(
@@ -244,9 +254,7 @@ def _run_api_stats(args: argparse.Namespace) -> int:
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
     started = time.time()
-    config = (
-        WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
-    )
+    config = _SCALE_PRESETS[args.scale](args.seed)
     world = SimulatedWorld(config, cache=False if args.no_cache else None)
     account_id = "apistats"
     world.account(account_id)
@@ -370,9 +378,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def _run_experiments(args: argparse.Namespace) -> int:
     started = time.time()
-    config = (
-        WorldConfig.small(args.seed) if args.scale == "small" else WorldConfig.paper(args.seed)
-    )
+    config = _SCALE_PRESETS[args.scale](args.seed)
     print(f"building world (seed={args.seed}, scale={args.scale})...", flush=True)
     world = SimulatedWorld(config, cache=False if args.no_cache else None)
     sources = {timing.source for timing in world.build_report.values()}

@@ -397,6 +397,8 @@ def run_seed_sweep(
         make_config = WorldConfig.small
     elif scale == "paper":
         make_config = WorldConfig.paper
+    elif scale == "xl":
+        make_config = WorldConfig.xl
     else:
         raise ConfigurationError(f"unknown scale {scale!r}")
     job_list = [

@@ -73,6 +73,11 @@ class WorldConfig:
     #: Delivery inner loop: "vectorized" (chunked batch auctions, the
     #: default) or "reference" (the original per-slot scalar loop).
     delivery_mode: str = "vectorized"
+    #: Universe construction: "columnar" (vectorized struct-of-arrays
+    #: build, the default) or "reference" (the original scalar loop —
+    #: rng-order faithful, statistically equivalent; the oracle the
+    #: columnar equivalence tests pin against).
+    universe_mode: str = "columnar"
     engagement_params: EngagementParams = field(default_factory=EngagementParams)
     competition_base_price: float = 0.011
     access_token: str = "EAAB-test-token"
@@ -86,6 +91,8 @@ class WorldConfig:
             raise ConfigurationError(f"unknown ear_mode {self.ear_mode!r}")
         if self.delivery_mode not in ("vectorized", "reference"):
             raise ConfigurationError(f"unknown delivery_mode {self.delivery_mode!r}")
+        if self.universe_mode not in ("columnar", "reference"):
+            raise ConfigurationError(f"unknown universe_mode {self.universe_mode!r}")
 
     @staticmethod
     def small(seed: int = 7) -> "WorldConfig":
@@ -104,6 +111,19 @@ class WorldConfig:
     def paper(seed: int = 7) -> "WorldConfig":
         """The default experiment scale used by the benchmark harness."""
         return WorldConfig(seed=seed)
+
+    @staticmethod
+    def xl(seed: int = 7) -> "WorldConfig":
+        """A million-user stress preset (ROADMAP's million-user target).
+
+        Two 800k-record registries yield ≈1M platform users after
+        adoption.  Only practical with the columnar universe: the
+        struct-of-arrays core keeps the universe itself under ~100 MB,
+        and construction stays in vectorized array ops.  Registry
+        generation is still a scalar pass (minutes, cached after the
+        first build).
+        """
+        return WorldConfig(seed=seed, registry_size=800_000, sample_scale=0.001)
 
 
 @dataclass(frozen=True, slots=True)
@@ -189,6 +209,7 @@ class SimulatedWorld:
                         rngs.get("activity"), base_sessions=config.sessions_per_day
                     ),
                     proxy_fidelity=config.proxy_fidelity,
+                    mode=config.universe_mode,
                 )
 
             self.universe = self._stage(

@@ -60,14 +60,16 @@ class AudienceStore:
         hashes = list(pii_hashes)
         if not hashes:
             raise AudienceError("empty PII upload")
-        matched = self.universe.matcher.match(hashes)
-        if not matched:
+        # match_indices keeps everything columnar: member ids come from
+        # one searchsorted pass, never materialising user objects.
+        matched_ids = self.universe.matcher.match_indices(hashes)
+        if matched_ids.size == 0:
             raise AudienceError(f"audience {name!r}: no uploaded identifier matched")
         audience = CustomAudience(
             audience_id=f"aud_{next(self._counter)}",
             name=name,
             uploaded_count=len(set(hashes)),
-            member_ids=frozenset(user.user_id for user in matched),
+            member_ids=frozenset(map(int, matched_ids.tolist())),
         )
         self.audiences[audience.audience_id] = audience
         return audience

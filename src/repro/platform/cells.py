@@ -17,6 +17,8 @@ per-ad score is a 48-vector and an auction slot costs an argmax.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.population.user import InterestCluster, PlatformUser
 from repro.types import AgeBucket, Gender, Race
 
@@ -26,7 +28,9 @@ __all__ = [
     "GT_CELLS",
     "OBSERVED_CELLS",
     "gt_cell_index",
+    "gt_cell_index_arrays",
     "observed_cell_index",
+    "observed_cell_index_arrays",
     "N_GT_CELLS",
     "N_OBSERVED_CELLS",
 ]
@@ -79,3 +83,26 @@ def gt_cell_index(user: PlatformUser) -> int:
 def observed_cell_index(user: PlatformUser) -> int:
     """Platform-observable cell index of a user."""
     return _OBSERVED_INDEX[user.observed_cell()]
+
+
+# Both cell lists enumerate bucket, then the three binary axes, so an index
+# is plain positional arithmetic over the code arrays of
+# :mod:`repro.population.columns` (whose code orders match _GENDERS /
+# _RACES / _CLUSTERS above).  tests/platform/test_cells.py pins the
+# arithmetic against the dict lookups for the full enumeration.
+
+
+def observed_cell_index_arrays(
+    bucket: np.ndarray, gender: np.ndarray, cluster: np.ndarray, poverty: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`observed_cell_index` over code arrays."""
+    index = ((bucket.astype(np.intp) * 2 + gender) * 2 + cluster) * 2
+    return index + poverty
+
+
+def gt_cell_index_arrays(
+    bucket: np.ndarray, gender: np.ndarray, race: np.ndarray, poverty: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`gt_cell_index` over code arrays."""
+    index = ((bucket.astype(np.intp) * 2 + gender) * 2 + race) * 2
+    return index + poverty

@@ -47,7 +47,6 @@ import numpy as np
 from repro.errors import DeliveryError
 from repro.geo.mobility import MobilityModel
 from repro.obs.tracer import get_tracer
-from repro.geo.regions import DMA_CODES
 from repro.platform.audience import AudienceStore
 from repro.platform.auction import run_auction, run_auctions_batch
 from repro.platform.campaign import Ad, AdAccount
@@ -195,7 +194,7 @@ class DeliveryEngine:
         if not deliverable:
             raise DeliveryError("no approved ads to deliver")
         n_ads = len(deliverable)
-        n_users = len(self._universe.users)
+        n_users = len(self._universe)
 
         # The pacing plan follows the diurnal traffic curve over a full
         # day; shorter test horizons keep the uniform plan.
@@ -220,10 +219,10 @@ class DeliveryEngine:
             # at inflated self-competition prices; the controller raises the
             # multiplier if the ad falls behind plan.
             pacing.register(ad.ad_id, adset.daily_budget_dollars, initial_multiplier=0.3)
-            eligible = adset.targeting.eligible_user_ids(self._universe, members_map)
-            if not eligible:
+            mask = adset.targeting.eligible_mask(self._universe, members_map)
+            if not mask.any():
                 raise DeliveryError(f"ad {ad.ad_id} targets an empty audience")
-            eligibility[i, list(eligible)] = True
+            eligibility[i] = mask
         ear_matrix = np.array(ear_rows)
         gt_matrix = np.array(gt_rows)
         ad_ids = [ad.ad_id for ad in deliverable]
@@ -359,14 +358,11 @@ class DeliveryEngine:
     def _run_vectorized(
         self, deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
     ) -> DeliveryResult:
-        users = self._universe.users
-        n_users = len(users)
+        n_users = len(self._universe)
         obs_cell = self._universe.obs_cell_array
         gt_cell = self._universe.gt_cell_array
         rates = self._universe.activity_rates
-        home_dma_codes = np.array(
-            [DMA_CODES[(u.home_state, u.home_dma)] for u in users], dtype=np.intp
-        )
+        home_dma_codes = self._universe.home_dma_code_array
         age_gender_codes = obs_cell // CELLS_PER_AGE_GENDER
         n_ads = len(deliverable)
 

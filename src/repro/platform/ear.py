@@ -177,6 +177,9 @@ def ear_features_matrix(
     ``images`` may be a single creative (broadcast over the batch, the
     serving-time shape) or an :class:`ImageBatch` (the training-log
     shape); ``job_categories`` and ``high_poverty`` broadcast likewise.
+    ``buckets`` / ``genders`` / ``clusters`` may also be integer code
+    arrays in the conventions of :mod:`repro.population.columns` — the
+    zero-conversion path the columnar universe feeds directly.
     """
     if isinstance(buckets, AgeBucket):
         raise ValidationError("buckets must be a sequence; use ear_features for one row")
@@ -191,14 +194,23 @@ def ear_features_matrix(
         raise ValidationError("job_categories misaligned with the batch")
 
     rows = np.arange(n)
-    bucket_idx = np.array([_BUCKET_POS[b] for b in buckets], dtype=np.intp)
-    female = np.array([1.0 if g is Gender.FEMALE else 0.0 for g in genders])
+    if isinstance(buckets, np.ndarray) and buckets.dtype.kind in "iu":
+        bucket_idx = buckets.astype(np.intp)
+    else:
+        bucket_idx = np.array([_BUCKET_POS[b] for b in buckets], dtype=np.intp)
+    if isinstance(genders, np.ndarray) and genders.dtype.kind in "iu":
+        female = (genders == 1).astype(float)  # GENDER_ORDER code 1 = FEMALE
+    else:
+        female = np.array([1.0 if g is Gender.FEMALE else 0.0 for g in genders])
     if female.shape != (n,):
         raise ValidationError("genders misaligned with the batch")
     male = 1.0 - female
-    beta = np.array(
-        [1.0 if c is InterestCluster.BETA else 0.0 for c in clusters]
-    )
+    if isinstance(clusters, np.ndarray) and clusters.dtype.kind in "iu":
+        beta = (clusters == 1).astype(float)  # CLUSTER_ORDER code 1 = BETA
+    else:
+        beta = np.array(
+            [1.0 if c is InterestCluster.BETA else 0.0 for c in clusters]
+        )
     if beta.shape != (n,):
         raise ValidationError("clusters misaligned with the batch")
     poverty = np.broadcast_to(np.asarray(high_poverty, dtype=float), (n,))
@@ -327,16 +339,17 @@ class EngagementLogger:
         if n_events < 100:
             raise ValidationError("need at least 100 events for a usable log")
         rng = self._rng
-        users = self._universe.users
-        weights = self._universe.activity_rates
+        columns = self._universe.columns
+        # float64 for the normalisation: float32 sums fail rng.choice's
+        # probabilities-sum-to-1 check on large universes.
+        weights = self._universe.activity_rates.astype(np.float64)
         weights = weights / weights.sum()
-        user_draws = rng.choice(len(users), size=n_events, p=weights)
-        drawn = [users[i] for i in user_draws]
-        buckets = [u.age_bucket for u in drawn]
-        genders = [u.gender for u in drawn]
-        races = [u.race for u in drawn]
-        clusters = [u.interest_cluster for u in drawn]
-        poverty = np.array([u.high_poverty for u in drawn])
+        user_draws = rng.choice(len(columns), size=n_events, p=weights)
+        buckets = columns.age_bucket_codes()[user_draws]
+        genders = columns.gender[user_draws]
+        races = columns.race[user_draws]
+        clusters = columns.interest_cluster[user_draws]
+        poverty = columns.high_poverty[user_draws]
 
         # The historical-creative prior of _random_image, drawn columnwise
         # (only the four scoring channels feed the models downstream).

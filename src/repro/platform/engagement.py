@@ -70,6 +70,8 @@ _JOB_FEMALE = np.array([aff[1] for aff in JOB_AFFINITIES.values()] + [0.0])
 _JOB_BLACK = np.array([aff[2] for aff in JOB_AFFINITIES.values()] + [0.0])
 
 _BUCKET_MIDPOINTS: dict[AgeBucket, float] = {b: bucket_midpoint(b) for b in AgeBucket}
+#: Midpoints indexed by the bucket codes of :mod:`repro.population.columns`.
+_BUCKET_MIDPOINT_TABLE = np.array([bucket_midpoint(b) for b in AgeBucket])
 
 #: GT_CELLS unpacked into parallel per-field sequences for batch scoring.
 _GT_BUCKETS = [cell[0] for cell in GT_CELLS]
@@ -249,18 +251,32 @@ class EngagementModel:
     ) -> np.ndarray:
         """Vectorised :meth:`click_logit` over parallel event arrays.
 
-        ``buckets`` / ``genders`` / ``races`` are per-event sequences,
-        ``images`` the matching :class:`ImageBatch`; ``job_categories``
-        and ``high_poverty`` may be scalars (broadcast) or per-event.
-        Row ``i`` equals the scalar ``click_logit`` of event ``i``.
+        ``buckets`` / ``genders`` / ``races`` are per-event sequences of
+        enum members — or integer *code* arrays in the conventions of
+        :mod:`repro.population.columns`, the zero-conversion path the
+        columnar universe feeds directly; ``images`` the matching
+        :class:`ImageBatch`; ``job_categories`` and ``high_poverty`` may
+        be scalars (broadcast) or per-event.  Row ``i`` equals the scalar
+        ``click_logit`` of event ``i``.
         """
         p = self._params
         n = len(images)
-        user_age = np.array([_BUCKET_MIDPOINTS[b] for b in buckets])
+        if isinstance(buckets, np.ndarray) and buckets.dtype.kind in "iu":
+            user_age = _BUCKET_MIDPOINT_TABLE[buckets]
+        else:
+            user_age = np.array([_BUCKET_MIDPOINTS[b] for b in buckets])
         if user_age.shape != (n,):
             raise ValidationError("buckets misaligned with the batch")
-        sign_female = np.where([g is Gender.FEMALE for g in genders], 1.0, -1.0)
-        sign_black = np.where([r is Race.BLACK for r in races], 1.0, -1.0)
+        if isinstance(genders, np.ndarray) and genders.dtype.kind in "iu":
+            female = genders == 1  # GENDER_ORDER code 1 = FEMALE
+        else:
+            female = np.array([g is Gender.FEMALE for g in genders])
+        if isinstance(races, np.ndarray) and races.dtype.kind in "iu":
+            black = races == 1  # RACE_ORDER code 1 = BLACK
+        else:
+            black = np.array([r is Race.BLACK for r in races])
+        sign_female = np.where(female, 1.0, -1.0)
+        sign_black = np.where(black, 1.0, -1.0)
         poverty = np.broadcast_to(np.asarray(high_poverty, dtype=bool), (n,))
 
         logit = np.full(n, np.log(p.base_rate / (1.0 - p.base_rate)))
@@ -278,7 +294,10 @@ class EngagementModel:
         child_weight = np.where(sign_female > 0, p.child_to_women, p.child_to_men)
         logit += child_weight * child * caretaker
 
-        male = np.array([g is Gender.MALE for g in genders])
+        if isinstance(genders, np.ndarray) and genders.dtype.kind in "iu":
+            male = genders == 0  # GENDER_ORDER code 0 = MALE
+        else:
+            male = np.array([g is Gender.MALE for g in genders])
         young = np.clip((images.age_years - 11.0) / 5.0, 0.0, 1.0)
         young *= np.clip((38.0 - images.age_years) / 16.0, 0.0, 1.0)
         older_user = np.clip((user_age - 45.0) / 15.0, 0.0, 1.0)

@@ -24,7 +24,7 @@ from repro.population.universe import UserUniverse
 from repro.population.user import InterestCluster, PlatformUser
 from repro.types import AgeBucket, Gender
 
-__all__ = ["lookalike_features", "build_lookalike"]
+__all__ = ["lookalike_features", "lookalike_features_matrix", "build_lookalike"]
 
 _BUCKETS = list(AgeBucket)
 
@@ -41,6 +41,25 @@ def lookalike_features(user: PlatformUser) -> np.ndarray:
             min(user.activity_rate / 5.0, 1.0),
         ]
     )
+
+
+def lookalike_features_matrix(universe: UserUniverse) -> np.ndarray:
+    """Whole-universe feature matrix, one :func:`lookalike_features` row
+    per user, assembled from the columnar storage without materialising
+    user objects (pinned row-for-row against the scalar builder in
+    tests)."""
+    columns = universe.columns
+    n = len(columns)
+    features = np.zeros((n, len(_BUCKETS) + 4))
+    features[np.arange(n), columns.age_bucket_codes().astype(np.intp)] = 1.0
+    col = len(_BUCKETS)
+    features[:, col] = columns.gender == 1  # GENDER_ORDER code 1 = FEMALE
+    features[:, col + 1] = columns.interest_cluster == 1  # CLUSTER code 1 = BETA
+    features[:, col + 2] = columns.high_poverty
+    features[:, col + 3] = np.minimum(
+        columns.activity_rate.astype(np.float64) / 5.0, 1.0
+    )
+    return features
 
 
 def build_lookalike(
@@ -70,7 +89,7 @@ def build_lookalike(
     if not 0.0 < expansion_ratio <= 1.0:
         raise AudienceError("expansion_ratio must be in (0, 1]")
 
-    features = np.array([lookalike_features(u) for u in universe.users])
+    features = lookalike_features_matrix(universe)
     spread = features.std(axis=0)
     spread[spread == 0] = 1.0
     seed_mask = np.zeros(len(universe), dtype=bool)

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import TargetingError
+from repro.population.columns import GENDER_CODES, STATE_CODES
 from repro.population.universe import UserUniverse
 from repro.types import Gender, State
 
@@ -71,10 +74,14 @@ class TargetingSpec:
             return False
         return True
 
-    def eligible_user_ids(
+    def eligible_mask(
         self, universe: UserUniverse, audience_members: dict[str, set[int]]
-    ) -> set[int]:
-        """Resolve the spec to concrete user ids.
+    ) -> np.ndarray:
+        """Resolve the spec to a boolean per-user eligibility mask.
+
+        The whole spec evaluates as array ops over the universe's columns
+        — no per-user predicate calls — so targeting cost is independent
+        of how selective the spec is.
 
         Parameters
         ----------
@@ -87,16 +94,40 @@ class TargetingSpec:
         Raises
         ------
         TargetingError
-            If the spec references an unknown audience id.
+            If the spec references an unknown audience id, or an audience
+            contains ids outside the universe.
         """
+        columns = universe.columns
+        n = len(columns)
         if self.custom_audience_ids:
-            pool: set[int] = set()
+            mask = np.zeros(n, dtype=bool)
             for audience_id in self.custom_audience_ids:
                 members = audience_members.get(audience_id)
                 if members is None:
                     raise TargetingError(f"unknown custom audience {audience_id!r}")
-                pool |= members
-            candidates = (universe.by_id(uid) for uid in pool)
+                if members:
+                    ids = np.fromiter(members, dtype=np.intp, count=len(members))
+                    if ids.min() < 0 or ids.max() >= n:
+                        raise TargetingError(
+                            f"audience {audience_id!r} contains user ids outside the universe"
+                        )
+                    mask[ids] = True
         else:
-            candidates = iter(universe.users)
-        return {user.user_id for user in candidates if self.accepts(user)}
+            mask = np.ones(n, dtype=bool)
+        mask &= columns.age >= self.age_min
+        if self.age_max is not None:
+            mask &= columns.age <= self.age_max
+        if self.genders:
+            codes = [GENDER_CODES[g] for g in self.genders if g in GENDER_CODES]
+            mask &= np.isin(columns.gender, codes)
+        if self.states:
+            codes = [STATE_CODES[s] for s in self.states]
+            mask &= np.isin(columns.home_state, codes)
+        return mask
+
+    def eligible_user_ids(
+        self, universe: UserUniverse, audience_members: dict[str, set[int]]
+    ) -> set[int]:
+        """Resolve the spec to concrete user ids (see :meth:`eligible_mask`)."""
+        mask = self.eligible_mask(universe, audience_members)
+        return set(np.flatnonzero(mask).tolist())

@@ -17,7 +17,8 @@ methodology implicitly does:
 """
 
 from repro.population.activity import ActivityModel
-from repro.population.matching import PiiMatcher, hash_pii
+from repro.population.columns import UserColumns
+from repro.population.matching import PiiMatcher, hash_pii, hash_pii_array
 from repro.population.universe import AdoptionModel, UserUniverse
 from repro.population.user import InterestCluster, PlatformUser
 
@@ -27,6 +28,8 @@ __all__ = [
     "InterestCluster",
     "PiiMatcher",
     "PlatformUser",
+    "UserColumns",
     "UserUniverse",
     "hash_pii",
+    "hash_pii_array",
 ]

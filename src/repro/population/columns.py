@@ -1,0 +1,179 @@
+"""Struct-of-arrays storage for the platform user universe.
+
+The population layer is the largest in-memory structure of a simulated
+world — at the million-user scale the ROADMAP targets, one Python object
+per user (plus its boxed fields) costs several hundred bytes each, and
+every per-user loop over them dominates cold-build time.  This module
+holds the columnar core that replaces that representation:
+
+* :class:`UserColumns` — one compact, immutable array per user attribute
+  (int8 enum codes, int32 age / DMA, float32 activity rates, fixed-width
+  ``S64`` PII-hash bytes).  The whole universe is ~90 bytes/user, and
+  every derived quantity (cell indices, eligibility masks, feature
+  matrices) is an array op instead of a comprehension.
+* The **code tables** that give enum members stable small-integer codes.
+  Codes are positional in the ``*_ORDER`` lists below, and the orders are
+  chosen to match the cell enumeration in :mod:`repro.platform.cells`
+  (bucket-major, ``MALE`` before ``FEMALE``, ``WHITE``/``ALPHA`` before
+  ``BLACK``/``BETA``) so cell indices reduce to arithmetic.
+
+:class:`~repro.population.user.PlatformUser` objects still exist, but as
+lazily-materialised views over these columns (see
+:attr:`repro.population.universe.UserUniverse.users`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.population.user import InterestCluster
+from repro.types import AgeBucket, Gender, Race, State
+
+__all__ = [
+    "AGE_BUCKET_EDGES",
+    "BUCKET_ORDER",
+    "CLUSTER_CODES",
+    "CLUSTER_ORDER",
+    "GENDER_CODES",
+    "GENDER_ORDER",
+    "HASH_DTYPE",
+    "RACE_CODES",
+    "RACE_ORDER",
+    "STATE_CODES",
+    "STATE_ORDER",
+    "UserColumns",
+    "age_bucket_codes",
+]
+
+#: Study-binary race codes; order matches ``_RACES`` in platform.cells.
+RACE_ORDER: list[Race] = [Race.WHITE, Race.BLACK]
+#: Study-binary gender codes; order matches ``_GENDERS`` in platform.cells.
+GENDER_ORDER: list[Gender] = [Gender.MALE, Gender.FEMALE]
+#: Interest-cluster codes; order matches ``_CLUSTERS`` in platform.cells.
+CLUSTER_ORDER: list[InterestCluster] = [InterestCluster.ALPHA, InterestCluster.BETA]
+#: Home-state codes (FL, NC, OTHER — declaration order of the enum).
+STATE_ORDER: list[State] = list(State)
+#: Reporting age buckets in ascending order (code = digitize bin).
+BUCKET_ORDER: list[AgeBucket] = list(AgeBucket)
+
+RACE_CODES: dict[Race, int] = {member: i for i, member in enumerate(RACE_ORDER)}
+GENDER_CODES: dict[Gender, int] = {member: i for i, member in enumerate(GENDER_ORDER)}
+CLUSTER_CODES: dict[InterestCluster, int] = {
+    member: i for i, member in enumerate(CLUSTER_ORDER)
+}
+STATE_CODES: dict[State, int] = {member: i for i, member in enumerate(STATE_ORDER)}
+
+#: ``np.digitize`` edges mapping an age in years to its bucket code.
+AGE_BUCKET_EDGES: np.ndarray = np.array(
+    [bucket.lower for bucket in BUCKET_ORDER[1:]], dtype=np.int32
+)
+
+#: Fixed-width byte dtype of a hex SHA-256 digest.
+HASH_DTYPE = np.dtype("S64")
+
+
+def age_bucket_codes(ages: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.types.age_bucket_for`: age → bucket code."""
+    return np.digitize(ages, AGE_BUCKET_EDGES).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class UserColumns:
+    """One immutable array per platform-user attribute.
+
+    All per-user arrays share one length (the number of users); string
+    attributes are dictionary-encoded (``zip_code``/``home_dma`` are
+    indices into :attr:`zip_table` / :attr:`dma_table`).  ``pii_hash``
+    holds the raw 64 hex bytes of each user's SHA-256 PII digest, ready
+    for ``searchsorted`` matching without Python string objects.
+    """
+
+    race: np.ndarray  # int8, code into RACE_ORDER
+    gender: np.ndarray  # int8, code into GENDER_ORDER
+    interest_cluster: np.ndarray  # int8, code into CLUSTER_ORDER
+    home_state: np.ndarray  # int8, code into STATE_ORDER
+    age: np.ndarray  # int32, years
+    home_dma: np.ndarray  # int32, index into dma_table
+    zip_code: np.ndarray  # int32, index into zip_table
+    activity_rate: np.ndarray  # float32, sessions/day
+    high_poverty: np.ndarray  # bool
+    pii_hash: np.ndarray  # S64 hex digest bytes
+    dma_table: np.ndarray  # unicode, unique DMA names (sorted)
+    zip_table: np.ndarray  # unicode, unique ZIP strings (sorted)
+
+    _PER_USER = (
+        "race",
+        "gender",
+        "interest_cluster",
+        "home_state",
+        "age",
+        "home_dma",
+        "zip_code",
+        "activity_rate",
+        "high_poverty",
+        "pii_hash",
+    )
+    _DTYPES = {
+        "race": np.int8,
+        "gender": np.int8,
+        "interest_cluster": np.int8,
+        "home_state": np.int8,
+        "age": np.int32,
+        "home_dma": np.int32,
+        "zip_code": np.int32,
+        "activity_rate": np.float32,
+        "high_poverty": np.bool_,
+        "pii_hash": HASH_DTYPE,
+    }
+
+    def __post_init__(self) -> None:
+        n = len(self.race)
+        for name in self._PER_USER:
+            column = getattr(self, name)
+            if len(column) != n:
+                raise ValidationError(
+                    f"column {name!r} has {len(column)} rows, expected {n}"
+                )
+
+    @classmethod
+    def build(cls, **arrays: np.ndarray) -> "UserColumns":
+        """Construct with every column coerced to its declared compact dtype."""
+        coerced = {}
+        for field in fields(cls):
+            value = np.asarray(arrays[field.name])
+            target = cls._DTYPES.get(field.name)
+            if target is not None and value.dtype != np.dtype(target):
+                value = value.astype(target)
+            coerced[field.name] = value
+        return cls(**coerced)
+
+    def __len__(self) -> int:
+        return len(self.race)
+
+    @property
+    def nbytes(self) -> int:
+        """Total byte footprint of every column (tables included)."""
+        return sum(getattr(self, field.name).nbytes for field in fields(self))
+
+    def age_bucket_codes(self) -> np.ndarray:
+        """Per-user reporting-bucket codes (int8)."""
+        return age_bucket_codes(self.age)
+
+    def observed_cell_codes(self) -> np.ndarray:
+        """Per-user platform-observable cell indices (intp)."""
+        from repro.platform.cells import observed_cell_index_arrays
+
+        return observed_cell_index_arrays(
+            self.age_bucket_codes(), self.gender, self.interest_cluster, self.high_poverty
+        )
+
+    def gt_cell_codes(self) -> np.ndarray:
+        """Per-user ground-truth cell indices (intp)."""
+        from repro.platform.cells import gt_cell_index_arrays
+
+        return gt_cell_index_arrays(
+            self.age_bucket_codes(), self.gender, self.race, self.high_poverty
+        )

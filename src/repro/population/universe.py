@@ -1,19 +1,62 @@
-"""Building the platform user universe from voter registries."""
+"""Building the platform user universe from voter registries.
+
+The universe is stored **columnarly** (:class:`~repro.population.columns.
+UserColumns`): one compact array per attribute instead of one Python
+object per user.  Two construction paths produce it:
+
+* ``mode="columnar"`` (default) — eligibility masks, adoption
+  probabilities, congruence draws and activity rates are all batched
+  array ops over the registries' code columns, and PII hashing runs
+  chunked over just the adopted voters.  This is the path that makes
+  million-user worlds practical.
+* ``mode="reference"`` — the original per-record scalar loop, kept as an
+  oracle: it consumes the rng in the exact historical order, so the
+  statistical-equivalence suite can pin the vectorized path against it.
+
+The two modes draw from the rng in different orders and are therefore
+statistically — not bitwise — equivalent (same marginal adoption rates,
+proxy fidelity and cell composition; see
+``tests/population/test_columnar.py``).
+
+:class:`~repro.population.user.PlatformUser` objects still exist, but as
+a lazily-materialised (and cached) view over the columns — code that
+never touches :attr:`UserUniverse.users` never pays for them.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.geo.regions import ALL_DMAS, DMA_CODES
+from repro.obs.tracer import get_tracer
 from repro.population.activity import ActivityModel
-from repro.population.matching import PiiMatcher, hash_pii
+from repro.population.columns import (
+    CLUSTER_CODES,
+    CLUSTER_ORDER,
+    GENDER_CODES,
+    GENDER_ORDER,
+    HASH_DTYPE,
+    RACE_CODES,
+    RACE_ORDER,
+    STATE_CODES,
+    STATE_ORDER,
+    UserColumns,
+)
+from repro.population.matching import PiiMatcher, hash_pii_array
 from repro.population.user import InterestCluster, PlatformUser
-from repro.types import Demographics, Gender, Race, State
+from repro.types import Demographics, Gender, Race
 from repro.voters.registry import VoterRegistry
 
 __all__ = ["AdoptionModel", "UserUniverse"]
+
+#: Modes accepted by :class:`UserUniverse`.
+_MODES = ("columnar", "reference")
+
+#: DMA name per global (state, dma) code, for decoding registry columns.
+_DMA_NAMES = np.array([name for _, name in ALL_DMAS])
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,6 +77,13 @@ class AdoptionModel:
         multipliers = self.race_multiplier or {Race.WHITE: 1.0, Race.BLACK: 0.97}
         p = self.base_rate * multipliers[race] * (1.0 + self.age_slope * (age - 40))
         return float(np.clip(p, 0.05, 0.99))
+
+    def probability_array(self, race_codes: np.ndarray, ages: np.ndarray) -> np.ndarray:
+        """Batched :meth:`probability` over race-code / age arrays."""
+        multipliers = self.race_multiplier or {Race.WHITE: 1.0, Race.BLACK: 0.97}
+        table = np.array([multipliers[race] for race in RACE_ORDER])
+        p = self.base_rate * table[race_codes] * (1.0 + self.age_slope * (ages - 40))
+        return np.clip(p, 0.05, 0.99)
 
 
 class UserUniverse:
@@ -61,6 +111,9 @@ class UserUniverse:
         high-poverty area (the Appendix-A economic tier).  Sits between
         the paper's 12% (white median) and 16% (Black median) ZIP
         poverty observation.
+    mode:
+        ``"columnar"`` (vectorized construction, default) or
+        ``"reference"`` (the original scalar loop, rng-order faithful).
     """
 
     def __init__(
@@ -72,183 +125,335 @@ class UserUniverse:
         activity: ActivityModel | None = None,
         proxy_fidelity: float = 0.88,
         poverty_threshold: float = 0.14,
+        mode: str = "columnar",
     ) -> None:
         if not registries:
             raise ValidationError("need at least one registry")
         if not 0.0 <= proxy_fidelity <= 1.0:
             raise ValidationError("proxy_fidelity must be in [0, 1]")
+        if mode not in _MODES:
+            raise ValidationError(f"unknown universe mode {mode!r}, expected one of {_MODES}")
         self._rng = rng
         self._adoption = adoption or AdoptionModel()
         self._activity = activity or ActivityModel(rng)
         self._proxy_fidelity = proxy_fidelity
-        self._users: list[PlatformUser] = []
-        self._by_hash: dict[str, PlatformUser] = {}
-        next_id = 0
+        self._poverty_threshold = poverty_threshold
+        self._mode = mode
+        with get_tracer().span(
+            "universe.build", {"mode": mode, "registries": len(registries)}
+        ) as span:
+            if mode == "columnar":
+                columns = self._build_columnar(registries)
+            else:
+                columns = self._build_reference(registries)
+            if len(columns) == 0:
+                raise ValidationError("adoption produced an empty universe")
+            self._finish_init(columns)
+            span.set("users", len(columns))
+            span.set("nbytes", columns.nbytes)
+
+    # ------------------------------------------------------------------
+    # Construction paths
+
+    def _build_columnar(self, registries: list[VoterRegistry]) -> UserColumns:
+        """Vectorized construction: mask → batched draws → packed columns."""
+        rng = self._rng
+        parts: dict[str, list[np.ndarray]] = {
+            name: []
+            for name in (
+                "race", "gender", "cluster", "state", "age",
+                "dma_global", "zip", "poverty", "activity",
+            )
+        }
+        pii_keys: list[str] = []
         for registry in registries:
+            cols = registry.study_columns()
+            # Voters outside the binary study design never enter the
+            # audiences; they get no account.
+            eligible = (cols["study_race"] >= 0) & (cols["gender"] >= 0)
+            idx = np.flatnonzero(eligible)
+            race = cols["study_race"][idx]
+            age = cols["age"][idx]
+            adopted = rng.random(idx.size) < self._adoption.probability_array(race, age)
+            keep = idx[adopted]
+            race = race[adopted]
+            age = age[adopted]
+            gender = cols["gender"][keep]
+            bucket = cols["age_bucket"][keep]
+            congruent = rng.random(keep.size) < self._proxy_fidelity
+            # Congruent: cluster code equals race code (ALPHA↔white,
+            # BETA↔Black); incongruent: the other cluster.
+            cluster = np.where(congruent, race, 1 - race).astype(np.int8)
+            parts["race"].append(race)
+            parts["gender"].append(gender)
+            parts["cluster"].append(cluster)
+            parts["state"].append(
+                np.full(keep.size, STATE_CODES[registry.state], dtype=np.int8)
+            )
+            parts["age"].append(age)
+            parts["dma_global"].append(cols["dma_code"][keep])
+            parts["zip"].append(cols["zip"][keep])
+            parts["poverty"].append(cols["zip_poverty"][keep] >= self._poverty_threshold)
+            parts["activity"].append(self._activity.rate_for_array(bucket, gender, race))
+            pii_keys.extend(cols["pii_key"][keep].tolist())
+        merged = {name: np.concatenate(chunks) for name, chunks in parts.items()}
+        zip_table, zip_idx = np.unique(merged["zip"], return_inverse=True)
+        dma_table, dma_idx = np.unique(_DMA_NAMES[merged["dma_global"]], return_inverse=True)
+        return UserColumns.build(
+            race=merged["race"],
+            gender=merged["gender"],
+            interest_cluster=merged["cluster"],
+            home_state=merged["state"],
+            age=merged["age"],
+            home_dma=dma_idx,
+            zip_code=zip_idx,
+            activity_rate=merged["activity"],
+            high_poverty=merged["poverty"],
+            pii_hash=hash_pii_array(pii_keys),
+            dma_table=dma_table,
+            zip_table=zip_table,
+        )
+
+    def _build_reference(self, registries: list[VoterRegistry]) -> UserColumns:
+        """The original scalar loop, preserved as an rng-faithful oracle.
+
+        Consumes the rng record-by-record exactly as the pre-columnar
+        implementation did (adoption draw, then — only if adopted — a
+        congruence draw and a gamma activity draw), then packs the same
+        compact columns the vectorized path produces.
+        """
+        rng = self._rng
+        race_codes: list[int] = []
+        gender_codes: list[int] = []
+        cluster_codes: list[int] = []
+        state_codes: list[int] = []
+        ages: list[int] = []
+        dmas: list[str] = []
+        zips: list[str] = []
+        poverty: list[bool] = []
+        rates: list[float] = []
+        pii_keys: list[str] = []
+        for registry in registries:
+            state_code = STATE_CODES[registry.state]
             for record in registry.records:
                 race = record.study_race
                 if race is None or record.gender is Gender.UNKNOWN:
-                    # Voters outside the binary design never enter the
-                    # study audiences; skip creating accounts for them to
-                    # keep the universe lean.
                     continue
                 if rng.random() >= self._adoption.probability(race, record.age):
                     continue
-                congruent = rng.random() < proxy_fidelity
+                congruent = rng.random() < self._proxy_fidelity
                 if race is Race.BLACK:
                     cluster = InterestCluster.BETA if congruent else InterestCluster.ALPHA
                 else:
                     cluster = InterestCluster.ALPHA if congruent else InterestCluster.BETA
-                user = PlatformUser(
-                    user_id=next_id,
-                    demographics=Demographics(race=race, gender=record.gender, age=record.age),
-                    home_state=record.state,
-                    home_dma=record.dma,
-                    zip_code=record.address.zip_code,
-                    interest_cluster=cluster,
-                    activity_rate=self._activity.rate_for(record.age_bucket, record.gender, race),
-                    high_poverty=record.zip_poverty >= poverty_threshold,
-                    pii_hash=hash_pii(record.pii_key()),
+                race_codes.append(RACE_CODES[race])
+                gender_codes.append(GENDER_CODES[record.gender])
+                cluster_codes.append(CLUSTER_CODES[cluster])
+                state_codes.append(state_code)
+                ages.append(record.age)
+                dmas.append(record.dma)
+                zips.append(record.address.zip_code)
+                poverty.append(record.zip_poverty >= self._poverty_threshold)
+                rates.append(
+                    self._activity.rate_for(record.age_bucket, record.gender, race)
                 )
-                self._users.append(user)
-                self._by_hash[user.pii_hash] = user
-                next_id += 1
-        if not self._users:
-            raise ValidationError("adoption produced an empty universe")
-        self._matcher = PiiMatcher(self._users)
-        # Lazily-built per-user arrays (users are immutable after
-        # construction, so each is computed once and shared by every
-        # delivery run instead of being rebuilt per run).
+                pii_keys.append(record.pii_key())
+        zip_table, zip_idx = np.unique(np.asarray(zips, dtype=np.str_), return_inverse=True)
+        dma_table, dma_idx = np.unique(np.asarray(dmas, dtype=np.str_), return_inverse=True)
+        return UserColumns.build(
+            race=np.asarray(race_codes, dtype=np.int8),
+            gender=np.asarray(gender_codes, dtype=np.int8),
+            interest_cluster=np.asarray(cluster_codes, dtype=np.int8),
+            home_state=np.asarray(state_codes, dtype=np.int8),
+            age=np.asarray(ages, dtype=np.int32),
+            home_dma=dma_idx,
+            zip_code=zip_idx,
+            activity_rate=np.asarray(rates, dtype=np.float32),
+            high_poverty=np.asarray(poverty, dtype=bool),
+            pii_hash=hash_pii_array(pii_keys),
+            dma_table=dma_table,
+            zip_table=zip_table,
+        )
+
+    def _finish_init(self, columns: UserColumns) -> None:
+        """Shared tail of construction and :meth:`from_arrays` restore."""
+        self._columns = columns
+        self._users: list[PlatformUser] | None = None
         self._obs_cells: np.ndarray | None = None
         self._gt_cells: np.ndarray | None = None
-        self._activity_rates: np.ndarray | None = None
+        self._home_dma_codes: np.ndarray | None = None
+        indexed = np.flatnonzero(columns.pii_hash != b"")
+        self._matcher = PiiMatcher.from_hash_array(
+            columns.pii_hash[indexed], indexed, self.by_id
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+
+    @property
+    def columns(self) -> UserColumns:
+        """The struct-of-arrays storage backing this universe."""
+        return self._columns
+
+    @property
+    def mode(self) -> str:
+        """Construction mode ('columnar' or 'reference')."""
+        return self._mode
 
     @property
     def users(self) -> list[PlatformUser]:
-        """All platform users (do not mutate)."""
+        """All platform users, lazily materialised from the columns.
+
+        The list is built once and cached, so object identity is stable
+        (``universe.by_id(i) is universe.users[i]``) — but code that only
+        needs arrays should prefer :attr:`columns` and never trigger this.
+        """
+        if self._users is None:
+            c = self._columns
+            dma_names = c.dma_table.tolist()
+            zip_strings = c.zip_table.tolist()
+            hashes = np.char.decode(c.pii_hash, "ascii").tolist()
+            self._users = [
+                PlatformUser(
+                    i,
+                    Demographics(RACE_ORDER[race], GENDER_ORDER[gender], age),
+                    STATE_ORDER[state],
+                    dma_names[dma],
+                    zip_strings[zip_idx],
+                    CLUSTER_ORDER[cluster],
+                    rate,
+                    poor,
+                    pii or None,
+                )
+                for i, (
+                    race, gender, age, state, dma, zip_idx, cluster, rate, poor, pii
+                ) in enumerate(
+                    zip(
+                        c.race.tolist(),
+                        c.gender.tolist(),
+                        c.age.tolist(),
+                        c.home_state.tolist(),
+                        c.home_dma.tolist(),
+                        c.zip_code.tolist(),
+                        c.interest_cluster.tolist(),
+                        c.activity_rate.tolist(),
+                        c.high_poverty.tolist(),
+                        hashes,
+                    )
+                )
+            ]
         return self._users
 
     @property
     def obs_cell_array(self) -> np.ndarray:
         """Per-user platform-observable cell indices (cached)."""
         if self._obs_cells is None:
-            from repro.platform.cells import observed_cell_index
-
-            self._obs_cells = np.array(
-                [observed_cell_index(u) for u in self._users], dtype=np.intp
-            )
+            self._obs_cells = self._columns.observed_cell_codes()
         return self._obs_cells
 
     @property
     def gt_cell_array(self) -> np.ndarray:
         """Per-user ground-truth cell indices (cached)."""
         if self._gt_cells is None:
-            from repro.platform.cells import gt_cell_index
-
-            self._gt_cells = np.array(
-                [gt_cell_index(u) for u in self._users], dtype=np.intp
-            )
+            self._gt_cells = self._columns.gt_cell_codes()
         return self._gt_cells
 
     @property
     def activity_rates(self) -> np.ndarray:
-        """Per-user daily browsing-session rates (cached)."""
-        if self._activity_rates is None:
-            self._activity_rates = np.array(
-                [u.activity_rate for u in self._users]
-            )
-        return self._activity_rates
+        """Per-user daily browsing-session rates (float32 column)."""
+        return self._columns.activity_rate
+
+    @property
+    def home_dma_code_array(self) -> np.ndarray:
+        """Per-user global (state, DMA) codes into :data:`~repro.geo.regions.ALL_DMAS`."""
+        if self._home_dma_codes is None:
+            c = self._columns
+            table = np.full((len(STATE_ORDER), len(c.dma_table)), -1, dtype=np.int32)
+            for s_i, state in enumerate(STATE_ORDER):
+                for d_i, name in enumerate(c.dma_table.tolist()):
+                    table[s_i, d_i] = DMA_CODES.get((state, name), -1)
+            self._home_dma_codes = table[c.home_state, c.home_dma]
+        return self._home_dma_codes
+
+    # ------------------------------------------------------------------
+    # Serialization
 
     def to_arrays(self) -> dict[str, np.ndarray]:
         """Columnar snapshot of every user, ready for ``np.savez``.
 
-        The inverse of :meth:`from_arrays`; the artifact cache persists a
-        grown universe this way so warm world builds skip both registry
-        iteration and the adoption/proxy sampling passes.
+        The inverse of :meth:`from_arrays`.  Because the universe *is*
+        columnar, this is a near-zero-copy dict of the live columns plus
+        a layout tag — the artifact cache persists a grown universe this
+        way, and warm world builds hand the arrays straight back to
+        :class:`UserColumns`.
         """
-        users = self._users
-        return {
-            "proxy_fidelity": np.array(self._proxy_fidelity),
-            "race": np.array([u.demographics.race.value for u in users]),
-            "gender": np.array([u.demographics.gender.value for u in users]),
-            "age": np.array([u.demographics.age for u in users], dtype=np.int32),
-            "home_state": np.array([u.home_state.value for u in users]),
-            "home_dma": np.array([u.home_dma for u in users]),
-            "zip_code": np.array([u.zip_code for u in users]),
-            "interest_cluster": np.array([u.interest_cluster.value for u in users]),
-            "activity_rate": np.array([u.activity_rate for u in users], dtype=np.float64),
-            "high_poverty": np.array([u.high_poverty for u in users], dtype=bool),
-            "pii_hash": np.array([u.pii_hash or "" for u in users]),
+        out = {
+            field.name: getattr(self._columns, field.name)
+            for field in fields(UserColumns)
         }
+        out["layout"] = np.array("columnar-v1")
+        out["mode"] = np.array(self._mode)
+        out["proxy_fidelity"] = np.array(self._proxy_fidelity)
+        return out
 
     @classmethod
     def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "UserUniverse":
         """Rebuild a universe from a :meth:`to_arrays` snapshot.
 
-        User ids are positional, so the restored user list is
-        element-for-element identical to the original's.  Construction
+        User ids are positional, so the restored universe is
+        column-for-column identical to the original.  Construction
         machinery (rng, adoption and activity models) is not revived —
         it is only consulted while growing a universe from registries.
+        Snapshots from the pre-columnar layout (one object-dtype array
+        per attribute, no ``layout`` tag) are converted on load.
         """
-        # Warm-load fast path (this runs on every cached world build):
-        # enum members come from value maps instead of Enum calls and the
-        # dataclasses take positional arguments.
-        race_map = {r.value: r for r in Race}
-        gender_map = {g.value: g for g in Gender}
-        state_map = {s.value: s for s in State}
-        cluster_map = {c.value: c for c in InterestCluster}
-        users = [
-            PlatformUser(
-                i,
-                Demographics(race_map[race], gender_map[gender], age),
-                state_map[state],
-                dma,
-                zip_code,
-                cluster_map[cluster],
-                rate,
-                poor,
-                pii_hash or None,
+        if "layout" in arrays:
+            columns = UserColumns.build(
+                **{field.name: arrays[field.name] for field in fields(UserColumns)}
             )
-            for i, (
-                race,
-                gender,
-                age,
-                state,
-                dma,
-                zip_code,
-                cluster,
-                rate,
-                poor,
-                pii_hash,
-            ) in enumerate(
-                zip(
-                    arrays["race"].tolist(),
-                    arrays["gender"].tolist(),
-                    arrays["age"].tolist(),
-                    arrays["home_state"].tolist(),
-                    arrays["home_dma"].tolist(),
-                    arrays["zip_code"].tolist(),
-                    arrays["interest_cluster"].tolist(),
-                    arrays["activity_rate"].tolist(),
-                    arrays["high_poverty"].tolist(),
-                    arrays["pii_hash"].tolist(),
-                )
-            )
-        ]
-        if not users:
+        else:
+            columns = cls._columns_from_legacy(arrays)
+        if len(columns) == 0:
             raise ValidationError("cannot restore an empty universe")
         universe = cls.__new__(cls)
         universe._rng = None
         universe._adoption = None
         universe._activity = None
         universe._proxy_fidelity = float(arrays["proxy_fidelity"])
-        universe._users = users
-        universe._by_hash = {u.pii_hash: u for u in users if u.pii_hash is not None}
-        universe._matcher = PiiMatcher(users)
-        universe._obs_cells = None
-        universe._gt_cells = None
-        universe._activity_rates = None
+        universe._poverty_threshold = None
+        universe._mode = str(arrays["mode"]) if "mode" in arrays else "columnar"
+        universe._finish_init(columns)
         return universe
+
+    @staticmethod
+    def _columns_from_legacy(arrays: dict[str, np.ndarray]) -> UserColumns:
+        """Convert a pre-columnar snapshot (enum-value string arrays)."""
+        race_by_value = {race.value: code for race, code in RACE_CODES.items()}
+        gender_by_value = {g.value: code for g, code in GENDER_CODES.items()}
+        cluster_by_value = {c.value: code for c, code in CLUSTER_CODES.items()}
+        state_by_value = {s.value: code for s, code in STATE_CODES.items()}
+        zip_table, zip_idx = np.unique(arrays["zip_code"], return_inverse=True)
+        dma_table, dma_idx = np.unique(arrays["home_dma"], return_inverse=True)
+        return UserColumns.build(
+            race=np.asarray([race_by_value[v] for v in arrays["race"].tolist()]),
+            gender=np.asarray([gender_by_value[v] for v in arrays["gender"].tolist()]),
+            interest_cluster=np.asarray(
+                [cluster_by_value[v] for v in arrays["interest_cluster"].tolist()]
+            ),
+            home_state=np.asarray(
+                [state_by_value[v] for v in arrays["home_state"].tolist()]
+            ),
+            age=arrays["age"],
+            home_dma=dma_idx,
+            zip_code=zip_idx,
+            activity_rate=arrays["activity_rate"],
+            high_poverty=arrays["high_poverty"],
+            pii_hash=np.asarray(arrays["pii_hash"], dtype=HASH_DTYPE),
+            dma_table=dma_table,
+            zip_table=zip_table,
+        )
+
+    # ------------------------------------------------------------------
 
     @property
     def matcher(self) -> PiiMatcher:
@@ -261,11 +466,11 @@ class UserUniverse:
         return self._proxy_fidelity
 
     def __len__(self) -> int:
-        return len(self._users)
+        return len(self._columns)
 
     def by_id(self, user_id: int) -> PlatformUser:
-        """Look up a user by id."""
+        """Look up a user by id (materialises the user view on first use)."""
         try:
-            return self._users[user_id]
+            return self.users[user_id]
         except IndexError as exc:
             raise ValidationError(f"unknown user id {user_id}") from exc

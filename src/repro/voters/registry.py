@@ -10,12 +10,14 @@ in every race × gender × age cell than any audience needs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.geo import PovertyModel, ZipAllocator
+from repro.geo.regions import DMA_CODES
 from repro.names import FullName, NameGenerator, PostalAddress
 from repro.types import AgeBucket, CensusRace, Gender, Race, State
 from repro.voters.record import VoterRecord
@@ -127,7 +129,8 @@ class VoterRegistry:
             state, rng, segregation=self._config.segregation
         )
         self._poverty = PovertyModel(rng)
-        self._records = self._generate(size)
+        self._study_columns: dict[str, np.ndarray] | None = None
+        self._records = self._generate(size)  # also fills _study_columns
         self._by_cell: dict[tuple[CensusRace, Gender, AgeBucket], list[int]] = {}
         for idx, record in enumerate(self._records):
             key = (record.census_race, record.gender, record.age_bucket)
@@ -161,6 +164,56 @@ class VoterRegistry:
     ) -> list[VoterRecord]:
         """All voters in one race × gender × age-bucket cell."""
         return [self._records[i] for i in self._by_cell.get((race, gender, bucket), [])]
+
+    def study_columns(self) -> dict[str, np.ndarray]:
+        """Per-record demographic code arrays (cached).
+
+        The columnar universe builder consumes these instead of looping
+        over :class:`VoterRecord` objects.  Codes follow the study
+        conventions of :mod:`repro.population.columns` — ``study_race``
+        0 = white, 1 = Black, ``gender`` 0 = male, 1 = female — with -1
+        marking records outside the study design (other census races,
+        unknown gender).  ``dma_code`` indexes the global
+        :data:`repro.geo.regions.DMA_CODES` table; ``pii_key`` holds each
+        record's normalised PII string, ready for batched hashing.
+
+        On a freshly generated registry the columns are a by-product of
+        the generation loop (zero marginal cost); on a cache-restored one
+        they are derived from the records on first use.
+        """
+        if self._study_columns is None:
+            records = self._records
+            n = len(records)
+            study_code = {race: -1 for race in CensusRace}
+            study_code[CensusRace.WHITE] = 0
+            study_code[CensusRace.BLACK] = 1
+            gender_code = {Gender.MALE: 0, Gender.FEMALE: 1, Gender.UNKNOWN: -1}
+            state = self._state
+            ages = np.fromiter((r.age for r in records), np.int32, count=n)
+            self._study_columns = {
+                "study_race": np.fromiter(
+                    (study_code[r.census_race] for r in records), np.int8, count=n
+                ),
+                "gender": np.fromiter(
+                    (gender_code[r.gender] for r in records), np.int8, count=n
+                ),
+                "age": ages,
+                "age_bucket": np.digitize(ages, _AGE_BUCKET_EDGES).astype(np.int8),
+                "dma_code": np.fromiter(
+                    (DMA_CODES[(state, r.dma)] for r in records), np.int32, count=n
+                ),
+                "zip": np.asarray([r.address.zip_code for r in records]),
+                "zip_poverty": np.fromiter(
+                    (r.zip_poverty for r in records), np.float64, count=n
+                ),
+                "pii_key": np.asarray([r.pii_key() for r in records]),
+            }
+        return self._study_columns
+
+    def pii_keys(self, indices: Iterable[int]) -> list[str]:
+        """Normalised PII keys for the records at ``indices``, in order."""
+        records = self._records
+        return [records[i].pii_key() for i in indices]
 
     def to_arrays(self) -> dict[str, np.ndarray]:
         """Columnar snapshot of every record, ready for ``np.savez``.
@@ -264,6 +317,7 @@ class VoterRegistry:
         registry._by_cell = {}
         for idx, key in enumerate(zip(races, genders, buckets)):
             registry._by_cell.setdefault(key, []).append(idx)
+        registry._study_columns = None
         return registry
 
     def _generate(self, size: int) -> list[VoterRecord]:
@@ -281,6 +335,14 @@ class VoterRegistry:
         bucket_draws = rng.choice(len(buckets), size=size, p=bucket_probs)
         gender_draws = rng.random(size)
         prefix = "1" if self._state is State.FL else "9"
+        # Per-record scalars accumulated for the study-column by-product
+        # (the demographic draws above are vectorized at the end instead).
+        ages: list[int] = []
+        dma_codes: list[int] = []
+        zips: list[str] = []
+        zip_poverty: list[float] = []
+        pii_keys: list[str] = []
+        state = self._state
         for i in range(size):
             census_race = races[int(race_draws[i])]
             if gender_draws[i] < cfg.unknown_gender_share:
@@ -297,7 +359,7 @@ class VoterRegistry:
                 voter_id=f"{prefix}{i:08d}",
                 name=namegen.name_for(gender, race=_study_or_white(census_race)),
                 address=namegen.address_for(zip_info.zip_code),
-                state=self._state,
+                state=state,
                 gender=gender,
                 census_race=census_race,
                 age=age,
@@ -305,6 +367,35 @@ class VoterRegistry:
                 zip_poverty=self._poverty.poverty_rate(zip_info),
             )
             records.append(record)
+            ages.append(age)
+            dma_codes.append(DMA_CODES[(state, record.dma)])
+            zips.append(record.address.zip_code)
+            zip_poverty.append(record.zip_poverty)
+            pii_keys.append(record.pii_key())
+        study_by_race_idx = np.asarray(
+            [
+                0 if race is CensusRace.WHITE else 1 if race is CensusRace.BLACK else -1
+                for race in races
+            ],
+            dtype=np.int8,
+        )
+        unknown = cfg.unknown_gender_share
+        gender_codes = np.where(
+            gender_draws < unknown,
+            np.int8(-1),
+            np.where(gender_draws < unknown + cfg.female_share, np.int8(1), np.int8(0)),
+        ).astype(np.int8)
+        age_arr = np.asarray(ages, dtype=np.int32)
+        self._study_columns = {
+            "study_race": study_by_race_idx[race_draws],
+            "gender": gender_codes,
+            "age": age_arr,
+            "age_bucket": np.digitize(age_arr, _AGE_BUCKET_EDGES).astype(np.int8),
+            "dma_code": np.asarray(dma_codes, dtype=np.int32),
+            "zip": np.asarray(zips),
+            "zip_poverty": np.asarray(zip_poverty, dtype=np.float64),
+            "pii_key": np.asarray(pii_keys),
+        }
         return records
 
 

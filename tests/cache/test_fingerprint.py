@@ -34,6 +34,7 @@ FIELD_PERTURBATIONS = {
     "sessions_per_day": 3.5,
     "value_noise_sigma": 0.91,
     "delivery_mode": "reference",
+    "universe_mode": "reference",
     "engagement_params": EngagementParams(base_rate=0.046),
     "competition_base_price": 0.012,
     "access_token": "EAAB-other-token",
@@ -109,4 +110,4 @@ class TestConfigPayload:
         before = world_fingerprint(WorldConfig())
         monkeypatch.setattr("repro.cache.fingerprint.CODE_SALT", "other-salt")
         assert world_fingerprint(WorldConfig()) != before
-        assert CODE_SALT == "repro-artifacts-v1"
+        assert CODE_SALT == "repro-artifacts-v2"

@@ -1,0 +1,89 @@
+"""Pin the vectorized cell-index arithmetic to the dict lookups.
+
+``observed_cell_index_arrays`` / ``gt_cell_index_arrays`` compute cell
+indices positionally from the columnar code arrays; these tests
+enumerate every cell and check the arithmetic against the canonical
+``_GT_INDEX`` / ``_OBSERVED_INDEX`` dictionaries, plus the code-order
+contract between :mod:`repro.platform.cells` and
+:mod:`repro.population.columns`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.cells import (
+    AGE_GENDER_PAIRS,
+    CELLS_PER_AGE_GENDER,
+    GT_CELLS,
+    N_GT_CELLS,
+    N_OBSERVED_CELLS,
+    OBSERVED_CELLS,
+    gt_cell_index_arrays,
+    observed_cell_index_arrays,
+)
+from repro.population.columns import (
+    BUCKET_ORDER,
+    CLUSTER_ORDER,
+    GENDER_ORDER,
+    RACE_ORDER,
+)
+
+
+def _codes(order, values):
+    lookup = {value: code for code, value in enumerate(order)}
+    return np.array([lookup[v] for v in values], dtype=np.int8)
+
+
+class TestGtCellArithmetic:
+    def test_full_enumeration_matches_dict_index(self):
+        buckets, genders, races, poverty = zip(*GT_CELLS)
+        index = gt_cell_index_arrays(
+            _codes(BUCKET_ORDER, buckets),
+            _codes(GENDER_ORDER, genders),
+            _codes(RACE_ORDER, races),
+            np.array(poverty, dtype=bool),
+        )
+        assert index.tolist() == list(range(N_GT_CELLS))
+
+    def test_universe_gt_cells_match_per_user_lookup(self, universe):
+        from repro.platform.cells import gt_cell_index
+
+        expected = [gt_cell_index(u) for u in universe.users[:500]]
+        assert universe.gt_cell_array[:500].tolist() == expected
+
+
+class TestObservedCellArithmetic:
+    def test_full_enumeration_matches_dict_index(self):
+        buckets, genders, clusters, poverty = zip(*OBSERVED_CELLS)
+        index = observed_cell_index_arrays(
+            _codes(BUCKET_ORDER, buckets),
+            _codes(GENDER_ORDER, genders),
+            _codes(CLUSTER_ORDER, clusters),
+            np.array(poverty, dtype=bool),
+        )
+        assert index.tolist() == list(range(N_OBSERVED_CELLS))
+
+    def test_universe_obs_cells_match_per_user_lookup(self, universe):
+        from repro.platform.cells import observed_cell_index
+
+        expected = [observed_cell_index(u) for u in universe.users[:500]]
+        assert universe.obs_cell_array[:500].tolist() == expected
+
+    def test_age_gender_pair_recovery(self):
+        index = np.arange(N_OBSERVED_CELLS)
+        pair = index // CELLS_PER_AGE_GENDER
+        for cell_index, (bucket, gender, _, _) in enumerate(OBSERVED_CELLS):
+            assert AGE_GENDER_PAIRS[pair[cell_index]] == (bucket, gender)
+
+
+class TestCodeOrderContract:
+    """cells.py private axis orders and columns.py code orders must agree."""
+
+    def test_axis_orders_align(self):
+        from repro.platform.cells import _BUCKETS, _CLUSTERS, _GENDERS, _RACES
+
+        assert _BUCKETS == BUCKET_ORDER
+        assert _GENDERS == GENDER_ORDER
+        assert _RACES == RACE_ORDER
+        assert _CLUSTERS == CLUSTER_ORDER

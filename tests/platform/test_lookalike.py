@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import AudienceError
-from repro.platform.lookalike import build_lookalike, lookalike_features
+from repro.platform.lookalike import (
+    build_lookalike,
+    lookalike_features,
+    lookalike_features_matrix,
+)
 from repro.types import Gender, Race
 
 
@@ -43,6 +47,15 @@ class TestFeatures:
             pii_hash=None,
         )
         assert np.array_equal(lookalike_features(a), lookalike_features(b))
+
+    def test_matrix_matches_per_user_features(self, universe):
+        """The vectorized feature matrix reproduces the scalar builder
+        row-for-row (float32 column → compare at float32 precision)."""
+        matrix = lookalike_features_matrix(universe)
+        assert matrix.shape[0] == len(universe)
+        for i in list(range(100)) + [len(universe) - 1]:
+            expected = lookalike_features(universe.users[i])
+            assert np.allclose(matrix[i], expected, atol=1e-6), i
 
 
 class TestBuildLookalike:

@@ -54,6 +54,19 @@ class TestPiiMatcher:
         with pytest.raises(AudienceError):
             PiiMatcher([_user(0, "same"), _user(1, "same")])
 
+    def test_duplicate_error_names_hash_and_both_users(self):
+        with pytest.raises(AudienceError) as excinfo:
+            PiiMatcher([_user(0, "alice"), _user(7, "same"), _user(9, "same")])
+        message = str(excinfo.value)
+        assert hash_pii("same") in message
+        assert "7" in message and "9" in message
+        assert hash_pii("alice") not in message
+
+    def test_duplicate_error_counts_extra_collisions(self):
+        users = [_user(i, "dup-a") for i in (0, 1)] + [_user(i, "dup-b") for i in (2, 3)]
+        with pytest.raises(AudienceError, match="colliding pairs in total"):
+            PiiMatcher(users)
+
     def test_match_rate(self):
         matcher = PiiMatcher([_user(0, "alice"), _user(1, "bob")])
         rate = matcher.match_rate([hash_pii("alice"), hash_pii("nope")])
