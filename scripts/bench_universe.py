@@ -1,42 +1,55 @@
-"""Benchmark the population core: columnar vs reference universe builds.
+"""Benchmark the population core: registry synthesis and universe builds.
 
-Times cold universe construction in both modes over freshly generated
-registries, the warm ``from_arrays`` snapshot load, and PII match
-throughput, and appends one JSON record per measurement to
-``BENCH_universe.json`` at the repo root:
+Times every expensive stage of world construction and appends one JSON
+record **per stage and mode** to ``BENCH_universe.json`` at the repo root:
 
     PYTHONPATH=src python scripts/bench_universe.py           # paper scale
     PYTHONPATH=src python scripts/bench_universe.py --quick   # small scale (CI)
     PYTHONPATH=src python scripts/bench_universe.py --xl      # million-user run
+    PYTHONPATH=src python scripts/bench_universe.py --xxl     # 10M-user world
 
-Cold construction excludes registry generation (a scalar pass both modes
-share, timed separately as ``registry_build_ms``).  The columnar build is
-expected to be at least 10x the reference loop at paper scale (asserted
-unless ``--no-check`` or ``--quick`` — at small scale constant overheads
-dominate and the ratio is noisy).
+Stages:
 
-``--xl`` additionally builds the ≈1M-user universe (columnar only — the
-reference loop would take minutes) and serves one full vectorized
-delivery day over it, recording peak RSS as the memory-exhaustion guard.
-Pass ``--trace-out DIR`` to keep a traced columnar build's journal +
-Chrome trace (``universe.build`` spans from :mod:`repro.obs`).
+* ``registry`` — voter-registry synthesis, in ``reference`` (the original
+  per-record loop), ``columnar`` (batched RNG + vectorized assembly) and
+  ``warm_mmap`` (restoring a columnar snapshot from the cache's mmap
+  tier) modes, with ``records_per_sec`` throughput;
+* ``universe`` — cold construction in both modes, the warm snapshot
+  load, and PII match throughput;
+* ``world`` (``--xxl``) — a full ten-million-user ``SimulatedWorld``
+  built cold through a cache, then reloaded warm via the mmap tier.
+
+Each record carries its *own* memory measurements: ``rss_mb`` (current
+resident set when the measurement finished, from ``/proc/self/status``),
+``rss_delta_mb`` (growth across the measurement) and ``peak_rss_mb``
+(the process lifetime high-water mark) — earlier revisions stamped one
+global registry time and one final peak RSS onto every record, which
+made per-stage attribution impossible.
+
+The columnar universe build is expected to be at least 10x the reference
+loop at paper scale (asserted unless ``--no-check`` or ``--quick`` — at
+small scale constant overheads dominate and the ratio is noisy).  Pass
+``--trace-out DIR`` to keep a traced columnar build's journal + Chrome
+trace (``universe.build`` spans from :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import resource
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.cache import CODE_SALT
-from repro.core.world import WorldConfig, _ENRICHED_SHARES
+from repro.cache import CODE_SALT, ArtifactCache
+from repro.core.world import SimulatedWorld, WorldConfig, _ENRICHED_SHARES
 from repro.geo import MobilityModel
 from repro.images import ImageFeatures
 from repro.obs.tracer import tracing
@@ -63,23 +76,112 @@ BENCH_SEED = 7
 
 
 def peak_rss_mb() -> float:
-    """Peak resident set size of this process, in MiB (Linux: ru_maxrss KiB)."""
+    """Lifetime peak resident set size, in MiB (Linux: ru_maxrss KiB)."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def build_registries(config: WorldConfig) -> tuple[list[VoterRegistry], float]:
-    """The two state registries a world is grown from, plus build seconds."""
+def current_rss_mb() -> float:
+    """Current resident set size in MiB (``VmRSS`` from /proc).
+
+    Unlike ``ru_maxrss`` this goes *down* when memory is released, so
+    per-stage deltas are attributable; falls back to the peak on
+    platforms without procfs.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return peak_rss_mb()
+
+
+def _rss_fields(rss_before: float) -> dict:
+    now = current_rss_mb()
+    return {
+        "rss_mb": round(now, 1),
+        "rss_delta_mb": round(now - rss_before, 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+
+def _registry_config() -> RegistryConfig:
+    return RegistryConfig(race_shares=dict(_ENRICHED_SHARES))
+
+
+def build_registries(config: WorldConfig, mode: str = "columnar") -> list[VoterRegistry]:
+    """The two state registries a world is grown from."""
     rngs = SeedSequenceFactory(config.seed)
-    registry_config = RegistryConfig(race_shares=dict(_ENRICHED_SHARES))
-    start = time.perf_counter()
-    registries = [
+    registry_config = _registry_config()
+    return [
         VoterRegistry(
             state, config.registry_size, rngs.get(f"registry.{state.value.lower()}"),
-            config=registry_config,
+            config=registry_config, mode=mode,
         )
         for state in (State.FL, State.NC)
     ]
-    return registries, time.perf_counter() - start
+
+
+def bench_registry(config: WorldConfig, mode: str, rounds: int) -> dict:
+    """Median synthesis wall time of one state registry in ``mode``."""
+    registry_config = _registry_config()
+    rss_before = current_rss_mb()
+    times = []
+    for _ in range(rounds):
+        rngs = SeedSequenceFactory(config.seed)
+        start = time.perf_counter()
+        VoterRegistry(
+            State.FL, config.registry_size, rngs.get("registry.fl"),
+            config=registry_config, mode=mode,
+        )
+        times.append(time.perf_counter() - start)
+    median_s = statistics.median(times)
+    return {
+        "stage": "registry",
+        "mode": mode,
+        "registry_build_ms": round(median_s * 1000.0, 2),
+        "median_ms": round(median_s * 1000.0, 2),
+        "records_per_sec": round(config.registry_size / median_s, 1),
+        "n_records": config.registry_size,
+        "rounds": rounds,
+        **_rss_fields(rss_before),
+    }
+
+
+def bench_registry_warm_mmap(config: WorldConfig, rounds: int) -> dict:
+    """Median warm restore of a columnar registry via the mmap cache tier."""
+    rngs = SeedSequenceFactory(config.seed)
+    registry = VoterRegistry(
+        State.FL, config.registry_size, rngs.get("registry.fl"),
+        config=_registry_config(), mode="columnar",
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-registry-") as tmp:
+        cache = ArtifactCache(tmp)
+        cache.save_arrays("registry", "bench", registry.to_arrays(), mmapable=True)
+        n_records = len(registry)
+        del registry
+        gc.collect()
+        rss_before = current_rss_mb()
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            arrays = cache.load_arrays("registry", "bench")
+            restored = VoterRegistry.from_arrays(arrays)
+            times.append(time.perf_counter() - start)
+        assert len(restored) == n_records
+        median_s = statistics.median(times)
+        fields = _rss_fields(rss_before)
+    return {
+        "stage": "registry",
+        "mode": "warm_mmap",
+        "registry_build_ms": round(median_s * 1000.0, 2),
+        "median_ms": round(median_s * 1000.0, 2),
+        "records_per_sec": round(n_records / median_s, 1),
+        "n_records": n_records,
+        "rounds": rounds,
+        **fields,
+    }
 
 
 def build_universe(registries, config: WorldConfig, mode: str) -> UserUniverse:
@@ -95,6 +197,7 @@ def build_universe(registries, config: WorldConfig, mode: str) -> UserUniverse:
 
 def bench_cold(registries, config: WorldConfig, mode: str, rounds: int) -> dict:
     """Median cold-construction wall time of one universe in ``mode``."""
+    rss_before = current_rss_mb()
     times = []
     universe = None
     for _ in range(rounds):
@@ -103,18 +206,21 @@ def bench_cold(registries, config: WorldConfig, mode: str, rounds: int) -> dict:
         times.append(time.perf_counter() - start)
     median_s = statistics.median(times)
     return {
+        "stage": "universe",
         "mode": mode,
         "median_ms": round(median_s * 1000.0, 2),
         "users_per_sec": round(len(universe) / median_s, 1),
         "n_users": len(universe),
         "columns_bytes_per_user": round(universe.columns.nbytes / len(universe), 2),
         "rounds": rounds,
+        **_rss_fields(rss_before),
     }
 
 
 def bench_warm(universe: UserUniverse, rounds: int) -> dict:
     """Median snapshot round-trip load time (the warm cache path)."""
     arrays = universe.to_arrays()
+    rss_before = current_rss_mb()
     times = []
     for _ in range(rounds):
         start = time.perf_counter()
@@ -123,11 +229,13 @@ def bench_warm(universe: UserUniverse, rounds: int) -> dict:
     median_s = statistics.median(times)
     assert len(restored) == len(universe)
     return {
+        "stage": "universe",
         "mode": "warm_load",
         "median_ms": round(median_s * 1000.0, 2),
         "users_per_sec": round(len(universe) / median_s, 1),
         "n_users": len(universe),
         "rounds": rounds,
+        **_rss_fields(rss_before),
     }
 
 
@@ -136,6 +244,7 @@ def bench_matching(universe: UserUniverse, rounds: int) -> dict:
     columns = universe.columns
     indexed = columns.pii_hash[columns.pii_hash != b""]
     uploads = np.char.decode(indexed, "ascii").tolist()
+    rss_before = current_rss_mb()
     times = []
     for _ in range(rounds):
         start = time.perf_counter()
@@ -144,11 +253,13 @@ def bench_matching(universe: UserUniverse, rounds: int) -> dict:
     median_s = statistics.median(times)
     assert len(matched) == len(uploads)
     return {
+        "stage": "universe",
         "mode": "match_indices",
         "median_ms": round(median_s * 1000.0, 2),
         "hashes_per_sec": round(len(uploads) / median_s, 1),
         "n_hashes": len(uploads),
         "rounds": rounds,
+        **_rss_fields(rss_before),
     }
 
 
@@ -186,10 +297,12 @@ def run_delivery_day(universe: UserUniverse, seed: int, n_ads: int = 4) -> dict:
         rng=np.random.default_rng(seed + 3),
         mode="vectorized",
     )
+    rss_before = current_rss_mb()
     start = time.perf_counter()
     result = engine.run(ads)
     seconds = time.perf_counter() - start
     return {
+        "stage": "delivery",
         "mode": "xl_delivery_day",
         "median_ms": round(seconds * 1000.0, 2),
         "slots": result.total_slots,
@@ -197,7 +310,69 @@ def run_delivery_day(universe: UserUniverse, seed: int, n_ads: int = 4) -> dict:
         "impressions": result.insights.total_impressions(),
         "n_ads": n_ads,
         "rounds": 1,
+        **_rss_fields(rss_before),
     }
+
+
+def bench_xxl_world(seed: int) -> list[dict]:
+    """Cold-build then warm-reload the 10M-user world through the mmap tier.
+
+    No delivery day at this scale — the record of interest is the warm
+    reload's resident footprint: registry and universe snapshots come
+    back as read-only memmaps, so ``rss_delta_mb`` should sit far below
+    the hundreds of MiB the columns occupy on disk.
+    """
+    config = WorldConfig.xxl(seed)
+    records: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-xxl-") as tmp:
+        common = {
+            "world": "xxl",
+            "seed": seed,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        rss_before = current_rss_mb()
+        start = time.perf_counter()
+        world = SimulatedWorld(config, cache=tmp)
+        cold_s = time.perf_counter() - start
+        n_users = len(world.universe)
+        records.append({
+            "stage": "world",
+            "mode": "xxl_cold",
+            "median_ms": round(cold_s * 1000.0, 2),
+            "n_users": n_users,
+            "rounds": 1,
+            **_rss_fields(rss_before),
+            **common,
+        })
+        print(
+            f"xxl cold world: {n_users} users in {cold_s:.1f}s "
+            f"(RSS {records[-1]['rss_mb']:.0f} MiB)",
+            flush=True,
+        )
+        del world
+        gc.collect()
+        rss_before = current_rss_mb()
+        start = time.perf_counter()
+        world = SimulatedWorld(config, cache=tmp)
+        warm_s = time.perf_counter() - start
+        assert len(world.universe) == n_users
+        records.append({
+            "stage": "world",
+            "mode": "xxl_warm_mmap",
+            "median_ms": round(warm_s * 1000.0, 2),
+            "n_users": n_users,
+            "rounds": 1,
+            **_rss_fields(rss_before),
+            **common,
+        })
+        print(
+            f"xxl warm world: reloaded in {warm_s:.1f}s "
+            f"(RSS +{records[-1]['rss_delta_mb']:.0f} MiB over baseline)",
+            flush=True,
+        )
+        del world
+        gc.collect()
+    return records
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,6 +387,10 @@ def main(argv: list[str] | None = None) -> int:
         "--xl", action="store_true",
         help="also build the ~1M-user universe and serve one delivery day",
     )
+    scale.add_argument(
+        "--xxl", action="store_true",
+        help="also cold-build + warm-reload the ~10M-user world (mmap tier)",
+    )
     parser.add_argument(
         "--no-check", action="store_true", help="skip the >=10x speedup assertion"
     )
@@ -225,34 +404,58 @@ def main(argv: list[str] | None = None) -> int:
 
     config = WorldConfig.small(args.seed) if args.quick else WorldConfig.paper(args.seed)
     scale_name = "small" if args.quick else "paper"
-    print(f"generating registries ({config.registry_size} records each) ...", flush=True)
-    registries, registry_s = build_registries(config)
-    print(f"registries in {registry_s:.1f}s", flush=True)
-
     records = []
     common = {
         "world": scale_name,
         "seed": args.seed,
-        "registry_build_ms": round(registry_s * 1000.0, 2),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+
+    print(f"registry synthesis ({config.registry_size} records) ...", flush=True)
+    registry_records = [
+        bench_registry(config, "reference", 1),
+        bench_registry(config, "columnar", args.rounds),
+        bench_registry_warm_mmap(config, args.rounds),
+    ]
+    for record in registry_records:
+        record.update(common)
+        records.append(record)
+        print(
+            f"registry {record['mode']:>10}: {record['median_ms']:.1f} ms "
+            f"({record['records_per_sec']:.0f} records/s)",
+            flush=True,
+        )
+    registry_speedup = (
+        registry_records[0]["median_ms"] / registry_records[1]["median_ms"]
+    )
+    for record in registry_records:
+        record["speedup_vs_reference"] = round(
+            registry_records[0]["median_ms"] / record["median_ms"], 2
+        )
+    print(f"registry cold speedup: {registry_speedup:.1f}x", flush=True)
+
+    print("building both state registries (columnar) ...", flush=True)
+    registries = build_registries(config)
+
+    universe_records = []
     for mode in ("reference", "columnar"):
         rounds = 1 if mode == "reference" else args.rounds
         record = bench_cold(registries, config, mode, rounds)
         record.update(common)
+        universe_records.append(record)
         records.append(record)
         print(
-            f"{mode:>13}: {record['median_ms']:.1f} ms "
+            f"universe {mode:>10}: {record['median_ms']:.1f} ms "
             f"({record['users_per_sec']:.0f} users/s, "
             f"{record['columns_bytes_per_user']:.1f} B/user)",
             flush=True,
         )
-    reference_ms = records[0]["median_ms"]
-    columnar_ms = records[1]["median_ms"]
+    reference_ms = universe_records[0]["median_ms"]
+    columnar_ms = universe_records[1]["median_ms"]
     speedup = reference_ms / columnar_ms
-    for record in records:
+    for record in universe_records:
         record["speedup_vs_reference"] = round(reference_ms / record["median_ms"], 2)
-    print(f"cold speedup: {speedup:.1f}x")
+    print(f"universe cold speedup: {speedup:.1f}x")
 
     universe = build_universe(registries, config, "columnar")
     for bench in (bench_warm(universe, args.rounds), bench_matching(universe, args.rounds)):
@@ -263,41 +466,37 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.xl:
         xl_config = WorldConfig.xl(args.seed)
-        print(
-            f"xl: generating registries ({xl_config.registry_size} records each) ...",
-            flush=True,
-        )
-        xl_registries, xl_registry_s = build_registries(xl_config)
-        start = time.perf_counter()
-        xl_universe = build_universe(xl_registries, xl_config, "columnar")
-        build_s = time.perf_counter() - start
-        del xl_registries
         xl_common = {
             "world": "xl",
             "seed": args.seed,
-            "registry_build_ms": round(xl_registry_s * 1000.0, 2),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         }
-        xl_build = {
-            "mode": "columnar",
-            "median_ms": round(build_s * 1000.0, 2),
-            "users_per_sec": round(len(xl_universe) / build_s, 1),
-            "n_users": len(xl_universe),
-            "columns_bytes_per_user": round(
-                xl_universe.columns.nbytes / len(xl_universe), 2
-            ),
-            "rounds": 1,
-            **xl_common,
-        }
+        print(f"xl: registry synthesis ({xl_config.registry_size} records) ...", flush=True)
+        for record in (
+            bench_registry(xl_config, "columnar", 1),
+            bench_registry_warm_mmap(xl_config, 1),
+        ):
+            record.update(xl_common)
+            records.append(record)
+            print(
+                f"xl registry {record['mode']:>10}: {record['median_ms']:.1f} ms "
+                f"({record['records_per_sec']:.0f} records/s)",
+                flush=True,
+            )
+        print("xl: building both state registries ...", flush=True)
+        xl_registries = build_registries(xl_config)
+        xl_build = bench_cold(xl_registries, xl_config, "columnar", 1)
+        xl_build.update(xl_common)
         records.append(xl_build)
+        xl_universe = build_universe(xl_registries, xl_config, "columnar")
+        del xl_registries
         print(
-            f"xl universe: {len(xl_universe)} users in {build_s:.1f}s "
+            f"xl universe: {len(xl_universe)} users in {xl_build['median_ms'] / 1000.0:.1f}s "
             f"({xl_universe.columns.nbytes / 2**20:.0f} MiB of columns)",
             flush=True,
         )
         day = run_delivery_day(xl_universe, args.seed)
         day.update(xl_common)
-        day["peak_rss_mb"] = round(peak_rss_mb(), 1)
         records.append(day)
         print(
             f"xl delivery day: {day['median_ms'] / 1000.0:.1f}s "
@@ -305,6 +504,9 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
         del xl_universe
+
+    if args.xxl:
+        records.extend(bench_xxl_world(args.seed))
 
     if args.trace_out is not None:
         from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
@@ -326,8 +528,6 @@ def main(argv: list[str] | None = None) -> int:
         paths = write_run_artifacts(out, manifest=manifest, journal_path=out / "journal.jsonl")
         print(f"wrote traced-build artifacts to {paths['trace'].parent}")
 
-    for record in records:
-        record["peak_rss_mb"] = record.get("peak_rss_mb", round(peak_rss_mb(), 1))
     existing = []
     if OUT_PATH.exists():
         existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))

@@ -37,21 +37,23 @@ __all__ = [
 ]
 
 #: Version salt of the cached formats; bump on layout/generation changes.
-#: v2: columnar universe snapshots (struct-of-arrays layout, compact
-#: dtypes) and vectorized default construction.
-CODE_SALT = "repro-artifacts-v2"
+#: v3: columnar registry snapshots (struct-of-arrays + dictionary tables),
+#: universe pii-hash column, and the mmap artifact tier.
+CODE_SALT = "repro-artifacts-v3"
 
 #: Per-stage subsets of ``WorldConfig`` fields that determine the stage's
-#: output.  Registries depend only on the seed and their size; the
-#: universe adds the proxy and activity knobs; the EAR adds the training
-#: configuration; latent-direction fits depend only on the seed (the
-#: mapping network, synthesizer and classifier streams all derive from
-#: it) plus the per-call sample count, passed via ``extra``.
+#: output.  Registries depend on the seed, their size and the generation
+#: mode (columnar vs reference oracle — statistically, not bitwise,
+#: equivalent); the universe adds the proxy and activity knobs; the EAR
+#: adds the training configuration; latent-direction fits depend only on
+#: the seed (the mapping network, synthesizer and classifier streams all
+#: derive from it) plus the per-call sample count, passed via ``extra``.
 STAGE_FIELDS: dict[str, tuple[str, ...]] = {
-    "registry": ("seed", "registry_size"),
+    "registry": ("seed", "registry_size", "registry_mode"),
     "universe": (
         "seed",
         "registry_size",
+        "registry_mode",
         "proxy_fidelity",
         "sessions_per_day",
         "universe_mode",
@@ -59,6 +61,7 @@ STAGE_FIELDS: dict[str, tuple[str, ...]] = {
     "ear": (
         "seed",
         "registry_size",
+        "registry_mode",
         "proxy_fidelity",
         "sessions_per_day",
         "universe_mode",

@@ -23,9 +23,10 @@ in a memo — never the stateful API server.
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
@@ -50,13 +51,19 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 @dataclass(frozen=True, slots=True)
 class CacheEntry:
-    """One stored artifact."""
+    """One stored artifact.
+
+    ``mmap`` marks directory-of-``.npy`` entries (the mmap tier): those
+    load with ``mmap_mode="r"``, so a warm multi-million-record registry
+    costs pages-on-demand instead of resident memory.
+    """
 
     stage: str
     key: str
     path: Path
     size_bytes: int
     mtime: float
+    mmap: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +74,7 @@ class CacheInfo:
     n_entries: int
     total_bytes: int
     by_stage: dict[str, tuple[int, int]]  # stage -> (entries, bytes)
+    mmap_by_stage: dict[str, int] = field(default_factory=dict)  # stage -> mmap entries
 
     def render(self) -> str:
         """Multi-line summary for the ``repro cache info`` subcommand."""
@@ -77,7 +85,11 @@ class CacheInfo:
         ]
         for stage in sorted(self.by_stage):
             count, size = self.by_stage[stage]
-            lines.append(f"  {stage:<12} {count:>4} entries  {_human_bytes(size):>10}")
+            line = f"  {stage:<12} {count:>4} entries  {_human_bytes(size):>10}"
+            mmap_count = self.mmap_by_stage.get(stage, 0)
+            if mmap_count:
+                line += f"  ({mmap_count} via mmap tier)"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -115,17 +127,39 @@ class ArtifactCache:
         return cls(cls.default_root())
 
     def path(self, stage: str, key: str) -> Path:
-        """Where an artifact for ``(stage, key)`` lives."""
+        """Where a (npz-tier) artifact for ``(stage, key)`` lives."""
         if not stage or "/" in stage or "/" in key:
             raise ConfigurationError(f"bad cache address ({stage!r}, {key!r})")
         return self._root / stage / f"{key}.npz"
 
-    def has(self, stage: str, key: str) -> bool:
-        """Whether an artifact is present."""
-        return self.path(stage, key).is_file()
+    def dir_path(self, stage: str, key: str) -> Path:
+        """Where a mmap-tier artifact (directory of ``.npy``) lives."""
+        return self.path(stage, key).with_suffix(".d")
 
-    def save_arrays(self, stage: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
-        """Atomically store a dict of arrays (scalars allowed) as npz."""
+    def has(self, stage: str, key: str) -> bool:
+        """Whether an artifact is present (either tier)."""
+        return self.path(stage, key).is_file() or self.dir_path(stage, key).is_dir()
+
+    def save_arrays(
+        self,
+        stage: str,
+        key: str,
+        arrays: dict[str, np.ndarray],
+        *,
+        mmapable: bool = False,
+    ) -> Path:
+        """Atomically store a dict of arrays (scalars allowed).
+
+        With ``mmapable=False`` (default) the artifact is one ``.npz``
+        file.  With ``mmapable=True`` it is a ``<key>.d/`` directory with
+        one ``.npy`` member per array — ``np.load`` ignores ``mmap_mode``
+        for zip archives, so zero-copy warm loads need the members as
+        individual files.  Either way the write lands via a temp path
+        plus :func:`os.replace`, so racing writers never expose a torn
+        artifact.
+        """
+        if mmapable:
+            return self._save_arrays_dir(stage, key, arrays)
         target = self.path(stage, key)
         target.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -141,24 +175,65 @@ class ArtifactCache:
             raise
         return target
 
+    def _save_arrays_dir(
+        self, stage: str, key: str, arrays: dict[str, np.ndarray]
+    ) -> Path:
+        target = self.dir_path(stage, key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp_dir = Path(
+            tempfile.mkdtemp(dir=target.parent, prefix=f".{key}-", suffix=".tmp")
+        )
+        try:
+            for name, value in arrays.items():
+                if not name or name.startswith(".") or "/" in name:
+                    raise ConfigurationError(f"bad array member name {name!r}")
+                np.save(tmp_dir / f"{name}.npy", np.asarray(value), allow_pickle=False)
+            try:
+                os.replace(tmp_dir, target)
+            except OSError:
+                # A concurrent writer won the rename race; its content is
+                # identical (content-addressed key), keep it.
+                if not target.is_dir():
+                    raise
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+        return target
+
     def load_arrays(self, stage: str, key: str) -> dict[str, np.ndarray] | None:
         """Load an artifact, or ``None`` when absent/unreadable.
 
-        A corrupt file (e.g. a crashed writer on a non-atomic filesystem)
-        is treated as a miss and removed: the cache must never be able to
-        fail a build that would succeed cold.
+        mmap-tier entries come back as read-only memmaps (near-zero
+        resident cost until pages are touched).  A corrupt artifact
+        (e.g. a crashed writer on a non-atomic filesystem) is treated as
+        a miss and removed: the cache must never be able to fail a build
+        that would succeed cold.
         """
         target = self.path(stage, key)
-        if not target.is_file():
+        if target.is_file():
+            try:
+                with np.load(target, allow_pickle=False) as payload:
+                    return {name: payload[name] for name in payload.files}
+            except (OSError, ValueError, KeyError):
+                try:
+                    target.unlink()
+                except OSError:
+                    pass
+                return None
+        dir_target = self.dir_path(stage, key)
+        if not dir_target.is_dir():
             return None
         try:
-            with np.load(target, allow_pickle=False) as payload:
-                return {name: payload[name] for name in payload.files}
+            members = sorted(dir_target.glob("*.npy"))
+            if not members:
+                raise ValueError(f"empty mmap artifact {dir_target}")
+            return {
+                member.stem: np.load(member, allow_pickle=False, mmap_mode="r")
+                for member in members
+            }
         except (OSError, ValueError, KeyError):
-            try:
-                target.unlink()
-            except OSError:
-                pass
+            shutil.rmtree(dir_target, ignore_errors=True)
             return None
 
     def entries(self) -> list[CacheEntry]:
@@ -167,9 +242,10 @@ class ArtifactCache:
         if not self._root.is_dir():
             return found
         for stage_dir in sorted(p for p in self._root.iterdir() if p.is_dir()):
-            for file in sorted(stage_dir.glob("*.npz")):
+            stage_entries: list[CacheEntry] = []
+            for file in stage_dir.glob("*.npz"):
                 stat = file.stat()
-                found.append(
+                stage_entries.append(
                     CacheEntry(
                         stage=stage_dir.name,
                         key=file.stem,
@@ -178,22 +254,41 @@ class ArtifactCache:
                         mtime=stat.st_mtime,
                     )
                 )
+            for directory in stage_dir.glob("*.d"):
+                if not directory.is_dir() or directory.name.startswith("."):
+                    continue
+                members = list(directory.glob("*.npy"))
+                stage_entries.append(
+                    CacheEntry(
+                        stage=stage_dir.name,
+                        key=directory.name[: -len(".d")],
+                        path=directory,
+                        size_bytes=sum(m.stat().st_size for m in members),
+                        mtime=directory.stat().st_mtime,
+                        mmap=True,
+                    )
+                )
+            found.extend(sorted(stage_entries, key=lambda e: e.key))
         return found
 
     def info(self) -> CacheInfo:
         """Entry/size roll-up for the CLI."""
         by_stage: dict[str, tuple[int, int]] = {}
+        mmap_by_stage: dict[str, int] = {}
         total = 0
         entries = self.entries()
         for entry in entries:
             count, size = by_stage.get(entry.stage, (0, 0))
             by_stage[entry.stage] = (count + 1, size + entry.size_bytes)
+            if entry.mmap:
+                mmap_by_stage[entry.stage] = mmap_by_stage.get(entry.stage, 0) + 1
             total += entry.size_bytes
         return CacheInfo(
             root=self._root,
             n_entries=len(entries),
             total_bytes=total,
             by_stage=by_stage,
+            mmap_by_stage=mmap_by_stage,
         )
 
     def clear(self) -> int:
@@ -201,7 +296,10 @@ class ArtifactCache:
         removed = 0
         for entry in self.entries():
             try:
-                entry.path.unlink()
+                if entry.mmap:
+                    shutil.rmtree(entry.path)
+                else:
+                    entry.path.unlink()
                 removed += 1
             except OSError:
                 pass
@@ -272,12 +370,15 @@ def cached_build(
     load: Callable[[dict[str, np.ndarray]], Any],
     cache: ArtifactCache | None,
     memo: WorldMemo | None = None,
+    mmapable: bool = False,
 ) -> tuple[Any, str, float]:
     """Memo → disk → cold-build resolution for one artifact.
 
     Returns ``(object, source, seconds)`` where ``source`` is one of
     ``"memo"``, ``"warm"`` (disk hit) or ``"cold"`` (built, then stored).
-    Every resolution also feeds the process-local observability
+    ``mmapable=True`` stores the artifact in the directory-of-``.npy``
+    tier so warm loads return read-only memmaps instead of resident
+    arrays.  Every resolution also feeds the process-local observability
     substrate: a ``cache.<stage>`` span on the global tracer and a
     ``cache_hits{stage, tier}`` counter plus ``cache_seconds`` latency
     histogram on the global registry (the timing no longer exists only
@@ -285,7 +386,8 @@ def cached_build(
     """
     with get_tracer().span(f"cache.{stage}") as span:
         obj, source, seconds = _resolve(
-            stage=stage, key=key, build=build, dump=dump, load=load, cache=cache, memo=memo
+            stage=stage, key=key, build=build, dump=dump, load=load, cache=cache,
+            memo=memo, mmapable=mmapable,
         )
         span.set("tier", source)
         span.set("key", key)
@@ -304,6 +406,7 @@ def _resolve(
     load: Callable[[dict[str, np.ndarray]], Any],
     cache: ArtifactCache | None,
     memo: WorldMemo | None,
+    mmapable: bool = False,
 ) -> tuple[Any, str, float]:
     start = time.perf_counter()
     if memo is not None:
@@ -319,7 +422,7 @@ def _resolve(
             return obj, "warm", time.perf_counter() - start
     obj = build()
     if cache is not None:
-        cache.save_arrays(stage, key, dump(obj))
+        cache.save_arrays(stage, key, dump(obj), mmapable=mmapable)
     if memo is not None:
         memo.put(stage, key, obj)
     return obj, "cold", time.perf_counter() - start

@@ -57,6 +57,7 @@ _SCALE_PRESETS = {
     "small": WorldConfig.small,
     "paper": WorldConfig.paper,
     "xl": WorldConfig.xl,
+    "xxl": WorldConfig.xxl,
 }
 
 __all__ = ["main"]
@@ -82,11 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_options.add_argument("--seed", type=int, default=7, help="experiment seed")
     experiment_options.add_argument(
         "--scale",
-        choices=("small", "paper", "xl"),
+        choices=("small", "paper", "xl", "xxl"),
         default="paper",
         help=(
             "world size preset (small is fast, paper matches the study's "
-            "relative scale, xl is the million-user stress preset)"
+            "relative scale, xl is the million-user stress preset, xxl the "
+            "ten-million-user columnar/mmap preset)"
         ),
     )
     for name in _EXPERIMENT_COMMANDS:

@@ -399,6 +399,8 @@ def run_seed_sweep(
         make_config = WorldConfig.paper
     elif scale == "xl":
         make_config = WorldConfig.xl
+    elif scale == "xxl":
+        make_config = WorldConfig.xxl
     else:
         raise ConfigurationError(f"unknown scale {scale!r}")
     job_list = [

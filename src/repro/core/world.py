@@ -78,6 +78,10 @@ class WorldConfig:
     #: rng-order faithful, statistically equivalent; the oracle the
     #: columnar equivalence tests pin against).
     universe_mode: str = "columnar"
+    #: Registry synthesis: "columnar" (batched RNG draws + vectorized
+    #: assembly, the default) or "reference" (the original per-record
+    #: loop — the statistical oracle for the columnar path).
+    registry_mode: str = "columnar"
     engagement_params: EngagementParams = field(default_factory=EngagementParams)
     competition_base_price: float = 0.011
     access_token: str = "EAAB-test-token"
@@ -93,6 +97,8 @@ class WorldConfig:
             raise ConfigurationError(f"unknown delivery_mode {self.delivery_mode!r}")
         if self.universe_mode not in ("columnar", "reference"):
             raise ConfigurationError(f"unknown universe_mode {self.universe_mode!r}")
+        if self.registry_mode not in ("columnar", "reference"):
+            raise ConfigurationError(f"unknown registry_mode {self.registry_mode!r}")
 
     @staticmethod
     def small(seed: int = 7) -> "WorldConfig":
@@ -119,11 +125,21 @@ class WorldConfig:
         Two 800k-record registries yield ≈1M platform users after
         adoption.  Only practical with the columnar universe: the
         struct-of-arrays core keeps the universe itself under ~100 MB,
-        and construction stays in vectorized array ops.  Registry
-        generation is still a scalar pass (minutes, cached after the
-        first build).
+        and construction stays in vectorized array ops.
         """
         return WorldConfig(seed=seed, registry_size=800_000, sample_scale=0.001)
+
+    @staticmethod
+    def xxl(seed: int = 7) -> "WorldConfig":
+        """A ten-million-user preset for the columnar registry pipeline.
+
+        Two 8M-record registries yield ≈10M platform users after
+        adoption.  Requires the columnar registry *and* universe modes
+        (the reference loops would take hours); snapshots land in the
+        cache's mmap tier, so a warm world pages columns in lazily
+        instead of holding them resident.
+        """
+        return WorldConfig(seed=seed, registry_size=8_000_000, sample_scale=0.0001)
 
 
 @dataclass(frozen=True, slots=True)
@@ -177,7 +193,11 @@ class SimulatedWorld:
 
         def build_registry(state: State, stream: str) -> VoterRegistry:
             return VoterRegistry(
-                state, config.registry_size, rngs.get(stream), config=registry_config
+                state,
+                config.registry_size,
+                rngs.get(stream),
+                config=registry_config,
+                mode=config.registry_mode,
             )
 
         with get_tracer().span(
@@ -190,6 +210,7 @@ class SimulatedWorld:
                 build=lambda: build_registry(State.FL, "registry.fl"),
                 dump=VoterRegistry.to_arrays,
                 load=VoterRegistry.from_arrays,
+                mmapable=True,
             )
             self.nc_registry = self._stage(
                 "registry.nc",
@@ -198,6 +219,7 @@ class SimulatedWorld:
                 build=lambda: build_registry(State.NC, "registry.nc"),
                 dump=VoterRegistry.to_arrays,
                 load=VoterRegistry.from_arrays,
+                mmapable=True,
             )
 
             def build_universe() -> UserUniverse:
@@ -218,6 +240,7 @@ class SimulatedWorld:
                 build=build_universe,
                 dump=UserUniverse.to_arrays,
                 load=UserUniverse.from_arrays,
+                mmapable=True,
             )
             self.engagement = EngagementModel(config.engagement_params)
             if config.ear_mode == "constant":
@@ -255,8 +278,14 @@ class SimulatedWorld:
             )
         self._accounts: dict[str, AdAccount] = {}
 
-    def _stage(self, name, *, stage, build, dump, load, extra=None):
-        """Resolve one named build stage via memo → disk cache → cold."""
+    def _stage(self, name, *, stage, build, dump, load, extra=None, mmapable=False):
+        """Resolve one named build stage via memo → disk cache → cold.
+
+        ``mmapable`` stages store their snapshot in the cache's mmap tier
+        (directory of ``.npy``), so warm loads map columns read-only
+        instead of materialising them — a warm xxl world stays far below
+        its cold-build peak RSS.
+        """
         key = stage_fingerprint(self.config, stage, extra=extra)
         with get_tracer().span(f"world.stage.{name}") as span:
             obj, source, seconds = cached_build(
@@ -267,6 +296,7 @@ class SimulatedWorld:
                 load=load,
                 cache=self.cache,
                 memo=self.memo,
+                mmapable=mmapable,
             )
             span.set("source", source)
         self.build_report[name] = StageTiming(source=source, seconds=seconds)

@@ -59,6 +59,31 @@ class PovertyModel:
         self._cache[zip_info.zip_code] = rate
         return rate
 
+    def poverty_rates(self, zip_infos: list[ZipCodeInfo]) -> np.ndarray:
+        """Batched :meth:`poverty_rate` over a list of ZIPs.
+
+        Cache-coherent with the scalar method: already-rated ZIPs keep
+        their rate, and noise is drawn (in one vectorized call) only for
+        ZIPs not seen before — so interleaving scalar and batched lookups
+        always yields one stable rate per ZIP.
+        """
+        rates = np.empty(len(zip_infos), dtype=np.float64)
+        fresh_rows: list[int] = []
+        for i, info in enumerate(zip_infos):
+            cached = self._cache.get(info.zip_code)
+            if cached is None:
+                fresh_rows.append(i)
+            else:
+                rates[i] = cached
+        if fresh_rows:
+            shares = np.array([zip_infos[i].black_share for i in fresh_rows])
+            noise = self._rng.normal(0.0, self._noise_sd, size=len(fresh_rows))
+            fresh = np.clip(self._base + self._slope * shares + noise, 0.02, 0.60)
+            for i, rate in zip(fresh_rows, fresh.tolist()):
+                rates[i] = rate
+                self._cache[zip_infos[i].zip_code] = rate
+        return rates
+
 
 def match_poverty_distributions(
     poverty_by_group: dict[str, np.ndarray],

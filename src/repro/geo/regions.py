@@ -120,11 +120,34 @@ class ZipAllocator:
             )
             for i, (code, share) in enumerate(zip(codes, shares))
         ]
+        # Columnar views of the same ZIP set, consumed by the batched
+        # registry path: ZIP strings, Black shares, and the global
+        # (state, DMA) code of each ZIP.
+        self._zip_code_table = np.array(codes)
+        self._black_shares = np.array([z.black_share for z in self._zips])
+        self._dma_code_table = np.array(
+            [DMA_CODES[(state, z.dma)] for z in self._zips], dtype=np.int32
+        )
 
     @property
     def zips(self) -> list[ZipCodeInfo]:
         """All ZIP codes for the state."""
         return list(self._zips)
+
+    @property
+    def zip_code_table(self) -> np.ndarray:
+        """ZIP strings, indexed by the ids :meth:`zip_indices_for_race` returns."""
+        return self._zip_code_table
+
+    @property
+    def black_shares(self) -> np.ndarray:
+        """Per-ZIP Black share, aligned with :attr:`zip_code_table`."""
+        return self._black_shares
+
+    @property
+    def dma_code_table(self) -> np.ndarray:
+        """Per-ZIP global (state, DMA) code into :data:`ALL_DMAS`."""
+        return self._dma_code_table
 
     def zip_for_race(self, is_black: bool) -> ZipCodeInfo:
         """Assign one voter of the given race to a ZIP.
@@ -132,13 +155,36 @@ class ZipAllocator:
         Selection probability is proportional to the share of the voter's
         own race in each ZIP, producing residential segregation.
         """
-        shares = np.array([z.black_share for z in self._zips])
+        shares = self._black_shares
         weights = shares if is_black else (1.0 - shares)
         total = weights.sum()
         if total <= 0:
             raise ValidationError("degenerate ZIP composition")
         idx = int(self._rng.choice(len(self._zips), p=weights / total))
         return self._zips[idx]
+
+    def zip_indices_for_race(self, is_black: np.ndarray) -> np.ndarray:
+        """Assign a batch of voters to ZIPs (vectorized :meth:`zip_for_race`).
+
+        Voters are grouped by race and each group drawn in one weighted
+        ``choice`` call, so the per-voter marginal distribution is exactly
+        the scalar method's; only the rng consumption order differs.
+        Returns indices into :attr:`zip_code_table` / :attr:`zips`.
+        """
+        is_black = np.asarray(is_black, dtype=bool)
+        shares = self._black_shares
+        out = np.empty(is_black.size, dtype=np.int32)
+        for mask, weights in ((is_black, shares), (~is_black, 1.0 - shares)):
+            rows = np.flatnonzero(mask)
+            if not rows.size:
+                continue
+            total = weights.sum()
+            if total <= 0:
+                raise ValidationError("degenerate ZIP composition")
+            out[rows] = self._rng.choice(
+                len(self._zips), size=rows.size, p=weights / total
+            )
+        return out
 
     def lookup(self, zip_code: str) -> ZipCodeInfo:
         """Return the info record for ``zip_code``."""

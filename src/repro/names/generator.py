@@ -82,6 +82,13 @@ class _WeightedPool:
     def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
         return rng.choice(self.values, size=size, p=self.probs)
 
+    def draw_indices(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Weighted draw of *indices* into :attr:`values` (columnar path)."""
+        return rng.choice(len(self.probs), size=size, p=self.probs)
+
+    def __len__(self) -> int:
+        return len(self.probs)
+
 
 class NameGenerator:
     """Generates unique synthetic names and addresses for one state.
@@ -125,12 +132,63 @@ class NameGenerator:
         self._surname_pool = _WeightedPool(pools.SURNAMES_GENERAL)
         self._black_surname_pool = _WeightedPool(pools.SURNAMES_BLACK_WEIGHTED)
         self._seen: dict[tuple[str, str], int] = {}
-        self._addresses_seen: set[tuple[int, str, str]] = set()
+        # Dictionary tables for the columnar path.  First names are the
+        # female pool followed by the male pool; surnames the general pool
+        # followed by the Black-weighted pool; streets every name × suffix
+        # combination.  A name may appear in both sub-pools, so suffix
+        # uniqueness groups by *canonical* (string-level) identity.
+        self._first_table = np.array(
+            [v for v, _ in pools.FEMALE_FIRST_NAMES]
+            + [v for v, _ in pools.MALE_FIRST_NAMES]
+        )
+        self._male_offset = len(pools.FEMALE_FIRST_NAMES)
+        self._last_table = np.array(
+            [v for v, _ in pools.SURNAMES_GENERAL]
+            + [v for v, _ in pools.SURNAMES_BLACK_WEIGHTED]
+        )
+        self._black_offset = len(pools.SURNAMES_GENERAL)
+        self._first_canon_values, self._first_canon = np.unique(
+            self._first_table, return_inverse=True
+        )
+        self._last_canon_values, self._last_canon = np.unique(
+            self._last_table, return_inverse=True
+        )
+        self._street_table = np.array(
+            [f"{name} {suffix}" for name in pools.STREET_NAMES for suffix in pools.STREET_SUFFIXES]
+        )
+        self._combo_by_street = {s: i for i, s in enumerate(self._street_table.tolist())}
+        self._city_table = np.array(cities)
+        # Address uniqueness is tracked as packed int64 keys — a sorted
+        # array (bulk merges from address_batch) plus a small overflow set
+        # (scalar address_for additions between merges).
+        self._address_keys = np.empty(0, dtype=np.int64)
+        self._address_overflow: set[int] = set()
+        self._zip_ids: dict[str, int] = {}
 
     @property
     def state(self) -> str:
         """State code the generator produces addresses for."""
         return self._state
+
+    @property
+    def first_name_table(self) -> np.ndarray:
+        """First-name dictionary (female pool, then male pool)."""
+        return self._first_table
+
+    @property
+    def last_name_table(self) -> np.ndarray:
+        """Surname dictionary (general pool, then Black-weighted pool)."""
+        return self._last_table
+
+    @property
+    def street_table(self) -> np.ndarray:
+        """Street dictionary: every street-name × suffix combination."""
+        return self._street_table
+
+    @property
+    def city_table(self) -> np.ndarray:
+        """City dictionary for this state."""
+        return self._city_table
 
     def name_for(self, gender: Gender, race: Race) -> FullName:
         """Draw a unique full name appropriate for ``gender`` / ``race``."""
@@ -149,15 +207,16 @@ class NameGenerator:
 
     def address_for(self, zip_code: str) -> PostalAddress:
         """Draw a unique address inside ``zip_code``."""
+        zip_id = self.register_zips([zip_code])[0]
         for _ in range(64):
             house = int(self._rng.integers(1, 9999))
             street = (
                 f"{self._rng.choice(pools.STREET_NAMES)} "
                 f"{self._rng.choice(pools.STREET_SUFFIXES)}"
             )
-            key = (house, street, zip_code)
-            if key not in self._addresses_seen:
-                self._addresses_seen.add(key)
+            key = self._pack_address_key(zip_id, house, self._combo_by_street[street])
+            if not self._address_taken(key):
+                self._address_overflow.add(key)
                 city = str(self._rng.choice(np.array(self._cities, dtype=object)))
                 return PostalAddress(
                     house_number=house,
@@ -167,3 +226,201 @@ class NameGenerator:
                     zip_code=zip_code,
                 )
         raise ValidationError(f"address space exhausted for zip {zip_code}")
+
+    # ------------------------------------------------------------------
+    # Batch (columnar) APIs
+    #
+    # These draw from the same rng but in bulk-grouped order, so they are
+    # *statistically* — not bitwise — equivalent to looping the scalar
+    # methods.  Uniqueness state (name suffixes, taken addresses) is
+    # shared with the scalar path, so the two can interleave safely.
+
+    def name_batch(
+        self, gender_codes: np.ndarray, is_black: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` unique names at once (the vectorized :meth:`name_for`).
+
+        Parameters
+        ----------
+        gender_codes:
+            Study gender codes per record (0 male, 1 female, -1 unknown).
+        is_black:
+            Boolean mask selecting records whose surname mixes in the
+            Black-weighted pool with probability ``black_surname_mix``.
+
+        Returns ``(first_idx, last_idx, suffix)``: indices into
+        :attr:`first_name_table` / :attr:`last_name_table` plus the
+        uniqueness suffix, computed with a stable groupby over canonical
+        (string-level) name pairs so that every ``(first, last, suffix)``
+        triple is unique across the generator's lifetime.
+        """
+        rng = self._rng
+        n = len(gender_codes)
+        female = np.asarray(gender_codes) == 1
+        unknown_rows = np.flatnonzero(np.asarray(gender_codes) == -1)
+        if unknown_rows.size:
+            female = female.copy()
+            female[unknown_rows[rng.random(unknown_rows.size) < 0.5]] = True
+        first_idx = np.empty(n, dtype=np.int16)
+        fem_rows = np.flatnonzero(female)
+        male_rows = np.flatnonzero(~female)
+        if fem_rows.size:
+            first_idx[fem_rows] = self._female_pool.draw_indices(rng, fem_rows.size)
+        if male_rows.size:
+            first_idx[male_rows] = (
+                self._male_pool.draw_indices(rng, male_rows.size) + self._male_offset
+            )
+        black_rows = np.flatnonzero(np.asarray(is_black, dtype=bool))
+        use_black_pool = np.zeros(n, dtype=bool)
+        if black_rows.size:
+            mixed = rng.random(black_rows.size) < self._black_surname_mix
+            use_black_pool[black_rows[mixed]] = True
+        last_idx = np.empty(n, dtype=np.int16)
+        general_rows = np.flatnonzero(~use_black_pool)
+        pool_rows = np.flatnonzero(use_black_pool)
+        if general_rows.size:
+            last_idx[general_rows] = self._surname_pool.draw_indices(rng, general_rows.size)
+        if pool_rows.size:
+            last_idx[pool_rows] = (
+                self._black_surname_pool.draw_indices(rng, pool_rows.size)
+                + self._black_offset
+            )
+        suffix = self._assign_suffixes(first_idx, last_idx)
+        return first_idx, last_idx, suffix
+
+    def _assign_suffixes(self, first_idx: np.ndarray, last_idx: np.ndarray) -> np.ndarray:
+        """Per-draw occurrence counters over canonical name pairs.
+
+        Within the batch, the k-th occurrence of a pair (in draw order)
+        gets suffix ``base + k`` where ``base`` continues any count the
+        scalar path already accumulated in ``_seen``; ``_seen`` is then
+        advanced so later draws — scalar or batch — stay unique.
+        """
+        n = len(first_idx)
+        n_last = len(self._last_canon_values)
+        keys = (
+            self._first_canon[first_idx].astype(np.int64) * n_last
+            + self._last_canon[last_idx]
+        )
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        positions = np.arange(n, dtype=np.int64)
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        group_start = np.maximum.accumulate(np.where(new_group, positions, 0))
+        occurrence_sorted = positions - group_start
+        occurrence = np.empty(n, dtype=np.int64)
+        occurrence[order] = occurrence_sorted
+        unique_keys, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        base = np.zeros(len(unique_keys), dtype=np.int64)
+        first_names = self._first_canon_values[unique_keys // n_last]
+        last_names = self._last_canon_values[unique_keys % n_last]
+        for i, (first, last, count) in enumerate(
+            zip(first_names.tolist(), last_names.tolist(), counts.tolist())
+        ):
+            pair = (first, last)
+            base[i] = self._seen.get(pair, 0)
+            self._seen[pair] = base[i] + count
+        return (occurrence + base[inverse]).astype(np.int32)
+
+    def register_zips(self, zip_codes: "list[str] | np.ndarray") -> np.ndarray:
+        """Stable small-int ids for ``zip_codes`` (for packed address keys)."""
+        ids = np.empty(len(zip_codes), dtype=np.int64)
+        known = self._zip_ids
+        for i, code in enumerate(zip_codes):
+            code = str(code)
+            zip_id = known.get(code)
+            if zip_id is None:
+                zip_id = len(known)
+                known[code] = zip_id
+            ids[i] = zip_id
+        return ids
+
+    def _pack_address_key(self, zip_id: int, house: int, combo: int) -> int:
+        return (int(zip_id) * 10_000 + int(house)) * len(self._street_table) + int(combo)
+
+    def _address_taken(self, key: int) -> bool:
+        if key in self._address_overflow:
+            return True
+        keys = self._address_keys
+        pos = int(np.searchsorted(keys, key))
+        return pos < keys.size and int(keys[pos]) == key
+
+    def _addresses_taken(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized membership of packed keys in the taken-address store."""
+        taken = np.zeros(keys.size, dtype=bool)
+        store = self._address_keys
+        if store.size:
+            pos = np.searchsorted(store, keys)
+            in_bounds = pos < store.size
+            taken[in_bounds] = store[pos[in_bounds]] == keys[in_bounds]
+        if self._address_overflow:
+            overflow = np.fromiter(
+                self._address_overflow, dtype=np.int64, count=len(self._address_overflow)
+            )
+            taken |= np.isin(keys, overflow)
+        return taken
+
+    def address_batch(
+        self, zip_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` unique addresses at once (the vectorized :meth:`address_for`).
+
+        ``zip_ids`` are :meth:`register_zips` ids, one per record.
+        Returns ``(house_number, street_idx, city_idx)`` where street and
+        city index :attr:`street_table` / :attr:`city_table`.  Collisions
+        (within the batch or against previously issued addresses) are
+        redrawn for up to 64 rounds — the same exhaustion bound as the
+        scalar path — before raising :class:`ValidationError`.
+        """
+        rng = self._rng
+        n = len(zip_ids)
+        zip_ids = np.asarray(zip_ids, dtype=np.int64)
+        n_combos = len(self._street_table)
+        house = rng.integers(1, 9999, size=n)
+        combo = (
+            rng.integers(0, len(pools.STREET_NAMES), size=n) * len(pools.STREET_SUFFIXES)
+            + rng.integers(0, len(pools.STREET_SUFFIXES), size=n)
+        )
+        keys = (zip_ids * 10_000 + house) * n_combos + combo
+        for _ in range(64):
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            dup_sorted = np.zeros(n, dtype=bool)
+            dup_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+            duplicate = np.zeros(n, dtype=bool)
+            duplicate[order] = dup_sorted
+            duplicate |= self._addresses_taken(keys)
+            bad = np.flatnonzero(duplicate)
+            if bad.size == 0:
+                break
+            house[bad] = rng.integers(1, 9999, size=bad.size)
+            combo[bad] = (
+                rng.integers(0, len(pools.STREET_NAMES), size=bad.size)
+                * len(pools.STREET_SUFFIXES)
+                + rng.integers(0, len(pools.STREET_SUFFIXES), size=bad.size)
+            )
+            keys[bad] = (zip_ids[bad] * 10_000 + house[bad]) * n_combos + combo[bad]
+        else:
+            raise ValidationError("address space exhausted in batch draw")
+        self._merge_address_keys(keys)
+        city = rng.integers(0, len(self._city_table), size=n)
+        return (
+            house.astype(np.int16),
+            combo.astype(np.int16),
+            city.astype(np.int16),
+        )
+
+    def _merge_address_keys(self, keys: np.ndarray) -> None:
+        parts = [self._address_keys, np.asarray(keys, dtype=np.int64)]
+        if self._address_overflow:
+            parts.append(
+                np.fromiter(
+                    self._address_overflow, dtype=np.int64, count=len(self._address_overflow)
+                )
+            )
+            self._address_overflow = set()
+        self._address_keys = np.sort(np.concatenate(parts))

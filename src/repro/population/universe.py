@@ -162,10 +162,10 @@ class UserUniverse:
             name: []
             for name in (
                 "race", "gender", "cluster", "state", "age",
-                "dma_global", "zip", "poverty", "activity",
+                "dma_global", "zip_local", "poverty", "activity", "pii_hash",
             )
         }
-        pii_keys: list[str] = []
+        zip_tables: list[np.ndarray] = []
         for registry in registries:
             cols = registry.study_columns()
             # Voters outside the binary study design never enter the
@@ -192,13 +192,22 @@ class UserUniverse:
             )
             parts["age"].append(age)
             parts["dma_global"].append(cols["dma_code"][keep])
-            parts["zip"].append(cols["zip"][keep])
+            # ZIPs stay dictionary-encoded: per-user indices into the
+            # registry's small zip_table, offset into a concatenated
+            # table space and re-encoded globally after the merge.
+            parts["zip_local"].append(
+                cols["zip_index"][keep].astype(np.int64)
+                + sum(len(t) for t in zip_tables)
+            )
+            zip_tables.append(cols["zip_table"])
             parts["poverty"].append(cols["zip_poverty"][keep] >= self._poverty_threshold)
             parts["activity"].append(self._activity.rate_for_array(bucket, gender, race))
-            pii_keys.extend(cols["pii_key"][keep].tolist())
+            parts["pii_hash"].append(registry.pii_hash_array(keep))
         merged = {name: np.concatenate(chunks) for name, chunks in parts.items()}
-        zip_table, zip_idx = np.unique(merged["zip"], return_inverse=True)
-        dma_table, dma_idx = np.unique(_DMA_NAMES[merged["dma_global"]], return_inverse=True)
+        zip_table, zip_idx = self._encode_used(
+            np.concatenate(zip_tables), merged["zip_local"]
+        )
+        dma_table, dma_idx = self._encode_used(_DMA_NAMES, merged["dma_global"])
         return UserColumns.build(
             race=merged["race"],
             gender=merged["gender"],
@@ -209,10 +218,25 @@ class UserUniverse:
             zip_code=zip_idx,
             activity_rate=merged["activity"],
             high_poverty=merged["poverty"],
-            pii_hash=hash_pii_array(pii_keys),
+            pii_hash=merged["pii_hash"],
             dma_table=dma_table,
             zip_table=zip_table,
         )
+
+    @staticmethod
+    def _encode_used(table: np.ndarray, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Re-encode dictionary codes against the *used* slice of ``table``.
+
+        Equivalent to ``np.unique(table[codes], return_inverse=True)``
+        (the sorted table of values at least one user carries, plus the
+        per-user inverse) but without ever materialising a per-user
+        string array — only the small dictionary is touched.
+        """
+        used = np.unique(codes)
+        new_table, used_inverse = np.unique(table[used], return_inverse=True)
+        lookup = np.empty(len(table), dtype=np.int64)
+        lookup[used] = used_inverse
+        return new_table, lookup[codes]
 
     def _build_reference(self, registries: list[VoterRegistry]) -> UserColumns:
         """The original scalar loop, preserved as an rng-faithful oracle.

@@ -16,6 +16,7 @@ package provides:
   produces the paper's Table-1 audiences (age × gender × race uncorrelated).
 """
 
+from repro.voters.columns import RegistryColumns
 from repro.voters.diagnostics import BalanceReport, check_balance
 from repro.voters.record import VoterRecord
 from repro.voters.registry import VoterRegistry
@@ -24,6 +25,7 @@ from repro.voters.sampling import BalancedSample, stratified_balanced_sample
 __all__ = [
     "BalanceReport",
     "BalancedSample",
+    "RegistryColumns",
     "VoterRecord",
     "VoterRegistry",
     "check_balance",

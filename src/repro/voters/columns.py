@@ -1,0 +1,164 @@
+"""Struct-of-arrays storage for synthetic voter registries.
+
+A registry at realistic state scale (FL ≈ 14M, NC ≈ 8M records) cannot
+afford one Python :class:`~repro.voters.record.VoterRecord` per row: the
+boxed fields alone cost several hundred bytes each and every per-record
+loop dominates synthesis time.  This module holds the columnar core the
+registry generates into instead:
+
+* :class:`RegistryColumns` — one compact, immutable array per record
+  attribute.  Every string attribute is **dictionary-encoded**: names,
+  streets, cities and ZIP codes come from small fixed pools, so a record
+  stores an ``int16`` index into a table rather than the string itself.
+  The whole registry is ~20 bytes/record; a 10M-record state fits in
+  ~200 MB and snapshots to arrays that memory-map cleanly.
+* The **per-ZIP tables** (``zip_dma_code``, ``zip_poverty``) that
+  exploit the generation invariant that a record's DMA and ZIP poverty
+  rate are functions of its ZIP alone.
+
+:class:`~repro.voters.record.VoterRecord` objects still exist, but as
+lazily-materialised views (see :attr:`repro.voters.registry.
+VoterRegistry.records`), mirroring the ``PlatformUser`` demotion of the
+columnar population core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import CensusRace, Gender
+
+__all__ = [
+    "CENSUS_RACE_ORDER",
+    "CENSUS_RACE_CODES",
+    "GENDER_BY_CODE",
+    "GENDER_STUDY_CODES",
+    "RegistryColumns",
+]
+
+#: Census-race codes are positional in the enum's declaration order.
+CENSUS_RACE_ORDER: list[CensusRace] = list(CensusRace)
+CENSUS_RACE_CODES: dict[CensusRace, int] = {
+    member: i for i, member in enumerate(CENSUS_RACE_ORDER)
+}
+
+#: Gender uses the *study* convention shared with the population layer:
+#: 0 = male, 1 = female, -1 = unknown.
+GENDER_STUDY_CODES: dict[Gender, int] = {
+    Gender.MALE: 0,
+    Gender.FEMALE: 1,
+    Gender.UNKNOWN: -1,
+}
+GENDER_BY_CODE: dict[int, Gender] = {code: g for g, code in GENDER_STUDY_CODES.items()}
+
+
+@dataclass(frozen=True)
+class RegistryColumns:
+    """One immutable array per voter-record attribute.
+
+    All per-record arrays share one length (the number of records).
+    ``first_name``/``last_name``/``street``/``city``/``zip_code`` index
+    the corresponding ``*_table``; ``zip_dma_code`` and ``zip_poverty``
+    are **per-ZIP** tables indexed by ``zip_code`` (DMA and poverty rate
+    are functions of the ZIP, an invariant of generation).  Voter ids are
+    not stored at all — they are positional
+    (``f"{prefix}{row:08d}"``) and derived on demand.
+    """
+
+    gender: np.ndarray  # int8, study code (0 male, 1 female, -1 unknown)
+    census_race: np.ndarray  # int8, code into CENSUS_RACE_ORDER
+    age: np.ndarray  # int16, years
+    first_name: np.ndarray  # int16, index into first_table
+    last_name: np.ndarray  # int16, index into last_table
+    name_suffix: np.ndarray  # int32, uniqueness suffix
+    house_number: np.ndarray  # int16, 1..9998
+    street: np.ndarray  # int16, index into street_table
+    city: np.ndarray  # int16, index into city_table
+    zip_code: np.ndarray  # int16, index into zip_table
+    first_table: np.ndarray  # unicode, first-name pool
+    last_table: np.ndarray  # unicode, surname pool
+    street_table: np.ndarray  # unicode, street-name × suffix combinations
+    city_table: np.ndarray  # unicode, city pool
+    zip_table: np.ndarray  # unicode, ZIP strings
+    zip_dma_code: np.ndarray  # int32 per zip, global (state, DMA) code
+    zip_poverty: np.ndarray  # float64 per zip, poverty rate
+
+    _PER_RECORD = (
+        "gender",
+        "census_race",
+        "age",
+        "first_name",
+        "last_name",
+        "name_suffix",
+        "house_number",
+        "street",
+        "city",
+        "zip_code",
+    )
+    _PER_ZIP = ("zip_dma_code", "zip_poverty")
+    _DTYPES = {
+        "gender": np.int8,
+        "census_race": np.int8,
+        "age": np.int16,
+        "first_name": np.int16,
+        "last_name": np.int16,
+        "name_suffix": np.int32,
+        "house_number": np.int16,
+        "street": np.int16,
+        "city": np.int16,
+        "zip_code": np.int16,
+        "zip_dma_code": np.int32,
+        "zip_poverty": np.float64,
+    }
+
+    def __post_init__(self) -> None:
+        n = len(self.gender)
+        for name in self._PER_RECORD:
+            column = getattr(self, name)
+            if len(column) != n:
+                raise ValidationError(
+                    f"column {name!r} has {len(column)} rows, expected {n}"
+                )
+        n_zips = len(self.zip_table)
+        for name in self._PER_ZIP:
+            column = getattr(self, name)
+            if len(column) != n_zips:
+                raise ValidationError(
+                    f"per-zip column {name!r} has {len(column)} rows, "
+                    f"expected {n_zips}"
+                )
+
+    @classmethod
+    def build(cls, **arrays: np.ndarray) -> "RegistryColumns":
+        """Construct with every column coerced to its declared compact dtype.
+
+        Arrays already carrying the target dtype pass through untouched —
+        the property that keeps memory-mapped snapshot loads zero-copy.
+        """
+        coerced = {}
+        for field in fields(cls):
+            value = np.asarray(arrays[field.name])
+            target = cls._DTYPES.get(field.name)
+            if target is not None and value.dtype != np.dtype(target):
+                value = value.astype(target)
+            coerced[field.name] = value
+        return cls(**coerced)
+
+    def __len__(self) -> int:
+        return len(self.gender)
+
+    @property
+    def nbytes(self) -> int:
+        """Total byte footprint of every column (tables included)."""
+        return sum(getattr(self, field.name).nbytes for field in fields(self))
+
+    def record_zip_poverty(self) -> np.ndarray:
+        """Per-record ZIP poverty rates (float64 view of the per-zip table)."""
+        return self.zip_poverty[self.zip_code]
+
+    def record_dma_codes(self) -> np.ndarray:
+        """Per-record global (state, DMA) codes."""
+        return self.zip_dma_code[self.zip_code]

@@ -1,28 +1,57 @@
 """Synthetic voter registry generation for one state.
 
-A registry is the in-memory equivalent of a full state voter extract: a
-list of :class:`VoterRecord` with realistic demographic marginals, ZIP
-codes (segregated, with poverty rates attached), names and addresses.  The
-balanced sampler (:mod:`repro.voters.sampling`) then draws the paper's
-audiences out of it, so the registry must contain comfortably more voters
-in every race × gender × age cell than any audience needs.
+A registry is the in-memory equivalent of a full state voter extract,
+with realistic demographic marginals, ZIP codes (segregated, with poverty
+rates attached), names and addresses.  The balanced sampler
+(:mod:`repro.voters.sampling`) then draws the paper's audiences out of
+it, so the registry must contain comfortably more voters in every race ×
+gender × age cell than any audience needs.
+
+Two generation modes exist, mirroring the population layer:
+
+* ``mode="columnar"`` (default) — every demographic draw, ZIP
+  assignment, name and address is batched: one weighted ``choice`` per
+  pool, one groupby pass for name-suffix uniqueness, one packed-key
+  dedup loop for addresses.  The registry *is* a
+  :class:`~repro.voters.columns.RegistryColumns` struct-of-arrays;
+  :class:`~repro.voters.record.VoterRecord` objects are lazy cached
+  views.  This is what makes multi-million-record state extracts
+  practical (~20 B/record instead of ~1 KB of boxed objects).
+* ``mode="reference"`` — the original per-record scalar loop, rng-order
+  faithful, kept as the oracle the statistical-equivalence suite
+  (``tests/voters/test_registry_columnar.py``) pins the columnar path
+  against.  The two modes consume the rng in different orders and are
+  therefore statistically — not bitwise — equivalent.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.geo import PovertyModel, ZipAllocator
-from repro.geo.regions import DMA_CODES
+from repro.geo.regions import ALL_DMAS, DMA_CODES
 from repro.names import FullName, NameGenerator, PostalAddress
 from repro.types import AgeBucket, CensusRace, Gender, Race, State
+from repro.voters.columns import (
+    CENSUS_RACE_CODES,
+    CENSUS_RACE_ORDER,
+    GENDER_BY_CODE,
+    GENDER_STUDY_CODES,
+    RegistryColumns,
+)
 from repro.voters.record import VoterRecord
 
 __all__ = ["RegistryConfig", "VoterRegistry"]
+
+#: Modes accepted by :class:`VoterRegistry`.
+_MODES = ("columnar", "reference")
+
+#: Snapshot layout tag for columnar registries (see :meth:`to_arrays`).
+_COLUMNAR_LAYOUT = "registry-columnar-v1"
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +124,23 @@ _GENDER_BY_VALUE = {g.value: g for g in Gender}
 _CENSUS_RACE_BY_VALUE = {r.value: r for r in CensusRace}
 _AGE_BUCKETS = list(AgeBucket)
 _AGE_BUCKET_EDGES = [b.lower for b in _AGE_BUCKETS[1:]]
+_BUCKET_CODES = {bucket: i for i, bucket in enumerate(_AGE_BUCKETS)}
+
+#: Census-race code → binary study code (0 white, 1 Black, -1 outside).
+_STUDY_BY_CENSUS = np.asarray(
+    [
+        0 if race is CensusRace.WHITE else 1 if race is CensusRace.BLACK else -1
+        for race in CENSUS_RACE_ORDER
+    ],
+    dtype=np.int8,
+)
+
+#: DMA name per global (state, dma) code, for decoding columnar records.
+_DMA_NAMES = [name for _, name in ALL_DMAS]
+
+#: Chunk size for batched PII composition + hashing (bounds transient
+#: string memory on multi-million-record registries).
+_PII_CHUNK = 262_144
 
 
 class VoterRegistry:
@@ -110,6 +156,11 @@ class VoterRegistry:
         Randomness source (owned by the caller).
     config:
         Demographic marginals; defaults to :meth:`RegistryConfig.for_state`.
+    mode:
+        ``"columnar"`` (batched struct-of-arrays generation, default) or
+        ``"reference"`` (the original scalar loop — rng-order faithful,
+        statistically equivalent; the oracle the equivalence tests pin
+        the columnar path against).
     """
 
     def __init__(
@@ -119,22 +170,30 @@ class VoterRegistry:
         rng: np.random.Generator,
         *,
         config: RegistryConfig | None = None,
+        mode: str = "columnar",
     ) -> None:
         if size <= 0:
             raise ValidationError("registry size must be positive")
+        if mode not in _MODES:
+            raise ValidationError(f"unknown registry mode {mode!r}, expected one of {_MODES}")
         self._state = state
         self._config = config or RegistryConfig.for_state(state)
         self._rng = rng
+        self._mode = mode
         self._zip_allocator = ZipAllocator(
             state, rng, segregation=self._config.segregation
         )
         self._poverty = PovertyModel(rng)
+        self._size = size
         self._study_columns: dict[str, np.ndarray] | None = None
-        self._records = self._generate(size)  # also fills _study_columns
-        self._by_cell: dict[tuple[CensusRace, Gender, AgeBucket], list[int]] = {}
-        for idx, record in enumerate(self._records):
-            key = (record.census_race, record.gender, record.age_bucket)
-            self._by_cell.setdefault(key, []).append(idx)
+        self._by_cell: dict[tuple[CensusRace, Gender, AgeBucket], list[int]] | None = None
+        self._bucket_codes_cache: np.ndarray | None = None
+        if mode == "columnar":
+            self._columns: RegistryColumns | None = self._generate_columnar(size)
+            self._records: list[VoterRecord] | None = None
+        else:
+            self._columns = None
+            self._records = self._generate_reference(size)  # fills _study_columns
 
     @property
     def state(self) -> State:
@@ -142,8 +201,25 @@ class VoterRegistry:
         return self._state
 
     @property
+    def mode(self) -> str:
+        """Generation mode ('columnar' or 'reference')."""
+        return self._mode
+
+    @property
+    def columns(self) -> RegistryColumns | None:
+        """The struct-of-arrays store (``None`` on record-backed registries)."""
+        return self._columns
+
+    @property
     def records(self) -> list[VoterRecord]:
-        """All voter records (do not mutate)."""
+        """All voter records (do not mutate).
+
+        On a columnar registry this is a lazily-materialised (and cached)
+        view over the columns — code that only needs arrays should prefer
+        :attr:`columns` / :meth:`study_columns` and never trigger it.
+        """
+        if self._records is None:
+            self._records = self._materialize_records()
         return self._records
 
     @property
@@ -157,13 +233,80 @@ class VoterRegistry:
         return self._poverty
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Cell and record views
+
+    def voter_id_at(self, index: int) -> str:
+        """Voter id at ``index`` (ids are positional: state prefix + row)."""
+        prefix = "1" if self._state is State.FL else "9"
+        return f"{prefix}{index:08d}"
+
+    def record_at(self, index: int) -> VoterRecord:
+        """Materialise the single record at ``index``."""
+        if self._records is not None:
+            return self._records[index]
+        cols = self._columns
+        zip_idx = int(cols.zip_code[index])
+        return VoterRecord(
+            voter_id=self.voter_id_at(index),
+            name=FullName(
+                first=str(cols.first_table[cols.first_name[index]]),
+                last=str(cols.last_table[cols.last_name[index]]),
+                suffix=int(cols.name_suffix[index]),
+            ),
+            address=PostalAddress(
+                house_number=int(cols.house_number[index]),
+                street=str(cols.street_table[cols.street[index]]),
+                city=str(cols.city_table[cols.city[index]]),
+                state=self._state.value,
+                zip_code=str(cols.zip_table[zip_idx]),
+            ),
+            state=self._state,
+            gender=GENDER_BY_CODE[int(cols.gender[index])],
+            census_race=CENSUS_RACE_ORDER[int(cols.census_race[index])],
+            age=int(cols.age[index]),
+            dma=_DMA_NAMES[int(cols.zip_dma_code[zip_idx])],
+            zip_poverty=float(cols.zip_poverty[zip_idx]),
+        )
+
+    def cell_indices(
+        self, race: CensusRace, gender: Gender, bucket: AgeBucket
+    ) -> np.ndarray:
+        """Ascending record indices of one race × gender × age-bucket cell."""
+        if self._columns is not None:
+            cols = self._columns
+            mask = (
+                (cols.census_race == CENSUS_RACE_CODES[race])
+                & (cols.gender == GENDER_STUDY_CODES[gender])
+                & (self._bucket_codes() == _BUCKET_CODES[bucket])
+            )
+            return np.flatnonzero(mask)
+        if self._by_cell is None:
+            by_cell: dict[tuple[CensusRace, Gender, AgeBucket], list[int]] = {}
+            for idx, record in enumerate(self._records):
+                key = (record.census_race, record.gender, record.age_bucket)
+                by_cell.setdefault(key, []).append(idx)
+            self._by_cell = by_cell
+        return np.asarray(self._by_cell.get((race, gender, bucket), []), dtype=np.int64)
 
     def cell(
         self, race: CensusRace, gender: Gender, bucket: AgeBucket
     ) -> list[VoterRecord]:
         """All voters in one race × gender × age-bucket cell."""
-        return [self._records[i] for i in self._by_cell.get((race, gender, bucket), [])]
+        return [self.record_at(int(i)) for i in self.cell_indices(race, gender, bucket)]
+
+    def _bucket_codes(self) -> np.ndarray:
+        """Per-record age-bucket codes (cached, columnar registries only)."""
+        if self._bucket_codes_cache is None:
+            self._bucket_codes_cache = np.digitize(
+                self._columns.age, _AGE_BUCKET_EDGES
+            ).astype(np.int8)
+        return self._bucket_codes_cache
+
+    # ------------------------------------------------------------------
+    # Columnar views
 
     def study_columns(self) -> dict[str, np.ndarray]:
         """Per-record demographic code arrays (cached).
@@ -174,54 +317,195 @@ class VoterRegistry:
         0 = white, 1 = Black, ``gender`` 0 = male, 1 = female — with -1
         marking records outside the study design (other census races,
         unknown gender).  ``dma_code`` indexes the global
-        :data:`repro.geo.regions.DMA_CODES` table; ``pii_key`` holds each
-        record's normalised PII string, ready for batched hashing.
+        :data:`repro.geo.regions.DMA_CODES` table; ZIPs are dictionary
+        encoded as ``zip_index`` into ``zip_table`` (per-record ZIP
+        strings never materialise).  PII is deliberately absent: consumers
+        hash it straight from the columns via :meth:`pii_hash_array`.
 
-        On a freshly generated registry the columns are a by-product of
-        the generation loop (zero marginal cost); on a cache-restored one
-        they are derived from the records on first use.
+        On a columnar registry the arrays are cheap views over the
+        column store; on a record-backed one (``mode="reference"`` or a
+        legacy snapshot restore) they are derived from the records on
+        first use.
         """
         if self._study_columns is None:
-            records = self._records
-            n = len(records)
-            study_code = {race: -1 for race in CensusRace}
-            study_code[CensusRace.WHITE] = 0
-            study_code[CensusRace.BLACK] = 1
-            gender_code = {Gender.MALE: 0, Gender.FEMALE: 1, Gender.UNKNOWN: -1}
-            state = self._state
-            ages = np.fromiter((r.age for r in records), np.int32, count=n)
-            self._study_columns = {
-                "study_race": np.fromiter(
-                    (study_code[r.census_race] for r in records), np.int8, count=n
-                ),
-                "gender": np.fromiter(
-                    (gender_code[r.gender] for r in records), np.int8, count=n
-                ),
-                "age": ages,
-                "age_bucket": np.digitize(ages, _AGE_BUCKET_EDGES).astype(np.int8),
-                "dma_code": np.fromiter(
-                    (DMA_CODES[(state, r.dma)] for r in records), np.int32, count=n
-                ),
-                "zip": np.asarray([r.address.zip_code for r in records]),
-                "zip_poverty": np.fromiter(
-                    (r.zip_poverty for r in records), np.float64, count=n
-                ),
-                "pii_key": np.asarray([r.pii_key() for r in records]),
-            }
+            if self._columns is not None:
+                cols = self._columns
+                ages = np.asarray(cols.age, dtype=np.int32)
+                self._study_columns = {
+                    "study_race": _STUDY_BY_CENSUS[cols.census_race],
+                    "gender": np.asarray(cols.gender),
+                    "age": ages,
+                    "age_bucket": np.digitize(ages, _AGE_BUCKET_EDGES).astype(np.int8),
+                    "dma_code": cols.record_dma_codes(),
+                    "zip_index": np.asarray(cols.zip_code, dtype=np.int32),
+                    "zip_table": np.asarray(cols.zip_table),
+                    "zip_poverty": cols.record_zip_poverty(),
+                }
+            else:
+                self._study_columns = self._study_columns_from_records()
         return self._study_columns
+
+    def _study_columns_from_records(self) -> dict[str, np.ndarray]:
+        records = self._records
+        n = len(records)
+        study_code = {race: -1 for race in CensusRace}
+        study_code[CensusRace.WHITE] = 0
+        study_code[CensusRace.BLACK] = 1
+        gender_code = {Gender.MALE: 0, Gender.FEMALE: 1, Gender.UNKNOWN: -1}
+        state = self._state
+        ages = np.fromiter((r.age for r in records), np.int32, count=n)
+        zip_table, zip_index = np.unique(
+            np.asarray([r.address.zip_code for r in records]), return_inverse=True
+        )
+        return {
+            "study_race": np.fromiter(
+                (study_code[r.census_race] for r in records), np.int8, count=n
+            ),
+            "gender": np.fromiter(
+                (gender_code[r.gender] for r in records), np.int8, count=n
+            ),
+            "age": ages,
+            "age_bucket": np.digitize(ages, _AGE_BUCKET_EDGES).astype(np.int8),
+            "dma_code": np.fromiter(
+                (DMA_CODES[(state, r.dma)] for r in records), np.int32, count=n
+            ),
+            "zip_index": zip_index.astype(np.int32),
+            "zip_table": zip_table,
+            "zip_poverty": np.fromiter(
+                (r.zip_poverty for r in records), np.float64, count=n
+            ),
+        }
+
+    def zip_poverty_values(self, indices: np.ndarray) -> np.ndarray:
+        """ZIP poverty rates of the records at ``indices``, in order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if self._columns is not None:
+            cols = self._columns
+            return np.asarray(cols.zip_poverty)[np.asarray(cols.zip_code)[indices]]
+        records = self._records
+        return np.fromiter(
+            (records[i].zip_poverty for i in indices), np.float64, count=indices.size
+        )
 
     def pii_keys(self, indices: Iterable[int]) -> list[str]:
         """Normalised PII keys for the records at ``indices``, in order."""
-        records = self._records
-        return [records[i].pii_key() for i in indices]
+        if self._records is not None:
+            records = self._records
+            return [records[i].pii_key() for i in indices]
+        idx = self._as_index_array(indices)
+        return self._compose_pii_keys(idx)
+
+    def pii_hash_array(self, indices: Iterable[int]) -> np.ndarray:
+        """SHA-256 PII hashes (S64) for the records at ``indices``.
+
+        Runs chunked so a multi-million-record selection never holds all
+        of its normalised key strings at once.
+        """
+        from repro.population.matching import hash_pii_array
+
+        idx = self._as_index_array(indices)
+        out = np.empty(idx.size, dtype=np.dtype("S64"))
+        for start in range(0, idx.size, _PII_CHUNK):
+            chunk = idx[start : start + _PII_CHUNK]
+            out[start : start + chunk.size] = hash_pii_array(self.pii_keys(chunk))
+        return out
+
+    @staticmethod
+    def _as_index_array(indices: Iterable[int]) -> np.ndarray:
+        if isinstance(indices, np.ndarray):
+            return indices.astype(np.int64, copy=False)
+        return np.asarray(list(indices), dtype=np.int64)
+
+    def _compose_pii_keys(self, idx: np.ndarray) -> list[str]:
+        """Vectorized-decode PII composition for columnar registries.
+
+        Matches ``VoterRecord.pii_key()`` byte for byte:
+        ``first|last|suffix#house|street|city|state|zip`` with the name,
+        street, city and state fields lower-cased.
+        """
+        cols = self._columns
+        first = np.char.lower(np.asarray(cols.first_table)).tolist()
+        last = np.char.lower(np.asarray(cols.last_table)).tolist()
+        street = np.char.lower(np.asarray(cols.street_table)).tolist()
+        city = np.char.lower(np.asarray(cols.city_table)).tolist()
+        zips = np.asarray(cols.zip_table).tolist()
+        state_l = self._state.value.lower()
+        return [
+            f"{first[fi]}|{last[li]}|{sfx}#{house}|{street[si]}|{city[ci]}|{state_l}|{zips[zi]}"
+            for fi, li, sfx, house, si, ci, zi in zip(
+                cols.first_name[idx].tolist(),
+                cols.last_name[idx].tolist(),
+                cols.name_suffix[idx].tolist(),
+                cols.house_number[idx].tolist(),
+                cols.street[idx].tolist(),
+                cols.city[idx].tolist(),
+                cols.zip_code[idx].tolist(),
+            )
+        ]
+
+    def _materialize_records(self) -> list[VoterRecord]:
+        """Build the full lazy record view over the columns, in one pass."""
+        cols = self._columns
+        state = self._state
+        state_value = state.value
+        prefix = "1" if state is State.FL else "9"
+        first_table = np.asarray(cols.first_table).tolist()
+        last_table = np.asarray(cols.last_table).tolist()
+        street_table = np.asarray(cols.street_table).tolist()
+        city_table = np.asarray(cols.city_table).tolist()
+        zip_table = np.asarray(cols.zip_table).tolist()
+        zip_dma = [_DMA_NAMES[code] for code in np.asarray(cols.zip_dma_code).tolist()]
+        zip_poverty = np.asarray(cols.zip_poverty).tolist()
+        genders = [GENDER_BY_CODE[g] for g in cols.gender.tolist()]
+        races = [CENSUS_RACE_ORDER[c] for c in cols.census_race.tolist()]
+        return [
+            VoterRecord(
+                f"{prefix}{i:08d}",
+                FullName(first_table[fi], last_table[li], sfx),
+                PostalAddress(house, street_table[si], city_table[ci], state_value, zip_table[zi]),
+                state,
+                gender,
+                census_race,
+                age,
+                zip_dma[zi],
+                zip_poverty[zi],
+            )
+            for i, (fi, li, sfx, house, si, ci, zi, gender, census_race, age) in enumerate(
+                zip(
+                    cols.first_name.tolist(),
+                    cols.last_name.tolist(),
+                    cols.name_suffix.tolist(),
+                    cols.house_number.tolist(),
+                    cols.street.tolist(),
+                    cols.city.tolist(),
+                    cols.zip_code.tolist(),
+                    genders,
+                    races,
+                    cols.age.tolist(),
+                )
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
 
     def to_arrays(self) -> dict[str, np.ndarray]:
-        """Columnar snapshot of every record, ready for ``np.savez``.
+        """Columnar snapshot, ready for ``np.savez`` or a mmap-tier store.
 
-        The inverse of :meth:`from_arrays`; used by the artifact cache to
-        persist a generated registry, which is far cheaper to reload than
-        to resynthesise (names, ZIP allocation, poverty rates).
+        The inverse of :meth:`from_arrays`.  A columnar registry snapshots
+        its column store near-zero-copy under the ``registry-columnar-v1``
+        layout tag (each array an individually mmap-able member); a
+        record-backed registry keeps the legacy one-string-array-per-field
+        layout.
         """
+        if self._columns is not None:
+            out = {
+                name.name: getattr(self._columns, name.name)
+                for name in fields(RegistryColumns)
+            }
+            out["layout"] = np.array(_COLUMNAR_LAYOUT)
+            out["state"] = np.array(self._state.value)
+            return out
         records = self._records
         return {
             "state": np.array(self._state.value),
@@ -251,19 +535,47 @@ class VoterRegistry:
         to the original.  Generation-time machinery (rng, ZIP allocator,
         poverty model) is not revived: :attr:`poverty_model` is ``None``
         on a restored instance, matching its post-generation role.
+
+        A ``registry-columnar-v1`` snapshot restores *without copying*:
+        the arrays (possibly ``np.load(..., mmap_mode="r")`` memmaps from
+        the cache's mmap tier) become the column store directly, so a
+        warm multi-million-record registry costs pages-on-demand rather
+        than resident memory.  Legacy per-record snapshots eagerly
+        rebuild :class:`VoterRecord` objects as before.
         """
-        state = State(str(arrays["state"]))
-        # This runs on every warm world build, for tens of thousands of
-        # records: enum members come from value maps instead of Enum
-        # calls, dataclasses take positional arguments, and age buckets
-        # are digitized in one vectorized pass.
+        registry = cls.__new__(cls)
+        registry._state = State(str(arrays["state"]))
+        registry._config = None
+        registry._rng = None
+        registry._zip_allocator = None
+        registry._poverty = None
+        registry._study_columns = None
+        registry._by_cell = None
+        registry._bucket_codes_cache = None
+        if str(arrays.get("layout", "")) == _COLUMNAR_LAYOUT:
+            registry._mode = "columnar"
+            registry._columns = RegistryColumns.build(
+                **{f.name: arrays[f.name] for f in fields(RegistryColumns)}
+            )
+            registry._records = None
+            registry._size = len(registry._columns)
+            return registry
+        registry._mode = "reference"
+        registry._columns = None
+        registry._records = cls._records_from_legacy(arrays, registry._state)
+        registry._size = len(registry._records)
+        return registry
+
+    @staticmethod
+    def _records_from_legacy(
+        arrays: dict[str, np.ndarray], state: State
+    ) -> list[VoterRecord]:
+        # This runs on every warm world build of a reference-mode world:
+        # enum members come from value maps instead of Enum calls and
+        # dataclasses take positional arguments.
         genders = [_GENDER_BY_VALUE[g] for g in arrays["gender"].tolist()]
         races = [_CENSUS_RACE_BY_VALUE[r] for r in arrays["census_race"].tolist()]
-        buckets = [
-            _AGE_BUCKETS[i]
-            for i in np.digitize(arrays["age"], _AGE_BUCKET_EDGES).tolist()
-        ]
-        records = [
+        return [
             VoterRecord(
                 voter_id,
                 FullName(first, last, suffix),
@@ -307,20 +619,19 @@ class VoterRegistry:
                 arrays["zip_poverty"].tolist(),
             )
         ]
-        registry = cls.__new__(cls)
-        registry._state = state
-        registry._config = None
-        registry._rng = None
-        registry._zip_allocator = None
-        registry._poverty = None
-        registry._records = records
-        registry._by_cell = {}
-        for idx, key in enumerate(zip(races, genders, buckets)):
-            registry._by_cell.setdefault(key, []).append(idx)
-        registry._study_columns = None
-        return registry
 
-    def _generate(self, size: int) -> list[VoterRecord]:
+    # ------------------------------------------------------------------
+    # Generation
+
+    def _demographic_draws(
+        self, size: int
+    ) -> tuple[list[CensusRace], np.ndarray, list[AgeBucket], np.ndarray, np.ndarray]:
+        """The demographic head shared by both modes: race, bucket, gender.
+
+        Drawn in the same order with the same calls in both modes, so the
+        two paths diverge only at the per-record tail (ages, ZIPs, names,
+        addresses).
+        """
         cfg = self._config
         rng = self._rng
         races = list(cfg.race_shares)
@@ -329,11 +640,68 @@ class VoterRegistry:
         buckets = list(age_weights)
         bucket_probs = np.array([age_weights[b] for b in buckets])
         bucket_probs = bucket_probs / bucket_probs.sum()
-        namegen = NameGenerator(self._state.value, rng)
-        records: list[VoterRecord] = []
         race_draws = rng.choice(len(races), size=size, p=race_probs)
         bucket_draws = rng.choice(len(buckets), size=size, p=bucket_probs)
         gender_draws = rng.random(size)
+        return races, race_draws, buckets, bucket_draws, gender_draws
+
+    def _gender_codes(self, gender_draws: np.ndarray) -> np.ndarray:
+        cfg = self._config
+        unknown = cfg.unknown_gender_share
+        return np.where(
+            gender_draws < unknown,
+            np.int8(-1),
+            np.where(gender_draws < unknown + cfg.female_share, np.int8(1), np.int8(0)),
+        ).astype(np.int8)
+
+    def _generate_columnar(self, size: int) -> RegistryColumns:
+        rng = self._rng
+        races, race_draws, buckets, bucket_draws, gender_draws = (
+            self._demographic_draws(size)
+        )
+        gender_codes = self._gender_codes(gender_draws)
+        lower = np.array([b.lower for b in buckets])
+        upper = np.array([min(b.upper, 92) for b in buckets])
+        ages = rng.integers(lower[bucket_draws], upper[bucket_draws] + 1)
+        census_codes = np.asarray(
+            [CENSUS_RACE_CODES[r] for r in races], dtype=np.int8
+        )[race_draws]
+        is_black = np.asarray([r is CensusRace.BLACK for r in races])[race_draws]
+        allocator = self._zip_allocator
+        zip_idx = allocator.zip_indices_for_race(is_black)
+        zip_poverty = self._poverty.poverty_rates(allocator.zips)
+        namegen = NameGenerator(self._state.value, rng)
+        first_idx, last_idx, suffix = namegen.name_batch(gender_codes, is_black)
+        zip_ids = namegen.register_zips(allocator.zip_code_table)
+        house, street_idx, city_idx = namegen.address_batch(zip_ids[zip_idx])
+        return RegistryColumns.build(
+            gender=gender_codes,
+            census_race=census_codes,
+            age=ages,
+            first_name=first_idx,
+            last_name=last_idx,
+            name_suffix=suffix,
+            house_number=house,
+            street=street_idx,
+            city=city_idx,
+            zip_code=zip_idx,
+            first_table=namegen.first_name_table,
+            last_table=namegen.last_name_table,
+            street_table=namegen.street_table,
+            city_table=namegen.city_table,
+            zip_table=allocator.zip_code_table,
+            zip_dma_code=allocator.dma_code_table,
+            zip_poverty=zip_poverty,
+        )
+
+    def _generate_reference(self, size: int) -> list[VoterRecord]:
+        rng = self._rng
+        races, race_draws, buckets, bucket_draws, gender_draws = (
+            self._demographic_draws(size)
+        )
+        cfg = self._config
+        namegen = NameGenerator(self._state.value, rng)
+        records: list[VoterRecord] = []
         prefix = "1" if self._state is State.FL else "9"
         # Per-record scalars accumulated for the study-column by-product
         # (the demographic draws above are vectorized at the end instead).
@@ -341,7 +709,6 @@ class VoterRegistry:
         dma_codes: list[int] = []
         zips: list[str] = []
         zip_poverty: list[float] = []
-        pii_keys: list[str] = []
         state = self._state
         for i in range(size):
             census_race = races[int(race_draws[i])]
@@ -371,7 +738,6 @@ class VoterRegistry:
             dma_codes.append(DMA_CODES[(state, record.dma)])
             zips.append(record.address.zip_code)
             zip_poverty.append(record.zip_poverty)
-            pii_keys.append(record.pii_key())
         study_by_race_idx = np.asarray(
             [
                 0 if race is CensusRace.WHITE else 1 if race is CensusRace.BLACK else -1
@@ -379,22 +745,17 @@ class VoterRegistry:
             ],
             dtype=np.int8,
         )
-        unknown = cfg.unknown_gender_share
-        gender_codes = np.where(
-            gender_draws < unknown,
-            np.int8(-1),
-            np.where(gender_draws < unknown + cfg.female_share, np.int8(1), np.int8(0)),
-        ).astype(np.int8)
         age_arr = np.asarray(ages, dtype=np.int32)
+        zip_table, zip_index = np.unique(np.asarray(zips), return_inverse=True)
         self._study_columns = {
             "study_race": study_by_race_idx[race_draws],
-            "gender": gender_codes,
+            "gender": self._gender_codes(gender_draws),
             "age": age_arr,
             "age_bucket": np.digitize(age_arr, _AGE_BUCKET_EDGES).astype(np.int8),
             "dma_code": np.asarray(dma_codes, dtype=np.int32),
-            "zip": np.asarray(zips),
+            "zip_index": zip_index.astype(np.int32),
+            "zip_table": zip_table,
             "zip_poverty": np.asarray(zip_poverty, dtype=np.float64),
-            "pii_key": np.asarray(pii_keys),
         }
         return records
 

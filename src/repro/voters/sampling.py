@@ -174,12 +174,16 @@ def stratified_balanced_sample(
         if per_state == 0:
             raise ValidationError(f"group size {group} too small to split by state")
         for registry, state in ((fl_registry, State.FL), (nc_registry, State.NC)):
-            pools: dict[tuple[Race, Gender], list[VoterRecord]] = {}
+            # Pools are registry *indices*: only the voters that actually
+            # win a quota slot are materialised as records, so sampling a
+            # handful of voters out of a multi-million-record columnar
+            # registry never builds the cell's objects.
+            pools: dict[tuple[Race, Gender], np.ndarray] = {}
             for race, gender in _STUDY_CELLS:
-                pool = registry.cell(_CENSUS_OF_STUDY[race], gender, bucket)
+                pool = registry.cell_indices(_CENSUS_OF_STUDY[race], gender, bucket)
                 pools[(race, gender)] = pool
             if poverty_matched:
-                pools = _match_pools_on_poverty(pools, rng, n_bins=poverty_bins)
+                pools = _match_pools_on_poverty(pools, registry, rng, n_bins=poverty_bins)
             for (race, gender), pool in pools.items():
                 if len(pool) < per_state:
                     raise ValidationError(
@@ -188,26 +192,29 @@ def stratified_balanced_sample(
                         f"need {per_state}"
                     )
                 chosen = rng.choice(len(pool), size=per_state, replace=False)
-                sample.members[(state, race, gender, bucket)] = [pool[i] for i in chosen]
+                sample.members[(state, race, gender, bucket)] = [
+                    registry.record_at(int(pool[i])) for i in chosen
+                ]
     return sample
 
 
 def _match_pools_on_poverty(
-    pools: dict[tuple[Race, Gender], list[VoterRecord]],
+    pools: dict[tuple[Race, Gender], np.ndarray],
+    registry: VoterRegistry,
     rng: np.random.Generator,
     *,
     n_bins: int,
-) -> dict[tuple[Race, Gender], list[VoterRecord]]:
+) -> dict[tuple[Race, Gender], np.ndarray]:
     """Poverty-match the four race × gender pools (Appendix A step)."""
     from repro.geo.poverty import match_poverty_distributions
 
     poverty = {
-        f"{race.value}|{gender.value}": np.array([v.zip_poverty for v in pool])
+        f"{race.value}|{gender.value}": registry.zip_poverty_values(pool)
         for (race, gender), pool in pools.items()
     }
     kept = match_poverty_distributions(poverty, rng, n_bins=n_bins)
-    matched: dict[tuple[Race, Gender], list[VoterRecord]] = {}
+    matched: dict[tuple[Race, Gender], np.ndarray] = {}
     for (race, gender), pool in pools.items():
         indices = kept[f"{race.value}|{gender.value}"]
-        matched[(race, gender)] = [pool[i] for i in indices]
+        matched[(race, gender)] = pool[indices]
     return matched

@@ -35,6 +35,7 @@ FIELD_PERTURBATIONS = {
     "value_noise_sigma": 0.91,
     "delivery_mode": "reference",
     "universe_mode": "reference",
+    "registry_mode": "reference",
     "engagement_params": EngagementParams(base_rate=0.046),
     "competition_base_price": 0.012,
     "access_token": "EAAB-other-token",
@@ -110,4 +111,4 @@ class TestConfigPayload:
         before = world_fingerprint(WorldConfig())
         monkeypatch.setattr("repro.cache.fingerprint.CODE_SALT", "other-salt")
         assert world_fingerprint(WorldConfig()) != before
-        assert CODE_SALT == "repro-artifacts-v2"
+        assert CODE_SALT == "repro-artifacts-v3"

@@ -65,6 +65,76 @@ class TestArtifactCache:
         assert ArtifactCache.default_root() == tmp_path / "env-cache"
 
 
+class TestMmapTier:
+    """The directory-of-.npy tier behind ``save_arrays(mmapable=True)``."""
+
+    def test_round_trip_returns_memmaps(self, cache):
+        path = cache.save_arrays("stage", "k1", SAMPLE, mmapable=True)
+        assert path.is_dir() and path.name == "k1.d"
+        assert cache.has("stage", "k1")
+        loaded = cache.load_arrays("stage", "k1")
+        assert set(loaded) == set(SAMPLE)
+        for name in SAMPLE:
+            np.testing.assert_array_equal(np.asarray(loaded[name]), SAMPLE[name])
+        assert isinstance(loaded["ints"], np.memmap)
+        assert not loaded["ints"].flags.writeable
+
+    def test_npz_tier_wins_when_both_exist(self, cache):
+        cache.save_arrays("stage", "k", SAMPLE, mmapable=True)
+        cache.save_arrays("stage", "k", {"other": np.arange(2)})
+        assert set(cache.load_arrays("stage", "k")) == {"other"}
+
+    def test_corrupt_dir_is_a_miss_and_removed(self, cache):
+        path = cache.save_arrays("stage", "bad", SAMPLE, mmapable=True)
+        (path / "ints.npy").write_bytes(b"not an npy")
+        assert cache.load_arrays("stage", "bad") is None
+        assert not path.exists()
+
+    def test_empty_dir_is_a_miss(self, cache):
+        path = cache.dir_path("stage", "empty")
+        path.mkdir(parents=True)
+        assert cache.load_arrays("stage", "empty") is None
+        assert not path.exists()
+
+    def test_entries_info_and_clear_cover_both_tiers(self, cache):
+        cache.save_arrays("registry", "a", SAMPLE, mmapable=True)
+        cache.save_arrays("registry", "b", SAMPLE)
+        cache.save_arrays("ear", "c", SAMPLE)
+        entries = {(e.stage, e.key): e for e in cache.entries()}
+        assert entries[("registry", "a")].mmap
+        assert not entries[("registry", "b")].mmap
+        assert entries[("registry", "a")].size_bytes > 0
+        info = cache.info()
+        assert info.n_entries == 3
+        assert info.by_stage["registry"][0] == 2
+        assert info.mmap_by_stage == {"registry": 1}
+        assert "via mmap tier" in info.render()
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+    def test_bad_member_names_rejected(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.save_arrays("stage", "k", {"../oops": np.arange(2)}, mmapable=True)
+
+    def test_cached_build_mmapable_serves_warm_memmaps(self, cache):
+        def run():
+            return cached_build(
+                stage="s",
+                key="k",
+                build=lambda: np.arange(4, dtype=np.int32),
+                dump=lambda obj: {"v": obj},
+                load=lambda arrays: arrays["v"],
+                cache=cache,
+                mmapable=True,
+            )
+
+        obj, source, _ = run()
+        assert source == "cold" and not isinstance(obj, np.memmap)
+        obj, source, _ = run()
+        assert source == "warm" and isinstance(obj, np.memmap)
+        np.testing.assert_array_equal(np.asarray(obj), np.arange(4))
+
+
 class TestResolveCache:
     def test_false_disables(self):
         assert resolve_cache(False) is None

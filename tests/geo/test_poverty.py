@@ -38,6 +38,26 @@ class TestPovertyModel:
         with pytest.raises(ValidationError):
             PovertyModel(np.random.default_rng(0), base_rate=1.5)
 
+    def test_batch_rates_match_scalar_and_share_the_cache(self):
+        allocator = ZipAllocator(State.FL, np.random.default_rng(6))
+        scalar_model = PovertyModel(np.random.default_rng(7))
+        batch_model = PovertyModel(np.random.default_rng(7))
+        # Same rng seed + one vectorized normal draw over all uncached
+        # zips == the scalar per-zip draws, in zip order.
+        scalar = np.array([scalar_model.poverty_rate(z) for z in allocator.zips])
+        batch = batch_model.poverty_rates(allocator.zips)
+        np.testing.assert_allclose(batch, scalar)
+        # A second batch call is served from the cache: identical values.
+        np.testing.assert_allclose(batch_model.poverty_rates(allocator.zips), batch)
+        # And the scalar API sees the batch-cached values.
+        assert batch_model.poverty_rate(allocator.zips[3]) == batch[3]
+
+    def test_batch_rates_are_clipped(self):
+        allocator = ZipAllocator(State.NC, np.random.default_rng(8))
+        model = PovertyModel(np.random.default_rng(9), noise_sd=0.5)
+        rates = model.poverty_rates(allocator.zips)
+        assert rates.min() >= 0.02 and rates.max() <= 0.60
+
 
 class TestMatchPovertyDistributions:
     def test_matched_groups_have_equal_sizes(self):

@@ -44,6 +44,32 @@ class TestZipAllocator:
         info = allocator.zip_for_race(True)
         assert 0.0 <= info.black_share <= 1.0
 
+    def test_zip_indices_for_race_matches_scalar_semantics(self):
+        allocator = ZipAllocator(State.FL, np.random.default_rng(4), segregation=0.8)
+        is_black = np.zeros(2000, dtype=bool)
+        is_black[:1000] = True
+        indices = allocator.zip_indices_for_race(is_black)
+        assert indices.shape == (2000,)
+        assert indices.min() >= 0 and indices.max() < len(allocator.zips)
+        shares = allocator.black_shares[indices]
+        # The same segregation gap the scalar API exhibits.
+        assert shares[:1000].mean() > shares[1000:].mean() + 0.15
+
+    def test_zip_indices_tables_align_with_zips(self, allocator):
+        assert allocator.zip_code_table.tolist() == [
+            z.zip_code for z in allocator.zips
+        ]
+        assert np.allclose(
+            allocator.black_shares, [z.black_share for z in allocator.zips]
+        )
+        assert len(allocator.dma_code_table) == len(allocator.zips)
+
+    def test_zip_indices_all_one_race(self, allocator):
+        indices = allocator.zip_indices_for_race(np.ones(50, dtype=bool))
+        assert indices.shape == (50,)
+        indices = allocator.zip_indices_for_race(np.zeros(50, dtype=bool))
+        assert indices.shape == (50,)
+
     def test_lookup_roundtrip(self, allocator):
         first = allocator.zips[0]
         assert allocator.lookup(first.zip_code) == first

@@ -56,6 +56,86 @@ class TestNameGenerator:
             NameGenerator("FL", np.random.default_rng(0), black_surname_mix=1.5)
 
 
+class TestNameBatch:
+    """The columnar ``name_batch`` against the scalar path's guarantees."""
+
+    def test_batch_names_are_unique(self, generator):
+        gender_codes = np.zeros(3000, dtype=np.int8)
+        gender_codes[1::2] = 1
+        first, last, suffix = generator.name_batch(
+            gender_codes, np.zeros(3000, dtype=bool)
+        )
+        names = {
+            (str(generator.first_name_table[f]), str(generator.last_name_table[l]), int(s))
+            for f, l, s in zip(first, last, suffix)
+        }
+        assert len(names) == 3000
+
+    def test_batch_respects_gender_pools(self):
+        gen = NameGenerator("FL", np.random.default_rng(4))
+        codes = np.concatenate([np.zeros(300, np.int8), np.ones(300, np.int8)])
+        first, _, _ = gen.name_batch(codes, np.zeros(600, dtype=bool))
+        n_female = 60  # the female pool precedes the male pool in the table
+        assert np.all(first[:300] >= n_female)  # male rows index the male block
+        assert np.all(first[300:] < n_female)
+        male_firsts = {str(gen.first_name_table[i]) for i in first[:300]}
+        female_firsts = {str(gen.first_name_table[i]) for i in first[300:]}
+        assert not (male_firsts & female_firsts)
+
+    def test_batch_black_surname_mix_shifts_distribution(self):
+        gen = NameGenerator("FL", np.random.default_rng(5), black_surname_mix=1.0)
+        _, last, _ = gen.name_batch(
+            np.zeros(300, np.int8), np.ones(300, dtype=bool)
+        )
+        surnames = {str(gen.last_name_table[i]) for i in last}
+        assert "Washington" in surnames or "Jackson" in surnames
+
+    def test_scalar_and_batch_interleave_stays_unique(self):
+        gen = NameGenerator("FL", np.random.default_rng(6))
+        seen = {
+            gen.name_for(Gender.FEMALE, Race.WHITE).normalized() for _ in range(500)
+        }
+        first, last, suffix = gen.name_batch(
+            np.ones(1500, np.int8), np.zeros(1500, dtype=bool)
+        )
+        for f, l, s in zip(first, last, suffix):
+            name = FullName(
+                str(gen.first_name_table[f]), str(gen.last_name_table[l]), int(s)
+            ).normalized()
+            assert name not in seen
+            seen.add(name)
+        # And back to scalar: the batch advanced the shared counters.
+        for _ in range(200):
+            name = gen.name_for(Gender.FEMALE, Race.WHITE).normalized()
+            assert name not in seen
+            seen.add(name)
+
+
+class TestAddressBatch:
+    def test_batch_addresses_are_unique_per_zip(self, generator):
+        zip_ids = generator.register_zips(["33101", "33102", "33103"])
+        assignment = np.random.default_rng(7).choice(zip_ids, size=4000)
+        house, street, _city = generator.address_batch(assignment)
+        triples = set(zip(assignment.tolist(), house.tolist(), street.tolist()))
+        assert len(triples) == 4000
+
+    def test_batch_and_scalar_share_the_taken_set(self):
+        gen = NameGenerator("FL", np.random.default_rng(8))
+        scalar = {gen.address_for("33199").normalized() for _ in range(500)}
+        zip_ids = gen.register_zips(["33199"])
+        house, street, _ = gen.address_batch(np.repeat(zip_ids, 2000))
+        batch = {
+            f"{h}|{str(gen.street_table[s]).lower()}" for h, s in zip(house, street)
+        }
+        scalar_keys = {"|".join(a.split("|")[:2]) for a in scalar}
+        assert not (scalar_keys & batch)
+
+    def test_register_zips_ids_are_stable(self, generator):
+        first = generator.register_zips(["33101", "33102"])
+        again = generator.register_zips(["33102", "33101", "33102"])
+        assert again.tolist() == [first[1], first[0], first[1]]
+
+
 class TestAddresses:
     def test_addresses_are_unique(self, generator):
         addresses = {generator.address_for("33101").normalized() for _ in range(1000)}

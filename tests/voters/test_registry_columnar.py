@@ -1,0 +1,256 @@
+"""Columnar registry synthesis: equivalence, round-trips, memory.
+
+The columnar generator batches its RNG draws (one weighted ``choice``
+per name pool, grouped ZIP assignment, packed-key address dedup) while
+``mode="reference"`` replays the original per-record interleave, so the
+two modes are *statistically* — not bitwise — equivalent.  The one
+deliberate exception: both modes share an identical "demographic head"
+(race, age-bucket and gender draws happen with the same calls in the
+same order), so demographic marginals and cell memberships agree
+exactly, and only the per-record tail (ages within bucket, ZIPs, names,
+addresses) carries sampling noise.  This module pins that contract
+across seeds, plus the bit-identity of snapshot round-trips (including
+through the cache's mmap tier) and the bytes-per-record memory guard
+that justifies the struct-of-arrays layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.population.matching import hash_pii_array
+from repro.types import AgeBucket, CensusRace, Gender, State
+from repro.voters.columns import RegistryColumns
+from repro.voters.registry import VoterRegistry
+
+N = 4_000
+
+_STUDY_CELLS = [
+    (race, gender, bucket)
+    for race in (CensusRace.WHITE, CensusRace.BLACK)
+    for gender in (Gender.MALE, Gender.FEMALE)
+    for bucket in AgeBucket
+]
+
+
+def _build(seed: int, mode: str, size: int = N) -> VoterRegistry:
+    return VoterRegistry(State.FL, size, np.random.default_rng(seed), mode=mode)
+
+
+def _share_gap(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest per-category share difference between two samples."""
+    table, a_idx = np.unique(np.concatenate([a, b]), return_inverse=True)
+    a_codes, b_codes = a_idx[: len(a)], a_idx[len(a) :]
+    a_shares = np.bincount(a_codes, minlength=len(table)) / len(a)
+    b_shares = np.bincount(b_codes, minlength=len(table)) / len(b)
+    return float(np.abs(a_shares - b_shares).max())
+
+
+class TestStatisticalEquivalence:
+    """Columnar and reference modes agree on every registry statistic.
+
+    Tolerances have ~3x headroom over the binomial noise floor at
+    ``N=4000``; a real distributional bug (wrong pool offset, dropped
+    weight column, bad ZIP grouping) moves these statistics by far more.
+    """
+
+    @pytest.fixture(scope="class", params=[21, 22, 23])
+    def pair(self, request):
+        return _build(request.param, "reference"), _build(request.param, "columnar")
+
+    def test_demographic_head_is_identical(self, pair):
+        # Race, gender and age bucket come from the shared head: exact.
+        ref, col = pair
+        ref_cols, col_cols = ref.study_columns(), col.study_columns()
+        assert np.array_equal(ref_cols["study_race"], col_cols["study_race"])
+        assert np.array_equal(ref_cols["gender"], col_cols["gender"])
+        assert np.array_equal(ref_cols["age_bucket"], col_cols["age_bucket"])
+
+    def test_cell_memberships_are_identical(self, pair):
+        ref, col = pair
+        for race, gender, bucket in _STUDY_CELLS:
+            assert np.array_equal(
+                ref.cell_indices(race, gender, bucket),
+                col.cell_indices(race, gender, bucket),
+            ), (race, gender, bucket)
+
+    def test_ages_agree_within_buckets(self, pair):
+        ref, col = pair
+        ref_ages = ref.study_columns()["age"]
+        col_ages = col.study_columns()["age"]
+        buckets = ref.study_columns()["age_bucket"]
+        for code in np.unique(buckets):
+            rows = buckets == code
+            assert abs(
+                float(ref_ages[rows].mean()) - float(col_ages[rows].mean())
+            ) < 1.5, code
+
+    def test_zip_distributions_agree(self, pair):
+        ref, col = pair
+        ref_zips = np.asarray([r.address.zip_code for r in ref.records])
+        col_sc = col.study_columns()
+        col_zips = col_sc["zip_table"][col_sc["zip_index"]]
+        assert _share_gap(ref_zips, col_zips) < 0.015
+
+    def test_mean_zip_poverty_agrees(self, pair):
+        ref, col = pair
+        assert abs(
+            float(ref.study_columns()["zip_poverty"].mean())
+            - float(col.study_columns()["zip_poverty"].mean())
+        ) < 0.02
+
+    def test_name_distributions_agree(self, pair):
+        ref, col = pair
+        ref_first = np.asarray([r.name.first for r in ref.records])
+        ref_last = np.asarray([r.name.last for r in ref.records])
+        cols = col.columns
+        col_first = cols.first_table[cols.first_name]
+        col_last = cols.last_table[cols.last_name]
+        assert _share_gap(ref_first, col_first) < 0.015
+        assert _share_gap(ref_last, col_last) < 0.015
+
+    def test_suffix_rates_agree(self, pair):
+        # Suffixes disambiguate repeated name pairs, so their rate tracks
+        # the collision structure both generators must share.
+        ref, col = pair
+        ref_rate = float(np.mean([r.name.suffix > 0 for r in ref.records]))
+        col_rate = float((col.columns.name_suffix > 0).mean())
+        assert abs(ref_rate - col_rate) < 0.02
+
+    def test_both_modes_report_their_mode(self, pair):
+        ref, col = pair
+        assert ref.mode == "reference" and ref.columns is None
+        assert col.mode == "columnar" and col.columns is not None
+
+
+class TestLazyRecordViews:
+    """records / cell() are decoded views over the columns."""
+
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return _build(31, "columnar")
+
+    def test_records_match_record_at(self, registry):
+        records = registry.records
+        assert len(records) == len(registry)
+        fresh = _build(31, "columnar")  # un-materialised twin
+        for i in (0, 17, len(registry) - 1):
+            assert records[i] == fresh.record_at(i)
+
+    def test_cell_equals_decoded_cell_indices(self, registry):
+        cell = registry.cell(CensusRace.WHITE, Gender.FEMALE, AgeBucket.B25_34)
+        indices = registry.cell_indices(
+            CensusRace.WHITE, Gender.FEMALE, AgeBucket.B25_34
+        )
+        assert cell == [registry.record_at(int(i)) for i in indices]
+        assert all(r.gender is Gender.FEMALE for r in cell)
+        assert all(r.census_race is CensusRace.WHITE for r in cell)
+        assert all(r.age_bucket is AgeBucket.B25_34 for r in cell)
+
+    def test_pii_keys_match_records(self, registry):
+        idx = np.asarray([0, 5, 99, len(registry) - 1])
+        keys = registry.pii_keys(idx)
+        assert keys == [registry.records[int(i)].pii_key() for i in idx]
+
+    def test_pii_hash_array_hashes_the_keys(self, registry):
+        idx = np.arange(64)
+        hashes = registry.pii_hash_array(idx)
+        assert hashes.dtype == np.dtype("S64")
+        assert np.array_equal(hashes, hash_pii_array(registry.pii_keys(idx)))
+
+    def test_voter_ids_are_positional(self, registry):
+        assert registry.voter_id_at(0) == registry.records[0].voter_id
+        assert registry.voter_id_at(42).endswith("00000042")
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return _build(41, "columnar")
+
+    def test_to_from_arrays_is_bit_identical(self, registry):
+        arrays = registry.to_arrays()
+        restored = VoterRegistry.from_arrays(arrays)
+        again = restored.to_arrays()
+        assert set(arrays) == set(again)
+        for key, value in arrays.items():
+            assert np.array_equal(np.asarray(value), np.asarray(again[key])), key
+
+    def test_restore_keeps_columnar_mode_without_records(self, registry):
+        restored = VoterRegistry.from_arrays(registry.to_arrays())
+        assert restored.mode == "columnar"
+        assert restored._records is None  # no eager VoterRecord construction
+        assert restored.record_at(7) == registry.record_at(7)
+
+    def test_round_trip_through_mmap_tier(self, registry, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.save_arrays("registry", "k", registry.to_arrays(), mmapable=True)
+        loaded = cache.load_arrays("registry", "k")
+        assert isinstance(loaded["age"], np.memmap)
+        restored = VoterRegistry.from_arrays(loaded)
+        assert restored.mode == "columnar"
+        assert len(restored) == len(registry)
+        for key, value in registry.to_arrays().items():
+            assert np.array_equal(np.asarray(value), np.asarray(loaded[key])), key
+        assert restored.record_at(123) == registry.record_at(123)
+        # Downstream derivations run off the memmaps directly.
+        sc_live, sc_back = registry.study_columns(), restored.study_columns()
+        for key in sc_live:
+            assert np.array_equal(sc_live[key], sc_back[key]), key
+        assert restored.pii_keys(np.arange(8)) == registry.pii_keys(np.arange(8))
+
+    def test_cell_indices_survive_restore(self, registry):
+        restored = VoterRegistry.from_arrays(registry.to_arrays())
+        for race, gender, bucket in _STUDY_CELLS[:6]:
+            assert np.array_equal(
+                restored.cell_indices(race, gender, bucket),
+                registry.cell_indices(race, gender, bucket),
+            )
+
+    def test_reference_snapshot_stays_record_backed(self):
+        ref = _build(42, "reference", size=1_500)
+        arrays = ref.to_arrays()
+        assert "layout" not in arrays  # legacy per-record format
+        restored = VoterRegistry.from_arrays(arrays)
+        assert restored.mode == "reference"
+        assert restored.columns is None
+        assert restored.records[3] == ref.records[3]
+
+
+class TestMemoryGuard:
+    """Tier-1 guard: the columnar registry stays near ~20 B per record.
+
+    Per-record storage is 20 bytes of fixed-width codes; the dictionary
+    tables (names, streets, cities, ZIPs) amortise to under 4 B/record
+    at 25k records and vanish at state scale.  Regressing a code column
+    to int64 or storing strings per record blows well past the ceiling.
+    """
+
+    def test_bytes_per_record_bounded(self):
+        registry = _build(51, "columnar", size=25_000)
+        assert registry.columns.nbytes / len(registry) <= 24.0
+
+    def test_compact_dtypes_hold(self):
+        cols = _build(52, "columnar", size=2_000).columns
+        assert cols.gender.dtype == np.int8
+        assert cols.census_race.dtype == np.int8
+        assert cols.age.dtype == np.int16
+        assert cols.first_name.dtype == np.int16
+        assert cols.last_name.dtype == np.int16
+        assert cols.name_suffix.dtype == np.int32
+        assert cols.house_number.dtype == np.int16
+        assert cols.street.dtype == np.int16
+        assert cols.city.dtype == np.int16
+        assert cols.zip_code.dtype == np.int16
+
+    def test_nbytes_counts_tables(self):
+        cols = _build(53, "columnar", size=2_000).columns
+        total = sum(getattr(cols, name).nbytes for name in RegistryColumns._PER_RECORD)
+        total += sum(
+            getattr(cols, name).nbytes
+            for name in ("first_table", "last_table", "street_table", "city_table", "zip_table")
+        )
+        total += cols.zip_dma_code.nbytes + cols.zip_poverty.nbytes
+        assert cols.nbytes == total
