@@ -1,22 +1,31 @@
-"""Benchmark the delivery engine: vectorized vs reference, seed-world scale.
+"""Benchmark the delivery engine: vectorized vs reference, paired vs many.
 
-Runs one full 24-hour delivery day (eight paired ads over a broad custom
-audience, the shape of one Campaign-1 batch) in both engine modes on the
-paper-scale world, and appends one JSON record per mode to
-``BENCH_delivery.json`` at the repo root, so speedups are tracked across
-commits:
+Runs one full 24-hour delivery day and appends one JSON record per
+(mode, workers) to ``BENCH_delivery.json`` at the repo root, so speedups
+are tracked across commits:
 
     PYTHONPATH=src python scripts/bench_delivery.py
+    PYTHONPATH=src python scripts/bench_delivery.py --preset many --workers 4
+
+Two campaign presets:
+
+* ``paired`` (default) — eight paired ads over a broad 20k-user custom
+  audience, the shape of one Campaign-1 batch; runs the reference oracle
+  too and asserts the vectorized engine is at least 10x faster (unless
+  ``--no-check``), plus a ``vectorized+traced`` record carrying
+  ``trace_overhead_pct`` (target < 3%).
+* ``many`` — a heterogeneous portfolio (``--ads``, default 128, budgets
+  40–360, four overlapping audiences, mixed age caps and creatives), the
+  many-campaign regime of Ali et al.; vectorized only (the reference
+  loop at 128 ads is minutes, not seconds).
 
 Each record carries the median wall time over ``--rounds`` runs, the slot
-throughput, and the world scale.  The vectorized engine is expected to be
-at least 10x faster than the reference loop (asserted unless
-``--no-check``).
-
-A third record times the vectorized engine with tracing enabled
-(``mode="vectorized+traced"``) and carries ``trace_overhead_pct`` — the
-observability layer's wall-time cost, targeted below 3%.  Pass
-``--trace-out DIR`` to keep the traced run's journal + Chrome trace.
+throughput, ``n_ads``, ``n_workers`` and ``slots_per_sec_per_core``
+(throughput normalised by worker threads), so the many-campaign trajectory
+stays comparable across machines.  ``--workers N`` benches the parallel
+chunk scheduler next to the sequential engine.  ``--quick`` (used by the
+weekly CI job) runs one round and skips the trace-overhead phase.  Pass
+``--trace-out DIR`` to keep a traced run's journal + Chrome trace.
 """
 
 from __future__ import annotations
@@ -49,9 +58,33 @@ from repro.platform import (
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_delivery.json"
 BENCH_SEED = 7
 
+SCALES = {
+    "small": WorldConfig.small,
+    "paper": WorldConfig.paper,
+    "xl": WorldConfig.xl,
+}
 
-def build_day(world: SimulatedWorld):
-    """The benchmark workload: 8 paired ads over a 20k-user audience."""
+
+def _make_engine_factory(world: SimulatedWorld, store: AudienceStore, account: AdAccount):
+    def make_engine(mode: str, workers: int = 1) -> DeliveryEngine:
+        return DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(51)),
+            mobility=MobilityModel(np.random.default_rng(52)),
+            rng=np.random.default_rng(53),
+            mode=mode,
+            workers=workers,
+        )
+
+    return make_engine
+
+
+def build_paired(world: SimulatedWorld):
+    """The classic workload: 8 paired ads over a 20k-user audience."""
     store = AudienceStore(world.universe)
     users = world.universe.users[: min(20_000, len(world.universe.users))]
     audience = store.create_from_hashes("bench-all", [u.pii_hash for u in users])
@@ -72,30 +105,61 @@ def build_day(world: SimulatedWorld):
         ad = account.create_ad(adset, f"ad{i}", creative)
         ad.review_status = "APPROVED"
         ads.append(ad)
+    return ads, _make_engine_factory(world, store, account)
 
-    def make_engine(mode: str) -> DeliveryEngine:
-        return DeliveryEngine(
-            world.universe,
-            store,
-            account,
-            ear=world.ear,
-            engagement=world.engagement,
-            competition=CompetitionModel(np.random.default_rng(51)),
-            mobility=MobilityModel(np.random.default_rng(52)),
-            rng=np.random.default_rng(53),
-            mode=mode,
+
+def build_many(world: SimulatedWorld, n_ads: int):
+    """The many-campaign workload: a heterogeneous ``n_ads`` portfolio.
+
+    Budgets span 40–360 dollars, targeting cycles through four
+    overlapping custom audiences and mixed age caps, and creatives sweep
+    the race/gender/age feature grid — the competitive regime where
+    per-ad Python bookkeeping used to dominate the day.
+    """
+    store = AudienceStore(world.universe)
+    users = world.universe.users
+    n = len(users)
+    slices = [slice(0, n), slice(0, n // 2), slice(n // 4, n), slice(0, 3 * n // 4)]
+    audiences = [
+        store.create_from_hashes(
+            f"bench-many-{j}", [u.pii_hash for u in users[sl] if u.pii_hash]
         )
+        for j, sl in enumerate(slices)
+    ]
+    account = AdAccount(account_id="bench-delivery-many")
+    campaign = account.create_campaign("c", Objective.TRAFFIC)
+    budgets = [40, 90, 180, 360]
+    age_caps = [None, 54, 34, None]
+    ads = []
+    for i in range(n_ads):
+        targeting = TargetingSpec(
+            custom_audience_ids=(audiences[i % 4].audience_id,),
+            age_max=age_caps[i % 4],
+        )
+        adset = account.create_adset(campaign, f"as{i}", budgets[i % 4], targeting)
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=(i % 16) / 15.0,
+                gender_score=(i % 8) / 7.0,
+                age_years=22.0 + (i % 5) * 9,
+            ),
+        )
+        ad = account.create_ad(adset, f"ad{i}", creative)
+        ad.review_status = "APPROVED"
+        ads.append(ad)
+    return ads, _make_engine_factory(world, store, account)
 
-    return ads, make_engine
 
-
-def bench_mode(mode: str, ads, make_engine, rounds: int) -> dict:
+def bench_mode(mode: str, ads, make_engine, rounds: int, workers: int = 1) -> dict:
     """Median wall time of one delivery day in ``mode`` over ``rounds``."""
     times = []
     slots = 0
     impressions = 0
     for _ in range(rounds):
-        engine = make_engine(mode)
+        engine = make_engine(mode, workers)
         start = time.perf_counter()
         result = engine.run(ads)
         times.append(time.perf_counter() - start)
@@ -107,9 +171,19 @@ def bench_mode(mode: str, ads, make_engine, rounds: int) -> dict:
         "median_ms": round(median_s * 1000.0, 2),
         "slots": slots,
         "slots_per_sec": round(slots / median_s, 1),
+        "slots_per_sec_per_core": round(slots / median_s / workers, 1),
         "impressions": impressions,
         "rounds": rounds,
+        "n_workers": workers,
     }
+
+
+def _backfill(records: list[dict]) -> None:
+    """Give historical records the current schema (nulls, not guesses)."""
+    for record in records:
+        record.setdefault("n_workers", None)
+        record.setdefault("slots_per_sec_per_core", None)
+        record.setdefault("preset", None)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,7 +191,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=3, help="runs per mode (median)")
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
     parser.add_argument(
-        "--small", action="store_true", help="use the small test world (quick check)"
+        "--preset",
+        choices=("paired", "many"),
+        default="paired",
+        help="campaign portfolio: 8 paired ads, or a heterogeneous fleet",
+    )
+    parser.add_argument(
+        "--ads", type=int, default=128, help="fleet size for --preset many"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also bench the parallel chunk scheduler at this pool size",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=tuple(SCALES),
+        default="paper",
+        help="world size preset",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="alias for --scale small (kept for older invocations)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one round, no trace-overhead phase (the CI cron tier)",
     )
     parser.add_argument(
         "--no-check", action="store_true", help="skip the >=10x speedup assertion"
@@ -129,26 +231,35 @@ def main(argv: list[str] | None = None) -> int:
         help="write the traced run's journal.jsonl + trace.json here",
     )
     args = parser.parse_args(argv)
+    scale = "small" if args.small else args.scale
+    rounds = 1 if args.quick else args.rounds
 
-    config = WorldConfig.small(args.seed) if args.small else WorldConfig.paper(args.seed)
+    config = SCALES[scale](args.seed)
     print(f"building world (registry {config.registry_size}) ...", flush=True)
     world = SimulatedWorld(config)
-    ads, make_engine = build_day(world)
+    if args.preset == "many":
+        ads, make_engine = build_many(world, args.ads)
+        # The reference loop is O(slots × ads) Python; at 128 ads it is
+        # the thing this preset exists to avoid.
+        modes = ["vectorized"]
+    else:
+        ads, make_engine = build_paired(world)
+        modes = ["reference", "vectorized"]
 
     records = []
-    for mode in ("reference", "vectorized"):
+    common = {
+        "preset": args.preset,
+        "world": scale,
+        "seed": args.seed,
+        "n_users": len(world.universe.users),
+        "n_ads": len(ads),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    for mode in modes:
         # Reference is the slow baseline: one round is plenty.
-        rounds = 1 if mode == "reference" else args.rounds
-        record = bench_mode(mode, ads, make_engine, rounds)
-        record.update(
-            {
-                "world": "small" if args.small else "paper",
-                "seed": args.seed,
-                "n_users": len(world.universe.users),
-                "n_ads": len(ads),
-                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            }
-        )
+        mode_rounds = 1 if mode == "reference" else rounds
+        record = bench_mode(mode, ads, make_engine, mode_rounds)
+        record.update(common)
         records.append(record)
         print(
             f"{mode:>10}: {record['median_ms']:.1f} ms "
@@ -156,58 +267,72 @@ def main(argv: list[str] | None = None) -> int:
             f"{record['impressions']} impressions)",
             flush=True,
         )
+    if args.workers > 1:
+        record = bench_mode("vectorized", ads, make_engine, rounds, args.workers)
+        record.update(common)
+        records.append(record)
+        print(
+            f"{'vectorized':>10}: {record['median_ms']:.1f} ms "
+            f"({record['slots_per_sec']:.0f} slots/s over {args.workers} workers, "
+            f"{record['slots_per_sec_per_core']:.0f} slots/s/core)",
+            flush=True,
+        )
 
-    reference_ms = records[0]["median_ms"]
-    vectorized_ms = records[1]["median_ms"]
-    speedup = reference_ms / vectorized_ms
-    print(f"speedup: {speedup:.1f}x")
-    for record in records:
-        record["speedup_vs_reference"] = round(reference_ms / record["median_ms"], 2)
+    speedup = None
+    if "reference" in modes:
+        reference_ms = records[0]["median_ms"]
+        vectorized_ms = records[1]["median_ms"]
+        speedup = reference_ms / vectorized_ms
+        print(f"speedup: {speedup:.1f}x")
+        for record in records:
+            record["speedup_vs_reference"] = round(
+                reference_ms / record["median_ms"], 2
+            )
 
     # Tracing overhead: the same vectorized day with the tracer on.
     # Rounds are interleaved (off, on, off, on, ...) so cache/allocator
     # drift between phases cancels instead of biasing the comparison.
-    off_times, on_times = [], []
-    n_spans_per_run = 0
-    for _ in range(max(args.rounds, 3)):
-        engine = make_engine("vectorized")
-        start = time.perf_counter()
-        engine.run(ads)
-        off_times.append(time.perf_counter() - start)
-        engine = make_engine("vectorized")
-        with tracing() as tracer:
+    if not args.quick:
+        off_times, on_times = [], []
+        n_spans_per_run = 0
+        for _ in range(max(rounds, 3)):
+            engine = make_engine("vectorized")
             start = time.perf_counter()
             engine.run(ads)
-            on_times.append(time.perf_counter() - start)
-            n_spans_per_run = len(tracer.drain())
-    off_ms = statistics.median(off_times) * 1000.0
-    on_ms = statistics.median(on_times) * 1000.0
-    overhead_pct = (on_ms - off_ms) / off_ms * 100.0
-    traced = {
-        "mode": "vectorized+traced",
-        "median_ms": round(on_ms, 2),
-        "untraced_median_ms": round(off_ms, 2),
-        "trace_overhead_pct": round(overhead_pct, 2),
-        "spans_per_run": n_spans_per_run,
-        "rounds": max(args.rounds, 3),
-        "world": records[1]["world"],
-        "seed": args.seed,
-        "n_users": records[1]["n_users"],
-        "n_ads": len(ads),
-        "timestamp": records[1]["timestamp"],
-        "speedup_vs_reference": round(reference_ms / on_ms, 2),
-    }
-    records.append(traced)
-    print(
-        f"{'traced':>10}: {on_ms:.1f} ms vs {off_ms:.1f} ms untraced "
-        f"({n_spans_per_run} spans, overhead {overhead_pct:+.1f}%, target < 3%)"
-    )
+            off_times.append(time.perf_counter() - start)
+            engine = make_engine("vectorized")
+            with tracing() as tracer:
+                start = time.perf_counter()
+                engine.run(ads)
+                on_times.append(time.perf_counter() - start)
+                n_spans_per_run = len(tracer.drain())
+        off_ms = statistics.median(off_times) * 1000.0
+        on_ms = statistics.median(on_times) * 1000.0
+        overhead_pct = (on_ms - off_ms) / off_ms * 100.0
+        traced = {
+            "mode": "vectorized+traced",
+            "median_ms": round(on_ms, 2),
+            "untraced_median_ms": round(off_ms, 2),
+            "trace_overhead_pct": round(overhead_pct, 2),
+            "spans_per_run": n_spans_per_run,
+            "rounds": max(rounds, 3),
+            "n_workers": 1,
+            "slots_per_sec_per_core": None,
+        }
+        traced.update(common)
+        if speedup is not None:
+            traced["speedup_vs_reference"] = round(records[0]["median_ms"] / on_ms, 2)
+        records.append(traced)
+        print(
+            f"{'traced':>10}: {on_ms:.1f} ms vs {off_ms:.1f} ms untraced "
+            f"({n_spans_per_run} spans, overhead {overhead_pct:+.1f}%, target < 3%)"
+        )
 
     if args.trace_out is not None:
         from repro.obs.journal import RunJournal, RunManifest, write_run_artifacts
 
         with tracing() as tracer:
-            make_engine("vectorized").run(ads)
+            make_engine("vectorized", args.workers).run(ads)
             spans = tracer.drain()
         out = Path(args.trace_out)
         with RunJournal(out / "journal.jsonl") as journal:
@@ -226,11 +351,12 @@ def main(argv: list[str] | None = None) -> int:
     existing = []
     if OUT_PATH.exists():
         existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    _backfill(existing)
     existing.extend(records)
     OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
     print(f"appended {len(records)} records to {OUT_PATH}")
 
-    if not args.no_check and speedup < 10.0:
+    if speedup is not None and not args.no_check and speedup < 10.0:
         print("FAIL: vectorized engine is less than 10x the reference", file=sys.stderr)
         return 1
     return 0

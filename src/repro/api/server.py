@@ -87,6 +87,9 @@ class MarketingApiServer:
         Default :class:`~repro.platform.delivery.DeliveryEngine` mode for
         delivery requests ("vectorized" or "reference"); a request may
         override it with a ``mode`` parameter.
+    delivery_workers:
+        Default chunk-scoring thread count for vectorized delivery; a
+        request may override it with a ``workers`` parameter.
     """
 
     def __init__(
@@ -104,6 +107,7 @@ class MarketingApiServer:
         advertiser_bid: float = 0.30,
         value_noise_sigma: float = 0.5,
         delivery_mode: str = "vectorized",
+        delivery_workers: int = 1,
     ) -> None:
         self._universe = universe
         self._audiences = AudienceStore(universe)
@@ -119,6 +123,7 @@ class MarketingApiServer:
         self._advertiser_bid = advertiser_bid
         self._value_noise_sigma = value_noise_sigma
         self._delivery_mode = delivery_mode
+        self._delivery_workers = delivery_workers
         self._last_delivery: dict[str, DeliveryResult] = {}
         self._insights_by_ad: dict[str, AdInsights] = {}
         # staged uploads: audience id -> (name, accumulated hashes); an
@@ -478,6 +483,7 @@ class MarketingApiServer:
             hours=int(params.get("hours", 24)),
             value_noise_sigma=self._value_noise_sigma,
             mode=str(params.get("mode", self._delivery_mode)),
+            workers=int(params.get("workers", self._delivery_workers)),
         )
         result = engine.run(ads)
         self._last_delivery[account.account_id] = result

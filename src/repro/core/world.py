@@ -73,6 +73,11 @@ class WorldConfig:
     #: Delivery inner loop: "vectorized" (chunked batch auctions, the
     #: default) or "reference" (the original per-slot scalar loop).
     delivery_mode: str = "vectorized"
+    #: Chunk-scoring threads for the vectorized delivery engine.  1 (the
+    #: default) keeps the sequential adaptive-chunk schedule bit-for-bit;
+    #: >1 runs the fixed-schedule parallel scheduler (bit-identical
+    #: across pool sizes, statistically equivalent to 1).
+    delivery_workers: int = 1
     #: Universe construction: "columnar" (vectorized struct-of-arrays
     #: build, the default) or "reference" (the original scalar loop —
     #: rng-order faithful, statistically equivalent; the oracle the
@@ -95,6 +100,10 @@ class WorldConfig:
             raise ConfigurationError(f"unknown ear_mode {self.ear_mode!r}")
         if self.delivery_mode not in ("vectorized", "reference"):
             raise ConfigurationError(f"unknown delivery_mode {self.delivery_mode!r}")
+        if not isinstance(self.delivery_workers, int) or self.delivery_workers < 1:
+            raise ConfigurationError("delivery_workers must be a positive integer")
+        if self.delivery_workers > 1 and self.delivery_mode == "reference":
+            raise ConfigurationError("delivery_workers > 1 requires the vectorized mode")
         if self.universe_mode not in ("columnar", "reference"):
             raise ConfigurationError(f"unknown universe_mode {self.universe_mode!r}")
         if self.registry_mode not in ("columnar", "reference"):
@@ -275,6 +284,7 @@ class SimulatedWorld:
                 advertiser_bid=config.advertiser_bid,
                 value_noise_sigma=config.value_noise_sigma,
                 delivery_mode=config.delivery_mode,
+                delivery_workers=config.delivery_workers,
             )
         self._accounts: dict[str, AdAccount] = {}
 

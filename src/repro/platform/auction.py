@@ -86,12 +86,18 @@ def run_auctions_batch(
     runner-up (fewer than two biddable ads) contributes ``0.0``, matching
     the single-candidate convention of the scalar auction.
 
+    A ``float32`` value matrix is resolved in ``float32`` (the parallel
+    delivery path scores in single precision); any other dtype is
+    promoted to ``float64``.  Prices are always ``float64``.
+
     Raises
     ------
     DeliveryError
         If the matrix has no ads, or any competing bid is negative.
     """
-    values = np.asarray(total_values, dtype=float)
+    values = np.asarray(total_values)
+    if values.dtype != np.float32:
+        values = values.astype(float, copy=False)
     if values.ndim != 2 or values.shape[0] == 0:
         raise DeliveryError("auction with no candidates")
     bids = np.asarray(competing_bids, dtype=float)

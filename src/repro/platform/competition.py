@@ -88,6 +88,7 @@ class CompetitionModel:
             )
             for i, (bucket, gender, cluster, poverty) in enumerate(OBSERVED_CELLS)
         }
+        self._mu_arr = np.array([self._mu[i] for i in range(len(OBSERVED_CELLS))])
 
     def expected_price(self, observed_cell: int) -> float:
         """Median competing bid in one observed cell."""
@@ -99,5 +100,5 @@ class CompetitionModel:
 
     def sample_many(self, observed_cells: np.ndarray) -> np.ndarray:
         """Vectorised draw for a batch of slots."""
-        mus = np.array([self._mu[int(c)] for c in observed_cells])
+        mus = self._mu_arr[observed_cells]
         return np.exp(mus + self._sigma * self._rng.standard_normal(mus.shape[0]))

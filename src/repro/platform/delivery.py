@@ -10,36 +10,64 @@ clicks with the *ground-truth* probability (the click outcome feeds
 reporting, not the pretrained EAR — a 24-hour run does not retrain the
 model, matching how the audited platform behaves within one campaign).
 
-Scoring is vectorised over user cells: an ad's total value depends on the
-user only through the observed cell, so each control interval rebuilds a
-small (n_ads × 24) value matrix.
+Scoring is vectorised over user cells *and over ads*: an ad's total value
+depends on the user only through the observed cell, so each control
+interval rebuilds a small (n_ads × 24) value matrix, and every per-chunk
+step — scoring, the auction, the over-budget cutoff scan, spend commits
+and insights recording — is an array operation over the whole ad fleet.
+The engine scales past hundreds of concurrent campaigns: per-ad state
+lives in the columnar :class:`~repro.platform.pacing.PacingController`
+and the two ad-by-user tables (targeting eligibility and the re-exposure
+"seen" store) are bit-packed
+(:class:`~repro.platform.bitset.PackedBitMatrix`, 8 users/byte), so 256
+ads over a 10M-user universe cost ~320 MB per table instead of 2.5 GB.
 
-Two engine modes share all setup and differ only in the inner loop:
+Three inner loops share all setup:
 
-* ``mode="vectorized"`` (default) resolves slots in *chunks*: per chunk
-  it gathers an ``(n_ads, n_slots_in_chunk)`` total-value matrix by fancy
-  indexing the per-cell values, applies value noise as one matrix draw
-  and the repeat-affinity boost from a dense seen matrix, and settles
-  every auction with :func:`repro.platform.auction.run_auctions_batch`.
-  Budget exhaustion is the only cross-slot dependency, so chunks are
-  sized adaptively from each ad's remaining budget ÷ its current maximum
-  price; if noise pushes an ad over budget mid-chunk anyway, the chunk is
-  truncated at the first over-budget win and the tail is reprocessed with
-  the updated alive mask — an ad can therefore exhaust at most once per
-  committed chunk, and spend never exceeds budget.
+* ``mode="vectorized"``, ``workers=1`` (default) resolves slots in
+  *chunks*: per chunk it gathers an ``(n_ads, n_slots_in_chunk)``
+  total-value matrix by fancy indexing the per-cell values, applies value
+  noise as one matrix draw and the repeat-affinity boost from the seen
+  store, and settles every auction with
+  :func:`repro.platform.auction.run_auctions_batch`.  Budget exhaustion
+  is the only cross-slot dependency, so chunks are sized adaptively from
+  each ad's remaining budget ÷ its current maximum price; if noise pushes
+  an ad over budget mid-chunk anyway, the chunk is truncated at the first
+  over-budget win and the tail is reprocessed with the updated alive
+  mask — an ad can therefore exhaust at most once per committed chunk,
+  and spend never exceeds budget.
+* ``mode="vectorized"``, ``workers>1`` runs the same chunk kernel on a
+  :class:`~concurrent.futures.ThreadPoolExecutor`: scoring+auction is a
+  pure NumPy function over shared read-only columns (the hot ufuncs and
+  sorts release the GIL), chunk boundaries and per-chunk RNG streams are
+  fixed at the top of each hour, and the main thread commits chunks in
+  deterministic chunk order, re-settling a chunk from its scored value
+  matrix whenever the alive fleet shrank since scoring.  The kernel
+  scores in single precision (the value model is far coarser than seven
+  significant digits and the lognormal noise dominates; committed prices
+  stay ``float64``), halving the memory traffic of the gather, noise,
+  boost and auction passes.  Results are bit-identical for every
+  ``workers>1`` value (the schedule does not depend on the pool size)
+  and statistically equivalent to ``workers=1``; the seen store and
+  pacing ledger are only written between scoring waves, so the kernel
+  never races them.
 * ``mode="reference"`` keeps the original one-Python-auction-per-slot
   loop and its exact RNG stream, as a behavioural oracle for equivalence
   tests.
 
-The two modes draw different random-number *streams* (a chunk consumes
-one matrix-shaped draw where the reference loop consumes one vector per
-slot), so individual runs differ slot-by-slot; aggregate delivery
-statistics agree within sampling error (asserted by
+The modes draw different random-number *streams* (a chunk consumes one
+matrix-shaped draw where the reference loop consumes one vector per
+slot, and the parallel scheduler seeds one stream per chunk), so
+individual runs differ slot-by-slot; aggregate delivery statistics agree
+within sampling error (asserted by
 ``tests/platform/test_delivery_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,7 +76,8 @@ from repro.errors import DeliveryError
 from repro.geo.mobility import MobilityModel
 from repro.obs.tracer import get_tracer
 from repro.platform.audience import AudienceStore
-from repro.platform.auction import run_auction, run_auctions_batch
+from repro.platform.auction import BatchAuctionOutcome, run_auction, run_auctions_batch
+from repro.platform.bitset import PackedBitMatrix
 from repro.platform.campaign import Ad, AdAccount
 from repro.platform.cells import CELLS_PER_AGE_GENDER
 from repro.platform.competition import CompetitionModel
@@ -68,6 +97,180 @@ __all__ = ["DeliveryEngine", "DeliveryResult"]
 #: the upper bound caps transient memory at (n_ads × 4096) doubles.
 _MIN_CHUNK = 256
 _MAX_CHUNK = 4096
+
+#: Chunk floor for the parallel scheduler.  The sequential engine sizes
+#: chunks so no ad exhausts mid-chunk (cheap truncation mattered more
+#: than per-chunk overhead when chunks were re-planned after every
+#: commit); the parallel scheduler fixes its schedule per hour anyway, so
+#: it prefers fewer, larger chunks — per-call numpy overhead dominates
+#: small fleets' matrices — and pays the rare mid-chunk exhaustion with
+#: an exact truncate-and-resettle at commit time.
+_PARALLEL_CHUNK = 2048
+
+_NEG_INF = float("-inf")
+
+
+def chunk_limit(
+    remaining: np.ndarray,
+    alive: np.ndarray,
+    values: np.ndarray,
+    repeat_affinity: float,
+) -> int:
+    """Adaptive chunk size: no alive ad should exhaust more than once.
+
+    Sized from each alive ad's remaining budget ÷ its maximum possible
+    noise-free price, so a chunk rarely straddles an exhaustion; value
+    noise can still push an ad over early, which the truncate-and-
+    reprocess path handles exactly.  One array pass over the fleet —
+    equal, ad for ad, to the per-ad Python loop it replaced (truncation
+    commutes with the minimum over ads).
+    """
+    max_price = values.max(axis=1) * repeat_affinity
+    constrained = alive & (max_price > 0)
+    if not constrained.any():
+        return _MAX_CHUNK
+    tightest = float((remaining[constrained] / max_price[constrained]).min())
+    return max(min(_MAX_CHUNK, int(tightest) + 1), _MIN_CHUNK)
+
+
+def score_chunk(
+    values: np.ndarray,
+    cells: np.ndarray,
+    uids: np.ndarray,
+    competing: np.ndarray,
+    rng: np.random.Generator,
+    seen: PackedBitMatrix,
+    eligibility: PackedBitMatrix,
+    alive: np.ndarray,
+    noise_sigma: float,
+    repeat_affinity: float,
+):
+    """Score one chunk of slots and settle its auctions.
+
+    The pure delivery kernel: NumPy only, no engine state, every input
+    read-only — safe to run on a worker thread (the matrix ufuncs, the
+    RNG fill and the auction's argmax/partition all release the GIL).
+    ``cells`` holds the slots' observed cells (parallel to ``uids``); the
+    candidate matrix inherits the dtype of ``values``, so the parallel
+    scheduler scores in ``float32`` by handing over a single-precision
+    value table while ``workers=1`` keeps ``float64``.  Returns the
+    masked ``(n_ads, n_slots)`` candidate matrix (kept so a commit can
+    re-settle the chunk if the alive fleet shrank since scoring) and the
+    :class:`~repro.platform.auction.BatchAuctionOutcome`.
+    """
+    # Every mutation below is in place on chunk-private arrays: the same
+    # float ops an allocating np.where chain would run (bit-identical
+    # results), minus one full-matrix temporary per step.  The masked
+    # steps use ufunc ``where=`` stores rather than boolean fancy
+    # indexing (identical elementwise results, no gather/scatter of the
+    # selected entries).
+    cand = values[:, cells]
+    if noise_sigma > 0:
+        noise = rng.standard_normal(cand.shape, dtype=cand.dtype)
+        noise *= noise_sigma
+        np.exp(noise, out=noise)
+        cand *= noise
+    if repeat_affinity > 1.0 and seen.any_set:
+        boosted = seen.gather(uids)
+        np.multiply(cand, repeat_affinity, out=cand, where=boosted)
+    biddable = eligibility.gather(uids)
+    biddable &= alive[:, None]
+    np.copyto(cand, _NEG_INF, where=np.logical_not(biddable, out=biddable))
+    return cand, run_auctions_batch(cand, competing)
+
+
+def _score_chunk_task(args) -> tuple:
+    """Pool entry point: run the kernel, tag the scoring thread's name."""
+    cand, outcome = score_chunk(*args)
+    return threading.current_thread().name, cand, outcome
+
+
+def find_cutoff(
+    win_slots: np.ndarray,
+    win_ads: np.ndarray,
+    win_prices: np.ndarray,
+    remaining: np.ndarray,
+) -> tuple[int, int, float] | None:
+    """Earliest over-budget win in a chunk, or ``None``.
+
+    Returns ``(relative slot, ad index, capped price)`` — the slot at
+    which some ad's cumulative chunk spend first reaches its remaining
+    budget, and the balance its exhausting impression may bill.  Spend is
+    the only cross-slot dependency, so everything before that slot is
+    exactly what the sequential engine would have committed.
+
+    One sorted-segment pass over the fleet: per-ad ``reduceat`` totals
+    prefilter the ads that can possibly exhaust, and only those few run
+    the exact per-ad cumulative scan — bit-identical to the all-ads
+    Python loop it replaced (segment totals and the sequential cumsum
+    can disagree by a few ulp around the threshold, so the prefilter
+    keeps a safety margin and only the exact scan decides).
+    """
+    if win_slots.size == 0:
+        return None
+    order = np.argsort(win_ads, kind="stable")
+    ads = win_ads[order]
+    prices = win_prices[order]
+    slots = win_slots[order]
+    unique_ads, starts = np.unique(ads, return_index=True)
+    bounds = np.append(starts, ads.size)
+    totals = np.add.reduceat(prices, starts)
+    budgets_left = remaining[unique_ads]
+    margin = 1e-9 * (np.abs(totals) + np.abs(budgets_left) + 1.0)
+    cutoff: tuple[int, int, float] | None = None
+    for k in np.flatnonzero(totals >= budgets_left - margin):
+        s, e = int(bounds[k]), int(bounds[k + 1])
+        cum = np.cumsum(prices[s:e])
+        over = np.flatnonzero(cum >= budgets_left[k])
+        if over.size:
+            rel = int(slots[s:e][over[0]])
+            if cutoff is None or rel < cutoff[0]:
+                spent_before = float(cum[over[0]]) - float(prices[s:e][over[0]])
+                cutoff = (rel, int(unique_ads[k]), float(budgets_left[k]) - spent_before)
+    return cutoff
+
+
+def resettle_dead(
+    cand: np.ndarray,
+    outcome: BatchAuctionOutcome,
+    competing: np.ndarray,
+    newly_dead: np.ndarray,
+) -> BatchAuctionOutcome:
+    """Re-settle a chunk's auctions after ads in ``newly_dead`` exhausted.
+
+    A dead ad can only have influenced a slot it won or whose price it
+    set (it was the runner-up), and both require its value to be at least
+    the settled price; market-won slots never depend on study ads'
+    internal ordering.  So instead of re-auctioning the full
+    ``(n_ads, n_slots)`` matrix, mask the dead rows and re-run only the
+    affected study-won columns — for a fleet where one small-budget ad
+    exhausts, that is a handful of columns instead of the whole chunk.
+    The patched outcome equals a full re-auction on the masked matrix in
+    every field the commit path reads (``winning_values`` of market-won
+    slots may keep the dead ad's value; nothing reads them).
+
+    ``cand`` is mutated: the dead rows are set to ``-inf``.
+    """
+    dead_max = cand[newly_dead, :].max(axis=0)
+    cand[newly_dead, :] = _NEG_INF
+    winner = outcome.winner_indices
+    # newly_dead[winner] reads a junk entry where winner is -1; the
+    # leading winner >= 0 term masks those slots out.
+    affected = (winner >= 0) & (
+        newly_dead[winner] | (dead_max >= outcome.prices)
+    )
+    if not affected.any():
+        return outcome
+    sub = run_auctions_batch(cand[:, affected], competing[affected])
+    winner = winner.copy()
+    prices = outcome.prices.copy()
+    winning = outcome.winning_values.copy()
+    winner[affected] = sub.winner_indices
+    prices[affected] = sub.prices
+    winning[affected] = sub.winning_values
+    return BatchAuctionOutcome(
+        winner_indices=winner, prices=prices, winning_values=winning
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +329,13 @@ class DeliveryEngine:
         ``"reference"`` runs the original per-slot Python loop.  The two
         agree statistically but consume different RNG streams (see the
         module docstring).
+    workers:
+        Number of chunk-scoring threads for the vectorized engine.  The
+        default 1 keeps the sequential adaptive-chunk schedule (and its
+        exact RNG stream); any ``workers>1`` runs the fixed-schedule
+        parallel scheduler, whose results are bit-identical across pool
+        sizes and statistically equivalent to ``workers=1``.  Rejected
+        for ``mode="reference"``.
     """
 
     def __init__(
@@ -145,6 +355,7 @@ class DeliveryEngine:
         value_noise_sigma: float = 0.5,
         repeat_affinity: float = 2.5,
         mode: str = "vectorized",
+        workers: int = 1,
     ) -> None:
         if advertiser_bid <= 0:
             raise DeliveryError("advertiser_bid must be positive")
@@ -156,6 +367,10 @@ class DeliveryEngine:
             raise DeliveryError("repeat_affinity must be at least 1.0")
         if mode not in ("vectorized", "reference"):
             raise DeliveryError(f"unknown delivery mode {mode!r}")
+        if not isinstance(workers, int) or workers < 1:
+            raise DeliveryError("workers must be a positive integer")
+        if workers > 1 and mode == "reference":
+            raise DeliveryError("workers > 1 requires the vectorized mode")
         self._universe = universe
         self._audiences = audience_store
         self._account = account
@@ -170,15 +385,23 @@ class DeliveryEngine:
         self._noise_sigma = value_noise_sigma
         self._repeat_affinity = repeat_affinity
         self._mode = mode
+        self._workers = workers
         # The process-local tracer; a no-op unless tracing is enabled.
         # Spans never touch self._rng, so traced and untraced runs are
-        # bit-identical (tests/obs/test_overhead.py).
+        # bit-identical (tests/obs/test_overhead.py).  Only the main
+        # thread emits spans: chunk workers run the pure kernel and the
+        # commit loop labels each chunk span with its scoring thread.
         self._tracer = get_tracer()
 
     @property
     def mode(self) -> str:
         """Which inner loop this engine runs ("vectorized" or "reference")."""
         return self._mode
+
+    @property
+    def workers(self) -> int:
+        """Chunk-scoring thread count of the vectorized engine."""
+        return self._workers
 
     # -- shared setup -----------------------------------------------------
 
@@ -202,27 +425,47 @@ class DeliveryEngine:
         pacing = PacingController(horizon_hours=float(self._hours), plan_weights=plan)
         quality_vec = np.empty(n_ads)
         members_map = self._audiences.members_map()
-        eligibility = np.zeros((n_ads, n_users), dtype=bool)
+        eligibility = PackedBitMatrix(n_ads, n_users)
         ear_rows = []
         gt_rows = []
+        # Large fleets reuse creatives and targeting specs heavily (the
+        # many-campaign benchmark cycles a handful of audiences over
+        # hundreds of ads), and all three derivations are deterministic in
+        # their keys — memoise per distinct key instead of per ad.
+        ear_cache: dict = {}
+        gt_cache: dict = {}
+        mask_cache: dict = {}
         for i, ad in enumerate(deliverable):
             adset = self._account.adset_of(ad)
             image = ad.creative.effective_image()
             job = ad.creative.job_category()
             objective = self._account.campaign_of(ad).objective
-            ear_rows.append(
-                objective_scores(self._ear.score_vector(image, job), objective)
-            )
-            gt_rows.append(self._engagement.probability_vector(image, job))
+            ear_key = (image, job, objective)
+            ear_row = ear_cache.get(ear_key)
+            if ear_row is None:
+                ear_row = ear_cache[ear_key] = objective_scores(
+                    self._ear.score_vector(image, job), objective
+                )
+            ear_rows.append(ear_row)
+            gt_row = gt_cache.get((image, job))
+            if gt_row is None:
+                gt_row = gt_cache[(image, job)] = (
+                    self._engagement.probability_vector(image, job)
+                )
+            gt_rows.append(gt_row)
             quality_vec[i] = self._quality.score(ad.creative)
             # Start below equilibrium so early hours do not burn the budget
             # at inflated self-competition prices; the controller raises the
             # multiplier if the ad falls behind plan.
             pacing.register(ad.ad_id, adset.daily_budget_dollars, initial_multiplier=0.3)
-            mask = adset.targeting.eligible_mask(self._universe, members_map)
+            mask = mask_cache.get(adset.targeting)
+            if mask is None:
+                mask = mask_cache[adset.targeting] = (
+                    adset.targeting.eligible_mask(self._universe, members_map)
+                )
             if not mask.any():
                 raise DeliveryError(f"ad {ad.ad_id} targets an empty audience")
-            eligibility[i] = mask
+            eligibility.set_row(i, mask)
         ear_matrix = np.array(ear_rows)
         gt_matrix = np.array(gt_rows)
         ad_ids = [ad.ad_id for ad in deliverable]
@@ -237,12 +480,15 @@ class DeliveryEngine:
             If no ad is approved for delivery.
         """
         with self._tracer.span(
-            "delivery.day", {"mode": self._mode, "hours": self._hours}
+            "delivery.day",
+            {"mode": self._mode, "hours": self._hours, "workers": self._workers},
         ) as span:
             setup = self._setup(ads)
             span.set("n_ads", len(setup[0]))
             if self._mode == "reference":
                 result = self._run_reference(*setup)
+            elif self._workers > 1:
+                result = self._run_parallel(*setup)
             else:
                 result = self._run_vectorized(*setup)
             span.set("slots", result.total_slots)
@@ -267,7 +513,6 @@ class DeliveryEngine:
         insights = InsightsStore()
         total_slots = 0
         market_wins = 0
-        neg_inf = float("-inf")
         # ads already shown per user (revealed-interest re-exposure boost)
         shown_to: dict[int, list[int]] = {}
 
@@ -300,7 +545,7 @@ class DeliveryEngine:
                     uid = int(slot_users[slot_idx])
                     cell = int(obs_cell[uid])
                     candidate = np.where(
-                        eligibility[:, uid] & alive, values[:, cell], neg_inf
+                        eligibility.column(uid) & alive, values[:, cell], _NEG_INF
                     )
                     if self._noise_sigma > 0:
                         candidate = candidate * np.exp(
@@ -338,22 +583,49 @@ class DeliveryEngine:
 
     # -- vectorized mode: chunked batch auctions --------------------------
 
-    def _chunk_limit(self, pacing, ad_ids, alive, values) -> int:
-        """Adaptive chunk size: no alive ad should exhaust more than once.
+    def _hour_traffic(self, hour: int, rates: np.ndarray, obs_cell: np.ndarray):
+        """Sample one hour's slot users (shuffled), their cells and bids."""
+        session_counts = self._rng.poisson(
+            rates * (diurnal_weight(hour % 24) / 24.0)
+        )
+        slot_users = np.repeat(np.arange(rates.shape[0]), session_counts)
+        self._rng.shuffle(slot_users)
+        if slot_users.size == 0:
+            return slot_users, None, None
+        slot_cells = obs_cell[slot_users]
+        return slot_users, slot_cells, self._competition.sample_many(slot_cells)
 
-        Sized from each alive ad's remaining budget ÷ its maximum possible
-        noise-free price, so a chunk rarely straddles an exhaustion; value
-        noise can still push an ad over early, which the truncate-and-
-        reprocess path in :meth:`_run_vectorized` handles exactly.
+    def _record_hour(
+        self, insights, ad_ids, hour, hour_uids, hour_ads, hour_prices,
+        gt_matrix, gt_cell, age_gender_codes, home_dma_codes,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Push one settled hour through clicks, mobility and reporting.
+
+        Returns the concatenated (win uids, win ads) for callers that
+        defer seen-store updates to the end of the hour.
         """
-        limit = _MAX_CHUNK
-        for i in np.flatnonzero(alive):
-            max_price = float(values[i].max()) * self._repeat_affinity
-            if max_price <= 0:
-                continue
-            remaining = pacing.state(ad_ids[i]).remaining
-            limit = min(limit, int(remaining / max_price) + 1)
-        return max(limit, _MIN_CHUNK)
+        w_uids = np.concatenate(hour_uids)
+        w_ads = np.concatenate(hour_ads)
+        w_prices = np.concatenate(hour_prices)
+        with self._tracer.span(
+            "delivery.engagement", {"hour": hour, "wins": int(w_uids.size)}
+        ):
+            clicked = (
+                self._rng.random(w_uids.size) < gt_matrix[w_ads, gt_cell[w_uids]]
+            )
+            dma_codes = self._mobility.locate_batch(home_dma_codes[w_uids])
+        with self._tracer.span("delivery.insights", {"hour": hour}):
+            insights.record_hour(
+                ad_ids,
+                w_ads,
+                w_uids,
+                age_gender_codes[w_uids],
+                dma_codes,
+                w_prices,
+                clicked,
+                hour=hour,
+            )
+        return w_uids, w_ads
 
     def _run_vectorized(
         self, deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
@@ -369,29 +641,23 @@ class DeliveryEngine:
         insights = InsightsStore()
         total_slots = 0
         market_wins = 0
-        neg_inf = float("-inf")
-        # Dense (ad, user) re-exposure matrix: the boost is binary (an ad
-        # seen once or thrice boosts the same), so bools suffice.
-        seen = np.zeros((n_ads, n_users), dtype=bool)
+        # Re-exposure store: the boost is binary (an ad seen once or
+        # thrice boosts the same), so one bit per (ad, user) suffices.
+        seen = PackedBitMatrix(n_ads, n_users)
 
         for hour in range(self._hours):
             with self._tracer.span("delivery.pacing", {"hour": hour}):
                 pacing.control_all(float(hour))
-                alive = pacing.alive_mask(ad_ids)
+                alive = pacing.alive_array()
             if not alive.any():
                 break
-            multipliers = np.array([pacing.multiplier(ad_id) for ad_id in ad_ids])
+            multipliers = pacing.multiplier_array()
             values = (multipliers[:, None] * self._bid) * ear_matrix + quality_vec[:, None]
 
-            session_counts = self._rng.poisson(
-                rates * (diurnal_weight(hour % 24) / 24.0)
-            )
-            slot_users = np.repeat(np.arange(n_users), session_counts)
-            self._rng.shuffle(slot_users)
+            slot_users, slot_cells, competing = self._hour_traffic(hour, rates, obs_cell)
             n_slots = int(slot_users.size)
             if n_slots == 0:
                 continue
-            competing = self._competition.sample_many(obs_cell[slot_users])
             total_slots += n_slots
 
             # Committed wins of this hour, batched through clicks, mobility
@@ -407,22 +673,19 @@ class DeliveryEngine:
                     # rest of the hour's slots.
                     market_wins += n_slots - pos
                     break
-                end = min(pos + self._chunk_limit(pacing, ad_ids, alive, values), n_slots)
+                limit = chunk_limit(
+                    pacing.remaining_array(), alive, values, self._repeat_affinity
+                )
+                end = min(pos + limit, n_slots)
                 with self._tracer.span(
                     "delivery.auction_chunk", {"hour": hour, "slots": int(end - pos)}
                 ) as chunk_span:
                     uids = slot_users[pos:end]
-                    cand = values[:, obs_cell[uids]]
-                    if self._noise_sigma > 0:
-                        cand = cand * np.exp(
-                            self._noise_sigma * self._rng.standard_normal(cand.shape)
-                        )
-                    if self._repeat_affinity > 1.0:
-                        cand = np.where(seen[:, uids], cand * self._repeat_affinity, cand)
-                    cand = np.where(
-                        eligibility[:, uids] & alive[:, None], cand, neg_inf
+                    cand, batch = score_chunk(
+                        values, slot_cells[pos:end], uids, competing[pos:end],
+                        self._rng, seen, eligibility, alive,
+                        self._noise_sigma, self._repeat_affinity,
                     )
-                    batch = run_auctions_batch(cand, competing[pos:end])
 
                     win_slots = np.flatnonzero(batch.winner_indices >= 0)
                     win_ads = batch.winner_indices[win_slots]
@@ -431,19 +694,9 @@ class DeliveryEngine:
                     # Find the earliest over-budget win, if any: spend is the
                     # only cross-slot dependency, so everything before it is
                     # exactly what the sequential engine would have committed.
-                    cutoff = None  # (relative slot, ad index, capped price)
-                    for a in np.unique(win_ads):
-                        of_ad = win_ads == a
-                        cum = np.cumsum(win_prices[of_ad])
-                        remaining = pacing.state(ad_ids[a]).remaining
-                        over = np.flatnonzero(cum >= remaining)
-                        if over.size:
-                            rel = int(win_slots[of_ad][over[0]])
-                            if cutoff is None or rel < cutoff[0]:
-                                spent_before = float(cum[over[0]]) - float(
-                                    win_prices[of_ad][over[0]]
-                                )
-                                cutoff = (rel, int(a), remaining - spent_before)
+                    cutoff = find_cutoff(
+                        win_slots, win_ads, win_prices, pacing.remaining_array()
+                    )
 
                     if cutoff is None:
                         committed = slice(None)
@@ -459,44 +712,234 @@ class DeliveryEngine:
                         c_prices[-1] = min(c_prices[-1], cutoff[2])
                     c_uids = uids[c_slots]
 
-                    for a in np.unique(c_ads):
-                        pacing.record_spend(ad_ids[a], float(c_prices[c_ads == a].sum()))
-                    seen[c_ads, c_uids] = True
+                    pacing.record_spend_batch(c_ads, c_prices)
+                    seen.set(c_ads, c_uids)
                     market_wins += int(next_pos - pos) - int(c_slots.size)
                     hour_uids.append(c_uids)
                     hour_ads.append(c_ads)
                     hour_prices.append(c_prices)
                     if cutoff is not None:
-                        alive = pacing.alive_mask(ad_ids)
+                        alive = pacing.alive_array()
                     chunk_span.set("wins", int(c_slots.size))
+                    chunk_span.set("worker", "main")
                     pos = next_pos
 
             if not hour_uids:
                 continue
-            w_uids = np.concatenate(hour_uids)
-            if w_uids.size == 0:
+            if sum(int(u.size) for u in hour_uids) == 0:
                 continue
-            w_ads = np.concatenate(hour_ads)
-            w_prices = np.concatenate(hour_prices)
-            with self._tracer.span(
-                "delivery.engagement", {"hour": hour, "wins": int(w_uids.size)}
-            ):
-                clicked = (
-                    self._rng.random(w_uids.size) < gt_matrix[w_ads, gt_cell[w_uids]]
+            self._record_hour(
+                insights, ad_ids, hour, hour_uids, hour_ads, hour_prices,
+                gt_matrix, gt_cell, age_gender_codes, home_dma_codes,
+            )
+
+        return DeliveryResult(
+            insights=insights,
+            total_slots=total_slots,
+            market_wins=market_wins,
+            total_spend=insights.total_spend(),
+        )
+
+    # -- parallel vectorized mode: threaded chunk workers ------------------
+
+    def _commit_chunk(
+        self, pacing, cand, outcome, competing, uids, alive_snapshot,
+        hour_uids, hour_ads, hour_prices,
+    ) -> tuple[int, int]:
+        """Settle one scored chunk against the live budget ledger.
+
+        Runs on the main thread, in deterministic chunk order.  If the
+        alive fleet shrank after the chunk was scored, the chunk is
+        re-settled from its kept candidate matrix via
+        :func:`resettle_dead` (same noise draw, dead rows masked), so the
+        committed outcome depends only on the committed state before it —
+        never on worker timing or the submission window.  Over-budget
+        cutoffs truncate-and-resettle within the chunk exactly like the
+        sequential engine.  Returns (wins committed, market wins).
+        """
+        n_chunk = int(uids.size)
+        alive_used = alive_snapshot
+        wins_committed = 0
+        market = 0
+        base = 0
+        # The loop keeps only the unsettled tail of the outcome (columns
+        # from ``base`` on): committed columns are never re-read, so the
+        # re-settles after an exhaustion scan only what is left.
+        w_tail = outcome.winner_indices
+        p_tail = outcome.prices
+        v_tail = outcome.winning_values
+        while base < n_chunk:
+            alive_now = pacing.alive_array()
+            if not np.array_equal(alive_now, alive_used):
+                sub = resettle_dead(
+                    cand[:, base:],
+                    BatchAuctionOutcome(
+                        winner_indices=w_tail, prices=p_tail, winning_values=v_tail
+                    ),
+                    competing[base:],
+                    alive_used & ~alive_now,
                 )
-                dma_codes = self._mobility.locate_batch(home_dma_codes[w_uids])
-            with self._tracer.span("delivery.insights", {"hour": hour}):
-                for a in np.unique(w_ads):
-                    of_ad = w_ads == a
-                    insights.record_batch(
-                        ad_ids[a],
-                        w_uids[of_ad],
-                        age_gender_codes[w_uids[of_ad]],
-                        dma_codes[of_ad],
-                        w_prices[of_ad],
-                        clicked[of_ad],
-                        hour=hour,
-                    )
+                w_tail, p_tail, v_tail = (
+                    sub.winner_indices, sub.prices, sub.winning_values
+                )
+                alive_used = alive_now
+            win_rel = np.flatnonzero(w_tail >= 0)
+            win_ads = w_tail[win_rel]
+            win_prices = p_tail[win_rel]
+            cutoff = find_cutoff(
+                win_rel, win_ads, win_prices, pacing.remaining_array()
+            )
+            if cutoff is None:
+                c_rel, c_ads = win_rel, win_ads
+                c_prices = win_prices.copy()
+                settled = int(w_tail.size)
+            else:
+                committed = win_rel <= cutoff[0]
+                c_rel = win_rel[committed]
+                c_ads = win_ads[committed]
+                c_prices = win_prices[committed].copy()
+                if c_rel.size:
+                    # The exhausting impression bills at most the balance.
+                    c_prices[-1] = min(c_prices[-1], cutoff[2])
+                settled = cutoff[0] + 1
+            pacing.record_spend_batch(c_ads, c_prices)
+            hour_uids.append(uids[base + c_rel])
+            hour_ads.append(c_ads)
+            hour_prices.append(c_prices)
+            wins_committed += int(c_rel.size)
+            market += settled - int(c_rel.size)
+            base += settled
+            if cutoff is None:
+                break
+            # Loop: the spend we just recorded exhausted an ad, so the
+            # next pass re-settles the remaining columns with the
+            # shrunken fleet (reusing the chunk's noise draw) before
+            # committing the tail.
+            w_tail = w_tail[settled:]
+            p_tail = p_tail[settled:]
+            v_tail = v_tail[settled:]
+        return wins_committed, market
+
+    def _run_parallel(
+        self, deliverable, ad_ids, pacing, ear_matrix, gt_matrix, quality_vec, eligibility
+    ) -> DeliveryResult:
+        n_users = len(self._universe)
+        obs_cell = self._universe.obs_cell_array
+        gt_cell = self._universe.gt_cell_array
+        rates = self._universe.activity_rates
+        home_dma_codes = self._universe.home_dma_code_array
+        age_gender_codes = obs_cell // CELLS_PER_AGE_GENDER
+        n_ads = len(deliverable)
+
+        insights = InsightsStore()
+        total_slots = 0
+        market_wins = 0
+        seen = PackedBitMatrix(n_ads, n_users)
+
+        with ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="delivery-worker"
+        ) as pool:
+            for hour in range(self._hours):
+                with self._tracer.span("delivery.pacing", {"hour": hour}):
+                    pacing.control_all(float(hour))
+                    alive_hour = pacing.alive_array()
+                if not alive_hour.any():
+                    break
+                multipliers = pacing.multiplier_array()
+                values = (
+                    multipliers[:, None] * self._bid
+                ) * ear_matrix + quality_vec[:, None]
+                # The kernel scores in single precision; the budget-driven
+                # chunk sizing below keeps the double-precision table.
+                score_values = values.astype(np.float32)
+
+                slot_users, slot_cells, competing = self._hour_traffic(
+                    hour, rates, obs_cell
+                )
+                n_slots = int(slot_users.size)
+                if n_slots == 0:
+                    continue
+                total_slots += n_slots
+
+                # Fixed schedule for the hour: chunk boundaries from the
+                # hour-start ledger, one spawned RNG stream per chunk
+                # (SFC64 — the fastest BitGenerator numpy ships; the
+                # sequential path keeps the engine's own generator).
+                # Nothing below depends on the pool size, so any
+                # ``workers>1`` run commits bit-identical results.
+                chunk = max(
+                    chunk_limit(
+                        pacing.remaining_array(), alive_hour, values,
+                        self._repeat_affinity,
+                    ),
+                    _PARALLEL_CHUNK,
+                )
+                n_chunks = -(-n_slots // chunk)
+                entropy = int(self._rng.integers(np.iinfo(np.int64).max))
+                streams = np.random.SeedSequence(entropy).spawn(n_chunks)
+
+                hour_uids: list[np.ndarray] = []
+                hour_ads: list[np.ndarray] = []
+                hour_prices: list[np.ndarray] = []
+                pending: deque = deque()
+                next_chunk = 0
+                window = max(2 * self._workers, 2)
+
+                while next_chunk < n_chunks or pending:
+                    while next_chunk < n_chunks and len(pending) < window:
+                        lo = next_chunk * chunk
+                        hi = min(lo + chunk, n_slots)
+                        if not pacing.alive_array().any():
+                            # Whole fleet exhausted: the market takes every
+                            # remaining slot; no point scoring them.
+                            market_wins += n_slots - lo
+                            next_chunk = n_chunks
+                            break
+                        # A fresh snapshot is an optimisation, not a
+                        # dependency: the commit re-settles the chunk
+                        # whenever the fleet shrank after scoring.
+                        alive_snapshot = pacing.alive_array()
+                        future = pool.submit(
+                            _score_chunk_task,
+                            (
+                                score_values, slot_cells[lo:hi],
+                                slot_users[lo:hi], competing[lo:hi],
+                                np.random.Generator(
+                                    np.random.SFC64(streams[next_chunk])
+                                ),
+                                seen, eligibility, alive_snapshot,
+                                self._noise_sigma, self._repeat_affinity,
+                            ),
+                        )
+                        pending.append((lo, hi, alive_snapshot, future))
+                        next_chunk += 1
+                    if not pending:
+                        break
+                    lo, hi, alive_snapshot, future = pending.popleft()
+                    worker_name, cand, outcome = future.result()
+                    with self._tracer.span(
+                        "delivery.auction_chunk",
+                        {"hour": hour, "slots": int(hi - lo), "worker": worker_name},
+                    ) as chunk_span:
+                        wins, market = self._commit_chunk(
+                            pacing, cand, outcome, competing[lo:hi],
+                            slot_users[lo:hi], alive_snapshot,
+                            hour_uids, hour_ads, hour_prices,
+                        )
+                        market_wins += market
+                        chunk_span.set("wins", wins)
+
+                if not hour_uids:
+                    continue
+                if sum(int(u.size) for u in hour_uids) == 0:
+                    continue
+                # The seen store is read-only while chunks are in flight;
+                # the hour's re-exposure marks land between hours.
+                w_uids, w_ads = self._record_hour(
+                    insights, ad_ids, hour, hour_uids, hour_ads, hour_prices,
+                    gt_matrix, gt_cell, age_gender_codes, home_dma_codes,
+                )
+                seen.set(w_ads, w_uids)
 
         return DeliveryResult(
             insights=insights,

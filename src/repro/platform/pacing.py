@@ -6,11 +6,22 @@ process is called bid pacing and is typically opaque to the advertiser"
 ad starts with a bid multiplier, and at every control interval the
 multiplier moves toward the value that would spend the remaining budget
 evenly over the remaining time.
+
+The controller is *columnar*: budgets, spend, multipliers and the
+exhausted flags live in parallel NumPy arrays indexed by registration
+order, so the many-campaign delivery engine reads whole-fleet state
+(:meth:`~PacingController.multiplier_array`,
+:meth:`~PacingController.remaining_array`,
+:meth:`~PacingController.alive_array`) and commits whole-chunk spend
+(:meth:`~PacingController.record_spend_batch`) without a Python loop
+over ads.  The scalar API (:meth:`~PacingController.state`,
+:meth:`~PacingController.record_spend`, ...) is a per-ad view over the
+same arrays — there is one ledger, and both APIs produce bit-identical
+float trajectories (``record_spend_batch`` sums each ad's prices with
+the same pairwise ``ndarray.sum`` the scalar call sites used).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,14 +30,51 @@ from repro.errors import BudgetError
 __all__ = ["PacingController", "PacingState"]
 
 
-@dataclass(slots=True)
 class PacingState:
-    """Pacing state of one ad."""
+    """Live per-ad view into the controller's columnar ledger.
 
-    budget: float
-    spent: float = 0.0
-    multiplier: float = 1.0
-    exhausted: bool = False
+    Reads and writes go straight to the owning controller's arrays, so a
+    view never goes stale; ``state.spent``/``state.multiplier`` remain
+    assignable for tests and ablations that poke the ledger directly.
+    """
+
+    __slots__ = ("_controller", "_index")
+
+    def __init__(self, controller: "PacingController", index: int) -> None:
+        self._controller = controller
+        self._index = index
+
+    @property
+    def budget(self) -> float:
+        """Daily budget (dollars)."""
+        return float(self._controller._budget[self._index])
+
+    @property
+    def spent(self) -> float:
+        """Dollars charged so far."""
+        return float(self._controller._spent[self._index])
+
+    @spent.setter
+    def spent(self, value: float) -> None:
+        self._controller._spent[self._index] = value
+
+    @property
+    def multiplier(self) -> float:
+        """Current bid multiplier."""
+        return float(self._controller._multiplier[self._index])
+
+    @multiplier.setter
+    def multiplier(self, value: float) -> None:
+        self._controller._multiplier[self._index] = value
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether spend has reached the budget."""
+        return bool(self._controller._exhausted[self._index])
+
+    @exhausted.setter
+    def exhausted(self, value: bool) -> None:
+        self._controller._exhausted[self._index] = value
 
     @property
     def remaining(self) -> float:
@@ -64,7 +112,13 @@ class PacingController:
         self._horizon = horizon_hours
         self._gain = gain
         self._clamp = (min_multiplier, max_multiplier)
-        self._states: dict[str, PacingState] = {}
+        # Columnar ledger, indexed by registration order.
+        self._index: dict[str, int] = {}
+        self._ids: list[str] = []
+        self._budget = np.empty(0, dtype=float)
+        self._spent = np.empty(0, dtype=float)
+        self._multiplier = np.empty(0, dtype=float)
+        self._exhausted = np.empty(0, dtype=bool)
         # Real pacing systems plan spend against *predicted traffic*, not
         # wall-clock: an even plan over a diurnal day would starve the
         # overnight trough and panic-bid at dawn.  ``plan_weights`` gives
@@ -81,33 +135,51 @@ class PacingController:
         else:
             self._cumulative_plan = None
 
+    # -- registration ------------------------------------------------------
+
     def register(self, ad_id: str, budget: float, *, initial_multiplier: float = 1.0) -> None:
         """Register an ad with its daily budget."""
         if budget <= 0:
             raise BudgetError(f"ad {ad_id}: budget must be positive")
-        if ad_id in self._states:
+        if ad_id in self._index:
             raise BudgetError(f"ad {ad_id} already registered")
-        self._states[ad_id] = PacingState(budget=budget, multiplier=initial_multiplier)
+        self._index[ad_id] = len(self._ids)
+        self._ids.append(ad_id)
+        self._budget = np.append(self._budget, float(budget))
+        self._spent = np.append(self._spent, 0.0)
+        self._multiplier = np.append(self._multiplier, float(initial_multiplier))
+        self._exhausted = np.append(self._exhausted, False)
 
-    def state(self, ad_id: str) -> PacingState:
-        """Pacing state of one ad."""
+    @property
+    def n_ads(self) -> int:
+        """Number of registered ads."""
+        return len(self._ids)
+
+    def index_of(self, ad_id: str) -> int:
+        """Registration-order column index of ``ad_id``."""
         try:
-            return self._states[ad_id]
+            return self._index[ad_id]
         except KeyError as exc:
             raise BudgetError(f"ad {ad_id} not registered with pacing") from exc
+
+    def state(self, ad_id: str) -> PacingState:
+        """Pacing state of one ad (a live view into the ledger)."""
+        return PacingState(self, self.index_of(ad_id))
+
+    # -- scalar spend API --------------------------------------------------
 
     def record_spend(self, ad_id: str, amount: float) -> None:
         """Charge ``amount`` to the ad; marks it exhausted at budget."""
         if amount < 0:
             raise BudgetError("spend must be non-negative")
-        state = self.state(ad_id)
-        state.spent += amount
-        if state.spent >= state.budget:
-            state.exhausted = True
+        i = self.index_of(ad_id)
+        self._spent[i] += amount
+        if self._spent[i] >= self._budget[i]:
+            self._exhausted[i] = True
 
     def can_bid(self, ad_id: str) -> bool:
         """Whether the ad still has budget to participate in auctions."""
-        return not self.state(ad_id).exhausted
+        return not bool(self._exhausted[self.index_of(ad_id)])
 
     def alive_mask(self, ad_ids: list[str]) -> np.ndarray:
         """Boolean can-bid mask over ``ad_ids``, in their given order.
@@ -117,11 +189,63 @@ class PacingController:
         engine) instead of keeping its own copy that could drift from the
         spend ledger.
         """
-        return np.array([not self.state(ad_id).exhausted for ad_id in ad_ids])
+        indices = np.array([self.index_of(ad_id) for ad_id in ad_ids], dtype=np.intp)
+        return ~self._exhausted[indices]
 
     def multiplier(self, ad_id: str) -> float:
         """Current bid multiplier of the ad."""
-        return self.state(ad_id).multiplier
+        return float(self._multiplier[self.index_of(ad_id)])
+
+    # -- columnar API (registration order) ---------------------------------
+
+    def multiplier_array(self) -> np.ndarray:
+        """Bid multipliers of every ad, in registration order (copy)."""
+        return self._multiplier.copy()
+
+    def remaining_array(self) -> np.ndarray:
+        """Unspent budget of every ad, in registration order."""
+        return np.maximum(self._budget - self._spent, 0.0)
+
+    def alive_array(self) -> np.ndarray:
+        """Can-bid mask of every ad, in registration order (copy)."""
+        return ~self._exhausted
+
+    def record_spend_batch(self, ad_indices: np.ndarray, amounts: np.ndarray) -> None:
+        """Charge a chunk of win prices, grouped by ad in one pass.
+
+        ``ad_indices`` are registration-order column indices (duplicates
+        expected — one entry per won slot) with parallel ``amounts``.
+        Per-ad totals are summed over stable-sorted contiguous segments
+        with ``ndarray.sum``, so each total is bit-identical to the
+        pairwise sum a scalar call site (``amounts[ad_indices == i].sum()``)
+        would have produced, and exhaustion flips exactly as with
+        per-ad :meth:`record_spend` calls.
+        """
+        ad_indices = np.asarray(ad_indices, dtype=np.intp)
+        amounts = np.asarray(amounts, dtype=float)
+        if ad_indices.shape != amounts.shape or ad_indices.ndim != 1:
+            raise BudgetError("ad_indices and amounts must be parallel 1-d arrays")
+        if ad_indices.size == 0:
+            return
+        if float(amounts.min()) < 0:
+            raise BudgetError("spend must be non-negative")
+        if int(ad_indices.max()) >= len(self._ids) or int(ad_indices.min()) < 0:
+            raise BudgetError("ad index outside the registered fleet")
+        order = np.argsort(ad_indices, kind="stable")
+        sorted_idx = ad_indices[order]
+        sorted_amounts = amounts[order]
+        unique_idx, starts = np.unique(sorted_idx, return_index=True)
+        bounds = np.append(starts, sorted_idx.size)
+        # Per-segment ndarray.sum keeps pairwise float semantics (see
+        # docstring); the segments are contiguous so this stays O(n).
+        totals = np.array(
+            [sorted_amounts[s:e].sum() for s, e in zip(bounds[:-1], bounds[1:])]
+        )
+        self._spent[unique_idx] += totals
+        newly_exhausted = self._spent[unique_idx] >= self._budget[unique_idx]
+        self._exhausted[unique_idx] |= newly_exhausted
+
+    # -- control loop ------------------------------------------------------
 
     def control_step(self, ad_id: str, elapsed_hours: float) -> float:
         """Run one pacing update; returns the new multiplier.
@@ -131,17 +255,21 @@ class PacingController:
         """
         if not 0 <= elapsed_hours <= self._horizon:
             raise BudgetError(f"elapsed {elapsed_hours}h outside horizon {self._horizon}h")
-        state = self.state(ad_id)
-        if state.exhausted:
-            return state.multiplier
-        planned = state.budget * self._planned_fraction(elapsed_hours)
+        i = self.index_of(ad_id)
+        if self._exhausted[i]:
+            return float(self._multiplier[i])
+        planned = float(self._budget[i]) * self._planned_fraction(elapsed_hours)
         if planned <= 0:
-            return state.multiplier
+            return float(self._multiplier[i])
         # error > 0 when behind plan -> raise bid; < 0 when ahead -> lower.
-        error = (planned - state.spent) / max(planned, state.budget / self._horizon)
+        error = (planned - float(self._spent[i])) / max(
+            planned, float(self._budget[i]) / self._horizon
+        )
         factor = float(np.exp(self._gain * np.clip(error, -2.0, 2.0)))
-        state.multiplier = float(np.clip(state.multiplier * factor, *self._clamp))
-        return state.multiplier
+        self._multiplier[i] = float(
+            np.clip(self._multiplier[i] * factor, *self._clamp)
+        )
+        return float(self._multiplier[i])
 
     def _planned_fraction(self, elapsed_hours: float) -> float:
         """Share of the budget planned to be spent by ``elapsed_hours``."""
@@ -151,10 +279,26 @@ class PacingController:
         return float(np.interp(position, np.arange(self._cumulative_plan.size), self._cumulative_plan))
 
     def control_all(self, elapsed_hours: float) -> None:
-        """Pacing update for every registered ad."""
-        for ad_id in self._states:
-            self.control_step(ad_id, elapsed_hours)
+        """Pacing update for every registered ad, in one array pass.
+
+        Elementwise identical to calling :meth:`control_step` per ad:
+        the planned fraction is shared, and ``np.exp``/``np.clip`` give
+        the same floats on arrays as on scalars.
+        """
+        if not 0 <= elapsed_hours <= self._horizon:
+            raise BudgetError(f"elapsed {elapsed_hours}h outside horizon {self._horizon}h")
+        if not self._ids:
+            return
+        planned_fraction = self._planned_fraction(elapsed_hours)
+        planned = self._budget * planned_fraction
+        active = ~self._exhausted & (planned > 0)
+        if not active.any():
+            return
+        error = (planned - self._spent) / np.maximum(planned, self._budget / self._horizon)
+        factor = np.exp(self._gain * np.clip(error, -2.0, 2.0))
+        updated = np.clip(self._multiplier * factor, *self._clamp)
+        self._multiplier[active] = updated[active]
 
     def total_spend(self) -> float:
         """Aggregate spend across registered ads."""
-        return sum(s.spent for s in self._states.values())
+        return float(sum(self._spent))

@@ -34,6 +34,7 @@ FIELD_PERTURBATIONS = {
     "sessions_per_day": 3.5,
     "value_noise_sigma": 0.91,
     "delivery_mode": "reference",
+    "delivery_workers": 4,
     "universe_mode": "reference",
     "registry_mode": "reference",
     "engagement_params": EngagementParams(base_rate=0.046),

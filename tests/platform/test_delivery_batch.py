@@ -1,0 +1,210 @@
+"""Unit tests for the ad-batched delivery helpers.
+
+The vectorized engine replaced per-ad Python loops with single array
+passes (`chunk_limit`, `find_cutoff`) and full-chunk re-auctions with a
+targeted patch (`resettle_dead`).  Each helper is pinned here against
+the straightforward per-ad / per-slot oracle it replaced, over many
+random fleet states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform.auction import BatchAuctionOutcome, run_auctions_batch
+from repro.platform.bitset import PackedBitMatrix
+from repro.platform.delivery import (
+    _MAX_CHUNK,
+    _MIN_CHUNK,
+    chunk_limit,
+    find_cutoff,
+    resettle_dead,
+    score_chunk,
+)
+
+
+class TestChunkLimit:
+    def _oracle(self, remaining, alive, values, repeat_affinity):
+        """The per-ad Python loop the vectorized helper replaced."""
+        limit = _MAX_CHUNK
+        for i in np.flatnonzero(alive):
+            max_price = float(values[i].max()) * repeat_affinity
+            if max_price <= 0:
+                continue
+            limit = min(limit, int(remaining[i] / max_price) + 1)
+        return max(limit, _MIN_CHUNK)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_loop_oracle_on_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        n_ads = int(rng.integers(1, 40))
+        values = rng.random((n_ads, 24)) * rng.choice([0.0, 0.02], size=(n_ads, 1))
+        remaining = rng.random(n_ads) * 50
+        alive = rng.random(n_ads) < 0.7
+        affinity = float(rng.choice([1.0, 2.5]))
+        assert chunk_limit(remaining, alive, values, affinity) == self._oracle(
+            remaining, alive, values, affinity
+        )
+
+    def test_all_dead_fleet_hits_the_cap(self):
+        values = np.full((3, 24), 0.01)
+        assert (
+            chunk_limit(np.ones(3), np.zeros(3, dtype=bool), values, 2.0)
+            == _MAX_CHUNK
+        )
+
+    def test_zero_value_ads_do_not_constrain(self):
+        values = np.zeros((2, 24))
+        alive = np.ones(2, dtype=bool)
+        assert chunk_limit(np.full(2, 0.5), alive, values, 2.0) == _MAX_CHUNK
+
+    def test_tight_budget_clamps_to_floor(self):
+        values = np.full((1, 24), 1.0)
+        alive = np.ones(1, dtype=bool)
+        assert chunk_limit(np.array([0.001]), alive, values, 1.0) == _MIN_CHUNK
+
+
+class TestFindCutoff:
+    def _oracle(self, win_slots, win_ads, win_prices, remaining):
+        """Walk the wins in slot order, charging spend sequentially."""
+        spent = {}
+        order = np.argsort(win_slots)
+        for k in order:
+            ad = int(win_ads[k])
+            before = spent.get(ad, 0.0)
+            cum = before + float(win_prices[k])
+            if cum >= remaining[ad]:
+                return int(win_slots[k]), ad, float(remaining[ad]) - before
+            spent[ad] = cum
+        return None
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_sequential_oracle(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n_wins = int(rng.integers(0, 80))
+        n_ads = 6
+        win_slots = np.sort(
+            rng.choice(np.arange(200), size=n_wins, replace=False)
+        )
+        win_ads = rng.integers(0, n_ads, size=n_wins)
+        win_prices = rng.random(n_wins) * 0.05
+        remaining = rng.random(n_ads) * (0.5 if seed % 2 else 0.005)
+        got = find_cutoff(win_slots, win_ads, win_prices, remaining)
+        want = self._oracle(win_slots, win_ads, win_prices, remaining)
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[0] == want[0] and got[1] == want[1]
+            assert got[2] == pytest.approx(want[2], abs=1e-12)
+
+    def test_no_wins_returns_none(self):
+        empty = np.array([], dtype=np.intp)
+        assert find_cutoff(empty, empty, empty.astype(float), np.ones(3)) is None
+
+    def test_exact_exhaustion_is_a_cutoff(self):
+        # Cumulative spend *reaching* the balance exhausts (>=, not >).
+        got = find_cutoff(
+            np.array([4]), np.array([0]), np.array([0.25]), np.array([0.25])
+        )
+        assert got == (4, 0, pytest.approx(0.25))
+
+
+class TestResettleDead:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_patch_equals_full_reauction_on_masked_matrix(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n_ads, n_slots = 12, 64
+        cand = rng.random((n_ads, n_slots)) * 0.05
+        cand[rng.random((n_ads, n_slots)) < 0.2] = -np.inf
+        competing = rng.random(n_slots) * 0.03
+        outcome = run_auctions_batch(cand, competing)
+        newly_dead = rng.random(n_ads) < 0.3
+        if not newly_dead.any():
+            newly_dead[int(rng.integers(n_ads))] = True
+        masked = cand.copy()
+        masked[newly_dead, :] = -np.inf
+        want = run_auctions_batch(masked, competing)
+        got = resettle_dead(cand.copy(), outcome, competing, newly_dead)
+        np.testing.assert_array_equal(got.winner_indices, want.winner_indices)
+        np.testing.assert_array_equal(got.prices, want.prices)
+        # winning_values only matter where a study ad won (the commit
+        # path never reads market-won columns).
+        won = want.winner_indices >= 0
+        np.testing.assert_array_equal(
+            got.winning_values[won], want.winning_values[won]
+        )
+
+    def test_mutates_cand_dead_rows(self):
+        cand = np.full((3, 4), 0.5)
+        competing = np.full(4, 0.1)
+        outcome = run_auctions_batch(cand, competing)
+        dead = np.array([True, False, False])
+        resettle_dead(cand, outcome, competing, dead)
+        assert np.all(np.isneginf(cand[0]))
+
+    def test_untouched_when_dead_ads_never_mattered(self):
+        # The dead ad's value is below every settled price, so no slot
+        # needs re-settling and the original outcome object comes back.
+        cand = np.array([[0.9, 0.8], [0.5, 0.6], [0.0001, 0.0001]])
+        competing = np.array([0.01, 0.01])
+        outcome = run_auctions_batch(cand, competing)
+        got = resettle_dead(
+            cand.copy(), outcome, competing, np.array([False, False, True])
+        )
+        assert got is outcome
+
+
+class TestScoreChunkDtype:
+    def _stores(self, n_ads, n_users):
+        seen = PackedBitMatrix(n_ads, n_users)
+        eligibility = PackedBitMatrix(n_ads, n_users)
+        for i in range(n_ads):
+            eligibility.set_row(i, np.ones(n_users, dtype=bool))
+        return seen, eligibility
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_candidate_matrix_inherits_value_dtype(self, dtype):
+        n_ads, n_users = 4, 40
+        seen, eligibility = self._stores(n_ads, n_users)
+        values = np.random.default_rng(1).random((n_ads, 24)).astype(dtype)
+        uids = np.arange(20)
+        cells = np.zeros(20, dtype=np.intp)
+        cand, outcome = score_chunk(
+            values, cells, uids, np.full(20, 0.001), np.random.default_rng(2),
+            seen, eligibility, np.ones(n_ads, dtype=bool), 0.5, 2.5,
+        )
+        assert cand.dtype == dtype
+        assert outcome.prices.dtype == np.float64
+        assert outcome.n_slots == 20
+
+    def test_dead_and_ineligible_ads_never_win(self):
+        n_ads, n_users = 3, 16
+        seen = PackedBitMatrix(n_ads, n_users)
+        eligibility = PackedBitMatrix(n_ads, n_users)
+        eligibility.set_row(0, np.ones(n_users, dtype=bool))
+        eligibility.set_row(1, np.ones(n_users, dtype=bool))
+        # ad 2 eligible nowhere; ad 1 alive=False
+        values = np.full((n_ads, 24), 0.9)
+        alive = np.array([True, False, True])
+        uids = np.arange(n_users)
+        cand, outcome = score_chunk(
+            values, np.zeros(n_users, dtype=np.intp), uids,
+            np.full(n_users, 1e-6), np.random.default_rng(3),
+            seen, eligibility, alive, 0.0, 1.0,
+        )
+        assert set(np.unique(outcome.winner_indices)) <= {0}
+
+
+class TestAuctionDtype:
+    def test_float32_matrix_resolved_in_float32(self):
+        values = np.array([[0.5, 0.1], [0.2, 0.3]], dtype=np.float32)
+        out = run_auctions_batch(values, np.array([0.01, 0.01]))
+        assert out.winning_values.dtype == np.float32
+        assert out.prices.dtype == np.float64
+
+    def test_integer_matrix_promoted_to_float64(self):
+        out = run_auctions_batch(
+            np.array([[3, 1], [2, 2]]), np.array([1.0, 1.0])
+        )
+        assert out.winning_values.dtype == np.float64
+        np.testing.assert_array_equal(out.winner_indices, [0, 1])

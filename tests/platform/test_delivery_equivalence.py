@@ -183,3 +183,200 @@ class TestCompositionsAgree:
                 f"{mode}: Black-implied ad reached fraction_black {frac[0]:.3f} "
                 f"<= white-implied ad's {frac[1]:.3f}"
             )
+
+
+# --------------------------------------------------------------------------
+# Many-campaign regime: 64 heterogeneous concurrent ads.
+#
+# The ad-batched kernel's interesting failure modes (cutoff mis-attribution
+# between ads, resettle after a mid-chunk death, pacing drift) only appear
+# under heavy inter-ad competition, which the two-ad design above cannot
+# create.  These fixtures run a 64-ad fleet — budgets, images, and age
+# targeting all varied — and pool the same statistics per engine variant.
+# --------------------------------------------------------------------------
+
+
+def _many_campaign_fleet(account, audience_id):
+    """64 ads with heterogeneous budgets, images, and targeting."""
+    campaign = account.create_campaign("c", Objective.TRAFFIC)
+    ads = []
+    for i in range(64):
+        targeting = TargetingSpec(
+            custom_audience_ids=(audience_id,),
+            age_max=55 if i % 4 == 0 else None,
+        )
+        adset = account.create_adset(
+            campaign, f"as{i}", 20 + 2 * (i % 16), targeting
+        )
+        creative = AdCreative(
+            headline="h",
+            body="b",
+            destination_url="https://x.org",
+            image=ImageFeatures(
+                race_score=0.9 if i % 2 == 0 else 0.1,
+                gender_score=(i % 8) / 7.0,
+                age_years=22 + 3 * (i % 12),
+            ),
+        )
+        ad = account.create_ad(adset, f"ad{i}", creative)
+        ad.review_status = "APPROVED"
+        ads.append(ad)
+    return ads
+
+
+def _pool_fleet_stats(pooled, result, ads, race_of):
+    pooled["impressions"] += result.insights.total_impressions()
+    pooled["spend"] += result.insights.total_spend()
+    pooled["reach"] += result.insights.total_reach()
+    for i, ad in enumerate(ads):
+        insights = result.for_ad(ad.ad_id)
+        female = sum(
+            count
+            for (bucket, gender), count in insights.by_age_gender.items()
+            if gender is Gender.FEMALE
+        )
+        pooled["female"][0] += female
+        pooled["female"][1] += insights.impressions
+        side = "black_implied" if i % 2 == 0 else "white_implied"
+        pooled[side][0] += sum(
+            1 for uid in insights._reached if race_of[uid] is Race.BLACK
+        )
+        pooled[side][1] += len(insights._reached)
+
+
+@pytest.fixture(scope="module")
+def many_campaign_stats(small_world):
+    """Pooled 64-ad fleet statistics per engine variant over ``SEEDS``.
+
+    Variants: the reference oracle, the vectorized engine (workers=1),
+    and the parallel chunk scheduler (workers=4).
+    """
+    world = small_world
+    store = AudienceStore(world.universe)
+    users = world.universe.users[:3000]
+    audience = store.create_from_hashes(
+        "equiv-many", [u.pii_hash for u in users]
+    )
+    race_of = {u.user_id: u.race for u in world.universe.users}
+
+    def run_once(seed: int, mode: str, workers: int):
+        account = AdAccount(account_id=f"equiv-many-{seed}-{mode}-{workers}")
+        ads = _many_campaign_fleet(account, audience.audience_id)
+        engine = DeliveryEngine(
+            world.universe,
+            store,
+            account,
+            ear=world.ear,
+            engagement=world.engagement,
+            competition=CompetitionModel(np.random.default_rng(seed)),
+            mobility=MobilityModel(np.random.default_rng(seed + 1)),
+            rng=np.random.default_rng(seed + 2),
+            mode=mode,
+            workers=workers if mode == "vectorized" else 1,
+        )
+        return engine.run(ads), ads
+
+    stats = {}
+    for variant, mode, workers in (
+        ("reference", "reference", 1),
+        ("vectorized", "vectorized", 1),
+        ("parallel", "vectorized", 4),
+    ):
+        pooled = {
+            "impressions": 0,
+            "spend": 0.0,
+            "reach": 0,
+            # pooled across the whole fleet: [female impressions, impressions]
+            "female": [0, 0],
+            # per image side: [Black reached users, reached users]
+            "black_implied": [0, 0],
+            "white_implied": [0, 0],
+        }
+        for seed in SEEDS:
+            result, ads = run_once(seed, mode, workers)
+            _pool_fleet_stats(pooled, result, ads, race_of)
+        stats[variant] = pooled
+    return stats
+
+
+class TestManyCampaignEquivalence:
+    """Reference vs vectorized with 64 concurrent competing ads."""
+
+    @pytest.mark.parametrize("metric, tol", [
+        ("impressions", 0.10), ("spend", 0.10), ("reach", 0.15),
+    ])
+    def test_totals_within_tolerance(self, many_campaign_stats, metric, tol):
+        ref = many_campaign_stats["reference"][metric]
+        vec = many_campaign_stats["vectorized"][metric]
+        assert ref > 0 and vec > 0
+        assert abs(ref - vec) / ref < tol
+
+    def test_fleet_fraction_female_matches(self, many_campaign_stats):
+        k1, n1 = many_campaign_stats["reference"]["female"]
+        k2, n2 = many_campaign_stats["vectorized"]["female"]
+        assert n1 > 1000 and n2 > 1000
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"fleet fraction_female {k1/n1:.3f} (reference) vs "
+            f"{k2/n2:.3f} (vectorized), z={z:.2f}"
+        )
+
+    @pytest.mark.parametrize("side", ["black_implied", "white_implied"])
+    def test_fraction_black_matches(self, many_campaign_stats, side):
+        k1, n1 = many_campaign_stats["reference"][side]
+        k2, n2 = many_campaign_stats["vectorized"][side]
+        assert n1 > 1000 and n2 > 1000
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"{side}: fraction_black {k1/n1:.3f} (reference) vs "
+            f"{k2/n2:.3f} (vectorized), z={z:.2f}"
+        )
+
+    def test_steering_direction_preserved(self, many_campaign_stats):
+        for variant in ("reference", "vectorized", "parallel"):
+            stats = many_campaign_stats[variant]
+            black = stats["black_implied"][0] / stats["black_implied"][1]
+            white = stats["white_implied"][0] / stats["white_implied"][1]
+            assert black > white, (
+                f"{variant}: Black-implied fleet reached fraction_black "
+                f"{black:.3f} <= white-implied fleet's {white:.3f}"
+            )
+
+
+class TestWorkerEquivalence:
+    """workers=4 must be statistically indistinguishable from workers=1.
+
+    The parallel scheduler draws chunk noise from spawned per-chunk
+    streams instead of the sequential engine stream, so runs are not
+    bit-identical; every pooled statistic must still match.  (Bit
+    identity across pool sizes >= 2 is pinned separately in the unit
+    suite, where workers=2 and workers=3 share the same schedule.)
+    """
+
+    @pytest.mark.parametrize("metric, tol", [
+        ("impressions", 0.10), ("spend", 0.10), ("reach", 0.15),
+    ])
+    def test_totals_within_tolerance(self, many_campaign_stats, metric, tol):
+        seq = many_campaign_stats["vectorized"][metric]
+        par = many_campaign_stats["parallel"][metric]
+        assert seq > 0 and par > 0
+        assert abs(seq - par) / seq < tol
+
+    def test_fleet_fraction_female_matches(self, many_campaign_stats):
+        k1, n1 = many_campaign_stats["vectorized"]["female"]
+        k2, n2 = many_campaign_stats["parallel"]["female"]
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"fleet fraction_female {k1/n1:.3f} (workers=1) vs "
+            f"{k2/n2:.3f} (workers=4), z={z:.2f}"
+        )
+
+    @pytest.mark.parametrize("side", ["black_implied", "white_implied"])
+    def test_fraction_black_matches(self, many_campaign_stats, side):
+        k1, n1 = many_campaign_stats["vectorized"][side]
+        k2, n2 = many_campaign_stats["parallel"][side]
+        z = _two_proportion_z(k1, n1, k2, n2)
+        assert abs(z) < Z_CRITICAL, (
+            f"{side}: fraction_black {k1/n1:.3f} (workers=1) vs "
+            f"{k2/n2:.3f} (workers=4), z={z:.2f}"
+        )

@@ -1,5 +1,6 @@
 """Tests for the insights data model."""
 
+import numpy as np
 import pytest
 
 from repro.errors import DeliveryError
@@ -72,6 +73,72 @@ class TestCounters:
         record = AdInsights(ad_id="x")
         with pytest.raises(DeliveryError):
             record.record(_user(0), State.FL, "Orlando", -0.01, False)
+
+
+class TestRecordHour:
+    """The whole-hour bulk path must be bit-identical to per-ad batches."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_per_ad_record_batch_exactly(self, seed):
+        from repro.geo.regions import ALL_DMAS
+        from repro.platform.cells import AGE_GENDER_PAIRS
+
+        rng = np.random.default_rng(300 + seed)
+        n_ads = int(rng.integers(1, 12))
+        n = int(rng.integers(1, 400))
+        ad_ids = [f"ad{i}" for i in range(n_ads)]
+        win_ads = rng.integers(0, n_ads, size=n)
+        user_ids = rng.integers(0, 500, size=n)
+        ag_codes = rng.integers(0, len(AGE_GENDER_PAIRS), size=n)
+        dma_codes = rng.integers(0, len(ALL_DMAS), size=n)
+        prices = rng.random(n) * 0.03
+        clicked = rng.random(n) < 0.1
+        hour = int(rng.integers(0, 24))
+
+        bulk = InsightsStore()
+        bulk.record_hour(
+            ad_ids, win_ads, user_ids, ag_codes, dma_codes, prices, clicked,
+            hour=hour,
+        )
+        looped = InsightsStore()
+        for ad_index in np.unique(win_ads):
+            mask = win_ads == ad_index
+            looped.record_batch(
+                ad_ids[int(ad_index)], user_ids[mask], ag_codes[mask],
+                dma_codes[mask], prices[mask], clicked[mask], hour=hour,
+            )
+
+        assert list(bulk.by_ad) == list(looped.by_ad)
+        for ad_id in looped.by_ad:
+            a, b = bulk.by_ad[ad_id], looped.by_ad[ad_id]
+            assert a.impressions == b.impressions
+            assert a.clicks == b.clicks
+            # Bit-identical, not approximately equal: segment sums add
+            # the same floats in the same order as the per-ad masks.
+            assert a.spend == b.spend
+            assert a.by_age_gender == b.by_age_gender
+            assert a.by_state == b.by_state
+            assert a.by_dma == b.by_dma
+            assert a.by_hour == b.by_hour
+            assert a._reached == b._reached
+
+    def test_empty_hour_is_a_no_op(self):
+        store = InsightsStore()
+        empty = np.array([], dtype=np.intp)
+        store.record_hour(
+            ["ad0"], empty, empty, empty, empty,
+            np.array([]), np.array([], dtype=bool),
+        )
+        assert store.by_ad == {}
+
+    def test_negative_price_rejected(self):
+        store = InsightsStore()
+        one = np.array([0])
+        with pytest.raises(DeliveryError):
+            store.record_hour(
+                ["ad0"], one, one, one, one,
+                np.array([-0.01]), np.array([False]),
+            )
 
 
 class TestStore:
