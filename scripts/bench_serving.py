@@ -1,0 +1,436 @@
+"""Benchmark the gateway serving tier: RPS, tail latency, memory sharing.
+
+Drives a :class:`~repro.api.gateway.GatewayCluster` (spawned worker
+processes over one shared-memory universe) with keep-alive REST clients
+and appends one JSON record per measurement to ``BENCH_serving.json`` at
+the repo root:
+
+    PYTHONPATH=src python scripts/bench_serving.py
+    PYTHONPATH=src python scripts/bench_serving.py --quick --scale small
+
+Three phases:
+
+* **latency sweep** — for every worker count (``--workers``, default
+  ``1,2``) and concurrency level (``--concurrency``, default ``1,4,16``)
+  each client thread opens its own keep-alive connection (connection
+  affinity: the kernel pins it to one worker) and hammers
+  ``GET /act_bench/ads``; the record carries RPS and p50/p99 latency.
+* **memory accounting** — after each sweep the workers' ``/proc/<pid>/
+  smaps`` are read: the shared universe block's mapping must stay
+  shared (private bytes ≪ block size), and at xl scale total private
+  RSS growth per extra worker must stay well under another copy of the
+  82 MiB column block.  The assertion result is part of the record and
+  a failure fails the script.
+* **fault injection** — a full audience→campaign→delivery→insights flow
+  through :class:`~repro.api.faults.FaultInjectingTransport` (seeded
+  429/500/reset/slow chaos, bounded client retries) must produce the
+  same audience and insights digest as a fault-free run.
+
+``--quick`` (the weekly CI tier) shrinks request counts; pair it with
+``--scale small``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import FaultInjectingTransport, MarketingApiClient
+from repro.api.gateway import GatewayCluster, GatewayConfig, rest_transport
+from repro.api.protocol import HttpMethod
+from repro.core.world import SimulatedWorld, WorldConfig
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+BENCH_SEED = 7
+ACCOUNT = "bench"
+
+SCALES = {
+    "small": WorldConfig.small,
+    "paper": WorldConfig.paper,
+    "xl": WorldConfig.xl,
+}
+
+#: Benchmark gateways run with effectively unlimited token buckets so the
+#: numbers measure serving capacity, not the configured throttle.
+_UNTHROTTLED = GatewayConfig(rate_capacity=10**9, rate_refill_per_second=10**9)
+
+_MAPPING_LINE = re.compile(r"^[0-9a-f]+-[0-9a-f]+\s")
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad int list {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("list is empty")
+    return values
+
+
+# ---------------------------------------------------------------------------
+# /proc accounting
+
+
+def _shm_mapping_kb(pid: int, shm_name: str) -> dict[str, int]:
+    """Private/shared kB of the universe block's mapping in one worker."""
+    totals = {"private_kb": 0, "shared_kb": 0, "rss_kb": 0}
+    in_block = False
+    for line in Path(f"/proc/{pid}/smaps").read_text().splitlines():
+        if _MAPPING_LINE.match(line):
+            in_block = line.rstrip().endswith(f"/{shm_name}")
+            continue
+        if not in_block:
+            continue
+        key, _, rest = line.partition(":")
+        parts = rest.split()
+        if len(parts) < 2 or parts[1] != "kB":
+            continue
+        value = int(parts[0])
+        if key in ("Private_Clean", "Private_Dirty"):
+            totals["private_kb"] += value
+        elif key in ("Shared_Clean", "Shared_Dirty"):
+            totals["shared_kb"] += value
+        elif key == "Rss":
+            totals["rss_kb"] += value
+    return totals
+
+
+def _private_rss_kb(pid: int) -> int:
+    """Total private (non-shared) resident kB of one worker."""
+    total = 0
+    for line in Path(f"/proc/{pid}/smaps_rollup").read_text().splitlines():
+        key, _, rest = line.partition(":")
+        if key in ("Private_Clean", "Private_Dirty", "Private_Hugetlb"):
+            total += int(rest.split()[0])
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+
+
+def _image_payload() -> dict:
+    return {"race_score": 0.5, "gender_score": 0.5, "age_years": 30.0}
+
+
+def run_flow(client: MarketingApiClient, universe, *, tag: str) -> dict:
+    """One full audience → campaign → delivery → insights flow.
+
+    Returns the digest the fault-injection phase compares: everything
+    the server's state machine determines, nothing wall-clock.
+    """
+    audience = client.create_custom_audience(ACCOUNT, f"aud-{tag}")
+    hashes = [h.decode("ascii") for h in universe.columns.pii_hash[:600].tolist() if h]
+    received = client.upload_audience_users(audience, hashes)
+    campaign = client.create_campaign(ACCOUNT, f"c-{tag}", "TRAFFIC")
+    adset = client.create_adset(
+        ACCOUNT, f"as-{tag}", campaign, 150, {"custom_audience_ids": [audience]}
+    )
+    ad = client.create_ad(
+        ACCOUNT,
+        f"ad-{tag}",
+        adset,
+        {
+            "headline": "h",
+            "body": "b",
+            "destination_url": "https://x.org",
+            "image": _image_payload(),
+        },
+    )
+    review = client.submit_for_review(ad)
+    if review["review_status"] == "REJECTED":
+        review = client.appeal(ad)
+    assert review["review_status"] == "APPROVED", review
+    delivery = client.deliver_day(ACCOUNT, [ad])
+    insights = client.get_insights(ad)
+    return {
+        "received": received,
+        "delivered": delivery["delivered_ads"],
+        "impressions": insights["impressions"],
+    }
+
+
+def _hammer(port: int, token: str, requests: int, results: list, barrier) -> None:
+    """One client thread: its own keep-alive connection, ``requests`` reads."""
+    transport = rest_transport("127.0.0.1", port)
+    client = MarketingApiClient(transport, token)
+    try:
+        for _ in range(3):  # warm the connection and the worker's code paths
+            client.call(HttpMethod.GET, f"/act_{ACCOUNT}/ads", {"limit": 10})
+        barrier.wait()
+        latencies = []
+        start = time.perf_counter()
+        for _ in range(requests):
+            t0 = time.perf_counter()
+            client.call(HttpMethod.GET, f"/act_{ACCOUNT}/ads", {"limit": 10})
+            latencies.append(time.perf_counter() - t0)
+        results.append((latencies, time.perf_counter() - start))
+    finally:
+        transport.close()
+
+
+def bench_concurrency(cluster: GatewayCluster, token: str, concurrency: int, requests: int) -> dict:
+    """RPS and latency percentiles at one concurrency level."""
+    results: list = []
+    barrier = threading.Barrier(concurrency)
+    threads = [
+        threading.Thread(
+            target=_hammer, args=(cluster.port, token, requests, results, barrier)
+        )
+        for _ in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if len(results) != concurrency:
+        raise RuntimeError("a load thread died; see traceback above")
+    latencies = np.concatenate([np.asarray(lat) for lat, _ in results])
+    wall = max(elapsed for _, elapsed in results)
+    total = concurrency * requests
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "rps": round(total / wall, 1),
+        "p50_ms": round(float(np.percentile(latencies, 50)) * 1000.0, 3),
+        "p99_ms": round(float(np.percentile(latencies, 99)) * 1000.0, 3),
+    }
+
+
+def measure_memory(cluster: GatewayCluster, baseline_private_kb: int | None) -> dict:
+    """Per-worker memory accounting for one warmed-up cluster."""
+    universe_mib = cluster.shared_nbytes / 2**20
+    shm_private = [
+        _shm_mapping_kb(pid, cluster.shared_name)["private_kb"]
+        for pid in cluster.worker_pids
+    ]
+    private_total_kb = sum(_private_rss_kb(pid) for pid in cluster.worker_pids)
+    n = len(cluster.worker_pids)
+    growth_mib = None
+    if baseline_private_kb is not None and n > 1:
+        growth_mib = (private_total_kb - baseline_private_kb) / (n - 1) / 1024.0
+    shm_private_max_mib = max(shm_private) / 1024.0
+    # The block's mapping must stay shared in every worker; at xl scale
+    # (82 MiB of columns) an extra worker must also cost far less than
+    # another copy.  Small worlds skip the growth check: there the
+    # interpreter's own private pages dwarf the (tiny) column block.
+    ok = shm_private_max_mib < max(universe_mib / 10.0, 4.0)
+    if growth_mib is not None and universe_mib >= 64.0:
+        ok = ok and growth_mib < universe_mib
+    return {
+        "universe_mib": round(universe_mib, 1),
+        "shm_private_max_mib": round(shm_private_max_mib, 2),
+        "worker_private_total_mib": round(private_total_kb / 1024.0, 1),
+        "rss_growth_per_extra_worker_mib": (
+            None if growth_mib is None else round(growth_mib, 1)
+        ),
+        "zero_copy_ok": bool(ok),
+        "_private_total_kb": private_total_kb,
+    }
+
+
+def bench_faults(world: SimulatedWorld, fault_rate: float, fault_seed: int) -> dict:
+    """Chaos flow vs clean flow over fresh single-worker clusters."""
+
+    def one_run(with_faults: bool):
+        cluster = GatewayCluster(
+            world.universe,
+            world.config,
+            world.ear,
+            workers=1,
+            gateway=_UNTHROTTLED,
+            accounts=(ACCOUNT,),
+        )
+        cluster.start()
+        try:
+            transport = rest_transport("127.0.0.1", cluster.port)
+            injector = None
+            call = transport
+            if with_faults:
+                injector = FaultInjectingTransport(
+                    transport, error_rate=fault_rate, seed=fault_seed
+                )
+                call = injector
+            client = MarketingApiClient(call, world.config.access_token)
+            try:
+                digest = run_flow(client, world.universe, tag="faults")
+            finally:
+                transport.close()
+            return digest, injector, client.requests_sent
+        finally:
+            cluster.stop()
+
+    clean_digest, _, clean_sent = one_run(False)
+    chaos_digest, injector, chaos_sent = one_run(True)
+    injected = {
+        kind.value: count
+        for kind, count in sorted(injector.injected.items(), key=lambda kv: kv[0].value)
+    }
+    return {
+        "mode": "serve+faults",
+        "n_workers": 1,
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "faults_injected": injected,
+        "total_faults": injector.total_injected,
+        "requests_clean": clean_sent,
+        "requests_chaos": chaos_sent,
+        "digest": clean_digest,
+        "digest_match": chaos_digest == clean_digest,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument(
+        "--scale",
+        choices=tuple(SCALES),
+        default="xl",
+        help="world size preset (xl is the 82 MiB shared-column tier)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_int_list,
+        default=(1, 2),
+        help="comma-separated worker counts to sweep (default 1,2)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=_int_list,
+        default=(1, 4, 16),
+        help="comma-separated client-thread counts to sweep (default 1,4,16)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="requests per client thread at each concurrency level",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.15, help="chaos-phase fault rate"
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=13, help="chaos-phase fault stream seed"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink request counts (the CI cron tier; pair with --scale small)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="record memory/fault results without failing on them",
+    )
+    args = parser.parse_args(argv)
+    requests = 30 if args.quick else args.requests
+    worker_counts = tuple(sorted(set(args.workers)))
+    concurrency_levels = tuple(sorted(set(args.concurrency)))
+
+    config = SCALES[args.scale](args.seed)
+    print(f"building world (registry {config.registry_size}) ...", flush=True)
+    world = SimulatedWorld(config)
+    token = config.access_token
+
+    common = {
+        "world": args.scale,
+        "seed": args.seed,
+        "n_users": len(world.universe.users),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    records: list[dict] = []
+    failures: list[str] = []
+    baseline_private_kb: int | None = None
+    for n_workers in worker_counts:
+        cluster = GatewayCluster(
+            world.universe,
+            config,
+            world.ear,
+            workers=n_workers,
+            gateway=_UNTHROTTLED,
+            accounts=(ACCOUNT,),
+        )
+        cluster.start()
+        try:
+            # One mutable flow warms real column-touching code paths
+            # (matching + delivery) on whichever worker the connection
+            # lands on, so the memory numbers reflect served traffic.
+            transport = rest_transport("127.0.0.1", cluster.port)
+            run_flow(
+                MarketingApiClient(transport, token),
+                world.universe,
+                tag=f"warm-{n_workers}",
+            )
+            transport.close()
+            sweep = []
+            for concurrency in concurrency_levels:
+                result = bench_concurrency(cluster, token, concurrency, requests)
+                sweep.append(result)
+                print(
+                    f"workers={n_workers} concurrency={concurrency:>3}: "
+                    f"{result['rps']:>8.1f} req/s  "
+                    f"p50 {result['p50_ms']:.2f} ms  p99 {result['p99_ms']:.2f} ms",
+                    flush=True,
+                )
+            memory = measure_memory(cluster, baseline_private_kb)
+            if n_workers == worker_counts[0]:
+                baseline_private_kb = memory["_private_total_kb"]
+            memory.pop("_private_total_kb")
+            if not memory["zero_copy_ok"]:
+                failures.append(
+                    f"workers={n_workers}: shared block not actually shared "
+                    f"({memory})"
+                )
+            growth = memory["rss_growth_per_extra_worker_mib"]
+            print(
+                f"workers={n_workers} memory: universe {memory['universe_mib']} MiB "
+                f"shared, max {memory['shm_private_max_mib']} MiB private in-block, "
+                f"growth/extra-worker "
+                f"{'n/a' if growth is None else f'{growth} MiB'}",
+                flush=True,
+            )
+            for result in sweep:
+                records.append(
+                    {"mode": "serve", "n_workers": n_workers, **result, **common}
+                )
+            records.append(
+                {"mode": "serve+memory", "n_workers": n_workers, **memory, **common}
+            )
+        finally:
+            cluster.stop()
+
+    fault_record = bench_faults(world, args.fault_rate, args.fault_seed)
+    fault_record.update(common)
+    records.append(fault_record)
+    print(
+        f"faults: {fault_record['total_faults']} injected at rate "
+        f"{args.fault_rate}, digest match: {fault_record['digest_match']}",
+        flush=True,
+    )
+    if not fault_record["digest_match"]:
+        failures.append("chaos-run digest diverged from the fault-free run")
+
+    existing = []
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    existing.extend(records)
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    print(f"appended {len(records)} records to {OUT_PATH}")
+
+    if failures and not args.no_check:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,12 @@ methodology (:mod:`repro.core`) and the platform simulator
   5xxs, connection resets and slow responses into any transport;
 * :mod:`repro.api.metrics` — per-endpoint request/retry/latency
   observability exposed on the client;
-* :mod:`repro.api.pagination` — cursor pagination for list endpoints.
+* :mod:`repro.api.pagination` — cursor pagination for list endpoints;
+* :mod:`repro.api.http` — the minimal threaded HTTP transport for
+  integration tests;
+* :mod:`repro.api.gateway` — the production serving tier: an asyncio
+  REST gateway with auth, throttling, backpressure and graceful drain,
+  scaled out as worker processes over a shared-memory universe.
 
 The audit code never imports :mod:`repro.platform` internals directly —
 tests enforce that everything observable flows through this API.
@@ -28,6 +33,13 @@ tests enforce that everything observable flows through this API.
 
 from repro.api.client import MarketingApiClient
 from repro.api.faults import FaultInjectingTransport, FaultKind
+from repro.api.gateway import (
+    AsyncGateway,
+    GatewayCluster,
+    GatewayConfig,
+    GatewayServer,
+    rest_transport,
+)
 from repro.api.metrics import ClientMetrics
 from repro.api.protocol import ApiRequest, ApiResponse
 from repro.api.ratelimit import TokenBucket
@@ -37,11 +49,16 @@ from repro.api.server import MarketingApiServer
 __all__ = [
     "ApiRequest",
     "ApiResponse",
+    "AsyncGateway",
     "ClientMetrics",
     "FaultInjectingTransport",
     "FaultKind",
+    "GatewayCluster",
+    "GatewayConfig",
+    "GatewayServer",
     "MarketingApiClient",
     "MarketingApiServer",
     "RetryPolicy",
     "TokenBucket",
+    "rest_transport",
 ]

@@ -1,0 +1,880 @@
+"""Production serving tier: asyncio REST gateway over the envelope protocol.
+
+The threaded :class:`~repro.api.http.HttpApiServer` stays the minimal
+integration transport; this module is the tier the ROADMAP's serving
+milestone asks for:
+
+* :class:`AsyncGateway` — an asyncio HTTP/1.1 server with a
+  route-per-resource REST surface (``/v1/<graph path>``, Bearer auth,
+  JSON bodies) *and* the back-compat envelope endpoint (``POST /graph``)
+  so existing clients work unchanged.  Per-token authentication and
+  token-bucket rate limiting, bounded request bodies, a connection cap
+  that sheds load with ``503`` + ``retry_after``, and graceful drain on
+  shutdown are all enforced here, in front of the world.
+* :class:`GatewayServer` — a synchronous wrapper that runs one
+  ``AsyncGateway`` on a background event-loop thread (tests, embedders,
+  ``repro serve --workers 0``).
+* :class:`GatewayCluster` — N ``spawn`` worker processes sharing one
+  :class:`~repro.population.shm.SharedUniverse` block and one TCP port
+  via ``SO_REUSEPORT``.  Each worker maps the same physical universe
+  pages (82 MiB at xl, paid once) and rebuilds only the small models
+  from the world config's named seed streams.
+* :func:`rest_transport` — a keep-alive client transport speaking the
+  REST surface, drop-in compatible with
+  :class:`~repro.api.client.MarketingApiClient`.
+
+**Concurrency model.**  The world behind a gateway is single-writer by
+construction: every request is dispatched inline on the event loop, so
+handler code never contends (the server's state lock is then
+uncontended insurance, not a hot path).  Scaling out is by process, not
+thread — and because ``SO_REUSEPORT`` balances *connections*, a
+keep-alive client sticks to one worker for the life of its connection.
+Each worker owns an independent copy of the mutable world state
+(audiences, ads, delivery history) over the shared immutable columns;
+cross-connection read-your-writes holds within a connection, not across
+workers — the same affinity contract real sharded ad servers give.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.parse
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.api.http import MAX_BODY_BYTES, _KeepAliveTransport, parse_content_length
+from repro.api.metrics import endpoint_key
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.api.ratelimit import TokenBucket
+from repro.errors import ApiError, ValidationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "GatewayConfig",
+    "AsyncGateway",
+    "GatewayServer",
+    "GatewayCluster",
+    "WorkerSpec",
+    "rest_transport",
+]
+
+logger = logging.getLogger(__name__)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayConfig:
+    """Limits and behaviour knobs of one gateway (process-local)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Concurrent-connection cap; connections beyond it are shed with a
+    #: ``503`` envelope carrying ``retry_after`` before any read.
+    max_connections: int = 128
+    max_body_bytes: int = MAX_BODY_BYTES
+    #: Per-token bucket: burst capacity and sustained refill.
+    rate_capacity: int = 5000
+    rate_refill_per_second: float = 2500.0
+    #: Idle keep-alive connections are closed after this many seconds.
+    keepalive_timeout: float = 30.0
+    #: Graceful drain: how long ``stop()`` waits for in-flight requests.
+    drain_timeout: float = 10.0
+    #: ``retry_after`` hint attached to shed-load 503 responses.
+    retry_after_hint: float = 0.5
+    #: Bind with ``SO_REUSEPORT`` (multi-worker port sharing).
+    reuse_port: bool = False
+
+
+def _decode_query_value(raw: str) -> Any:
+    """Best-effort typed decode of one query-string value.
+
+    The envelope protocol carries typed JSON params; a query string is
+    all strings.  ``?limit=25`` should reach the server as ``25``, so
+    values that parse as JSON scalars/containers are decoded and
+    anything else stays a string.
+    """
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+class AsyncGateway:
+    """One asyncio gateway over an ``ApiRequest -> ApiResponse`` handler.
+
+    Routes:
+
+    * ``POST /graph`` — the envelope endpoint (body is one serialised
+      :class:`ApiRequest`); existing ``http_transport`` clients work
+      against a gateway unchanged.
+    * ``GET/POST/DELETE /v1/<path>`` — the REST surface.  ``<path>`` is
+      the Graph-style resource path (``/v1/act_1/campaigns``), the
+      Bearer token supplies auth, and params come from the JSON body
+      (when present) or the query string.
+    * ``GET /healthz`` — liveness (no auth): worker pid + counters.
+    * ``GET /metrics`` — the process-local metrics registry snapshot.
+
+    Every request is traced as an ``api.request`` span (endpoint +
+    status attributes) and counted under ``gateway_requests``;
+    rejections (auth, throttle, overload, body) land in
+    ``gateway_rejections`` by reason.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[ApiRequest], ApiResponse],
+        access_tokens: set[str],
+        config: GatewayConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._handler = handler
+        self._tokens = set(access_tokens)
+        self._config = config or GatewayConfig()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._in_flight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        if self._server is None:
+            raise ApiError("gateway not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ApiError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self._config.host,
+            port=self._config.port,
+            reuse_port=self._config.reuse_port or None,
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close.
+
+        Connections idle in keep-alive are closed immediately; requests
+        already dispatched get up to ``drain_timeout`` seconds to finish
+        before their connections are cancelled.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self._config.drain_timeout)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain timeout: cancelling %d connection(s) with work in flight",
+                len(self._connections),
+            )
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        if self._draining or len(self._connections) >= self._config.max_connections:
+            # Load shedding happens before any read: the cheapest
+            # possible rejection, with a hint for the client's backoff.
+            get_registry().inc("gateway_rejections", reason="overload")
+            with contextlib.suppress(ConnectionError):
+                await self._write_response(
+                    writer,
+                    503,
+                    {
+                        "error": {
+                            "message": "gateway at connection capacity",
+                            "type": "TransientError",
+                            "code": 2,
+                        },
+                        "retry_after": self._config.retry_after_hint,
+                    },
+                    close=True,
+                )
+            await self._close_writer(writer)
+            return
+        self._connections.add(task)
+        get_registry().set_gauge("gateway_connections", len(self._connections))
+        try:
+            await self._connection_loop(reader, writer)
+        except (asyncio.CancelledError, asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(task)
+            get_registry().set_gauge("gateway_connections", len(self._connections))
+            await self._close_writer(writer)
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._draining:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"),
+                    timeout=self._config.keepalive_timeout,
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                return  # idle keep-alive expiry, or clean client close
+            except asyncio.LimitOverrunError:
+                get_registry().inc("gateway_rejections", reason="body")
+                await self._write_response(
+                    writer,
+                    400,
+                    _error_body("request head too large", code=100),
+                    close=True,
+                )
+                return
+            try:
+                method, target, headers = _parse_head(head)
+                body = await self._read_body(reader, headers)
+            except ApiError as exc:
+                get_registry().inc("gateway_rejections", reason="body")
+                await self._write_response(
+                    writer, 400, _error_body(str(exc), code=exc.code), close=True
+                )
+                return
+            status, payload = self._dispatch(method, target, headers, body)
+            keep_open = not self._draining and status < 500
+            await self._write_response(writer, status, payload, close=not keep_open)
+            if not keep_open:
+                return
+
+    async def _read_body(self, reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            return b""
+        length = parse_content_length(raw_length, limit=self._config.max_body_bytes)
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict[str, Any],
+        *,
+        close: bool,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            # Client hung up mid-response; its retry machinery recovers.
+            logger.debug("client disconnected during response")
+            raise ConnectionResetError
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(ConnectionError, BrokenPipeError):
+            writer.close()
+            await writer.wait_closed()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _dispatch(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one parsed HTTP request; returns (status, JSON body)."""
+        path = urllib.parse.urlsplit(target).path
+        if path == "/healthz":
+            return 200, {
+                "status": "draining" if self._draining else "ok",
+                "pid": os.getpid(),
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "connections": len(self._connections),
+            }
+        if path == "/metrics":
+            return 200, get_registry().snapshot()
+        if method == "POST" and path == "/graph":
+            return self._dispatch_graph(body)
+        if path.startswith("/v1/"):
+            return self._dispatch_rest(method, target, headers, body)
+        return 404, _error_body(f"no route for {method} {path}", code=100)
+
+    def _dispatch_graph(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """The envelope endpoint: body is one serialised ApiRequest."""
+        try:
+            request = ApiRequest.from_json(body.decode("utf-8"))
+        except (ApiError, UnicodeDecodeError) as exc:
+            get_registry().inc("gateway_rejections", reason="body")
+            return 400, _envelope_wire(
+                ApiResponse.failure(ApiError(str(exc), code=100), status=400)
+            )
+        response = self._guarded_handle(request)
+        # The envelope wire format nests {status, body}; the HTTP status
+        # mirrors the envelope's so curl and middleboxes see the truth.
+        return response.status, _envelope_wire(response)
+
+    def _dispatch_rest(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """The route-per-resource surface: ``/v1/<graph path>``."""
+        try:
+            http_method = HttpMethod(method)
+        except ValueError:
+            return 404, _error_body(f"unsupported method {method}", code=100)
+        token = _bearer_token(headers)
+        split = urllib.parse.urlsplit(target)
+        resource = split.path[len("/v1") :]
+        if body:
+            try:
+                params = json.loads(body.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                get_registry().inc("gateway_rejections", reason="body")
+                return 400, _error_body(f"malformed JSON body: {exc}", code=100)
+            if not isinstance(params, dict):
+                get_registry().inc("gateway_rejections", reason="body")
+                return 400, _error_body("JSON body must be an object", code=100)
+        else:
+            params = {
+                name: _decode_query_value(values[-1])
+                for name, values in urllib.parse.parse_qs(split.query).items()
+            }
+        try:
+            request = ApiRequest(
+                method=http_method, path=resource, params=params, access_token=token
+            )
+        except ValidationError as exc:
+            return 400, _error_body(str(exc), code=100)
+        response = self._guarded_handle(request)
+        return response.status, _rest_wire(response)
+
+    def _guarded_handle(self, request: ApiRequest) -> ApiResponse:
+        """Auth + throttle + trace around the wrapped handler."""
+        endpoint = endpoint_key(request.method, request.path)
+        registry = get_registry()
+        with get_tracer().span("api.request", {"endpoint": endpoint}) as span:
+            started = time.perf_counter()
+            response = self._auth_and_throttle(request)
+            if response is None:
+                self._in_flight += 1
+                self._idle.clear()
+                try:
+                    response = self._handler(request)
+                except ApiError as exc:
+                    response = ApiResponse.failure(exc, status=500)
+                except Exception:  # noqa: BLE001 - the world must not kill the loop
+                    logger.exception("handler crashed for %s", request.path)
+                    response = ApiResponse.failure(
+                        ApiError("internal gateway error", code=2, api_type="TransientError"),
+                        status=500,
+                    )
+                finally:
+                    self._in_flight -= 1
+                    if self._in_flight == 0:
+                        self._idle.set()
+            span.set("status", response.status)
+            registry.inc("gateway_requests", endpoint=endpoint, status=response.status)
+            registry.observe(
+                "gateway_request_seconds",
+                time.perf_counter() - started,
+                endpoint=endpoint,
+            )
+        return response
+
+    def _auth_and_throttle(self, request: ApiRequest) -> ApiResponse | None:
+        """Gateway-level auth and rate limiting; ``None`` admits."""
+        token = request.access_token
+        if token not in self._tokens:
+            get_registry().inc("gateway_rejections", reason="auth")
+            return ApiResponse.failure(
+                ApiError("invalid access token", code=190), status=401
+            )
+        bucket = self._buckets.get(token)
+        if bucket is None:
+            bucket = self._buckets[token] = TokenBucket(
+                self._config.rate_capacity,
+                self._config.rate_refill_per_second,
+                self._clock,
+            )
+        if not bucket.try_acquire():
+            get_registry().inc("gateway_rejections", reason="rate_limit")
+            return ApiResponse.failure(
+                ApiError(
+                    "request limit reached", code=4, api_type="RateLimitError"
+                ),
+                status=429,
+                retry_after=bucket.seconds_until_available(),
+            )
+        return None
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+    """Parse a raw request head into (method, target, lowercase headers)."""
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ApiError(f"malformed request line: {exc}", code=100) from exc
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ApiError(f"malformed header line {line!r}", code=100)
+        headers[name.strip().lower()] = value.strip()
+    return method, target, headers
+
+
+def _bearer_token(headers: dict[str, str]) -> str | None:
+    auth = headers.get("authorization", "")
+    scheme, _, credentials = auth.partition(" ")
+    if scheme.lower() == "bearer" and credentials:
+        return credentials.strip()
+    return None
+
+
+def _error_body(message: str, *, code: int, api_type: str = "GraphMethodException") -> dict:
+    return {"error": {"message": message, "type": api_type, "code": code}}
+
+
+def _envelope_wire(response: ApiResponse) -> dict[str, Any]:
+    """The /graph wire body (the envelope's own serialisation)."""
+    return json.loads(response.to_json())
+
+
+def _rest_wire(response: ApiResponse) -> dict[str, Any]:
+    """The REST wire body: Graph-style flat JSON, status on the HTTP line."""
+    if response.ok:
+        body: dict[str, Any] = {"data": response.data}
+        if response.paging is not None:
+            body["paging"] = response.paging
+        return body
+    body = {"error": response.error}
+    if response.retry_after is not None:
+        body["retry_after"] = response.retry_after
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Synchronous wrapper
+
+
+class GatewayServer:
+    """Run one :class:`AsyncGateway` on a background event-loop thread.
+
+    The synchronous face of the gateway for tests and embedders::
+
+        with GatewayServer(server.handle, {token}) as gw:
+            client = MarketingApiClient(rest_transport("127.0.0.1", gw.port), token)
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[ApiRequest], ApiResponse],
+        access_tokens: set[str],
+        config: GatewayConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._gateway = AsyncGateway(handler, access_tokens, config, clock=clock)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self._gateway.port
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ApiError("gateway already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise ApiError(f"gateway failed to start: {self._startup_error}")
+        if self._loop is None:
+            raise ApiError("gateway failed to start (timeout)")
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._gateway.start())
+        except BaseException as exc:  # bind failure, bad config
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._loop = loop
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        """Drain gracefully, then stop the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._gateway.stop(), loop)
+        with contextlib.suppress(Exception):
+            future.result(timeout=self._gateway._config.drain_timeout + 5.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GatewayServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Multi-process cluster over a shared-memory universe
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned gateway worker needs (picklable).
+
+    The universe travels as a shared-memory manifest (kilobytes), the
+    trained EAR as its weight arrays (also kilobytes); the remaining
+    models are rebuilt from the world config's named seed streams —
+    exactly how :class:`~repro.core.world.SimulatedWorld` builds them,
+    so a worker's world is the parent's world minus the mutable state.
+    """
+
+    manifest_json: str
+    world: Any  # WorldConfig (kept untyped to avoid a core->api import cycle)
+    ear_arrays: dict[str, Any] | None  # None -> oracle EAR over engagement
+    gateway: GatewayConfig
+    #: Ad accounts to provision in every worker (account state is
+    #: worker-local; pre-registering keeps the shards interchangeable).
+    accounts: tuple[str, ...] = ()
+
+
+def _build_worker_server(spec: WorkerSpec, universe) -> Any:
+    """Build a :class:`MarketingApiServer` over an attached universe."""
+    from repro.api.server import MarketingApiServer
+    from repro.geo.mobility import MobilityModel
+    from repro.platform.competition import CompetitionModel
+    from repro.platform.ear import EarModel, OracleEar
+    from repro.platform.engagement import EngagementModel
+    from repro.rng import SeedSequenceFactory
+
+    from repro.platform.campaign import AdAccount
+
+    config = spec.world
+    rngs = SeedSequenceFactory(config.seed)
+    engagement = EngagementModel(config.engagement_params)
+    if spec.ear_arrays is not None:
+        ear = EarModel.from_arrays(spec.ear_arrays)
+    else:
+        ear = OracleEar(engagement)
+    server = MarketingApiServer(
+        universe,
+        ear=ear,
+        engagement=engagement,
+        competition=CompetitionModel(
+            rngs.get("competition"), base_price=config.competition_base_price
+        ),
+        mobility=MobilityModel(rngs.get("mobility")),
+        rng=rngs.get("delivery"),
+        access_tokens={config.access_token},
+        advertiser_bid=config.advertiser_bid,
+        value_noise_sigma=config.value_noise_sigma,
+        delivery_mode=config.delivery_mode,
+        delivery_workers=config.delivery_workers,
+    )
+    for account_id in spec.accounts:
+        server.register_account(AdAccount(account_id=account_id))
+    return server
+
+
+def _worker_main(spec: WorkerSpec, ready_queue) -> None:
+    """Entry point of one spawned gateway worker."""
+    from repro.population.shm import attach
+
+    # A terminal Ctrl-C signals the whole process group; shutdown is the
+    # parent's job (it SIGTERMs every worker), so a worker reacting to
+    # SIGINT on its own would race the orchestrated drain.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    attached = attach(spec.manifest_json)
+    try:
+        server = _build_worker_server(spec, attached.universe)
+        gateway = AsyncGateway(server.handle, {spec.world.access_token}, spec.gateway)
+
+        async def main() -> None:
+            await gateway.start()
+            ready_queue.put({"pid": os.getpid(), "port": gateway.port})
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            await stop.wait()
+            await gateway.stop()
+
+        asyncio.run(main())
+    except Exception as exc:  # surface startup failures to the parent
+        ready_queue.put({"pid": os.getpid(), "error": f"{type(exc).__name__}: {exc}"})
+        raise
+    finally:
+        # The server still holds column views at this point, so the
+        # mapping cannot be released cleanly; the process is exiting
+        # and the OS unmaps it anyway.
+        with contextlib.suppress(BufferError):
+            attached.close()
+
+
+class GatewayCluster:
+    """N gateway workers over one shared universe and one TCP port.
+
+    The parent copies the universe's columns (and PII index) into a
+    :class:`~repro.population.shm.SharedUniverse` block once; each
+    ``spawn``-context worker attaches zero-copy and binds the same port
+    with ``SO_REUSEPORT`` (the kernel balances connections across
+    workers).  ``spawn`` is deliberate — a forked worker would share
+    pages copy-on-write and hide any accidental private copy.
+
+    Parameters
+    ----------
+    universe:
+        The built :class:`~repro.population.universe.UserUniverse`.
+    world_config:
+        The :class:`~repro.core.world.WorldConfig` the workers rebuild
+        their models from (seeds, engagement params, token).
+    ear:
+        The trained EAR (:class:`~repro.platform.ear.EarModel` ships its
+        weights; :class:`~repro.platform.ear.OracleEar` is rebuilt from
+        the engagement model).
+    workers:
+        Process count (>= 1).
+    gateway:
+        Per-worker limits; ``port=0`` lets the cluster reserve one.
+    """
+
+    def __init__(
+        self,
+        universe,
+        world_config,
+        ear,
+        *,
+        workers: int = 2,
+        gateway: GatewayConfig | None = None,
+        accounts: tuple[str, ...] = (),
+    ) -> None:
+        from repro.platform.ear import EarModel
+
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        self._universe = universe
+        self._world_config = world_config
+        self._ear_arrays = ear.to_arrays() if isinstance(ear, EarModel) else None
+        self._n_workers = workers
+        self._gateway_config = gateway or GatewayConfig()
+        self._accounts = tuple(accounts)
+        self._shared = None
+        self._processes: list[Any] = []
+        self._reservation: socket.socket | None = None
+        self._port: int | None = None
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise ApiError("cluster not started")
+        return self._port
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of live workers (for memory accounting in benchmarks)."""
+        return [p.pid for p in self._processes if p.is_alive()]
+
+    @property
+    def shared_nbytes(self) -> int:
+        """Size of the shared universe block in bytes."""
+        if self._shared is None:
+            raise ApiError("cluster not started")
+        return self._shared.nbytes
+
+    @property
+    def shared_name(self) -> str:
+        """OS name of the shared block (its ``/dev/shm`` mapping path).
+
+        Benchmarks use this to find the block in a worker's
+        ``/proc/<pid>/smaps`` and assert the mapping stays shared.
+        """
+        if self._shared is None:
+            raise ApiError("cluster not started")
+        return self._shared.name
+
+    def _reserve_port(self) -> int:
+        """Hold a bound (not listening) SO_REUSEPORT socket on the port.
+
+        Binding without listening reserves the number for the cluster's
+        lifetime — workers bind the same port with ``SO_REUSEPORT`` and,
+        because only *listening* sockets receive connections, the
+        reservation never steals traffic.
+        """
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((self._gateway_config.host, self._gateway_config.port))
+        self._reservation = sock
+        return sock.getsockname()[1]
+
+    def start(self, *, timeout: float = 120.0) -> None:
+        """Share the universe, spawn workers, wait until all are serving."""
+        import multiprocessing
+
+        from repro.population.shm import SharedUniverse
+
+        if self._processes:
+            raise ApiError("cluster already started")
+        self._port = self._reserve_port()
+        self._shared = SharedUniverse.create(self._universe)
+        ctx = multiprocessing.get_context("spawn")
+        ready: Any = ctx.Queue()
+        spec = WorkerSpec(
+            manifest_json=self._shared.manifest.to_json(),
+            world=self._world_config,
+            ear_arrays=self._ear_arrays,
+            # reuse_port is unconditional: the parent's reservation
+            # socket already holds the port with SO_REUSEPORT, so even a
+            # single worker must opt in to share the bind with it.
+            gateway=replace(self._gateway_config, port=self._port, reuse_port=True),
+            accounts=self._accounts,
+        )
+        try:
+            for _ in range(self._n_workers):
+                proc = ctx.Process(target=_worker_main, args=(spec, ready), daemon=True)
+                proc.start()
+                self._processes.append(proc)
+            deadline = time.monotonic() + timeout
+            for _ in range(self._n_workers):
+                remaining = max(0.1, deadline - time.monotonic())
+                status = ready.get(timeout=remaining)
+                if "error" in status:
+                    raise ApiError(f"worker failed to start: {status['error']}")
+        except BaseException:
+            self.stop()
+            raise
+
+    def stop(self) -> None:
+        """SIGTERM every worker (graceful drain), reap, release the block."""
+        for proc in self._processes:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM -> worker drains and exits
+        for proc in self._processes:
+            proc.join(timeout=self._gateway_config.drain_timeout + 10.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._processes = []
+        if self._shared is not None:
+            self._shared.unlink()
+            self._shared = None
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+        self._port = None
+
+    def __enter__(self) -> "GatewayCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# REST client transport
+
+
+class _RestTransport(_KeepAliveTransport):
+    """Keep-alive transport speaking the gateway's REST surface.
+
+    Params always travel as a JSON body (the gateway accepts a body on
+    any verb), so typed values survive without query-string encoding.
+    """
+
+    def _wire(self, request: ApiRequest) -> tuple[str, str, str, dict[str, str]]:
+        headers = {"Content-Type": "application/json"}
+        if request.access_token:
+            headers["Authorization"] = f"Bearer {request.access_token}"
+        return (
+            request.method.value,
+            "/v1" + request.path,
+            json.dumps(request.params),
+            headers,
+        )
+
+    def _parse(self, status: int, raw: str) -> ApiResponse:
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(f"malformed response body: {exc}", code=100) from exc
+        retry_after = body.get("retry_after")
+        return ApiResponse(
+            status=status,
+            data=body.get("data"),
+            error=body.get("error"),
+            paging=body.get("paging"),
+            retry_after=None if retry_after is None else float(retry_after),
+        )
+
+
+def rest_transport(host: str, port: int, *, timeout: float = 30.0) -> _RestTransport:
+    """A client transport for the gateway's ``/v1`` REST surface.
+
+    Compatible with :class:`~repro.api.client.MarketingApiClient`;
+    reuses one keep-alive connection (which also pins the client to one
+    cluster worker — the affinity contract in the module docstring).
+    """
+    return _RestTransport(host, port, timeout)

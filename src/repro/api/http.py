@@ -13,6 +13,11 @@ integration testing and for driving the simulator from other processes:
 The wire format is the envelope's own JSON serialisation; HTTP status is
 carried both at the HTTP layer and inside the envelope so a plain curl
 call shows sensible codes.
+
+This threaded server stays the *minimal* integration-test transport;
+the production serving tier is :mod:`repro.api.gateway` (asyncio,
+route-per-resource REST, backpressure, multi-process workers).  Both
+share the now thread-safe :class:`~repro.api.ratelimit.TokenBucket`.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import http.client
 import json
 import logging
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from collections.abc import Callable
@@ -27,13 +33,48 @@ from collections.abc import Callable
 from repro.api.protocol import ApiRequest, ApiResponse
 from repro.errors import ApiError
 
-__all__ = ["HttpApiServer", "http_transport"]
+__all__ = ["HttpApiServer", "http_transport", "MAX_BODY_BYTES"]
 
 logger = logging.getLogger(__name__)
+
+#: Upper bound on an accepted request body.  The largest legitimate
+#: payload is a 10k-hash ``/users`` batch (~700 KB of JSON); 8 MiB
+#: leaves generous headroom while stopping a hostile Content-Length
+#: from making ``rfile.read`` balloon the handler's memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def parse_content_length(raw: str | None, *, limit: int = MAX_BODY_BYTES) -> int:
+    """Validate a ``Content-Length`` header value; raise code-100 otherwise.
+
+    A negative value handed to ``rfile.read(length)`` means "read to
+    EOF", which on a keep-alive socket never arrives — the handler
+    thread hangs until the client gives up.  Non-numeric values raise
+    uncaught in the handler, and an absurd length invites a memory
+    bomb.  All three are client errors, so they map to a 400 envelope.
+    """
+    if raw is None or not raw.strip():
+        raise ApiError("missing Content-Length header", code=100)
+    try:
+        length = int(raw)
+    except ValueError as exc:
+        raise ApiError(f"non-numeric Content-Length {raw!r}", code=100) from exc
+    if length < 0:
+        raise ApiError(f"negative Content-Length {length}", code=100)
+    if length > limit:
+        raise ApiError(
+            f"Content-Length {length} exceeds the {limit}-byte body limit", code=100
+        )
+    return length
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Maps POST /graph onto the wrapped handler."""
+
+    # HTTP/1.1 keeps the connection alive between requests, letting the
+    # keep-alive client transport below reuse one TCP connection for a
+    # whole campaign (responses always carry Content-Length).
+    protocol_version = "HTTP/1.1"
 
     # set by the server factory
     api_handler: Callable[[ApiRequest], ApiResponse]
@@ -43,7 +84,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_error(404, "only POST /graph is served")
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            length = parse_content_length(self.headers.get("Content-Length"))
             body = self.rfile.read(length).decode("utf-8")
             request = ApiRequest.from_json(body)
         except (ApiError, ValueError) as exc:
@@ -53,15 +94,44 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, response: ApiResponse) -> None:
         payload = response.to_json().encode("utf-8")
-        self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            # The client hung up mid-response (a timeout, a killed
+            # process, an injected fault).  Its request was already
+            # applied server-side; dropping the reply quietly mirrors
+            # the real platform, and the client's retry/idempotency
+            # machinery is what recovers.  A stack trace here would be
+            # pure noise on every chaos run.
+            logger.debug("client disconnected during response: %s", exc)
+            self.close_connection = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Route per-request logs to :mod:`logging` instead of stderr."""
         logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """Threaded server that doesn't stack-trace on client disconnects.
+
+    ``_respond`` already swallows resets during the *write*; a client
+    can just as well vanish while the handler thread is *reading* the
+    next keep-alive request, which raises out of ``finish_request`` and
+    lands in ``handle_error`` — whose default prints a traceback to
+    stderr on every chaos run.  Same policy as ``_respond``: log at
+    debug, move on.
+    """
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            logger.debug("client %s disconnected: %s", client_address, exc)
+            return
+        super().handle_error(request, client_address)
 
 
 class HttpApiServer:
@@ -83,7 +153,7 @@ class HttpApiServer:
         port: int = 0,
     ) -> None:
         handler_cls = type("BoundHandler", (_Handler,), {"api_handler": staticmethod(handler)})
-        self._server = ThreadingHTTPServer((host, port), handler_cls)
+        self._server = _QuietThreadingHTTPServer((host, port), handler_cls)
         self._thread: threading.Thread | None = None
 
     @property
@@ -114,28 +184,89 @@ class HttpApiServer:
         self.stop()
 
 
-def http_transport(host: str, port: int, *, timeout: float = 10.0) -> Callable[[ApiRequest], ApiResponse]:
-    """Build a client transport that speaks to an :class:`HttpApiServer`."""
+class _KeepAliveTransport:
+    """Client transport reusing one ``HTTPConnection`` across requests.
 
-    def transport(request: ApiRequest) -> ApiResponse:
-        connection = http.client.HTTPConnection(host, port, timeout=timeout)
-        try:
-            payload = request.to_json()
-            connection.request(
-                "POST",
-                "/graph",
-                body=payload,
-                headers={"Content-Type": "application/json"},
-            )
-            raw = connection.getresponse().read().decode("utf-8")
-            return ApiResponse.from_json(raw)
-        except (OSError, http.client.HTTPException, json.JSONDecodeError) as exc:
-            # Surfaced as a retryable TransientError: the client's
-            # RetryPolicy resends a bounded number of times before the
-            # fault aborts the run.
-            logger.debug("transport failure for %s: %s", request.path, exc)
-            raise ApiError(f"transport failure: {exc}", code=2, api_type="TransientError") from exc
-        finally:
-            connection.close()
+    The original transport opened a fresh TCP connection per call —
+    three-way handshake and slow-start tax on every one of the thousands
+    of requests a campaign makes, and a steady churn of TIME_WAIT
+    sockets under load.  This one keeps the connection alive and
+    reconnects on failure:
 
-    return transport
+    * a request that fails mid-stream (connection dropped, malformed
+      reply) closes the cached connection and surfaces a retryable
+      ``TransientError`` — the client's :class:`~repro.api.retry.
+      RetryPolicy` resends on a *fresh* connection;
+    * the transport is callable from multiple threads; a lock keeps one
+      request on the wire per connection (HTTP/1.1 without pipelining).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: http.client.HTTPConnection | None = None
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover - close() best effort
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        """Drop the cached connection (idempotent)."""
+        with self._lock:
+            self._drop_connection()
+
+    def _wire(self, request: ApiRequest) -> tuple[str, str, str, dict[str, str]]:
+        """Map an envelope request to ``(method, url, body, headers)``.
+
+        Subclasses (the gateway's REST transport) override this to speak
+        a different wire surface over the same keep-alive machinery.
+        """
+        return (
+            "POST",
+            "/graph",
+            request.to_json(),
+            {"Content-Type": "application/json"},
+        )
+
+    def _parse(self, status: int, raw: str) -> ApiResponse:
+        """Parse a raw response body back into an envelope."""
+        return ApiResponse.from_json(raw)
+
+    def __call__(self, request: ApiRequest) -> ApiResponse:
+        with self._lock:
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+            try:
+                method, url, body, headers = self._wire(request)
+                self._connection.request(method, url, body=body, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read().decode("utf-8")
+                return self._parse(response.status, raw)
+            except (OSError, http.client.HTTPException, json.JSONDecodeError) as exc:
+                # Mid-stream disconnects surface as a retryable
+                # TransientError, exactly like the per-call transport —
+                # but the poisoned connection is dropped first so the
+                # retry reconnects instead of reusing a dead socket.
+                self._drop_connection()
+                logger.debug("transport failure for %s: %s", request.path, exc)
+                raise ApiError(
+                    f"transport failure: {exc}", code=2, api_type="TransientError"
+                ) from exc
+
+
+def http_transport(host: str, port: int, *, timeout: float = 10.0) -> _KeepAliveTransport:
+    """Build a keep-alive client transport for an :class:`HttpApiServer`.
+
+    The returned callable is compatible with
+    :class:`~repro.api.client.MarketingApiClient`; it also exposes
+    ``close()`` for embedders that want to drop the socket eagerly.
+    """
+    return _KeepAliveTransport(host, port, timeout)

@@ -12,6 +12,7 @@ clock deterministically.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 
 from repro.errors import ValidationError
@@ -20,7 +21,17 @@ __all__ = ["TokenBucket"]
 
 
 class TokenBucket:
-    """Classic token bucket.
+    """Classic token bucket, safe under concurrent callers.
+
+    ``_refill``/``try_acquire`` read and write the shared ``_tokens`` /
+    ``_last`` pair; before the internal lock, two ``ThreadingHTTPServer``
+    handler threads could interleave between the availability check and
+    the decrement and admit more requests than ``capacity``
+    (``tests/api/test_ratelimit_concurrency.py`` reproduces the
+    over-admission against a lock-free bucket).  Every public entry point
+    now holds one mutex for its whole read-modify-write, so the bucket is
+    correct from handler threads *and* trivially so from the gateway's
+    single-writer event loop.
 
     Parameters
     ----------
@@ -47,19 +58,22 @@ class TokenBucket:
         self._capacity = float(capacity)
         self._rate = refill_per_second
         self._clock = clock
+        self._lock = threading.Lock()
         self._tokens = float(capacity)
         self._last = clock()
 
     @property
     def available(self) -> float:
         """Tokens available right now (after refill)."""
-        self._refill()
-        return self._tokens
+        with self._lock:
+            self._refill()
+            return self._tokens
 
     def _refill(self) -> None:
-        # Wall clocks step backwards under NTP corrections; treating that
-        # as fatal would 500 the server permanently.  Clamp instead: no
-        # refill is earned while the clock is behind the high-water mark.
+        # Caller holds the lock.  Wall clocks step backwards under NTP
+        # corrections; treating that as fatal would 500 the server
+        # permanently.  Clamp instead: no refill is earned while the
+        # clock is behind the high-water mark.
         now = max(self._clock(), self._last)
         self._tokens = min(self._capacity, self._tokens + (now - self._last) * self._rate)
         self._last = now
@@ -68,16 +82,18 @@ class TokenBucket:
         """Consume ``tokens`` if available; returns success."""
         if tokens <= 0:
             raise ValidationError("tokens must be positive")
-        self._refill()
-        if self._tokens >= tokens:
-            self._tokens -= tokens
-            return True
-        return False
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
 
     def seconds_until_available(self, tokens: float = 1.0) -> float:
         """How long until ``tokens`` would be available."""
-        self._refill()
-        deficit = tokens - self._tokens
-        if deficit <= 0:
-            return 0.0
-        return deficit / self._rate
+        with self._lock:
+            self._refill()
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self._rate

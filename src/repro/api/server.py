@@ -23,6 +23,7 @@ into one call.  Everything the audit measures afterwards flows through
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from typing import Any
 
@@ -134,6 +135,15 @@ class MarketingApiServer:
         # and num_received must count each hash at most once.
         self._staged_seen: dict[str, set[str]] = {}
         self._materialized: dict[str, str] = {}
+        # One world, one writer: every routed request holds this lock, so
+        # handler threads (ThreadingHTTPServer) cannot interleave inside
+        # the mutable world state above.  Without it, a replayed /users
+        # batch racing its original can read _staged_seen before the
+        # first writer updates it and double-count num_received despite
+        # the dedupe index (tests/api/test_server_concurrency.py).  The
+        # asyncio gateway is single-writer by construction, so its calls
+        # never contend here.
+        self._state_lock = threading.RLock()
 
     # -- world management (not part of the HTTP surface) ------------------
 
@@ -178,7 +188,8 @@ class MarketingApiServer:
                     status=429,
                     retry_after=self._bucket.seconds_until_available(),
                 )
-            return self._route(request)
+            with self._state_lock:
+                return self._route(request)
         except RateLimitError as exc:
             return ApiResponse.failure(exc, status=429)
         except AuthError as exc:

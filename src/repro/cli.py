@@ -10,6 +10,7 @@ Examples::
     python -m repro sweep --seeds 101,202 --trace-out results/trace/
     python -m repro api-stats --fault-rate 0.1 --log-level INFO
     python -m repro api-stats --json
+    python -m repro serve --scale small --workers 2 --port 8700
     python -m repro trace results/trace/journal.jsonl --top 10
     python -m repro metrics results/trace/journal.jsonl
     python -m repro cache info
@@ -192,6 +193,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="build the world cold, bypassing the artifact cache",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve the simulated Marketing API over HTTP (gateway workers)",
+        description=(
+            "Build a world and serve its Marketing API through the asyncio "
+            "gateway: route-per-resource REST under /v1/, the envelope "
+            "protocol at POST /graph, plus /healthz and /metrics.  With "
+            "--workers N (default 2) the universe is placed in shared "
+            "memory and N spawned worker processes serve one copy behind "
+            "a single SO_REUSEPORT port; --workers 0 serves in-process "
+            "on a background thread (no shared memory, useful for "
+            "debugging).  Ctrl-C drains in-flight requests and exits."
+        ),
+    )
+    serve.add_argument("--seed", type=int, default=7, help="world seed")
+    serve.add_argument(
+        "--scale",
+        choices=("small", "paper", "xl", "xxl"),
+        default="small",
+        help="world size preset",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="gateway worker processes over shared memory (0 = in-process)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8700, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--accounts",
+        default="serve",
+        help="comma-separated ad account ids to provision in every worker",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=128,
+        help="per-worker connection cap (beyond it: 503 + retry_after)",
+    )
+    serve.add_argument(
+        "--rate-capacity",
+        type=int,
+        default=5000,
+        help="token-bucket burst capacity per access token",
+    )
+    serve.add_argument(
+        "--rate-refill",
+        type=float,
+        default=2500.0,
+        help="token-bucket refill rate per second per access token",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build the world cold, bypassing the artifact cache",
+    )
+
     cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument("action", choices=("info", "clear"), help="what to do")
     cache.add_argument(
@@ -309,6 +370,67 @@ def _run_api_stats(args: argparse.Namespace) -> int:
         f"{len(deliveries)} paired deliveries, {summary.impressions:,} impressions, "
         f"{client.requests_sent} requests in {time.time() - started:.0f}s"
     )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve the simulated Marketing API until interrupted."""
+    import signal
+    import threading
+
+    from repro.api.gateway import GatewayCluster, GatewayConfig, GatewayServer
+
+    config = _SCALE_PRESETS[args.scale](args.seed)
+    print(f"building world (seed={args.seed}, scale={args.scale})...", flush=True)
+    world = SimulatedWorld(config, cache=False if args.no_cache else None)
+    accounts = tuple(part.strip() for part in args.accounts.split(",") if part.strip())
+    gateway_config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        rate_capacity=args.rate_capacity,
+        rate_refill_per_second=args.rate_refill,
+    )
+    if args.workers == 0:
+        for account_id in accounts:
+            world.account(account_id)
+        server = GatewayServer(
+            world.server.handle, {config.access_token}, gateway_config
+        )
+        server.start()
+        port, stop = server.port, server.stop
+        detail = "in-process, no shared memory"
+    else:
+        cluster = GatewayCluster(
+            world.universe,
+            config,
+            world.ear,
+            workers=args.workers,
+            gateway=gateway_config,
+            accounts=accounts,
+        )
+        cluster.start()
+        port, stop = cluster.port, cluster.stop
+        detail = (
+            f"{args.workers} workers sharing one "
+            f"{cluster.shared_nbytes / 2**20:.0f} MiB universe block"
+        )
+    print(f"serving on http://{args.host}:{port} ({detail})")
+    print(f"  token:    {config.access_token}")
+    print(f"  accounts: {', '.join(accounts) or '(none)'}")
+    print("  REST:     /v1/act_<id>/...    envelope: POST /graph")
+    print("  ops:      GET /healthz    GET /metrics")
+    print("Ctrl-C drains in-flight requests and exits.", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+        # A terminal Ctrl-C signals the whole process group (workers
+        # drain themselves); ignore repeats so the drain can finish.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    finally:
+        stop()
+    print("stopped")
     return 0
 
 
@@ -455,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "api-stats":
         return _run_api_stats(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "metrics":

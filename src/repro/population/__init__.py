@@ -19,17 +19,22 @@ methodology implicitly does:
 from repro.population.activity import ActivityModel
 from repro.population.columns import UserColumns
 from repro.population.matching import PiiMatcher, hash_pii, hash_pii_array
+from repro.population.shm import AttachedUniverse, SharedUniverse, ShmManifest, attach
 from repro.population.universe import AdoptionModel, UserUniverse
 from repro.population.user import InterestCluster, PlatformUser
 
 __all__ = [
     "ActivityModel",
     "AdoptionModel",
+    "AttachedUniverse",
     "InterestCluster",
     "PiiMatcher",
     "PlatformUser",
+    "SharedUniverse",
+    "ShmManifest",
     "UserColumns",
     "UserUniverse",
+    "attach",
     "hash_pii",
     "hash_pii_array",
 ]

@@ -110,6 +110,42 @@ class PiiMatcher:
         )
         return matcher
 
+    @classmethod
+    def from_sorted_index(
+        cls,
+        sorted_hashes: np.ndarray,
+        sorted_user_ids: np.ndarray,
+        resolve: Callable[[int], PlatformUser],
+    ) -> "PiiMatcher":
+        """Adopt a pre-sorted hash index without copying it.
+
+        The zero-copy attach path for shared-memory worlds
+        (:mod:`repro.population.shm`): ``_init_index`` argsorts and
+        fancy-indexes its inputs, which would give every gateway worker
+        a private ~64 MB copy of the xl hash column.  Here the arrays —
+        typically views over one shared block, produced by
+        :meth:`index_arrays` on the owning process — are adopted as-is
+        after a cheap ordering check.
+        """
+        sorted_hashes = np.asarray(sorted_hashes, dtype=HASH_DTYPE)
+        sorted_user_ids = np.asarray(sorted_user_ids, dtype=np.intp)
+        if sorted_hashes.size > 1:
+            adjacent = sorted_hashes[1:] <= sorted_hashes[:-1]
+            if bool(adjacent.any()):
+                raise AudienceError(
+                    "from_sorted_index requires strictly ascending hashes "
+                    "(duplicates included)"
+                )
+        matcher = cls.__new__(cls)
+        matcher._sorted_hashes = sorted_hashes
+        matcher._sorted_user_ids = sorted_user_ids
+        matcher._resolve = resolve
+        return matcher
+
+    def index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The sorted (hashes, user_ids) index, for sharing or snapshots."""
+        return self._sorted_hashes, self._sorted_user_ids
+
     def _init_index(
         self,
         hashes: np.ndarray,

@@ -1,0 +1,263 @@
+"""One universe copy, many processes: shared-memory column hosting.
+
+The xl preset's :class:`~repro.population.universe.UserUniverse` is
+~82 MiB of columns.  The gateway (:mod:`repro.api.gateway`) serves it
+from N worker processes; without sharing, each worker would hold a
+private copy — N × 82 MiB for data that is immutable after build.  This
+module places every column (plus the matcher's pre-sorted PII index) in
+a single :class:`multiprocessing.shared_memory.SharedMemory` block so
+workers map the *same* physical pages:
+
+* :class:`SharedUniverse` — the owner handle.  ``SharedUniverse.create``
+  copies the universe's ``to_arrays()`` snapshot (and the matcher index,
+  so attachers never re-sort) into one freshly created block and returns
+  a picklable :class:`ShmManifest` describing the layout.
+* :func:`attach` — rebuilds a read-only ``UserUniverse`` in another
+  process whose arrays are zero-copy views over the shared block.  The
+  matcher comes back through ``PiiMatcher.from_sorted_index``, skipping
+  the argsort/fancy-index copies that would otherwise give each worker a
+  private ~64 MB of hash bytes.
+
+Lifecycle follows the stdlib's: the creating process ``unlink``s (once),
+every process ``close``s its own mapping.  On Python < 3.13 the stdlib
+registers *attached* segments with the resource tracker too, so a worker
+exiting would tear the segment down under the owner; :func:`attach`
+unregisters to restore create-owns semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.population.universe import UserUniverse
+
+__all__ = ["ShmManifest", "SharedUniverse", "attach"]
+
+#: Per-array alignment inside the block.  64 bytes satisfies every
+#: column dtype's natural alignment and keeps arrays cache-line aligned.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ShmManifest:
+    """Layout of a universe inside one shared-memory block.
+
+    Plain data — picklable across a ``spawn`` boundary and JSON-able for
+    handing to workers via argv or an environment variable.  ``arrays``
+    maps column name → ``(dtype_str, shape, offset)``; the two matcher
+    index arrays travel under the reserved names ``__matcher_hashes__``
+    and ``__matcher_user_ids__``.
+    """
+
+    shm_name: str
+    total_bytes: int
+    arrays: dict[str, tuple[str, tuple[int, ...], int]]
+    scalars: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "shm_name": self.shm_name,
+                "total_bytes": self.total_bytes,
+                "arrays": {
+                    name: [dtype, list(shape), offset]
+                    for name, (dtype, shape, offset) in self.arrays.items()
+                },
+                "scalars": self.scalars,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ShmManifest":
+        raw = json.loads(payload)
+        return cls(
+            shm_name=raw["shm_name"],
+            total_bytes=int(raw["total_bytes"]),
+            arrays={
+                name: (dtype, tuple(shape), int(offset))
+                for name, (dtype, shape, offset) in raw["arrays"].items()
+            },
+            scalars=dict(raw["scalars"]),
+        )
+
+
+_MATCHER_HASHES = "__matcher_hashes__"
+_MATCHER_USER_IDS = "__matcher_user_ids__"
+
+
+class SharedUniverse:
+    """Owner handle for a universe hosted in shared memory.
+
+    Created by the process that built (or loaded) the universe; workers
+    receive :attr:`manifest` and call :func:`attach`.  The owner keeps
+    the block alive for as long as any worker needs it and tears it down
+    with :meth:`unlink` (``close`` releases only this process's mapping).
+
+    Usage::
+
+        shared = SharedUniverse.create(universe)
+        try:
+            spawn_workers(shared.manifest.to_json())
+        finally:
+            shared.unlink()
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: ShmManifest) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self._unlinked = False
+
+    @classmethod
+    def create(cls, universe: UserUniverse, *, name: str | None = None) -> "SharedUniverse":
+        """Copy ``universe``'s columns into a new shared-memory block."""
+        arrays = dict(universe.to_arrays())
+        scalars: dict[str, str] = {}
+        for key in ("layout", "mode", "proxy_fidelity"):
+            scalars[key] = str(arrays.pop(key))
+        sorted_hashes, sorted_user_ids = universe.matcher.index_arrays()
+        arrays[_MATCHER_HASHES] = sorted_hashes
+        arrays[_MATCHER_USER_IDS] = sorted_user_ids
+
+        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        for column_name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            arrays[column_name] = array
+            offset = _aligned(offset)
+            layout[column_name] = (array.dtype.str, array.shape, offset)
+            offset += array.nbytes
+        total = max(offset, 1)
+
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        try:
+            for column_name, array in arrays.items():
+                _, shape, start = layout[column_name]
+                view = np.ndarray(shape, dtype=array.dtype, buffer=shm.buf, offset=start)
+                view[...] = array
+                del view  # release the exported buffer so close() can work
+            manifest = ShmManifest(
+                shm_name=shm.name, total_bytes=total, arrays=layout, scalars=scalars
+            )
+            return cls(shm, manifest)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+
+    @property
+    def name(self) -> str:
+        """OS-level name of the block (``/dev/shm/<name>`` on Linux)."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared block in bytes."""
+        return self.manifest.total_bytes
+
+    def attach_local(self) -> "AttachedUniverse":
+        """Attach within the owning process (workers=0 / in-process mode)."""
+        return attach(self.manifest)
+
+    def unlink(self) -> None:
+        """Release this mapping and destroy the block (idempotent)."""
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.close()
+            # The tracker keeps a *set* of names, and :func:`attach`
+            # unregisters in every worker — which, because the tracker
+            # fd is shared with spawn children, empties the owner's
+            # entry too and makes ``unlink``'s own unregister dump a
+            # KeyError traceback in the tracker process.  Re-register
+            # first so the books balance.
+            resource_tracker.register(self._shm._name, "shared_memory")
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedUniverse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+class AttachedUniverse:
+    """A worker's view of a shared universe.
+
+    Holds the :class:`~multiprocessing.shared_memory.SharedMemory`
+    mapping that backs every array of :attr:`universe` — keep it alive
+    as long as the universe is in use, and :meth:`close` when done.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, universe: UserUniverse) -> None:
+        self._shm = shm
+        self.universe = universe
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the universe and release this process's mapping."""
+        if self._closed:
+            return
+        self._closed = True
+        # The universe's arrays are views into shm.buf; they must be
+        # unreachable before close() or the exported-pointer check in
+        # memoryview.release() raises BufferError.
+        self.universe = None
+        import gc
+
+        gc.collect()
+        self._shm.close()
+
+    def __enter__(self) -> "AttachedUniverse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach(manifest: ShmManifest | str) -> AttachedUniverse:
+    """Rebuild a zero-copy :class:`UserUniverse` from a shared block.
+
+    ``manifest`` is the owner's :class:`ShmManifest` (or its JSON).  The
+    returned handle owns this process's mapping; the universe's columns
+    and matcher index are views over the owner's pages — attaching adds
+    kilobytes, not another 82 MiB.
+    """
+    if isinstance(manifest, str):
+        manifest = ShmManifest.from_json(manifest)
+    try:
+        shm = shared_memory.SharedMemory(name=manifest.shm_name)
+    except FileNotFoundError as exc:
+        raise ValidationError(
+            f"shared universe block {manifest.shm_name!r} does not exist "
+            "(owner exited or already unlinked it?)"
+        ) from exc
+    # Python < 3.13 tracks attached segments as if this process created
+    # them, so the resource tracker would unlink the block when *any*
+    # worker exits.  Unregister: only the owner may unlink.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    try:
+        views: dict[str, np.ndarray] = {}
+        for column_name, (dtype, shape, offset) in manifest.arrays.items():
+            views[column_name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+        matcher_index = (views.pop(_MATCHER_HASHES), views.pop(_MATCHER_USER_IDS))
+        views["layout"] = np.array(manifest.scalars["layout"])
+        views["mode"] = np.array(manifest.scalars["mode"])
+        views["proxy_fidelity"] = np.array(float(manifest.scalars["proxy_fidelity"]))
+        universe = UserUniverse.from_arrays(views, matcher_index=matcher_index)
+        return AttachedUniverse(shm, universe)
+    except BaseException:
+        shm.close()
+        raise

@@ -299,17 +299,31 @@ class UserUniverse:
             zip_table=zip_table,
         )
 
-    def _finish_init(self, columns: UserColumns) -> None:
-        """Shared tail of construction and :meth:`from_arrays` restore."""
+    def _finish_init(
+        self,
+        columns: UserColumns,
+        matcher_index: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Shared tail of construction and :meth:`from_arrays` restore.
+
+        ``matcher_index`` — pre-sorted ``(hashes, user_ids)`` arrays from
+        :meth:`PiiMatcher.index_arrays` — skips the argsort/fancy-index
+        copies, the path shared-memory attaches take so each worker's
+        matcher is a view over the owner's block instead of a private
+        ~64 MB duplicate.
+        """
         self._columns = columns
         self._users: list[PlatformUser] | None = None
         self._obs_cells: np.ndarray | None = None
         self._gt_cells: np.ndarray | None = None
         self._home_dma_codes: np.ndarray | None = None
-        indexed = np.flatnonzero(columns.pii_hash != b"")
-        self._matcher = PiiMatcher.from_hash_array(
-            columns.pii_hash[indexed], indexed, self.by_id
-        )
+        if matcher_index is not None:
+            self._matcher = PiiMatcher.from_sorted_index(*matcher_index, self.by_id)
+        else:
+            indexed = np.flatnonzero(columns.pii_hash != b"")
+            self._matcher = PiiMatcher.from_hash_array(
+                columns.pii_hash[indexed], indexed, self.by_id
+            )
 
     # ------------------------------------------------------------------
     # Views
@@ -421,7 +435,12 @@ class UserUniverse:
         return out
 
     @classmethod
-    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "UserUniverse":
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        matcher_index: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "UserUniverse":
         """Rebuild a universe from a :meth:`to_arrays` snapshot.
 
         User ids are positional, so the restored universe is
@@ -430,6 +449,10 @@ class UserUniverse:
         it is only consulted while growing a universe from registries.
         Snapshots from the pre-columnar layout (one object-dtype array
         per attribute, no ``layout`` tag) are converted on load.
+
+        ``matcher_index`` optionally supplies the pre-sorted PII index
+        (see :meth:`PiiMatcher.index_arrays`); shared-memory attaches
+        pass it so rebuilding never copies the hash column.
         """
         if "layout" in arrays:
             columns = UserColumns.build(
@@ -446,7 +469,7 @@ class UserUniverse:
         universe._proxy_fidelity = float(arrays["proxy_fidelity"])
         universe._poverty_threshold = None
         universe._mode = str(arrays["mode"]) if "mode" in arrays else "columnar"
-        universe._finish_init(columns)
+        universe._finish_init(columns, matcher_index=matcher_index)
         return universe
 
     @staticmethod

@@ -1,0 +1,304 @@
+"""Real-TCP tests for the asyncio gateway and the worker cluster.
+
+Socket-bound (integration tier); the socket-free dispatch tests live in
+``tests/api/test_gateway_unit.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import MarketingApiClient
+from repro.api.gateway import GatewayCluster, GatewayConfig, GatewayServer, rest_transport
+from repro.api.http import http_transport
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.api.server import MarketingApiServer
+from repro.core.world import WorldConfig
+from repro.errors import ApiError
+from repro.geo.mobility import MobilityModel
+from repro.platform.campaign import AdAccount
+from repro.platform.competition import CompetitionModel
+from repro.platform.ear import EarModel
+from repro.platform.engagement import EngagementModel
+
+pytestmark = pytest.mark.integration
+
+TOKEN = "gateway-token"
+
+
+def _echo_handler(request: ApiRequest) -> ApiResponse:
+    return ApiResponse.success({"echo": request.path, "params": request.params})
+
+
+def _world_server(universe) -> MarketingApiServer:
+    server = MarketingApiServer(
+        universe,
+        ear=EarModel.constant(0.03),
+        engagement=EngagementModel(),
+        competition=CompetitionModel(np.random.default_rng(81)),
+        mobility=MobilityModel(np.random.default_rng(82)),
+        rng=np.random.default_rng(83),
+        access_tokens={TOKEN},
+    )
+    server.register_account(AdAccount(account_id="gw"))
+    return server
+
+
+def _image_payload() -> dict:
+    return {"race_score": 0.5, "gender_score": 0.5, "age_years": 30.0}
+
+
+def _run_flow(client: MarketingApiClient, universe, *, account="gw", tag="t") -> dict:
+    """One full audience -> campaign -> delivery -> insights flow."""
+    audience = client.create_custom_audience(account, f"aud-{tag}")
+    hashes = [
+        h.decode("ascii") for h in universe.columns.pii_hash[:600].tolist() if h
+    ]
+    received = client.upload_audience_users(audience, hashes)
+    campaign = client.create_campaign(account, f"c-{tag}", "TRAFFIC")
+    adset = client.create_adset(
+        account, f"as-{tag}", campaign, 150, {"custom_audience_ids": [audience]}
+    )
+    ad = client.create_ad(
+        account,
+        f"ad-{tag}",
+        adset,
+        {"headline": "h", "body": "b", "destination_url": "https://x", "image": _image_payload()},
+    )
+    review = client.submit_for_review(ad)
+    if review["review_status"] == "REJECTED":
+        review = client.appeal(ad)
+    assert review["review_status"] == "APPROVED"
+    delivery = client.deliver_day(account, [ad])
+    insights = client.get_insights(ad)
+    return {
+        "received": received,
+        "audience": client.get_audience(audience),
+        "delivered": delivery["delivered_ads"],
+        "impressions": insights["impressions"],
+    }
+
+
+class TestEnvelopeCompat:
+    def test_existing_http_transport_works_against_the_gateway(self):
+        with GatewayServer(_echo_handler, {TOKEN}) as gateway:
+            client = MarketingApiClient(
+                http_transport("127.0.0.1", gateway.port), TOKEN
+            )
+            data = client.call(HttpMethod.GET, "/anything", {"k": [1, 2]})
+            assert data == {"echo": "/anything", "params": {"k": [1, 2]}}
+
+    def test_envelope_error_statuses_survive(self):
+        with GatewayServer(_echo_handler, {TOKEN}) as gateway:
+            client = MarketingApiClient(
+                http_transport("127.0.0.1", gateway.port), "wrong-token"
+            )
+            with pytest.raises(ApiError) as excinfo:
+                client.call(HttpMethod.GET, "/x")
+            assert excinfo.value.code == 190
+
+
+class TestRestSurface:
+    def test_full_campaign_flow_over_rest(self, universe):
+        server = _world_server(universe)
+        with GatewayServer(server.handle, {TOKEN}) as gateway:
+            transport = rest_transport("127.0.0.1", gateway.port)
+            client = MarketingApiClient(transport, TOKEN)
+            result = _run_flow(client, universe)
+            assert result["received"] > 0
+            assert result["delivered"] == 1
+            assert result["impressions"] > 0
+            transport.close()
+
+    def test_cursor_pagination_over_rest(self, universe):
+        server = _world_server(universe)
+        with GatewayServer(server.handle, {TOKEN}) as gateway:
+            transport = rest_transport("127.0.0.1", gateway.port)
+            client = MarketingApiClient(transport, TOKEN)
+            campaign = client.create_campaign("gw", "page-c", "TRAFFIC")
+            adset = client.create_adset(
+                "gw", "page-as", campaign, 100, {"age_min": 25, "age_max": 54}
+            )
+            for i in range(7):
+                client.create_ad(
+                    "gw",
+                    f"page-ad-{i}",
+                    adset,
+                    {"headline": "h", "body": "b", "destination_url": "u",
+                     "image": _image_payload()},
+                )
+            rows = client.get_paged("/act_gw/ads", {"limit": 3})
+            assert len(rows) == 7
+            transport.close()
+
+
+class TestGatewayLimits:
+    def test_connection_cap_sheds_with_503_and_retry_after(self):
+        config = GatewayConfig(max_connections=1, keepalive_timeout=5.0)
+        with GatewayServer(_echo_handler, {TOKEN}, config) as gateway:
+            holder = socket.create_connection(("127.0.0.1", gateway.port))
+            try:
+                # Park one keep-alive request so the connection is live.
+                payload = ApiRequest(
+                    method=HttpMethod.GET, path="/a", access_token=TOKEN
+                ).to_json().encode()
+                holder.sendall(
+                    b"POST /graph HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+                    % (len(payload), payload)
+                )
+                holder.recv(65536)
+                with socket.create_connection(("127.0.0.1", gateway.port)) as shed:
+                    raw = shed.recv(65536)
+                assert b"503" in raw.split(b"\r\n", 1)[0]
+                assert b"retry_after" in raw
+            finally:
+                holder.close()
+
+    def test_oversized_body_is_rejected_with_400(self):
+        config = GatewayConfig(max_body_bytes=1024)
+        with GatewayServer(_echo_handler, {TOKEN}, config) as gateway:
+            with socket.create_connection(("127.0.0.1", gateway.port)) as sock:
+                sock.sendall(
+                    b"POST /graph HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n"
+                )
+                raw = sock.recv(65536)
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            assert b"body limit" in raw
+
+    def test_rate_limited_request_gets_429_envelope(self):
+        config = GatewayConfig(rate_capacity=2, rate_refill_per_second=0.001)
+        with GatewayServer(_echo_handler, {TOKEN}, config) as gateway:
+            transport = http_transport("127.0.0.1", gateway.port)
+            request = ApiRequest(method=HttpMethod.GET, path="/x", access_token=TOKEN)
+            assert transport(request).status == 200
+            assert transport(request).status == 200
+            throttled = transport(request)
+            assert throttled.status == 429
+            assert throttled.retry_after is not None and throttled.retry_after > 0
+            transport.close()
+
+
+class TestGracefulDrain:
+    def test_in_flight_request_finishes_before_shutdown(self):
+        release = threading.Event()
+
+        def slow_handler(request: ApiRequest) -> ApiResponse:
+            release.wait(timeout=5.0)
+            return ApiResponse.success({"done": True})
+
+        gateway = GatewayServer(
+            _echo_handler, {TOKEN}, GatewayConfig(drain_timeout=10.0)
+        )
+        gateway._gateway._handler = slow_handler
+        gateway.start()
+        try:
+            transport = http_transport("127.0.0.1", gateway.port)
+            request = ApiRequest(method=HttpMethod.GET, path="/slow", access_token=TOKEN)
+            result: dict = {}
+
+            def call():
+                result["response"] = transport(request)
+
+            caller = threading.Thread(target=call)
+            caller.start()
+            time.sleep(0.3)  # let the request reach the handler
+
+            stopper = threading.Thread(target=gateway.stop)
+            stopper.start()
+            time.sleep(0.2)
+            release.set()  # the drain must wait for this to finish
+            caller.join(timeout=10.0)
+            stopper.join(timeout=15.0)
+            assert result["response"].ok
+            assert result["response"].data == {"done": True}
+        finally:
+            release.set()
+            gateway.stop()
+
+    def test_new_connections_are_refused_after_stop(self):
+        gateway = GatewayServer(_echo_handler, {TOKEN})
+        gateway.start()
+        port = gateway.port
+        gateway.stop()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1.0)
+
+
+class TestOpsEndpoints:
+    def test_healthz_over_the_wire(self):
+        with GatewayServer(_echo_handler, {TOKEN}) as gateway:
+            with socket.create_connection(("127.0.0.1", gateway.port)) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                raw = sock.recv(65536)
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"200" in head.split(b"\r\n", 1)[0]
+            parsed = json.loads(body)
+            assert parsed["status"] == "ok"
+            assert parsed["pid"] > 0
+
+
+@pytest.fixture(scope="module")
+def cluster(universe):
+    """A two-worker cluster over the session universe (module-scoped:
+    spawn workers cost seconds each)."""
+    config = WorldConfig.small(seed=7)
+    cluster = GatewayCluster(
+        universe,
+        config,
+        EarModel.constant(0.03),
+        workers=2,
+        gateway=GatewayConfig(drain_timeout=5.0),
+        accounts=("gw",),
+    )
+    cluster.start()
+    yield cluster
+    cluster.stop()
+
+
+def _cluster_client(cluster, token) -> tuple[MarketingApiClient, object]:
+    transport = rest_transport("127.0.0.1", cluster.port)
+    return MarketingApiClient(transport, token), transport
+
+
+class TestCluster:
+    def test_two_workers_are_alive_and_serving(self, cluster):
+        assert len(cluster.worker_pids) == 2
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            raw = sock.recv(65536)
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        assert body["pid"] in cluster.worker_pids
+
+    def test_full_flow_sticks_to_one_worker_connection(self, cluster, universe):
+        """A keep-alive client runs a whole mutable flow on one worker."""
+        config = WorldConfig.small(seed=7)
+        client, transport = _cluster_client(cluster, config.access_token)
+        try:
+            result = _run_flow(client, universe, tag="cluster")
+            assert result["delivered"] == 1
+            assert result["impressions"] > 0
+        finally:
+            transport.close()
+
+    def test_connections_reach_both_workers_eventually(self, cluster):
+        """SO_REUSEPORT balances fresh connections across workers."""
+        seen: set[int] = set()
+        for _ in range(40):
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                sock.sendall(
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+                )
+                raw = sock.recv(65536)
+            seen.add(json.loads(raw.partition(b"\r\n\r\n")[2])["pid"])
+            if len(seen) == 2:
+                break
+        assert seen <= set(cluster.worker_pids)
+        assert len(seen) == 2, "40 fresh connections never reached the second worker"

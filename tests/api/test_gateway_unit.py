@@ -1,0 +1,241 @@
+"""Socket-free tests of the gateway's dispatch layer.
+
+:class:`AsyncGateway`'s parsing, routing, auth, throttling and wire
+formats are all synchronous; these tests exercise them directly so the
+tier-1 suite covers the gateway without opening sockets (the real-TCP
+tests live in ``tests/api/test_gateway.py`` under the integration
+marker).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    _decode_query_value,
+    _parse_head,
+)
+from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
+from repro.errors import ApiError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import tracing
+
+TOKEN = "gw-token"
+
+
+def _echo_handler(request: ApiRequest) -> ApiResponse:
+    return ApiResponse.success(
+        {"echo": request.path, "params": request.params, "method": request.method.value}
+    )
+
+
+def _gateway(handler=_echo_handler, **config) -> AsyncGateway:
+    return AsyncGateway(handler, {TOKEN}, GatewayConfig(**config))
+
+
+def _graph_body(path: str, *, method=HttpMethod.GET, params=None, token=TOKEN) -> bytes:
+    return (
+        ApiRequest(method=method, path=path, params=params or {}, access_token=token)
+        .to_json()
+        .encode()
+    )
+
+
+class TestHeadParsing:
+    def test_request_line_and_headers(self):
+        method, target, headers = _parse_head(
+            b"POST /v1/x?a=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\n\r\n"
+        )
+        assert method == "POST"
+        assert target == "/v1/x?a=1"
+        assert headers == {"host": "h", "content-length": "2"}
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ApiError, match="malformed request line"):
+            _parse_head(b"NONSENSE\r\n\r\n")
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(ApiError, match="malformed header"):
+            _parse_head(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+
+class TestQueryDecoding:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("25", 25), ("1.5", 1.5), ("true", True), ("abc", "abc"), ('"q"', "q")],
+    )
+    def test_values_come_back_typed(self, raw, expected):
+        assert _decode_query_value(raw) == expected
+
+
+class TestGraphEndpoint:
+    def test_envelope_round_trip(self):
+        status, body = _gateway()._dispatch(
+            "POST", "/graph", {}, _graph_body("/whatever", params={"a": 1})
+        )
+        assert status == 200
+        assert body["status"] == 200
+        assert body["body"]["data"]["echo"] == "/whatever"
+        assert body["body"]["data"]["params"] == {"a": 1}
+
+    def test_malformed_envelope_is_400(self):
+        status, body = _gateway()._dispatch("POST", "/graph", {}, b"not json")
+        assert status == 400
+        assert body["body"]["error"]["code"] == 100
+
+    def test_handler_crash_is_a_500_transient_envelope(self):
+        def explode(request):
+            raise RuntimeError("boom")
+
+        status, body = _gateway(explode)._dispatch(
+            "POST", "/graph", {}, _graph_body("/x")
+        )
+        assert status == 500
+        assert body["body"]["error"]["type"] == "TransientError"
+        assert body["body"]["error"]["code"] == 2
+
+
+class TestRestSurface:
+    def test_post_with_json_body(self):
+        status, body = _gateway()._dispatch(
+            "POST",
+            "/v1/act_1/campaigns",
+            {"authorization": f"Bearer {TOKEN}"},
+            json.dumps({"name": "c"}).encode(),
+        )
+        assert status == 200
+        assert body["data"]["echo"] == "/act_1/campaigns"
+        assert body["data"]["params"] == {"name": "c"}
+        assert body["data"]["method"] == "POST"
+
+    def test_get_with_typed_query_string(self):
+        status, body = _gateway()._dispatch(
+            "GET",
+            "/v1/act_1/ads?limit=25&after=abc",
+            {"authorization": f"Bearer {TOKEN}"},
+            b"",
+        )
+        assert status == 200
+        assert body["data"]["params"] == {"limit": 25, "after": "abc"}
+
+    def test_missing_token_is_401(self):
+        registry = get_registry()
+        before = registry.counter_value("gateway_rejections", reason="auth")
+        status, body = _gateway()._dispatch("GET", "/v1/act_1/ads", {}, b"")
+        assert status == 401
+        assert body["error"]["code"] == 190
+        assert registry.counter_value("gateway_rejections", reason="auth") == before + 1
+
+    def test_wrong_token_is_401(self):
+        status, _ = _gateway()._dispatch(
+            "GET", "/v1/act_1/ads", {"authorization": "Bearer stolen"}, b""
+        )
+        assert status == 401
+
+    def test_malformed_body_is_400(self):
+        status, body = _gateway()._dispatch(
+            "POST", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b"{nope"
+        )
+        assert status == 400
+        assert body["error"]["code"] == 100
+
+    def test_non_object_body_is_400(self):
+        status, _ = _gateway()._dispatch(
+            "POST", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b"[1, 2]"
+        )
+        assert status == 400
+
+    def test_unsupported_method_is_404(self):
+        status, _ = _gateway()._dispatch(
+            "PUT", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b""
+        )
+        assert status == 404
+
+    def test_unknown_route_is_404(self):
+        status, body = _gateway()._dispatch("GET", "/elsewhere", {}, b"")
+        assert status == 404
+        assert "no route" in body["error"]["message"]
+
+
+class TestRateLimiting:
+    def test_burst_beyond_capacity_is_429_with_retry_after(self):
+        clock_now = [0.0]
+        gateway = AsyncGateway(
+            _echo_handler,
+            {TOKEN},
+            GatewayConfig(rate_capacity=2, rate_refill_per_second=1.0),
+            clock=lambda: clock_now[0],
+        )
+        headers = {"authorization": f"Bearer {TOKEN}"}
+        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
+        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
+        status, body = gateway._dispatch("GET", "/v1/a", headers, b"")
+        assert status == 429
+        assert body["error"]["code"] == 4
+        assert body["retry_after"] == pytest.approx(1.0)
+        # Refill restores service.
+        clock_now[0] = 1.0
+        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
+
+    def test_tokens_get_independent_buckets(self):
+        gateway = AsyncGateway(
+            _echo_handler,
+            {TOKEN, "other"},
+            GatewayConfig(rate_capacity=1, rate_refill_per_second=0.001),
+            clock=lambda: 0.0,
+        )
+        assert gateway._dispatch(
+            "GET", "/v1/a", {"authorization": f"Bearer {TOKEN}"}, b""
+        )[0] == 200
+        assert gateway._dispatch(
+            "GET", "/v1/a", {"authorization": f"Bearer {TOKEN}"}, b""
+        )[0] == 429
+        assert gateway._dispatch(
+            "GET", "/v1/a", {"authorization": "Bearer other"}, b""
+        )[0] == 200
+
+
+class TestOpsEndpoints:
+    def test_healthz_reports_liveness(self):
+        status, body = _gateway()._dispatch("GET", "/healthz", {}, b"")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["pid"] > 0
+
+    def test_metrics_returns_a_registry_snapshot(self):
+        status, body = _gateway()._dispatch("GET", "/metrics", {}, b"")
+        assert status == 200
+        assert {"counters", "gauges", "histograms"} <= set(body)
+
+
+class TestObservability:
+    def test_requests_are_counted_and_timed(self):
+        registry = get_registry()
+        before = registry.counter_value(
+            "gateway_requests", endpoint="GET act_{id}/ads", status=200
+        )
+        _gateway()._dispatch(
+            "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b""
+        )
+        assert (
+            registry.counter_value(
+                "gateway_requests", endpoint="GET act_{id}/ads", status=200
+            )
+            == before + 1
+        )
+        histogram = registry.histogram(
+            "gateway_request_seconds", endpoint="GET act_{id}/ads"
+        )
+        assert histogram is not None and histogram.count >= 1
+
+    def test_api_request_span_carries_endpoint_and_status(self):
+        with tracing() as tracer:
+            _gateway()._dispatch("POST", "/graph", {}, _graph_body("/act_1/adsets"))
+            spans = [s for s in tracer.spans if s.name == "api.request"]
+        assert spans
+        assert spans[-1].attrs["endpoint"] == "GET act_{id}/adsets"
+        assert spans[-1].attrs["status"] == 200

@@ -81,3 +81,139 @@ class TestHttpTransport:
                 server.start()
         finally:
             server.stop()
+
+
+def _raw_request(port: int, head: str, body: bytes = b"", timeout: float = 5.0) -> bytes:
+    """Send raw bytes and read whatever the server replies with."""
+    import socket
+
+    import re
+
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(head.encode("ascii") + body)
+        received = b""
+        try:
+            while chunk := sock.recv(65536):
+                received += chunk
+                head_part, sep, body_part = received.partition(b"\r\n\r\n")
+                if not sep:
+                    continue
+                match = re.search(rb"Content-Length: (\d+)", head_part)
+                if match is None or len(body_part) >= int(match.group(1)):
+                    break
+        except TimeoutError:
+            pass
+    return received
+
+
+class TestContentLengthValidation:
+    """A hostile Content-Length must 400, not hang or crash the handler."""
+
+    def test_negative_content_length_is_400_not_a_hang(self):
+        """``rfile.read(-5)`` means read-to-EOF: the PR-8 hang bug.
+
+        On a keep-alive socket EOF never arrives, so the handler thread
+        used to block until the client timed out.  The validated header
+        turns this into an immediate 400 envelope.
+        """
+        with HttpApiServer(_echo_handler) as server:
+            raw = _raw_request(
+                server.port,
+                "POST /graph HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n",
+            )
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        assert b"negative Content-Length" in raw
+
+    def test_non_numeric_content_length_is_400(self):
+        with HttpApiServer(_echo_handler) as server:
+            raw = _raw_request(
+                server.port,
+                "POST /graph HTTP/1.1\r\nHost: x\r\nContent-Length: lots\r\n\r\n",
+            )
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        assert b"non-numeric" in raw
+
+    def test_oversized_content_length_is_400(self):
+        from repro.api.http import MAX_BODY_BYTES
+
+        with HttpApiServer(_echo_handler) as server:
+            raw = _raw_request(
+                server.port,
+                "POST /graph HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n",
+            )
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        assert b"body limit" in raw
+
+    def test_client_disconnect_mid_response_is_quiet(self, capfd):
+        """A client hanging up during ``_respond`` must not stack-trace."""
+        import socket
+
+        with HttpApiServer(_echo_handler) as server:
+            payload = ApiRequest(
+                method=HttpMethod.GET, path="/x", access_token="tok"
+            ).to_json().encode()
+            with socket.create_connection(("127.0.0.1", server.port)) as sock:
+                sock.sendall(
+                    b"POST /graph HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(payload), payload)
+                )
+                # Reset (RST) instead of FIN so the server's write fails.
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    __import__("struct").pack("ii", 1, 0),
+                )
+            # Give the handler thread a moment to hit the broken pipe.
+            import time
+
+            time.sleep(0.3)
+        captured = capfd.readouterr()
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+
+
+class TestKeepAliveTransport:
+    def test_connection_is_reused_across_requests(self):
+        with HttpApiServer(_echo_handler) as server:
+            transport = http_transport("127.0.0.1", server.port)
+            client = MarketingApiClient(transport, "tok")
+            client.call(HttpMethod.GET, "/first")
+            first_connection = transport._connection
+            assert first_connection is not None
+            client.call(HttpMethod.GET, "/second")
+            assert transport._connection is first_connection
+
+    def test_mid_stream_disconnect_is_a_retryable_transient_error(self):
+        """A connection dying between requests surfaces as TransientError.
+
+        The retry policy must see the same retryable shape the per-call
+        transport produced, and the *next* call must transparently
+        reconnect instead of reusing the dead socket.
+        """
+        import socket
+
+        from repro.api.retry import RetryPolicy
+
+        with HttpApiServer(_echo_handler) as server:
+            transport = http_transport("127.0.0.1", server.port)
+            assert transport(
+                ApiRequest(method=HttpMethod.GET, path="/ok", access_token="tok")
+            ).ok
+            # Kill the established connection out from under the
+            # transport, as a dropped network path would.
+            transport._connection.sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(ApiError) as excinfo:
+                transport(
+                    ApiRequest(method=HttpMethod.GET, path="/gone", access_token="tok")
+                )
+            assert excinfo.value.api_type == "TransientError"
+            assert excinfo.value.code == 2
+            assert RetryPolicy().retryable_exception(excinfo.value)
+            # The poisoned connection was dropped: the next call
+            # reconnects and succeeds without any manual intervention.
+            response = transport(
+                ApiRequest(method=HttpMethod.GET, path="/back", access_token="tok")
+            )
+            assert response.ok and response.data["echo"] == "/back"
+            transport.close()

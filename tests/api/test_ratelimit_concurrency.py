@@ -1,0 +1,92 @@
+"""Concurrency regression tests for :class:`repro.api.ratelimit.TokenBucket`.
+
+The bucket is shared by every handler thread of a
+``ThreadingHTTPServer`` (and by the gateway's rate-limit map), so its
+read-modify-write on ``_tokens``/``_last`` must be atomic.  These tests
+drive many barrier-synchronised threads at one bucket under a frozen
+clock and assert the accounting invariant that the pre-lock code
+violated.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.api.ratelimit import TokenBucket
+
+
+def _hammer_bucket(bucket: TokenBucket, n_threads: int) -> int:
+    """All threads released by one barrier; returns successful acquires."""
+    barrier = threading.Barrier(n_threads)
+    admitted = [0] * n_threads
+
+    def worker(slot: int) -> None:
+        barrier.wait()
+        if bucket.try_acquire():
+            admitted[slot] = 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(admitted)
+
+
+class TestTokenBucketUnderConcurrency:
+    def test_concurrent_acquires_never_exceed_capacity(self):
+        """Barrier-driven over-admission regression (the PR-8 race).
+
+        Before the bucket grew its internal lock this test failed: two
+        threads could both pass the ``_tokens >= tokens`` check before
+        either decremented, admitting more than ``capacity`` requests
+        from a full bucket even with the clock frozen (no refill earned).
+        A tiny switch interval plus a start barrier makes the interleave
+        land reliably within a few hundred rounds; with the lock, total
+        admissions per round can never exceed the burst capacity.
+        """
+        n_threads, capacity, rounds = 8, 4, 400
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            over_admissions = 0
+            for _ in range(rounds):
+                # Frozen clock: zero refill, so exactly `capacity`
+                # acquires can ever succeed on a fresh bucket.
+                bucket = TokenBucket(capacity, 1.0, clock=lambda: 0.0)
+                admitted = _hammer_bucket(bucket, n_threads)
+                if admitted > capacity:
+                    over_admissions += 1
+            assert over_admissions == 0, (
+                f"bucket over-admitted in {over_admissions}/{rounds} rounds "
+                f"(capacity {capacity}, {n_threads} threads)"
+            )
+        finally:
+            sys.setswitchinterval(previous)
+
+    def test_tokens_never_go_negative_under_load(self):
+        """Sustained hammering keeps the token count non-negative."""
+        bucket = TokenBucket(3, 1.0, clock=lambda: 0.0)
+        for _ in range(50):
+            _hammer_bucket(bucket, 6)
+            assert bucket.available >= 0.0
+
+    def test_refill_accounting_is_exact_across_threads(self):
+        """A stepping clock refills once per elapsed second, not per thread.
+
+        Concurrent refills used to race on ``_last`` too: two threads
+        observing the same clock step could both add the elapsed budget.
+        With the lock, total admissions equal capacity plus the refill
+        earned by the clock steps — never more.
+        """
+        now = [0.0]
+        bucket = TokenBucket(2, 1.0, clock=lambda: now[0])
+        total = _hammer_bucket(bucket, 4)  # burst drains the bucket
+        assert total <= 2
+        for step in range(1, 6):
+            now[0] = float(step)  # 1 token earned per step
+            total += _hammer_bucket(bucket, 4)
+        assert total <= 2 + 5

@@ -114,3 +114,49 @@ class TestPagination:
             after = paging["cursors"]["after"]
         assert collected == items
         assert pages == max(1, -(-n_items // limit))
+
+
+class TestShrinkingCollection:
+    """Cursor pagination when the collection shrinks between pages."""
+
+    def test_out_of_range_cursor_raises_code_100(self):
+        items = list(range(30))
+        _, paging = paginate("ads", items, after=None, limit=25)
+        after = paging["cursors"]["after"]
+        # The collection shrinks (ads deleted) before the next page read.
+        with pytest.raises(ApiError) as excinfo:
+            paginate("ads", items[:10], after=after, limit=25)
+        assert excinfo.value.code == 100
+
+    def test_paged_client_loop_surfaces_shrink_instead_of_spinning(self):
+        """The client's paged loop must raise, not retry forever.
+
+        A code-100 out-of-range cursor is a 400 — not a retryable status —
+        so ``get_paged`` surfaces it after one attempt.  Before the
+        unified RetryPolicy a paged 4xx could spin; this pins the whole
+        client-side path for the shrink case specifically.
+        """
+        from repro.api import MarketingApiClient
+        from repro.api.protocol import ApiRequest, ApiResponse
+
+        collections = [list(range(30)), list(range(10))]  # shrinks after page 1
+        calls = {"n": 0}
+
+        def transport(request: ApiRequest) -> ApiResponse:
+            calls["n"] += 1
+            items = collections[min(calls["n"] - 1, 1)]
+            try:
+                page, paging = paginate(
+                    "ads", items, after=request.params.get("after"), limit=25
+                )
+            except ApiError as exc:
+                return ApiResponse.failure(exc, status=400)
+            return ApiResponse.success(page, paging=paging)
+
+        client = MarketingApiClient(transport, "tok")
+        with pytest.raises(ApiError) as excinfo:
+            client.get_paged("/act_1/ads")
+        assert excinfo.value.code == 100
+        assert "out of range" in str(excinfo.value)
+        # One page fetch + exactly one failing follow-up: no retry storm.
+        assert calls["n"] == 2

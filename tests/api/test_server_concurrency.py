@@ -1,0 +1,151 @@
+"""Concurrency regression tests for :class:`MarketingApiServer` state.
+
+The server's mutable world state (``_staged_uploads``, ``_staged_seen``,
+``_materialized``, ``_insights_by_ad``, ``_last_delivery``) is mutated by
+``handle()``; under the threaded HTTP transport those calls arrive on
+concurrent handler threads.  These tests replay the fault scenario that
+motivated the dedupe index — a client resending a ``/users`` batch the
+server already applied — but with the replay racing the original, and
+assert each hash is counted at most once.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.protocol import ApiRequest, HttpMethod
+from repro.api.server import MarketingApiServer
+from repro.geo.mobility import MobilityModel
+from repro.platform.campaign import AdAccount
+from repro.platform.competition import CompetitionModel
+from repro.platform.ear import EarModel
+from repro.platform.engagement import EngagementModel
+
+TOKEN = "concurrency-token"
+
+
+@pytest.fixture()
+def server(universe) -> MarketingApiServer:
+    rng = np.random.default_rng(71)
+    server = MarketingApiServer(
+        universe,
+        ear=EarModel.constant(0.03),
+        engagement=EngagementModel(),
+        competition=CompetitionModel(np.random.default_rng(72)),
+        mobility=MobilityModel(np.random.default_rng(73)),
+        rng=rng,
+        access_tokens={TOKEN},
+    )
+    server.register_account(AdAccount(account_id="conc"))
+    return server
+
+
+def _post(server: MarketingApiServer, path: str, params: dict):
+    return server.handle(
+        ApiRequest(
+            method=HttpMethod.POST, path=path, params=params, access_token=TOKEN
+        )
+    )
+
+
+def _upload_concurrently(
+    server: MarketingApiServer, audience_id: str, batches: list[list[str]]
+) -> list[int]:
+    """Fire every batch from its own barrier-synchronised thread."""
+    barrier = threading.Barrier(len(batches))
+    received = [0] * len(batches)
+
+    def worker(slot: int, batch: list[str]) -> None:
+        barrier.wait()
+        response = _post(
+            server,
+            f"/{audience_id}/users",
+            {"payload": {"schema": ["PII_SHA256"], "data": batch}},
+        )
+        assert response.ok
+        received[slot] = int(response.data["num_received"])
+
+    threads = [
+        threading.Thread(target=worker, args=(slot, batch))
+        for slot, batch in enumerate(batches)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return received
+
+
+class TestConcurrentUploads:
+    def test_replayed_batch_racing_its_original_counts_once(self, server):
+        """Barrier-driven replay/original dedupe race (the PR-8 race).
+
+        Before ``handle()`` serialised routed requests behind the state
+        lock this test failed: two threads uploading the *same* batch
+        could both read ``_staged_seen`` before either updated it, so
+        both reported the overlap as fresh (``num_received`` double-
+        counted) and the staged hash list accumulated duplicates.  A
+        small first upload seeds the dedupe index so the racing replays
+        take the stale-filtering path, and batches are sized past an OS
+        scheduling quantum so the two handler threads genuinely
+        interleave inside ``_upload_users`` (on one core, short calls
+        run serially and hide the race).  With the lock, one upload wins
+        and the replay sees pure duplicates, every round.
+        """
+        batch = [f"{i:064x}" for i in range(100_000)]
+        seed_n, rounds = 1000, 6
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            for round_no in range(rounds):
+                response = _post(
+                    server, "/act_conc/customaudiences", {"name": f"race{round_no}"}
+                )
+                audience_id = response.data["id"]
+                seeded = _upload_concurrently(server, audience_id, [batch[:seed_n]])
+                assert seeded == [seed_n]
+                received = _upload_concurrently(server, audience_id, [batch, batch])
+                assert seed_n + sum(received) == len(batch), (
+                    f"round {round_no}: replayed batch double-counted, "
+                    f"per-thread num_received {received}"
+                )
+                name, accumulated = server._staged_uploads[audience_id]
+                assert len(accumulated) == len(set(accumulated)) == len(batch)
+        finally:
+            sys.setswitchinterval(previous)
+
+    def test_disjoint_concurrent_batches_all_land(self, server):
+        """Parallel uploads of disjoint batches lose nothing."""
+        response = _post(server, "/act_conc/customaudiences", {"name": "disjoint"})
+        audience_id = response.data["id"]
+        batches = [
+            [f"{j:060x}{i:04x}" for j in range(1500)] for i in range(4)
+        ]
+        received = _upload_concurrently(server, audience_id, batches)
+        assert received == [1500] * 4
+        _, accumulated = server._staged_uploads[audience_id]
+        assert len(accumulated) == len(set(accumulated)) == 6000
+
+    def test_concurrent_audience_creation_yields_distinct_ids(self, server):
+        """Staged-audience ids stay unique when creations race."""
+        barrier = threading.Barrier(8)
+        ids: list[str] = []
+        lock = threading.Lock()
+
+        def worker(i: int) -> None:
+            barrier.wait()
+            response = _post(server, "/act_conc/customaudiences", {"name": f"a{i}"})
+            assert response.ok
+            with lock:
+                ids.append(response.data["id"])
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(ids)) == 8

@@ -1,0 +1,175 @@
+"""Tests for shared-memory universe hosting (:mod:`repro.population.shm`)."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.errors import AudienceError, ValidationError
+from repro.population import PiiMatcher, SharedUniverse, ShmManifest, UserColumns, attach
+from repro.population.shm import _MATCHER_HASHES, _MATCHER_USER_IDS
+
+from dataclasses import fields
+
+
+@pytest.fixture()
+def shared(universe):
+    shared = SharedUniverse.create(universe)
+    yield shared
+    shared.unlink()
+
+
+class TestRoundTrip:
+    def test_attached_universe_is_column_identical(self, universe, shared):
+        with attach(shared.manifest) as attached:
+            restored = attached.universe
+            assert len(restored) == len(universe)
+            for field in fields(UserColumns):
+                original = getattr(universe.columns, field.name)
+                copy = getattr(restored.columns, field.name)
+                assert copy.dtype == original.dtype, field.name
+                assert np.array_equal(copy, original), field.name
+            assert restored.proxy_fidelity == universe.proxy_fidelity
+            assert restored.mode == universe.mode
+
+    def test_matcher_matches_identically_after_attach(self, universe, shared):
+        hashes = [
+            h.decode("ascii")
+            for h in universe.columns.pii_hash[:200].tolist()
+            if h != b""
+        ]
+        assert hashes, "fixture universe should have indexed users"
+        expected = universe.matcher.match_indices(hashes)
+        with attach(shared.manifest) as attached:
+            got = attached.universe.matcher.match_indices(hashes)
+            assert np.array_equal(got, expected)
+            assert len(attached.universe.matcher) == len(universe.matcher)
+
+    def test_manifest_survives_json(self, shared):
+        manifest = ShmManifest.from_json(shared.manifest.to_json())
+        assert manifest == shared.manifest
+        with attach(manifest.to_json()) as attached:
+            assert len(attached.universe) > 0
+
+
+class TestZeroCopy:
+    def test_attached_columns_are_views_not_copies(self, shared):
+        """Every per-user array must alias the shared block.
+
+        ``OWNDATA`` is false for a view over an external buffer; a copy
+        anywhere in the attach path (a dtype cast in ``UserColumns.build``,
+        the matcher re-sorting) would silently cost each gateway worker
+        its own 82 MiB and defeat the sharing entirely.
+        """
+        with attach(shared.manifest) as attached:
+            columns = attached.universe.columns
+            for name in UserColumns._PER_USER:
+                assert not getattr(columns, name).flags["OWNDATA"], name
+            for index_array in attached.universe.matcher.index_arrays():
+                assert not index_array.flags["OWNDATA"]
+
+    def test_block_holds_columns_and_matcher_index(self, universe, shared):
+        names = set(shared.manifest.arrays)
+        assert {field.name for field in fields(UserColumns)} <= names
+        assert _MATCHER_HASHES in names and _MATCHER_USER_IDS in names
+        assert shared.nbytes >= universe.columns.nbytes
+
+
+class TestLifecycle:
+    def test_attach_after_unlink_raises(self, universe):
+        shared = SharedUniverse.create(universe)
+        manifest = shared.manifest
+        shared.unlink()
+        with pytest.raises(ValidationError, match="does not exist"):
+            attach(manifest)
+
+    def test_unlink_is_idempotent(self, universe):
+        shared = SharedUniverse.create(universe)
+        shared.unlink()
+        shared.unlink()
+
+    def test_close_releases_mapping(self, shared):
+        attached = attach(shared.manifest)
+        assert attached.universe is not None
+        attached.close()
+        assert attached.universe is None
+        attached.close()  # idempotent
+
+
+class TestSortedIndexFastPath:
+    def test_unsorted_index_is_rejected(self, universe):
+        hashes, user_ids = universe.matcher.index_arrays()
+        backwards = hashes[::-1].copy()
+        with pytest.raises(AudienceError, match="ascending"):
+            PiiMatcher.from_sorted_index(backwards, user_ids, universe.by_id)
+
+    def test_duplicate_hashes_are_rejected(self, universe):
+        hashes, user_ids = universe.matcher.index_arrays()
+        doubled = np.repeat(hashes[:4], 2)
+        with pytest.raises(AudienceError, match="ascending"):
+            PiiMatcher.from_sorted_index(doubled, user_ids[:8], universe.by_id)
+
+
+def _worker_digest(manifest_json: str, out: multiprocessing.SimpleQueue) -> None:
+    """Spawn target: attach, summarise, detach (module-level for pickling)."""
+    with attach(manifest_json) as attached:
+        restored = attached.universe
+        sample = [
+            h.decode("ascii") for h in restored.columns.pii_hash[:50].tolist() if h
+        ]
+        out.put(
+            {
+                "n": len(restored),
+                "age_sum": int(restored.columns.age.sum()),
+                "matched": int(restored.matcher.match_indices(sample).size),
+            }
+        )
+
+
+class TestCrossProcess:
+    def test_spawned_worker_sees_the_same_universe(self, universe, shared):
+        """A spawn-context child attaches and reads the owner's block.
+
+        ``spawn`` (not ``fork``) is deliberate: a forked child would
+        inherit the parent's pages copy-on-write and the test could not
+        tell shared memory from plain memory.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        out = ctx.SimpleQueue()
+        proc = ctx.Process(
+            target=_worker_digest, args=(shared.manifest.to_json(), out)
+        )
+        proc.start()
+        digest = out.get()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        sample = [
+            h.decode("ascii") for h in universe.columns.pii_hash[:50].tolist() if h
+        ]
+        assert digest == {
+            "n": len(universe),
+            "age_sum": int(universe.columns.age.sum()),
+            "matched": int(universe.matcher.match_indices(sample).size),
+        }
+
+    def test_worker_exit_does_not_destroy_the_block(self, shared):
+        """Python<3.13 resource-tracker regression guard.
+
+        Attaching registers the segment with the child's resource
+        tracker, which unlinks "leaked" segments at child exit — tearing
+        the block down under the owner and every sibling worker.
+        ``attach`` unregisters, so a second attach after a child has come
+        and gone must still succeed.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        out = ctx.SimpleQueue()
+        proc = ctx.Process(
+            target=_worker_digest, args=(shared.manifest.to_json(), out)
+        )
+        proc.start()
+        out.get()
+        proc.join(timeout=30)
+        with attach(shared.manifest) as attached:
+            assert len(attached.universe) > 0
