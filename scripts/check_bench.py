@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Bench regression gate: fail CI when the newest bench record regresses.
+
+The weekly integration job appends records to ``BENCH_*.json``; until
+now they were logs, not telemetry — a silent 2x slowdown would merge.
+This gate turns the trajectory into an enforced contract:
+
+* records are grouped by their identity fields (``mode``/``bench``/
+  ``stage`` plus the scale knobs: world, preset, n_workers, ...), so a
+  2-worker serving record is only ever compared against prior 2-worker
+  serving records;
+* within each group, the newest record is compared metric-by-metric
+  against the **median of up to the last 5 prior records** (median, not
+  last: one noisy historical run must not poison the baseline);
+* only metrics with a known direction are judged — ``rps``/``speedup``
+  up is good, ``median_ms``/``p50_ms`` down is good — and a metric
+  missing from either side is skipped (new metrics backfill naturally);
+* a relative regression beyond the threshold (default 25%, generous
+  because CI boxes are noisy and single-core) fails the run.
+
+Usage::
+
+    python scripts/check_bench.py                   # gate every BENCH_*.json
+    python scripts/check_bench.py --threshold 0.10 BENCH_serving.json
+    python scripts/check_bench.py --json            # machine-readable report
+
+Stdlib-only; importable (``load_records``/``compare``) for the tier-1
+unit tests in ``tests/test_check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Metrics where a *larger* value is an improvement.
+HIGHER_BETTER = (
+    "rps",
+    "speedup",
+    "speedup_vs_reference",
+    "slots_per_sec_per_core",
+    "requests_clean",
+    "hashes_per_sec",
+)
+
+#: Metrics where a *smaller* value is an improvement.
+LOWER_BETTER = (
+    "median_ms",
+    "p50_ms",
+    "p99_ms",
+    "serial_cold_s",
+    "parallel_warm_s",
+    "build_s",
+    "trace_overhead_pct",
+    "telemetry_overhead_pct",
+    "rss_delta_mb",
+    "peak_rss_mb",
+)
+
+#: Fields that identify *what* was measured (any subset present in a
+#: record becomes its group key; scale knobs keep apples with apples).
+GROUP_FIELDS = (
+    "bench",
+    "mode",
+    "stage",
+    "preset",
+    "world",
+    "scale",
+    "n_workers",
+    "n_ads",
+    "n_users",
+    "concurrency",
+    "jobs",
+    "fault_rate",
+)
+
+#: Absolute noise floors (metric units).  A baseline near zero turns
+#: allocator jitter into huge relative "regressions" — ±1 MB of RSS
+#: delta is noise, not a finding — so relative change is computed
+#: against ``max(|baseline|, floor)``.
+NOISE_FLOOR = {
+    "rss_delta_mb": 16.0,
+    "trace_overhead_pct": 5.0,
+    "telemetry_overhead_pct": 5.0,
+}
+
+#: Baselines are the median of up to this many prior records per group.
+DEFAULT_WINDOW = 5
+
+#: Default relative regression tolerance (0.25 == 25%).
+DEFAULT_THRESHOLD = 0.25
+
+
+def group_key(record: Mapping[str, Any]) -> tuple:
+    """The identity of a record: every GROUP_FIELD it carries."""
+    return tuple(
+        (field, record[field]) for field in GROUP_FIELDS if record.get(field) is not None
+    )
+
+
+def load_records(path: Path) -> list[dict[str, Any]]:
+    """Load one BENCH file (a flat JSON array, oldest first)."""
+    records = json.loads(path.read_text())
+    if not isinstance(records, list):
+        raise ValueError(f"{path} is not a JSON array of bench records")
+    return records
+
+
+def _numeric(value: Any) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def compare(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    source: str = "",
+) -> list[dict[str, Any]]:
+    """Judge the newest record of every group against its history.
+
+    Returns one result row per (group, metric) with a ``status`` of
+    ``ok`` / ``regression`` / ``improvement`` / ``new`` (no history or a
+    metric the prior records never carried — the backfill case).
+    """
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    for record in records:
+        groups.setdefault(group_key(record), []).append(record)
+
+    results: list[dict[str, Any]] = []
+    for key, members in groups.items():
+        newest, history = members[-1], members[:-1]
+        label = ", ".join(f"{field}={value}" for field, value in key) or "(ungrouped)"
+        for metric in HIGHER_BETTER + LOWER_BETTER:
+            new_value = _numeric(newest.get(metric))
+            if new_value is None:
+                continue
+            prior = [
+                value
+                for record in history[-window:]
+                if (value := _numeric(record.get(metric))) is not None
+            ]
+            row = {
+                "source": source,
+                "group": label,
+                "metric": metric,
+                "value": new_value,
+                "baseline": None,
+                "change_pct": None,
+                "status": "new",
+            }
+            if prior:
+                baseline = statistics.median(prior)
+                row["baseline"] = baseline
+                scale = max(abs(baseline), NOISE_FLOOR.get(metric, 0.0))
+                if scale > 0:
+                    if metric in HIGHER_BETTER:
+                        change = (new_value - baseline) / scale
+                    else:
+                        change = (baseline - new_value) / scale
+                    # change > 0 is always an improvement after the flip
+                    row["change_pct"] = round(change * 100.0, 2)
+                    if change < -threshold:
+                        row["status"] = "regression"
+                    elif change > threshold:
+                        row["status"] = "improvement"
+                    else:
+                        row["status"] = "ok"
+                else:
+                    row["status"] = "ok"
+            results.append(row)
+    return results
+
+
+def check_paths(
+    paths: Iterable[Path],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> list[dict[str, Any]]:
+    """Run :func:`compare` over every bench file; missing files skip."""
+    results: list[dict[str, Any]] = []
+    for path in paths:
+        if not path.exists():
+            continue
+        results.extend(
+            compare(
+                load_records(path), threshold=threshold, window=window, source=path.name
+            )
+        )
+    return results
+
+
+def _render(results: list[dict[str, Any]]) -> str:
+    lines = []
+    for row in results:
+        change = "" if row["change_pct"] is None else f"{row['change_pct']:+.1f}%"
+        baseline = "" if row["baseline"] is None else f" (baseline {row['baseline']:g})"
+        marker = {"regression": "FAIL", "improvement": "  up", "new": " new"}.get(
+            row["status"], "  ok"
+        )
+        lines.append(
+            f"{marker}  {row['source']}: {row['metric']}={row['value']:g}"
+            f"{baseline} {change}  [{row['group']}]"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="bench files to gate (default: every BENCH_*.json beside the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression tolerance (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help="prior records per group forming the median baseline",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or sorted(Path(__file__).resolve().parent.parent.glob("BENCH_*.json"))
+    results = check_paths(paths, threshold=args.threshold, window=args.window)
+    regressions = [row for row in results if row["status"] == "regression"]
+
+    if args.json:
+        print(json.dumps({"results": results, "regressions": len(regressions)}, indent=2))
+    else:
+        print(_render(results))
+        print(
+            f"\n{len(results)} metric(s) checked across {len(paths)} file(s): "
+            f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"
+        )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

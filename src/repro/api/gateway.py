@@ -47,6 +47,7 @@ import socket
 import threading
 import time
 import urllib.parse
+import uuid
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from typing import Any
@@ -56,7 +57,14 @@ from repro.api.metrics import endpoint_key
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
 from repro.api.ratelimit import TokenBucket
 from repro.errors import ApiError, ValidationError
+from repro.obs.cluster import (
+    HEARTBEAT_INTERVAL,
+    SharedSink,
+    TelemetryBlock,
+    TelemetryReader,
+)
 from repro.obs.metrics import get_registry
+from repro.obs.prometheus import render_prometheus
 from repro.obs.tracer import get_tracer
 
 __all__ = [
@@ -131,13 +139,22 @@ class AsyncGateway:
       the Graph-style resource path (``/v1/act_1/campaigns``), the
       Bearer token supplies auth, and params come from the JSON body
       (when present) or the query string.
-    * ``GET /healthz`` — liveness (no auth): worker pid + counters.
-    * ``GET /metrics`` — the process-local metrics registry snapshot.
+    * ``GET /healthz`` — liveness (no auth): worker pid + counters; in
+      a cluster, a ``cluster`` section with per-worker heartbeats.
+    * ``GET /metrics`` — the metrics snapshot.  With a telemetry reader
+      attached (cluster mode) this is the *merged cluster view* —
+      every series under ``worker=<pid>`` labels plus a
+      ``worker=_merged`` rollup; without one it is the worker-local
+      registry.  ``?format=prometheus`` returns text exposition format
+      instead of JSON.
 
-    Every request is traced as an ``api.request`` span (endpoint +
-    status attributes) and counted under ``gateway_requests``;
-    rejections (auth, throttle, overload, body) land in
-    ``gateway_rejections`` by reason.
+    Every request carries an ``X-Request-Id`` (honoured from the client
+    or assigned), echoed on the response and stamped onto the
+    ``api.request`` span and every span that finishes inside the
+    handler — the join key between client metrics, gateway spans and
+    delivery-engine spans in the journal.  Requests are counted under
+    ``gateway_requests``; rejections (auth, throttle, overload, body)
+    land in ``gateway_rejections`` by reason.
     """
 
     def __init__(
@@ -147,11 +164,13 @@ class AsyncGateway:
         config: GatewayConfig | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        telemetry_reader: TelemetryReader | None = None,
     ) -> None:
         self._handler = handler
         self._tokens = set(access_tokens)
         self._config = config or GatewayConfig()
         self._clock = clock
+        self._telemetry_reader = telemetry_reader
         self._buckets: dict[str, TokenBucket] = {}
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
@@ -266,16 +285,36 @@ class AsyncGateway:
                 return
             try:
                 method, target, headers = _parse_head(head)
-                body = await self._read_body(reader, headers)
             except ApiError as exc:
                 get_registry().inc("gateway_rejections", reason="body")
                 await self._write_response(
                     writer, 400, _error_body(str(exc), code=exc.code), close=True
                 )
                 return
-            status, payload = self._dispatch(method, target, headers, body)
+            # Honour the client's X-Request-Id or assign one; every
+            # response from here on echoes it back.  Values are capped —
+            # an id is a join key, not a payload channel (header values
+            # cannot smuggle CRLF: _parse_head consumed the delimiters).
+            request_id = (headers.get("x-request-id") or _new_request_id())[:128]
+            try:
+                body = await self._read_body(reader, headers)
+            except ApiError as exc:
+                get_registry().inc("gateway_rejections", reason="body")
+                await self._write_response(
+                    writer,
+                    400,
+                    _error_body(str(exc), code=exc.code),
+                    close=True,
+                    request_id=request_id,
+                )
+                return
+            status, payload = self._dispatch(
+                method, target, headers, body, request_id=request_id
+            )
             keep_open = not self._draining and status < 500
-            await self._write_response(writer, status, payload, close=not keep_open)
+            await self._write_response(
+                writer, status, payload, close=not keep_open, request_id=request_id
+            )
             if not keep_open:
                 return
 
@@ -292,15 +331,23 @@ class AsyncGateway:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        body: dict[str, Any],
+        body: dict[str, Any] | str,
         *,
         close: bool,
+        request_id: str | None = None,
     ) -> None:
-        payload = json.dumps(body).encode("utf-8")
+        if isinstance(body, str):  # Prometheus text exposition
+            payload = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
+        request_id_header = f"X-Request-Id: {request_id}\r\n" if request_id else ""
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{request_id_header}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         )
         try:
@@ -320,26 +367,55 @@ class AsyncGateway:
     # -- request dispatch ----------------------------------------------------
 
     def _dispatch(
-        self, method: str, target: str, headers: dict[str, str], body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        request_id: str | None = None,
+    ) -> tuple[int, dict[str, Any] | str]:
         """Route one parsed HTTP request; returns (status, JSON body)."""
-        path = urllib.parse.urlsplit(target).path
+        split = urllib.parse.urlsplit(target)
+        path = split.path
         if path == "/healthz":
-            return 200, {
+            payload: dict[str, Any] = {
                 "status": "draining" if self._draining else "ok",
                 "pid": os.getpid(),
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
                 "connections": len(self._connections),
+                # pid/uptime/connections describe *this* worker only; the
+                # cluster section (when present) is the cross-worker truth.
+                "scope": "worker",
             }
+            if self._telemetry_reader is not None:
+                payload["cluster"] = self._telemetry_reader.cluster_health()
+            return 200, payload
         if path == "/metrics":
-            return 200, get_registry().snapshot()
+            return self._dispatch_metrics(split.query)
         if method == "POST" and path == "/graph":
-            return self._dispatch_graph(body)
+            return self._dispatch_graph(body, request_id)
         if path.startswith("/v1/"):
-            return self._dispatch_rest(method, target, headers, body)
+            return self._dispatch_rest(method, target, headers, body, request_id)
         return 404, _error_body(f"no route for {method} {path}", code=100)
 
-    def _dispatch_graph(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    def _dispatch_metrics(self, query: str) -> tuple[int, dict[str, Any] | str]:
+        """``GET /metrics``: merged cluster view (or worker-local when no
+        telemetry block is attached), as JSON or Prometheus text."""
+        if self._telemetry_reader is not None:
+            snapshot = self._telemetry_reader.merged_snapshot()
+            scope = "cluster"
+        else:
+            snapshot = get_registry().snapshot()
+            scope = "worker"
+        params = urllib.parse.parse_qs(query)
+        if params.get("format", ["json"])[-1] == "prometheus":
+            return 200, render_prometheus(snapshot)
+        snapshot["scope"] = scope
+        return 200, snapshot
+
+    def _dispatch_graph(
+        self, body: bytes, request_id: str | None = None
+    ) -> tuple[int, dict[str, Any]]:
         """The envelope endpoint: body is one serialised ApiRequest."""
         try:
             request = ApiRequest.from_json(body.decode("utf-8"))
@@ -348,13 +424,18 @@ class AsyncGateway:
             return 400, _envelope_wire(
                 ApiResponse.failure(ApiError(str(exc), code=100), status=400)
             )
-        response = self._guarded_handle(request)
+        response = self._guarded_handle(request, request_id)
         # The envelope wire format nests {status, body}; the HTTP status
         # mirrors the envelope's so curl and middleboxes see the truth.
         return response.status, _envelope_wire(response)
 
     def _dispatch_rest(
-        self, method: str, target: str, headers: dict[str, str], body: bytes
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        request_id: str | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """The route-per-resource surface: ``/v1/<graph path>``."""
         try:
@@ -383,22 +464,39 @@ class AsyncGateway:
                 method=http_method, path=resource, params=params, access_token=token
             )
         except ValidationError as exc:
+            # A request shape the protocol layer rejects (bad path, bad
+            # params) is the client's fault, same bucket as bad JSON.
+            get_registry().inc("gateway_rejections", reason="body")
             return 400, _error_body(str(exc), code=100)
-        response = self._guarded_handle(request)
+        response = self._guarded_handle(request, request_id)
         return response.status, _rest_wire(response)
 
-    def _guarded_handle(self, request: ApiRequest) -> ApiResponse:
+    def _guarded_handle(
+        self, request: ApiRequest, request_id: str | None = None
+    ) -> ApiResponse:
         """Auth + throttle + trace around the wrapped handler."""
         endpoint = endpoint_key(request.method, request.path)
         registry = get_registry()
-        with get_tracer().span("api.request", {"endpoint": endpoint}) as span:
+        tracer = get_tracer()
+        attrs = {"endpoint": endpoint}
+        if request_id is not None:
+            attrs["request_id"] = request_id
+        with tracer.span("api.request", attrs) as span:
             started = time.perf_counter()
             response = self._auth_and_throttle(request)
             if response is None:
                 self._in_flight += 1
                 self._idle.clear()
                 try:
-                    response = self._handler(request)
+                    # bind() stamps the id onto every span finishing in
+                    # the handler — the server's own api.request span and
+                    # the delivery-engine spans under it — so journal
+                    # lines join to this request without plumbing the id
+                    # through every call signature.
+                    with tracer.bind(
+                        **({"request_id": request_id} if request_id else {})
+                    ):
+                        response = self._handler(request)
                 except ApiError as exc:
                     response = ApiResponse.failure(exc, status=500)
                 except Exception:  # noqa: BLE001 - the world must not kill the loop
@@ -445,6 +543,11 @@ class AsyncGateway:
                 retry_after=bucket.seconds_until_available(),
             )
         return None
+
+
+def _new_request_id() -> str:
+    """A fresh request id (uuid4 hex; opaque, collision-safe)."""
+    return uuid.uuid4().hex
 
 
 def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
@@ -600,6 +703,11 @@ class WorkerSpec:
     #: Ad accounts to provision in every worker (account state is
     #: worker-local; pre-registering keeps the shards interchangeable).
     accounts: tuple[str, ...] = ()
+    #: JSON manifest of the cluster's shared telemetry block (None when
+    #: the cluster runs without the shared metrics plane).
+    telemetry_json: str | None = None
+    #: This worker's slot index in the telemetry block.
+    worker_index: int = 0
 
 
 def _build_worker_server(spec: WorkerSpec, universe) -> Any:
@@ -649,17 +757,42 @@ def _worker_main(spec: WorkerSpec, ready_queue) -> None:
     # SIGINT on its own would race the orchestrated drain.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     attached = attach(spec.manifest_json)
+    sink: SharedSink | None = None
+    reader: TelemetryReader | None = None
     try:
+        if spec.telemetry_json is not None:
+            # Attach the shared metrics plane *before* building the
+            # server so every series — including startup-time ones —
+            # mirrors into this worker's slot; set_sink flushes whatever
+            # was recorded even earlier.
+            sink = SharedSink.attach(spec.telemetry_json, spec.worker_index)
+            get_registry().set_sink(sink)
+            reader = TelemetryReader.attach(spec.telemetry_json)
         server = _build_worker_server(spec, attached.universe)
-        gateway = AsyncGateway(server.handle, {spec.world.access_token}, spec.gateway)
+        gateway = AsyncGateway(
+            server.handle,
+            {spec.world.access_token},
+            spec.gateway,
+            telemetry_reader=reader,
+        )
+
+        async def heartbeat() -> None:
+            while True:
+                sink.heartbeat()
+                await asyncio.sleep(HEARTBEAT_INTERVAL)
 
         async def main() -> None:
             await gateway.start()
+            beat = asyncio.create_task(heartbeat()) if sink is not None else None
             ready_queue.put({"pid": os.getpid(), "port": gateway.port})
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
             loop.add_signal_handler(signal.SIGTERM, stop.set)
             await stop.wait()
+            if beat is not None:
+                beat.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await beat
             await gateway.stop()
 
         asyncio.run(main())
@@ -667,6 +800,11 @@ def _worker_main(spec: WorkerSpec, ready_queue) -> None:
         ready_queue.put({"pid": os.getpid(), "error": f"{type(exc).__name__}: {exc}"})
         raise
     finally:
+        get_registry().set_sink(None)
+        if reader is not None:
+            reader.close()
+        if sink is not None:
+            sink.close()
         # The server still holds column views at this point, so the
         # mapping cannot be released cleanly; the process is exiting
         # and the OS unmaps it anyway.
@@ -699,6 +837,11 @@ class GatewayCluster:
         Process count (>= 1).
     gateway:
         Per-worker limits; ``port=0`` lets the cluster reserve one.
+    telemetry:
+        Share one metrics block across the workers (default on).  Each
+        worker mirrors its registry into a private slot; ``/metrics`` on
+        any worker then serves the merged cluster view.  Off, metrics
+        revert to worker-local snapshots.
     """
 
     def __init__(
@@ -710,6 +853,7 @@ class GatewayCluster:
         workers: int = 2,
         gateway: GatewayConfig | None = None,
         accounts: tuple[str, ...] = (),
+        telemetry: bool = True,
     ) -> None:
         from repro.platform.ear import EarModel
 
@@ -721,6 +865,8 @@ class GatewayCluster:
         self._n_workers = workers
         self._gateway_config = gateway or GatewayConfig()
         self._accounts = tuple(accounts)
+        self._telemetry_enabled = telemetry
+        self._telemetry: TelemetryBlock | None = None
         self._shared = None
         self._processes: list[Any] = []
         self._reservation: socket.socket | None = None
@@ -755,6 +901,16 @@ class GatewayCluster:
             raise ApiError("cluster not started")
         return self._shared.name
 
+    def telemetry_reader(self) -> TelemetryReader:
+        """A parent-side reader over the cluster's telemetry block.
+
+        The same merged view the workers serve at ``/metrics`` without a
+        round-trip (benchmarks and tests read it directly).
+        """
+        if self._telemetry is None:
+            raise ApiError("cluster telemetry is disabled or not started")
+        return self._telemetry.reader()
+
     def _reserve_port(self) -> int:
         """Hold a bound (not listening) SO_REUSEPORT socket on the port.
 
@@ -779,6 +935,8 @@ class GatewayCluster:
             raise ApiError("cluster already started")
         self._port = self._reserve_port()
         self._shared = SharedUniverse.create(self._universe)
+        if self._telemetry_enabled:
+            self._telemetry = TelemetryBlock.create(self._n_workers)
         ctx = multiprocessing.get_context("spawn")
         ready: Any = ctx.Queue()
         spec = WorkerSpec(
@@ -790,10 +948,17 @@ class GatewayCluster:
             # single worker must opt in to share the bind with it.
             gateway=replace(self._gateway_config, port=self._port, reuse_port=True),
             accounts=self._accounts,
+            telemetry_json=(
+                None if self._telemetry is None else self._telemetry.manifest.to_json()
+            ),
         )
         try:
-            for _ in range(self._n_workers):
-                proc = ctx.Process(target=_worker_main, args=(spec, ready), daemon=True)
+            for index in range(self._n_workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(replace(spec, worker_index=index), ready),
+                    daemon=True,
+                )
                 proc.start()
                 self._processes.append(proc)
             deadline = time.monotonic() + timeout
@@ -817,6 +982,9 @@ class GatewayCluster:
                 proc.kill()
                 proc.join(timeout=5.0)
         self._processes = []
+        if self._telemetry is not None:
+            self._telemetry.unlink()
+            self._telemetry = None
         if self._shared is not None:
             self._shared.unlink()
             self._shared = None

@@ -27,6 +27,7 @@ import json
 import logging
 import sys
 import threading
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from collections.abc import Callable
 
@@ -94,10 +95,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, response: ApiResponse) -> None:
         payload = response.to_json().encode("utf-8")
+        request_id = (self.headers.get("X-Request-Id") or "").strip()
         try:
             self.send_response(response.status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
+            if request_id:
+                # Echo the client's correlation id (same contract as the
+                # asyncio gateway) so transport-level metrics and server
+                # spans join on one key.
+                self.send_header("X-Request-Id", request_id[:128])
             self.end_headers()
             self.wfile.write(payload)
         except (BrokenPipeError, ConnectionResetError) as exc:
@@ -207,6 +214,11 @@ class _KeepAliveTransport:
         self._timeout = timeout
         self._lock = threading.Lock()
         self._connection: http.client.HTTPConnection | None = None
+        #: The X-Request-Id echoed on the most recent response (None
+        #: before the first call) — the client-side half of the
+        #: request-id join: campaign code reads it after a call to tie
+        #: client metrics to the server spans in the journal.
+        self.last_request_id: str | None = None
 
     def _drop_connection(self) -> None:
         if self._connection is not None:
@@ -246,9 +258,16 @@ class _KeepAliveTransport:
                 )
             try:
                 method, url, body, headers = self._wire(request)
+                # Stamp a fresh correlation id on every attempt (not per
+                # logical request: a retry is a distinct wire exchange
+                # and gets its own id, like production tracing headers).
+                headers = {**headers, "X-Request-Id": uuid.uuid4().hex}
                 self._connection.request(method, url, body=body, headers=headers)
                 response = self._connection.getresponse()
                 raw = response.read().decode("utf-8")
+                self.last_request_id = (
+                    response.getheader("X-Request-Id") or headers["X-Request-Id"]
+                )
                 return self._parse(response.status, raw)
             except (OSError, http.client.HTTPException, json.JSONDecodeError) as exc:
                 # Mid-stream disconnects surface as a retryable

@@ -11,8 +11,10 @@ Examples::
     python -m repro api-stats --fault-rate 0.1 --log-level INFO
     python -m repro api-stats --json
     python -m repro serve --scale small --workers 2 --port 8700
+    python -m repro top --port 8700
     python -m repro trace results/trace/journal.jsonl --top 10
     python -m repro metrics results/trace/journal.jsonl
+    python -m repro metrics results/trace/journal.jsonl --prometheus
     python -m repro cache info
 """
 
@@ -285,6 +287,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render a run journal's metrics, merged across workers",
     )
     metrics.add_argument("journal", type=Path, help="path to a journal.jsonl")
+    metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help=(
+            "emit Prometheus text exposition format instead of tables "
+            "(same format as the gateway's /metrics?format=prometheus)"
+        ),
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal view of a running gateway's merged metrics",
+        description=(
+            "Poll GET /metrics and GET /healthz on a running `repro serve` "
+            "gateway and render cluster-wide RPS, p50/p99 latency from the "
+            "shared histograms, rejection breakdown and per-worker health."
+        ),
+    )
+    top.add_argument("--host", default="127.0.0.1", help="gateway host")
+    top.add_argument("--port", type=int, default=8700, help="gateway port")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit (no polling)"
+    )
     return parser
 
 
@@ -419,7 +447,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"  token:    {config.access_token}")
     print(f"  accounts: {', '.join(accounts) or '(none)'}")
     print("  REST:     /v1/act_<id>/...    envelope: POST /graph")
-    print("  ops:      GET /healthz    GET /metrics")
+    print("  ops:      GET /healthz    GET /metrics[?format=prometheus]")
+    if args.workers > 0:
+        print(f"  watch:    repro top --host {args.host} --port {port}")
     print("Ctrl-C drains in-flight requests and exits.", flush=True)
     try:
         threading.Event().wait()
@@ -468,9 +498,28 @@ def _run_metrics(args: argparse.Namespace) -> int:
         labels = {"worker": entry["pid"]} if entry.get("pid") is not None else None
         registry.merge(entry.get("snapshot") or {}, extra_labels=labels)
         merged += 1
+    if args.prometheus:
+        from repro.obs.prometheus import render_prometheus
+
+        # Same exposition the live gateway serves, so offline journals
+        # can be pushed to a Pushgateway / imported into Grafana.
+        sys.stdout.write(render_prometheus(registry.snapshot()))
+        return 0
     print(registry.render())
     print(f"\n({merged} worker snapshots merged from {args.journal})")
     return 0
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """Live terminal view over a running gateway's ops endpoints."""
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=1 if args.once else None,
+    )
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -583,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.command == "metrics":
         return _run_metrics(args)
+    if args.command == "top":
+        return _run_top(args)
     return _run_experiments(args)
 
 

@@ -12,13 +12,26 @@ this package now:
 * :mod:`repro.obs.journal` — structured JSONL run journals plus the
   atomic :class:`~repro.obs.journal.RunManifest`;
 * :mod:`repro.obs.export` — Chrome-trace (Perfetto) and flat-CSV
-  exporters plus the ``repro trace`` terminal views.
+  exporters plus the ``repro trace`` terminal views;
+* :mod:`repro.obs.cluster` — the shared-memory telemetry plane: one
+  block of single-writer per-worker slots mirrored from each worker's
+  registry, merged by any reader into a cluster-wide view;
+* :mod:`repro.obs.prometheus` — Prometheus text exposition (plus a
+  structural lint) over registry snapshots;
+* :mod:`repro.obs.top` — the ``repro top`` terminal dashboard over the
+  merged ``/metrics`` and ``/healthz`` endpoints.
 
 The package depends only on the standard library (no numpy, no other
 ``repro`` subpackage), so every layer — cache, platform, api, core,
 cli — may import it without cycles.
 """
 
+from repro.obs.cluster import (
+    SharedSink,
+    TelemetryBlock,
+    TelemetryManifest,
+    TelemetryReader,
+)
 from repro.obs.export import (
     chrome_trace_events,
     render_span_tree,
@@ -28,10 +41,17 @@ from repro.obs.export import (
 )
 from repro.obs.journal import RunJournal, RunManifest, read_journal, write_run_artifacts
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.prometheus import lint_prometheus, render_prometheus
 from repro.obs.tracer import Span, Tracer, get_tracer, tracing
 
 __all__ = [
     "MetricsRegistry",
+    "SharedSink",
+    "TelemetryBlock",
+    "TelemetryManifest",
+    "TelemetryReader",
+    "lint_prometheus",
+    "render_prometheus",
     "RunJournal",
     "RunManifest",
     "Span",

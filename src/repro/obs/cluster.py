@@ -1,0 +1,607 @@
+"""Cluster-wide telemetry plane: shared-memory metrics across workers.
+
+The gateway cluster (:mod:`repro.api.gateway`) serves from N ``spawn``
+worker processes.  Before this module, each worker owned a private
+:class:`~repro.obs.metrics.MetricsRegistry`, so ``GET /metrics`` showed
+whichever 1/N slice of traffic the kernel happened to route to the
+answering worker — useless for auditing cluster-level request rates or
+tail latency.  This module gives the whole cluster one coherent view:
+
+* :class:`TelemetryBlock` — the owner handle.  One
+  ``multiprocessing.shared_memory`` block holding a fixed number of
+  fixed-size *slots*, one per worker.  Each slot is a small append-only
+  table of ``(key, value)`` entries: float64 counters and gauges, and
+  fixed-bucket histograms sharing the registry's
+  :data:`~repro.obs.metrics.DEFAULT_BUCKETS` layout so merges stay
+  exact bucket-wise addition.
+* :class:`SharedSink` — a worker's single-writer view of its own slot.
+  Attached to the process-local registry via
+  :meth:`~repro.obs.metrics.MetricsRegistry.set_sink`, every
+  ``inc``/``set_gauge``/``observe`` is mirrored into the slot as a
+  write-through of the registry's *absolute* state — instrumented code
+  paths need no changes, and a torn read is self-healing (the next
+  update rewrites the truth).
+* :class:`TelemetryReader` — any process merges all slots into one
+  :class:`MetricsRegistry`: every series appears under a
+  ``worker=<pid>`` label plus a ``worker=_merged`` rollup whose totals
+  equal the sum of the per-worker slices.
+
+**Concurrency model.**  Each slot has exactly one writer (its worker)
+and any number of readers, so no locks are needed.  New entries are
+published by writing the payload and key first and the slot's entry
+count last; value updates are single 8-byte-aligned stores.  A reader
+racing a writer can observe a value mid-update — harmless for
+monitoring, and quiescent reads (the tests' mode) are exact.
+
+The module is stdlib-only, like the rest of :mod:`repro.obs`; the
+numpy-backed universe block (:mod:`repro.population.shm`) reuses the
+alignment and resource-tracker helpers exported here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+from repro.obs.metrics import DEFAULT_BUCKETS, HistogramState, MetricsRegistry
+
+__all__ = [
+    "DEFAULT_SLOT_BYTES",
+    "HEARTBEAT_INTERVAL",
+    "MERGED_WORKER_LABEL",
+    "STALE_AFTER_SECONDS",
+    "SharedSink",
+    "SlotSnapshot",
+    "TelemetryBlock",
+    "TelemetryManifest",
+    "TelemetryReader",
+    "aligned_offset",
+    "tracker_reregister",
+    "tracker_unregister",
+]
+
+#: Alignment for shared-memory layouts (cache-line sized; satisfies every
+#: dtype the universe block hosts).  Exported for :mod:`repro.population.shm`.
+BLOCK_ALIGN = 64
+
+#: Per-worker slot size.  64 KiB holds ~200 series — far beyond what the
+#: gateway's templated endpoint keys produce; overflow is counted, not fatal.
+DEFAULT_SLOT_BYTES = 64 * 1024
+
+#: How often a live worker stamps its slot heartbeat (seconds).
+HEARTBEAT_INTERVAL = 1.0
+
+#: A slot whose heartbeat is older than this is reported stale.
+STALE_AFTER_SECONDS = 5.0
+
+#: The ``worker`` label value carrying the cross-worker rollup.
+MERGED_WORKER_LABEL = "_merged"
+
+_MAGIC = b"RTEL"
+_VERSION = 1
+
+# Block header: magic, version, n_slots, slot_bytes (padded to 64 bytes).
+_HEADER_FMT = "<4sHHI"
+_HEADER_BYTES = BLOCK_ALIGN
+
+# Slot header: pid, heartbeat (epoch seconds), entry_count, dropped.
+_SLOT_HEADER_FMT = "<QdII"
+_SLOT_HEADER_BYTES = BLOCK_ALIGN
+_ENTRY_COUNT_OFFSET = 16  # byte offset of entry_count inside the slot header
+_DROPPED_OFFSET = 20
+
+# Entry: kind u8 | pad u8 | key_len u16 | pad u32 | payload 120B | key 192B.
+_KIND_COUNTER = 1
+_KIND_GAUGE = 2
+_KIND_HISTOGRAM = 3
+_N_BUCKET_SLOTS = len(DEFAULT_BUCKETS) + 1  # + the +inf overflow bucket
+_PAYLOAD_OFFSET = 8
+_HIST_FMT = f"<Qddd{_N_BUCKET_SLOTS}Q"
+# Precompiled structs for the per-request write path: Struct.pack_into
+# skips the format-string cache lookup struct.pack_into pays each call.
+_F64_STRUCT = struct.Struct("<d")
+_HIST_STRUCT = struct.Struct(_HIST_FMT)
+_PAYLOAD_BYTES = _HIST_STRUCT.size  # 120 bytes
+_KEY_OFFSET = _PAYLOAD_OFFSET + _PAYLOAD_BYTES
+_KEY_BYTES = 192
+_ENTRY_BYTES = _KEY_OFFSET + _KEY_BYTES  # 320 bytes
+
+#: Series key inside a slot: the registry's ``(name, ((label, value), ...))``.
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def aligned_offset(offset: int, alignment: int = BLOCK_ALIGN) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``."""
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def tracker_unregister(shm: shared_memory.SharedMemory) -> None:
+    """Detach ``shm`` from this process's resource tracker.
+
+    Python < 3.13 registers *attached* segments as if this process
+    created them, so the tracker would unlink the block when any
+    attacher exits — tearing it down under the owner.  Attachers call
+    this to restore create-owns semantics.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def tracker_reregister(shm: shared_memory.SharedMemory) -> None:
+    """Re-register ``shm`` before the owner unlinks it.
+
+    The tracker keeps a *set* of names and attachers unregister in every
+    worker — which, because the tracker fd is shared with spawn
+    children, empties the owner's entry too and makes ``unlink``'s own
+    unregister dump a KeyError traceback in the tracker process.
+    Balancing the books first keeps the teardown silent.
+    """
+    resource_tracker.register(shm._name, "shared_memory")
+
+
+def _encode_key(key: _Key) -> bytes:
+    """Serialize a registry series key; JSON so any label value survives
+    (endpoint templates contain ``{``/``}``; names may hold spaces)."""
+    name, label_items = key
+    return json.dumps(
+        [name, [[k, v] for k, v in label_items]],
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
+
+
+def _decode_key(raw: bytes) -> tuple[str, dict[str, str]]:
+    name, label_items = json.loads(raw.decode("utf-8"))
+    return str(name), {str(k): str(v) for k, v in label_items}
+
+
+@dataclass(frozen=True)
+class TelemetryManifest:
+    """Identity of one telemetry block — picklable / JSON-able for
+    handing to ``spawn`` workers (mirrors
+    :class:`~repro.population.shm.ShmManifest`)."""
+
+    shm_name: str
+    n_slots: int
+    slot_bytes: int = DEFAULT_SLOT_BYTES
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "shm_name": self.shm_name,
+                "n_slots": self.n_slots,
+                "slot_bytes": self.slot_bytes,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TelemetryManifest":
+        raw = json.loads(payload)
+        return cls(
+            shm_name=raw["shm_name"],
+            n_slots=int(raw["n_slots"]),
+            slot_bytes=int(raw["slot_bytes"]),
+        )
+
+
+def _slot_offset(manifest: TelemetryManifest, slot_index: int) -> int:
+    if not 0 <= slot_index < manifest.n_slots:
+        raise ValueError(
+            f"slot {slot_index} out of range for {manifest.n_slots}-slot block"
+        )
+    return _HEADER_BYTES + slot_index * manifest.slot_bytes
+
+
+def _open_block(manifest: TelemetryManifest | str) -> tuple[
+    shared_memory.SharedMemory, TelemetryManifest
+]:
+    if isinstance(manifest, str):
+        manifest = TelemetryManifest.from_json(manifest)
+    shm = shared_memory.SharedMemory(name=manifest.shm_name)
+    tracker_unregister(shm)
+    magic, version, n_slots, slot_bytes = struct.unpack_from(_HEADER_FMT, shm.buf, 0)
+    if magic != _MAGIC or version != _VERSION:
+        shm.close()
+        raise ValueError(
+            f"block {manifest.shm_name!r} is not a v{_VERSION} telemetry block"
+        )
+    if (n_slots, slot_bytes) != (manifest.n_slots, manifest.slot_bytes):
+        shm.close()
+        raise ValueError("telemetry manifest does not match the block header")
+    return shm, manifest
+
+
+class TelemetryBlock:
+    """Owner handle for one shared telemetry block.
+
+    Created by the cluster parent; workers receive
+    ``manifest.to_json()`` and attach a :class:`SharedSink` (their own
+    slot) plus a :class:`TelemetryReader` (every slot).  The owner
+    destroys the block with :meth:`unlink` after the workers exit.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, manifest: TelemetryManifest
+    ) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self._unlinked = False
+
+    @classmethod
+    def create(
+        cls,
+        n_slots: int,
+        *,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        name: str | None = None,
+    ) -> "TelemetryBlock":
+        """Allocate a zero-filled block with ``n_slots`` worker slots."""
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if slot_bytes < _SLOT_HEADER_BYTES + _ENTRY_BYTES:
+            raise ValueError(f"slot_bytes must be >= {_SLOT_HEADER_BYTES + _ENTRY_BYTES}")
+        slot_bytes = aligned_offset(slot_bytes)
+        total = _HEADER_BYTES + n_slots * slot_bytes
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        try:
+            struct.pack_into(_HEADER_FMT, shm.buf, 0, _MAGIC, _VERSION, n_slots, slot_bytes)
+            manifest = TelemetryManifest(
+                shm_name=shm.name, n_slots=n_slots, slot_bytes=slot_bytes
+            )
+            return cls(shm, manifest)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+
+    @property
+    def name(self) -> str:
+        """OS-level name of the block (``/dev/shm/<name>`` on Linux)."""
+        return self._shm.name
+
+    def sink(self, slot_index: int, *, pid: int | None = None) -> SharedSink:
+        """A writer over one slot, sharing the owner's mapping
+        (in-process clusters and tests; workers use
+        :meth:`SharedSink.attach`)."""
+        return SharedSink(self._shm, self.manifest, slot_index, pid=pid, owns_mapping=False)
+
+    def reader(self) -> TelemetryReader:
+        """A merger over every slot, sharing the owner's mapping."""
+        return TelemetryReader(self._shm, self.manifest, owns_mapping=False)
+
+    def unlink(self) -> None:
+        """Release this mapping and destroy the block (idempotent)."""
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.close()
+            tracker_reregister(self._shm)
+            self._shm.unlink()
+
+    def __enter__(self) -> "TelemetryBlock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink()
+
+
+class SharedSink:
+    """Single-writer mirror of one worker's registry into its slot.
+
+    Registered on the process-local registry via
+    :meth:`MetricsRegistry.set_sink`; each update writes the registry's
+    current absolute value for the series, so the slot is always a
+    point-in-time copy of the worker's state.  Series beyond the slot's
+    fixed capacity (or with keys longer than the fixed key field) are
+    dropped and counted in the slot header — monitoring degrades, it
+    never throws on the request path.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: TelemetryManifest,
+        slot_index: int,
+        *,
+        pid: int | None = None,
+        owns_mapping: bool = True,
+    ) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._slot_index = slot_index
+        self._base = _slot_offset(manifest, slot_index)
+        self._owns_mapping = owns_mapping
+        self._closed = False
+        #: series key -> absolute byte offset of its entry payload
+        self._entries: dict[_Key, int] = {}
+        self._capacity = (manifest.slot_bytes - _SLOT_HEADER_BYTES) // _ENTRY_BYTES
+        self._count = 0
+        self._dropped = 0
+        self._pid = os.getpid() if pid is None else pid
+        struct.pack_into("<Qd", shm.buf, self._base, self._pid, time.time())
+        # Reclaim the slot: a restarted worker reusing an index starts clean.
+        struct.pack_into("<II", shm.buf, self._base + _ENTRY_COUNT_OFFSET, 0, 0)
+
+    @classmethod
+    def attach(
+        cls, manifest: TelemetryManifest | str, slot_index: int
+    ) -> "SharedSink":
+        """Attach to a worker's own slot from its process."""
+        shm, manifest = _open_block(manifest)
+        return cls(shm, manifest, slot_index)
+
+    @property
+    def slot_index(self) -> int:
+        return self._slot_index
+
+    @property
+    def dropped_series(self) -> int:
+        """Series this sink could not place in the slot."""
+        return self._dropped
+
+    # -- write-through hooks (called by MetricsRegistry) --------------------
+
+    def update_counter(self, key: _Key, value: float) -> None:
+        """Mirror one counter series' absolute value."""
+        offset = self._entry_offset(key, _KIND_COUNTER)
+        if offset is not None:
+            _F64_STRUCT.pack_into(self._shm.buf, offset + _PAYLOAD_OFFSET, value)
+
+    def update_gauge(self, key: _Key, value: float) -> None:
+        """Mirror one gauge series' current value."""
+        offset = self._entry_offset(key, _KIND_GAUGE)
+        if offset is not None:
+            _F64_STRUCT.pack_into(self._shm.buf, offset + _PAYLOAD_OFFSET, value)
+
+    def update_histogram(self, key: _Key, state: HistogramState) -> None:
+        """Mirror one histogram series' full state (count, sum, min, max,
+        per-bucket counts)."""
+        offset = self._entry_offset(key, _KIND_HISTOGRAM)
+        if offset is None:
+            return
+        _HIST_STRUCT.pack_into(
+            self._shm.buf,
+            offset + _PAYLOAD_OFFSET,
+            state.count,
+            state.total,
+            state.min if state.count else 0.0,
+            state.max if state.count else 0.0,
+            *state.bucket_counts,
+        )
+
+    def heartbeat(self, now: float | None = None) -> None:
+        """Stamp the slot's liveness timestamp (epoch seconds)."""
+        _F64_STRUCT.pack_into(
+            self._shm.buf, self._base + 8, time.time() if now is None else now
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _entry_offset(self, key: _Key, kind: int) -> int | None:
+        if key in self._entries:  # hit — or a cached None for a dropped key
+            return self._entries[key]
+        raw = _encode_key(key)
+        if len(raw) > _KEY_BYTES or self._count >= self._capacity:
+            self._dropped += 1
+            struct.pack_into(
+                "<I", self._shm.buf, self._base + _DROPPED_OFFSET, self._dropped
+            )
+            self._entries[key] = None  # type: ignore[assignment]
+            return None
+        offset = self._base + _SLOT_HEADER_BYTES + self._count * _ENTRY_BYTES
+        # Publish order: key bytes and kind first, the slot's entry count
+        # last — a reader never sees a half-written entry as live.
+        self._shm.buf[offset + _KEY_OFFSET : offset + _KEY_OFFSET + len(raw)] = raw
+        struct.pack_into("<BBH", self._shm.buf, offset, kind, 0, len(raw))
+        self._count += 1
+        struct.pack_into(
+            "<I", self._shm.buf, self._base + _ENTRY_COUNT_OFFSET, self._count
+        )
+        self._entries[key] = offset
+        return offset
+
+    def close(self) -> None:
+        """Release this process's mapping (owner-shared sinks are no-ops)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_mapping:
+            self._shm.close()
+
+
+@dataclass(frozen=True)
+class SlotSnapshot:
+    """One slot parsed into plain data (a point-in-time worker view)."""
+
+    slot: int
+    pid: int
+    heartbeat: float  #: epoch seconds of the worker's last stamp
+    dropped: int
+    counters: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+    gauges: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+    histograms: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, Any]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def occupied(self) -> bool:
+        """Whether a worker has ever claimed this slot."""
+        return self.pid != 0
+
+    def heartbeat_age(self, now: float | None = None) -> float:
+        """Seconds since the worker last stamped the slot."""
+        return max(0.0, (time.time() if now is None else now) - self.heartbeat)
+
+
+class TelemetryReader:
+    """Merges every slot of a telemetry block into one registry view."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: TelemetryManifest,
+        *,
+        owns_mapping: bool = True,
+    ) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._owns_mapping = owns_mapping
+        self._closed = False
+
+    @classmethod
+    def attach(cls, manifest: TelemetryManifest | str) -> "TelemetryReader":
+        """Attach read-only from any process holding the manifest."""
+        shm, manifest = _open_block(manifest)
+        return cls(shm, manifest)
+
+    @property
+    def n_slots(self) -> int:
+        return self._manifest.n_slots
+
+    def slots(self) -> list[SlotSnapshot]:
+        """Every *occupied* slot parsed into a :class:`SlotSnapshot`."""
+        snapshots = []
+        for index in range(self._manifest.n_slots):
+            snapshot = self._read_slot(index)
+            if snapshot.occupied:
+                snapshots.append(snapshot)
+        return snapshots
+
+    def _read_slot(self, index: int) -> SlotSnapshot:
+        base = _slot_offset(self._manifest, index)
+        buf = self._shm.buf
+        pid, heartbeat, count, dropped = struct.unpack_from(_SLOT_HEADER_FMT, buf, base)
+        counters: dict[_Key, float] = {}
+        gauges: dict[_Key, float] = {}
+        histograms: dict[_Key, dict[str, Any]] = {}
+        for entry in range(count):
+            offset = base + _SLOT_HEADER_BYTES + entry * _ENTRY_BYTES
+            kind, _, key_len = struct.unpack_from("<BBH", buf, offset)
+            raw = bytes(buf[offset + _KEY_OFFSET : offset + _KEY_OFFSET + key_len])
+            try:
+                name, labels = _decode_key(raw)
+            except (ValueError, UnicodeDecodeError):  # torn first write; skip
+                continue
+            key: _Key = (name, tuple(sorted(labels.items())))
+            if kind == _KIND_COUNTER:
+                counters[key] = struct.unpack_from("<d", buf, offset + _PAYLOAD_OFFSET)[0]
+            elif kind == _KIND_GAUGE:
+                gauges[key] = struct.unpack_from("<d", buf, offset + _PAYLOAD_OFFSET)[0]
+            elif kind == _KIND_HISTOGRAM:
+                values = struct.unpack_from(_HIST_FMT, buf, offset + _PAYLOAD_OFFSET)
+                hist_count, total, minimum, maximum = values[:4]
+                histograms[key] = {
+                    "count": int(hist_count),
+                    "sum": float(total),
+                    "min": float(minimum) if hist_count else None,
+                    "max": float(maximum) if hist_count else None,
+                    "buckets": [int(b) for b in values[4:]],
+                }
+        return SlotSnapshot(
+            slot=index,
+            pid=int(pid),
+            heartbeat=float(heartbeat),
+            dropped=int(dropped),
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )
+
+    def merged_registry(self, *, now: float | None = None) -> MetricsRegistry:
+        """All slots merged into one registry.
+
+        Every series appears twice: labelled ``worker=<pid>`` (its
+        slice) and ``worker=_merged`` (the rollup).  Merged counters and
+        histograms are exact sums; merged gauges are summed too (the
+        cluster-level reading of e.g. ``gateway_connections``).  Reader
+        bookkeeping rides along as ``telemetry_heartbeat_age_seconds``
+        and ``telemetry_dropped_series`` gauges per worker.
+        """
+        registry = MetricsRegistry()
+        merged_gauges: dict[_Key, float] = {}
+        for snapshot in self.slots():
+            worker = str(snapshot.pid)
+            doc = {
+                "counters": [
+                    {"name": name, "labels": dict(label_items), "value": value}
+                    for (name, label_items), value in snapshot.counters.items()
+                ],
+                "histograms": [
+                    {"name": name, "labels": dict(label_items), **payload}
+                    for (name, label_items), payload in snapshot.histograms.items()
+                ],
+            }
+            registry.merge(doc, extra_labels={"worker": worker})
+            registry.merge(doc, extra_labels={"worker": MERGED_WORKER_LABEL})
+            for (name, label_items), value in snapshot.gauges.items():
+                registry.set_gauge(name, value, **dict(label_items), worker=worker)
+                key = (name, label_items)
+                merged_gauges[key] = merged_gauges.get(key, 0.0) + value
+            registry.set_gauge(
+                "telemetry_heartbeat_age_seconds",
+                round(snapshot.heartbeat_age(now), 3),
+                worker=worker,
+            )
+            registry.set_gauge(
+                "telemetry_dropped_series", snapshot.dropped, worker=worker
+            )
+        for (name, label_items), value in merged_gauges.items():
+            registry.set_gauge(
+                name, value, **dict(label_items), worker=MERGED_WORKER_LABEL
+            )
+        return registry
+
+    def merged_snapshot(self, *, now: float | None = None) -> dict[str, Any]:
+        """The merged registry as a stable JSON snapshot document."""
+        return self.merged_registry(now=now).snapshot()
+
+    def cluster_health(
+        self,
+        *,
+        now: float | None = None,
+        stale_after: float = STALE_AFTER_SECONDS,
+    ) -> dict[str, Any]:
+        """Liveness view for ``/healthz``: per-slot heartbeats + staleness."""
+        now = time.time() if now is None else now
+        workers = []
+        stale = 0
+        for snapshot in self.slots():
+            age = snapshot.heartbeat_age(now)
+            is_stale = age > stale_after
+            stale += int(is_stale)
+            workers.append(
+                {
+                    "slot": snapshot.slot,
+                    "pid": snapshot.pid,
+                    "heartbeat_age_seconds": round(age, 3),
+                    "stale": is_stale,
+                    "series": len(snapshot.counters)
+                    + len(snapshot.gauges)
+                    + len(snapshot.histograms),
+                    "dropped_series": snapshot.dropped,
+                }
+            )
+        return {
+            "slots": self._manifest.n_slots,
+            "live": len(workers) - stale,
+            "stale": stale,
+            "workers": workers,
+        }
+
+    def close(self) -> None:
+        """Release this process's mapping (owner-shared readers are no-ops)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_mapping:
+            self._shm.close()

@@ -118,17 +118,23 @@ class MetricsRegistry:
         self._counters: dict[_Key, float] = {}
         self._gauges: dict[_Key, float] = {}
         self._histograms: dict[_Key, HistogramState] = {}
+        self._sink = None
 
     # -- recording ---------------------------------------------------------
 
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` to a counter series (creating it at 0)."""
         key = _key(name, labels)
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        self._counters[key] = new_value = self._counters.get(key, 0.0) + value
+        if self._sink is not None:
+            self._sink.update_counter(key, new_value)
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set a gauge series to ``value`` (last write wins)."""
-        self._gauges[_key(name, labels)] = float(value)
+        key = _key(name, labels)
+        self._gauges[key] = value = float(value)
+        if self._sink is not None:
+            self._sink.update_gauge(key, value)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one histogram observation."""
@@ -137,6 +143,29 @@ class MetricsRegistry:
         if state is None:
             state = self._histograms[key] = HistogramState()
         state.observe(value)
+        if self._sink is not None:
+            self._sink.update_histogram(key, state)
+
+    # -- shared-memory mirroring -------------------------------------------
+
+    def set_sink(self, sink) -> None:
+        """Mirror every update into ``sink`` (a write-through backend).
+
+        ``sink`` is anything with ``update_counter(key, value)``,
+        ``update_gauge(key, value)`` and ``update_histogram(key, state)``
+        — in production a :class:`repro.obs.cluster.SharedSink` over the
+        worker's shared-memory slot.  Series recorded *before* the sink
+        attached are flushed immediately, so early-startup metrics
+        survive.  Pass ``None`` to detach.
+        """
+        self._sink = sink
+        if sink is not None:
+            for key, value in self._counters.items():
+                sink.update_counter(key, value)
+            for key, value in self._gauges.items():
+                sink.update_gauge(key, value)
+            for key, state in self._histograms.items():
+                sink.update_histogram(key, state)
 
     # -- reads -------------------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics` snapshots.
+
+:func:`render_prometheus` turns the registry's stable JSON snapshot
+document into the Prometheus text format (version 0.0.4), so the
+gateway's ``GET /metrics?format=prometheus`` and the offline
+``repro metrics --prometheus`` speak the same surface any Prometheus /
+VictoriaMetrics / Grafana-agent scraper understands:
+
+* every metric is prefixed ``repro_`` and sanitised to the exposition
+  name charset;
+* counters gain the conventional ``_total`` suffix;
+* histograms emit cumulative ``_bucket{le=...}`` series (including the
+  mandatory ``+Inf`` bucket), plus ``_sum`` and ``_count``;
+* label values are escaped (the gateway's endpoint labels contain
+  ``{``/``}`` from route templates like ``POST act_{id}/adsets``).
+
+:func:`lint_prometheus` is a small structural validator used by the
+acceptance tests — it checks the invariants a scraper relies on
+(``TYPE`` before samples, name charset, monotone cumulative buckets,
+no duplicate series) without needing a Prometheus binary in the image.
+
+Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+__all__ = ["METRIC_PREFIX", "lint_prometheus", "render_prometheus"]
+
+#: Namespace prefix applied to every exported metric name.
+METRIC_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_NAME_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHAR = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """Sanitise a registry name into the exposition charset."""
+    name = _INVALID_NAME_CHAR.sub("_", f"{prefix}{name}")
+    return name if _NAME_RE.match(name) else f"_{name}"
+
+
+def _label_name(name: str) -> str:
+    name = _INVALID_LABEL_CHAR.sub("_", name)
+    return name if _LABEL_RE.match(name) else f"_{name}"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - snapshots never carry bools
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        if abs(value) < 1e15:
+            return str(int(value))
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: Iterable[tuple[str, str]] = ()) -> str:
+    pairs = [(_label_name(str(k)), _escape_label_value(str(v))) for k, v in labels.items()]
+    pairs.extend((k, _escape_label_value(v)) for k, v in extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+    return "{" + body + "}"
+
+
+def _bucket_bound(index: int) -> str:
+    if index >= len(DEFAULT_BUCKETS):
+        return "+Inf"
+    return _format_value(DEFAULT_BUCKETS[index])
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], *, prefix: str = METRIC_PREFIX
+) -> str:
+    """Render a registry :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    document as Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+
+    def emit_family(
+        rows: list[tuple[str, str]], name: str, kind: str, help_text: str
+    ) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(sample for _, sample in sorted(rows))
+
+    counters: dict[str, list[tuple[str, str]]] = {}
+    for row in snapshot.get("counters", []):
+        name = _metric_name(row["name"], prefix) + "_total"
+        labels = _format_labels(row["labels"])
+        counters.setdefault(name, []).append(
+            (labels, f"{name}{labels} {_format_value(row['value'])}")
+        )
+    for name in sorted(counters):
+        emit_family(counters[name], name, "counter", f"repro counter {name}")
+
+    gauges: dict[str, list[tuple[str, str]]] = {}
+    for row in snapshot.get("gauges", []):
+        name = _metric_name(row["name"], prefix)
+        labels = _format_labels(row["labels"])
+        gauges.setdefault(name, []).append(
+            (labels, f"{name}{labels} {_format_value(row['value'])}")
+        )
+    for name in sorted(gauges):
+        emit_family(gauges[name], name, "gauge", f"repro gauge {name}")
+
+    histograms: dict[str, list[tuple[str, str]]] = {}
+    for row in snapshot.get("histograms", []):
+        name = _metric_name(row["name"], prefix)
+        base_labels = row["labels"]
+        samples: list[tuple[str, str]] = []
+        cumulative = 0
+        buckets = row.get("buckets") or []
+        for index in range(len(DEFAULT_BUCKETS) + 1):
+            cumulative += int(buckets[index]) if index < len(buckets) else 0
+            labels = _format_labels(base_labels, [("le", _bucket_bound(index))])
+            samples.append((labels, f"{name}_bucket{labels} {cumulative}"))
+        labels = _format_labels(base_labels)
+        samples.append((labels, f"{name}_sum{labels} {_format_value(float(row.get('sum', 0.0)))}"))
+        samples.append((labels, f"{name}_count{labels} {int(row.get('count', 0))}"))
+        histograms.setdefault(name, []).extend(samples)
+    for name in sorted(histograms):
+        lines.append(f"# HELP {name} repro histogram {name} (seconds)")
+        lines.append(f"# TYPE {name} histogram")
+        # keep bucket/sum/count grouped per series, in emission order
+        lines.extend(sample for _, sample in histograms[name])
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Structurally validate exposition text; return a list of problems.
+
+    An empty list means the text is well-formed: every sample parses,
+    every sampled metric has a preceding ``# TYPE``, histogram series
+    carry a ``+Inf`` bucket with monotonically non-decreasing cumulative
+    counts, and no series (name + label set) appears twice.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    seen_series: set[tuple[str, str]] = set()
+    bucket_state: dict[tuple[str, str], tuple[float, int, bool]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        problems.append(f"line {lineno}: malformed TYPE line")
+                    elif parts[2] in types:
+                        problems.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                    else:
+                        types[parts[2]] = parts[3]
+            else:
+                problems.append(f"line {lineno}: malformed comment line")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        raw_labels = match.group("labels") or ""
+        parsed = _LABEL_PAIR_RE.findall(raw_labels)
+        reconstructed = ",".join(f'{k}="{v}"' for k, v in parsed)
+        if reconstructed != raw_labels:
+            problems.append(f"line {lineno}: unparseable labels {raw_labels!r}")
+            continue
+        value_text = match.group("value")
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_text)
+            except ValueError:
+                problems.append(f"line {lineno}: non-numeric value {value_text!r}")
+                continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name} has no TYPE line")
+        series_key = (name, reconstructed)
+        if series_key in seen_series:
+            problems.append(f"line {lineno}: duplicate series {name}{{{reconstructed}}}")
+        seen_series.add(series_key)
+        if name.endswith("_bucket") and types.get(family) == "histogram":
+            labels = dict(parsed)
+            le = labels.pop("le", None)
+            if le is None:
+                problems.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            identity = (family, ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())))
+            previous_bound, previous_count, _ = bucket_state.get(
+                identity, (-math.inf, 0, False)
+            )
+            count = int(float(value_text))
+            if bound <= previous_bound:
+                problems.append(f"line {lineno}: bucket bounds not increasing")
+            if count < previous_count:
+                problems.append(f"line {lineno}: cumulative bucket count decreased")
+            bucket_state[identity] = (bound, count, bound == math.inf)
+
+    for (family, labels), (_, _, saw_inf) in bucket_state.items():
+        if not saw_inf:
+            problems.append(f"histogram {family}{{{labels}}} is missing a +Inf bucket")
+    return problems

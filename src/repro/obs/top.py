@@ -1,0 +1,297 @@
+"""``repro top``: a terminal dashboard over the gateway's merged metrics.
+
+Polls ``GET /metrics`` (the cluster-merged JSON snapshot) and
+``GET /healthz`` (the cluster heartbeat section) from any worker and
+renders a single-screen operational view: request rate, status mix,
+p50/p99 latency estimated from the shared fixed-bucket histograms,
+rejection breakdown and per-worker health.
+
+Split so it stays testable without sockets:
+
+* :func:`summarize` — pure reduction of a metrics snapshot (plus an
+  optional previous summary for rate deltas) into a flat summary dict;
+* :func:`quantile_from_buckets` — quantile estimation by linear
+  interpolation inside the fixed log-spaced buckets;
+* :func:`render_top` — summary dict -> screenful of text;
+* :func:`fetch_json` / :func:`run_top` — the stdlib-urllib polling loop
+  the CLI drives.
+
+Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.obs.cluster import MERGED_WORKER_LABEL
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+__all__ = ["fetch_json", "quantile_from_buckets", "render_top", "run_top", "summarize"]
+
+
+def quantile_from_buckets(
+    buckets: list[int],
+    quantile: float,
+    *,
+    observed_min: float | None = None,
+    observed_max: float | None = None,
+) -> float:
+    """Estimate a quantile (seconds) from fixed-bucket counts.
+
+    Linear interpolation inside the bucket that contains the target
+    rank; the first bucket's lower edge defaults to 0 (or the observed
+    minimum) and the overflow bucket is clamped to the observed maximum
+    (or its lower bound when no max is known).
+    """
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    rank = quantile * total
+    cumulative = 0
+    for index, count in enumerate(buckets):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            lower = DEFAULT_BUCKETS[index - 1] if index > 0 else (observed_min or 0.0)
+            if index < len(DEFAULT_BUCKETS):
+                upper = DEFAULT_BUCKETS[index]
+            else:  # overflow bucket: clamp to what was actually seen
+                upper = observed_max if observed_max is not None else lower
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        cumulative += count
+    return observed_max if observed_max is not None else 0.0
+
+
+def _merged_rows(rows: list[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    """The cluster-rollup slice of a series list.
+
+    Cluster snapshots label every series with ``worker``; keep only the
+    ``_merged`` rollup (per-worker slices are read separately).
+    Worker-local snapshots (``repro serve --workers 0``) carry no
+    ``worker`` label — everything is the rollup.
+    """
+    if any("worker" in row.get("labels", {}) for row in rows):
+        return [r for r in rows if r.get("labels", {}).get("worker") == MERGED_WORKER_LABEL]
+    return rows
+
+
+def summarize(
+    snapshot: Mapping[str, Any],
+    *,
+    healthz: Mapping[str, Any] | None = None,
+    previous: Mapping[str, Any] | None = None,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """Reduce one ``/metrics`` snapshot (+ optional healthz) to a summary.
+
+    ``previous`` is the summary returned by the prior poll; when given,
+    ``rps`` is the request-count delta over the wall-clock delta.
+    """
+    now = time.time() if now is None else now
+    counters = snapshot.get("counters", [])
+    gauges = snapshot.get("gauges", [])
+    histograms = snapshot.get("histograms", [])
+
+    requests_total = 0.0
+    statuses: dict[str, float] = {}
+    endpoints: dict[str, float] = {}
+    for row in _merged_rows([r for r in counters if r["name"] == "gateway_requests"]):
+        value = float(row["value"])
+        requests_total += value
+        status = str(row["labels"].get("status", "?"))
+        status_class = f"{status[0]}xx" if status[:1].isdigit() else status
+        statuses[status_class] = statuses.get(status_class, 0.0) + value
+        endpoint = row["labels"].get("endpoint", "?")
+        endpoints[endpoint] = endpoints.get(endpoint, 0.0) + value
+
+    rejections: dict[str, float] = {}
+    for row in _merged_rows([r for r in counters if r["name"] == "gateway_rejections"]):
+        reason = row["labels"].get("reason", "?")
+        rejections[reason] = rejections.get(reason, 0.0) + float(row["value"])
+
+    latency_rows = _merged_rows(
+        [r for r in histograms if r["name"] == "gateway_request_seconds"]
+    )
+    buckets = [0] * (len(DEFAULT_BUCKETS) + 1)
+    count = 0
+    total_seconds = 0.0
+    observed_min: float | None = None
+    observed_max: float | None = None
+    for row in latency_rows:
+        count += int(row.get("count", 0))
+        total_seconds += float(row.get("sum", 0.0))
+        for i, bucket in enumerate(row.get("buckets", [])[: len(buckets)]):
+            buckets[i] += int(bucket)
+        if row.get("min") is not None:
+            value = float(row["min"])
+            observed_min = value if observed_min is None else min(observed_min, value)
+        if row.get("max") is not None:
+            value = float(row["max"])
+            observed_max = value if observed_max is None else max(observed_max, value)
+
+    workers: dict[str, dict[str, Any]] = {}
+    for row in counters:
+        worker = row.get("labels", {}).get("worker")
+        if row["name"] == "gateway_requests" and worker and worker != MERGED_WORKER_LABEL:
+            entry = workers.setdefault(worker, {"requests": 0.0})
+            entry["requests"] += float(row["value"])
+    for row in gauges:
+        worker = row.get("labels", {}).get("worker")
+        if not worker or worker == MERGED_WORKER_LABEL:
+            continue
+        if row["name"] == "telemetry_heartbeat_age_seconds":
+            workers.setdefault(worker, {"requests": 0.0})["heartbeat_age_seconds"] = float(
+                row["value"]
+            )
+        elif row["name"] == "telemetry_dropped_series":
+            workers.setdefault(worker, {"requests": 0.0})["dropped_series"] = float(
+                row["value"]
+            )
+    if healthz:
+        for entry in healthz.get("cluster", {}).get("workers", []):
+            worker = str(entry.get("pid"))
+            info = workers.setdefault(worker, {"requests": 0.0})
+            info["stale"] = bool(entry.get("stale"))
+            info.setdefault(
+                "heartbeat_age_seconds", float(entry.get("heartbeat_age_seconds", 0.0))
+            )
+
+    connections = 0.0
+    for row in _merged_rows([r for r in gauges if r["name"] == "gateway_connections"]):
+        connections += float(row["value"])
+
+    rps = None
+    if previous is not None and previous.get("time") is not None:
+        elapsed = now - float(previous["time"])
+        if elapsed > 0:
+            rps = max(0.0, (requests_total - float(previous["requests_total"])) / elapsed)
+
+    return {
+        "time": now,
+        "scope": snapshot.get("scope", "cluster"),
+        "requests_total": requests_total,
+        "statuses": statuses,
+        "endpoints": endpoints,
+        "rejections": rejections,
+        "connections": connections,
+        "rps": rps,
+        "latency": {
+            "count": count,
+            "mean_ms": (total_seconds / count * 1000.0) if count else 0.0,
+            "p50_ms": quantile_from_buckets(
+                buckets, 0.50, observed_min=observed_min, observed_max=observed_max
+            )
+            * 1000.0,
+            "p99_ms": quantile_from_buckets(
+                buckets, 0.99, observed_min=observed_min, observed_max=observed_max
+            )
+            * 1000.0,
+        },
+        "workers": workers,
+    }
+
+
+def _fmt(value: float) -> str:
+    if value >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.1f}" if value != int(value) else str(int(value))
+
+
+def render_top(summary: Mapping[str, Any]) -> str:
+    """Render one summary as a screenful of fixed-width text."""
+    lines: list[str] = []
+    rps = summary.get("rps")
+    lines.append(
+        f"repro top — scope={summary.get('scope', '?')}"
+        f"   rps={'—' if rps is None else _fmt(rps)}"
+        f"   connections={_fmt(summary.get('connections', 0.0))}"
+    )
+    statuses = summary.get("statuses", {})
+    status_text = "  ".join(f"{k} {_fmt(v)}" for k, v in sorted(statuses.items()))
+    lines.append(
+        f"requests: {_fmt(summary.get('requests_total', 0.0))} total"
+        + (f"   ({status_text})" if status_text else "")
+    )
+    latency = summary.get("latency", {})
+    lines.append(
+        f"latency:  p50 {latency.get('p50_ms', 0.0):.2f} ms"
+        f"   p99 {latency.get('p99_ms', 0.0):.2f} ms"
+        f"   mean {latency.get('mean_ms', 0.0):.2f} ms"
+        f"   (n={latency.get('count', 0)})"
+    )
+    rejections = summary.get("rejections", {})
+    if rejections:
+        lines.append(
+            "rejections: "
+            + "  ".join(f"{k} {_fmt(v)}" for k, v in sorted(rejections.items()))
+        )
+    workers = summary.get("workers", {})
+    if workers:
+        lines.append("workers:")
+        for worker, info in sorted(workers.items()):
+            heartbeat = info.get("heartbeat_age_seconds")
+            state = "STALE" if info.get("stale") else "ok"
+            heartbeat_text = "" if heartbeat is None else f"   hb {heartbeat:.1f}s {state}"
+            dropped = info.get("dropped_series", 0.0)
+            dropped_text = f"   dropped {_fmt(dropped)}" if dropped else ""
+            lines.append(
+                f"  pid {worker:>8}   reqs {_fmt(info.get('requests', 0.0)):>8}"
+                f"{heartbeat_text}{dropped_text}"
+            )
+    endpoints = summary.get("endpoints", {})
+    if endpoints:
+        lines.append("endpoints:")
+        for endpoint, value in sorted(endpoints.items(), key=lambda kv: -kv[1])[:10]:
+            lines.append(f"  {endpoint:<44} {_fmt(value):>10}")
+    return "\n".join(lines)
+
+
+def fetch_json(url: str, *, timeout: float = 5.0) -> dict[str, Any]:
+    """GET one JSON document (stdlib urllib; no auth — ops endpoints)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    clear_screen: bool = True,
+    emit=print,
+) -> int:
+    """Poll ``/metrics`` + ``/healthz`` and render until interrupted.
+
+    ``iterations=None`` runs until Ctrl-C; a finite count renders that
+    many frames (``repro top --once`` uses 1).  Returns an exit code.
+    """
+    base = f"http://{host}:{port}"
+    previous: dict[str, Any] | None = None
+    frame = 0
+    try:
+        while iterations is None or frame < iterations:
+            try:
+                snapshot = fetch_json(f"{base}/metrics")
+                healthz = fetch_json(f"{base}/healthz")
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+                emit(f"repro top: cannot reach {base}: {exc}")
+                return 1
+            summary = summarize(snapshot, healthz=healthz, previous=previous)
+            text = render_top(summary)
+            if clear_screen and (iterations is None or iterations > 1):
+                emit("\x1b[2J\x1b[H" + text)
+            else:
+                emit(text)
+            previous = summary
+            frame += 1
+            if iterations is None or frame < iterations:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -123,6 +123,26 @@ class _ActiveSpan:
         return False
 
 
+class _BoundContext:
+    """Scoped ambient attributes (see :meth:`Tracer.bind`)."""
+
+    __slots__ = ("_tracer", "_attrs", "_saved")
+
+    def __init__(self, tracer: "Tracer", attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._attrs = attrs
+        self._saved: dict[str, Any] = {}
+
+    def __enter__(self) -> "_BoundContext":
+        self._saved = self._tracer._context
+        self._tracer._context = {**self._saved, **self._attrs}
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._context = self._saved
+        return False
+
+
 class Tracer:
     """Process-local span collector with an on/off switch.
 
@@ -143,6 +163,7 @@ class Tracer:
         self._next_id = 1
         self._stack: list[int] = []
         self._finished: list[Span] = []
+        self._context: dict[str, Any] = {}
 
     # -- switch ------------------------------------------------------------
 
@@ -165,6 +186,7 @@ class Tracer:
         """Drop every recorded span and open frame; restart the epoch."""
         self._stack.clear()
         self._finished.clear()
+        self._context = {}
         self._next_id = 1
         self._epoch = self._clock()
 
@@ -180,6 +202,21 @@ class Tracer:
             return NULL_SPAN
         return _ActiveSpan(self, name, attrs)
 
+    def bind(self, **attrs: Any):
+        """A context manager stamping ``attrs`` onto every span that
+        *finishes* inside it (the span's own attributes win on clash).
+
+        The gateway binds ``request_id=...`` around each request handler
+        so the ``api.request`` span and every nested delivery-engine
+        span carry the id into the journal — the cross-process join key
+        for per-request analysis.  Disabled tracers return the shared
+        :data:`NULL_SPAN` (no allocation), and binds nest: inner values
+        shadow outer ones for their duration.
+        """
+        if not self._enabled or not attrs:
+            return NULL_SPAN
+        return _BoundContext(self, attrs)
+
     def _push(self) -> tuple[int, int | None, float]:
         span_id = self._next_id
         self._next_id += 1
@@ -193,6 +230,10 @@ class Tracer:
         # record what we know rather than corrupting the stack.
         if self._stack and self._stack[-1] == handle._id:
             self._stack.pop()
+        if self._context:
+            attrs = {**self._context, **(handle._attrs or {})}
+        else:
+            attrs = handle._attrs if handle._attrs is not None else {}
         self._finished.append(
             Span(
                 span_id=handle._id,
@@ -200,7 +241,7 @@ class Tracer:
                 name=handle._name,
                 start=handle._t0 - self._epoch,
                 duration=end - handle._t0,
-                attrs=handle._attrs if handle._attrs is not None else {},
+                attrs=attrs,
             )
         )
 

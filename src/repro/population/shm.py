@@ -29,22 +29,25 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from multiprocessing import resource_tracker, shared_memory
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.errors import ValidationError
+
+# The alignment and resource-tracker conventions are shared with the
+# telemetry block (repro.obs.cluster hosts them — obs is stdlib-only, so
+# the import direction stays population -> obs).
+from repro.obs.cluster import aligned_offset, tracker_reregister, tracker_unregister
 from repro.population.universe import UserUniverse
 
 __all__ = ["ShmManifest", "SharedUniverse", "attach"]
 
-#: Per-array alignment inside the block.  64 bytes satisfies every
-#: column dtype's natural alignment and keeps arrays cache-line aligned.
-_ALIGN = 64
-
 
 def _aligned(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+    """Round up to the shared 64-byte block alignment (cache-line sized;
+    satisfies every column dtype's natural alignment)."""
+    return aligned_offset(offset)
 
 
 @dataclass(frozen=True)
@@ -172,13 +175,9 @@ class SharedUniverse:
         if not self._unlinked:
             self._unlinked = True
             self._shm.close()
-            # The tracker keeps a *set* of names, and :func:`attach`
-            # unregisters in every worker — which, because the tracker
-            # fd is shared with spawn children, empties the owner's
-            # entry too and makes ``unlink``'s own unregister dump a
-            # KeyError traceback in the tracker process.  Re-register
-            # first so the books balance.
-            resource_tracker.register(self._shm._name, "shared_memory")
+            # Balance the books for the workers' unregisters before the
+            # owner's unlink (see tracker_reregister's docstring).
+            tracker_reregister(self._shm)
             self._shm.unlink()
 
     def __enter__(self) -> "SharedUniverse":
@@ -242,10 +241,7 @@ def attach(manifest: ShmManifest | str) -> AttachedUniverse:
     # Python < 3.13 tracks attached segments as if this process created
     # them, so the resource tracker would unlink the block when *any*
     # worker exits.  Unregister: only the owner may unlink.
-    try:
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    tracker_unregister(shm)
     try:
         views: dict[str, np.ndarray] = {}
         for column_name, (dtype, shape, offset) in manifest.arrays.items():

@@ -302,3 +302,172 @@ class TestCluster:
                 break
         assert seen <= set(cluster.worker_pids)
         assert len(seen) == 2, "40 fresh connections never reached the second worker"
+
+
+def _keepalive_request(
+    sock: socket.socket,
+    method: str,
+    target: str,
+    *,
+    token: str | None = None,
+    extra_headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], bytes]:
+    """One request/response exchange on an open keep-alive connection."""
+    headers = {"Host": "x", "Content-Length": "0"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    headers.update(extra_headers or {})
+    head = "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+    sock.sendall(f"{method} {target} HTTP/1.1\r\n{head}\r\n".encode())
+    raw = b""
+    while b"\r\n\r\n" not in raw:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-response")
+        raw += chunk
+    head_bytes, _, body = raw.partition(b"\r\n\r\n")
+    head_lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ", 2)[1])
+    response_headers = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    want = int(response_headers.get("content-length", 0))
+    while len(body) < want:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return status, response_headers, body
+
+
+def _requests_by_worker(snapshot: dict, endpoint: str) -> dict[str, float]:
+    """``gateway_requests`` values for one endpoint, keyed by worker label."""
+    return {
+        row["labels"]["worker"]: row["value"]
+        for row in snapshot["counters"]
+        if row["name"] == "gateway_requests"
+        and row["labels"].get("endpoint") == endpoint
+        and row["labels"].get("status") == "200"
+    }
+
+
+class TestClusterTelemetry:
+    """The tentpole acceptance path: shared-memory metrics across workers."""
+
+    ENDPOINT = "GET act_{id}/ads"  # templated key for /v1/act_gw/ads
+
+    def _drive_both_workers(self, cluster, token) -> dict[int, int]:
+        """Send REST traffic pinned per-worker; return requests per pid."""
+        sent: dict[int, int] = {}
+        for _ in range(60):
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                _, _, body = _keepalive_request(sock, "GET", "/healthz")
+                pid = json.loads(body)["pid"]
+                status, _, _ = _keepalive_request(
+                    sock, "GET", "/v1/act_gw/ads", token=token
+                )
+                assert status == 200
+                sent[pid] = sent.get(pid, 0) + 1
+            if len(sent) == 2 and sum(sent.values()) >= 6:
+                break
+        assert len(sent) == 2, "fresh connections never reached both workers"
+        return sent
+
+    def test_merged_totals_equal_sum_of_worker_slices(self, cluster):
+        config = WorldConfig.small(seed=7)
+        sent = self._drive_both_workers(cluster, config.access_token)
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            status, _, body = _keepalive_request(sock, "GET", "/metrics")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["scope"] == "cluster"
+        by_worker = _requests_by_worker(snapshot, self.ENDPOINT)
+        merged = by_worker.pop("_merged")
+        assert merged == sum(by_worker.values())
+        # every worker's slice is exactly the traffic this test pinned to it
+        assert {int(pid): int(n) for pid, n in by_worker.items()} == sent
+
+    def test_every_worker_serves_the_same_merged_view(self, cluster):
+        """Whichever worker answers /metrics, the cluster totals agree."""
+        config = WorldConfig.small(seed=7)
+        self._drive_both_workers(cluster, config.access_token)
+        views: dict[int, dict[str, float]] = {}
+        for _ in range(60):
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                _, _, body = _keepalive_request(sock, "GET", "/healthz")
+                pid = json.loads(body)["pid"]
+                _, _, body = _keepalive_request(sock, "GET", "/metrics")
+            views[pid] = _requests_by_worker(json.loads(body), self.ENDPOINT)
+            if len(views) == 2:
+                break
+        assert len(views) == 2
+        first, second = views.values()
+        assert first == second
+
+    def test_healthz_cluster_section_sees_both_workers(self, cluster):
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            status, _, body = _keepalive_request(sock, "GET", "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["scope"] == "worker"
+        section = payload["cluster"]
+        assert section["slots"] == 2
+        assert section["stale"] == 0
+        assert {entry["pid"] for entry in section["workers"]} == set(
+            cluster.worker_pids
+        )
+        for entry in section["workers"]:
+            assert entry["heartbeat_age_seconds"] < 30.0
+
+    def test_prometheus_exposition_over_the_wire_lints_clean(self, cluster):
+        from repro.obs.prometheus import lint_prometheus
+
+        config = WorldConfig.small(seed=7)
+        self._drive_both_workers(cluster, config.access_token)
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            status, headers, body = _keepalive_request(
+                sock, "GET", "/metrics?format=prometheus"
+            )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "repro_gateway_requests_total" in text
+        assert 'worker="_merged"' in text
+        assert lint_prometheus(text) == []
+
+
+class TestRequestIdPropagation:
+    def test_client_supplied_id_is_echoed(self, cluster):
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            _, headers, _ = _keepalive_request(
+                sock,
+                "GET",
+                "/healthz",
+                extra_headers={"X-Request-Id": "trace-me-42"},
+            )
+        assert headers["x-request-id"] == "trace-me-42"
+
+    def test_gateway_assigns_an_id_when_absent(self, cluster):
+        with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:
+            _, headers, _ = _keepalive_request(sock, "GET", "/healthz")
+        assigned = headers["x-request-id"]
+        assert len(assigned) == 32 and all(c in "0123456789abcdef" for c in assigned)
+
+    def test_rest_transport_records_the_echoed_id(self, cluster):
+        config = WorldConfig.small(seed=7)
+        client, transport = _cluster_client(cluster, config.access_token)
+        try:
+            assert transport.last_request_id is None
+            client.call(HttpMethod.GET, "/act_gw/ads", {"limit": 1})
+            first = transport.last_request_id
+            assert first is not None and len(first) == 32
+            client.call(HttpMethod.GET, "/act_gw/ads", {"limit": 1})
+            # a fresh id per wire exchange, not one per transport
+            assert transport.last_request_id != first
+        finally:
+            transport.close()

@@ -13,6 +13,7 @@ import json
 
 import pytest
 
+import repro.api.gateway as gateway_module
 from repro.api.gateway import (
     AsyncGateway,
     GatewayConfig,
@@ -20,8 +21,10 @@ from repro.api.gateway import (
     _parse_head,
 )
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
-from repro.errors import ApiError
+from repro.errors import ApiError, ValidationError
+from repro.obs.cluster import MERGED_WORKER_LABEL, TelemetryBlock
 from repro.obs.metrics import get_registry
+from repro.obs.prometheus import lint_prometheus
 from repro.obs.tracer import tracing
 
 TOKEN = "gw-token"
@@ -205,11 +208,149 @@ class TestOpsEndpoints:
         assert status == 200
         assert body["status"] == "ok"
         assert body["pid"] > 0
+        # no telemetry block attached: this is a worker-local view
+        assert body["scope"] == "worker"
+        assert "cluster" not in body
 
     def test_metrics_returns_a_registry_snapshot(self):
         status, body = _gateway()._dispatch("GET", "/metrics", {}, b"")
         assert status == 200
         assert {"counters", "gauges", "histograms"} <= set(body)
+        assert body["scope"] == "worker"
+
+    def test_metrics_prometheus_format_lints_clean(self):
+        gateway = _gateway()
+        # drive some traffic first so every instrument kind is populated
+        gateway._dispatch("GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b"")
+        gateway._dispatch("GET", "/v1/act_1/ads", {}, b"")
+        status, body = gateway._dispatch("GET", "/metrics?format=prometheus", {}, b"")
+        assert status == 200
+        assert isinstance(body, str)
+        assert "repro_gateway_requests_total" in body
+        assert lint_prometheus(body) == []
+
+    def test_metrics_unknown_format_falls_back_to_json(self):
+        status, body = _gateway()._dispatch("GET", "/metrics?format=yaml", {}, b"")
+        assert status == 200
+        assert isinstance(body, dict)
+
+
+class TestClusterTelemetry:
+    def test_metrics_serves_the_merged_cluster_view(self):
+        with TelemetryBlock.create(2) as block:
+            for slot, pid, n in ((0, 101, 3), (1, 202, 4)):
+                registry = get_registry()
+                registry.reset()
+                registry.set_sink(block.sink(slot, pid=pid))
+                registry.inc("gateway_requests", n, endpoint="GET /x", status=200)
+                registry.set_sink(None)
+            gateway = AsyncGateway(
+                _echo_handler, {TOKEN}, GatewayConfig(), telemetry_reader=block.reader()
+            )
+            status, body = gateway._dispatch("GET", "/metrics", {}, b"")
+            assert status == 200
+            assert body["scope"] == "cluster"
+            by_worker = {
+                row["labels"]["worker"]: row["value"]
+                for row in body["counters"]
+                if row["name"] == "gateway_requests"
+            }
+            assert by_worker["101"] == 3.0
+            assert by_worker["202"] == 4.0
+            assert by_worker[MERGED_WORKER_LABEL] == 7.0
+
+    def test_healthz_gains_the_cluster_section(self):
+        with TelemetryBlock.create(1) as block:
+            sink = block.sink(0, pid=101)
+            sink.heartbeat()
+            gateway = AsyncGateway(
+                _echo_handler, {TOKEN}, GatewayConfig(), telemetry_reader=block.reader()
+            )
+            status, body = gateway._dispatch("GET", "/healthz", {}, b"")
+            assert status == 200
+            assert body["scope"] == "worker"
+            cluster = body["cluster"]
+            assert cluster["slots"] == 1
+            assert cluster["live"] == 1
+            assert cluster["workers"][0]["pid"] == 101
+            assert cluster["workers"][0]["stale"] is False
+
+
+class TestRejectionAccounting:
+    """Every 4xx shed path books exactly one ``gateway_rejections`` reason."""
+
+    def _total_rejections(self):
+        return {
+            labels["reason"]: value
+            for labels, value in get_registry().series("gateway_rejections")
+        }
+
+    @pytest.mark.parametrize(
+        "reason,method,target,headers,body,want_status",
+        [
+            ("auth", "GET", "/v1/act_1/ads", {}, b"", 401),
+            (
+                "body",
+                "POST",
+                "/v1/act_1/ads",
+                {"authorization": f"Bearer {TOKEN}"},
+                b"{nope",
+                400,
+            ),
+            (
+                "body",
+                "POST",
+                "/v1/act_1/ads",
+                {"authorization": f"Bearer {TOKEN}"},
+                b"[1, 2]",
+                400,
+            ),
+            ("body", "POST", "/graph", {}, b"not an envelope", 400),
+        ],
+    )
+    def test_shed_paths_book_one_reason(
+        self, reason, method, target, headers, body, want_status
+    ):
+        before = self._total_rejections()
+        status, _ = _gateway()._dispatch(method, target, headers, body)
+        assert status == want_status
+        after = self._total_rejections()
+        assert after.get(reason, 0.0) == before.get(reason, 0.0) + 1
+        assert sum(after.values()) == sum(before.values()) + 1
+
+    def test_rate_limit_books_one_rejection(self):
+        gateway = AsyncGateway(
+            _echo_handler,
+            {TOKEN},
+            GatewayConfig(rate_capacity=1, rate_refill_per_second=0.001),
+            clock=lambda: 0.0,
+        )
+        headers = {"authorization": f"Bearer {TOKEN}"}
+        gateway._dispatch("GET", "/v1/a", headers, b"")
+        before = self._total_rejections()
+        status, _ = gateway._dispatch("GET", "/v1/a", headers, b"")
+        assert status == 429
+        after = self._total_rejections()
+        assert after["rate_limit"] == before.get("rate_limit", 0.0) + 1
+        assert sum(after.values()) == sum(before.values()) + 1
+
+    def test_validation_error_books_a_body_rejection(self, monkeypatch):
+        """The protocol layer rejecting a request shape is a 400 with a
+        ``body`` reason (this was the one unaccounted shed path)."""
+
+        def reject(**kwargs):
+            raise ValidationError("bad request shape")
+
+        monkeypatch.setattr(gateway_module, "ApiRequest", reject)
+        before = self._total_rejections()
+        status, body = _gateway()._dispatch(
+            "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b""
+        )
+        assert status == 400
+        assert "bad request shape" in body["error"]["message"]
+        after = self._total_rejections()
+        assert after["body"] == before.get("body", 0.0) + 1
+        assert sum(after.values()) == sum(before.values()) + 1
 
 
 class TestObservability:

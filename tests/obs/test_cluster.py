@@ -1,0 +1,253 @@
+"""Tier-1 tests for the shared-memory telemetry plane.
+
+Everything here runs single-process: two :class:`SharedSink` writers
+over distinct slots of one block stand in for two gateway workers, and
+the reader's merge is checked against sums computed in plain Python (and
+against a single registry fed the same observations — the bucket-merge
+oracle).  The true cross-process path is exercised by the integration
+tests in ``tests/api/test_gateway.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.cluster import (
+    DEFAULT_SLOT_BYTES,
+    MERGED_WORKER_LABEL,
+    SharedSink,
+    TelemetryBlock,
+    TelemetryManifest,
+    TelemetryReader,
+    aligned_offset,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def block():
+    with TelemetryBlock.create(2) as blk:
+        yield blk
+
+
+def _registry_with_sink(sink) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.set_sink(sink)
+    return registry
+
+
+class TestLayout:
+    def test_aligned_offset(self):
+        assert aligned_offset(0) == 0
+        assert aligned_offset(1) == 64
+        assert aligned_offset(64) == 64
+        assert aligned_offset(65, 32) == 96
+
+    def test_manifest_round_trip(self):
+        manifest = TelemetryManifest(shm_name="x", n_slots=3, slot_bytes=65536)
+        assert TelemetryManifest.from_json(manifest.to_json()) == manifest
+
+    def test_create_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            TelemetryBlock.create(0)
+        with pytest.raises(ValueError):
+            TelemetryBlock.create(1, slot_bytes=64)
+
+    def test_attach_rejects_foreign_block(self, block):
+        bad = TelemetryManifest(
+            shm_name=block.manifest.shm_name, n_slots=7, slot_bytes=DEFAULT_SLOT_BYTES
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            TelemetryReader.attach(bad)
+
+    def test_slot_index_out_of_range(self, block):
+        with pytest.raises(ValueError, match="out of range"):
+            block.sink(2)
+
+
+class TestMergeEqualsSumOfSlices:
+    def test_counters_merge_to_exact_sums(self, block):
+        a = _registry_with_sink(block.sink(0, pid=101))
+        b = _registry_with_sink(block.sink(1, pid=202))
+        a.inc("gateway_requests", 3, endpoint="GET /metrics", status=200)
+        a.inc("gateway_requests", 2, endpoint="GET /metrics", status=200)
+        b.inc("gateway_requests", 4, endpoint="GET /metrics", status=200)
+        b.inc("gateway_rejections", 1, reason="auth")
+
+        merged = block.reader().merged_registry()
+        assert merged.counter_value(
+            "gateway_requests",
+            endpoint="GET /metrics",
+            status=200,
+            worker=MERGED_WORKER_LABEL,
+        ) == 9.0
+        # per-worker slices survive alongside the rollup
+        assert merged.counter_value(
+            "gateway_requests", endpoint="GET /metrics", status=200, worker="101"
+        ) == 5.0
+        assert merged.counter_value(
+            "gateway_requests", endpoint="GET /metrics", status=200, worker="202"
+        ) == 4.0
+        assert merged.counter_value(
+            "gateway_rejections", reason="auth", worker=MERGED_WORKER_LABEL
+        ) == 1.0
+
+    def test_gauges_sum_in_the_rollup(self, block):
+        a = _registry_with_sink(block.sink(0, pid=101))
+        b = _registry_with_sink(block.sink(1, pid=202))
+        a.set_gauge("gateway_connections", 3)
+        b.set_gauge("gateway_connections", 4)
+        merged = block.reader().merged_registry()
+        assert merged.gauge_value("gateway_connections", worker="101") == 3.0
+        assert merged.gauge_value(
+            "gateway_connections", worker=MERGED_WORKER_LABEL
+        ) == 7.0
+
+    def test_histogram_merge_matches_single_registry_oracle(self, block):
+        """Bucket-wise merge across slots == one registry fed everything."""
+        observations_a = [0.00005, 0.003, 0.003, 0.2, 7.0]
+        observations_b = [0.0008, 0.05, 0.4, 1000.0]
+
+        a = _registry_with_sink(block.sink(0, pid=101))
+        b = _registry_with_sink(block.sink(1, pid=202))
+        oracle = MetricsRegistry()
+        for value in observations_a:
+            a.observe("gateway_request_seconds", value, endpoint="POST /x")
+            oracle.observe("gateway_request_seconds", value, endpoint="POST /x")
+        for value in observations_b:
+            b.observe("gateway_request_seconds", value, endpoint="POST /x")
+            oracle.observe("gateway_request_seconds", value, endpoint="POST /x")
+
+        merged = block.reader().merged_registry()
+        got = merged.histogram(
+            "gateway_request_seconds", endpoint="POST /x", worker=MERGED_WORKER_LABEL
+        )
+        want = oracle.histogram("gateway_request_seconds", endpoint="POST /x")
+        assert got is not None and want is not None
+        assert got.count == want.count == len(observations_a) + len(observations_b)
+        assert got.bucket_counts == want.bucket_counts
+        assert got.total == pytest.approx(want.total)
+        assert got.min == pytest.approx(want.min)
+        assert got.max == pytest.approx(want.max)
+        # the overflow bucket really caught the 1000 s observation
+        assert got.bucket_counts[len(DEFAULT_BUCKETS)] == 1
+
+    def test_value_updates_are_idempotent_overwrites(self, block):
+        """Re-mirroring absolute state never double-counts."""
+        registry = _registry_with_sink(block.sink(0, pid=101))
+        registry.inc("hits", 5)
+        registry.inc("hits", 5)  # absolute value 10 written twice
+        merged = block.reader().merged_registry()
+        assert merged.counter_value("hits", worker=MERGED_WORKER_LABEL) == 10.0
+
+
+class TestSinkBehaviour:
+    def test_set_sink_flushes_preexisting_series(self, block):
+        registry = MetricsRegistry()
+        registry.inc("early_counter", 7)
+        registry.set_gauge("early_gauge", 2.5)
+        registry.observe("early_seconds", 0.01)
+        registry.set_sink(block.sink(0, pid=101))  # flush happens here
+        merged = block.reader().merged_registry()
+        assert merged.counter_value("early_counter", worker="101") == 7.0
+        assert merged.gauge_value("early_gauge", worker="101") == 2.5
+        hist = merged.histogram("early_seconds", worker="101")
+        assert hist is not None and hist.count == 1
+
+    def test_key_round_trip_survives_hostile_label_values(self, block):
+        registry = _registry_with_sink(block.sink(0, pid=101))
+        labels = {
+            "endpoint": 'POST act_{id}/adsets?q="x,y"',
+            "note": "über-ads\\path",
+        }
+        registry.inc("gateway_requests", 3, **labels)
+        merged = block.reader().merged_registry()
+        assert merged.counter_value(
+            "gateway_requests", worker=MERGED_WORKER_LABEL, **labels
+        ) == 3.0
+
+    def test_overflow_drops_and_counts_instead_of_raising(self):
+        # smallest legal slot: header + room for exactly one entry
+        with TelemetryBlock.create(1, slot_bytes=64 + 320) as blk:
+            sink = blk.sink(0, pid=101)
+            registry = _registry_with_sink(sink)
+            registry.inc("first", 1)
+            registry.inc("second", 1)  # no room left
+            registry.inc("second", 1)  # dropped key cached, not re-counted
+            assert sink.dropped_series == 1
+            reader = blk.reader()
+            merged = reader.merged_registry()
+            assert merged.counter_value("first", worker=MERGED_WORKER_LABEL) == 1.0
+            assert merged.counter_value("second", worker=MERGED_WORKER_LABEL) == 0.0
+            assert reader.slots()[0].dropped == 1
+
+    def test_oversized_key_is_dropped(self, block):
+        sink = block.sink(0, pid=101)
+        registry = _registry_with_sink(sink)
+        registry.inc("fine", 1, detail="x" * 500)
+        assert sink.dropped_series == 1
+        assert block.reader().slots()[0].counters == {}
+
+
+class TestHealth:
+    def test_heartbeat_staleness_with_explicit_clock(self, block):
+        fresh = block.sink(0, pid=101)
+        stale = block.sink(1, pid=202)
+        fresh.heartbeat(now=1000.0)
+        stale.heartbeat(now=990.0)
+        health = block.reader().cluster_health(now=1001.0, stale_after=5.0)
+        assert health["slots"] == 2
+        assert health["live"] == 1
+        assert health["stale"] == 1
+        by_pid = {entry["pid"]: entry for entry in health["workers"]}
+        assert by_pid[101]["stale"] is False
+        assert by_pid[101]["heartbeat_age_seconds"] == pytest.approx(1.0)
+        assert by_pid[202]["stale"] is True
+        assert by_pid[202]["heartbeat_age_seconds"] == pytest.approx(11.0)
+
+    def test_unclaimed_slots_are_invisible(self, block):
+        block.sink(0, pid=101)
+        reader = block.reader()
+        assert [snapshot.slot for snapshot in reader.slots()] == [0]
+        health = reader.cluster_health()
+        assert health["slots"] == 2 and len(health["workers"]) == 1
+
+    def test_reader_bookkeeping_gauges(self, block):
+        sink = block.sink(0, pid=101)
+        sink.heartbeat(now=100.0)
+        merged = block.reader().merged_registry(now=102.5)
+        assert merged.gauge_value(
+            "telemetry_heartbeat_age_seconds", worker="101"
+        ) == pytest.approx(2.5)
+        assert merged.gauge_value("telemetry_dropped_series", worker="101") == 0.0
+
+
+class TestCrossMapping:
+    def test_attach_by_manifest_json_sees_owner_writes(self, block):
+        """The spawn-worker path: attach via the JSON manifest string."""
+        registry = _registry_with_sink(block.sink(0, pid=101))
+        registry.inc("gateway_requests", 6, status=200)
+        manifest_json = block.manifest.to_json()
+        assert isinstance(json.loads(manifest_json), dict)
+        reader = TelemetryReader.attach(manifest_json)
+        try:
+            merged = reader.merged_registry()
+            assert merged.counter_value(
+                "gateway_requests", status=200, worker=MERGED_WORKER_LABEL
+            ) == 6.0
+        finally:
+            reader.close()
+
+    def test_attached_sink_writes_visible_to_owner_reader(self, block):
+        sink = SharedSink.attach(block.manifest.to_json(), 1)
+        try:
+            registry = MetricsRegistry()
+            registry.set_sink(sink)
+            registry.inc("gateway_requests", 2, status=200)
+        finally:
+            registry.set_sink(None)
+            sink.close()
+        merged = block.reader().merged_registry()
+        assert merged.counter_value(
+            "gateway_requests", status=200, worker=MERGED_WORKER_LABEL
+        ) == 2.0

@@ -1,0 +1,124 @@
+"""Tier-1 tests for the Prometheus text exposition and its linter."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.prometheus import METRIC_PREFIX, lint_prometheus, render_prometheus
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRender:
+    def test_counter_names_gain_total_suffix_and_prefix(self, registry):
+        registry.inc("gateway_requests", 3, status=200)
+        text = render_prometheus(registry.snapshot())
+        assert f'{METRIC_PREFIX}gateway_requests_total{{status="200"}} 3' in text
+        assert f"# TYPE {METRIC_PREFIX}gateway_requests_total counter" in text
+
+    def test_gauge_renders_without_suffix(self, registry):
+        registry.set_gauge("gateway_connections", 4)
+        text = render_prometheus(registry.snapshot())
+        assert f"{METRIC_PREFIX}gateway_connections 4" in text
+        assert f"# TYPE {METRIC_PREFIX}gateway_connections gauge" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self, registry):
+        registry.observe("latency_seconds", 0.0005)  # bucket index 1 (<= 0.001)
+        registry.observe("latency_seconds", 0.05)    # bucket index 3 (<= 0.1)
+        registry.observe("latency_seconds", 1e6)     # overflow bucket
+        text = render_prometheus(registry.snapshot())
+        name = f"{METRIC_PREFIX}latency_seconds"
+        assert f'{name}_bucket{{le="0.001"}} 1' in text
+        assert f'{name}_bucket{{le="0.1"}} 2' in text
+        assert f'{name}_bucket{{le="600"}} 2' in text
+        assert f'{name}_bucket{{le="+Inf"}} 3' in text
+        assert f"{name}_count 3" in text
+
+    def test_label_values_are_escaped(self, registry):
+        registry.inc("gateway_requests", 1, endpoint='POST act_{id}/"ads"\\v1')
+        text = render_prometheus(registry.snapshot())
+        assert 'endpoint="POST act_{id}/\\"ads\\"\\\\v1"' in text
+        assert lint_prometheus(text) == []
+
+    def test_metric_names_are_sanitised(self, registry):
+        registry.inc("weird-name.with spaces", 1)
+        text = render_prometheus(registry.snapshot())
+        assert f"{METRIC_PREFIX}weird_name_with_spaces_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self, registry):
+        assert render_prometheus(registry.snapshot()) == ""
+
+    def test_realistic_snapshot_lints_clean(self, registry):
+        registry.inc("gateway_requests", 7, endpoint="GET /metrics", status=200)
+        registry.inc("gateway_requests", 1, endpoint="POST act_{id}/adsets", status=422)
+        registry.inc("gateway_rejections", 2, reason="rate_limit")
+        registry.set_gauge("gateway_connections", 3)
+        for value in (0.0002, 0.004, 0.03, 2.0):
+            registry.observe("gateway_request_seconds", value, endpoint="GET /metrics")
+        text = render_prometheus(registry.snapshot())
+        assert lint_prometheus(text) == []
+
+
+class TestLint:
+    def test_flags_missing_type_line(self):
+        assert any(
+            "no TYPE" in problem for problem in lint_prometheus("orphan_metric 1\n")
+        )
+
+    def test_flags_duplicate_series(self):
+        text = (
+            "# TYPE dup counter\n"
+            'dup{a="1"} 1\n'
+            'dup{a="1"} 2\n'
+        )
+        assert any("duplicate series" in problem for problem in lint_prometheus(text))
+
+    def test_flags_non_monotone_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert any("decreased" in problem for problem in lint_prometheus(text))
+
+    def test_flags_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert any("+Inf" in problem for problem in lint_prometheus(text))
+
+    def test_flags_unparseable_sample(self):
+        text = "# TYPE ok counter\nok 1\n}{garbage\n"
+        assert any("unparseable" in problem for problem in lint_prometheus(text))
+
+    def test_clean_text_passes(self):
+        text = (
+            "# HELP ok a counter\n"
+            "# TYPE ok counter\n"
+            'ok{a="1"} 1\n'
+            'ok{a="2"} 2\n'
+        )
+        assert lint_prometheus(text) == []
+
+
+class TestMergedClusterRender:
+    def test_worker_labelled_series_are_distinct(self, registry):
+        registry.inc("gateway_requests", 5, status=200, worker="101")
+        registry.inc("gateway_requests", 4, status=200, worker="202")
+        registry.inc("gateway_requests", 9, status=200, worker="_merged")
+        text = render_prometheus(registry.snapshot())
+        assert lint_prometheus(text) == []
+        assert 'worker="101"' in text and 'worker="_merged"' in text
+        # bucket count sanity: 11 bucket slots render as 11 + +Inf lines
+        registry.observe("s", 0.1, worker="101")
+        text = render_prometheus(registry.snapshot())
+        assert text.count("_bucket{") == len(DEFAULT_BUCKETS) + 1
+        assert lint_prometheus(text) == []

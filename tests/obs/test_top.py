@@ -1,0 +1,145 @@
+"""Tier-1 tests for the ``repro top`` reduction and rendering (no sockets)."""
+
+import pytest
+
+from repro.obs.cluster import MERGED_WORKER_LABEL
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.top import quantile_from_buckets, render_top, summarize
+
+
+def _buckets(**indexed_counts: int) -> list[int]:
+    buckets = [0] * (len(DEFAULT_BUCKETS) + 1)
+    for key, count in indexed_counts.items():
+        buckets[int(key.removeprefix("b"))] = count
+    return buckets
+
+
+class TestQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets([0] * 11, 0.5) == 0.0
+
+    def test_single_bucket_interpolates_linearly(self):
+        # 10 observations all in bucket 3: (0.01, 0.1]
+        buckets = _buckets(b3=10)
+        p50 = quantile_from_buckets(buckets, 0.50)
+        assert 0.01 < p50 <= 0.1
+        assert quantile_from_buckets(buckets, 0.99) > p50
+
+    def test_median_lands_in_the_right_bucket(self):
+        # 5 fast (bucket 1) + 5 slow (bucket 5): p50 at the fast/slow edge
+        buckets = _buckets(b1=5, b5=5)
+        p50 = quantile_from_buckets(buckets, 0.50)
+        assert p50 <= DEFAULT_BUCKETS[1]
+        p99 = quantile_from_buckets(buckets, 0.99)
+        assert DEFAULT_BUCKETS[4] < p99 <= DEFAULT_BUCKETS[5]
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        buckets = _buckets(b10=4)
+        assert quantile_from_buckets(buckets, 0.99, observed_max=750.0) <= 750.0
+        # without a known max the overflow bucket collapses to its lower bound
+        assert quantile_from_buckets(buckets, 0.99) == DEFAULT_BUCKETS[-1]
+
+    def test_first_bucket_uses_observed_min(self):
+        buckets = _buckets(b0=10)
+        assert quantile_from_buckets(buckets, 0.5, observed_min=0.00002) >= 0.00002
+
+
+def _cluster_snapshot() -> dict:
+    """A two-worker merged snapshot as ``/metrics`` would serve it."""
+    registry = MetricsRegistry()
+    for worker, n in (("101", 6), ("202", 4), (MERGED_WORKER_LABEL, 10)):
+        registry.inc(
+            "gateway_requests", n, endpoint="POST /x", status=200, worker=worker
+        )
+    registry.inc("gateway_requests", 2, endpoint="POST /x", status=429, worker="101")
+    registry.inc(
+        "gateway_requests", 2, endpoint="POST /x", status=429, worker=MERGED_WORKER_LABEL
+    )
+    registry.inc("gateway_rejections", 2, reason="rate_limit", worker="101")
+    registry.inc("gateway_rejections", 2, reason="rate_limit", worker=MERGED_WORKER_LABEL)
+    registry.set_gauge("gateway_connections", 3, worker=MERGED_WORKER_LABEL)
+    for worker in ("101", "202"):
+        registry.set_gauge("telemetry_heartbeat_age_seconds", 0.5, worker=worker)
+        registry.set_gauge("telemetry_dropped_series", 0, worker=worker)
+    for value in (0.002, 0.003, 0.05):
+        registry.observe(
+            "gateway_request_seconds", value, endpoint="POST /x", worker=MERGED_WORKER_LABEL
+        )
+    snapshot = registry.snapshot()
+    snapshot["scope"] = "cluster"
+    return snapshot
+
+
+class TestSummarize:
+    def test_totals_statuses_and_rejections(self):
+        summary = summarize(_cluster_snapshot(), now=100.0)
+        assert summary["scope"] == "cluster"
+        assert summary["requests_total"] == 12.0
+        assert summary["statuses"] == {"2xx": 10.0, "4xx": 2.0}
+        assert summary["rejections"] == {"rate_limit": 2.0}
+        assert summary["connections"] == 3.0
+        assert summary["endpoints"] == {"POST /x": 12.0}
+
+    def test_per_worker_rows_exclude_the_rollup(self):
+        summary = summarize(_cluster_snapshot(), now=100.0)
+        assert set(summary["workers"]) == {"101", "202"}
+        assert summary["workers"]["101"]["requests"] == 8.0
+        assert summary["workers"]["202"]["requests"] == 4.0
+        assert summary["workers"]["101"]["heartbeat_age_seconds"] == 0.5
+
+    def test_latency_estimates_from_merged_histogram(self):
+        summary = summarize(_cluster_snapshot(), now=100.0)
+        latency = summary["latency"]
+        assert latency["count"] == 3
+        assert latency["mean_ms"] == pytest.approx(55.0 / 3, rel=1e-6)
+        assert 0.0 < latency["p50_ms"] <= 10.0
+        assert latency["p99_ms"] >= latency["p50_ms"]
+
+    def test_rps_delta_against_previous_summary(self):
+        first = summarize(_cluster_snapshot(), now=100.0)
+        assert first["rps"] is None
+        later = _cluster_snapshot()
+        for row in later["counters"]:
+            if row["name"] == "gateway_requests":
+                row["value"] += 20
+        second = summarize(later, previous=first, now=104.0)
+        # 4 request-counter rows each grew by 20, but only the two
+        # _merged rows count toward the total: +40 over 4 s
+        assert second["rps"] == pytest.approx(10.0)
+
+    def test_healthz_cluster_section_marks_stale_workers(self):
+        healthz = {
+            "cluster": {
+                "workers": [
+                    {"pid": 101, "heartbeat_age_seconds": 0.2, "stale": False},
+                    {"pid": 303, "heartbeat_age_seconds": 9.0, "stale": True},
+                ]
+            }
+        }
+        summary = summarize(_cluster_snapshot(), healthz=healthz, now=100.0)
+        assert summary["workers"]["101"]["stale"] is False
+        assert summary["workers"]["303"]["stale"] is True
+
+    def test_worker_local_snapshot_has_no_worker_rows(self):
+        registry = MetricsRegistry()
+        registry.inc("gateway_requests", 5, endpoint="POST /x", status=200)
+        snapshot = registry.snapshot()
+        snapshot["scope"] = "worker"
+        summary = summarize(snapshot, now=100.0)
+        assert summary["requests_total"] == 5.0
+        assert summary["workers"] == {}
+
+
+class TestRender:
+    def test_render_shows_the_load_bearing_numbers(self):
+        summary = summarize(_cluster_snapshot(), now=100.0)
+        text = render_top(summary)
+        assert "scope=cluster" in text
+        assert "12 total" in text
+        assert "rate_limit 2" in text
+        assert "pid      101" in text
+        assert "p50" in text and "p99" in text
+
+    def test_render_survives_minimal_summary(self):
+        text = render_top({"requests_total": 0.0, "latency": {}})
+        assert "0 total" in text

@@ -1,0 +1,166 @@
+"""Tier-1 tests for the bench regression gate (``scripts/check_bench.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", Path(__file__).resolve().parent.parent / "scripts" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def _serving(rps: float, p99: float = 10.0, **extra) -> dict:
+    return {"mode": "serve", "n_workers": 2, "concurrency": 8, "rps": rps, "p99_ms": p99, **extra}
+
+
+def _statuses(results, metric):
+    return {row["status"] for row in results if row["metric"] == metric}
+
+
+class TestCompare:
+    def test_steady_trajectory_is_ok(self):
+        records = [_serving(1000.0 + i) for i in range(6)]
+        results = check_bench.compare(records)
+        assert _statuses(results, "rps") == {"ok"}
+        assert not [r for r in results if r["status"] == "regression"]
+
+    def test_regression_beyond_threshold_fails(self):
+        records = [_serving(1000.0)] * 5 + [_serving(600.0)]  # -40% rps
+        results = check_bench.compare(records)
+        row = next(r for r in results if r["metric"] == "rps")
+        assert row["status"] == "regression"
+        assert row["baseline"] == 1000.0
+        assert row["change_pct"] == pytest.approx(-40.0)
+
+    def test_improvement_is_reported_not_failed(self):
+        records = [_serving(1000.0)] * 5 + [_serving(2000.0)]
+        results = check_bench.compare(records)
+        assert next(r for r in results if r["metric"] == "rps")["status"] == "improvement"
+
+    def test_lower_better_direction_flips(self):
+        records = [_serving(1000.0, p99=10.0)] * 5 + [_serving(1000.0, p99=20.0)]
+        results = check_bench.compare(records)
+        row = next(r for r in results if r["metric"] == "p99_ms")
+        assert row["status"] == "regression"
+        records = [_serving(1000.0, p99=10.0)] * 5 + [_serving(1000.0, p99=5.0)]
+        row = next(
+            r for r in check_bench.compare(records) if r["metric"] == "p99_ms"
+        )
+        assert row["status"] == "improvement"
+
+    def test_new_metric_backfills_without_failing(self):
+        """A metric the history never carried is 'new', not a regression."""
+        history = [_serving(1000.0) for _ in range(4)]
+        newest = _serving(1000.0, telemetry_overhead_pct=1.5)
+        results = check_bench.compare(history + [newest])
+        row = next(r for r in results if r["metric"] == "telemetry_overhead_pct")
+        assert row["status"] == "new"
+        assert row["baseline"] is None
+
+    def test_first_record_of_a_group_is_new(self):
+        results = check_bench.compare([_serving(1000.0)])
+        assert _statuses(results, "rps") == {"new"}
+
+    def test_groups_are_compared_separately(self):
+        """A 2-worker record never judges against 4-worker history."""
+        records = [
+            _serving(1000.0),
+            {**_serving(4000.0), "n_workers": 4},
+            _serving(950.0),
+            {**_serving(1100.0), "n_workers": 4},  # would be a -72% fail if mixed
+        ]
+        results = check_bench.compare(records, threshold=0.25)
+        regressions = [r for r in results if r["status"] == "regression"]
+        # the 4-worker group did regress (4000 -> 1100) — but only there
+        assert all("n_workers=4" in r["group"] for r in regressions)
+
+    def test_median_baseline_resists_one_outlier(self):
+        records = [
+            _serving(1000.0),
+            _serving(1010.0),
+            _serving(5.0),  # one broken historical run
+            _serving(990.0),
+            _serving(1005.0),
+            _serving(980.0),
+        ]
+        results = check_bench.compare(records)
+        assert _statuses(results, "rps") == {"ok"}
+
+    def test_noise_floor_absorbs_near_zero_baselines(self):
+        """±1 MB of RSS jitter around a ~0 baseline is not a regression."""
+        base = {"mode": "columnar", "stage": "registry", "world": "paper"}
+        records = [
+            {**base, "rss_delta_mb": -0.3},
+            {**base, "rss_delta_mb": 0.1},
+            {**base, "rss_delta_mb": -0.4},
+            {**base, "rss_delta_mb": 0.9},
+        ]
+        results = check_bench.compare(records)
+        assert _statuses(results, "rss_delta_mb") == {"ok"}
+
+    def test_window_limits_the_baseline(self):
+        # ancient fast history outside the window must not judge today
+        records = [_serving(9000.0)] * 10 + [_serving(1000.0)] * 6
+        results = check_bench.compare(records, window=5)
+        assert _statuses(results, "rps") == {"ok"}
+
+    def test_non_numeric_values_are_skipped(self):
+        records = [_serving(1000.0), {**_serving(990.0), "rps": True}]
+        results = check_bench.compare(records)
+        assert not [r for r in results if r["metric"] == "rps" and r["value"] is True]
+
+
+class TestMain:
+    def _write(self, path: Path, records: list[dict]) -> Path:
+        path.write_text(json.dumps(records))
+        return path
+
+    def test_exit_zero_on_clean_history(self, tmp_path, capsys):
+        bench = self._write(tmp_path / "BENCH_serving.json", [_serving(1000.0)] * 6)
+        assert check_bench.main([str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        bench = self._write(
+            tmp_path / "BENCH_serving.json", [_serving(1000.0)] * 5 + [_serving(100.0)]
+        )
+        assert check_bench.main([str(bench)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        bench = self._write(tmp_path / "BENCH_serving.json", [_serving(1000.0)] * 2)
+        assert check_bench.main(["--json", str(bench)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["regressions"] == 0
+        assert {row["metric"] for row in report["results"]} >= {"rps", "p99_ms"}
+
+    def test_threshold_flag_tightens_the_gate(self, tmp_path):
+        bench = self._write(
+            tmp_path / "BENCH_serving.json", [_serving(1000.0)] * 5 + [_serving(900.0)]
+        )
+        assert check_bench.main([str(bench)]) == 0  # -10% under the default 25%
+        assert check_bench.main(["--threshold", "0.05", str(bench)]) == 1
+
+    def test_missing_files_are_skipped(self, tmp_path):
+        assert check_bench.main([str(tmp_path / "BENCH_absent.json")]) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError, match="not a JSON array"):
+            check_bench.main([str(bad)])
+
+    def test_real_repo_history_passes_the_gate(self):
+        """The committed BENCH_*.json trajectory must gate clean."""
+        repo_root = Path(__file__).resolve().parent.parent
+        paths = sorted(repo_root.glob("BENCH_*.json"))
+        if not paths:
+            pytest.skip("no bench history committed")
+        results = check_bench.check_paths(paths)
+        regressions = [r for r in results if r["status"] == "regression"]
+        assert regressions == []
