@@ -40,6 +40,9 @@ from typing import Any, Iterable, Mapping
 #: Metrics where a *larger* value is an improvement.
 HIGHER_BETTER = (
     "rps",
+    "rps_cached",
+    "rps_uncached",
+    "cache_hit_rate",
     "speedup",
     "speedup_vs_reference",
     "slots_per_sec_per_core",
@@ -59,6 +62,11 @@ LOWER_BETTER = (
     "telemetry_overhead_pct",
     "rss_delta_mb",
     "peak_rss_mb",
+    "stage_route_us",
+    "stage_decode_us",
+    "stage_cache_us",
+    "stage_handler_us",
+    "stage_encode_us",
 )
 
 #: Fields that identify *what* was measured (any subset present in a
@@ -86,6 +94,13 @@ NOISE_FLOOR = {
     "rss_delta_mb": 16.0,
     "trace_overhead_pct": 5.0,
     "telemetry_overhead_pct": 5.0,
+    # Per-stage means are single-digit-to-tens of µs; scheduler jitter
+    # on a shared CI box easily moves them ±10 µs.
+    "stage_route_us": 10.0,
+    "stage_decode_us": 10.0,
+    "stage_cache_us": 10.0,
+    "stage_handler_us": 25.0,
+    "stage_encode_us": 10.0,
 }
 
 #: Baselines are the median of up to this many prior records per group.

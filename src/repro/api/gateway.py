@@ -33,6 +33,19 @@ Each worker owns an independent copy of the mutable world state
 (audiences, ads, delivery history) over the shared immutable columns;
 cross-connection read-your-writes holds within a connection, not across
 workers — the same affinity contract real sharded ad servers give.
+
+**The request hot path** is specialised end to end: routes resolve
+through a precompiled segment trie (:mod:`repro.api.routing`), reply
+bodies render through the shape-aware encoder in :mod:`repro.api.wire`,
+idempotent GETs are served from an LRU of pre-serialized bytes keyed by
+(route, canonical query) and scoped to the world digest — with strong
+ETags, so ``If-None-Match`` revalidation collapses to a bodyless
+``304`` — and rate limiting runs against the cluster-wide shared-memory
+plane (:class:`~repro.api.ratelimit.SharedRateLimiter`) when one is
+attached, making a token's budget hold across workers.  Each stage is
+measured (``api.decode`` / ``api.route`` / ``api.cache`` /
+``api.encode`` spans when tracing; always-on monotonic accumulators
+surfaced as ``gateway_stage_*`` gauges at ``/metrics`` time).
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ import threading
 import time
 import urllib.parse
 import uuid
+from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from typing import Any
@@ -55,7 +69,17 @@ from typing import Any
 from repro.api.http import MAX_BODY_BYTES, _KeepAliveTransport, parse_content_length
 from repro.api.metrics import endpoint_key
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
-from repro.api.ratelimit import TokenBucket
+from repro.api.ratelimit import SharedRateLimiter, TokenBucket
+from repro.api.routing import RouteTrie
+from repro.api.wire import (
+    ResponseCache,
+    canonical_params,
+    encode_envelope,
+    encode_error_body,
+    encode_obj,
+    encode_rest,
+    etag_matches,
+)
 from repro.errors import ApiError, ValidationError
 from repro.obs.cluster import (
     HEARTBEAT_INTERVAL,
@@ -80,6 +104,7 @@ logger = logging.getLogger(__name__)
 
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",
@@ -88,6 +113,26 @@ _REASONS = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Bodies larger than this are read in bounded chunks rather than one
+#: ``readexactly`` allocation (the stream buffer never has to hold more
+#: than a chunk beyond what the parser consumed).
+_BODY_CHUNK = 64 * 1024
+
+#: The per-request stages the gateway accounts for; also the span names
+#: (``api.<stage>``) when tracing is enabled.
+_STAGES = ("route", "decode", "cache", "handler", "encode")
+
+
+@dataclass(slots=True)
+class WireReply:
+    """One fully rendered HTTP reply: status + pre-serialized body bytes."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    #: Extra response headers, e.g. ``(("ETag", '"..."'),)``.
+    headers: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,6 +156,17 @@ class GatewayConfig:
     retry_after_hint: float = 0.5
     #: Bind with ``SO_REUSEPORT`` (multi-worker port sharing).
     reuse_port: bool = False
+    #: Response-cache capacity (idempotent GETs, pre-serialized bytes);
+    #: ``0`` disables caching.
+    cache_entries: int = 256
+    #: Token cost of one ``POST .../deliver`` request.  Delivery runs the
+    #: auction over the whole audience — the one endpoint whose cost is
+    #: not one unit of server work — so operators can weight it; the
+    #: default keeps historic request-counting semantics.
+    rate_cost_deliver: float = 1.0
+
+
+_QUERY_JSON_LEAD = frozenset('-0123456789{["tfn')
 
 
 def _decode_query_value(raw: str) -> Any:
@@ -119,8 +175,12 @@ def _decode_query_value(raw: str) -> Any:
     The envelope protocol carries typed JSON params; a query string is
     all strings.  ``?limit=25`` should reach the server as ``25``, so
     values that parse as JSON scalars/containers are decoded and
-    anything else stays a string.
+    anything else stays a string.  Plain identifiers (the common case —
+    ids, enum names) cannot start a JSON value, so they skip the
+    parse-and-catch entirely.
     """
+    if not raw or raw[0] not in _QUERY_JSON_LEAD:
+        return raw
     try:
         return json.loads(raw)
     except json.JSONDecodeError:
@@ -165,13 +225,24 @@ class AsyncGateway:
         *,
         clock: Callable[[], float] = time.monotonic,
         telemetry_reader: TelemetryReader | None = None,
+        rate_plane: SharedRateLimiter | None = None,
+        world_version: str = "",
     ) -> None:
         self._handler = handler
         self._tokens = set(access_tokens)
         self._config = config or GatewayConfig()
         self._clock = clock
         self._telemetry_reader = telemetry_reader
+        self._rate_plane = rate_plane
         self._buckets: dict[str, TokenBucket] = {}
+        self._cache = (
+            ResponseCache(self._config.cache_entries, world_version=world_version)
+            if self._config.cache_entries > 0
+            else None
+        )
+        self._routes = self._compile_routes()
+        self._stage_totals = dict.fromkeys(_STAGES, 0.0)
+        self._stage_counts = dict.fromkeys(_STAGES, 0)
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._in_flight = 0
@@ -179,6 +250,29 @@ class AsyncGateway:
         self._idle = asyncio.Event()
         self._idle.set()
         self._started = time.monotonic()
+
+    def _compile_routes(self) -> RouteTrie:
+        """The top-level route table, compiled once at construction."""
+        routes = RouteTrie()
+        # Ops routes accept any verb (parity with the historic
+        # string-compare dispatch, which never looked at the method).
+        routes.add("*", "/healthz", self._route_healthz)
+        routes.add("*", "/metrics", self._route_metrics)
+        routes.add("POST", "/graph", self._route_graph)
+        routes.add("*", "/v1/{resource...}", self._route_rest)
+        return routes
+
+    def set_world_version(self, world_version: str) -> None:
+        """Adopt a new world digest (drops every cached response)."""
+        if self._cache is not None:
+            self._cache.set_world_version(world_version)
+
+    def _stage_add(self, stage: str, seconds: float) -> None:
+        # Plain-float accumulation: the per-request cost of full
+        # histogram observation would rival the stages being measured.
+        # Totals surface as gauges when /metrics snapshots.
+        self._stage_totals[stage] += seconds
+        self._stage_counts[stage] += 1
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -239,15 +333,15 @@ class AsyncGateway:
             with contextlib.suppress(ConnectionError):
                 await self._write_response(
                     writer,
-                    503,
-                    {
-                        "error": {
-                            "message": "gateway at connection capacity",
-                            "type": "TransientError",
-                            "code": 2,
-                        },
-                        "retry_after": self._config.retry_after_hint,
-                    },
+                    WireReply(
+                        503,
+                        encode_error_body(
+                            "gateway at connection capacity",
+                            code=2,
+                            api_type="TransientError",
+                            retry_after=self._config.retry_after_hint,
+                        ),
+                    ),
                     close=True,
                 )
             await self._close_writer(writer)
@@ -278,8 +372,7 @@ class AsyncGateway:
                 get_registry().inc("gateway_rejections", reason="body")
                 await self._write_response(
                     writer,
-                    400,
-                    _error_body("request head too large", code=100),
+                    WireReply(400, encode_error_body("request head too large", code=100)),
                     close=True,
                 )
                 return
@@ -288,7 +381,9 @@ class AsyncGateway:
             except ApiError as exc:
                 get_registry().inc("gateway_rejections", reason="body")
                 await self._write_response(
-                    writer, 400, _error_body(str(exc), code=exc.code), close=True
+                    writer,
+                    WireReply(400, encode_error_body(str(exc), code=exc.code)),
+                    close=True,
                 )
                 return
             # Honour the client's X-Request-Id or assign one; every
@@ -302,18 +397,15 @@ class AsyncGateway:
                 get_registry().inc("gateway_rejections", reason="body")
                 await self._write_response(
                     writer,
-                    400,
-                    _error_body(str(exc), code=exc.code),
+                    WireReply(400, encode_error_body(str(exc), code=exc.code)),
                     close=True,
                     request_id=request_id,
                 )
                 return
-            status, payload = self._dispatch(
-                method, target, headers, body, request_id=request_id
-            )
-            keep_open = not self._draining and status < 500
+            reply = self._dispatch(method, target, headers, body, request_id=request_id)
+            keep_open = not self._draining and reply.status < 500
             await self._write_response(
-                writer, status, payload, close=not keep_open, request_id=request_id
+                writer, reply, close=not keep_open, request_id=request_id
             )
             if not keep_open:
                 return
@@ -322,36 +414,47 @@ class AsyncGateway:
         raw_length = headers.get("content-length")
         if raw_length is None:
             return b""
+        # The declared length is validated against the limit *before* a
+        # single body byte is read — an oversized upload is rejected at
+        # the head, never buffered then bounced.
         length = parse_content_length(raw_length, limit=self._config.max_body_bytes)
         if length == 0:
             return b""
-        return await reader.readexactly(length)
+        if length <= _BODY_CHUNK:
+            return await reader.readexactly(length)
+        # Large (but in-limit) bodies arrive in bounded chunks so the
+        # stream buffer holds at most one chunk beyond what is consumed,
+        # instead of readexactly staging the whole body a second time.
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(_BODY_CHUNK, remaining))
+            if not chunk:
+                raise asyncio.IncompleteReadError(b"".join(chunks), length)
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
-        status: int,
-        body: dict[str, Any] | str,
+        reply: WireReply,
         *,
         close: bool,
         request_id: str | None = None,
     ) -> None:
-        if isinstance(body, str):  # Prometheus text exposition
-            payload = body.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            payload = json.dumps(body).encode("utf-8")
-            content_type = "application/json"
+        extra = "".join(f"{name}: {value}\r\n" for name, value in reply.headers)
         request_id_header = f"X-Request-Id: {request_id}\r\n" if request_id else ""
         head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
+            f"HTTP/1.1 {reply.status} {_REASONS.get(reply.status, 'OK')}\r\n"
+            f"Content-Type: {reply.content_type}\r\n"
+            f"Content-Length: {len(reply.body)}\r\n"
+            f"{extra}"
             f"{request_id_header}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
         )
         try:
-            writer.write(head.encode("ascii") + payload)
+            writer.write(head.encode("ascii") + reply.body)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             # Client hung up mid-response; its retry machinery recovers.
@@ -373,34 +476,49 @@ class AsyncGateway:
         headers: dict[str, str],
         body: bytes,
         request_id: str | None = None,
-    ) -> tuple[int, dict[str, Any] | str]:
-        """Route one parsed HTTP request; returns (status, JSON body)."""
-        split = urllib.parse.urlsplit(target)
-        path = split.path
-        if path == "/healthz":
-            payload: dict[str, Any] = {
-                "status": "draining" if self._draining else "ok",
-                "pid": os.getpid(),
-                "uptime_seconds": round(time.monotonic() - self._started, 3),
-                "connections": len(self._connections),
-                # pid/uptime/connections describe *this* worker only; the
-                # cluster section (when present) is the cross-worker truth.
-                "scope": "worker",
-            }
-            if self._telemetry_reader is not None:
-                payload["cluster"] = self._telemetry_reader.cluster_health()
-            return 200, payload
-        if path == "/metrics":
-            return self._dispatch_metrics(split.query)
-        if method == "POST" and path == "/graph":
-            return self._dispatch_graph(body, request_id)
-        if path.startswith("/v1/"):
-            return self._dispatch_rest(method, target, headers, body, request_id)
-        return 404, _error_body(f"no route for {method} {path}", code=100)
+    ) -> WireReply:
+        """Route one parsed HTTP request through the compiled trie."""
+        started = time.perf_counter()
+        path, _, query = target.partition("?")
+        with get_tracer().span("api.route"):
+            match = self._routes.match(method, path)
+        self._stage_add("route", time.perf_counter() - started)
+        if match is None:
+            return WireReply(
+                404, encode_error_body(f"no route for {method} {path}", code=100)
+            )
+        handler, captures = match
+        return handler(
+            method=method,
+            query=query,
+            headers=headers,
+            body=body,
+            request_id=request_id,
+            **captures,
+        )
 
-    def _dispatch_metrics(self, query: str) -> tuple[int, dict[str, Any] | str]:
+    def _route_healthz(self, *, method: str, query: str, headers, body, request_id) -> WireReply:
+        payload: dict[str, Any] = {
+            "status": "draining" if self._draining else "ok",
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "connections": len(self._connections),
+            # pid/uptime/connections describe *this* worker only; the
+            # cluster section (when present) is the cross-worker truth.
+            "scope": "worker",
+        }
+        if self._telemetry_reader is not None:
+            payload["cluster"] = self._telemetry_reader.cluster_health()
+        return WireReply(200, encode_obj(payload))
+
+    def _route_metrics(self, *, method: str, query: str, headers, body, request_id) -> WireReply:
         """``GET /metrics``: merged cluster view (or worker-local when no
         telemetry block is attached), as JSON or Prometheus text."""
+        # Snapshot time is when the hot path's plain-float stage
+        # accumulators become visible as gauges (and flow to the
+        # telemetry sink) — scraping pays the registry cost, requests
+        # never do.
+        self._flush_stage_gauges()
         if self._telemetry_reader is not None:
             snapshot = self._telemetry_reader.merged_snapshot()
             scope = "cluster"
@@ -409,72 +527,109 @@ class AsyncGateway:
             scope = "worker"
         params = urllib.parse.parse_qs(query)
         if params.get("format", ["json"])[-1] == "prometheus":
-            return 200, render_prometheus(snapshot)
+            return WireReply(
+                200,
+                render_prometheus(snapshot).encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         snapshot["scope"] = scope
-        return 200, snapshot
+        return WireReply(200, encode_obj(snapshot))
 
-    def _dispatch_graph(
-        self, body: bytes, request_id: str | None = None
-    ) -> tuple[int, dict[str, Any]]:
+    def _flush_stage_gauges(self) -> None:
+        registry = get_registry()
+        for stage in _STAGES:
+            registry.set_gauge(
+                "gateway_stage_seconds_total", self._stage_totals[stage], stage=stage
+            )
+            registry.set_gauge(
+                "gateway_stage_requests", float(self._stage_counts[stage]), stage=stage
+            )
+        if self._cache is not None:
+            for key, value in self._cache.stats().items():
+                registry.set_gauge("gateway_cache", float(value), result=key)
+
+    def _route_graph(self, *, method: str, query: str, headers, body, request_id) -> WireReply:
         """The envelope endpoint: body is one serialised ApiRequest."""
+        started = time.perf_counter()
+        tracer = get_tracer()
         try:
-            request = ApiRequest.from_json(body.decode("utf-8"))
+            with tracer.span("api.decode"):
+                request = ApiRequest.from_json(body.decode("utf-8"))
         except (ApiError, UnicodeDecodeError) as exc:
             get_registry().inc("gateway_rejections", reason="body")
-            return 400, _envelope_wire(
-                ApiResponse.failure(ApiError(str(exc), code=100), status=400)
+            return WireReply(
+                400,
+                encode_envelope(
+                    ApiResponse.failure(ApiError(str(exc), code=100), status=400)
+                ),
             )
-        response = self._guarded_handle(request, request_id)
+        finally:
+            self._stage_add("decode", time.perf_counter() - started)
         # The envelope wire format nests {status, body}; the HTTP status
         # mirrors the envelope's so curl and middleboxes see the truth.
-        return response.status, _envelope_wire(response)
+        return self._handle_request(request, request_id, None, envelope=True)
 
-    def _dispatch_rest(
-        self,
-        method: str,
-        target: str,
-        headers: dict[str, str],
-        body: bytes,
-        request_id: str | None = None,
-    ) -> tuple[int, dict[str, Any]]:
+    def _route_rest(
+        self, *, method: str, query: str, headers, body, request_id, resource: str
+    ) -> WireReply:
         """The route-per-resource surface: ``/v1/<graph path>``."""
-        try:
-            http_method = HttpMethod(method)
-        except ValueError:
-            return 404, _error_body(f"unsupported method {method}", code=100)
-        token = _bearer_token(headers)
-        split = urllib.parse.urlsplit(target)
-        resource = split.path[len("/v1") :]
-        if body:
+        started = time.perf_counter()
+        with get_tracer().span("api.decode"):
             try:
-                params = json.loads(body.decode("utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                http_method = HttpMethod(method)
+            except ValueError:
+                self._stage_add("decode", time.perf_counter() - started)
+                return WireReply(
+                    404, encode_error_body(f"unsupported method {method}", code=100)
+                )
+            token = _bearer_token(headers)
+            if body:
+                try:
+                    params = json.loads(body)
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    get_registry().inc("gateway_rejections", reason="body")
+                    self._stage_add("decode", time.perf_counter() - started)
+                    return WireReply(
+                        400, encode_error_body(f"malformed JSON body: {exc}", code=100)
+                    )
+                if not isinstance(params, dict):
+                    get_registry().inc("gateway_rejections", reason="body")
+                    self._stage_add("decode", time.perf_counter() - started)
+                    return WireReply(
+                        400, encode_error_body("JSON body must be an object", code=100)
+                    )
+            else:
+                params = {
+                    name: _decode_query_value(values[-1])
+                    for name, values in urllib.parse.parse_qs(query).items()
+                }
+            try:
+                request = ApiRequest(
+                    method=http_method,
+                    path="/" + resource,
+                    params=params,
+                    access_token=token,
+                )
+            except ValidationError as exc:
+                # A request shape the protocol layer rejects (bad path, bad
+                # params) is the client's fault, same bucket as bad JSON.
                 get_registry().inc("gateway_rejections", reason="body")
-                return 400, _error_body(f"malformed JSON body: {exc}", code=100)
-            if not isinstance(params, dict):
-                get_registry().inc("gateway_rejections", reason="body")
-                return 400, _error_body("JSON body must be an object", code=100)
-        else:
-            params = {
-                name: _decode_query_value(values[-1])
-                for name, values in urllib.parse.parse_qs(split.query).items()
-            }
-        try:
-            request = ApiRequest(
-                method=http_method, path=resource, params=params, access_token=token
-            )
-        except ValidationError as exc:
-            # A request shape the protocol layer rejects (bad path, bad
-            # params) is the client's fault, same bucket as bad JSON.
-            get_registry().inc("gateway_rejections", reason="body")
-            return 400, _error_body(str(exc), code=100)
-        response = self._guarded_handle(request, request_id)
-        return response.status, _rest_wire(response)
+                self._stage_add("decode", time.perf_counter() - started)
+                return WireReply(400, encode_error_body(str(exc), code=100))
+        self._stage_add("decode", time.perf_counter() - started)
+        return self._handle_request(
+            request, request_id, headers.get("if-none-match"), envelope=False
+        )
 
-    def _guarded_handle(
-        self, request: ApiRequest, request_id: str | None = None
-    ) -> ApiResponse:
-        """Auth + throttle + trace around the wrapped handler."""
+    def _handle_request(
+        self,
+        request: ApiRequest,
+        request_id: str | None,
+        if_none_match: str | None,
+        *,
+        envelope: bool,
+    ) -> WireReply:
+        """Auth + throttle + cache + trace around the wrapped handler."""
         endpoint = endpoint_key(request.method, request.path)
         registry = get_registry()
         tracer = get_tracer()
@@ -483,40 +638,120 @@ class AsyncGateway:
             attrs["request_id"] = request_id
         with tracer.span("api.request", attrs) as span:
             started = time.perf_counter()
-            response = self._auth_and_throttle(request)
-            if response is None:
-                self._in_flight += 1
-                self._idle.clear()
-                try:
-                    # bind() stamps the id onto every span finishing in
-                    # the handler — the server's own api.request span and
-                    # the delivery-engine spans under it — so journal
-                    # lines join to this request without plumbing the id
-                    # through every call signature.
-                    with tracer.bind(
-                        **({"request_id": request_id} if request_id else {})
-                    ):
-                        response = self._handler(request)
-                except ApiError as exc:
-                    response = ApiResponse.failure(exc, status=500)
-                except Exception:  # noqa: BLE001 - the world must not kill the loop
-                    logger.exception("handler crashed for %s", request.path)
-                    response = ApiResponse.failure(
-                        ApiError("internal gateway error", code=2, api_type="TransientError"),
-                        status=500,
-                    )
-                finally:
-                    self._in_flight -= 1
-                    if self._in_flight == 0:
-                        self._idle.set()
-            span.set("status", response.status)
-            registry.inc("gateway_requests", endpoint=endpoint, status=response.status)
+            rejection = self._auth_and_throttle(request)
+            if rejection is not None:
+                payload = (
+                    encode_envelope(rejection) if envelope else encode_rest(rejection)
+                )
+                reply = WireReply(rejection.status, payload)
+            elif envelope:
+                response = self._invoke_handler(request, request_id, tracer)
+                if (
+                    self._cache is not None
+                    and request.method is not HttpMethod.GET
+                    and response.ok
+                ):
+                    self._cache.invalidate()
+                encode_started = time.perf_counter()
+                with tracer.span("api.encode"):
+                    payload = encode_envelope(response)
+                self._stage_add("encode", time.perf_counter() - encode_started)
+                reply = WireReply(response.status, payload)
+            else:
+                reply = self._rest_reply(request, request_id, if_none_match, tracer)
+            span.set("status", reply.status)
+            registry.inc("gateway_requests", endpoint=endpoint, status=reply.status)
             registry.observe(
                 "gateway_request_seconds",
                 time.perf_counter() - started,
                 endpoint=endpoint,
             )
-        return response
+        return reply
+
+    def _rest_reply(
+        self,
+        request: ApiRequest,
+        request_id: str | None,
+        if_none_match: str | None,
+        tracer,
+    ) -> WireReply:
+        """Serve one admitted REST request: cache, or handler + encode."""
+        cache = self._cache
+        cacheable = cache is not None and request.method is HttpMethod.GET
+        key = None
+        if cacheable:
+            started = time.perf_counter()
+            with tracer.span("api.cache"):
+                key = (request.path, canonical_params(request.params))
+                entry = cache.lookup(key)
+            self._stage_add("cache", time.perf_counter() - started)
+            if entry is not None:
+                if if_none_match and etag_matches(if_none_match, entry.etag):
+                    cache.revalidations += 1
+                    return WireReply(304, b"", headers=(("ETag", entry.etag),))
+                return WireReply(
+                    entry.status,
+                    entry.body,
+                    headers=(("ETag", entry.etag), ("X-Cache", "hit")),
+                )
+        response = self._invoke_handler(request, request_id, tracer)
+        started = time.perf_counter()
+        with tracer.span("api.encode"):
+            payload = encode_rest(response)
+        self._stage_add("encode", time.perf_counter() - started)
+        if cacheable and response.status == 200:
+            entry = cache.store(key, 200, payload)
+            if if_none_match and etag_matches(if_none_match, entry.etag):
+                # Revalidation against a fresh body: the client's copy is
+                # still byte-exact (a stale validator falls through to
+                # the full 200 below).
+                cache.revalidations += 1
+                return WireReply(304, b"", headers=(("ETag", entry.etag),))
+            return WireReply(
+                200, payload, headers=(("ETag", entry.etag), ("X-Cache", "miss"))
+            )
+        if cache is not None and request.method is not HttpMethod.GET and response.ok:
+            # A successful mutation may change any cached GET's body;
+            # mutable API state carries no finer dependency tracking.
+            cache.invalidate()
+        return WireReply(response.status, payload)
+
+    def _invoke_handler(
+        self, request: ApiRequest, request_id: str | None, tracer
+    ) -> ApiResponse:
+        self._in_flight += 1
+        self._idle.clear()
+        started = time.perf_counter()
+        try:
+            # bind() stamps the id onto every span finishing in
+            # the handler — the server's own api.request span and
+            # the delivery-engine spans under it — so journal
+            # lines join to this request without plumbing the id
+            # through every call signature.
+            with tracer.bind(**({"request_id": request_id} if request_id else {})):
+                return self._handler(request)
+        except ApiError as exc:
+            return ApiResponse.failure(exc, status=500)
+        except Exception:  # noqa: BLE001 - the world must not kill the loop
+            logger.exception("handler crashed for %s", request.path)
+            return ApiResponse.failure(
+                ApiError("internal gateway error", code=2, api_type="TransientError"),
+                status=500,
+            )
+        finally:
+            self._stage_add("handler", time.perf_counter() - started)
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    def _request_cost(self, request: ApiRequest) -> float:
+        if (
+            self._config.rate_cost_deliver != 1.0
+            and request.method is HttpMethod.POST
+            and request.path.endswith("/deliver")
+        ):
+            return self._config.rate_cost_deliver
+        return 1.0
 
     def _auth_and_throttle(self, request: ApiRequest) -> ApiResponse | None:
         """Gateway-level auth and rate limiting; ``None`` admits."""
@@ -526,6 +761,21 @@ class AsyncGateway:
             return ApiResponse.failure(
                 ApiError("invalid access token", code=190), status=401
             )
+        cost = self._request_cost(request)
+        plane = self._rate_plane
+        if plane is not None and plane.covers(token):
+            # Cluster mode: the budget lives in shared memory, enforced
+            # across every SO_REUSEPORT worker.
+            if not plane.try_acquire(token, cost):
+                get_registry().inc("gateway_rejections", reason="rate_limit")
+                return ApiResponse.failure(
+                    ApiError(
+                        "request limit reached", code=4, api_type="RateLimitError"
+                    ),
+                    status=429,
+                    retry_after=plane.seconds_until_available(token, cost),
+                )
+            return None
         bucket = self._buckets.get(token)
         if bucket is None:
             bucket = self._buckets[token] = TokenBucket(
@@ -533,14 +783,17 @@ class AsyncGateway:
                 self._config.rate_refill_per_second,
                 self._clock,
             )
-        if not bucket.try_acquire():
+        if not bucket.try_acquire(cost):
             get_registry().inc("gateway_rejections", reason="rate_limit")
             return ApiResponse.failure(
                 ApiError(
                     "request limit reached", code=4, api_type="RateLimitError"
                 ),
                 status=429,
-                retry_after=bucket.seconds_until_available(),
+                # The wait for the *requested* cost: a denied burst told
+                # to retry after the one-token wait would be denied again
+                # by construction.
+                retry_after=bucket.seconds_until_available(cost),
             )
         return None
 
@@ -576,28 +829,6 @@ def _bearer_token(headers: dict[str, str]) -> str | None:
     return None
 
 
-def _error_body(message: str, *, code: int, api_type: str = "GraphMethodException") -> dict:
-    return {"error": {"message": message, "type": api_type, "code": code}}
-
-
-def _envelope_wire(response: ApiResponse) -> dict[str, Any]:
-    """The /graph wire body (the envelope's own serialisation)."""
-    return json.loads(response.to_json())
-
-
-def _rest_wire(response: ApiResponse) -> dict[str, Any]:
-    """The REST wire body: Graph-style flat JSON, status on the HTTP line."""
-    if response.ok:
-        body: dict[str, Any] = {"data": response.data}
-        if response.paging is not None:
-            body["paging"] = response.paging
-        return body
-    body = {"error": response.error}
-    if response.retry_after is not None:
-        body["retry_after"] = response.retry_after
-    return body
-
-
 # ---------------------------------------------------------------------------
 # Synchronous wrapper
 
@@ -618,8 +849,11 @@ class GatewayServer:
         config: GatewayConfig | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        world_version: str = "",
     ) -> None:
-        self._gateway = AsyncGateway(handler, access_tokens, config, clock=clock)
+        self._gateway = AsyncGateway(
+            handler, access_tokens, config, clock=clock, world_version=world_version
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -706,7 +940,10 @@ class WorkerSpec:
     #: JSON manifest of the cluster's shared telemetry block (None when
     #: the cluster runs without the shared metrics plane).
     telemetry_json: str | None = None
-    #: This worker's slot index in the telemetry block.
+    #: JSON manifest of the cluster's shared rate-limit plane (None ->
+    #: each worker throttles with its own local buckets).
+    ratelimit_json: str | None = None
+    #: This worker's slot index in the telemetry and rate-limit blocks.
     worker_index: int = 0
 
 
@@ -750,6 +987,7 @@ def _build_worker_server(spec: WorkerSpec, universe) -> Any:
 
 def _worker_main(spec: WorkerSpec, ready_queue) -> None:
     """Entry point of one spawned gateway worker."""
+    from repro.cache.fingerprint import world_fingerprint
     from repro.population.shm import attach
 
     # A terminal Ctrl-C signals the whole process group; shutdown is the
@@ -759,6 +997,7 @@ def _worker_main(spec: WorkerSpec, ready_queue) -> None:
     attached = attach(spec.manifest_json)
     sink: SharedSink | None = None
     reader: TelemetryReader | None = None
+    rate_plane: SharedRateLimiter | None = None
     try:
         if spec.telemetry_json is not None:
             # Attach the shared metrics plane *before* building the
@@ -768,12 +1007,20 @@ def _worker_main(spec: WorkerSpec, ready_queue) -> None:
             sink = SharedSink.attach(spec.telemetry_json, spec.worker_index)
             get_registry().set_sink(sink)
             reader = TelemetryReader.attach(spec.telemetry_json)
+        if spec.ratelimit_json is not None:
+            rate_plane = SharedRateLimiter.attach(
+                spec.ratelimit_json, spec.worker_index
+            )
         server = _build_worker_server(spec, attached.universe)
         gateway = AsyncGateway(
             server.handle,
             {spec.world.access_token},
             spec.gateway,
             telemetry_reader=reader,
+            rate_plane=rate_plane,
+            # Response-cache scope: bodies computed against this world
+            # digest must never outlive it.
+            world_version=world_fingerprint(spec.world),
         )
 
         async def heartbeat() -> None:
@@ -805,6 +1052,8 @@ def _worker_main(spec: WorkerSpec, ready_queue) -> None:
             reader.close()
         if sink is not None:
             sink.close()
+        if rate_plane is not None:
+            rate_plane.close()
         # The server still holds column views at this point, so the
         # mapping cannot be released cleanly; the process is exiting
         # and the OS unmaps it anyway.
@@ -842,6 +1091,12 @@ class GatewayCluster:
         worker mirrors its registry into a private slot; ``/metrics`` on
         any worker then serves the merged cluster view.  Off, metrics
         revert to worker-local snapshots.
+    shared_rate_limit:
+        Enforce one cluster-wide token budget per access token through a
+        shared-memory rate plane (default on).  Off, each worker
+        throttles with its own local buckets — the historic behaviour,
+        where the effective budget multiplied by however many workers a
+        client's connections landed on.
     """
 
     def __init__(
@@ -854,6 +1109,7 @@ class GatewayCluster:
         gateway: GatewayConfig | None = None,
         accounts: tuple[str, ...] = (),
         telemetry: bool = True,
+        shared_rate_limit: bool = True,
     ) -> None:
         from repro.platform.ear import EarModel
 
@@ -867,6 +1123,8 @@ class GatewayCluster:
         self._accounts = tuple(accounts)
         self._telemetry_enabled = telemetry
         self._telemetry: TelemetryBlock | None = None
+        self._rate_limit_enabled = shared_rate_limit
+        self._rate_plane: SharedRateLimiter | None = None
         self._shared = None
         self._processes: list[Any] = []
         self._reservation: socket.socket | None = None
@@ -937,6 +1195,13 @@ class GatewayCluster:
         self._shared = SharedUniverse.create(self._universe)
         if self._telemetry_enabled:
             self._telemetry = TelemetryBlock.create(self._n_workers)
+        if self._rate_limit_enabled:
+            self._rate_plane = SharedRateLimiter.create(
+                [self._world_config.access_token],
+                capacity=self._gateway_config.rate_capacity,
+                refill_per_second=self._gateway_config.rate_refill_per_second,
+                n_workers=self._n_workers,
+            )
         ctx = multiprocessing.get_context("spawn")
         ready: Any = ctx.Queue()
         spec = WorkerSpec(
@@ -950,6 +1215,9 @@ class GatewayCluster:
             accounts=self._accounts,
             telemetry_json=(
                 None if self._telemetry is None else self._telemetry.manifest.to_json()
+            ),
+            ratelimit_json=(
+                None if self._rate_plane is None else self._rate_plane.manifest.to_json()
             ),
         )
         try:
@@ -985,6 +1253,9 @@ class GatewayCluster:
         if self._telemetry is not None:
             self._telemetry.unlink()
             self._telemetry = None
+        if self._rate_plane is not None:
+            self._rate_plane.unlink()
+            self._rate_plane = None
         if self._shared is not None:
             self._shared.unlink()
             self._shared = None
@@ -1010,7 +1281,24 @@ class _RestTransport(_KeepAliveTransport):
 
     Params always travel as a JSON body (the gateway accepts a body on
     any verb), so typed values survive without query-string encoding.
+
+    GET responses carrying an ``ETag`` are remembered (a small LRU of
+    parsed envelopes); repeats of the same GET send ``If-None-Match``
+    and a ``304`` resolves from the local copy without a response body
+    crossing the wire.  Strong validators make this exact: a 304 means
+    the cached body is byte-identical to what a 200 would have carried.
     """
+
+    _ETAG_CACHE_ENTRIES = 64
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        super().__init__(host, port, timeout)
+        self._etag_cache: "OrderedDict[tuple[str, str], tuple[str, ApiResponse]]" = (
+            OrderedDict()
+        )
+
+    def _cache_key(self, request: ApiRequest) -> tuple[str, str]:
+        return (request.path, canonical_params(request.params))
 
     def _wire(self, request: ApiRequest) -> tuple[str, str, str, dict[str, str]]:
         headers = {"Content-Type": "application/json"}
@@ -1022,6 +1310,33 @@ class _RestTransport(_KeepAliveTransport):
             json.dumps(request.params),
             headers,
         )
+
+    def _request_headers(self, request: ApiRequest, headers: dict[str, str]) -> dict[str, str]:
+        if request.method is HttpMethod.GET:
+            cached = self._etag_cache.get(self._cache_key(request))
+            if cached is not None:
+                headers["If-None-Match"] = cached[0]
+        return headers
+
+    def _handle_response(self, request, response, raw: str) -> ApiResponse:
+        if response.status == 304:
+            cached = self._etag_cache.get(self._cache_key(request))
+            if cached is None:
+                # A 304 we never asked for; retry fetches the full body.
+                raise ApiError(
+                    "304 without a cached response", code=2, api_type="TransientError"
+                )
+            return cached[1]
+        parsed = self._parse(response.status, raw)
+        if request.method is HttpMethod.GET and response.status == 200:
+            etag = response.getheader("ETag")
+            if etag:
+                key = self._cache_key(request)
+                self._etag_cache[key] = (etag, parsed)
+                self._etag_cache.move_to_end(key)
+                while len(self._etag_cache) > self._ETAG_CACHE_ENTRIES:
+                    self._etag_cache.popitem(last=False)
+        return parsed
 
     def _parse(self, status: int, raw: str) -> ApiResponse:
         try:

@@ -1,4 +1,4 @@
-"""Token-bucket rate limiting.
+"""Token-bucket rate limiting: in-process buckets and the cluster plane.
 
 The real Marketing API throttles per app/account; the paper's harness
 deliberately queried "from a single vantage point without parallelizing
@@ -6,18 +6,34 @@ queries" (§4.1).  The simulated server enforces the same discipline: a
 token bucket refills at a steady rate and each request consumes one token;
 an empty bucket yields the Graph API's code-4 error.
 
+Two implementations share that contract:
+
+* :class:`TokenBucket` — one process, lock-protected; the server-side
+  throttle and the single-worker gateway.
+* :class:`SharedRateLimiter` — token budgets in a fixed-layout
+  ``multiprocessing.shared_memory`` block, so a ``GatewayCluster``'s
+  ``SO_REUSEPORT`` workers enforce **one** budget per access token no
+  matter which worker the kernel hands a connection to.  See the class
+  docstring for the single-writer ledger semantics.
+
 Time is injected (a callable returning seconds) so tests can drive the
 clock deterministically.
 """
 
 from __future__ import annotations
 
+import json
+import struct
 import threading
-from collections.abc import Callable
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 from repro.errors import ValidationError
+from repro.obs.cluster import aligned_offset, tracker_reregister, tracker_unregister
 
-__all__ = ["TokenBucket"]
+__all__ = ["TokenBucket", "SharedRateLimiter", "RateLimitManifest"]
 
 
 class TokenBucket:
@@ -90,10 +106,298 @@ class TokenBucket:
             return False
 
     def seconds_until_available(self, tokens: float = 1.0) -> float:
-        """How long until ``tokens`` would be available."""
+        """How long until ``tokens`` would be available.
+
+        The wait is for the *requested* token count — a denied burst of
+        ``n`` tokens must not be told to retry after the one-token wait,
+        or its retry is denied again by construction.  Asking for more
+        than ``capacity`` can never succeed, so it is a caller bug.
+        """
+        if tokens <= 0:
+            raise ValidationError("tokens must be positive")
+        if tokens > self._capacity:
+            raise ValidationError(
+                f"{tokens} tokens can never be granted by a "
+                f"capacity-{self._capacity:g} bucket"
+            )
         with self._lock:
             self._refill()
             deficit = tokens - self._tokens
             if deficit <= 0:
                 return 0.0
             return deficit / self._rate
+
+
+# ---------------------------------------------------------------------------
+# Cluster-wide shared-memory rate-limit plane
+
+
+_RL_MAGIC = b"RRLP"
+_RL_VERSION = 1
+# Block header: magic, version, n_tokens, n_workers, pad to 16, then
+# capacity and rate as 8-byte-aligned doubles.
+_RL_HEADER = struct.Struct("<4sHHH6xdd")
+_RL_HEADER_BYTES = 64
+# Per-token slot prefix: credit (tokens ever granted), last refill stamp.
+_RL_CREDIT = struct.Struct("<dd")
+_RL_DEBIT = struct.Struct("<d")
+
+
+@dataclass(frozen=True, slots=True)
+class RateLimitManifest:
+    """Everything an attacher needs to map the rate-limit block.
+
+    Token *order* is the slot layout: slot ``i`` belongs to
+    ``tokens[i]``.  The set is fixed at cluster start — auth precedes
+    throttling, so only known access tokens ever reach the plane and no
+    in-block claim protocol is needed.
+    """
+
+    shm_name: str
+    tokens: tuple[str, ...]
+    n_workers: int
+    capacity: float
+    refill_per_second: float
+    slot_bytes: int
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "shm_name": self.shm_name,
+                "tokens": list(self.tokens),
+                "n_workers": self.n_workers,
+                "capacity": self.capacity,
+                "refill_per_second": self.refill_per_second,
+                "slot_bytes": self.slot_bytes,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RateLimitManifest":
+        raw = json.loads(payload)
+        return cls(
+            shm_name=raw["shm_name"],
+            tokens=tuple(raw["tokens"]),
+            n_workers=int(raw["n_workers"]),
+            capacity=float(raw["capacity"]),
+            refill_per_second=float(raw["refill_per_second"]),
+            slot_bytes=int(raw["slot_bytes"]),
+        )
+
+
+class SharedRateLimiter:
+    """Token buckets in shared memory: one budget across all workers.
+
+    **Layout.**  A 64-byte header (magic/version/counts/capacity/rate)
+    followed by one 64-byte-aligned slot per access token:
+    ``credit: f64`` (tokens ever granted), ``last: f64`` (refill
+    stamp, ``time.monotonic`` — system-wide on Linux, so stamps written
+    by different workers are comparable), then ``n_workers`` per-worker
+    ``debit: f64`` counters (tokens ever consumed).
+
+    **Semantics.**  Instead of a mutable "tokens remaining" cell that
+    every worker would contend on, the ledger is monotonic: ``credit``
+    only grows (refill), each ``debits[w]`` only grows and is written
+    *only* by worker ``w`` — the same single-writer-per-cell discipline
+    as ``repro.obs.cluster``'s telemetry slots.  Availability is
+    ``credit - sum(debits)``.  Refill recomputes the absolute value
+    ``credit = min(credit + rate·Δt, sum(debits) + capacity)`` — any
+    worker may write it, and because the recomputation is from absolute
+    time (not an increment), a lost update can only *under*-credit
+    briefly, never mint tokens.  Two workers racing the last token can
+    both admit (the check and the debit are not one atomic step); the
+    over-admission is bounded by the worker count, drives availability
+    negative, and is repaid before the next admission — so budgets are
+    exact under sequential cross-worker load and tight under races,
+    which is the enforcement a cluster-wide 429 needs.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: RateLimitManifest,
+        worker_index: int | None,
+        clock: Callable[[], float],
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._worker_index = worker_index
+        self._clock = clock
+        self._owner = owner
+        self._index = {token: i for i, token in enumerate(manifest.tokens)}
+        self._capacity = manifest.capacity
+        self._rate = manifest.refill_per_second
+        self._n_workers = manifest.n_workers
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        tokens: Iterable[str],
+        *,
+        capacity: float,
+        refill_per_second: float,
+        n_workers: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SharedRateLimiter":
+        """Allocate and initialise the block (the cluster parent's side)."""
+        token_tuple = tuple(dict.fromkeys(tokens))
+        if not token_tuple:
+            raise ValidationError("at least one access token is required")
+        if capacity < 1:
+            raise ValidationError("capacity must be at least 1")
+        if refill_per_second <= 0:
+            raise ValidationError("refill rate must be positive")
+        if n_workers < 1:
+            raise ValidationError("n_workers must be >= 1")
+        slot_bytes = aligned_offset(_RL_CREDIT.size + n_workers * _RL_DEBIT.size)
+        total = _RL_HEADER_BYTES + slot_bytes * len(token_tuple)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        shm.buf[:total] = b"\x00" * total
+        _RL_HEADER.pack_into(
+            shm.buf,
+            0,
+            _RL_MAGIC,
+            _RL_VERSION,
+            len(token_tuple),
+            n_workers,
+            float(capacity),
+            float(refill_per_second),
+        )
+        now = clock()
+        for slot in range(len(token_tuple)):
+            _RL_CREDIT.pack_into(
+                shm.buf, _RL_HEADER_BYTES + slot * slot_bytes, float(capacity), now
+            )
+        manifest = RateLimitManifest(
+            shm_name=shm.name,
+            tokens=token_tuple,
+            n_workers=n_workers,
+            capacity=float(capacity),
+            refill_per_second=float(refill_per_second),
+            slot_bytes=slot_bytes,
+        )
+        return cls(shm, manifest, None, clock, owner=True)
+
+    @classmethod
+    def attach(
+        cls,
+        manifest_json: str,
+        worker_index: int | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SharedRateLimiter":
+        """Map an existing block; ``worker_index`` selects the debit cell.
+
+        ``worker_index=None`` attaches read-only (observers may query
+        availability but not admit requests).
+        """
+        manifest = RateLimitManifest.from_json(manifest_json)
+        if worker_index is not None and not 0 <= worker_index < manifest.n_workers:
+            raise ValidationError(
+                f"worker_index {worker_index} out of range for "
+                f"{manifest.n_workers} workers"
+            )
+        shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        # The parent owns the block's lifetime; without this, any
+        # attaching worker's exit would tear the plane down under the
+        # survivors (same dance as the telemetry block).
+        tracker_unregister(shm)
+        magic, version, n_tokens, n_workers, _cap, _rate = _RL_HEADER.unpack_from(
+            shm.buf, 0
+        )
+        if magic != _RL_MAGIC or version != _RL_VERSION:
+            shm.close()
+            raise ValidationError("not a rate-limit block (bad magic/version)")
+        if n_tokens != len(manifest.tokens) or n_workers != manifest.n_workers:
+            shm.close()
+            raise ValidationError("rate-limit manifest does not match the block")
+        return cls(shm, manifest, worker_index, clock, owner=False)
+
+    @property
+    def manifest(self) -> RateLimitManifest:
+        return self._manifest
+
+    def covers(self, token: str) -> bool:
+        """Whether ``token`` has a slot in the plane."""
+        return token in self._index
+
+    # -- the bucket contract -------------------------------------------------
+
+    def _slot_offset(self, token: str) -> int:
+        try:
+            slot = self._index[token]
+        except KeyError:
+            raise ValidationError("access token has no slot in the rate plane") from None
+        return _RL_HEADER_BYTES + slot * self._manifest.slot_bytes
+
+    def _refreshed(self, base: int) -> tuple[float, float]:
+        """Refill the slot at ``base``; returns (credit, debit_total)."""
+        buf = self._shm.buf
+        credit, last = _RL_CREDIT.unpack_from(buf, base)
+        debit_total = 0.0
+        offset = base + _RL_CREDIT.size
+        for _ in range(self._n_workers):
+            debit_total += _RL_DEBIT.unpack_from(buf, offset)[0]
+            offset += _RL_DEBIT.size
+        now = self._clock()
+        if now > last:
+            new_credit = min(
+                credit + (now - last) * self._rate, debit_total + self._capacity
+            )
+            if new_credit > credit:
+                credit = new_credit
+            _RL_CREDIT.pack_into(buf, base, credit, now)
+        return credit, debit_total
+
+    def try_acquire(self, token: str, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` from the cluster-wide budget if available."""
+        if tokens <= 0:
+            raise ValidationError("tokens must be positive")
+        if self._worker_index is None:
+            raise ValidationError("read-only rate-plane view cannot admit requests")
+        base = self._slot_offset(token)
+        credit, debit_total = self._refreshed(base)
+        if credit - debit_total < tokens:
+            return False
+        cell = base + _RL_CREDIT.size + self._worker_index * _RL_DEBIT.size
+        buf = self._shm.buf
+        _RL_DEBIT.pack_into(buf, cell, _RL_DEBIT.unpack_from(buf, cell)[0] + tokens)
+        return True
+
+    def available(self, token: str) -> float:
+        """Tokens available cluster-wide right now (after refill)."""
+        credit, debit_total = self._refreshed(self._slot_offset(token))
+        return credit - debit_total
+
+    def seconds_until_available(self, token: str, tokens: float = 1.0) -> float:
+        """How long until ``tokens`` would be available (cluster-wide)."""
+        if tokens <= 0:
+            raise ValidationError("tokens must be positive")
+        if tokens > self._capacity:
+            raise ValidationError(
+                f"{tokens} tokens can never be granted by a "
+                f"capacity-{self._capacity:g} plane"
+            )
+        credit, debit_total = self._refreshed(self._slot_offset(token))
+        deficit = tokens - (credit - debit_total)
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the block (owner only; after every worker detached)."""
+        if not self._owner:
+            raise ValidationError("only the creating process may unlink the plane")
+        tracker_reregister(self._shm)
+        self._shm.close()
+        self._shm.unlink()

@@ -1,0 +1,202 @@
+"""Precompiled segment-trie route dispatch.
+
+Both the gateway's top-level routes and the Marketing API's resource
+routes used to match per request — string prefix checks in the gateway,
+and a literal dict of route tuples rebuilt on *every* call in
+``MarketingApiServer._route``.  A :class:`RouteTrie` compiles the route
+table once at server construction: each pattern becomes a path through
+literal and parameter nodes, and matching a request is one walk over
+its path segments with no per-request allocation of route tables.
+
+Patterns are ``/``-joined segments; a segment is either a literal, a
+parameter capture, or (only as the final segment) a rest capture:
+
+* ``act_{account_id:account}`` — a typed capture with a literal prefix:
+  the converter is *bound at compile time*, validates the segment, and
+  yields the converted value (here the account id with ``act_``
+  stripped).
+* ``{ad_id}`` — an untyped capture (any non-empty segment).
+* ``{resource...}`` — captures the remaining path, joined by ``/``
+  (the gateway's ``/v1/{resource...}`` mount).
+
+Matching prefers literal children, then parameter children in
+registration order, backtracking when a deeper segment (or the method
+table) fails — so ``POST /act_1/ads`` takes the account branch while
+``POST /act_1/users`` falls back to treating ``act_1`` as a plain
+object id, exactly like the old linear matcher.  Method ``"*"``
+registers a handler for every verb.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = ["RouteTrie", "CONVERTERS"]
+
+
+def _convert_str(segment: str) -> str:
+    return segment
+
+
+def _convert_int(segment: str) -> int | None:
+    return int(segment) if segment.isdigit() else None
+
+
+def _convert_account(segment: str) -> str | None:
+    """``act_<id>`` segments; yields the bare id (prefix stripped)."""
+    if segment.startswith("act_") and len(segment) > 4:
+        return segment[4:]
+    return None
+
+
+#: Typed path-param converters, resolved once when a pattern compiles.
+#: A converter returns the captured value, or ``None`` to reject the
+#: segment (letting matching backtrack to the next alternative).
+CONVERTERS: dict[str, Callable[[str], Any]] = {
+    "str": _convert_str,
+    "int": _convert_int,
+    "account": _convert_account,
+}
+
+
+class _Node:
+    __slots__ = ("literals", "params", "rest", "handlers")
+
+    def __init__(self) -> None:
+        self.literals: dict[str, _Node] = {}
+        # (param name, compiled converter, child) in registration order.
+        self.params: list[tuple[str, Callable[[str], Any], _Node]] = []
+        # Terminal rest capture: (param name, {method: handler}).
+        self.rest: tuple[str, dict[str, Any]] | None = None
+        self.handlers: dict[str, Any] = {}
+
+
+def _compile_segment(segment: str) -> tuple[str, str, str] | None:
+    """Parse one ``prefix{name:converter}`` segment; None for literals."""
+    open_brace = segment.find("{")
+    if open_brace < 0:
+        return None
+    if not segment.endswith("}"):
+        raise ValidationError(f"malformed route segment {segment!r}")
+    prefix = segment[:open_brace]
+    spec = segment[open_brace + 1 : -1]
+    name, _, converter = spec.partition(":")
+    if not name:
+        raise ValidationError(f"unnamed capture in segment {segment!r}")
+    return prefix, name, converter or "str"
+
+
+class RouteTrie:
+    """A compiled route table: ``add`` at startup, ``match`` per request."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self) -> None:
+        self._root = _Node()
+
+    def add(self, method: str, pattern: str, handler: Any) -> None:
+        """Register ``handler`` for ``method`` (or ``"*"``) at ``pattern``."""
+        if not pattern.startswith("/"):
+            raise ValidationError(f"route pattern must start with '/': {pattern!r}")
+        node = self._root
+        segments = [s for s in pattern.split("/") if s]
+        for position, segment in enumerate(segments):
+            if segment.endswith("...}") and segment.startswith("{"):
+                if position != len(segments) - 1:
+                    raise ValidationError(
+                        f"rest capture must be the final segment: {pattern!r}"
+                    )
+                name = segment[1:-4]
+                if node.rest is None:
+                    node.rest = (name, {})
+                elif node.rest[0] != name:
+                    raise ValidationError(
+                        f"conflicting rest captures at {pattern!r}"
+                    )
+                _register(node.rest[1], method, pattern, handler)
+                return
+            compiled = _compile_segment(segment)
+            if compiled is None:
+                node = node.literals.setdefault(segment, _Node())
+                continue
+            prefix, name, converter_name = compiled
+            try:
+                converter = CONVERTERS[converter_name]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown converter {converter_name!r} in {pattern!r}"
+                ) from None
+            if prefix:
+                # A literal prefix folds into the converter so matching
+                # stays a single call per candidate segment.
+                converter = _prefixed(prefix, converter)
+            for existing_name, existing_converter, child in node.params:
+                if existing_name == name and existing_converter is converter:
+                    node = child
+                    break
+            else:
+                child = _Node()
+                node.params.append((name, converter, child))
+                node = child
+        _register(node.handlers, method, pattern, handler)
+
+    def match(self, method: str, path: str) -> tuple[Any, dict[str, Any]] | None:
+        """Resolve ``(handler, path_params)`` or ``None`` (no route)."""
+        segments = [s for s in path.split("/") if s]
+        captures: dict[str, Any] = {}
+        handler = self._match(self._root, method, segments, 0, captures)
+        if handler is None:
+            return None
+        return handler, captures
+
+    def _match(
+        self,
+        node: _Node,
+        method: str,
+        segments: list[str],
+        index: int,
+        captures: dict[str, Any],
+    ) -> Any | None:
+        if index == len(segments):
+            handlers = node.handlers
+            return handlers.get(method) or handlers.get("*")
+        segment = segments[index]
+        literal = node.literals.get(segment)
+        if literal is not None:
+            handler = self._match(literal, method, segments, index + 1, captures)
+            if handler is not None:
+                return handler
+        for name, converter, child in node.params:
+            value = converter(segment)
+            if value is None:
+                continue
+            captures[name] = value
+            handler = self._match(child, method, segments, index + 1, captures)
+            if handler is not None:
+                return handler
+            del captures[name]
+        if node.rest is not None:
+            name, handlers = node.rest
+            handler = handlers.get(method) or handlers.get("*")
+            if handler is not None:
+                captures[name] = "/".join(segments[index:])
+                return handler
+        return None
+
+
+def _prefixed(prefix: str, converter: Callable[[str], Any]) -> Callable[[str], Any]:
+    def convert(segment: str) -> Any:
+        if not segment.startswith(prefix) or len(segment) == len(prefix):
+            return None
+        return converter(segment[len(prefix) :])
+
+    return convert
+
+
+def _register(handlers: dict[str, Any], method: str, pattern: str, handler: Any) -> None:
+    if method in handlers:
+        raise ValidationError(f"duplicate route {method} {pattern!r}")
+    handlers[method] = handler

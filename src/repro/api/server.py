@@ -33,6 +33,7 @@ from repro.api.metrics import endpoint_key
 from repro.api.pagination import paginate
 from repro.api.protocol import ApiRequest, ApiResponse, HttpMethod
 from repro.api.ratelimit import TokenBucket
+from repro.api.routing import RouteTrie
 from repro.errors import (
     ApiError,
     AudienceError,
@@ -144,6 +145,7 @@ class MarketingApiServer:
         # asyncio gateway is single-writer by construction, so its calls
         # never contend here.
         self._state_lock = threading.RLock()
+        self._routes = self._compile_routes()
 
     # -- world management (not part of the HTTP surface) ------------------
 
@@ -201,37 +203,73 @@ class MarketingApiServer:
         except ReproError as exc:
             return ApiResponse.failure(ApiError(str(exc)), status=400)
 
+    def _compile_routes(self) -> RouteTrie:
+        """The resource route table, compiled once at construction.
+
+        The old ``_route`` rebuilt a dict of route tuples and re-derived
+        the path shape on **every** request; the trie resolves a request
+        in one walk over its segments, with the ``act_`` account
+        converter bound at compile time.  Matching prefers the account
+        branch and backtracks, so ``POST /act_1/users`` still reaches
+        the upload handler with ``act_1`` as a plain object id.
+        """
+        trie = RouteTrie()
+        with_account = self._with_account
+        for segment, handler in (
+            ("customaudiences", self._create_audience),
+            ("lookalike", self._create_lookalike),
+            ("campaigns", self._create_campaign),
+            ("adsets", self._create_adset),
+            ("ads", self._create_ad),
+            ("deliver", self._deliver),
+        ):
+            trie.add(
+                "POST", f"/{{account_id:account}}/{segment}", with_account(handler)
+            )
+        trie.add("GET", "/{account_id:account}/ads", with_account(self._list_ads))
+        trie.add(
+            "POST",
+            "/{object_id}/users",
+            lambda params, object_id: self._upload_users(object_id, params),
+        )
+        trie.add(
+            "GET",
+            "/{object_id}/insights",
+            lambda params, object_id: self._insights(object_id, params),
+        )
+        trie.add(
+            "POST",
+            "/{object_id}/review",
+            lambda params, object_id: self._review_ad(object_id, params),
+        )
+        trie.add(
+            "POST",
+            "/{object_id}/appeal",
+            lambda params, object_id: self._appeal_ad(object_id),
+        )
+        trie.add(
+            "GET",
+            "/{object_id}",
+            lambda params, object_id: self._get_object(object_id),
+        )
+        return trie
+
+    def _with_account(self, handler) -> Any:
+        """Adapt an ``(account, params)`` handler to the trie signature."""
+
+        def route(params: dict[str, Any], account_id: str) -> ApiResponse:
+            return handler(self._account(f"act_{account_id}"), params)
+
+        return route
+
     def _route(self, request: ApiRequest) -> ApiResponse:
-        parts = [p for p in request.path.split("/") if p]
-        if not parts:
-            raise NotFoundError("empty path")
-        method = request.method
-        if len(parts) == 2 and parts[0].startswith("act_"):
-            account = self._account(parts[0])
-            handlers = {
-                (HttpMethod.POST, "customaudiences"): self._create_audience,
-                (HttpMethod.POST, "lookalike"): self._create_lookalike,
-                (HttpMethod.POST, "campaigns"): self._create_campaign,
-                (HttpMethod.POST, "adsets"): self._create_adset,
-                (HttpMethod.POST, "ads"): self._create_ad,
-                (HttpMethod.POST, "deliver"): self._deliver,
-                (HttpMethod.GET, "ads"): self._list_ads,
-            }
-            handler = handlers.get((method, parts[1]))
-            if handler is None:
-                raise NotFoundError(f"no route {method.value} {request.path}")
-            return handler(account, request.params)
-        if len(parts) == 2 and parts[1] == "users" and method is HttpMethod.POST:
-            return self._upload_users(parts[0], request.params)
-        if len(parts) == 2 and parts[1] == "insights" and method is HttpMethod.GET:
-            return self._insights(parts[0], request.params)
-        if len(parts) == 2 and parts[1] == "review" and method is HttpMethod.POST:
-            return self._review_ad(parts[0], request.params)
-        if len(parts) == 2 and parts[1] == "appeal" and method is HttpMethod.POST:
-            return self._appeal_ad(parts[0])
-        if len(parts) == 1 and method is HttpMethod.GET:
-            return self._get_object(parts[0])
-        raise NotFoundError(f"no route {method.value} {request.path}")
+        match = self._routes.match(request.method.value, request.path)
+        if match is None:
+            if not any(request.path.split("/")):
+                raise NotFoundError("empty path")
+            raise NotFoundError(f"no route {request.method.value} {request.path}")
+        handler, captures = match
+        return handler(request.params, **captures)
 
     # -- helpers ------------------------------------------------------------
 

@@ -1,0 +1,337 @@
+"""Specialized JSON wire encoding and response caching for the gateway.
+
+``json.dumps`` is general: every value walks the full C dispatch table,
+every container re-discovers its shape, and the default separators
+spend two bytes per delimiter on whitespace nobody reads.  The gateway
+serves a *known* family of wire shapes — ``{"data", "paging"}``
+envelopes, ``{"status", "body"}`` envelopes, metrics snapshots, and the
+numeric column slices inside insights payloads — so this module encodes
+them directly:
+
+* static key skeletons (``b'{"data":'`` …) are pre-rendered bytes, and
+  row lists sharing one key tuple render through a cached per-shape
+  skeleton instead of re-encoding the keys per row;
+* homogeneous numeric arrays format via ``str``/``repr`` joins — no
+  per-element encoder dispatch (``repr`` of a finite float is exactly
+  the C encoder's ``float.__repr__`` output, so bytes match);
+* everything the fast paths do is byte-identical to
+  ``json.dumps(obj, separators=(",", ":"), ensure_ascii=False)``;
+  anything outside the known shapes falls back to that exact call.
+
+The module also owns the gateway's **response cache**: an LRU of
+pre-serialized reply bytes keyed by (route, canonical query) and scoped
+to a world digest (``repro.cache.fingerprint.world_fingerprint``), with
+strong ETags so ``If-None-Match`` revalidation can short-circuit to a
+bodyless 304.  A cache hit skips decode→handler→encode entirely; a
+world-digest change empties the cache, because every cached body was
+computed against the previous universe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Any
+
+from repro.api.protocol import ApiResponse
+
+__all__ = [
+    "CachedReply",
+    "ResponseCache",
+    "canonical_params",
+    "compact_dumps",
+    "encode_envelope",
+    "encode_error_body",
+    "encode_obj",
+    "encode_rest",
+    "etag_matches",
+    "make_etag",
+]
+
+_COMPACT = (",", ":")
+
+# Strings that need no JSON escaping: no quote, no backslash, no control
+# characters.  Everything the gateway emits for ids, names and enum
+# values lands here; anything else falls back to the C encoder.
+_PLAIN_STRING = re.compile(r'^[^"\\\x00-\x1f]*\Z')
+
+# Row lists (list-of-dicts sharing one key tuple) render through a
+# skeleton: the pre-encoded '{"k1":', ',"k2":' separator strings for
+# that shape.  The insights and paging payloads reuse a handful of
+# shapes for thousands of rows, so the cache is tiny and hot.
+_MAX_SKELETONS = 256
+_skeletons: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def compact_dumps(obj: Any) -> str:
+    """The reference encoding every fast path must match byte-for-byte."""
+    return json.dumps(obj, separators=_COMPACT, ensure_ascii=False)
+
+
+def _encode_str(value: str) -> str:
+    if _PLAIN_STRING.match(value):
+        return f'"{value}"'
+    return json.dumps(value, ensure_ascii=False)
+
+
+def _row_skeleton(keys: tuple[str, ...]) -> tuple[str, ...] | None:
+    skeleton = _skeletons.get(keys)
+    if skeleton is None:
+        if any(type(k) is not str or not _PLAIN_STRING.match(k) for k in keys):
+            return None
+        if len(_skeletons) >= _MAX_SKELETONS:
+            _skeletons.clear()
+        first = keys[0]
+        skeleton = _skeletons[keys] = (
+            f'{{"{first}":',
+            *(f',"{key}":' for key in keys[1:]),
+        )
+    return skeleton
+
+
+def _encode_list(items: list) -> str:
+    if not items:
+        return "[]"
+    kinds = set(map(type, items))
+    if kinds == {int}:
+        # bool is a subclass of int but type() distinguishes them, so
+        # this join never turns True into "1".
+        return f"[{','.join(map(str, items))}]"
+    if kinds == {float}:
+        if all(map(math.isfinite, items)):
+            return f"[{','.join(map(repr, items))}]"
+        return compact_dumps(items)  # NaN/Infinity spellings differ from repr
+    if kinds == {str}:
+        return f"[{','.join(map(_encode_str, items))}]"
+    if kinds == {dict}:
+        keys = tuple(items[0])
+        if all(tuple(row) == keys for row in items):
+            if not keys:
+                return f"[{','.join(['{}'] * len(items))}]"
+            skeleton = _row_skeleton(keys)
+            if skeleton is not None:
+                enc = _encode_value
+                rows = [
+                    "".join(
+                        part
+                        for key, sep in zip(keys, skeleton)
+                        for part in (sep, enc(row[key]))
+                    )
+                    + "}"
+                    for row in items
+                ]
+                return f"[{','.join(rows)}]"
+    return f"[{','.join(map(_encode_value, items))}]"
+
+
+def _encode_dict(obj: dict) -> str:
+    if not obj:
+        return "{}"
+    enc = _encode_value
+    try:
+        body = ",".join(f"{_encode_str(key)}:{enc(value)}" for key, value in obj.items())
+    except TypeError:
+        # Non-string keys: json.dumps coerces them (1 -> "1"); defer to
+        # it so the bytes stay identical to the reference encoding.
+        return compact_dumps(obj)
+    return f"{{{body}}}"
+
+
+def _encode_value(value: Any) -> str:
+    kind = type(value)
+    if kind is str:
+        return _encode_str(value)
+    if kind is int:
+        return str(value)
+    if kind is dict:
+        return _encode_dict(value)
+    if kind is list:
+        return _encode_list(value)
+    if kind is float:
+        return repr(value) if math.isfinite(value) else compact_dumps(value)
+    if value is None:
+        return "null"
+    if kind is bool:
+        return "true" if value else "false"
+    # Subclasses, tuples, and anything exotic: the reference encoder.
+    return compact_dumps(value)
+
+
+def encode_obj(obj: Any) -> bytes:
+    """Encode any JSON-serialisable object (compact, UTF-8 bytes)."""
+    return _encode_value(obj).encode("utf-8")
+
+
+# Pre-rendered static skeletons for the two wire envelopes.
+_DATA_PREFIX = b'{"data":'
+_PAGING_SEP = b',"paging":'
+_ERROR_PREFIX = b'{"error":'
+_RETRY_SEP = b',"retry_after":'
+_STATUS_PREFIX = b'{"status":'
+_BODY_SEP = b',"body":'
+_CLOSE = b"}"
+
+
+def _rest_body(response: ApiResponse) -> bytes:
+    if response.ok:
+        parts = [_DATA_PREFIX, encode_obj(response.data)]
+        if response.paging is not None:
+            parts.append(_PAGING_SEP)
+            parts.append(encode_obj(response.paging))
+    else:
+        parts = [_ERROR_PREFIX, encode_obj(response.error)]
+        if response.retry_after is not None:
+            parts.append(_RETRY_SEP)
+            parts.append(_encode_value(response.retry_after).encode("utf-8"))
+    parts.append(_CLOSE)
+    return b"".join(parts)
+
+
+def encode_rest(response: ApiResponse) -> bytes:
+    """The REST wire body: ``{"data",...}`` / ``{"error",...}`` flat JSON."""
+    return _rest_body(response)
+
+
+def encode_envelope(response: ApiResponse) -> bytes:
+    """The ``POST /graph`` wire body: ``{"status": N, "body": {...}}``.
+
+    Single-pass — the old path serialised the envelope via ``to_json``,
+    parsed it back into dicts, then serialised those again per response.
+    """
+    return b"".join(
+        (_STATUS_PREFIX, str(response.status).encode("ascii"), _BODY_SEP,
+         _rest_body(response), _CLOSE)
+    )
+
+
+def encode_error_body(
+    message: str,
+    *,
+    code: int,
+    api_type: str = "GraphMethodException",
+    retry_after: float | None = None,
+) -> bytes:
+    """A gateway-level error body (no ApiResponse behind it)."""
+    error = {"error": {"message": message, "type": api_type, "code": code}}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return encode_obj(error)
+
+
+# ---------------------------------------------------------------------------
+# Response cache
+
+
+def canonical_params(params: dict[str, Any]) -> str:
+    """A canonical cache-key string for request params.
+
+    Key order is irrelevant to the handler, so it must be irrelevant to
+    the cache: sort keys and encode compactly.  ``?limit=10&after=x``
+    and ``?after=x&limit=10`` share one entry.
+    """
+    if not params:
+        return ""
+    return json.dumps(params, separators=_COMPACT, sort_keys=True, ensure_ascii=False)
+
+
+def make_etag(body: bytes) -> str:
+    """A strong ETag over the exact reply bytes (quoted, per RFC 9110)."""
+    return f'"{sha256(body).hexdigest()[:24]}"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match`` evaluation against one strong ETag.
+
+    Weak validators (``W/"..."``) never match here: cached replies are
+    byte-exact, and a 304 promises the client's copy is byte-identical.
+    """
+    if if_none_match.strip() == "*":
+        return True
+    return any(candidate.strip() == etag for candidate in if_none_match.split(","))
+
+
+@dataclass(frozen=True, slots=True)
+class CachedReply:
+    """One pre-serialized cached response (bytes + strong ETag)."""
+
+    status: int
+    body: bytes
+    etag: str
+
+
+class ResponseCache:
+    """LRU of pre-serialized GET replies, scoped to a world digest.
+
+    Keys are (route path, canonical query); values are the exact bytes
+    a fresh encode would produce, so hits skip the handler *and* the
+    encoder and cached/uncached bodies are byte-identical by
+    construction.  Any successful mutation through the gateway calls
+    :meth:`invalidate` (mutable API state has no finer-grained
+    dependency tracking), and :meth:`set_world_version` empties the
+    cache when the universe fingerprint changes — a cached body from
+    another world digest must never be served.
+
+    Single-threaded by design: the gateway dispatches inline on its
+    event loop, mirroring the server's single-writer model.
+    """
+
+    def __init__(self, max_entries: int = 256, *, world_version: str = "") -> None:
+        self._entries: OrderedDict[tuple[str, str], CachedReply] = OrderedDict()
+        self._max_entries = max_entries
+        self._world_version = world_version
+        self.hits = 0
+        self.misses = 0
+        self.revalidations = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def world_version(self) -> str:
+        return self._world_version
+
+    def lookup(self, key: tuple[str, str]) -> CachedReply | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple[str, str], status: int, body: bytes) -> CachedReply:
+        entry = CachedReply(status=status, body=body, etag=make_etag(body))
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def invalidate(self) -> None:
+        """Drop every entry (a mutation changed the world behind them)."""
+        if self._entries:
+            self.invalidations += 1
+            self._entries.clear()
+
+    def set_world_version(self, world_version: str) -> None:
+        """Adopt a new world digest, dropping every stale body."""
+        if world_version != self._world_version:
+            self._world_version = world_version
+            self.invalidate()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "revalidations": self.revalidations,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }

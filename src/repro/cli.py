@@ -420,10 +420,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         rate_refill_per_second=args.rate_refill,
     )
     if args.workers == 0:
+        from repro.cache.fingerprint import world_fingerprint
+
         for account_id in accounts:
             world.account(account_id)
         server = GatewayServer(
-            world.server.handle, {config.access_token}, gateway_config
+            world.server.handle,
+            {config.access_token},
+            gateway_config,
+            # Scope the response cache to this world build's digest.
+            world_version=world_fingerprint(config),
         )
         server.start()
         port, stop = server.port, server.stop
@@ -441,7 +447,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         port, stop = cluster.port, cluster.stop
         detail = (
             f"{args.workers} workers sharing one "
-            f"{cluster.shared_nbytes / 2**20:.0f} MiB universe block"
+            f"{cluster.shared_nbytes / 2**20:.0f} MiB universe block, "
+            "one shared rate-limit plane"
         )
     print(f"serving on http://{args.host}:{port} ({detail})")
     print(f"  token:    {config.access_token}")

@@ -441,6 +441,90 @@ class TestClusterTelemetry:
         assert lint_prometheus(text) == []
 
 
+class TestSharedRateLimitPlane:
+    """One token budget across the whole cluster, not one per worker."""
+
+    CAPACITY = 8
+
+    @pytest.fixture
+    def throttled_cluster(self, universe):
+        config = WorldConfig.small(seed=7)
+        cluster = GatewayCluster(
+            universe,
+            config,
+            EarModel.constant(0.03),
+            workers=2,
+            gateway=GatewayConfig(
+                drain_timeout=5.0,
+                rate_capacity=self.CAPACITY,
+                # Slow enough that the grant loop (<1s) cannot mint a
+                # whole extra token and blur the exact-capacity count.
+                rate_refill_per_second=0.05,
+            ),
+            accounts=("gw",),
+        )
+        cluster.start()
+        yield cluster, config.access_token
+        cluster.stop()
+
+    def test_cluster_grants_exactly_capacity_before_429(self, throttled_cluster):
+        cluster, token = throttled_cluster
+        granted, pids = 0, set()
+        throttled_body = None
+        for _ in range(2 * self.CAPACITY + 4):
+            # A fresh connection per request so SO_REUSEPORT spreads the
+            # load; /healthz identifies the worker without costing tokens.
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                _, _, body = _keepalive_request(sock, "GET", "/healthz")
+                pid = json.loads(body)["pid"]
+                status, _, body = _keepalive_request(
+                    sock, "GET", "/v1/act_gw/ads", token=token
+                )
+            if status == 200:
+                granted += 1
+                pids.add(pid)
+            else:
+                assert status == 429
+                throttled_body = json.loads(body)
+                break
+        # The whole cluster shares ONE budget: exactly `capacity` grants,
+        # not capacity-per-worker.
+        assert granted == self.CAPACITY
+        assert throttled_body is not None
+        assert throttled_body["error"]["code"] == 4
+        assert throttled_body["retry_after"] > 0
+        # Both workers served some of the granted requests, so the
+        # budget really was enforced across processes.
+        assert pids <= set(cluster.worker_pids)
+
+    def test_denials_continue_from_every_worker(self, throttled_cluster):
+        cluster, token = throttled_cluster
+        for _ in range(self.CAPACITY):
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                _keepalive_request(sock, "GET", "/v1/act_gw/ads", token=token)
+        # Budget exhausted: every worker must now deny, however the
+        # kernel balances fresh connections.
+        denied_pids = set()
+        for _ in range(20):
+            with socket.create_connection(
+                ("127.0.0.1", cluster.port), timeout=5
+            ) as sock:
+                _, _, body = _keepalive_request(sock, "GET", "/healthz")
+                pid = json.loads(body)["pid"]
+                status, _, _ = _keepalive_request(
+                    sock, "GET", "/v1/act_gw/ads", token=token
+                )
+            assert status == 429
+            denied_pids.add(pid)
+            if len(denied_pids) == 2:
+                break
+        assert denied_pids == set(cluster.worker_pids)
+
+
 class TestRequestIdPropagation:
     def test_client_supplied_id_is_echoed(self, cluster):
         with socket.create_connection(("127.0.0.1", cluster.port), timeout=5) as sock:

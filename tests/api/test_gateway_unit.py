@@ -40,6 +40,21 @@ def _gateway(handler=_echo_handler, **config) -> AsyncGateway:
     return AsyncGateway(handler, {TOKEN}, GatewayConfig(**config))
 
 
+def _call(gateway: AsyncGateway, method, target, headers=None, body=b""):
+    """Dispatch and decode one request: ``(status, parsed body)``.
+
+    ``_dispatch`` returns a :class:`WireReply` of pre-serialized bytes;
+    decoding here keeps assertions on parsed structures while every
+    test still exercises the real wire encoding.
+    """
+    reply = gateway._dispatch(method, target, headers or {}, body)
+    if reply.content_type.startswith("application/json"):
+        parsed = json.loads(reply.body) if reply.body else None
+    else:
+        parsed = reply.body.decode("utf-8")
+    return reply.status, parsed
+
+
 def _graph_body(path: str, *, method=HttpMethod.GET, params=None, token=TOKEN) -> bytes:
     return (
         ApiRequest(method=method, path=path, params=params or {}, access_token=token)
@@ -77,7 +92,7 @@ class TestQueryDecoding:
 
 class TestGraphEndpoint:
     def test_envelope_round_trip(self):
-        status, body = _gateway()._dispatch(
+        status, body = _call(_gateway(), 
             "POST", "/graph", {}, _graph_body("/whatever", params={"a": 1})
         )
         assert status == 200
@@ -86,7 +101,7 @@ class TestGraphEndpoint:
         assert body["body"]["data"]["params"] == {"a": 1}
 
     def test_malformed_envelope_is_400(self):
-        status, body = _gateway()._dispatch("POST", "/graph", {}, b"not json")
+        status, body = _call(_gateway(), "POST", "/graph", {}, b"not json")
         assert status == 400
         assert body["body"]["error"]["code"] == 100
 
@@ -94,7 +109,7 @@ class TestGraphEndpoint:
         def explode(request):
             raise RuntimeError("boom")
 
-        status, body = _gateway(explode)._dispatch(
+        status, body = _call(_gateway(explode), 
             "POST", "/graph", {}, _graph_body("/x")
         )
         assert status == 500
@@ -104,7 +119,7 @@ class TestGraphEndpoint:
 
 class TestRestSurface:
     def test_post_with_json_body(self):
-        status, body = _gateway()._dispatch(
+        status, body = _call(_gateway(), 
             "POST",
             "/v1/act_1/campaigns",
             {"authorization": f"Bearer {TOKEN}"},
@@ -116,7 +131,7 @@ class TestRestSurface:
         assert body["data"]["method"] == "POST"
 
     def test_get_with_typed_query_string(self):
-        status, body = _gateway()._dispatch(
+        status, body = _call(_gateway(), 
             "GET",
             "/v1/act_1/ads?limit=25&after=abc",
             {"authorization": f"Bearer {TOKEN}"},
@@ -128,38 +143,38 @@ class TestRestSurface:
     def test_missing_token_is_401(self):
         registry = get_registry()
         before = registry.counter_value("gateway_rejections", reason="auth")
-        status, body = _gateway()._dispatch("GET", "/v1/act_1/ads", {}, b"")
+        status, body = _call(_gateway(), "GET", "/v1/act_1/ads", {}, b"")
         assert status == 401
         assert body["error"]["code"] == 190
         assert registry.counter_value("gateway_rejections", reason="auth") == before + 1
 
     def test_wrong_token_is_401(self):
-        status, _ = _gateway()._dispatch(
+        status, _ = _call(_gateway(), 
             "GET", "/v1/act_1/ads", {"authorization": "Bearer stolen"}, b""
         )
         assert status == 401
 
     def test_malformed_body_is_400(self):
-        status, body = _gateway()._dispatch(
+        status, body = _call(_gateway(), 
             "POST", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b"{nope"
         )
         assert status == 400
         assert body["error"]["code"] == 100
 
     def test_non_object_body_is_400(self):
-        status, _ = _gateway()._dispatch(
+        status, _ = _call(_gateway(), 
             "POST", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b"[1, 2]"
         )
         assert status == 400
 
     def test_unsupported_method_is_404(self):
-        status, _ = _gateway()._dispatch(
+        status, _ = _call(_gateway(), 
             "PUT", "/v1/x", {"authorization": f"Bearer {TOKEN}"}, b""
         )
         assert status == 404
 
     def test_unknown_route_is_404(self):
-        status, body = _gateway()._dispatch("GET", "/elsewhere", {}, b"")
+        status, body = _call(_gateway(), "GET", "/elsewhere", {}, b"")
         assert status == 404
         assert "no route" in body["error"]["message"]
 
@@ -174,15 +189,15 @@ class TestRateLimiting:
             clock=lambda: clock_now[0],
         )
         headers = {"authorization": f"Bearer {TOKEN}"}
-        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
-        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
-        status, body = gateway._dispatch("GET", "/v1/a", headers, b"")
+        assert _call(gateway, "GET", "/v1/a", headers, b"")[0] == 200
+        assert _call(gateway, "GET", "/v1/a", headers, b"")[0] == 200
+        status, body = _call(gateway, "GET", "/v1/a", headers, b"")
         assert status == 429
         assert body["error"]["code"] == 4
         assert body["retry_after"] == pytest.approx(1.0)
         # Refill restores service.
         clock_now[0] = 1.0
-        assert gateway._dispatch("GET", "/v1/a", headers, b"")[0] == 200
+        assert _call(gateway, "GET", "/v1/a", headers, b"")[0] == 200
 
     def test_tokens_get_independent_buckets(self):
         gateway = AsyncGateway(
@@ -191,20 +206,20 @@ class TestRateLimiting:
             GatewayConfig(rate_capacity=1, rate_refill_per_second=0.001),
             clock=lambda: 0.0,
         )
-        assert gateway._dispatch(
+        assert _call(gateway, 
             "GET", "/v1/a", {"authorization": f"Bearer {TOKEN}"}, b""
         )[0] == 200
-        assert gateway._dispatch(
+        assert _call(gateway, 
             "GET", "/v1/a", {"authorization": f"Bearer {TOKEN}"}, b""
         )[0] == 429
-        assert gateway._dispatch(
+        assert _call(gateway, 
             "GET", "/v1/a", {"authorization": "Bearer other"}, b""
         )[0] == 200
 
 
 class TestOpsEndpoints:
     def test_healthz_reports_liveness(self):
-        status, body = _gateway()._dispatch("GET", "/healthz", {}, b"")
+        status, body = _call(_gateway(), "GET", "/healthz", {}, b"")
         assert status == 200
         assert body["status"] == "ok"
         assert body["pid"] > 0
@@ -213,7 +228,7 @@ class TestOpsEndpoints:
         assert "cluster" not in body
 
     def test_metrics_returns_a_registry_snapshot(self):
-        status, body = _gateway()._dispatch("GET", "/metrics", {}, b"")
+        status, body = _call(_gateway(), "GET", "/metrics", {}, b"")
         assert status == 200
         assert {"counters", "gauges", "histograms"} <= set(body)
         assert body["scope"] == "worker"
@@ -221,16 +236,16 @@ class TestOpsEndpoints:
     def test_metrics_prometheus_format_lints_clean(self):
         gateway = _gateway()
         # drive some traffic first so every instrument kind is populated
-        gateway._dispatch("GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b"")
-        gateway._dispatch("GET", "/v1/act_1/ads", {}, b"")
-        status, body = gateway._dispatch("GET", "/metrics?format=prometheus", {}, b"")
+        _call(gateway, "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b"")
+        _call(gateway, "GET", "/v1/act_1/ads", {}, b"")
+        status, body = _call(gateway, "GET", "/metrics?format=prometheus", {}, b"")
         assert status == 200
         assert isinstance(body, str)
         assert "repro_gateway_requests_total" in body
         assert lint_prometheus(body) == []
 
     def test_metrics_unknown_format_falls_back_to_json(self):
-        status, body = _gateway()._dispatch("GET", "/metrics?format=yaml", {}, b"")
+        status, body = _call(_gateway(), "GET", "/metrics?format=yaml", {}, b"")
         assert status == 200
         assert isinstance(body, dict)
 
@@ -247,7 +262,7 @@ class TestClusterTelemetry:
             gateway = AsyncGateway(
                 _echo_handler, {TOKEN}, GatewayConfig(), telemetry_reader=block.reader()
             )
-            status, body = gateway._dispatch("GET", "/metrics", {}, b"")
+            status, body = _call(gateway, "GET", "/metrics", {}, b"")
             assert status == 200
             assert body["scope"] == "cluster"
             by_worker = {
@@ -266,7 +281,7 @@ class TestClusterTelemetry:
             gateway = AsyncGateway(
                 _echo_handler, {TOKEN}, GatewayConfig(), telemetry_reader=block.reader()
             )
-            status, body = gateway._dispatch("GET", "/healthz", {}, b"")
+            status, body = _call(gateway, "GET", "/healthz", {}, b"")
             assert status == 200
             assert body["scope"] == "worker"
             cluster = body["cluster"]
@@ -312,7 +327,7 @@ class TestRejectionAccounting:
         self, reason, method, target, headers, body, want_status
     ):
         before = self._total_rejections()
-        status, _ = _gateway()._dispatch(method, target, headers, body)
+        status, _ = _call(_gateway(), method, target, headers, body)
         assert status == want_status
         after = self._total_rejections()
         assert after.get(reason, 0.0) == before.get(reason, 0.0) + 1
@@ -326,9 +341,9 @@ class TestRejectionAccounting:
             clock=lambda: 0.0,
         )
         headers = {"authorization": f"Bearer {TOKEN}"}
-        gateway._dispatch("GET", "/v1/a", headers, b"")
+        _call(gateway, "GET", "/v1/a", headers, b"")
         before = self._total_rejections()
-        status, _ = gateway._dispatch("GET", "/v1/a", headers, b"")
+        status, _ = _call(gateway, "GET", "/v1/a", headers, b"")
         assert status == 429
         after = self._total_rejections()
         assert after["rate_limit"] == before.get("rate_limit", 0.0) + 1
@@ -343,7 +358,7 @@ class TestRejectionAccounting:
 
         monkeypatch.setattr(gateway_module, "ApiRequest", reject)
         before = self._total_rejections()
-        status, body = _gateway()._dispatch(
+        status, body = _call(_gateway(), 
             "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b""
         )
         assert status == 400
@@ -353,13 +368,138 @@ class TestRejectionAccounting:
         assert sum(after.values()) == sum(before.values()) + 1
 
 
+class TestResponseCache:
+    """The LRU response cache, ETag revalidation and invalidation."""
+
+    AUTH = {"authorization": f"Bearer {TOKEN}"}
+
+    def _raw(self, gateway, method, target, headers=None, body=b""):
+        """Dispatch and return the raw WireReply (headers matter here)."""
+        return gateway._dispatch(method, target, {**self.AUTH, **(headers or {})}, body)
+
+    def test_repeat_get_hits_with_identical_bytes(self):
+        gateway = _gateway()
+        first = self._raw(gateway, "GET", "/v1/act_1/ads?limit=10")
+        second = self._raw(gateway, "GET", "/v1/act_1/ads?limit=10")
+        assert dict(first.headers)["X-Cache"] == "miss"
+        assert dict(second.headers)["X-Cache"] == "hit"
+        # The contract behind chaos/digest equality: cached and freshly
+        # encoded bodies are byte-identical, same ETag.
+        assert second.body == first.body
+        assert dict(second.headers)["ETag"] == dict(first.headers)["ETag"]
+        assert gateway._cache.stats()["hits"] == 1
+
+    def test_query_order_shares_one_entry(self):
+        gateway = _gateway()
+        self._raw(gateway, "GET", "/v1/act_1/ads?limit=10&after=x")
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads?after=x&limit=10")
+        assert dict(reply.headers)["X-Cache"] == "hit"
+
+    def test_if_none_match_revalidates_to_304(self):
+        gateway = _gateway()
+        first = self._raw(gateway, "GET", "/v1/act_1/ads")
+        etag = dict(first.headers)["ETag"]
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads", {"if-none-match": etag})
+        assert reply.status == 304
+        assert reply.body == b""
+        assert dict(reply.headers)["ETag"] == etag
+        assert gateway._cache.stats()["revalidations"] == 1
+
+    def test_stale_etag_gets_the_full_200(self):
+        gateway = _gateway()
+        first = self._raw(gateway, "GET", "/v1/act_1/ads")
+        reply = self._raw(
+            gateway, "GET", "/v1/act_1/ads", {"if-none-match": '"deadbeef"'}
+        )
+        assert reply.status == 200
+        assert reply.body == first.body
+        assert gateway._cache.stats()["revalidations"] == 0
+
+    def test_mutation_invalidates_cached_gets(self):
+        gateway = _gateway()
+        self._raw(gateway, "GET", "/v1/act_1/ads")
+        self._raw(gateway, "POST", "/v1/act_1/campaigns", body=b'{"name":"c"}')
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads")
+        assert dict(reply.headers)["X-Cache"] == "miss"
+        assert gateway._cache.stats()["invalidations"] == 1
+
+    def test_world_version_change_misses(self):
+        gateway = _gateway()
+        self._raw(gateway, "GET", "/v1/act_1/ads")
+        gateway.set_world_version("digest-b")
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads")
+        assert dict(reply.headers)["X-Cache"] == "miss"
+
+    def test_graph_posts_are_never_cached(self):
+        gateway = _gateway()
+        body = _graph_body("/act_1/ads")
+        self._raw(gateway, "POST", "/graph", body=body)
+        self._raw(gateway, "POST", "/graph", body=body)
+        assert gateway._cache.stats()["hits"] == 0
+
+    def test_error_replies_are_not_cached(self):
+        def explode(request):
+            raise ApiError("down", code=2, api_type="TransientError")
+
+        gateway = _gateway(explode)
+        self._raw(gateway, "GET", "/v1/act_1/ads")
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads")
+        assert reply.status == 500
+        assert "X-Cache" not in dict(reply.headers)
+        assert len(gateway._cache) == 0
+
+    def test_cache_entries_zero_disables_caching(self):
+        gateway = _gateway(cache_entries=0)
+        self._raw(gateway, "GET", "/v1/act_1/ads")
+        reply = self._raw(gateway, "GET", "/v1/act_1/ads")
+        assert "X-Cache" not in dict(reply.headers)
+
+    def test_cache_hits_still_pay_rate_tokens(self):
+        gateway = AsyncGateway(
+            _echo_handler,
+            {TOKEN},
+            GatewayConfig(rate_capacity=2, rate_refill_per_second=0.001),
+            clock=lambda: 0.0,
+        )
+        assert self._raw(gateway, "GET", "/v1/act_1/ads").status == 200
+        assert self._raw(gateway, "GET", "/v1/act_1/ads").status == 200
+        # Third request would be a cache hit, but throttling comes first.
+        assert self._raw(gateway, "GET", "/v1/act_1/ads").status == 429
+
+
+class TestDeliverCost:
+    def test_deliver_burst_gets_the_full_wait_hint(self):
+        clock_now = [0.0]
+        gateway = AsyncGateway(
+            _echo_handler,
+            {TOKEN},
+            GatewayConfig(
+                rate_capacity=10, rate_refill_per_second=2.0, rate_cost_deliver=10.0
+            ),
+            clock=lambda: clock_now[0],
+        )
+        headers = {"authorization": f"Bearer {TOKEN}"}
+        assert _call(gateway, "POST", "/v1/act_1/deliver", headers, b"{}")[0] == 200
+        status, body = _call(gateway, "POST", "/v1/act_1/deliver", headers, b"{}")
+        assert status == 429
+        # The hint covers the whole 10-token burst (10 tokens at 2/s),
+        # not the 1-token wait — retrying after 0.5s would 429 again.
+        assert body["retry_after"] == pytest.approx(5.0)
+        # Cheap requests in the same window still wait only their share.
+        status, body = _call(gateway, "GET", "/v1/act_1/ads", headers, b"")
+        assert status == 429
+        assert body["retry_after"] == pytest.approx(0.5)
+        clock_now[0] = 5.0
+        assert _call(gateway, "POST", "/v1/act_1/deliver", headers, b"{}")[0] == 200
+
+
 class TestObservability:
     def test_requests_are_counted_and_timed(self):
         registry = get_registry()
         before = registry.counter_value(
             "gateway_requests", endpoint="GET act_{id}/ads", status=200
         )
-        _gateway()._dispatch(
+        _call(_gateway(), 
             "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b""
         )
         assert (
@@ -373,9 +513,42 @@ class TestObservability:
         )
         assert histogram is not None and histogram.count >= 1
 
+    def test_metrics_carry_per_stage_gauges(self):
+        gateway = _gateway()
+        _call(gateway, "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b"")
+        _call(gateway, "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b"")
+        status, body = _call(gateway, "GET", "/metrics", {}, b"")
+        assert status == 200
+        counts = {
+            row["labels"]["stage"]: row["value"]
+            for row in body["gauges"]
+            if row["name"] == "gateway_stage_requests"
+        }
+        # Both requests were routed; the second was a cache hit, so the
+        # handler/encode stages ran once and the cache stage twice.
+        assert counts["route"] >= 2
+        assert counts["cache"] == 2
+        assert counts["handler"] == 1
+        assert counts["encode"] == 1
+        cache = {
+            row["labels"]["result"]: row["value"]
+            for row in body["gauges"]
+            if row["name"] == "gateway_cache"
+        }
+        assert cache["hits"] == 1
+        assert cache["misses"] == 1
+
+    def test_stage_spans_are_emitted(self):
+        with tracing() as tracer:
+            _call(_gateway(),
+                "GET", "/v1/act_1/ads", {"authorization": f"Bearer {TOKEN}"}, b""
+            )
+            names = {s.name for s in tracer.spans}
+        assert {"api.route", "api.decode", "api.cache", "api.encode"} <= names
+
     def test_api_request_span_carries_endpoint_and_status(self):
         with tracing() as tracer:
-            _gateway()._dispatch("POST", "/graph", {}, _graph_body("/act_1/adsets"))
+            _call(_gateway(), "POST", "/graph", {}, _graph_body("/act_1/adsets"))
             spans = [s for s in tracer.spans if s.name == "api.request"]
         assert spans
         assert spans[-1].attrs["endpoint"] == "GET act_{id}/adsets"

@@ -179,10 +179,10 @@ class TestKeepAliveTransport:
             transport = http_transport("127.0.0.1", server.port)
             client = MarketingApiClient(transport, "tok")
             client.call(HttpMethod.GET, "/first")
-            first_connection = transport._connection
-            assert first_connection is not None
+            first_socket = transport._sock
+            assert first_socket is not None
             client.call(HttpMethod.GET, "/second")
-            assert transport._connection is first_connection
+            assert transport._sock is first_socket
 
     def test_mid_stream_disconnect_is_a_retryable_transient_error(self):
         """A connection dying between requests surfaces as TransientError.
@@ -202,7 +202,7 @@ class TestKeepAliveTransport:
             ).ok
             # Kill the established connection out from under the
             # transport, as a dropped network path would.
-            transport._connection.sock.shutdown(socket.SHUT_RDWR)
+            transport._sock.shutdown(socket.SHUT_RDWR)
             with pytest.raises(ApiError) as excinfo:
                 transport(
                     ApiRequest(method=HttpMethod.GET, path="/gone", access_token="tok")

@@ -1,0 +1,201 @@
+"""Tier-1 (socket-free) tests for the shared-memory rate-limit plane.
+
+Two :class:`SharedRateLimiter` views attach to one block in-process —
+the shared-memory semantics are identical to separate processes (the
+block is the same mapping either way), and a fake clock makes refill
+deterministic.  The real 2-process enforcement runs in the integration
+suite (``tests/api/test_gateway.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.ratelimit import RateLimitManifest, SharedRateLimiter, TokenBucket
+from repro.errors import ValidationError
+
+# Matches repro.obs.cluster's heartbeat cadence: a refill gap the plane
+# must absorb exactly.
+HEARTBEAT_INTERVAL = 1.0
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def plane():
+    clock = FakeClock()
+    owner = SharedRateLimiter.create(
+        ["tok"], capacity=10, refill_per_second=2.0, n_workers=2, clock=clock
+    )
+    manifest = owner.manifest.to_json()
+    w0 = SharedRateLimiter.attach(manifest, 0, clock=clock)
+    w1 = SharedRateLimiter.attach(manifest, 1, clock=clock)
+    try:
+        yield clock, owner, w0, w1
+    finally:
+        w0.close()
+        w1.close()
+        owner.unlink()
+
+
+def test_two_views_share_exactly_one_budget(plane) -> None:
+    clock, owner, w0, w1 = plane
+    granted = 0
+    for i in range(12):
+        worker = w0 if i % 2 == 0 else w1
+        if worker.try_acquire("tok"):
+            granted += 1
+    # capacity, not capacity-per-worker.
+    assert granted == 10
+    assert not w0.try_acquire("tok")
+    assert not w1.try_acquire("tok")
+    assert owner.available("tok") == pytest.approx(0.0)
+
+
+def test_refill_across_heartbeat_gap(plane) -> None:
+    clock, owner, w0, w1 = plane
+    for _ in range(10):
+        assert w0.try_acquire("tok")
+    assert not w1.try_acquire("tok")
+    # One heartbeat at 2 tokens/s earns exactly 2 tokens, visible to the
+    # *other* worker (refill is cluster-wide, not per-view).
+    clock.advance(HEARTBEAT_INTERVAL)
+    assert w1.available("tok") == pytest.approx(2.0)
+    assert w1.try_acquire("tok")
+    assert w1.try_acquire("tok")
+    assert not w1.try_acquire("tok")
+    assert not w0.try_acquire("tok")
+
+
+def test_refill_caps_at_capacity_after_long_idle(plane) -> None:
+    clock, owner, w0, w1 = plane
+    assert w0.try_acquire("tok", 10.0)
+    clock.advance(3600.0)
+    assert owner.available("tok") == pytest.approx(10.0)
+
+
+def test_burst_cost_and_wait_hint(plane) -> None:
+    clock, owner, w0, w1 = plane
+    assert w0.try_acquire("tok", 10.0)
+    assert not w1.try_acquire("tok", 1.0)
+    # The hint is for the *requested* count: 6 tokens at 2/s from empty.
+    assert w1.seconds_until_available("tok", 6.0) == pytest.approx(3.0)
+    assert w1.seconds_until_available("tok") == pytest.approx(0.5)
+    clock.advance(3.0)
+    assert w1.try_acquire("tok", 6.0)
+
+
+def test_wait_hint_rejects_impossible_burst(plane) -> None:
+    clock, owner, w0, w1 = plane
+    with pytest.raises(ValidationError, match="can never be granted"):
+        w0.seconds_until_available("tok", 11.0)
+    with pytest.raises(ValidationError, match="positive"):
+        w0.try_acquire("tok", 0.0)
+
+
+def test_read_only_view_cannot_admit(plane) -> None:
+    clock, owner, w0, w1 = plane
+    viewer = SharedRateLimiter.attach(owner.manifest.to_json(), None, clock=clock)
+    try:
+        assert viewer.available("tok") == pytest.approx(10.0)
+        with pytest.raises(ValidationError, match="read-only"):
+            viewer.try_acquire("tok")
+    finally:
+        viewer.close()
+
+
+def test_unknown_token_has_no_slot(plane) -> None:
+    clock, owner, w0, w1 = plane
+    assert owner.covers("tok")
+    assert not owner.covers("other")
+    with pytest.raises(ValidationError, match="no slot"):
+        w0.try_acquire("other")
+
+
+def test_attach_validates_manifest(plane) -> None:
+    clock, owner, w0, w1 = plane
+    manifest = owner.manifest
+    with pytest.raises(ValidationError, match="out of range"):
+        SharedRateLimiter.attach(manifest.to_json(), 2, clock=clock)
+    mismatched = RateLimitManifest(
+        shm_name=manifest.shm_name,
+        tokens=("tok", "extra"),
+        n_workers=manifest.n_workers,
+        capacity=manifest.capacity,
+        refill_per_second=manifest.refill_per_second,
+        slot_bytes=manifest.slot_bytes,
+    )
+    with pytest.raises(ValidationError, match="does not match"):
+        SharedRateLimiter.attach(mismatched.to_json(), 0, clock=clock)
+
+
+def test_manifest_round_trips() -> None:
+    manifest = RateLimitManifest(
+        shm_name="psm_x",
+        tokens=("a", "b"),
+        n_workers=4,
+        capacity=25.0,
+        refill_per_second=5.0,
+        slot_bytes=64,
+    )
+    assert RateLimitManifest.from_json(manifest.to_json()) == manifest
+
+
+def test_create_validates_arguments() -> None:
+    clock = FakeClock()
+    with pytest.raises(ValidationError, match="at least one access token"):
+        SharedRateLimiter.create(
+            [], capacity=10, refill_per_second=1.0, n_workers=1, clock=clock
+        )
+    with pytest.raises(ValidationError, match="capacity"):
+        SharedRateLimiter.create(
+            ["t"], capacity=0, refill_per_second=1.0, n_workers=1, clock=clock
+        )
+    with pytest.raises(ValidationError, match="n_workers"):
+        SharedRateLimiter.create(
+            ["t"], capacity=10, refill_per_second=1.0, n_workers=0, clock=clock
+        )
+
+
+def test_duplicate_tokens_deduplicate_to_one_slot() -> None:
+    clock = FakeClock()
+    plane = SharedRateLimiter.create(
+        ["t", "t", "t"], capacity=5, refill_per_second=1.0, n_workers=1, clock=clock
+    )
+    try:
+        assert plane.manifest.tokens == ("t",)
+    finally:
+        plane.unlink()
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket burst-wait regression (satellite fix)
+
+
+def test_token_bucket_wait_is_for_requested_count() -> None:
+    clock = FakeClock()
+    bucket = TokenBucket(10, 2.0, clock)
+    assert bucket.try_acquire(10.0)
+    # A denied 6-token burst must be told 3.0s (6 tokens at 2/s), not
+    # the single-token 0.5s — else its retry is denied by construction.
+    assert bucket.seconds_until_available(6.0) == pytest.approx(3.0)
+    assert bucket.seconds_until_available() == pytest.approx(0.5)
+    clock.advance(3.0)
+    assert bucket.try_acquire(6.0)
+
+
+def test_token_bucket_wait_rejects_impossible_burst() -> None:
+    bucket = TokenBucket(10, 2.0, FakeClock())
+    with pytest.raises(ValidationError, match="can never be granted"):
+        bucket.seconds_until_available(10.5)
+    with pytest.raises(ValidationError, match="positive"):
+        bucket.seconds_until_available(0.0)

@@ -1,0 +1,150 @@
+"""Tests for the precompiled segment-trie route dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.routing import CONVERTERS, RouteTrie
+from repro.errors import ValidationError
+
+
+def _trie(*routes: tuple[str, str, str]) -> RouteTrie:
+    trie = RouteTrie()
+    for method, pattern, handler in routes:
+        trie.add(method, pattern, handler)
+    return trie
+
+
+def test_literal_match() -> None:
+    trie = _trie(("GET", "/healthz", "health"), ("POST", "/graph", "graph"))
+    assert trie.match("GET", "/healthz") == ("health", {})
+    assert trie.match("POST", "/graph") == ("graph", {})
+    assert trie.match("GET", "/graph") is None
+    assert trie.match("GET", "/missing") is None
+
+
+def test_trailing_and_duplicate_slashes_normalise() -> None:
+    trie = _trie(("GET", "/healthz", "health"))
+    assert trie.match("GET", "/healthz/") == ("health", {})
+    assert trie.match("GET", "//healthz") == ("health", {})
+
+
+def test_untyped_capture() -> None:
+    trie = _trie(("GET", "/{object_id}", "get"))
+    assert trie.match("GET", "/123456") == ("get", {"object_id": "123456"})
+    assert trie.match("GET", "/123/extra") is None
+
+
+def test_typed_int_converter() -> None:
+    trie = _trie(("GET", "/items/{n:int}", "item"))
+    assert trie.match("GET", "/items/42") == ("item", {"n": 42})
+    assert trie.match("GET", "/items/nope") is None
+
+
+def test_account_converter_route() -> None:
+    trie = _trie(("POST", "/{account_id:account}/ads", "create"))
+    assert trie.match("POST", "/act_987/ads") == ("create", {"account_id": "987"})
+    # Bare "act_" (empty id) and non-prefixed segments are rejected.
+    assert trie.match("POST", "/act_/ads") is None
+    assert trie.match("POST", "/987/ads") is None
+
+
+def test_literal_prefix_folds_into_converter() -> None:
+    trie = _trie(("GET", "/v{major:int}/status", "status"))
+    assert trie.match("GET", "/v2/status") == ("status", {"major": 2})
+    assert trie.match("GET", "/v/status") is None
+    assert trie.match("GET", "/2/status") is None
+
+
+def test_account_converter_standalone() -> None:
+    convert = CONVERTERS["account"]
+    assert convert("act_55") == "55"
+    assert convert("act_") is None
+    assert convert("x_55") is None
+
+
+def test_literal_preferred_over_param() -> None:
+    trie = _trie(
+        ("GET", "/ads/special", "special"),
+        ("GET", "/ads/{ad_id}", "by_id"),
+    )
+    assert trie.match("GET", "/ads/special") == ("special", {})
+    assert trie.match("GET", "/ads/99") == ("by_id", {"ad_id": "99"})
+
+
+def test_backtracks_when_deeper_segment_fails() -> None:
+    # act_1 parses as an account, but only the object-id branch has a
+    # /users terminal — matching must back out of the account branch.
+    trie = _trie(
+        ("POST", "/{account_id:account}/ads", "create_ad"),
+        ("POST", "/{object_id}/users", "upload"),
+    )
+    assert trie.match("POST", "/act_1/ads") == ("create_ad", {"account_id": "1"})
+    assert trie.match("POST", "/act_1/users") == ("upload", {"object_id": "act_1"})
+
+
+def test_backtracks_on_method_mismatch() -> None:
+    trie = _trie(
+        ("POST", "/{account_id:account}/ads", "create_ad"),
+        ("GET", "/{object_id}/ads", "generic"),
+    )
+    # The account branch exists but has no GET handler; the untyped
+    # branch does, so captures must reflect the fallback.
+    assert trie.match("GET", "/act_1/ads") == ("generic", {"object_id": "act_1"})
+    assert trie.match("POST", "/act_1/ads") == ("create_ad", {"account_id": "1"})
+
+
+def test_failed_branch_leaves_no_stale_captures() -> None:
+    trie = _trie(
+        ("GET", "/{a}/{b}/deep", "deep"),
+        ("GET", "/{x...}", "rest"),
+    )
+    handler, captures = trie.match("GET", "/one/two/other")
+    assert handler == "rest"
+    assert captures == {"x": "one/two/other"}  # no leftover a/b keys
+
+
+def test_rest_capture() -> None:
+    trie = _trie(("*", "/v1/{resource...}", "rest"))
+    assert trie.match("GET", "/v1/act_1/ads") == ("rest", {"resource": "act_1/ads"})
+    assert trie.match("DELETE", "/v1/x") == ("rest", {"resource": "x"})
+    # Zero remaining segments: the rest node is not a terminal for /v1.
+    assert trie.match("GET", "/v1") is None
+
+
+def test_method_wildcard_and_specific_coexist() -> None:
+    trie = _trie(("*", "/metrics", "any"), ("GET", "/thing", "get_only"))
+    assert trie.match("PUT", "/metrics") == ("any", {})
+    assert trie.match("PUT", "/thing") is None
+
+
+def test_duplicate_route_rejected() -> None:
+    trie = _trie(("GET", "/a", "one"))
+    with pytest.raises(ValidationError, match="duplicate route"):
+        trie.add("GET", "/a", "two")
+    trie.add("POST", "/a", "post")  # other methods still fine
+
+
+def test_pattern_validation() -> None:
+    trie = RouteTrie()
+    with pytest.raises(ValidationError, match="must start with"):
+        trie.add("GET", "no-slash", "h")
+    with pytest.raises(ValidationError, match="unknown converter"):
+        trie.add("GET", "/{x:bogus}", "h")
+    with pytest.raises(ValidationError, match="malformed route segment"):
+        trie.add("GET", "/{unclosed", "h")
+    with pytest.raises(ValidationError, match="unnamed capture"):
+        trie.add("GET", "/{}", "h")
+    with pytest.raises(ValidationError, match="final segment"):
+        trie.add("GET", "/{rest...}/tail", "h")
+
+
+def test_shared_param_node_across_methods() -> None:
+    # Registering the same {name} twice must reuse one child node, so
+    # both handlers hang off the same subtree.
+    trie = _trie(
+        ("GET", "/{object_id}", "get"),
+        ("POST", "/{object_id}/review", "review"),
+    )
+    assert trie.match("GET", "/42") == ("get", {"object_id": "42"})
+    assert trie.match("POST", "/42/review") == ("review", {"object_id": "42"})

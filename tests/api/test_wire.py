@@ -1,0 +1,257 @@
+"""Tests for the specialized wire encoder and the response cache.
+
+The encoder's contract is byte-identity with the compact ``json.dumps``
+reference; every fast path (skeleton rows, numeric joins, plain-string
+shortcut) is exercised against that oracle, including a seeded fuzz
+sweep so shape combinations nobody thought of stay honest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.api.protocol import ApiResponse
+from repro.api.wire import (
+    ResponseCache,
+    canonical_params,
+    compact_dumps,
+    encode_envelope,
+    encode_error_body,
+    encode_obj,
+    encode_rest,
+    etag_matches,
+    make_etag,
+)
+from repro.errors import ApiError
+
+
+def reference(obj) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+
+
+CORPUS = [
+    None,
+    True,
+    False,
+    0,
+    -17,
+    10**30,
+    1.5,
+    -0.0,
+    3.141592653589793,
+    1e-300,
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    "",
+    "plain",
+    'with "quotes" and \\backslash\\',
+    "control\x00char",
+    "unicode: café ☃ 試験",
+    [],
+    {},
+    [1, 2, 3],
+    [1.5, 2.25, -0.125],
+    [1.0, float("nan")],
+    ["a", "b", 'c"d'],
+    [True, False, None],
+    [1, "mixed", None, 2.5, {"k": []}],
+    [[], [[]], [[[1]]]],
+    {"data": [], "paging": {"cursors": {"after": "x"}}},
+    {"a": 1, "b": [1, 2], "c": {"d": None}},
+    {1: "int key", 2.5: "float key"},
+    {"nested": {"rows": [{"id": 1, "n": "x"}, {"id": 2, "n": "y"}]}},
+    [{"id": 1, "reach": 10}, {"id": 2, "reach": 20}, {"id": 3, "reach": 30}],
+    [{"id": 1}, {"other": 2}],  # differing shapes: no skeleton
+    [{}, {}],  # empty-dict rows
+    [{"k\"ey": 1}, {"k\"ey": 2}],  # keys needing escapes: skeleton refused
+    {"status": 200, "body": {"data": [1, 2]}},
+]
+
+
+@pytest.mark.parametrize("obj", CORPUS, ids=lambda o: repr(o)[:50])
+def test_encode_obj_matches_reference(obj) -> None:
+    assert encode_obj(obj) == reference(obj)
+
+
+def test_encoder_distinguishes_bool_from_int() -> None:
+    # bool is an int subclass; type()-dispatch must not turn True into 1.
+    assert encode_obj([True, 1, False, 0]) == b"[true,1,false,0]"
+    assert encode_obj({"flag": True}) == b'{"flag":true}'
+
+
+def test_encoder_handles_subclasses_via_fallback() -> None:
+    class MyInt(int):
+        pass
+
+    class MyStr(str):
+        pass
+
+    obj = {"n": MyInt(7), "s": MyStr("x"), "t": (1, 2)}
+    assert encode_obj(obj) == reference(obj)
+
+
+def _random_value(rng: random.Random, depth: int):
+    kind = rng.randrange(8 if depth < 3 else 6)
+    if kind == 0:
+        return rng.randrange(-(10**6), 10**6)
+    if kind == 1:
+        return rng.uniform(-1e6, 1e6)
+    if kind == 2:
+        return rng.choice(["", "plain", 'q"q', "\\", "café", "\x1f\x00", "☃"])
+    if kind == 3:
+        return rng.choice([True, False])
+    if kind == 4:
+        return None
+    if kind == 5:
+        return rng.choice([float("nan"), float("inf"), 1e308 * 10])
+    if kind == 6:
+        return [_random_value(rng, depth + 1) for _ in range(rng.randrange(5))]
+    keys = ["id", "reach", 'we"ird', "x"]
+    return {
+        rng.choice(keys): _random_value(rng, depth + 1) for _ in range(rng.randrange(4))
+    }
+
+
+def test_encoder_fuzz_against_reference() -> None:
+    rng = random.Random(0xC0FFEE)
+    for _ in range(2000):
+        obj = _random_value(rng, 0)
+        encoded = encode_obj(obj)
+        if isinstance(obj, float) and math.isnan(obj):
+            assert encoded == b"NaN"
+        else:
+            assert encoded == reference(obj)
+
+
+def test_row_skeleton_reused_across_rows() -> None:
+    rows = [{"id": i, "name": f"ad-{i}", "reach": i * 10} for i in range(50)]
+    assert encode_obj({"data": rows}) == reference({"data": rows})
+
+
+def test_compact_dumps_is_the_reference() -> None:
+    obj = {"a": [1, 2.5, "x"], "b": None}
+    assert compact_dumps(obj).encode("utf-8") == reference(obj)
+
+
+# ---------------------------------------------------------------------------
+# Envelope encoders
+
+
+def test_encode_rest_success_matches_body_of_to_json() -> None:
+    response = ApiResponse.success([{"id": 1}], paging={"cursors": {"after": "a"}})
+    expected = json.loads(response.to_json())["body"]
+    assert json.loads(encode_rest(response)) == expected
+
+
+def test_encode_rest_failure_with_retry_after() -> None:
+    response = ApiResponse.failure(
+        ApiError("slow down", code=4, api_type="OAuthException"),
+        status=429,
+        retry_after=2.5,
+    )
+    body = json.loads(encode_rest(response))
+    assert body["error"]["code"] == 4
+    assert body["retry_after"] == 2.5
+    assert body == json.loads(response.to_json())["body"]
+
+
+def test_encode_envelope_parse_equal_to_to_json() -> None:
+    for response in (
+        ApiResponse.success({"id": "123"}),
+        ApiResponse.success([], paging=None),
+        ApiResponse.failure(ApiError("nope", code=100), status=400),
+        ApiResponse.failure(ApiError("busy", code=4), status=429, retry_after=1.0),
+    ):
+        assert json.loads(encode_envelope(response)) == json.loads(response.to_json())
+
+
+def test_encode_error_body_shape() -> None:
+    body = json.loads(encode_error_body("denied", code=190, api_type="OAuthException"))
+    assert body == {
+        "error": {"message": "denied", "type": "OAuthException", "code": 190}
+    }
+    throttled = json.loads(encode_error_body("busy", code=4, retry_after=0.75))
+    assert throttled["retry_after"] == 0.75
+
+
+# ---------------------------------------------------------------------------
+# Cache keys and ETags
+
+
+def test_canonical_params_is_order_insensitive() -> None:
+    assert canonical_params({"limit": 10, "after": "x"}) == canonical_params(
+        {"after": "x", "limit": 10}
+    )
+    assert canonical_params({}) == ""
+    assert canonical_params({"a": 1}) != canonical_params({"a": 2})
+
+
+def test_make_etag_is_strong_and_quoted() -> None:
+    etag = make_etag(b'{"data":[]}')
+    assert etag.startswith('"') and etag.endswith('"')
+    assert etag != make_etag(b'{"data":[1]}')
+    assert etag == make_etag(b'{"data":[]}')
+
+
+def test_etag_matches_list_and_star() -> None:
+    etag = make_etag(b"body")
+    assert etag_matches(etag, etag)
+    assert etag_matches(f'"other", {etag}', etag)
+    assert etag_matches("*", etag)
+    assert not etag_matches('"other"', etag)
+    assert not etag_matches(f"W/{etag}", etag)  # weak validators never match
+
+
+# ---------------------------------------------------------------------------
+# ResponseCache
+
+
+def test_cache_lru_eviction_order() -> None:
+    cache = ResponseCache(max_entries=2)
+    cache.store(("/a", ""), 200, b"a")
+    cache.store(("/b", ""), 200, b"b")
+    assert cache.lookup(("/a", "")) is not None  # /a becomes most-recent
+    cache.store(("/c", ""), 200, b"c")  # evicts /b, not /a
+    assert cache.lookup(("/b", "")) is None
+    assert cache.lookup(("/a", "")).body == b"a"
+    assert cache.lookup(("/c", "")).body == b"c"
+    assert cache.evictions == 1
+
+
+def test_cache_invalidate_drops_everything_once() -> None:
+    cache = ResponseCache()
+    cache.store(("/a", ""), 200, b"a")
+    cache.store(("/b", "q"), 200, b"b")
+    cache.invalidate()
+    assert len(cache) == 0
+    assert cache.invalidations == 1
+    cache.invalidate()  # empty cache: not another invalidation event
+    assert cache.invalidations == 1
+
+
+def test_cache_world_version_change_empties() -> None:
+    cache = ResponseCache(world_version="v1")
+    cache.store(("/a", ""), 200, b"a")
+    cache.set_world_version("v1")  # same digest: nothing happens
+    assert len(cache) == 1
+    cache.set_world_version("v2")
+    assert len(cache) == 0
+    assert cache.world_version == "v2"
+    assert cache.lookup(("/a", "")) is None
+
+
+def test_cache_stats_counters() -> None:
+    cache = ResponseCache()
+    assert cache.lookup(("/a", "")) is None
+    entry = cache.store(("/a", ""), 200, b"body")
+    assert entry.etag == make_etag(b"body")
+    assert cache.lookup(("/a", "")) is entry
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["entries"] == 1
